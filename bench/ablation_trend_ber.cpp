@@ -1,0 +1,117 @@
+// Sec. II.8 (ALCF): trend analysis on component error rates.
+//
+// "ALCF currently performs trend analysis, using this data, on component
+// error rates (e.g., High Speed Network (HSN) link Bit Error Rates (BER))
+// ... Based on these trends, ALCF personnel can flag and diagnose unusual
+// behaviors on component and subsystem levels."
+//
+// An aging link's BER multiplier is ramped in steps over 3 days while the
+// machine runs a steady workload. The monitoring pipeline converts the
+// bit-error counter into a rate, fits a trailing-window trend per link, and
+// must (a) flag the aging link with a confident positive slope, (b) keep
+// every healthy link unflagged, and (c) forecast the service threshold
+// crossing usefully early.
+#include "bench_common.hpp"
+
+#include "analysis/streaming.hpp"
+#include "analysis/trend.hpp"
+
+namespace hpcmon::bench {
+namespace {
+
+sim::ClusterParams machine() {
+  sim::ClusterParams p;
+  p.shape.cabinets = 2;
+  p.shape.chassis_per_cabinet = 2;
+  p.shape.blades_per_chassis = 4;
+  p.shape.nodes_per_blade = 4;  // 64 nodes
+  p.fabric_kind = sim::FabricKind::kTorus3D;
+  p.fabric.base_ber = 1e-10;  // observable baseline error process
+  p.tick = 30 * core::kSecond;
+  p.seed = 6;
+  return p;
+}
+
+}  // namespace
+}  // namespace hpcmon::bench
+
+int main() {
+  using namespace hpcmon;
+  using namespace hpcmon::bench;
+
+  header("Ablation: BER trend analysis flags an aging link",
+         "Ahlgren et al. 2018, Sec. II.8 (ALCF Theta)");
+
+  MonitoredCluster mc(machine(), 10 * core::kMinute);
+  sim::WorkloadParams w;
+  w.mean_interarrival = 90 * core::kSecond;
+  w.max_nodes = 24;
+  w.mix = {sim::app_network_heavy(), sim::app_compute_bound()};
+  mc.cluster.start_workload(w);
+
+  // Aging process on link 0: BER multiplier doubles every 6 hours.
+  const int aging_link = 0;
+  for (int step = 0; step < 12; ++step) {
+    const double multiplier = std::pow(2.0, step + 1);
+    mc.cluster.inject_link_ber(step * 6 * core::kHour, aging_link, multiplier,
+                               6 * core::kHour);
+  }
+  std::printf("Running 72 simulated hours; link 0 BER doubles every 6h...\n\n");
+  mc.cluster.run_for(72 * core::kHour);
+
+  // Per-link trend over the error-rate series (errors/hour).
+  auto& reg = mc.cluster.registry();
+  const core::TimeRange all{0, mc.cluster.now()};
+  // Exponential aging is linear in log space: trend log10(errors/h + 1).
+  // Ground truth slope is log10(2)/6h ~ 0.05 decades/hour.
+  int flagged = 0;
+  int healthy_flagged = 0;
+  analysis::TrendFit aging_fit;
+  std::optional<core::TimePoint> forecast;
+  double aging_final_log = 0.0;
+  const double kSlopeFlag = 0.01;  // decades/hour
+  for (int l = 0; l < mc.cluster.topology().num_links(); ++l) {
+    const auto sid = reg.series("hsn.link.bit_errors",
+                                mc.cluster.topology().link(l).component);
+    analysis::RateConverter rc;
+    analysis::TrendAnalyzer trend(48 * core::kHour);
+    for (const auto& p : mc.tsdb.query_range(sid, all)) {
+      if (auto r = rc.update(p.time, p.value)) {
+        const double log_rate = std::log10(*r * 3600.0 + 1.0);
+        trend.add(p.time, log_rate);
+        if (l == aging_link) aging_final_log = log_rate;
+      }
+    }
+    const auto fit = trend.fit();
+    const bool flag = fit && fit->slope_per_hour > kSlopeFlag && fit->r2 > 0.6;
+    if (flag) ++flagged;
+    if (flag && l != aging_link) ++healthy_flagged;
+    if (l == aging_link && fit) {
+      aging_fit = *fit;
+      // Forecast when the error rate grows another ~30x (1.5 decades).
+      forecast = trend.forecast_crossing(aging_final_log + 1.5);
+    }
+  }
+
+  std::printf("links analyzed:     %d\n", mc.cluster.topology().num_links());
+  std::printf("links flagged:      %d (healthy flagged: %d)\n", flagged,
+              healthy_flagged);
+  std::printf("aging link fit:     slope %.4f decades/hour (truth ~0.050), "
+              "r2 %.2f\n",
+              aging_fit.slope_per_hour, aging_fit.r2);
+  if (forecast) {
+    std::printf("forecast +1.5-decade crossing: %s (now: %s)\n",
+                core::format_time(*forecast).c_str(),
+                core::format_time(mc.cluster.now()).c_str());
+  }
+  std::printf("\n");
+
+  shape_check(flagged >= 1 && healthy_flagged == 0,
+              "exactly the aging link is flagged by the trend analysis");
+  shape_check(aging_fit.slope_per_hour > 0.02 &&
+                  aging_fit.slope_per_hour < 0.10 && aging_fit.r2 > 0.6,
+              "aging link's fitted slope matches the injected doubling rate");
+  shape_check(forecast.has_value() && *forecast > mc.cluster.now(),
+              "threshold-crossing forecast gives advance warning");
+  return finish();
+}

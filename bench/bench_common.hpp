@@ -1,0 +1,106 @@
+// Shared wiring for the figure-reproduction benches: a monitored cluster
+// (simulator + collection + transport + stores), shape-check helpers, and
+// consistent report formatting.
+//
+// Every bench prints (1) the workload/parameters it ran, (2) the series or
+// table the paper's figure shows, (3) explicit SHAPE CHECK lines comparing
+// the measured shape against the paper's qualitative claim. Absolute numbers
+// are not expected to match the authors' machines (the substrate is a
+// simulator); the checks encode who wins / direction / rough factor.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "collect/collection.hpp"
+#include "collect/samplers.hpp"
+#include "core/strings.hpp"
+#include "sim/cluster.hpp"
+#include "store/jobstore.hpp"
+#include "store/logstore.hpp"
+#include "store/tsdb.hpp"
+#include "transport/codec.hpp"
+#include "transport/event_router.hpp"
+
+namespace hpcmon::bench {
+
+/// A cluster with the full monitoring pipeline attached: synchronized
+/// samplers -> EventRouter (binary frames) -> TSDB + LogStore + JobStore.
+struct MonitoredCluster {
+  sim::Cluster cluster;
+  transport::EventRouter router;
+  store::TimeSeriesStore tsdb;
+  store::LogStore logs;
+  store::JobStore jobs;
+  collect::CollectionService collection{cluster};
+
+  explicit MonitoredCluster(const sim::ClusterParams& params,
+                            core::Duration sample_interval = core::kMinute)
+      : cluster(params) {
+    for (auto& sampler : collect::make_all_samplers(cluster)) {
+      collection.add_sampler(std::move(sampler), sample_interval,
+                             collect::router_sample_sink(router));
+    }
+    collection.add_log_collector(sample_interval,
+                                 collect::router_log_sink(router));
+    router.subscribe(transport::FrameType::kSamples,
+                     [this](const transport::Frame& f) {
+                       auto batch = transport::decode_samples(f);
+                       if (batch.is_ok()) tsdb.append_batch(batch.value().samples);
+                     });
+    router.subscribe(transport::FrameType::kLogs,
+                     [this](const transport::Frame& f) {
+                       auto events = transport::decode_logs(f);
+                       if (events.is_ok()) {
+                         logs.append_batch(std::move(events).take());
+                       }
+                     });
+    cluster.scheduler().set_on_start(
+        [this](const sim::JobRecord& rec) { jobs.record_start(meta(rec)); });
+    cluster.scheduler().set_on_end(
+        [this](const sim::JobRecord& rec) { jobs.record_end(meta(rec)); });
+  }
+
+  static store::JobMeta meta(const sim::JobRecord& rec) {
+    store::JobMeta m;
+    m.id = rec.id;
+    m.app_name = rec.request.profile.name;
+    m.nodes = rec.nodes;
+    m.submit_time = rec.submit_time;
+    m.start_time = rec.start_time;
+    m.end_time = rec.end_time;
+    m.failed = rec.state == sim::JobState::kFailed;
+    return m;
+  }
+
+  core::SeriesId series(std::string_view metric, core::ComponentId comp) {
+    return cluster.registry().series(metric, comp);
+  }
+};
+
+inline int g_failures = 0;
+
+/// Print a PASS/FAIL shape-check line; tracks failures for the exit code.
+inline void shape_check(bool ok, const std::string& claim) {
+  std::printf("SHAPE CHECK [%s] %s\n", ok ? "PASS" : "FAIL", claim.c_str());
+  if (!ok) ++g_failures;
+}
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+inline int finish() {
+  if (g_failures > 0) {
+    std::printf("\n%d shape check(s) FAILED\n", g_failures);
+    return 1;
+  }
+  std::printf("\nAll shape checks passed.\n");
+  return 0;
+}
+
+}  // namespace hpcmon::bench

@@ -1,0 +1,132 @@
+// Fig 5 (NCSA): per-job multi-metric timeseries with node aggregation, plot
+// and raw-data (CSV) download.
+//
+// Paper caption: "Timeseries visualizations of multiple metrics can provide
+// insights into underperforming applications. Summing and averaging over
+// nodes enables condensation of high dimensional data ... NCSA enables user
+// access to plots, with the ability to download the image and also the raw
+// data for further investigation."
+#include "bench_common.hpp"
+
+#include "viz/dashboard.hpp"
+#include "viz/query.hpp"
+
+namespace hpcmon::bench {
+namespace {
+
+sim::ClusterParams machine() {
+  sim::ClusterParams p;
+  p.shape.cabinets = 2;
+  p.shape.chassis_per_cabinet = 2;
+  p.shape.blades_per_chassis = 8;
+  p.shape.nodes_per_blade = 4;
+  p.fabric_kind = sim::FabricKind::kDragonfly;
+  p.tick = 5 * core::kSecond;
+  p.seed = 3;
+  return p;
+}
+
+}  // namespace
+}  // namespace hpcmon::bench
+
+int main() {
+  using namespace hpcmon;
+  using namespace hpcmon::bench;
+
+  header("Fig 5: per-job multi-metric timeseries + CSV download",
+         "Ahlgren et al. 2018, Fig. 5 (NCSA Blue Waters)");
+
+  MonitoredCluster mc(machine(), 30 * core::kSecond);
+  sim::WorkloadParams w;
+  w.mean_interarrival = 90 * core::kSecond;
+  w.max_nodes = 16;
+  w.mix = {sim::app_compute_bound(), sim::app_network_heavy()};
+  mc.cluster.start_workload(w);
+  // The job under investigation: a checkpointing app with bursty phases.
+  sim::JobRequest target;
+  target.num_nodes = 12;
+  target.nominal_runtime = 15 * core::kMinute;
+  target.profile = sim::app_io_checkpoint();
+  mc.cluster.submit_at(5 * core::kMinute, target);
+  mc.cluster.run_for(30 * core::kMinute);
+
+  // Locate the target job and its allocation/timeframe in the job store
+  // ("per-job analysis requires storing and extraction of job allocations
+  // and timeframes").
+  store::JobMeta job;
+  for (const auto& j : mc.jobs.jobs_overlapping({0, mc.cluster.now()})) {
+    if (j.app_name == "io_checkpoint") job = j;
+  }
+  if (job.id == core::kNoJob) {
+    shape_check(false, "target job found in job store");
+    return finish();
+  }
+  const core::TimeRange window{job.start_time,
+                               job.end_time < 0 ? mc.cluster.now()
+                                                : job.end_time};
+  std::vector<core::ComponentId> job_nodes;
+  for (const int n : job.nodes) {
+    job_nodes.push_back(mc.cluster.topology().node(n));
+  }
+
+  auto& reg = mc.cluster.registry();
+  // Per-job panels: sums and means over the job's nodes only.
+  viz::Dashboard dash(core::strformat(
+      "job %llu (%s) on %zu nodes",
+      static_cast<unsigned long long>(core::raw(job.id)),
+      job.app_name.c_str(), job.nodes.size()));
+  auto panel = [&](const char* title, const char* metric, store::Agg agg) {
+    dash.add_panel(title, [&, title, metric, agg]() {
+      viz::ChartSeries s;
+      s.label = title;
+      s.points = viz::aggregate_across(mc.tsdb, reg, metric, job_nodes,
+                                       window, agg);
+      return std::vector<viz::ChartSeries>{s};
+    });
+  };
+  panel("sum node write MB/s", "node.write_mbps", store::Agg::kSum);
+  panel("sum node read MB/s", "node.read_mbps", store::Agg::kSum);
+  panel("mean node cpu util", "node.cpu_util", store::Agg::kMean);
+  panel("sum node power W", "power.node_w", store::Agg::kSum);
+  panel("mean injection util", "hsn.node.injection_util", store::Agg::kMean);
+
+  std::printf("%s\n", dash.render().c_str());
+
+  // The "download" paths: SVG image + raw CSV.
+  const auto svg = dash.render_panel_svg(0);
+  const auto csv = dash.panel_csv(0);
+  std::printf("CSV download preview (first 5 lines):\n");
+  int lines = 0;
+  for (const auto line : core::split(csv, '\n')) {
+    if (lines++ == 5) break;
+    std::printf("  %.*s\n", static_cast<int>(line.size()), line.data());
+  }
+  std::printf("\n");
+
+  // Shape checks.
+  const auto writes = viz::aggregate_across(mc.tsdb, reg, "node.write_mbps",
+                                            job_nodes, window, store::Agg::kSum);
+  const auto cpu = viz::aggregate_across(mc.tsdb, reg, "node.cpu_util",
+                                         job_nodes, window, store::Agg::kMean);
+  shape_check(dash.panel_count() == 5,
+              "five per-job panels rendered (multi-metric view)");
+  double wmax = 0.0;
+  double wmin = 1e18;
+  for (const auto& p : writes) {
+    wmax = std::max(wmax, p.value);
+    wmin = std::min(wmin, p.value);
+  }
+  shape_check(!writes.empty() && wmax > 10.0 * std::max(1.0, wmin),
+              "write panel shows the checkpoint bursts (bursty, not flat)");
+  bool cpu_sane = !cpu.empty();
+  for (const auto& p : cpu) {
+    if (p.value < 0.0 || p.value > 1.0) cpu_sane = false;
+  }
+  shape_check(cpu_sane, "mean cpu utilization stays within [0,1]");
+  shape_check(svg.find("<svg") != std::string::npos &&
+                  svg.find("<polyline") != std::string::npos,
+              "plot image (SVG) downloadable");
+  shape_check(csv.find("time_s,") == 0 && csv.find('\n') != std::string::npos,
+              "raw data (CSV) downloadable with shared time column");
+  return finish();
+}

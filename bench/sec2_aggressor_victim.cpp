@@ -1,0 +1,106 @@
+// Sec. II.10 (HLRS): aggressor/victim classification from runtime
+// variability.
+//
+// "Applications having high runtime variability are classified as 'victim'
+// applications and those running concurrently that don't hit the 'victim'
+// variability threshold are considered as possible 'aggressor' applications
+// where the resource being contended for is assumed to be the HSN."
+//
+// We run repeated fixed-size instances of a communication-bound app
+// (potential victim), a compute-bound app (bystander), and schedule an HSN
+// traffic blaster during half the victim runs. The analyzer must flag the
+// victim by CV, not flag the others, and rank the blaster as top suspect.
+#include "bench_common.hpp"
+
+#include "analysis/variability.hpp"
+
+namespace hpcmon::bench {
+namespace {
+
+sim::ClusterParams machine() {
+  sim::ClusterParams p;
+  p.shape.cabinets = 2;
+  p.shape.chassis_per_cabinet = 2;
+  p.shape.blades_per_chassis = 6;
+  p.shape.nodes_per_blade = 4;  // 96 nodes
+  p.fabric_kind = sim::FabricKind::kTorus3D;
+  // Fragmented placement (the pre-TAS Blue Waters / Hazel Hen reality):
+  // jobs interleave across the torus, so their traffic shares links.
+  p.placement = sim::PlacementPolicy::kRandom;
+  p.tick = 5 * core::kSecond;
+  p.seed = 1;
+  return p;
+}
+
+}  // namespace
+}  // namespace hpcmon::bench
+
+int main() {
+  using namespace hpcmon;
+  using namespace hpcmon::bench;
+
+  header("Sec II.10: aggressor/victim classification by runtime variability",
+         "Ahlgren et al. 2018, Sec. II.10 (HLRS Hazel Hen)");
+
+  MonitoredCluster mc(machine());
+  // 12 victim runs, every 12 minutes. The aggressor runs during the odd
+  // victim runs; a compute-bound bystander runs throughout.
+  sim::JobRequest victim;
+  victim.num_nodes = 16;
+  victim.nominal_runtime = 5 * core::kMinute;
+  victim.profile = sim::app_network_heavy();
+
+  sim::JobRequest aggressor;
+  aggressor.num_nodes = 64;
+  aggressor.nominal_runtime = 8 * core::kMinute;
+  aggressor.profile = sim::app_aggressor();
+
+  sim::JobRequest bystander;
+  bystander.num_nodes = 8;
+  bystander.nominal_runtime = 5 * core::kMinute;
+  bystander.profile = sim::app_compute_bound();
+
+  for (int i = 0; i < 12; ++i) {
+    const auto t = (5 + 12 * i) * core::kMinute;
+    mc.cluster.submit_at(t, victim);
+    mc.cluster.submit_at(t + 6 * core::kMinute, bystander);
+    if (i % 2 == 1) mc.cluster.submit_at(t - core::kMinute, aggressor);
+  }
+  mc.cluster.run_for(160 * core::kMinute);
+
+  analysis::VariabilityParams params;
+  params.victim_cv_threshold = 0.08;
+  analysis::VariabilityAnalyzer analyzer(params);
+  const auto classes = analyzer.classify(mc.jobs);
+  std::printf("app              runs  mean_runtime  cv      victim?\n");
+  for (const auto& c : classes) {
+    std::printf("%-16s %-5zu %8.0f s    %.4f  %s\n", c.app_name.c_str(),
+                c.runs, c.mean_runtime_s, c.cv, c.is_victim ? "YES" : "no");
+  }
+  const auto suspects = analyzer.suspects(mc.jobs);
+  std::printf("\naggressor suspects (by overlap with victim slow-runs):\n");
+  for (const auto& s : suspects) {
+    std::printf("  %-16s overlaps=%zu (%.0f%% of its runs)\n",
+                s.app_name.c_str(), s.overlaps, s.overlap_fraction * 100.0);
+  }
+  std::printf("\n");
+
+  bool victim_flagged = false;
+  bool bystander_flagged = false;
+  bool aggressor_flagged_victim = false;
+  for (const auto& c : classes) {
+    if (c.app_name == "network_heavy") victim_flagged = c.is_victim;
+    if (c.app_name == "compute_bound") bystander_flagged = c.is_victim;
+    if (c.app_name == "aggressor") aggressor_flagged_victim = c.is_victim;
+  }
+  shape_check(victim_flagged,
+              "communication-bound app classified as victim (high runtime CV)");
+  shape_check(!bystander_flagged,
+              "compute-bound app not classified as victim");
+  shape_check(!aggressor_flagged_victim,
+              "the traffic blaster itself is not a victim (insensitive to "
+              "its own congestion)");
+  shape_check(!suspects.empty() && suspects[0].app_name == "aggressor",
+              "the blaster ranks as the top aggressor suspect");
+  return finish();
+}

@@ -1,0 +1,154 @@
+// Sec. II.9 (SNL): congestion levels and regions from synchronized HSN
+// counter collection.
+//
+// "functional combinations of High Speed Network (HSN) performance counters,
+// collected periodically (1 - 60 second intervals) and synchronously across
+// a whole system, to determine congestion levels, congestion regions, and
+// impact on application performance."
+//
+// We sample link stall counters before/during/after an aggressor traffic
+// storm, derive stall rates, and check the analyzer grades the level and
+// localizes the region on the routers the aggressor actually uses — on both
+// the dragonfly and torus fabrics ("work under way to apply their approach
+// more generally").
+#include "bench_common.hpp"
+
+#include "analysis/congestion.hpp"
+#include "analysis/streaming.hpp"
+
+namespace hpcmon::bench {
+namespace {
+
+sim::ClusterParams machine(sim::FabricKind kind) {
+  sim::ClusterParams p;
+  p.shape.cabinets = 2;
+  p.shape.chassis_per_cabinet = 2;
+  p.shape.blades_per_chassis = 6;
+  p.shape.nodes_per_blade = 4;  // 96 nodes
+  p.fabric_kind = kind;
+  p.tick = 5 * core::kSecond;
+  p.seed = 5;
+  return p;
+}
+
+struct PhaseReport {
+  analysis::CongestionReport before;
+  analysis::CongestionReport during;
+  analysis::CongestionReport after;
+  std::vector<int> truth_links;  // links on the aggressor's routes
+};
+
+PhaseReport run(sim::FabricKind kind) {
+  sim::Cluster cluster(machine(kind));
+  // Light background so "before" isn't perfectly silent.
+  sim::WorkloadParams w;
+  w.mean_interarrival = 2 * core::kMinute;
+  w.max_nodes = 8;
+  w.mix = {sim::app_compute_bound()};
+  cluster.start_workload(w);
+
+  // Stall-rate derivation from counters, exactly as a collector would.
+  const int n_links = cluster.topology().num_links();
+  std::vector<analysis::RateConverter> rate(n_links);
+  auto snapshot = [&]() {
+    std::vector<double> stalls(n_links, 0.0);
+    for (int l = 0; l < n_links; ++l) {
+      if (auto r = rate[l].update(cluster.now(),
+                                  cluster.fabric().link_state(l).stalls)) {
+        stalls[l] = *r / 1e6;  // stall-rate units (see Fabric::tick)
+      }
+    }
+    return stalls;
+  };
+
+  cluster.run_for(10 * core::kMinute);
+  snapshot();  // prime the rate converters
+  cluster.run_for(core::kMinute);
+  PhaseReport report;
+  report.before = analysis::analyze_congestion(cluster.topology(), snapshot());
+
+  // Aggressor: a 24-node all-to-all-ish blaster confined to low node ids.
+  std::vector<sim::Flow> storm;
+  for (int i = 0; i < 24; ++i) {
+    storm.push_back({i, (i + 8) % 24, 5.0});
+    storm.push_back({i, (i + 16) % 24, 5.0});
+  }
+  cluster.fabric().set_job_flows(core::JobId{77777}, storm);
+  // Ground truth: every link on any storm route.
+  for (const auto& f : storm) {
+    for (const int li : cluster.fabric().route(f.src_node, f.dst_node)) {
+      report.truth_links.push_back(li);
+    }
+  }
+  std::sort(report.truth_links.begin(), report.truth_links.end());
+  report.truth_links.erase(
+      std::unique(report.truth_links.begin(), report.truth_links.end()),
+      report.truth_links.end());
+
+  cluster.run_for(core::kMinute);
+  snapshot();
+  cluster.run_for(core::kMinute);
+  report.during = analysis::analyze_congestion(cluster.topology(), snapshot());
+
+  cluster.fabric().clear_job_flows(core::JobId{77777});
+  cluster.run_for(core::kMinute);
+  snapshot();
+  cluster.run_for(core::kMinute);
+  report.after = analysis::analyze_congestion(cluster.topology(), snapshot());
+  return report;
+}
+
+void evaluate(const char* fabric_name, const PhaseReport& r) {
+  std::printf("[%s]\n", fabric_name);
+  std::printf("  phase   level    congested_frac  regions  max_stall\n");
+  auto row = [](const char* phase, const analysis::CongestionReport& rep) {
+    std::printf("  %-7s %-8s %.3f           %-7zu  %.2f\n", phase,
+                std::string(analysis::to_string(rep.level)).c_str(),
+                rep.congested_link_fraction, rep.regions.size(), rep.max_stall);
+  };
+  row("before", r.before);
+  row("during", r.during);
+  row("after", r.after);
+
+  // Region localization: congested links found inside the ground truth set.
+  std::size_t hits = 0;
+  std::size_t detected = 0;
+  for (const auto& region : r.during.regions) {
+    for (const int li : region.links) {
+      ++detected;
+      if (std::binary_search(r.truth_links.begin(), r.truth_links.end(), li)) {
+        ++hits;
+      }
+    }
+  }
+  const double precision =
+      detected == 0 ? 0.0 : static_cast<double>(hits) / detected;
+  std::printf("  region precision vs aggressor routes: %.2f (%zu/%zu links)\n\n",
+              precision, hits, detected);
+
+  shape_check(r.before.level == analysis::CongestionLevel::kNone ||
+                  r.before.level == analysis::CongestionLevel::kLow,
+              std::string(fabric_name) + ": quiet fabric grades none/low");
+  shape_check(r.during.level >= analysis::CongestionLevel::kMedium,
+              std::string(fabric_name) +
+                  ": storm raises machine congestion level to medium+");
+  shape_check(!r.during.regions.empty() && precision >= 0.9,
+              std::string(fabric_name) +
+                  ": detected region localizes to the aggressor's routes");
+  shape_check(r.after.level <= analysis::CongestionLevel::kLow,
+              std::string(fabric_name) + ": level recovers after the storm");
+}
+
+}  // namespace
+}  // namespace hpcmon::bench
+
+int main() {
+  using namespace hpcmon;
+  using namespace hpcmon::bench;
+
+  header("Sec II.9: HSN congestion levels and regions from link counters",
+         "Ahlgren et al. 2018, Sec. II.9 (SNL, [5][12])");
+  evaluate("dragonfly", run(sim::FabricKind::kDragonfly));
+  evaluate("torus3d", run(sim::FabricKind::kTorus3D));
+  return finish();
+}

@@ -1,0 +1,116 @@
+// filesystem_probes: NCSA-style targeted filesystem monitoring (Sec. II.2).
+//
+// "NCSA staff have additionally developed a set of probes that execute on
+// one minute intervals and measure file I/O and metadata action response
+// latencies. These target each independent filesystem component and run from
+// a distributed set of clients."
+//
+// This example runs per-target probes from distributed client nodes on two
+// filesystems, degrades one OST mid-run, and shows how per-target probing
+// isolates the sick component while the aggregate view shows user impact.
+#include <cstdio>
+
+#include "analysis/changepoint.hpp"
+#include "collect/collection.hpp"
+#include "collect/probes.hpp"
+#include "sim/cluster.hpp"
+#include "store/tsdb.hpp"
+#include "viz/chart.hpp"
+#include "core/strings.hpp"
+#include "viz/export.hpp"
+
+using namespace hpcmon;
+
+int main() {
+  sim::ClusterParams params;
+  params.shape.cabinets = 2;
+  params.shape.chassis_per_cabinet = 2;
+  params.shape.blades_per_chassis = 4;
+  params.shape.nodes_per_blade = 4;
+  params.shape.filesystems = 2;   // home + scratch
+  params.shape.osts_per_filesystem = 6;
+  params.tick = 10 * core::kSecond;
+  params.seed = 17;
+  sim::Cluster cluster(params);
+
+  store::TimeSeriesStore tsdb;
+  collect::CollectionService collection(cluster);
+  // Probes launch from a distributed set of clients, once per minute.
+  collect::ProbeConfig pc;
+  pc.probe_nodes = {0, 17, 34, 51};
+  collection.add_sampler(
+      std::make_unique<collect::ProbeSuite>(cluster, pc, core::Rng(2)),
+      core::kMinute, collect::store_sink(tsdb));
+
+  // Production I/O load plus the incident: OST 3 of scratch (fs1) degrades.
+  sim::WorkloadParams w;
+  w.mean_interarrival = core::kMinute;
+  w.max_nodes = 16;
+  w.mix = {sim::app_io_checkpoint(), sim::app_metadata_heavy(),
+           sim::app_compute_bound()};
+  cluster.start_workload(w);
+  cluster.inject_ost_slowdown(2 * core::kHour, /*fs=*/1, /*ost=*/3,
+                              /*factor=*/8.0, 90 * core::kMinute);
+  std::printf("probing 2 filesystems x (6 OSTs + MDS) every minute for 5h;\n");
+  std::printf("scratch OST3 degrades 8x at t=2h for 90 minutes...\n\n");
+  cluster.run_for(5 * core::kHour);
+
+  auto& reg = cluster.registry();
+  const core::TimeRange all{0, cluster.now()};
+
+  // Per-target view: every OST of the scratch filesystem.
+  std::vector<viz::ChartSeries> per_target;
+  for (int o = 0; o < cluster.topology().osts_per_fs(); ++o) {
+    viz::ChartSeries s;
+    s.label = reg.component(cluster.topology().ost(1, o)).name;
+    s.points = tsdb.query_range(
+        reg.series("probe.fs_read_ms", cluster.topology().ost(1, o)), all);
+    per_target.push_back(std::move(s));
+  }
+  viz::ChartOptions opt;
+  opt.title = "scratch per-OST read-probe latency (ms)";
+  opt.height = 12;
+  std::printf("%s\n", viz::render_ascii(per_target, opt).c_str());
+
+  // Which target is sick? Onset detection per target.
+  std::printf("onset detection per scratch target:\n");
+  int sick_targets = 0;
+  for (int o = 0; o < cluster.topology().osts_per_fs(); ++o) {
+    const auto series = tsdb.query_range(
+        reg.series("probe.fs_read_ms", cluster.topology().ost(1, o)), all);
+    const auto onsets = analysis::detect_onsets(series);
+    if (!onsets.empty()) {
+      ++sick_targets;
+      std::printf("  %s: %zu onset(s), first at %s (%.1f -> %.1f ms)\n",
+                  reg.component(cluster.topology().ost(1, o)).name.c_str(),
+                  onsets.size(), core::format_time(onsets[0].time).c_str(),
+                  onsets[0].before_mean, onsets[0].after_mean);
+    }
+  }
+  std::printf("  (%d of %d targets show onsets — the probe isolated the "
+              "component)\n\n",
+              sick_targets, cluster.topology().osts_per_fs());
+
+  // MDS view across both filesystems: metadata health.
+  std::vector<viz::ChartSeries> mds;
+  for (int f = 0; f < cluster.topology().num_filesystems(); ++f) {
+    viz::ChartSeries s;
+    s.label = reg.component(cluster.topology().mds(f)).name;
+    s.points = tsdb.query_range(
+        reg.series("probe.fs_md_ms", cluster.topology().mds(f)), all);
+    mds.push_back(std::move(s));
+  }
+  opt.title = "metadata-probe latency per filesystem (ms)";
+  opt.height = 8;
+  std::printf("%s\n", viz::render_ascii(mds, opt).c_str());
+
+  // Raw data download for the sick target (user-facing, Fig 5 style).
+  const auto csv = viz::export_csv({per_target[3]});
+  std::printf("raw probe data for the degraded target (CSV, first lines):\n");
+  int n = 0;
+  for (const auto line : core::split(csv, '\n')) {
+    if (n++ == 6) break;
+    std::printf("  %.*s\n", static_cast<int>(line.size()), line.data());
+  }
+  return 0;
+}

@@ -1,0 +1,132 @@
+// power_center: KAUST-style power monitoring (Sec. II.7, Fig 3) plus the
+// paper's envisioned power-budget response (Sec. III-C).
+//
+// Builds a power-profile library from known-good runs, scores live runs
+// against it (flagging the one with a load-imbalance bug), and runs a
+// budget watcher that recommends exportable headroom "between platforms and
+// even between other site resources".
+#include <cstdio>
+
+#include "analysis/power_profile.hpp"
+#include "collect/collection.hpp"
+#include "collect/samplers.hpp"
+#include "response/power_budget.hpp"
+#include "sim/cluster.hpp"
+#include "store/jobstore.hpp"
+#include "store/tsdb.hpp"
+#include "viz/query.hpp"
+
+using namespace hpcmon;
+
+namespace {
+
+sim::ClusterParams machine() {
+  sim::ClusterParams p;
+  p.shape.cabinets = 4;
+  p.shape.chassis_per_cabinet = 2;
+  p.shape.blades_per_chassis = 6;
+  p.shape.nodes_per_blade = 4;  // 192 nodes
+  p.fabric_kind = sim::FabricKind::kDragonfly;
+  p.tick = 5 * core::kSecond;
+  p.seed = 55;
+  return p;
+}
+
+// Run one full-machine job of `profile` and return its power trace.
+std::vector<core::TimedValue> profile_run(const sim::AppProfile& profile,
+                                          std::uint64_t seed) {
+  auto params = machine();
+  params.seed = seed;
+  sim::Cluster cluster(params);
+  store::TimeSeriesStore tsdb;
+  store::JobStore jobs;
+  cluster.scheduler().set_on_end([&jobs](const sim::JobRecord& rec) {
+    store::JobMeta m;
+    m.id = rec.id;
+    m.app_name = rec.request.profile.name;
+    m.start_time = rec.start_time;
+    m.end_time = rec.end_time;
+    jobs.record_end(m);
+  });
+  collect::CollectionService collection(cluster);
+  collection.add_sampler(std::make_unique<collect::PowerSampler>(cluster),
+                         30 * core::kSecond, collect::store_sink(tsdb));
+  sim::JobRequest req;
+  req.num_nodes = cluster.topology().num_nodes();
+  req.nominal_runtime = 30 * core::kMinute;
+  req.profile = profile;
+  cluster.submit_at(core::kMinute, req);
+  cluster.run_for(50 * core::kMinute);
+
+  // Extract the job-window power trace.
+  const auto run = jobs.jobs_overlapping({0, cluster.now()});
+  if (run.empty()) return {};
+  return tsdb.query_range(
+      cluster.registry().series("power.system_w", cluster.topology().system()),
+      {run[0].start_time, run[0].end_time});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("power center: profiling known-good applications...\n");
+  // Reference library from clean runs (KAUST: "comparison against power
+  // profiles of known good application runs").
+  analysis::PowerProfileLibrary library;
+  const auto good_compute = profile_run(sim::app_compute_bound(), 100);
+  const auto good_ckpt = profile_run(sim::app_io_checkpoint(), 101);
+  library.set_reference(
+      analysis::PowerProfile::from_trace("compute_bound", good_compute));
+  library.set_reference(
+      analysis::PowerProfile::from_trace("io_checkpoint", good_ckpt));
+  std::printf("library holds %zu reference profiles\n\n", library.size());
+
+  // Live runs: a healthy repeat, and a run that developed the imbalance bug.
+  const auto live_good = profile_run(sim::app_compute_bound(), 200);
+  auto buggy_profile = sim::app_imbalanced();
+  buggy_profile.name = "compute_bound";  // same app, buggy input deck
+  const auto live_bad = profile_run(buggy_profile, 201);
+
+  const auto score_good = library.score_run("compute_bound", live_good);
+  const auto score_bad = library.score_run("compute_bound", live_bad);
+  std::printf("live run scores vs reference (0 = identical shape):\n");
+  std::printf("  healthy rerun:     %.3f %s\n", score_good.value_or(-1),
+              score_good.value_or(1) < 0.15 ? "(normal)" : "(INVESTIGATE)");
+  std::printf("  imbalanced run:    %.3f %s\n\n", score_bad.value_or(-1),
+              score_bad.value_or(0) < 0.15 ? "(normal)" : "(INVESTIGATE)");
+
+  // Budget watcher over a mixed production stretch.
+  auto params = machine();
+  sim::Cluster cluster(params);
+  store::TimeSeriesStore tsdb;
+  collect::CollectionService collection(cluster);
+  collection.add_sampler(std::make_unique<collect::PowerSampler>(cluster),
+                         30 * core::kSecond, collect::store_sink(tsdb));
+  sim::WorkloadParams w;
+  w.mean_interarrival = 20 * core::kSecond;
+  w.max_nodes = 48;
+  cluster.start_workload(w);
+  cluster.run_for(2 * core::kHour);
+
+  response::AlertManager alerts;
+  response::PowerBudgetParams bp;
+  bp.budget_w = 70000.0;
+  response::PowerBudgetWatcher watcher(bp, alerts);
+  const auto draws = tsdb.query_range(
+      cluster.registry().series("power.system_w", cluster.topology().system()),
+      {0, cluster.now()});
+  double min_export = 1e18;
+  double max_export = 0;
+  for (const auto& p : draws) {
+    const auto rec = watcher.update(p.time, p.value);
+    min_export = std::min(min_export, rec.exportable_w);
+    max_export = std::max(max_export, rec.exportable_w);
+  }
+  std::printf("budget watch over 2h (budget %.0f kW):\n", bp.budget_w / 1000);
+  std::printf("  exportable headroom ranged %.1f .. %.1f kW\n",
+              min_export / 1000, max_export / 1000);
+  std::printf("  over-budget samples: %llu, alerts active: %zu\n",
+              static_cast<unsigned long long>(watcher.over_budget_samples()),
+              alerts.active().size());
+  return 0;
+}

@@ -1,0 +1,162 @@
+// site_operations: a shift in the life of an operations team.
+//
+// The full Table I loop on one machine: synchronized collection, rule-driven
+// alerting with dedup/escalation, automated response (quarantine + repair),
+// health gating, queue backlog watching, and an end-of-shift report with
+// dashboards. Faults arrive the way they do in production — overlapping and
+// unannounced.
+#include <cstdio>
+
+#include "analysis/backlog.hpp"
+#include "analysis/rules.hpp"
+#include "collect/collection.hpp"
+#include "collect/health.hpp"
+#include "collect/samplers.hpp"
+#include "response/actions.hpp"
+#include "response/alerts.hpp"
+#include "response/gate.hpp"
+#include "sim/cluster.hpp"
+#include "store/logstore.hpp"
+#include "store/tsdb.hpp"
+#include "transport/codec.hpp"
+#include "transport/event_router.hpp"
+#include "viz/chart.hpp"
+#include "viz/query.hpp"
+
+using namespace hpcmon;
+
+int main() {
+  // A GPU-partition machine (CSCS-style).
+  sim::ClusterParams params;
+  params.shape.cabinets = 2;
+  params.shape.chassis_per_cabinet = 3;
+  params.shape.blades_per_chassis = 4;
+  params.shape.nodes_per_blade = 4;  // 96 nodes
+  params.shape.gpu_node_fraction = 0.5;
+  params.fabric_kind = sim::FabricKind::kDragonfly;
+  params.tick = 5 * core::kSecond;
+  params.seed = 31;
+  sim::Cluster cluster(params);
+
+  // Monitoring plumbing.
+  transport::EventRouter router;
+  store::TimeSeriesStore tsdb;
+  store::LogStore logs;
+  analysis::RuleEngine rules;
+  for (auto& r : analysis::standard_platform_rules()) rules.add_rule(std::move(r));
+
+  response::AlertManager alerts;
+  response::ActionDispatcher actions;
+  std::vector<response::Alert> pages;  // what would hit the on-call phone
+  alerts.add_sink([&](const response::Alert& a) {
+    actions.dispatch(a);
+    if (a.severity >= response::AlertSeverity::kCritical) pages.push_back(a);
+  });
+  actions.bind("hw_critical", response::AlertSeverity::kWarning, "quarantine",
+               response::make_quarantine_action(cluster, 30 * core::kMinute));
+
+  router.subscribe(transport::FrameType::kSamples,
+                   [&](const transport::Frame& f) {
+                     if (auto b = transport::decode_samples(f)) {
+                       tsdb.append_batch(b.value().samples);
+                     }
+                   });
+  router.subscribe(transport::FrameType::kLogs, [&](const transport::Frame& f) {
+    if (auto evs = transport::decode_logs(f)) {
+      for (const auto& e : evs.value()) {
+        for (const auto& m : rules.process(e)) {
+          alerts.raise({m.time,
+                        m.rule_name == "hw_critical"
+                            ? response::AlertSeverity::kCritical
+                            : response::AlertSeverity::kWarning,
+                        m.rule_name, m.component, m.detail});
+        }
+      }
+      logs.append_batch(std::move(evs).take());
+    }
+  });
+
+  collect::CollectionService collection(cluster);
+  for (auto& s : collect::make_all_samplers(cluster)) {
+    collection.add_sampler(std::move(s), core::kMinute,
+                           collect::router_sample_sink(router));
+  }
+  collection.add_log_collector(15 * core::kSecond,
+                               collect::router_log_sink(router));
+  // LANL-style health battery every 10 minutes.
+  collect::HealthConfig hc;
+  collection.add_sampler(
+      std::make_unique<collect::HealthCheckSuite>(cluster, hc),
+      10 * core::kMinute, collect::store_sink(tsdb));
+  // CSCS-style pre/post job gating.
+  response::HealthGate gate(cluster, 30 * core::kMinute);
+  gate.attach(true, true);
+
+  // The shift: 8 hours of production with overlapping incidents.
+  sim::WorkloadParams w;
+  w.mean_interarrival = 30 * core::kSecond;
+  w.max_nodes = 24;
+  w.gpu_job_fraction = 0.3;
+  cluster.start_workload(w);
+  cluster.inject_gpu_failure(core::kHour, 5);
+  cluster.inject_mem_leak(2 * core::kHour, 40, 40.0, 3 * core::kHour);
+  cluster.inject_link_down(3 * core::kHour, 2, 20 * core::kMinute);
+  cluster.inject_mds_slowdown(5 * core::kHour, 0, 4.0, core::kHour);
+  cluster.inject_log_storm(6 * core::kHour, 5 * core::kMinute, 30,
+                           "mce: correctable memory error");
+  std::printf("running an 8-hour shift with 5 scheduled incidents...\n\n");
+  cluster.run_for(8 * core::kHour);
+
+  // ---- End-of-shift report ----------------------------------------------
+  auto& reg = cluster.registry();
+  const core::TimeRange shift{0, cluster.now()};
+
+  std::printf("==== shift report ====\n\n");
+  std::printf("jobs completed: %zu, queue depth now: %d\n",
+              cluster.scheduler().completed_jobs().size(),
+              cluster.scheduler().queue_depth());
+  const auto hist = logs.severity_histogram();
+  std::printf("log events: %zu total (crit %zu, err %zu, warn %zu)\n\n",
+              logs.size(), hist[2], hist[3], hist[4]);
+
+  std::printf("pages sent to on-call: %zu\n", pages.size());
+  for (const auto& a : pages) {
+    std::printf("  [%s] %s: %s\n", core::format_time(a.time).c_str(),
+                a.key.c_str(), a.message.c_str());
+  }
+  std::printf("\nautomated actions taken: %zu\n", actions.log().size());
+  for (const auto& rec : actions.log()) {
+    std::printf("  [%s] %s on %s\n", core::format_time(rec.time).c_str(),
+                rec.action.c_str(),
+                rec.component == core::kNoComponent
+                    ? "-"
+                    : reg.component(rec.component).name.c_str());
+  }
+  std::printf("\nhealth gate: %llu pre-checks, %llu quarantines, %llu repairs\n",
+              static_cast<unsigned long long>(gate.stats().pre_checks),
+              static_cast<unsigned long long>(gate.stats().pre_failures),
+              static_cast<unsigned long long>(gate.stats().repairs));
+
+  // Queue backlog review (NERSC-style).
+  const auto depth = tsdb.query_range(
+      reg.series("sched.queue_depth", cluster.topology().system()), shift);
+  const auto backlog_events = analysis::detect_backlog_events(depth);
+  std::printf("\nqueue backlog events: %zu\n", backlog_events.size());
+  for (const auto& e : backlog_events) {
+    std::printf("  [%s] %s at rate %+.1f jobs/min (depth %.0f)\n",
+                core::format_time(e.time).c_str(),
+                std::string(analysis::to_string(e.signal)).c_str(),
+                e.rate_jobs_per_min, e.depth);
+  }
+
+  // Dashboard panel: failing-node count over the shift.
+  viz::ChartSeries failing;
+  failing.label = "nodes failing health checks";
+  failing.points = tsdb.query_range(
+      reg.series("health.failing_nodes", cluster.topology().system()), shift);
+  viz::ChartOptions opt;
+  opt.title = "health over the shift";
+  opt.height = 8;
+  std::printf("\n%s\n", viz::render_ascii({failing}, opt).c_str());
+  return 0;
+}

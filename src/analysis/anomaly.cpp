@@ -1,0 +1,66 @@
+#include "analysis/anomaly.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace hpcmon::analysis {
+
+std::optional<AnomalyEvent> ZScoreDetector::update(core::TimePoint t,
+                                                   double x) {
+  std::optional<AnomalyEvent> out;
+  if (values_.size() >= window_ / 2) {  // need some history before judging
+    OnlineStats stats;
+    for (const double v : values_) stats.add(v);
+    const double sd = stats.stddev();
+    if (sd > 1e-12) {
+      const double z = std::abs(x - stats.mean()) / sd;
+      if (z >= threshold_) out = AnomalyEvent{t, x, z, "zscore"};
+    }
+  }
+  values_.push_back(x);
+  if (values_.size() > window_) values_.pop_front();
+  return out;
+}
+
+std::optional<AnomalyEvent> MadDetector::update(core::TimePoint t, double x) {
+  std::optional<AnomalyEvent> out;
+  if (values_.size() >= window_ / 2) {
+    std::vector<double> v(values_.begin(), values_.end());
+    const auto mid = v.size() / 2;
+    std::nth_element(v.begin(), v.begin() + mid, v.end());
+    const double median = v[mid];
+    for (auto& d : v) d = std::abs(d - median);
+    std::nth_element(v.begin(), v.begin() + mid, v.end());
+    const double mad = v[mid] * 1.4826;  // consistency factor for normal data
+    if (mad > 1e-12) {
+      const double score = std::abs(x - median) / mad;
+      if (score >= threshold_) out = AnomalyEvent{t, x, score, "mad"};
+    }
+  }
+  values_.push_back(x);
+  if (values_.size() > window_) values_.pop_front();
+  return out;
+}
+
+std::optional<AnomalyEvent> ThresholdDetector::update(core::TimePoint t,
+                                                      double x) {
+  if (!in_alarm_ && x > upper_) {
+    in_alarm_ = true;
+    return AnomalyEvent{t, x, x - upper_, "threshold"};
+  }
+  if (in_alarm_ && x < upper_ - hysteresis_) in_alarm_ = false;
+  return std::nullopt;
+}
+
+std::optional<AnomalyEvent> CusumDetector::update(core::TimePoint t, double x) {
+  sum_ = std::max(0.0, sum_ + (x - target_ - slack_));
+  if (sum_ >= decision_) {
+    const AnomalyEvent ev{t, x, sum_, "cusum"};
+    sum_ = 0.0;  // re-arm
+    return ev;
+  }
+  return std::nullopt;
+}
+
+}  // namespace hpcmon::analysis

@@ -1,0 +1,84 @@
+// Anomaly detectors over timeseries.
+//
+// "Sites have long been interested in early detection ... of component
+// degradation and failure based on trend and outlier analysis" (Sec. III-B).
+// Four detector families are provided; all consume one (time, value) stream
+// and emit AnomalyEvents. They are deliberately small-state so one instance
+// per series is affordable at machine scale.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "analysis/streaming.hpp"
+#include "core/time.hpp"
+
+namespace hpcmon::analysis {
+
+struct AnomalyEvent {
+  core::TimePoint time = 0;
+  double value = 0.0;
+  double score = 0.0;      // detector-specific magnitude (e.g. z-score)
+  std::string detector;    // "zscore", "mad", "threshold", "cusum"
+};
+
+/// Rolling-window z-score: |x - mean| / stddev over the trailing window.
+class ZScoreDetector {
+ public:
+  ZScoreDetector(std::size_t window, double threshold)
+      : window_(window), threshold_(threshold) {}
+  std::optional<AnomalyEvent> update(core::TimePoint t, double x);
+
+ private:
+  std::size_t window_;
+  double threshold_;
+  std::deque<double> values_;
+};
+
+/// Median absolute deviation detector: robust to the outliers it hunts.
+class MadDetector {
+ public:
+  MadDetector(std::size_t window, double threshold)
+      : window_(window), threshold_(threshold) {}
+  std::optional<AnomalyEvent> update(core::TimePoint t, double x);
+
+ private:
+  std::size_t window_;
+  double threshold_;
+  std::deque<double> values_;
+};
+
+/// Static bounds with hysteresis: fires once on entering the bad region,
+/// re-arms after returning below (threshold - hysteresis).
+class ThresholdDetector {
+ public:
+  ThresholdDetector(double upper, double hysteresis = 0.0)
+      : upper_(upper), hysteresis_(hysteresis) {}
+  std::optional<AnomalyEvent> update(core::TimePoint t, double x);
+  bool in_alarm() const { return in_alarm_; }
+
+ private:
+  double upper_;
+  double hysteresis_;
+  bool in_alarm_ = false;
+};
+
+/// One-sided CUSUM change detector: accumulates (x - target - slack) and
+/// fires when the sum exceeds `decision`; good at slow drifts z-scores miss.
+class CusumDetector {
+ public:
+  CusumDetector(double target, double slack, double decision)
+      : target_(target), slack_(slack), decision_(decision) {}
+  std::optional<AnomalyEvent> update(core::TimePoint t, double x);
+  void reset() { sum_ = 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  double target_;
+  double slack_;
+  double decision_;
+  double sum_ = 0.0;
+};
+
+}  // namespace hpcmon::analysis

@@ -1,0 +1,52 @@
+#include "analysis/backlog.hpp"
+
+#include <cmath>
+
+namespace hpcmon::analysis {
+
+std::string_view to_string(BacklogSignal signal) {
+  switch (signal) {
+    case BacklogSignal::kNormal: return "normal";
+    case BacklogSignal::kRapidDrain: return "rapid_drain";
+    case BacklogSignal::kRapidFill: return "rapid_fill";
+  }
+  return "?";
+}
+
+std::vector<BacklogEvent> detect_backlog_events(
+    const std::vector<core::TimedValue>& depth_series,
+    const BacklogParams& params) {
+  std::vector<BacklogEvent> out;
+  const std::size_t w = params.window;
+  if (depth_series.size() < w + 1) return out;
+  BacklogSignal current = BacklogSignal::kNormal;
+  for (std::size_t i = w; i < depth_series.size(); ++i) {
+    const auto& newer = depth_series[i];
+    const auto& older = depth_series[i - w];
+    const double minutes =
+        core::to_seconds(newer.time - older.time) / 60.0;
+    if (minutes <= 0.0) continue;
+    const double rate = (newer.value - older.value) / minutes;
+    BacklogSignal signal = BacklogSignal::kNormal;
+    if (rate >= params.rate_threshold) {
+      signal = BacklogSignal::kRapidFill;
+    } else if (rate <= -params.rate_threshold) {
+      signal = BacklogSignal::kRapidDrain;
+    }
+    if (signal != current) {
+      current = signal;
+      if (signal != BacklogSignal::kNormal) {
+        out.push_back({newer.time, signal, rate, newer.value});
+      }
+    }
+  }
+  return out;
+}
+
+double estimate_wait_seconds(double queue_depth, double mean_runtime_s,
+                             double running_jobs) {
+  if (running_jobs <= 0.0) return queue_depth > 0 ? 1e18 : 0.0;
+  return queue_depth * mean_runtime_s / running_jobs;
+}
+
+}  // namespace hpcmon::analysis

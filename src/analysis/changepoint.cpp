@@ -1,0 +1,54 @@
+#include "analysis/changepoint.hpp"
+
+#include <cmath>
+
+#include "analysis/streaming.hpp"
+
+namespace hpcmon::analysis {
+
+std::vector<Onset> detect_onsets(const std::vector<core::TimedValue>& series,
+                                 const OnsetParams& params) {
+  std::vector<Onset> out;
+  const std::size_t need = params.baseline + params.recent;
+  if (series.size() < need) return out;
+
+  std::size_t regime_start = 0;
+  std::size_t i = need;
+  while (i <= series.size()) {
+    // Baseline: [regime_start, i - recent); recent: [i - recent, i).
+    const std::size_t recent_begin = i - params.recent;
+    if (recent_begin < regime_start + params.baseline) {
+      ++i;
+      continue;
+    }
+    OnlineStats base;
+    for (std::size_t k = regime_start; k < recent_begin; ++k) {
+      base.add(series[k].value);
+    }
+    OnlineStats recent;
+    for (std::size_t k = recent_begin; k < i; ++k) {
+      recent.add(series[k].value);
+    }
+    const double sd = base.stddev();
+    const double shift = std::abs(recent.mean() - base.mean());
+    const double rel =
+        base.mean() == 0.0 ? 0.0 : shift / std::abs(base.mean());
+    // Guard against near-zero-variance baselines claiming huge sigma.
+    const double sigma = sd > 1e-9 ? shift / sd : (rel > 0 ? 1e9 : 0.0);
+    if (sigma >= params.threshold_sigma && rel >= params.min_rel_shift) {
+      out.push_back({series[recent_begin].time, base.mean(), recent.mean(),
+                     sigma});
+      // Restart the baseline strictly after the detection window: the recent
+      // window may straddle the true change point, and letting straddling
+      // samples into the next baseline inflates its variance enough to mask
+      // the next shift.
+      regime_start = i;
+      i = regime_start + need;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace hpcmon::analysis

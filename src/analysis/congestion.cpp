@@ -1,0 +1,98 @@
+#include "analysis/congestion.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace hpcmon::analysis {
+
+std::string_view to_string(CongestionLevel level) {
+  switch (level) {
+    case CongestionLevel::kNone: return "none";
+    case CongestionLevel::kLow: return "low";
+    case CongestionLevel::kMedium: return "medium";
+    case CongestionLevel::kHigh: return "high";
+  }
+  return "?";
+}
+
+CongestionReport analyze_congestion(const sim::Topology& topo,
+                                    const std::vector<double>& stall_rates,
+                                    const CongestionParams& params) {
+  CongestionReport report;
+  const int n_links = topo.num_links();
+  if (static_cast<int>(stall_rates.size()) != n_links || n_links == 0) {
+    return report;
+  }
+
+  std::vector<int> congested;
+  for (int l = 0; l < n_links; ++l) {
+    report.max_stall = std::max(report.max_stall, stall_rates[l]);
+    if (stall_rates[l] >= params.link_stall_threshold) congested.push_back(l);
+  }
+  report.congested_link_fraction =
+      static_cast<double>(congested.size()) / static_cast<double>(n_links);
+
+  if (report.congested_link_fraction >= params.high_fraction) {
+    report.level = CongestionLevel::kHigh;
+  } else if (report.congested_link_fraction >= params.medium_fraction) {
+    report.level = CongestionLevel::kMedium;
+  } else if (report.congested_link_fraction >= params.low_fraction ||
+             !congested.empty()) {
+    report.level = CongestionLevel::kLow;
+  }
+  // A localized but severe hotspot matters even on fabrics with very high
+  // link counts (dragonfly all-to-all groups dilute the fraction): grade it
+  // after regions are extracted below.
+
+  // Regions: connected components of congested links, where two links are
+  // connected when they share a router.
+  std::unordered_set<int> remaining(congested.begin(), congested.end());
+  while (!remaining.empty()) {
+    CongestionRegion region;
+    std::deque<int> frontier{*remaining.begin()};
+    remaining.erase(remaining.begin());
+    std::unordered_set<int> region_routers;
+    while (!frontier.empty()) {
+      const int l = frontier.front();
+      frontier.pop_front();
+      region.links.push_back(l);
+      region.peak_stall = std::max(region.peak_stall, stall_rates[l]);
+      region.mean_stall += stall_rates[l];
+      for (const int r : {topo.link(l).src_router, topo.link(l).dst_router}) {
+        if (!region_routers.insert(r).second) continue;
+        // Any congested link touching this router joins the region.
+        for (auto it = remaining.begin(); it != remaining.end();) {
+          const auto& li = topo.link(*it);
+          if (li.src_router == r || li.dst_router == r) {
+            frontier.push_back(*it);
+            it = remaining.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+    }
+    region.mean_stall /= static_cast<double>(region.links.size());
+    region.routers.assign(region_routers.begin(), region_routers.end());
+    std::sort(region.routers.begin(), region.routers.end());
+    std::sort(region.links.begin(), region.links.end());
+    report.regions.push_back(std::move(region));
+  }
+  std::sort(report.regions.begin(), report.regions.end(),
+            [](const CongestionRegion& a, const CongestionRegion& b) {
+              return a.links.size() > b.links.size();
+            });
+  for (const auto& region : report.regions) {
+    if (region.links.size() >= 8 && region.mean_stall >= 0.5 &&
+        report.level < CongestionLevel::kHigh) {
+      report.level = CongestionLevel::kHigh;
+    } else if (region.links.size() >= 3 && region.mean_stall >= 0.5 &&
+               report.level < CongestionLevel::kMedium) {
+      report.level = CongestionLevel::kMedium;
+    }
+  }
+  return report;
+}
+
+}  // namespace hpcmon::analysis

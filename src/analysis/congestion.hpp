@@ -1,0 +1,53 @@
+// HSN congestion analysis from link counters (SNL, Sec. II.9).
+//
+// SNL uses "functional combinations of High Speed Network performance
+// counters, collected periodically and synchronously across a whole system,
+// to determine congestion levels, congestion regions, and impact on
+// application performance". Given per-link stall rates (derived from stall
+// counters by RateConverter), CongestionAnalyzer grades machine congestion
+// and extracts *regions*: connected subgraphs of congested links over the
+// router graph — the spatial structure dashboards render.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/topology.hpp"
+
+namespace hpcmon::analysis {
+
+enum class CongestionLevel : std::uint8_t { kNone, kLow, kMedium, kHigh };
+
+std::string_view to_string(CongestionLevel level);
+
+struct CongestionRegion {
+  std::vector<int> links;    // link indices in the region
+  std::vector<int> routers;  // routers touched by those links
+  double peak_stall = 0.0;
+  double mean_stall = 0.0;
+};
+
+struct CongestionReport {
+  CongestionLevel level = CongestionLevel::kNone;
+  double congested_link_fraction = 0.0;
+  double max_stall = 0.0;
+  std::vector<CongestionRegion> regions;  // sorted by size, largest first
+};
+
+struct CongestionParams {
+  /// Stall rate above which a link counts as congested.
+  double link_stall_threshold = 0.05;
+  /// Machine-level grade boundaries on the congested-link fraction.
+  double low_fraction = 0.01;
+  double medium_fraction = 0.05;
+  double high_fraction = 0.15;
+};
+
+/// Analyze one synchronized snapshot of per-link stall rates.
+/// `stall_rates[i]` corresponds to topology link i.
+CongestionReport analyze_congestion(const sim::Topology& topo,
+                                    const std::vector<double>& stall_rates,
+                                    const CongestionParams& params = {});
+
+}  // namespace hpcmon::analysis

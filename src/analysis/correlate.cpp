@@ -1,0 +1,97 @@
+#include "analysis/correlate.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace hpcmon::analysis {
+
+MatchResult associate(const std::vector<Occurrence>& a,
+                      const std::vector<Occurrence>& b,
+                      core::Duration tolerance) {
+  MatchResult r;
+  std::vector<char> used(b.size(), 0);
+  std::size_t start = 0;  // advancing lower bound into b
+  for (const auto& ea : a) {
+    while (start < b.size() && b[start].time < ea.time - tolerance) ++start;
+    // Choose the nearest unused b within the window.
+    std::size_t best = b.size();
+    core::Duration best_d = tolerance + 1;
+    for (std::size_t j = start; j < b.size() && b[j].time <= ea.time + tolerance;
+         ++j) {
+      if (used[j]) continue;
+      const core::Duration d =
+          b[j].time > ea.time ? b[j].time - ea.time : ea.time - b[j].time;
+      if (d < best_d) {
+        best_d = d;
+        best = j;
+      }
+    }
+    if (best < b.size()) {
+      used[best] = 1;
+      ++r.matched;
+    } else {
+      ++r.unmatched_a;
+    }
+  }
+  for (const char u : used) {
+    if (!u) ++r.unmatched_b;
+  }
+  return r;
+}
+
+std::vector<ConcurrentCondition> find_concurrent(
+    std::vector<ConditionInterval> intervals, std::size_t min_components) {
+  std::vector<ConcurrentCondition> out;
+  if (intervals.empty()) return out;
+  // Sweep line over interval boundaries.
+  struct Edge {
+    core::TimePoint t;
+    bool open;
+    std::size_t idx;
+  };
+  std::vector<Edge> edges;
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    if (intervals[i].range.empty()) continue;
+    edges.push_back({intervals[i].range.begin, true, i});
+    edges.push_back({intervals[i].range.end, false, i});
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.open < b.open;  // close before open at the same instant
+  });
+  std::vector<std::size_t> active;
+  core::TimePoint segment_start = 0;
+  auto emit = [&](core::TimePoint end) {
+    // Count distinct components among active intervals.
+    std::map<core::ComponentId, std::size_t> distinct;
+    for (const auto idx : active) distinct[intervals[idx].component] = idx;
+    if (distinct.size() >= min_components && segment_start < end) {
+      ConcurrentCondition c;
+      c.overlap = {segment_start, end};
+      for (const auto& [comp, idx] : distinct) {
+        c.components.push_back(comp);
+        c.labels.push_back(intervals[idx].label);
+      }
+      // Merge with the previous group when contiguous and identical.
+      if (!out.empty() && out.back().overlap.end == segment_start &&
+          out.back().components == c.components) {
+        out.back().overlap.end = end;
+      } else {
+        out.push_back(std::move(c));
+      }
+    }
+  };
+  for (const auto& e : edges) {
+    emit(e.t);
+    if (e.open) {
+      active.push_back(e.idx);
+    } else {
+      active.erase(std::remove(active.begin(), active.end(), e.idx),
+                   active.end());
+    }
+    segment_start = e.t;
+  }
+  return out;
+}
+
+}  // namespace hpcmon::analysis

@@ -1,0 +1,67 @@
+// Cross-component event association with clock-skew tolerance.
+//
+// Sec. III-A: "Associating numerical or log events over components and time
+// is particularly tricky when a single global timestamp is unavailable as
+// local clock drift can result in erroneous associations." Correlator
+// matches events from two streams within a configurable tolerance window;
+// bench/ablation_clockdrift sweeps injected drift and shows exact-timestamp
+// matching collapsing while windowed matching holds.
+//
+// ConcurrentConditionFinder answers Table I's "concurrent conditions on
+// disparate components should be able to be identified": given per-component
+// anomaly intervals, report the component sets simultaneously unhealthy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/time.hpp"
+
+namespace hpcmon::analysis {
+
+/// A timestamped occurrence on a component (anomaly, log hit, ...).
+struct Occurrence {
+  core::TimePoint time = 0;
+  core::ComponentId component = core::kNoComponent;
+};
+
+struct MatchResult {
+  std::size_t matched = 0;     // pairs associated
+  std::size_t unmatched_a = 0;
+  std::size_t unmatched_b = 0;
+  /// Fraction of A-occurrences that found a partner.
+  double recall_a() const {
+    const auto total = matched + unmatched_a;
+    return total == 0 ? 0.0 : static_cast<double>(matched) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// Greedily associate occurrences of stream A with nearest-in-time
+/// occurrences of stream B within +/- tolerance. Both inputs must be
+/// time-sorted. Each B occurrence is consumed at most once.
+MatchResult associate(const std::vector<Occurrence>& a,
+                      const std::vector<Occurrence>& b,
+                      core::Duration tolerance);
+
+/// A component's unhealthy interval.
+struct ConditionInterval {
+  core::ComponentId component = core::kNoComponent;
+  core::TimeRange range;
+  std::string label;
+};
+
+/// A moment where >= min_components intervals overlap.
+struct ConcurrentCondition {
+  core::TimeRange overlap;
+  std::vector<core::ComponentId> components;
+  std::vector<std::string> labels;
+};
+
+/// Find all maximal overlap groups with at least `min_components` distinct
+/// components simultaneously in condition.
+std::vector<ConcurrentCondition> find_concurrent(
+    std::vector<ConditionInterval> intervals, std::size_t min_components = 2);
+
+}  // namespace hpcmon::analysis

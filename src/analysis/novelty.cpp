@@ -1,0 +1,87 @@
+#include "analysis/novelty.hpp"
+
+#include <cctype>
+
+namespace hpcmon::analysis {
+
+namespace {
+bool is_hexish(std::string_view token) {
+  if (token.size() >= 2 && token[0] == '0' &&
+      (token[1] == 'x' || token[1] == 'X')) {
+    return true;
+  }
+  // Tokens of length >= 6 consisting only of hex digits with at least one
+  // decimal digit (catches uuids/addresses without eating real words).
+  if (token.size() < 6) return false;
+  bool has_digit = false;
+  for (const char c : token) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      has_digit = true;
+    } else if (!std::isxdigit(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return has_digit;
+}
+}  // namespace
+
+std::string message_template(std::string_view message) {
+  std::string out;
+  out.reserve(message.size());
+  std::size_t i = 0;
+  while (i < message.size()) {
+    const char c = message[i];
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      // Take the whole alnum token and classify it.
+      std::size_t j = i;
+      while (j < message.size() &&
+             std::isalnum(static_cast<unsigned char>(message[j]))) {
+        ++j;
+      }
+      const auto token = message.substr(i, j - i);
+      bool has_digit = false;
+      for (const char t : token) {
+        if (std::isdigit(static_cast<unsigned char>(t))) has_digit = true;
+      }
+      if (is_hexish(token)) {
+        out += '&';
+      } else if (has_digit) {
+        // Any token carrying a digit is a parameter: "3", "9m", "rank12".
+        out += '#';
+      } else {
+        out += token;
+      }
+      i = j;
+    } else {
+      out += c;
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<NoveltyEvent> NoveltyDetector::process(
+    const core::LogEvent& event) {
+  std::vector<NoveltyEvent> out;
+  auto tmpl = message_template(event.message);
+  auto [it, inserted] = last_seen_.try_emplace(tmpl);
+  auto& seen = it->second;
+  const bool trained = event.time >= params_.training_until;
+  const bool first = seen.count == 0;
+  const bool rare_return = !first && params_.rare_gap > 0 &&
+                           event.time - seen.last >= params_.rare_gap;
+  if (trained && (first || rare_return)) {
+    out.push_back({event.time, event.component, it->first, event.message});
+  }
+  ++seen.count;
+  seen.last = event.time;
+  (void)inserted;
+  return out;
+}
+
+std::uint64_t NoveltyDetector::occurrences(const std::string& tmpl) const {
+  auto it = last_seen_.find(tmpl);
+  return it == last_seen_.end() ? 0 : it->second.count;
+}
+
+}  // namespace hpcmon::analysis

@@ -1,0 +1,66 @@
+// Log-template novelty detection.
+//
+// Sec. III-B: "in production most log analysis involves detection of
+// well-known log lines. ... new or infrequent events may be missed until
+// manual observation of events leads to identification of relevant log lines
+// to include in the scan." Static SEC-style rules (rules.hpp) are exactly
+// that scan; NoveltyDetector is the complement: it reduces each message to a
+// template (numbers, ids and hex tokens abstracted to placeholders), learns
+// the template population during a training window, and then flags templates
+// never seen before — surfacing the "new signatures" without a human writing
+// a rule first.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/log_event.hpp"
+#include "core/time.hpp"
+
+namespace hpcmon::analysis {
+
+/// Canonical template of a log message: digit runs -> '#', hex-ish tokens ->
+/// '&', so "CRC retry count 3 on port 0x1f" == "CRC retry count # on port &".
+std::string message_template(std::string_view message);
+
+struct NoveltyEvent {
+  core::TimePoint time = 0;
+  core::ComponentId component = core::kNoComponent;
+  std::string tmpl;
+  std::string example;  // the concrete first-seen message
+};
+
+struct NoveltyParams {
+  /// Events observed before this instant only train the model; novelty is
+  /// reported for events at or after it.
+  core::TimePoint training_until = 0;
+  /// Report a known-but-rare template again if it reappears after this long
+  /// of silence (0 = first-seen only).
+  core::Duration rare_gap = 0;
+};
+
+class NoveltyDetector {
+ public:
+  explicit NoveltyDetector(const NoveltyParams& params) : params_(params) {}
+
+  /// Feed events in time order; returns the novelty report for this event
+  /// (empty optional-like: vector of 0 or 1 entries keeps the API uniform
+  /// with RuleEngine::process).
+  std::vector<NoveltyEvent> process(const core::LogEvent& event);
+
+  std::size_t known_templates() const { return last_seen_.size(); }
+  /// Occurrence count of a template so far (0 if never seen).
+  std::uint64_t occurrences(const std::string& tmpl) const;
+
+ private:
+  NoveltyParams params_;
+  struct Seen {
+    core::TimePoint last = 0;
+    std::uint64_t count = 0;
+  };
+  std::unordered_map<std::string, Seen> last_seen_;
+};
+
+}  // namespace hpcmon::analysis

@@ -1,0 +1,130 @@
+#include "analysis/power_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpcmon::analysis {
+
+using core::TimedValue;
+
+PowerProfile PowerProfile::from_trace(std::string app_name,
+                                      const std::vector<TimedValue>& trace,
+                                      std::size_t points) {
+  PowerProfile p;
+  p.app_name = std::move(app_name);
+  if (trace.empty() || points == 0) return p;
+  p.shape.resize(points);
+  // Resample by nearest neighbour over the run's normalized time axis.
+  const auto n = trace.size();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < points; ++i) {
+    const auto src = std::min(
+        n - 1, static_cast<std::size_t>(
+                   static_cast<double>(i) * static_cast<double>(n) /
+                   static_cast<double>(points)));
+    p.shape[i] = trace[src].value;
+    sum += p.shape[i];
+  }
+  const double mean = sum / static_cast<double>(points);
+  if (mean > 1e-12) {
+    for (auto& v : p.shape) v /= mean;
+  }
+  return p;
+}
+
+double profile_distance(const PowerProfile& a, const PowerProfile& b) {
+  if (a.shape.empty() || a.shape.size() != b.shape.size()) return 1e9;
+  double ss = 0.0;
+  for (std::size_t i = 0; i < a.shape.size(); ++i) {
+    const double d = a.shape[i] - b.shape[i];
+    ss += d * d;
+  }
+  return std::sqrt(ss / static_cast<double>(a.shape.size()));
+}
+
+void PowerProfileLibrary::set_reference(PowerProfile profile) {
+  profiles_[profile.app_name] = std::move(profile);
+}
+
+const PowerProfile* PowerProfileLibrary::reference(
+    const std::string& app_name) const {
+  auto it = profiles_.find(app_name);
+  return it == profiles_.end() ? nullptr : &it->second;
+}
+
+std::optional<double> PowerProfileLibrary::score_run(
+    const std::string& app_name, const std::vector<TimedValue>& trace) const {
+  const auto* ref = reference(app_name);
+  if (ref == nullptr) return std::nullopt;
+  const auto run =
+      PowerProfile::from_trace(app_name, trace, ref->shape.size());
+  return profile_distance(*ref, run);
+}
+
+std::vector<ImbalanceWindow> detect_imbalance(
+    const std::vector<std::vector<TimedValue>>& cabinet_series,
+    const ImbalanceParams& params) {
+  std::vector<ImbalanceWindow> out;
+  if (cabinet_series.empty()) return out;
+  const std::size_t len = cabinet_series[0].size();
+  for (const auto& s : cabinet_series) {
+    if (s.size() != len) return out;  // require synchronized sweeps
+  }
+  if (len == 0) return out;
+
+  // Per-timestamp max/min ratio and total draw.
+  std::vector<double> ratio(len), total(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    double lo = cabinet_series[0][i].value;
+    double hi = lo;
+    double sum = 0.0;
+    for (const auto& s : cabinet_series) {
+      lo = std::min(lo, s[i].value);
+      hi = std::max(hi, s[i].value);
+      sum += s[i].value;
+    }
+    ratio[i] = lo > 1e-9 ? hi / lo : 1e9;
+    total[i] = sum;
+  }
+
+  // Baseline draw: mean of total over balanced timestamps.
+  double base_sum = 0.0;
+  std::size_t base_n = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    if (ratio[i] < params.ratio_threshold) {
+      base_sum += total[i];
+      ++base_n;
+    }
+  }
+  const double baseline = base_n > 0 ? base_sum / static_cast<double>(base_n)
+                                     : total[0];
+
+  // Contiguous runs of flagged timestamps form windows.
+  std::size_t i = 0;
+  const auto& t = cabinet_series[0];
+  while (i < len) {
+    if (ratio[i] < params.ratio_threshold) {
+      ++i;
+      continue;
+    }
+    const std::size_t begin = i;
+    double worst = ratio[i];
+    double draw_sum = 0.0;
+    while (i < len && ratio[i] >= params.ratio_threshold) {
+      worst = std::max(worst, ratio[i]);
+      draw_sum += total[i];
+      ++i;
+    }
+    const core::TimeRange range{t[begin].time,
+                                i < len ? t[i].time : t[i - 1].time + 1};
+    if (range.length() >= params.min_duration) {
+      const double window_draw =
+          draw_sum / static_cast<double>(i - begin);
+      out.push_back({range, worst,
+                     window_draw > 1e-9 ? baseline / window_draw : 1.0});
+    }
+  }
+  return out;
+}
+
+}  // namespace hpcmon::analysis

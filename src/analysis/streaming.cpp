@@ -1,0 +1,87 @@
+#include "analysis/streaming.hpp"
+
+#include <algorithm>
+
+namespace hpcmon::analysis {
+
+P2Quantile::P2Quantile(double quantile) : q_(quantile) {
+  desired_ = {1.0, 1.0 + 2.0 * q_, 1.0 + 4.0 * q_, 3.0 + 2.0 * q_, 5.0};
+  increments_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+  positions_ = {1.0, 2.0, 3.0, 4.0, 5.0};
+}
+
+void P2Quantile::add(double x) {
+  ++count_;
+  if (count_ <= 5) {
+    heights_[count_ - 1] = x;
+    if (count_ == 5) std::sort(heights_.begin(), heights_.end());
+    return;
+  }
+  // Locate the cell containing x and update extreme markers.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Adjust the three middle markers with parabolic interpolation.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double dp = positions_[i + 1] - positions_[i];
+    const double dm = positions_[i - 1] - positions_[i];
+    if ((d >= 1.0 && dp > 1.0) || (d <= -1.0 && dm < -1.0)) {
+      const double sign = d >= 0 ? 1.0 : -1.0;
+      const double hp = (heights_[i + 1] - heights_[i]) / dp;
+      const double hm = (heights_[i - 1] - heights_[i]) / dm;
+      double candidate = heights_[i] +
+                         sign / (dp - dm) *
+                             ((sign - dm) * hp + (dp - sign) * hm);
+      if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+        heights_[i] = candidate;
+      } else {
+        // Parabolic step would violate ordering; use linear step.
+        const int j = i + static_cast<int>(sign);
+        heights_[i] += sign * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ <= 5) {
+    // Exact quantile over the sorted prefix.
+    std::array<double, 5> tmp = heights_;
+    std::sort(tmp.begin(), tmp.begin() + count_);
+    const auto idx = static_cast<std::size_t>(
+        q_ * static_cast<double>(count_ - 1) + 0.5);
+    return tmp[std::min<std::size_t>(idx, count_ - 1)];
+  }
+  return heights_[2];
+}
+
+std::optional<double> RateConverter::update(core::TimePoint t, double counter) {
+  if (!has_prev_ || counter < prev_v_ || t <= prev_t_) {
+    has_prev_ = true;
+    prev_t_ = t;
+    prev_v_ = counter;
+    return std::nullopt;
+  }
+  const double dt_s = core::to_seconds(t - prev_t_);
+  const double rate = (counter - prev_v_) / dt_s;
+  prev_t_ = t;
+  prev_v_ = counter;
+  return rate;
+}
+
+}  // namespace hpcmon::analysis

@@ -1,0 +1,108 @@
+// Streaming statistics primitives.
+//
+// Analyses must run "at variety of locations within the monitoring
+// infrastructure (e.g., at data sources, as streaming analysis, at the
+// store)" (Table I). These accumulators are O(1) memory so they can sit at
+// any of those points: Welford mean/variance, EWMA, P-squared quantiles,
+// and counter-to-rate conversion with reset handling.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+
+#include "core/time.hpp"
+
+namespace hpcmon::analysis {
+
+/// Welford online mean/variance.
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 points.
+  double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Coefficient of variation (stddev/mean); 0 when mean is 0.
+  double cv() const { return mean_ == 0.0 ? 0.0 : stddev() / std::abs(mean_); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exponentially weighted moving average with optional variance tracking.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+  void add(double x) {
+    if (!initialized_) {
+      mean_ = x;
+      initialized_ = true;
+      return;
+    }
+    const double d = x - mean_;
+    mean_ += alpha_ * d;
+    var_ = (1.0 - alpha_) * (var_ + alpha_ * d * d);
+  }
+  bool initialized() const { return initialized_; }
+  double mean() const { return mean_; }
+  double stddev() const { return std::sqrt(var_); }
+
+ private:
+  double alpha_;
+  double mean_ = 0.0;
+  double var_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// P-squared (P2) single-quantile estimator (Jain & Chlamtac, 1985):
+/// O(1) memory approximation of an arbitrary quantile.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double quantile);
+  void add(double x);
+  /// Current estimate; exact for the first five observations.
+  double value() const;
+  std::uint64_t count() const { return count_; }
+
+ private:
+  double q_;
+  std::uint64_t count_ = 0;
+  std::array<double, 5> heights_{};
+  std::array<double, 5> positions_{};
+  std::array<double, 5> desired_{};
+  std::array<double, 5> increments_{};
+};
+
+/// Convert a monotonic counter into a per-second rate; a counter that moves
+/// backwards (component replaced / rolled over) restarts the baseline.
+class RateConverter {
+ public:
+  /// Returns the rate over the interval since the previous observation, or
+  /// nullopt for the first point / after a reset.
+  std::optional<double> update(core::TimePoint t, double counter);
+
+ private:
+  bool has_prev_ = false;
+  core::TimePoint prev_t_ = 0;
+  double prev_v_ = 0.0;
+};
+
+}  // namespace hpcmon::analysis

@@ -1,0 +1,64 @@
+#include "analysis/trend.hpp"
+
+#include <cmath>
+
+namespace hpcmon::analysis {
+
+TrendFit fit_trend(const std::vector<core::TimedValue>& points) {
+  TrendFit fit;
+  fit.points = points.size();
+  if (points.size() < 2) return fit;
+  // Work in hours relative to the first point for conditioning.
+  const double t0 = static_cast<double>(points.front().time);
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  const double n = static_cast<double>(points.size());
+  for (const auto& p : points) {
+    const double x =
+        (static_cast<double>(p.time) - t0) / static_cast<double>(core::kHour);
+    sx += x;
+    sy += p.value;
+    sxx += x * x;
+    sxy += x * p.value;
+    syy += p.value * p.value;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return fit;
+  fit.slope_per_hour = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope_per_hour * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot > 1e-12) {
+    const double ss_res_num =
+        syy - fit.intercept * sy - fit.slope_per_hour * sxy;
+    fit.r2 = 1.0 - ss_res_num / ss_tot;
+    if (fit.r2 < 0.0) fit.r2 = 0.0;
+    if (fit.r2 > 1.0) fit.r2 = 1.0;
+  } else {
+    fit.r2 = 1.0;  // perfectly flat series: trivially explained
+  }
+  return fit;
+}
+
+void TrendAnalyzer::add(core::TimePoint t, double value) {
+  points_.push_back({t, value});
+  while (!points_.empty() && points_.front().time < t - window_) {
+    points_.pop_front();
+  }
+}
+
+std::optional<TrendFit> TrendAnalyzer::fit() const {
+  if (points_.size() < 3) return std::nullopt;
+  return fit_trend({points_.begin(), points_.end()});
+}
+
+std::optional<core::TimePoint> TrendAnalyzer::forecast_crossing(
+    double limit, double min_r2) const {
+  const auto f = fit();
+  if (!f || f->r2 < min_r2 || f->slope_per_hour <= 0.0) return std::nullopt;
+  const double latest = points_.back().value;
+  if (latest >= limit) return points_.back().time;  // already crossed
+  const double hours = (limit - latest) / f->slope_per_hour;
+  return points_.back().time +
+         static_cast<core::Duration>(hours * static_cast<double>(core::kHour));
+}
+
+}  // namespace hpcmon::analysis

@@ -1,0 +1,96 @@
+#include "analysis/variability.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "analysis/streaming.hpp"
+
+namespace hpcmon::analysis {
+
+namespace {
+std::map<std::string, std::vector<store::JobMeta>> runs_by_app(
+    const store::JobStore& jobs) {
+  std::map<std::string, std::vector<store::JobMeta>> by_app;
+  // Collect every completed job via a wide overlap query.
+  for (const auto& j :
+       jobs.jobs_overlapping({INT64_MIN / 2, INT64_MAX / 2})) {
+    if (j.end_time >= 0 && !j.failed) by_app[j.app_name].push_back(j);
+  }
+  return by_app;
+}
+}  // namespace
+
+std::vector<AppVariability> VariabilityAnalyzer::classify(
+    const store::JobStore& jobs) const {
+  std::vector<AppVariability> out;
+  for (const auto& [app, runs] : runs_by_app(jobs)) {
+    if (runs.size() < params_.min_runs) continue;
+    OnlineStats stats;
+    for (const auto& r : runs) {
+      stats.add(core::to_seconds(r.end_time - r.start_time));
+    }
+    AppVariability v;
+    v.app_name = app;
+    v.runs = runs.size();
+    v.mean_runtime_s = stats.mean();
+    v.cv = stats.cv();
+    v.is_victim = v.cv > params_.victim_cv_threshold;
+    out.push_back(std::move(v));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const AppVariability& a, const AppVariability& b) {
+              return a.cv > b.cv;
+            });
+  return out;
+}
+
+std::vector<AggressorSuspect> VariabilityAnalyzer::suspects(
+    const store::JobStore& jobs) const {
+  const auto by_app = runs_by_app(jobs);
+  const auto classes = classify(jobs);
+  std::set<std::string> victims;
+  std::map<std::string, double> mean_runtime;
+  for (const auto& c : classes) {
+    if (c.is_victim) victims.insert(c.app_name);
+    mean_runtime[c.app_name] = c.mean_runtime_s;
+  }
+
+  // Collect victim slow-run windows.
+  std::vector<core::TimeRange> slow_windows;
+  for (const auto& v : victims) {
+    const auto it = by_app.find(v);
+    if (it == by_app.end()) continue;
+    for (const auto& run : it->second) {
+      const double rt = core::to_seconds(run.end_time - run.start_time);
+      if (rt > mean_runtime[v] * params_.slow_factor) {
+        slow_windows.push_back({run.start_time, run.end_time});
+      }
+    }
+  }
+
+  std::vector<AggressorSuspect> out;
+  for (const auto& [app, runs] : by_app) {
+    if (victims.count(app) != 0) continue;  // victims are not suspects
+    std::size_t overlaps = 0;
+    for (const auto& run : runs) {
+      const core::TimeRange rr{run.start_time, run.end_time};
+      const bool hit =
+          std::any_of(slow_windows.begin(), slow_windows.end(),
+                      [&](const core::TimeRange& w) { return w.overlaps(rr); });
+      if (hit) ++overlaps;
+    }
+    if (overlaps > 0) {
+      out.push_back({app, overlaps,
+                     static_cast<double>(overlaps) /
+                         static_cast<double>(runs.size())});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const AggressorSuspect& a, const AggressorSuspect& b) {
+              return a.overlaps > b.overlaps;
+            });
+  return out;
+}
+
+}  // namespace hpcmon::analysis

@@ -1,0 +1,58 @@
+// Aggressor/victim classification from runtime variability (HLRS, Sec. II.10).
+//
+// HLRS "developed an approach for identifying 'aggressor' and 'victim'
+// applications based on their runtime variability. Applications having high
+// runtime variability are classified as 'victim' applications and those
+// running concurrently that don't hit the 'victim' variability threshold are
+// considered as possible 'aggressor' applications where the resource being
+// contended for is assumed to be the HSN."
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/time.hpp"
+#include "store/jobstore.hpp"
+
+namespace hpcmon::analysis {
+
+struct AppVariability {
+  std::string app_name;
+  std::size_t runs = 0;
+  double mean_runtime_s = 0.0;
+  double cv = 0.0;          // coefficient of variation of runtimes
+  bool is_victim = false;
+};
+
+struct AggressorSuspect {
+  std::string app_name;
+  /// How many victim slow-runs this app overlapped with.
+  std::size_t overlaps = 0;
+  /// Fraction of this app's runs that overlapped a victim slow-run.
+  double overlap_fraction = 0.0;
+};
+
+struct VariabilityParams {
+  double victim_cv_threshold = 0.10;  // >10% runtime CV -> victim
+  std::size_t min_runs = 3;
+  /// A victim run counts as "slow" above mean * slow_factor.
+  double slow_factor = 1.15;
+};
+
+class VariabilityAnalyzer {
+ public:
+  explicit VariabilityAnalyzer(const VariabilityParams& params = {})
+      : params_(params) {}
+
+  /// Per-app runtime variability over all completed runs in the store.
+  std::vector<AppVariability> classify(const store::JobStore& jobs) const;
+
+  /// For each victim app's slow runs, rank concurrently running non-victim
+  /// apps by overlap count — the HSN-aggressor suspects.
+  std::vector<AggressorSuspect> suspects(const store::JobStore& jobs) const;
+
+ private:
+  VariabilityParams params_;
+};
+
+}  // namespace hpcmon::analysis

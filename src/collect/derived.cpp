@@ -1,0 +1,77 @@
+#include "collect/derived.hpp"
+
+namespace hpcmon::collect {
+
+void DerivedStage::derive_rate(std::string_view counter_metric) {
+  RateRule rule;
+  rule.metric = std::string(counter_metric);
+  rule.metric_index = registry_.register_metric(
+      {rule.metric, "", "(source counter for derived rate)", true});
+  const auto& src = registry_.metric(rule.metric_index);
+  rule.out_index = registry_.register_metric(
+      {rule.metric + ".rate", src.units.empty() ? "/s" : src.units + "/s",
+       "per-second rate of " + rule.metric + " (derived in-stream)", false});
+  rate_rules_.push_back(std::move(rule));
+}
+
+void DerivedStage::derive_aggregate(std::string_view metric, store::Agg agg,
+                                    std::string_view out_metric,
+                                    core::ComponentId target) {
+  AggRule rule;
+  rule.metric = std::string(metric);
+  rule.metric_index =
+      registry_.register_metric({rule.metric, "", "", false});
+  rule.agg = agg;
+  const auto out_index = registry_.register_metric(
+      {std::string(out_metric), "",
+       std::string(store::to_string(agg)) + " of " + rule.metric +
+           " across reporting components (derived in-stream)",
+       false});
+  rule.out_series = registry_.series(out_index, target);
+  agg_rules_.push_back(std::move(rule));
+}
+
+void DerivedStage::process(const core::SampleBatch& batch) {
+  core::SampleBatch out;
+  out.sweep_time = batch.sweep_time;
+  out.origin = batch.origin;
+
+  for (const auto& rule : rate_rules_) {
+    for (const auto& s : batch.samples) {
+      if (registry_.series_metric(s.series) != rule.metric_index) continue;
+      auto& rc = rate_state_[s.series];
+      if (const auto rate = rc.update(s.time, s.value)) {
+        out.samples.push_back(
+            {registry_.series(rule.out_index,
+                              registry_.series_component(s.series)),
+             s.time, *rate});
+      }
+    }
+  }
+  for (const auto& rule : agg_rules_) {
+    std::vector<core::TimedValue> members;
+    for (const auto& s : batch.samples) {
+      if (registry_.series_metric(s.series) == rule.metric_index) {
+        members.push_back({s.time, s.value});
+      }
+    }
+    if (const auto v = store::aggregate_points(members, rule.agg)) {
+      out.samples.push_back({rule.out_series, batch.sweep_time, *v});
+    }
+  }
+  if (!out.empty()) {
+    derived_ += out.size();
+    sink_(std::move(out));
+  }
+}
+
+void DerivedStage::attach(transport::EventRouter& router) {
+  router.subscribe(transport::FrameType::kSamples,
+                   [this](const transport::Frame& frame) {
+                     if (auto batch = transport::decode_samples(frame)) {
+                       process(batch.value());
+                     }
+                   });
+}
+
+}  // namespace hpcmon::collect

@@ -1,0 +1,74 @@
+// DerivedStage: streaming analysis in the transport path.
+//
+// Table I (Analysis and Visualization): "Analysis capabilities should be
+// supported at variety of locations within the monitoring infrastructure
+// (e.g., at data sources, as streaming analysis, at the store ...)" and
+// "analysis results should be able to be stored with raw data". DerivedStage
+// sits on the frame stream between collection and storage: it converts
+// monotonic counters into rates and folds per-sweep cross-component
+// aggregates, emitting the results as ordinary SampleBatches on derived
+// metrics — so they land in the same store, dashboards, and alert paths as
+// the raw data, with no post-hoc queries.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/streaming.hpp"
+#include "collect/sampler.hpp"
+#include "core/registry.hpp"
+#include "store/tsdb.hpp"
+#include "transport/codec.hpp"
+#include "transport/event_router.hpp"
+
+namespace hpcmon::collect {
+
+class DerivedStage {
+ public:
+  /// Derived batches flow into `sink` (typically a store or a second
+  /// router). Subscribe the stage to a router with attach().
+  DerivedStage(core::MetricRegistry& registry, SampleSink sink)
+      : registry_(registry), sink_(std::move(sink)) {}
+
+  /// Derive `<metric>.rate` (per second) for every series of a counter
+  /// metric. Safe to call before the metric exists.
+  void derive_rate(std::string_view counter_metric);
+
+  /// Derive a per-sweep aggregate across all components reporting `metric`
+  /// in a batch, emitted as `out_metric` on `target` (usually the system
+  /// pseudo-component).
+  void derive_aggregate(std::string_view metric, store::Agg agg,
+                        std::string_view out_metric, core::ComponentId target);
+
+  /// Process one decoded batch (call directly, or via attach()).
+  void process(const core::SampleBatch& batch);
+
+  /// Subscribe to a router's sample frames. The router must outlive this.
+  void attach(transport::EventRouter& router);
+
+  std::uint64_t derived_samples() const { return derived_; }
+
+ private:
+  struct RateRule {
+    std::string metric;
+    std::uint32_t metric_index;
+    std::uint32_t out_index;
+  };
+  struct AggRule {
+    std::string metric;
+    std::uint32_t metric_index;
+    store::Agg agg;
+    core::SeriesId out_series;
+  };
+
+  core::MetricRegistry& registry_;
+  SampleSink sink_;
+  std::vector<RateRule> rate_rules_;
+  std::vector<AggRule> agg_rules_;
+  // Per-source-series rate state.
+  std::unordered_map<core::SeriesId, analysis::RateConverter> rate_state_;
+  std::uint64_t derived_ = 0;
+};
+
+}  // namespace hpcmon::collect

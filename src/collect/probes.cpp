@@ -1,0 +1,81 @@
+#include "collect/probes.hpp"
+
+#include <algorithm>
+
+namespace hpcmon::collect {
+
+using core::SampleBatch;
+using core::TimePoint;
+
+ProbeSuite::ProbeSuite(sim::Cluster& cluster, const ProbeConfig& config,
+                       core::Rng rng)
+    : cluster_(cluster), config_(config), rng_(rng) {
+  auto& reg = cluster.registry();
+  const auto& topo = cluster.topology();
+  const auto m_dg = reg.register_metric(
+      {"probe.dgemm_seconds", "s", "matrix-multiply benchmark runtime", false});
+  const auto m_st = reg.register_metric(
+      {"probe.stream_gbps", "GB/s", "memory bandwidth benchmark", false});
+  const auto m_pp = reg.register_metric(
+      {"probe.pingpong_usec", "us", "nearest-neighbour MPI latency", false});
+  for (const int n : config_.probe_nodes) {
+    dgemm_.push_back(reg.series(m_dg, topo.node(n)));
+    stream_.push_back(reg.series(m_st, topo.node(n)));
+    pingpong_.push_back(reg.series(m_pp, topo.node(n)));
+  }
+  const auto m_fr = reg.register_metric(
+      {"probe.fs_read_ms", "ms", "targeted OST read-probe latency", false});
+  const auto m_md = reg.register_metric(
+      {"probe.fs_md_ms", "ms", "targeted MDS metadata-probe latency", false});
+  for (int f = 0; f < topo.num_filesystems(); ++f) {
+    fs_read_.emplace_back();
+    for (int o = 0; o < topo.osts_per_fs(); ++o) {
+      fs_read_[f].push_back(reg.series(m_fr, topo.ost(f, o)));
+    }
+    fs_md_.push_back(reg.series(m_md, topo.mds(f)));
+  }
+}
+
+void ProbeSuite::sample(TimePoint t, SampleBatch& out) {
+  const auto& topo = cluster_.topology();
+  auto noise = [this] { return 1.0 + rng_.normal(0.0, config_.noise_frac); };
+
+  for (std::size_t i = 0; i < config_.probe_nodes.size(); ++i) {
+    const int node = config_.probe_nodes[i];
+    const auto& ns = cluster_.node_state(node);
+    // Compute probe: runtime grows with whatever is already on the node
+    // (probes share the node with production load, as in practice).
+    const double dgemm =
+        config_.dgemm_seconds * (1.0 + 0.8 * ns.cpu_util) * noise();
+    out.samples.push_back({dgemm_[i], t, std::max(0.0, dgemm)});
+    // Memory probe: bandwidth shrinks under load.
+    const double stream =
+        config_.stream_gbps * (1.0 - 0.5 * ns.cpu_util) * noise();
+    out.samples.push_back({stream_[i], t, std::max(0.0, stream)});
+    // Network probe: ping-pong to the next probe node (or neighbour node).
+    const int peer =
+        config_.probe_nodes.size() > 1
+            ? config_.probe_nodes[(i + 1) % config_.probe_nodes.size()]
+            : (node + 1) % topo.num_nodes();
+    double worst_stall = 0.0;
+    for (const int li : cluster_.fabric().route(node, peer)) {
+      worst_stall =
+          std::max(worst_stall, cluster_.fabric().link_state(li).stall_rate);
+    }
+    const double pingpong =
+        config_.pingpong_usec * (1.0 + 4.0 * worst_stall) * noise();
+    out.samples.push_back({pingpong_[i], t, std::max(0.0, pingpong)});
+  }
+
+  // Filesystem probes target every independent component (NCSA).
+  for (int f = 0; f < topo.num_filesystems(); ++f) {
+    for (int o = 0; o < topo.osts_per_fs(); ++o) {
+      const double ms = cluster_.fs().ost_state(f, o).latency_ms * noise();
+      out.samples.push_back({fs_read_[f][o], t, std::max(0.0, ms)});
+    }
+    const double md = cluster_.fs().mds_state(f).latency_ms * noise();
+    out.samples.push_back({fs_md_[f], t, std::max(0.0, md)});
+  }
+}
+
+}  // namespace hpcmon::collect

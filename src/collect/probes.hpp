@@ -1,0 +1,62 @@
+// ProbeSuite: active benchmark probes.
+//
+// Three sites' practice folded into one component:
+//  * NERSC (Sec. II.3): "regularly runs a suite of custom benchmarks that
+//    exercise compute, network, and I/O functionality, and publishes
+//    performance over time" — Fig 2's data.
+//  * NCSA (Sec. II.2): filesystem probes that "measure file I/O and metadata
+//    action response latencies ... target each independent filesystem
+//    component".
+//  * LANL (Sec. II.1): probes that run "system-wide, on 10 minute intervals".
+//
+// Probes measure the *simulator's* current state the way a real benchmark
+// would: a compute probe's runtime inflates with node load, a network probe's
+// latency inflates with path stalls, an fs probe reports the target's current
+// op latency plus noise. Probe results are ordinary samples on probe metrics
+// — "test results" as a first-class data source (Table I).
+#pragma once
+
+#include <vector>
+
+#include "collect/sampler.hpp"
+#include "core/registry.hpp"
+#include "core/rng.hpp"
+#include "sim/cluster.hpp"
+
+namespace hpcmon::collect {
+
+struct ProbeConfig {
+  /// Nodes the probes launch from (representative clients, per NCSA).
+  std::vector<int> probe_nodes = {0};
+  double noise_frac = 0.02;  // multiplicative measurement noise (stddev)
+  // Unloaded baselines.
+  double dgemm_seconds = 30.0;
+  double stream_gbps = 180.0;
+  double pingpong_usec = 1.8;
+};
+
+/// Runs the full probe suite every sweep; emits one sample per probe metric
+/// per target. Metrics:
+///   probe.dgemm_seconds@node      compute probe (higher = worse)
+///   probe.stream_gbps@node        memory-bandwidth probe (lower = worse)
+///   probe.pingpong_usec@node      network latency probe (higher = worse)
+///   probe.fs_read_ms@ost          per-OST read probe
+///   probe.fs_md_ms@mds            per-MDS metadata probe
+class ProbeSuite : public Sampler {
+ public:
+  ProbeSuite(sim::Cluster& cluster, const ProbeConfig& config, core::Rng rng);
+  std::string name() const override { return "probes"; }
+  void sample(core::TimePoint sweep_time, core::SampleBatch& out) override;
+
+  const ProbeConfig& config() const { return config_; }
+
+ private:
+  sim::Cluster& cluster_;
+  ProbeConfig config_;
+  core::Rng rng_;
+  std::vector<core::SeriesId> dgemm_, stream_, pingpong_;
+  std::vector<std::vector<core::SeriesId>> fs_read_;  // [fs][ost]
+  std::vector<core::SeriesId> fs_md_;                 // [fs]
+};
+
+}  // namespace hpcmon::collect

@@ -1,0 +1,33 @@
+// Sampler interface and sink plumbing.
+//
+// A Sampler reads one subsystem's raw data (Cluster accessors are the
+// "vendor interface") and emits a SampleBatch per sweep. Sinks decide where
+// batches go: straight into a store, or encoded onto a transport. Table I
+// (Architecture): "multiple flexible data paths should be anticipated, with
+// changes in data direction ... easily configured".
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/log_event.hpp"
+#include "core/sample.hpp"
+
+namespace hpcmon::collect {
+
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+  /// Stable name for configuration and diagnostics ("node", "hsn", ...).
+  virtual std::string name() const = 0;
+  /// Append this sweep's samples to `out` (out.sweep_time is pre-set).
+  virtual void sample(core::TimePoint sweep_time, core::SampleBatch& out) = 0;
+};
+
+/// Where sample batches go after collection.
+using SampleSink = std::function<void(core::SampleBatch&&)>;
+/// Where log-event batches go.
+using LogSink = std::function<void(std::vector<core::LogEvent>&&)>;
+
+}  // namespace hpcmon::collect

@@ -1,0 +1,263 @@
+#include "collect/samplers.hpp"
+
+namespace hpcmon::collect {
+
+using core::ComponentId;
+using core::MetricInfo;
+using core::SampleBatch;
+using core::SeriesId;
+using core::TimePoint;
+
+namespace {
+std::uint32_t metric(core::MetricRegistry& reg, const char* name,
+                     const char* units, const char* desc,
+                     bool counter = false) {
+  return reg.register_metric({name, units, desc, counter});
+}
+}  // namespace
+
+// -- NodeSampler --------------------------------------------------------------
+
+NodeSampler::NodeSampler(sim::Cluster& cluster, bool stamp_local_clock)
+    : cluster_(cluster), stamp_local_(stamp_local_clock) {
+  auto& reg = cluster.registry();
+  const auto& topo = cluster.topology();
+  const auto m_cpu = metric(reg, "node.cpu_util", "fraction",
+                            "busy fraction of the node's cores");
+  const auto m_mem = metric(reg, "node.mem_free_gb", "GiB",
+                            "free memory available to applications");
+  const auto m_rd = metric(reg, "node.read_mbps", "MB/s",
+                           "filesystem read traffic issued by this node");
+  const auto m_wr = metric(reg, "node.write_mbps", "MB/s",
+                           "filesystem write traffic issued by this node");
+  for (int i = 0; i < topo.num_nodes(); ++i) {
+    const auto c = topo.node(i);
+    cpu_.push_back(reg.series(m_cpu, c));
+    mem_free_.push_back(reg.series(m_mem, c));
+    read_.push_back(reg.series(m_rd, c));
+    write_.push_back(reg.series(m_wr, c));
+  }
+}
+
+void NodeSampler::sample(TimePoint sweep_time, SampleBatch& out) {
+  const auto& topo = cluster_.topology();
+  for (int i = 0; i < topo.num_nodes(); ++i) {
+    const TimePoint t =
+        stamp_local_ ? cluster_.node_local_time(i) : sweep_time;
+    const auto& n = cluster_.node_state(i);
+    out.samples.push_back({cpu_[i], t, n.cpu_util});
+    out.samples.push_back({mem_free_[i], t, cluster_.node_mem_free_gb(i)});
+    out.samples.push_back({read_[i], t, n.read_mbps});
+    out.samples.push_back({write_[i], t, n.write_mbps});
+  }
+}
+
+// -- PowerSampler -------------------------------------------------------------
+
+PowerSampler::PowerSampler(sim::Cluster& cluster) : cluster_(cluster) {
+  auto& reg = cluster.registry();
+  const auto& topo = cluster.topology();
+  const auto m_np = metric(reg, "power.node_w", "W", "instantaneous node draw");
+  const auto m_cp =
+      metric(reg, "power.cabinet_w", "W", "cabinet draw incl. blowers");
+  const auto m_ct =
+      metric(reg, "power.cabinet_temp_c", "degC", "cabinet outlet temperature");
+  for (int i = 0; i < topo.num_nodes(); ++i) {
+    node_power_.push_back(reg.series(m_np, topo.node(i)));
+  }
+  for (int c = 0; c < topo.num_cabinets(); ++c) {
+    cabinet_power_.push_back(reg.series(m_cp, topo.cabinet(c)));
+    cabinet_temp_.push_back(reg.series(m_ct, topo.cabinet(c)));
+  }
+  system_power_ = reg.series(
+      metric(reg, "power.system_w", "W", "whole-machine draw"), topo.system());
+  energy_ = reg.series(metric(reg, "power.energy_j", "J",
+                              "cumulative machine energy", true),
+                       topo.system());
+}
+
+void PowerSampler::sample(TimePoint t, SampleBatch& out) {
+  const auto& topo = cluster_.topology();
+  auto& pw = cluster_.power();
+  for (int i = 0; i < topo.num_nodes(); ++i) {
+    out.samples.push_back({node_power_[i], t, pw.node_power_w(i)});
+  }
+  for (int c = 0; c < topo.num_cabinets(); ++c) {
+    out.samples.push_back({cabinet_power_[c], t, pw.cabinet_power_w(c)});
+    out.samples.push_back({cabinet_temp_[c], t, pw.cabinet_temp_c(c)});
+  }
+  out.samples.push_back({system_power_, t, pw.system_power_w()});
+  out.samples.push_back({energy_, t, pw.energy_joules()});
+}
+
+// -- HsnSampler ---------------------------------------------------------------
+
+HsnSampler::HsnSampler(sim::Cluster& cluster) : cluster_(cluster) {
+  auto& reg = cluster.registry();
+  const auto& topo = cluster.topology();
+  const auto m_tr = metric(reg, "hsn.link.traffic_bytes", "bytes",
+                           "cumulative bytes carried by the link", true);
+  const auto m_st = metric(reg, "hsn.link.stalls", "events",
+                           "cumulative credit-stall events", true);
+  const auto m_be = metric(reg, "hsn.link.bit_errors", "errors",
+                           "cumulative corrected bit errors", true);
+  for (int l = 0; l < topo.num_links(); ++l) {
+    const auto c = topo.link(l).component;
+    traffic_.push_back(reg.series(m_tr, c));
+    stalls_.push_back(reg.series(m_st, c));
+    bit_errors_.push_back(reg.series(m_be, c));
+  }
+  const auto m_inj = metric(reg, "hsn.node.injection_util", "fraction",
+                            "delivered injection bandwidth / NIC capacity");
+  for (int i = 0; i < topo.num_nodes(); ++i) {
+    injection_util_.push_back(reg.series(m_inj, topo.node(i)));
+  }
+}
+
+void HsnSampler::sample(TimePoint t, SampleBatch& out) {
+  const auto& topo = cluster_.topology();
+  auto& fabric = cluster_.fabric();
+  for (int l = 0; l < topo.num_links(); ++l) {
+    const auto& s = fabric.link_state(l);
+    out.samples.push_back({traffic_[l], t, s.traffic_bytes});
+    out.samples.push_back({stalls_[l], t, s.stalls});
+    out.samples.push_back({bit_errors_[l], t, s.bit_errors});
+  }
+  for (int i = 0; i < topo.num_nodes(); ++i) {
+    out.samples.push_back(
+        {injection_util_[i], t, fabric.node_injection_utilization(i)});
+  }
+}
+
+// -- FsSampler ----------------------------------------------------------------
+
+FsSampler::FsSampler(sim::Cluster& cluster) : cluster_(cluster) {
+  auto& reg = cluster.registry();
+  const auto& topo = cluster.topology();
+  const auto m_rb = metric(reg, "fs.ost.read_bytes", "bytes",
+                           "cumulative bytes read from the OST", true);
+  const auto m_wb = metric(reg, "fs.ost.write_bytes", "bytes",
+                           "cumulative bytes written to the OST", true);
+  const auto m_lat =
+      metric(reg, "fs.ost.latency_ms", "ms", "current I/O op latency");
+  const auto m_util =
+      metric(reg, "fs.ost.util", "fraction", "bandwidth demand / capacity");
+  const auto m_mlat =
+      metric(reg, "fs.mds.latency_ms", "ms", "current metadata op latency");
+  const auto m_mops = metric(reg, "fs.mds.ops", "ops",
+                             "cumulative metadata operations served", true);
+  for (int f = 0; f < topo.num_filesystems(); ++f) {
+    ost_read_bytes_.emplace_back();
+    ost_write_bytes_.emplace_back();
+    ost_latency_.emplace_back();
+    ost_util_.emplace_back();
+    for (int o = 0; o < topo.osts_per_fs(); ++o) {
+      const auto c = topo.ost(f, o);
+      ost_read_bytes_[f].push_back(reg.series(m_rb, c));
+      ost_write_bytes_[f].push_back(reg.series(m_wb, c));
+      ost_latency_[f].push_back(reg.series(m_lat, c));
+      ost_util_[f].push_back(reg.series(m_util, c));
+    }
+    mds_latency_.push_back(reg.series(m_mlat, topo.mds(f)));
+    mds_ops_.push_back(reg.series(m_mops, topo.mds(f)));
+  }
+}
+
+void FsSampler::sample(TimePoint t, SampleBatch& out) {
+  const auto& topo = cluster_.topology();
+  auto& fs = cluster_.fs();
+  for (int f = 0; f < topo.num_filesystems(); ++f) {
+    for (int o = 0; o < topo.osts_per_fs(); ++o) {
+      const auto& s = fs.ost_state(f, o);
+      out.samples.push_back({ost_read_bytes_[f][o], t, s.read_bytes});
+      out.samples.push_back({ost_write_bytes_[f][o], t, s.write_bytes});
+      out.samples.push_back({ost_latency_[f][o], t, s.latency_ms});
+      out.samples.push_back({ost_util_[f][o], t, s.utilization});
+    }
+    out.samples.push_back({mds_latency_[f], t, fs.mds_state(f).latency_ms});
+    out.samples.push_back({mds_ops_[f], t, fs.mds_state(f).ops});
+  }
+}
+
+// -- GpuSampler ---------------------------------------------------------------
+
+GpuSampler::GpuSampler(sim::Cluster& cluster) : cluster_(cluster) {
+  auto& reg = cluster.registry();
+  const auto& topo = cluster.topology();
+  const auto m_h = metric(reg, "gpu.health", "state",
+                          "0=ok 1=degraded 2=failed (nvidia-smi style)");
+  const auto m_d = metric(reg, "gpu.double_bit_errors", "errors",
+                          "cumulative uncorrectable ECC errors", true);
+  nodes_ = cluster.gpus().gpu_nodes();
+  for (int n : nodes_) {
+    health_.push_back(reg.series(m_h, topo.gpu_of(n)));
+    dbe_.push_back(reg.series(m_d, topo.gpu_of(n)));
+  }
+}
+
+void GpuSampler::sample(TimePoint t, SampleBatch& out) {
+  auto& gpus = cluster_.gpus();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    out.samples.push_back(
+        {health_[i], t, static_cast<double>(gpus.health(nodes_[i]))});
+    out.samples.push_back({dbe_[i], t, gpus.dbe_count(nodes_[i])});
+  }
+}
+
+// -- QueueSampler -------------------------------------------------------------
+
+QueueSampler::QueueSampler(sim::Cluster& cluster) : cluster_(cluster) {
+  auto& reg = cluster.registry();
+  depth_ = reg.series(metric(reg, "sched.queue_depth", "jobs",
+                             "jobs waiting for allocation"),
+                      cluster.topology().system());
+  running_ = reg.series(
+      metric(reg, "sched.running", "jobs", "jobs currently executing"),
+      cluster.topology().system());
+}
+
+void QueueSampler::sample(TimePoint t, SampleBatch& out) {
+  out.samples.push_back(
+      {depth_, t, static_cast<double>(cluster_.scheduler().queue_depth())});
+  out.samples.push_back(
+      {running_, t, static_cast<double>(cluster_.scheduler().running_count())});
+}
+
+// -- FacilitySampler ----------------------------------------------------------
+
+FacilitySampler::FacilitySampler(sim::Cluster& cluster) : cluster_(cluster) {
+  auto& reg = cluster.registry();
+  const auto fac = cluster.topology().facility_sensor();
+  corrosion_ = reg.series(
+      metric(reg, "facility.corrosion_ppb", "ppb",
+             "reactive (sulfur-bearing) gas concentration, ASHRAE G1 < 10"),
+      fac);
+  humidity_ = reg.series(
+      metric(reg, "facility.humidity_pct", "%", "relative humidity"), fac);
+  particulates_ = reg.series(
+      metric(reg, "facility.particulates_ugm3", "ug/m3", "airborne particulates"),
+      fac);
+}
+
+void FacilitySampler::sample(TimePoint t, SampleBatch& out) {
+  const auto& env = cluster_.power().facility();
+  out.samples.push_back({corrosion_, t, env.corrosion_ppb});
+  out.samples.push_back({humidity_, t, env.humidity_pct});
+  out.samples.push_back({particulates_, t, env.particulates_ugm3});
+}
+
+std::vector<std::unique_ptr<Sampler>> make_all_samplers(sim::Cluster& cluster) {
+  std::vector<std::unique_ptr<Sampler>> out;
+  out.push_back(std::make_unique<NodeSampler>(cluster));
+  out.push_back(std::make_unique<PowerSampler>(cluster));
+  out.push_back(std::make_unique<HsnSampler>(cluster));
+  out.push_back(std::make_unique<FsSampler>(cluster));
+  if (cluster.gpus().num_gpus() > 0) {
+    out.push_back(std::make_unique<GpuSampler>(cluster));
+  }
+  out.push_back(std::make_unique<QueueSampler>(cluster));
+  out.push_back(std::make_unique<FacilitySampler>(cluster));
+  return out;
+}
+
+}  // namespace hpcmon::collect

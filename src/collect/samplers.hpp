@@ -1,0 +1,118 @@
+// Concrete samplers for every simulated subsystem.
+//
+// Mirrors the data-source inventory of Sec. II/III-A: node state (/proc-
+// style), power and environment (SEDC/PMDB-style), HSN performance counters
+// (Aries/Gemini-style), filesystem targets, GPU health, and scheduler/queue
+// state. Each sampler registers its metrics with units and descriptions
+// (Table I: "the meaning of all raw data should be provided").
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "collect/sampler.hpp"
+#include "core/registry.hpp"
+#include "sim/cluster.hpp"
+
+namespace hpcmon::collect {
+
+/// Per-node CPU/memory state. When `stamp_local_clock` is set, samples are
+/// timestamped with each node's drifting local clock instead of the
+/// synchronized sweep time — reproducing the Sec. III-A failure mode for
+/// bench/ablation_clockdrift.
+class NodeSampler : public Sampler {
+ public:
+  NodeSampler(sim::Cluster& cluster, bool stamp_local_clock = false);
+  std::string name() const override { return "node"; }
+  void sample(core::TimePoint sweep_time, core::SampleBatch& out) override;
+
+ private:
+  sim::Cluster& cluster_;
+  bool stamp_local_;
+  std::vector<core::SeriesId> cpu_, mem_free_, read_, write_;
+};
+
+/// Node, cabinet, and system power; cabinet temperatures; energy counter.
+class PowerSampler : public Sampler {
+ public:
+  explicit PowerSampler(sim::Cluster& cluster);
+  std::string name() const override { return "power"; }
+  void sample(core::TimePoint sweep_time, core::SampleBatch& out) override;
+
+ private:
+  sim::Cluster& cluster_;
+  std::vector<core::SeriesId> node_power_, cabinet_power_, cabinet_temp_;
+  core::SeriesId system_power_{0}, energy_{0};
+};
+
+/// HSN per-link counters (traffic/stalls/bit errors) and per-node injection
+/// bandwidth utilization (Fig 1's metric).
+class HsnSampler : public Sampler {
+ public:
+  explicit HsnSampler(sim::Cluster& cluster);
+  std::string name() const override { return "hsn"; }
+  void sample(core::TimePoint sweep_time, core::SampleBatch& out) override;
+
+ private:
+  sim::Cluster& cluster_;
+  std::vector<core::SeriesId> traffic_, stalls_, bit_errors_;
+  std::vector<core::SeriesId> injection_util_;
+};
+
+/// Filesystem target counters and latencies (OST read/write bytes,
+/// utilization, latency; MDS ops and latency) plus per-node I/O attribution.
+class FsSampler : public Sampler {
+ public:
+  explicit FsSampler(sim::Cluster& cluster);
+  std::string name() const override { return "fs"; }
+  void sample(core::TimePoint sweep_time, core::SampleBatch& out) override;
+
+ private:
+  sim::Cluster& cluster_;
+  std::vector<std::vector<core::SeriesId>> ost_read_bytes_, ost_write_bytes_,
+      ost_latency_, ost_util_;
+  std::vector<core::SeriesId> mds_latency_, mds_ops_;
+};
+
+/// GPU health states (0=ok 1=degraded 2=failed) and DBE counters.
+class GpuSampler : public Sampler {
+ public:
+  explicit GpuSampler(sim::Cluster& cluster);
+  std::string name() const override { return "gpu"; }
+  void sample(core::TimePoint sweep_time, core::SampleBatch& out) override;
+
+ private:
+  sim::Cluster& cluster_;
+  std::vector<int> nodes_;
+  std::vector<core::SeriesId> health_, dbe_;
+};
+
+/// Scheduler queue depth and running-job count (NERSC/CSC, Sec. II.3/II.4).
+class QueueSampler : public Sampler {
+ public:
+  explicit QueueSampler(sim::Cluster& cluster);
+  std::string name() const override { return "queue"; }
+  void sample(core::TimePoint sweep_time, core::SampleBatch& out) override;
+
+ private:
+  sim::Cluster& cluster_;
+  core::SeriesId depth_{0}, running_{0};
+};
+
+/// Datacenter environment: corrosive gas, humidity, particulates (ORNL,
+/// Sec. II.6).
+class FacilitySampler : public Sampler {
+ public:
+  explicit FacilitySampler(sim::Cluster& cluster);
+  std::string name() const override { return "facility"; }
+  void sample(core::TimePoint sweep_time, core::SampleBatch& out) override;
+
+ private:
+  sim::Cluster& cluster_;
+  core::SeriesId corrosion_{0}, humidity_{0}, particulates_{0};
+};
+
+/// Convenience: every sampler over a cluster, in a ready-to-attach vector.
+std::vector<std::unique_ptr<Sampler>> make_all_samplers(sim::Cluster& cluster);
+
+}  // namespace hpcmon::collect

@@ -1,0 +1,80 @@
+// Simulation clocks.
+//
+// SimClock is the single global timeline the simulator advances. DriftClock
+// models a component's local oscillator: reading it returns global time plus
+// an accumulated offset (constant skew + random-walk jitter). The paper
+// (Sec. III-A) notes that "local clock drift can result in erroneous
+// associations" when events are timestamped locally; samplers can stamp with
+// either clock so the ablation bench can quantify the damage and the
+// correlator's tolerance can be validated.
+#pragma once
+
+#include <cassert>
+
+#include "core/rng.hpp"
+#include "core/time.hpp"
+
+namespace hpcmon::core {
+
+/// The authoritative simulated timeline. Monotonically advanced by the DES.
+class SimClock {
+ public:
+  TimePoint now() const { return now_; }
+
+  /// Advance to an absolute time; never goes backwards.
+  void advance_to(TimePoint t) {
+    assert(t >= now_);
+    now_ = t;
+  }
+  void advance_by(Duration d) { advance_to(now_ + d); }
+
+ private:
+  TimePoint now_ = 0;
+};
+
+/// A drifting local view of the global clock.
+///
+/// local(t) = t + offset0 + skew_ppm * 1e-6 * t + random_walk(t)
+/// The random walk steps once per step_interval with N(0, step_sigma).
+class DriftClock {
+ public:
+  struct Params {
+    Duration offset0 = 0;        // initial offset
+    double skew_ppm = 0.0;       // constant frequency error, parts-per-million
+    Duration walk_step = kMinute;  // random-walk step interval
+    Duration walk_sigma = 0;     // per-step stddev of the walk
+  };
+
+  DriftClock() = default;
+  DriftClock(Params params, Rng rng) : params_(params), rng_(rng) {}
+
+  /// Local timestamp a device with this clock would stamp at global time t.
+  /// Must be called with non-decreasing t (the walk advances statefully).
+  TimePoint local_time(TimePoint global) {
+    advance_walk(global);
+    const double skew = params_.skew_ppm * 1e-6 * static_cast<double>(global);
+    return global + params_.offset0 + static_cast<TimePoint>(skew) + walk_;
+  }
+
+  /// Current total offset (local - global) at the last queried instant.
+  Duration current_offset(TimePoint global) {
+    return local_time(global) - global;
+  }
+
+ private:
+  void advance_walk(TimePoint global) {
+    if (params_.walk_sigma == 0) return;
+    while (last_step_ + params_.walk_step <= global) {
+      last_step_ += params_.walk_step;
+      walk_ += static_cast<Duration>(
+          rng_.normal(0.0, static_cast<double>(params_.walk_sigma)));
+    }
+  }
+
+  Params params_;
+  Rng rng_;
+  Duration walk_ = 0;
+  TimePoint last_step_ = 0;
+};
+
+}  // namespace hpcmon::core

@@ -1,0 +1,102 @@
+#include "core/config.hpp"
+
+#include <cstdlib>
+
+#include "core/strings.hpp"
+
+namespace hpcmon::core {
+
+Result<Config> Config::parse(std::string_view text) {
+  Config cfg;
+  std::size_t line_no = 0;
+  for (auto line : split(text, '\n')) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Result<Config>::error(
+          strformat("config line %zu: expected 'key = value'", line_no));
+    }
+    const auto key = trim(line.substr(0, eq));
+    const auto value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      return Result<Config>::error(
+          strformat("config line %zu: empty key", line_no));
+    }
+    cfg.set(key, value);
+  }
+  return cfg;
+}
+
+void Config::set(std::string_view key, std::string_view value) {
+  values_.insert_or_assign(std::string(key), std::string(value));
+}
+
+void Config::set_int(std::string_view key, std::int64_t value) {
+  set(key, strformat("%lld", static_cast<long long>(value)));
+}
+
+void Config::set_double(std::string_view key, double value) {
+  set(key, strformat("%.17g", value));
+}
+
+void Config::set_bool(std::string_view key, bool value) {
+  set(key, value ? "true" : "false");
+}
+
+bool Config::contains(std::string_view key) const {
+  return values_.find(key) != values_.end();
+}
+
+std::string Config::get_string(std::string_view key,
+                               std::string_view dflt) const {
+  if (auto it = values_.find(key); it != values_.end()) return it->second;
+  return std::string(dflt);
+}
+
+std::int64_t Config::get_int(std::string_view key, std::int64_t dflt) const {
+  if (auto it = values_.find(key); it != values_.end()) {
+    char* end = nullptr;
+    const auto v = std::strtoll(it->second.c_str(), &end, 10);
+    if (end != it->second.c_str() && *end == '\0') return v;
+  }
+  return dflt;
+}
+
+double Config::get_double(std::string_view key, double dflt) const {
+  if (auto it = values_.find(key); it != values_.end()) {
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end != it->second.c_str() && *end == '\0') return v;
+  }
+  return dflt;
+}
+
+bool Config::get_bool(std::string_view key, bool dflt) const {
+  if (auto it = values_.find(key); it != values_.end()) {
+    if (it->second == "true" || it->second == "1" || it->second == "yes") {
+      return true;
+    }
+    if (it->second == "false" || it->second == "0" || it->second == "no") {
+      return false;
+    }
+  }
+  return dflt;
+}
+
+std::string Config::dump() const {
+  std::string out;
+  for (const auto& [k, v] : values_) {
+    out += k;
+    out += " = ";
+    out += v;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace hpcmon::core

@@ -1,0 +1,47 @@
+// Flat key-value configuration with typed accessors.
+//
+// Table I (Architecture) requires that "changes in data direction and data
+// access [be] easily configured and changed"; hpcmon components take their
+// tunables (intervals, retention windows, thresholds) from a Config rather
+// than hard-coding them. Supports "key = value" text parsing with '#'
+// comments so examples can ship config files.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/result.hpp"
+
+namespace hpcmon::core {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse "key = value" lines; '#' starts a comment; blank lines ignored.
+  static Result<Config> parse(std::string_view text);
+
+  void set(std::string_view key, std::string_view value);
+  void set_int(std::string_view key, std::int64_t value);
+  void set_double(std::string_view key, double value);
+  void set_bool(std::string_view key, bool value);
+
+  bool contains(std::string_view key) const;
+
+  std::string get_string(std::string_view key, std::string_view dflt) const;
+  std::int64_t get_int(std::string_view key, std::int64_t dflt) const;
+  double get_double(std::string_view key, double dflt) const;
+  bool get_bool(std::string_view key, bool dflt) const;
+
+  /// Keys in sorted order (for dumps).
+  std::string dump() const;
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+};
+
+}  // namespace hpcmon::core

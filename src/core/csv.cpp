@@ -1,0 +1,52 @@
+#include "core/csv.hpp"
+
+#include <cstdio>
+
+namespace hpcmon::core {
+
+std::string csv_escape(std::string_view v) {
+  const bool needs_quotes =
+      v.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(v);
+  std::string out = "\"";
+  for (char c : v) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::sep() {
+  if (row_open_) out_ << ',';
+  row_open_ = true;
+}
+
+void CsvWriter::field(std::string_view v) {
+  sep();
+  out_ << csv_escape(v);
+}
+
+void CsvWriter::number(double v) {
+  sep();
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out_ << buf;
+}
+
+void CsvWriter::number(std::int64_t v) {
+  sep();
+  out_ << v;
+}
+
+void CsvWriter::end_row() {
+  out_ << '\n';
+  row_open_ = false;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (const auto& f : fields) field(f);
+  end_row();
+}
+
+}  // namespace hpcmon::core

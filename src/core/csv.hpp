@@ -1,0 +1,38 @@
+// CSV writer.
+//
+// Fig 5's caption: NCSA "enables user access to plots, with the ability to
+// download the image and also the raw data" as CSV. viz::export_csv builds on
+// this writer; it is in core because probes and benches also emit CSV.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpcmon::core {
+
+class CsvWriter {
+ public:
+  /// Begin a row; fields are appended with field()/number().
+  void field(std::string_view v);
+  void number(double v);
+  void number(std::int64_t v);
+  /// Terminate the current row.
+  void end_row();
+
+  /// Convenience: write a whole row of strings.
+  void row(const std::vector<std::string>& fields);
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  void sep();
+  std::ostringstream out_;
+  bool row_open_ = false;
+};
+
+/// Quote a field per RFC 4180 when it contains comma/quote/newline.
+std::string csv_escape(std::string_view v);
+
+}  // namespace hpcmon::core

@@ -1,0 +1,22 @@
+#include "core/ids.hpp"
+
+namespace hpcmon::core {
+
+std::string_view to_string(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kSystem: return "system";
+    case ComponentKind::kCabinet: return "cabinet";
+    case ComponentKind::kChassis: return "chassis";
+    case ComponentKind::kBlade: return "blade";
+    case ComponentKind::kNode: return "node";
+    case ComponentKind::kGpu: return "gpu";
+    case ComponentKind::kHsnLink: return "hsn_link";
+    case ComponentKind::kHsnRouter: return "hsn_router";
+    case ComponentKind::kFsTarget: return "fs_target";
+    case ComponentKind::kFacility: return "facility";
+    case ComponentKind::kService: return "service";
+  }
+  return "unknown";
+}
+
+}  // namespace hpcmon::core

@@ -1,0 +1,33 @@
+#include "core/log_event.hpp"
+
+namespace hpcmon::core {
+
+std::string_view to_string(Severity s) {
+  switch (s) {
+    case Severity::kEmergency: return "emerg";
+    case Severity::kAlert: return "alert";
+    case Severity::kCritical: return "crit";
+    case Severity::kError: return "err";
+    case Severity::kWarning: return "warning";
+    case Severity::kNotice: return "notice";
+    case Severity::kInfo: return "info";
+    case Severity::kDebug: return "debug";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(LogFacility f) {
+  switch (f) {
+    case LogFacility::kConsole: return "console";
+    case LogFacility::kHardware: return "hardware";
+    case LogFacility::kNetwork: return "network";
+    case LogFacility::kFilesystem: return "filesystem";
+    case LogFacility::kScheduler: return "scheduler";
+    case LogFacility::kPower: return "power";
+    case LogFacility::kHealth: return "health";
+    case LogFacility::kFacilityEnv: return "facility_env";
+  }
+  return "unknown";
+}
+
+}  // namespace hpcmon::core

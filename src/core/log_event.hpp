@@ -1,0 +1,61 @@
+// Text telemetry record: a single log line with structured envelope.
+//
+// The paper (Sec. IV-A) describes Cray splitting log events into >=20 per-day
+// files with inconsistent time formats, some multi-line, some binary. hpcmon
+// instead keeps one canonical structured record from the source onward;
+// transports may encode it in binary (EventRouter) or render it as text, but
+// the structure is never lost ("tools to transport and store the data in
+// native format are highly desirable", Table I).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/ids.hpp"
+#include "core/time.hpp"
+
+namespace hpcmon::core {
+
+/// Syslog-compatible severity, most severe first.
+enum class Severity : std::uint8_t {
+  kEmergency = 0,
+  kAlert = 1,
+  kCritical = 2,
+  kError = 3,
+  kWarning = 4,
+  kNotice = 5,
+  kInfo = 6,
+  kDebug = 7,
+};
+
+std::string_view to_string(Severity s);
+
+/// Coarse source category, mirroring the per-source log streams the paper
+/// describes (hardware errors, network events, console, scheduler, ...).
+enum class LogFacility : std::uint8_t {
+  kConsole = 0,
+  kHardware = 1,
+  kNetwork = 2,
+  kFilesystem = 3,
+  kScheduler = 4,
+  kPower = 5,
+  kHealth = 6,   // health-check / probe suite results
+  kFacilityEnv = 7,  // datacenter environment (ASHRAE-style, Sec. II.6)
+};
+
+std::string_view to_string(LogFacility f);
+
+/// One structured log event.
+struct LogEvent {
+  TimePoint time = 0;              // global (drift-corrected) timestamp
+  TimePoint local_time = 0;        // timestamp as stamped by the source clock
+  ComponentId component = kNoComponent;
+  LogFacility facility = LogFacility::kConsole;
+  Severity severity = Severity::kInfo;
+  JobId job = kNoJob;              // owning job when known
+  std::string message;
+
+  friend bool operator==(const LogEvent&, const LogEvent&) = default;
+};
+
+}  // namespace hpcmon::core

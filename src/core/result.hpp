@@ -1,0 +1,69 @@
+// Minimal Result/Status types for expected failures at module boundaries.
+//
+// hpcmon does not throw across library API boundaries for anticipated
+// conditions (missing series, exhausted archive, malformed frame); those are
+// reported as Status/Result values. Exceptions remain for programmer errors.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace hpcmon::core {
+
+class Status {
+ public:
+  Status() = default;  // OK
+  static Status ok() { return Status(); }
+  static Status error(std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    s.ok_ = false;
+    return s;
+  }
+
+  bool is_ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.is_ok() && "use the value constructor for success");
+  }
+  static Result error(std::string message) {
+    return Result(Status::error(std::move(message)));
+  }
+
+  bool is_ok() const { return value_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+
+  const T& value() const& {
+    assert(is_ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(is_ok());
+    return *value_;
+  }
+  T&& take() && {
+    assert(is_ok());
+    return std::move(*value_);
+  }
+  const Status& status() const { return status_; }
+  const std::string& message() const { return status_.message(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace hpcmon::core

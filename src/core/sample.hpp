@@ -1,0 +1,38 @@
+// The fundamental numeric telemetry record.
+//
+// Table I (Data Sources) requires "traditional text (e.g., logs), numeric
+// (e.g., counters) sources, as well as test results". Numeric data flows
+// through hpcmon as Sample records; text flows as LogEvent (log_event.hpp);
+// probe/test results are Samples on probe metrics plus LogEvents on failure.
+#pragma once
+
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/time.hpp"
+
+namespace hpcmon::core {
+
+/// One observation of one series at one instant.
+struct Sample {
+  SeriesId series{0};
+  TimePoint time = 0;
+  double value = 0.0;
+
+  friend bool operator==(const Sample&, const Sample&) = default;
+};
+
+/// A batch of samples that share a collection sweep. Samplers emit batches so
+/// that transports can frame, compress, and route them as a unit.
+struct SampleBatch {
+  /// Scheduled (synchronized) collection time of the sweep.
+  TimePoint sweep_time = 0;
+  /// Component that produced the batch (e.g. the node a sampler ran on).
+  ComponentId origin = kNoComponent;
+  std::vector<Sample> samples;
+
+  bool empty() const { return samples.empty(); }
+  std::size_t size() const { return samples.size(); }
+};
+
+}  // namespace hpcmon::core

@@ -1,0 +1,79 @@
+// Fixed-capacity ring buffer of (time, value) points.
+//
+// Used at data sources to hold recent samples before a transport sweep, and
+// by streaming analyses that need a bounded trailing window. Oldest points
+// are overwritten when full (the store, not the source, owns history).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/time.hpp"
+
+namespace hpcmon::core {
+
+struct TimedValue {
+  TimePoint time = 0;
+  double value = 0.0;
+  friend bool operator==(const TimedValue&, const TimedValue&) = default;
+};
+
+class SeriesBuffer {
+ public:
+  explicit SeriesBuffer(std::size_t capacity) : data_(capacity) {
+    assert(capacity > 0);
+  }
+
+  void push(TimePoint t, double v) {
+    data_[head_] = {t, v};
+    head_ = (head_ + 1) % data_.size();
+    if (size_ < data_.size()) ++size_;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return data_.size(); }
+  bool empty() const { return size_ == 0; }
+
+  /// i-th most recent point; at(0) is the newest.
+  const TimedValue& at_newest(std::size_t i) const {
+    assert(i < size_);
+    return data_[(head_ + data_.size() - 1 - i) % data_.size()];
+  }
+
+  std::optional<TimedValue> latest() const {
+    if (size_ == 0) return std::nullopt;
+    return at_newest(0);
+  }
+
+  /// Points within [range.begin, range.end), oldest first.
+  std::vector<TimedValue> window(const TimeRange& range) const {
+    std::vector<TimedValue> out;
+    for (std::size_t i = size_; i-- > 0;) {
+      const auto& tv = at_newest(i);
+      if (range.contains(tv.time)) out.push_back(tv);
+    }
+    return out;
+  }
+
+  /// All points, oldest first.
+  std::vector<TimedValue> snapshot() const {
+    std::vector<TimedValue> out;
+    out.reserve(size_);
+    for (std::size_t i = size_; i-- > 0;) out.push_back(at_newest(i));
+    return out;
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<TimedValue> data_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hpcmon::core

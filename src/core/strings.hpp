@@ -1,0 +1,35 @@
+// Small string utilities shared across modules (log scanning, CSV, config).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpcmon::core {
+
+/// Split on a single-character delimiter; keeps empty fields.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Join pieces with a separator.
+std::string join(const std::vector<std::string>& pieces, std::string_view sep);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Case-sensitive glob match supporting '*' (any run) and '?' (any char).
+/// Used by SEC-style rules and log scans instead of full regex.
+bool glob_match(std::string_view pattern, std::string_view text);
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string_view s);
+
+/// Tokenize a log message into indexable words (alnum runs, lower-cased).
+std::vector<std::string> tokenize_words(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace hpcmon::core

@@ -1,0 +1,42 @@
+#include "core/time.hpp"
+
+#include <cstdio>
+
+namespace hpcmon::core {
+
+std::string format_time(TimePoint t) {
+  const bool neg = t < 0;
+  std::int64_t us = neg ? -t : t;
+  const std::int64_t ms = (us / kMillisecond) % 1000;
+  std::int64_t s = us / kSecond;
+  const std::int64_t days = s / (24 * 3600);
+  s %= 24 * 3600;
+  const std::int64_t h = s / 3600;
+  const std::int64_t m = (s % 3600) / 60;
+  const std::int64_t sec = s % 60;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%lld+%02lld:%02lld:%02lld.%03lld",
+                neg ? "-" : "", static_cast<long long>(days),
+                static_cast<long long>(h), static_cast<long long>(m),
+                static_cast<long long>(sec), static_cast<long long>(ms));
+  return buf;
+}
+
+std::string format_duration(Duration d) {
+  char buf[48];
+  const double s = to_seconds(d < 0 ? -d : d);
+  const char* sign = d < 0 ? "-" : "";
+  if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%s%lldus", sign,
+                  static_cast<long long>(d < 0 ? -d : d));
+  } else if (s < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%s%.3gs", sign, s);
+  } else if (s < 2.0 * 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%s%.3gm", sign, s / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%.3gh", sign, s / 3600.0);
+  }
+  return buf;
+}
+
+}  // namespace hpcmon::core

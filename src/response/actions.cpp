@@ -1,0 +1,48 @@
+#include "response/actions.hpp"
+
+#include "core/strings.hpp"
+
+namespace hpcmon::response {
+
+void ActionDispatcher::bind(std::string key_glob, AlertSeverity min_severity,
+                            std::string action_name, Action action) {
+  bindings_.push_back({std::move(key_glob), min_severity,
+                       std::move(action_name), std::move(action)});
+}
+
+void ActionDispatcher::dispatch(const Alert& alert) {
+  for (const auto& b : bindings_) {
+    if (alert.severity < b.min_severity) continue;
+    if (!core::glob_match(b.key_glob, alert.key)) continue;
+    b.action(alert);
+    log_.push_back({alert.time, b.name, alert.key, alert.component});
+  }
+}
+
+ActionDispatcher::Action make_quarantine_action(sim::Cluster& cluster,
+                                                core::Duration repair_time) {
+  return [&cluster, repair_time](const Alert& alert) {
+    const int node = cluster.topology().node_index(alert.component);
+    if (node < 0) return;
+    cluster.scheduler().set_node_available(node, false);
+    cluster.events().schedule_at(
+        alert.time + repair_time, [&cluster, node](core::TimePoint) {
+          cluster.gpus().repair(node);
+          cluster.scheduler().set_node_available(node, true);
+        });
+  };
+}
+
+ActionDispatcher::Action make_drain_action(sim::Cluster& cluster,
+                                           core::Duration repair_time,
+                                           bool requeue) {
+  auto quarantine = make_quarantine_action(cluster, repair_time);
+  return [&cluster, quarantine, requeue](const Alert& alert) {
+    const int node = cluster.topology().node_index(alert.component);
+    if (node < 0) return;
+    cluster.fail_job_on_node(node, requeue);
+    quarantine(alert);
+  };
+}
+
+}  // namespace hpcmon::response

@@ -1,0 +1,63 @@
+// Automated response actions bound to alert keys.
+//
+// Sec. III-C: detection typically triggers "issuing an alert or marking a
+// node as down"; Table I (Response): "data and analysis results should be
+// able to be exposed to applications and system software". ActionDispatcher
+// binds alert-key globs to actions (quarantine node, schedule repair,
+// notify) and records everything it does — response must be auditable.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "response/alerts.hpp"
+#include "sim/cluster.hpp"
+
+namespace hpcmon::response {
+
+struct ActionRecord {
+  core::TimePoint time = 0;
+  std::string action;
+  std::string alert_key;
+  core::ComponentId component = core::kNoComponent;
+};
+
+class ActionDispatcher {
+ public:
+  using Action = std::function<void(const Alert&)>;
+
+  /// Bind an action to alerts whose key matches `key_glob` and whose
+  /// severity is at least `min_severity`.
+  void bind(std::string key_glob, AlertSeverity min_severity,
+            std::string action_name, Action action);
+
+  /// Feed a delivered alert (wire this as an AlertManager sink).
+  void dispatch(const Alert& alert);
+
+  const std::vector<ActionRecord>& log() const { return log_; }
+
+ private:
+  struct Binding {
+    std::string key_glob;
+    AlertSeverity min_severity;
+    std::string name;
+    Action action;
+  };
+  std::vector<Binding> bindings_;
+  std::vector<ActionRecord> log_;
+};
+
+/// Canonical action: quarantine the alert's node (take it out of scheduling)
+/// and schedule its return to service after `repair_time`.
+ActionDispatcher::Action make_quarantine_action(sim::Cluster& cluster,
+                                                core::Duration repair_time);
+
+/// Canonical action: drain the alert's node — kill the job holding it
+/// (requeueing a fresh copy when `requeue`), then quarantine + repair. The
+/// response to a wedged node that would otherwise stall its job forever.
+ActionDispatcher::Action make_drain_action(sim::Cluster& cluster,
+                                           core::Duration repair_time,
+                                           bool requeue = true);
+
+}  // namespace hpcmon::response

@@ -1,0 +1,57 @@
+#include "response/alerts.hpp"
+
+#include <algorithm>
+
+namespace hpcmon::response {
+
+std::string_view to_string(AlertSeverity severity) {
+  switch (severity) {
+    case AlertSeverity::kInfo: return "info";
+    case AlertSeverity::kWarning: return "warning";
+    case AlertSeverity::kCritical: return "critical";
+    case AlertSeverity::kPage: return "page";
+  }
+  return "?";
+}
+
+bool AlertManager::raise(Alert alert) {
+  ++raised_;
+  auto it = active_.find(alert.key);
+  if (it != active_.end() &&
+      alert.time - it->second.time < policy_.dedup_window) {
+    // Merge into the active alert; maybe escalate.
+    auto& existing = it->second;
+    existing.occurrences += 1;
+    if (existing.occurrences >= policy_.escalate_after &&
+        existing.severity < AlertSeverity::kPage) {
+      existing.severity =
+          static_cast<AlertSeverity>(static_cast<int>(existing.severity) + 1);
+      existing.occurrences = 1;  // escalation resets the counter
+      existing.time = alert.time;
+      ++delivered_;
+      for (const auto& sink : sinks_) sink(existing);
+      return true;
+    }
+    return false;
+  }
+  active_[alert.key] = alert;
+  ++delivered_;
+  for (const auto& sink : sinks_) sink(alert);
+  return true;
+}
+
+void AlertManager::resolve(const std::string& key, core::TimePoint) {
+  active_.erase(key);
+}
+
+std::vector<Alert> AlertManager::active() const {
+  std::vector<Alert> out;
+  out.reserve(active_.size());
+  for (const auto& [key, a] : active_) out.push_back(a);
+  std::sort(out.begin(), out.end(), [](const Alert& a, const Alert& b) {
+    return a.severity > b.severity;
+  });
+  return out;
+}
+
+}  // namespace hpcmon::response

@@ -1,0 +1,72 @@
+// Alerting: dedup, escalation, routing.
+//
+// Sec. III-C: "Responses are typically simple - such as issuing an alert or
+// marking a node as down" and Table I (Response): "reporting and alerting
+// capabilities should be easily configurable ... triggered based on
+// arbitrary locations in the data and analysis pathways." AlertManager is
+// the single funnel: anything (rule engine, detectors, probes, gates) raises
+// an Alert; dedup keeps storms quiet; repeated raises escalate severity;
+// sinks fan alerts out to consumers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/time.hpp"
+
+namespace hpcmon::response {
+
+enum class AlertSeverity : std::uint8_t { kInfo, kWarning, kCritical, kPage };
+
+std::string_view to_string(AlertSeverity severity);
+
+struct Alert {
+  core::TimePoint time = 0;
+  AlertSeverity severity = AlertSeverity::kWarning;
+  /// Dedup key: identical keys within the dedup window are merged.
+  std::string key;
+  core::ComponentId component = core::kNoComponent;
+  std::string message;
+  std::uint32_t occurrences = 1;  // merged raise count
+};
+
+struct AlertPolicy {
+  /// Re-raises of the same key within this window merge into one alert.
+  core::Duration dedup_window = 5 * core::kMinute;
+  /// Escalate one severity level after this many merged occurrences.
+  std::uint32_t escalate_after = 5;
+};
+
+class AlertManager {
+ public:
+  explicit AlertManager(const AlertPolicy& policy = {}) : policy_(policy) {}
+
+  using Sink = std::function<void(const Alert&)>;
+  /// Sinks receive every *delivered* (non-deduplicated) alert.
+  void add_sink(Sink sink) { sinks_.push_back(std::move(sink)); }
+
+  /// Raise an alert; returns true when it was delivered (not deduplicated).
+  bool raise(Alert alert);
+
+  /// Mark a key resolved: clears dedup state and the active list.
+  void resolve(const std::string& key, core::TimePoint now);
+
+  /// Alerts raised and not yet resolved, most severe first.
+  std::vector<Alert> active() const;
+  std::uint64_t raised_total() const { return raised_; }
+  std::uint64_t delivered_total() const { return delivered_; }
+  std::uint64_t suppressed_total() const { return raised_ - delivered_; }
+
+ private:
+  AlertPolicy policy_;
+  std::vector<Sink> sinks_;
+  std::map<std::string, Alert> active_;  // by key
+  std::uint64_t raised_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace hpcmon::response

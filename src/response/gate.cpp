@@ -1,0 +1,41 @@
+#include "response/gate.hpp"
+
+namespace hpcmon::response {
+
+void HealthGate::attach(bool pre, bool post) {
+  if (pre) {
+    cluster_.scheduler().set_pre_job_check([this](int node) {
+      ++stats_.pre_checks;
+      const bool ok = cluster_.gpus().run_diagnostic(node);
+      if (!ok) {
+        ++stats_.pre_failures;
+        quarantine_and_repair(node);
+      }
+      return ok;
+    });
+  }
+  if (post) {
+    cluster_.scheduler().set_post_job_check([this](int node) {
+      ++stats_.post_checks;
+      const bool ok = cluster_.gpus().run_diagnostic(node);
+      if (!ok) {
+        ++stats_.post_failures;
+        quarantine_and_repair(node);
+      }
+      return ok;
+    });
+  }
+}
+
+void HealthGate::quarantine_and_repair(int node) {
+  // The scheduler already marks the node unavailable when a gate fails;
+  // schedule the repair that brings it back.
+  cluster_.events().schedule_at(
+      cluster_.now() + repair_time_, [this, node](core::TimePoint) {
+        cluster_.gpus().repair(node);
+        cluster_.scheduler().set_node_available(node, true);
+        ++stats_.repairs;
+      });
+}
+
+}  // namespace hpcmon::response

@@ -1,0 +1,44 @@
+// HealthGate: the CSCS pre/post-job gating policy as a deployable unit.
+//
+// "No job should start on a node with a problem, and a problem should only
+// be encountered by at most one batch job - the job that was running when
+// the problem first occurred. ... the test suite is run before and after
+// each job. If the pre-job health assessment fails another node is chosen
+// and the problem node taken out of service for further testing and possible
+// repair." (Sec. II.5). attach() installs the gates on the scheduler and a
+// repair loop that returns quarantined nodes to service after repair_time.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cluster.hpp"
+
+namespace hpcmon::response {
+
+struct GateStats {
+  std::uint64_t pre_checks = 0;
+  std::uint64_t pre_failures = 0;   // nodes quarantined before a job started
+  std::uint64_t post_checks = 0;
+  std::uint64_t post_failures = 0;  // nodes quarantined after a job ended
+  std::uint64_t repairs = 0;
+};
+
+class HealthGate {
+ public:
+  HealthGate(sim::Cluster& cluster, core::Duration repair_time)
+      : cluster_(cluster), repair_time_(repair_time) {}
+
+  /// Install pre- and/or post-job GPU diagnostics on the scheduler.
+  void attach(bool pre, bool post);
+
+  const GateStats& stats() const { return stats_; }
+
+ private:
+  void quarantine_and_repair(int node);
+
+  sim::Cluster& cluster_;
+  core::Duration repair_time_;
+  GateStats stats_;
+};
+
+}  // namespace hpcmon::response

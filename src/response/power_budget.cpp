@@ -1,0 +1,34 @@
+#include "response/power_budget.hpp"
+
+#include <algorithm>
+
+#include "core/strings.hpp"
+
+namespace hpcmon::response {
+
+PowerRecommendation PowerBudgetWatcher::update(core::TimePoint t,
+                                               double system_power_w) {
+  PowerRecommendation rec;
+  rec.time = t;
+  rec.draw_w = system_power_w;
+  const double headroom = params_.budget_w - system_power_w;
+  rec.exportable_w =
+      std::max(0.0, headroom * params_.headroom_export_fraction);
+
+  if (system_power_w > params_.budget_w) {
+    ++over_;
+    alerts_.raise({t, AlertSeverity::kCritical, "power.over_budget",
+                   core::kNoComponent,
+                   core::strformat("draw %.0f W exceeds budget %.0f W",
+                                   system_power_w, params_.budget_w)});
+  } else if (system_power_w > params_.budget_w * params_.warn_fraction) {
+    alerts_.raise({t, AlertSeverity::kWarning, "power.near_budget",
+                   core::kNoComponent,
+                   core::strformat("draw %.0f W is %.0f%% of budget",
+                                   system_power_w,
+                                   100.0 * system_power_w / params_.budget_w)});
+  }
+  return rec;
+}
+
+}  // namespace hpcmon::response

@@ -1,0 +1,45 @@
+// Power-budget watcher (KAUST, Sec. II.7; Sec. III-C's envisioned
+// "redirection of power between platforms").
+//
+// Tracks system draw against a site budget; raises alerts as draw approaches
+// or exceeds budget and recommends a per-platform redirection (headroom
+// export) the site's facility layer could act on.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "response/alerts.hpp"
+
+namespace hpcmon::response {
+
+struct PowerBudgetParams {
+  double budget_w = 0.0;         // site allocation for this platform
+  double warn_fraction = 0.90;   // alert at 90% of budget
+  double headroom_export_fraction = 0.50;  // export half the unused headroom
+};
+
+struct PowerRecommendation {
+  core::TimePoint time = 0;
+  double draw_w = 0.0;
+  /// Watts this platform could lend to other site resources right now.
+  double exportable_w = 0.0;
+};
+
+class PowerBudgetWatcher {
+ public:
+  PowerBudgetWatcher(const PowerBudgetParams& params, AlertManager& alerts)
+      : params_(params), alerts_(alerts) {}
+
+  /// Feed one system-power sample; returns the current recommendation.
+  PowerRecommendation update(core::TimePoint t, double system_power_w);
+
+  std::uint64_t over_budget_samples() const { return over_; }
+
+ private:
+  PowerBudgetParams params_;
+  AlertManager& alerts_;
+  std::uint64_t over_ = 0;
+};
+
+}  // namespace hpcmon::response

@@ -1,0 +1,132 @@
+#include "sim/apps.hpp"
+
+namespace hpcmon::sim {
+
+int AppProfile::phase_at(double progress) const {
+  if (phases.empty()) return 0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    acc += phases[i].duration_frac;
+    if (progress < acc) return static_cast<int>(i);
+  }
+  return static_cast<int>(phases.size()) - 1;
+}
+
+AppProfile app_compute_bound() {
+  AppProfile p;
+  p.name = "compute_bound";
+  p.network_sensitivity = 0.05;
+  p.phases = {
+      {.duration_frac = 0.05, .cpu_util = 0.30, .mem_gb_per_node = 8.0,
+       .net_gbps_per_node = 0.1, .read_mbps_per_node = 200.0,
+       .write_mbps_per_node = 0.0, .md_ops_per_node = 20.0,
+       .active_fraction = 1.0},  // startup: read input deck
+      {.duration_frac = 0.90, .cpu_util = 0.95, .mem_gb_per_node = 24.0,
+       .net_gbps_per_node = 0.2, .read_mbps_per_node = 0.0,
+       .write_mbps_per_node = 0.0, .md_ops_per_node = 1.0,
+       .active_fraction = 1.0},
+      {.duration_frac = 0.05, .cpu_util = 0.20, .mem_gb_per_node = 24.0,
+       .net_gbps_per_node = 0.0, .read_mbps_per_node = 0.0,
+       .write_mbps_per_node = 400.0, .md_ops_per_node = 10.0,
+       .active_fraction = 1.0},  // final write
+  };
+  return p;
+}
+
+AppProfile app_network_heavy() {
+  AppProfile p;
+  p.name = "network_heavy";
+  p.network_sensitivity = 1.0;
+  p.phases = {
+      {.duration_frac = 1.0, .cpu_util = 0.75, .mem_gb_per_node = 16.0,
+       .net_gbps_per_node = 2.5, .read_mbps_per_node = 0.0,
+       .write_mbps_per_node = 0.0, .md_ops_per_node = 1.0,
+       .active_fraction = 1.0},
+  };
+  return p;
+}
+
+AppProfile app_io_checkpoint() {
+  AppProfile p;
+  p.name = "io_checkpoint";
+  p.network_sensitivity = 0.3;
+  // compute / checkpoint / compute / checkpoint: bursty write pattern that
+  // shows up as spikes in filesystem aggregate plots (Fig 4).
+  p.phases = {
+      {.duration_frac = 0.40, .cpu_util = 0.90, .mem_gb_per_node = 32.0,
+       .net_gbps_per_node = 0.8, .read_mbps_per_node = 0.0,
+       .write_mbps_per_node = 0.0, .md_ops_per_node = 1.0,
+       .active_fraction = 1.0},
+      {.duration_frac = 0.10, .cpu_util = 0.25, .mem_gb_per_node = 32.0,
+       .net_gbps_per_node = 0.1, .read_mbps_per_node = 0.0,
+       .write_mbps_per_node = 1500.0, .md_ops_per_node = 50.0,
+       .active_fraction = 1.0},
+      {.duration_frac = 0.40, .cpu_util = 0.90, .mem_gb_per_node = 32.0,
+       .net_gbps_per_node = 0.8, .read_mbps_per_node = 0.0,
+       .write_mbps_per_node = 0.0, .md_ops_per_node = 1.0,
+       .active_fraction = 1.0},
+      {.duration_frac = 0.10, .cpu_util = 0.25, .mem_gb_per_node = 32.0,
+       .net_gbps_per_node = 0.1, .read_mbps_per_node = 0.0,
+       .write_mbps_per_node = 1500.0, .md_ops_per_node = 50.0,
+       .active_fraction = 1.0},
+  };
+  return p;
+}
+
+AppProfile app_metadata_heavy() {
+  AppProfile p;
+  p.name = "metadata_heavy";
+  p.network_sensitivity = 0.1;
+  p.io_sensitivity = 1.5;
+  p.phases = {
+      {.duration_frac = 1.0, .cpu_util = 0.35, .mem_gb_per_node = 4.0,
+       .net_gbps_per_node = 0.05, .read_mbps_per_node = 50.0,
+       .write_mbps_per_node = 50.0, .md_ops_per_node = 500.0,
+       .active_fraction = 1.0},
+  };
+  return p;
+}
+
+AppProfile app_imbalanced() {
+  AppProfile p;
+  p.name = "imbalanced";
+  p.network_sensitivity = 0.4;
+  // Middle phase: only ~30% of nodes work while the rest spin-wait at low
+  // utilization. This is the pathology KAUST spotted from per-cabinet power
+  // (Fig 3): large cabinet-to-cabinet variation and reduced system draw.
+  p.phases = {
+      {.duration_frac = 0.25, .cpu_util = 0.90, .mem_gb_per_node = 16.0,
+       .net_gbps_per_node = 1.0, .read_mbps_per_node = 100.0,
+       .write_mbps_per_node = 0.0, .md_ops_per_node = 5.0,
+       .active_fraction = 1.0},
+      {.duration_frac = 0.50, .cpu_util = 0.90, .mem_gb_per_node = 16.0,
+       .net_gbps_per_node = 0.3, .read_mbps_per_node = 0.0,
+       .write_mbps_per_node = 0.0, .md_ops_per_node = 1.0,
+       .active_fraction = 0.30},
+      {.duration_frac = 0.25, .cpu_util = 0.90, .mem_gb_per_node = 16.0,
+       .net_gbps_per_node = 1.0, .read_mbps_per_node = 0.0,
+       .write_mbps_per_node = 200.0, .md_ops_per_node = 5.0,
+       .active_fraction = 1.0},
+  };
+  return p;
+}
+
+AppProfile app_aggressor() {
+  AppProfile p;
+  p.name = "aggressor";
+  p.network_sensitivity = 0.0;  // blasts traffic, indifferent to stalls
+  p.phases = {
+      {.duration_frac = 1.0, .cpu_util = 0.50, .mem_gb_per_node = 8.0,
+       .net_gbps_per_node = 7.5, .read_mbps_per_node = 0.0,
+       .write_mbps_per_node = 0.0, .md_ops_per_node = 0.0,
+       .active_fraction = 1.0},
+  };
+  return p;
+}
+
+std::vector<AppProfile> standard_app_mix() {
+  return {app_compute_bound(), app_network_heavy(), app_io_checkpoint(),
+          app_metadata_heavy(), app_imbalanced()};
+}
+
+}  // namespace hpcmon::sim

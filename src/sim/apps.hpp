@@ -1,0 +1,57 @@
+// Application behaviour profiles.
+//
+// KAUST (Sec. II.7) found that "power profiles of applications were
+// repeatable enough" to detect system problems by comparing against known
+// good runs. That only works if applications have structured, phase-wise
+// resource behaviour — which is what AppProfile encodes: an ordered list of
+// phases, each with CPU, memory, network, and I/O intensity, plus an
+// active-node fraction used to model the load-imbalance bug of Fig 3.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hpcmon::sim {
+
+/// One phase of an application's execution.
+struct AppPhase {
+  /// Fraction of the job's nominal runtime spent in this phase (sums to ~1).
+  double duration_frac = 1.0;
+  double cpu_util = 0.8;            // 0..1 on active nodes
+  double mem_gb_per_node = 16.0;
+  double net_gbps_per_node = 0.0;   // ring traffic to the next job node
+  double read_mbps_per_node = 0.0;
+  double write_mbps_per_node = 0.0;
+  double md_ops_per_node = 0.0;     // filesystem metadata ops/s
+  /// Fraction of the job's nodes doing work this phase; the rest idle-wait
+  /// (models the Fig 3 load-imbalance pathology when < 1).
+  double active_fraction = 1.0;
+};
+
+/// A named application with its phase structure.
+struct AppProfile {
+  std::string name;
+  std::vector<AppPhase> phases;
+  /// Progress slows by (1 + sensitivity * path_stall) under HSN congestion;
+  /// 0 = immune (pure compute), ~1 = communication-bound (HLRS "victim").
+  double network_sensitivity = 0.5;
+  /// Progress in I/O phases slows with filesystem latency inflation.
+  double io_sensitivity = 1.0;
+
+  /// Phase index at a given progress fraction in [0,1].
+  int phase_at(double progress) const;
+};
+
+// Canonical profiles used by the workload generator and benches. Each
+// corresponds to a workload class the paper's sites monitor for.
+AppProfile app_compute_bound();   // CPU-heavy, network-light
+AppProfile app_network_heavy();   // halo-exchange style, congestion victim
+AppProfile app_io_checkpoint();   // compute then burst writes (Fig 4 spikes)
+AppProfile app_metadata_heavy();  // many small fs metadata ops
+AppProfile app_imbalanced();      // middle phase with few active nodes (Fig 3)
+AppProfile app_aggressor();       // all-to-all traffic blaster (HLRS)
+
+/// All canonical profiles, for mixed workloads.
+std::vector<AppProfile> standard_app_mix();
+
+}  // namespace hpcmon::sim

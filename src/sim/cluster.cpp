@@ -1,0 +1,287 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/strings.hpp"
+
+namespace hpcmon::sim {
+
+using core::Duration;
+using core::LogEvent;
+using core::LogFacility;
+using core::Severity;
+using core::TimePoint;
+
+Cluster::Cluster(const ClusterParams& params)
+    : params_(params), rng_(params.seed) {
+  topo_ = std::make_unique<Topology>(registry_, params.shape,
+                                     params.fabric_kind);
+  fabric_ = std::make_unique<Fabric>(*topo_, params.fabric, rng_.fork());
+  fs_ = std::make_unique<FsModel>(*topo_, params.fs, rng_.fork());
+  power_ = std::make_unique<PowerModel>(*topo_, params.power, rng_.fork());
+  gpus_ = std::make_unique<GpuFleet>(*topo_, params.gpu, rng_.fork());
+  scheduler_ = std::make_unique<Scheduler>(*topo_, *fabric_, *fs_,
+                                           params.placement, rng_.fork());
+  nodes_.resize(topo_->num_nodes());
+  leak_rate_gb_per_s_.assign(topo_->num_nodes(), 0.0);
+  if (params.clock_drift) {
+    auto drift_rng = rng_.fork();
+    node_clocks_.reserve(topo_->num_nodes());
+    for (int i = 0; i < topo_->num_nodes(); ++i) {
+      core::DriftClock::Params dp;
+      dp.offset0 = static_cast<Duration>(drift_rng.normal(0.0, 5e3));  // ~5ms
+      dp.skew_ppm = drift_rng.normal(0.0, params.drift_skew_ppm_sigma);
+      dp.walk_sigma = params.drift_walk_sigma;
+      node_clocks_.emplace_back(dp, drift_rng.fork());
+    }
+  }
+}
+
+double Cluster::node_mem_free_gb(int node) const {
+  const auto& n = nodes_.at(node);
+  return std::max(0.0, params_.node.mem_total_gb - params_.node.os_mem_gb -
+                           n.mem_used_gb - n.leak_gb);
+}
+
+TimePoint Cluster::node_local_time(int node) {
+  if (node_clocks_.empty()) return clock_.now();
+  return node_clocks_.at(node).local_time(clock_.now());
+}
+
+void Cluster::set_node_pstate(int node, double pstate) {
+  nodes_.at(node).pstate = std::clamp(pstate, 0.4, 1.0);
+}
+
+void Cluster::set_all_pstates(double pstate) {
+  for (auto& n : nodes_) n.pstate = std::clamp(pstate, 0.4, 1.0);
+}
+
+core::JobId Cluster::fail_job_on_node(int node, bool requeue) {
+  const auto id = scheduler_->job_on_node(node);
+  if (id == core::kNoJob) return core::kNoJob;
+  std::vector<LogEvent> events;
+  scheduler_->fail_job(clock_.now(), id, requeue, events);
+  for (auto& ev : events) push_log(std::move(ev));
+  return id;
+}
+
+std::vector<LogEvent> Cluster::drain_logs() {
+  std::vector<LogEvent> out(log_queue_.begin(), log_queue_.end());
+  log_queue_.clear();
+  return out;
+}
+
+void Cluster::push_log(LogEvent ev) {
+  // Stamp local_time with the originating component's drifting clock when
+  // the component maps to a node (Sec. III-A: sources stamp locally).
+  if (!node_clocks_.empty() && ev.component != core::kNoComponent) {
+    const int node = topo_->node_index(ev.component);
+    if (node >= 0) ev.local_time = node_clocks_[node].local_time(ev.time);
+  }
+  log_queue_.push_back(std::move(ev));
+}
+
+void Cluster::run_until(TimePoint t) {
+  while (clock_.now() + params_.tick <= t) {
+    clock_.advance_by(params_.tick);
+    step();
+  }
+}
+
+void Cluster::step() {
+  const TimePoint now = clock_.now();
+  const Duration dt = params_.tick;
+  events_.run_until(now);
+
+  std::vector<LogEvent> events;
+  scheduler_->apply_loads(now, nodes_);
+  // Apply accumulated memory leaks on top of application demand.
+  for (int i = 0; i < topo_->num_nodes(); ++i) {
+    if (leak_rate_gb_per_s_[i] > 0.0) {
+      nodes_[i].leak_gb += leak_rate_gb_per_s_[i] * core::to_seconds(dt);
+    }
+  }
+  fabric_->tick(now, dt, events);
+  fs_->tick(now, dt, events);
+  power_->tick(now, dt, nodes_, events);
+  gpus_->tick(now, dt, power_->facility().corrosion_ppb, events);
+  scheduler_->advance(now, dt, nodes_, events);
+
+  // Background console chatter: roughly one routine line per 64 nodes/tick,
+  // so log analysis always has a noise floor to discriminate against.
+  const double mean_noise = topo_->num_nodes() / 64.0 * 0.1;
+  const auto noise = rng_.poisson(mean_noise);
+  for (std::int64_t i = 0; i < noise; ++i) {
+    const int node =
+        static_cast<int>(rng_.uniform_int(0, topo_->num_nodes() - 1));
+    events.push_back({now, now, topo_->node(node), LogFacility::kConsole,
+                      Severity::kInfo, core::kNoJob,
+                      "systemd: session opened for user operator"});
+  }
+  for (auto& ev : events) push_log(std::move(ev));
+}
+
+void Cluster::start_workload(const WorkloadParams& params, TimePoint at) {
+  workload_ = std::make_unique<WorkloadGenerator>(params, rng_.fork());
+  // Self-rescheduling arrival process.
+  struct Arrival {
+    Cluster* cluster;
+    void operator()(TimePoint now) const {
+      auto req = cluster->workload_->next_request();
+      cluster->scheduler_->submit(now, std::move(req));
+      cluster->events_.schedule_at(
+          now + cluster->workload_->next_interarrival(), Arrival{*this});
+    }
+  };
+  events_.schedule_at(at, Arrival{this});
+}
+
+void Cluster::submit_at(TimePoint at, JobRequest request) {
+  events_.schedule_at(at, [this, request = std::move(request)](TimePoint now) {
+    scheduler_->submit(now, request);
+  });
+}
+
+void Cluster::inject_link_ber(TimePoint at, int link, double multiplier,
+                              Duration duration) {
+  fault_log_.push_back({"link_ber",
+                        registry_.component(topo_->link(link).component).name,
+                        at, duration, multiplier});
+  events_.schedule_at(at, [this, link, multiplier](TimePoint) {
+    fabric_->set_link_ber_multiplier(link, multiplier);
+  });
+  events_.schedule_at(at + duration, [this, link](TimePoint) {
+    fabric_->set_link_ber_multiplier(link, 1.0);
+  });
+}
+
+void Cluster::inject_link_down(TimePoint at, int link, Duration duration) {
+  fault_log_.push_back({"link_down",
+                        registry_.component(topo_->link(link).component).name,
+                        at, duration, 1.0});
+  events_.schedule_at(at, [this, link](TimePoint now) {
+    fabric_->set_link_up(link, false);
+    push_log({now, now, topo_->link(link).component, LogFacility::kNetwork,
+              Severity::kError, core::kNoJob, "HSN link failed: lane degrade"});
+  });
+  events_.schedule_at(at + duration, [this, link](TimePoint now) {
+    fabric_->set_link_up(link, true);
+    push_log({now, now, topo_->link(link).component, LogFacility::kNetwork,
+              Severity::kNotice, core::kNoJob, "HSN link recovered"});
+  });
+}
+
+void Cluster::inject_ost_slowdown(TimePoint at, int fs, int ost, double factor,
+                                  Duration duration) {
+  fault_log_.push_back({"ost_slowdown",
+                        registry_.component(topo_->ost(fs, ost)).name, at,
+                        duration, factor});
+  events_.schedule_at(at, [this, fs, ost, factor](TimePoint) {
+    fs_->set_ost_slowdown(fs, ost, factor);
+  });
+  events_.schedule_at(at + duration, [this, fs, ost](TimePoint) {
+    fs_->set_ost_slowdown(fs, ost, 1.0);
+  });
+}
+
+void Cluster::inject_mds_slowdown(TimePoint at, int fs, double factor,
+                                  Duration duration) {
+  fault_log_.push_back({"mds_slowdown", registry_.component(topo_->mds(fs)).name,
+                        at, duration, factor});
+  events_.schedule_at(at, [this, fs, factor](TimePoint) {
+    fs_->set_mds_slowdown(fs, factor);
+  });
+  events_.schedule_at(at + duration, [this, fs](TimePoint) {
+    fs_->set_mds_slowdown(fs, 1.0);
+  });
+}
+
+void Cluster::inject_node_hang(TimePoint at, int node, Duration duration) {
+  fault_log_.push_back({"node_hang", registry_.component(topo_->node(node)).name,
+                        at, duration, 1.0});
+  events_.schedule_at(at, [this, node](TimePoint now) {
+    nodes_[node].hung = true;
+    push_log({now, now, topo_->node(node), LogFacility::kConsole,
+              Severity::kError, scheduler_->job_on_node(node),
+              "soft lockup - CPU stuck for 22s"});
+  });
+  events_.schedule_at(at + duration, [this, node](TimePoint) {
+    nodes_[node].hung = false;
+  });
+}
+
+void Cluster::inject_mem_leak(TimePoint at, int node, double gb_per_hour,
+                              Duration duration) {
+  fault_log_.push_back({"mem_leak", registry_.component(topo_->node(node)).name,
+                        at, duration, gb_per_hour});
+  events_.schedule_at(at, [this, node, gb_per_hour](TimePoint) {
+    leak_rate_gb_per_s_[node] = gb_per_hour / 3600.0;
+  });
+  events_.schedule_at(at + duration, [this, node](TimePoint) {
+    leak_rate_gb_per_s_[node] = 0.0;
+    nodes_[node].leak_gb = 0.0;  // daemon restarted
+  });
+}
+
+void Cluster::inject_fs_unmount(TimePoint at, int node, Duration duration) {
+  fault_log_.push_back({"fs_unmount",
+                        registry_.component(topo_->node(node)).name, at,
+                        duration, 1.0});
+  events_.schedule_at(at, [this, node](TimePoint now) {
+    nodes_[node].fs_mounted = false;
+    push_log({now, now, topo_->node(node), LogFacility::kFilesystem,
+              Severity::kError, core::kNoJob,
+              "lustre: connection to MDS lost; mount inactive"});
+  });
+  events_.schedule_at(at + duration, [this, node](TimePoint) {
+    nodes_[node].fs_mounted = true;
+  });
+}
+
+void Cluster::inject_corrosion_excursion(TimePoint at, double ppb,
+                                         Duration duration) {
+  fault_log_.push_back({"corrosion", "facility.env", at, duration, ppb});
+  events_.schedule_at(at, [this, ppb, duration](TimePoint now) {
+    power_->set_corrosion_excursion(ppb, now + duration);
+  });
+}
+
+void Cluster::inject_gpu_failure(TimePoint at, int node) {
+  fault_log_.push_back({"gpu_failure",
+                        registry_.component(topo_->node(node)).name, at, 0, 1.0});
+  events_.schedule_at(at, [this, node](TimePoint now) {
+    gpus_->force_health(node, GpuHealth::kFailed);
+    push_log({now, now, topo_->gpu_of(node), LogFacility::kHardware,
+              Severity::kCritical, scheduler_->job_on_node(node),
+              "GPU has fallen off the bus"});
+  });
+}
+
+void Cluster::inject_log_storm(TimePoint at, Duration duration,
+                               int events_per_tick, std::string message) {
+  fault_log_.push_back({"log_storm", "system", at, duration,
+                        static_cast<double>(events_per_tick)});
+  const TimePoint end = at + duration;
+  struct Storm {
+    Cluster* cluster;
+    TimePoint end;
+    int per_tick;
+    std::string message;
+    void operator()(TimePoint now) const {
+      for (int i = 0; i < per_tick; ++i) {
+        const int node = static_cast<int>(cluster->rng_.uniform_int(
+            0, cluster->topo_->num_nodes() - 1));
+        cluster->push_log({now, now, cluster->topo_->node(node),
+                           LogFacility::kConsole, Severity::kWarning,
+                           core::kNoJob, message});
+      }
+      if (now + cluster->params_.tick < end) {
+        cluster->events_.schedule_at(now + cluster->params_.tick, Storm{*this});
+      }
+    }
+  };
+  events_.schedule_at(at, Storm{this, end, events_per_tick, std::move(message)});
+}
+
+}  // namespace hpcmon::sim

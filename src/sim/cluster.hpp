@@ -1,0 +1,150 @@
+// Cluster: the facade that wires topology, fabric, filesystem, power, GPUs,
+// scheduler, workload, clock drift, and fault injection into one stepped
+// simulation. This is the "machine" that hpcmon's monitoring stack observes.
+//
+// The read accessors on this class are deliberately the *vendor interface*
+// Table I demands: documented, raw, maximum-fidelity data for every
+// subsystem. Samplers in hpcmon::collect consume only these accessors.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/clock.hpp"
+#include "core/ids.hpp"
+#include "core/log_event.hpp"
+#include "core/registry.hpp"
+#include "core/rng.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/fabric.hpp"
+#include "sim/filesystem.hpp"
+#include "sim/gpu.hpp"
+#include "sim/node.hpp"
+#include "sim/power.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/topology.hpp"
+#include "sim/workload.hpp"
+
+namespace hpcmon::sim {
+
+struct ClusterParams {
+  MachineShape shape;
+  FabricKind fabric_kind = FabricKind::kDragonfly;
+  FabricParams fabric;
+  FsParams fs;
+  PowerParams power;
+  GpuParams gpu;
+  NodeParams node;
+  PlacementPolicy placement = PlacementPolicy::kFirstFit;
+  core::Duration tick = core::kSecond;
+  std::uint64_t seed = 42;
+  /// Enable per-node local clock drift (Sec. III-A failure mode).
+  bool clock_drift = false;
+  double drift_skew_ppm_sigma = 20.0;      // per-node constant skew spread
+  core::Duration drift_walk_sigma = 2 * core::kMillisecond;
+};
+
+/// Ground-truth record of an injected fault (for detector evaluation).
+struct FaultEvent {
+  std::string kind;
+  std::string target;
+  core::TimePoint start = 0;
+  core::Duration duration = 0;
+  double magnitude = 0.0;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterParams& params);
+
+  // -- Simulation control ---------------------------------------------------
+  core::TimePoint now() const { return clock_.now(); }
+  core::Duration tick_interval() const { return params_.tick; }
+  /// Step the simulation forward to absolute time t (multiple ticks).
+  void run_until(core::TimePoint t);
+  void run_for(core::Duration d) { run_until(now() + d); }
+  /// Schedule arbitrary callbacks on the simulation timeline.
+  EventQueue& events() { return events_; }
+
+  // -- Structure ------------------------------------------------------------
+  core::MetricRegistry& registry() { return registry_; }
+  const Topology& topology() const { return *topo_; }
+  Scheduler& scheduler() { return *scheduler_; }
+  Fabric& fabric() { return *fabric_; }
+  FsModel& fs() { return *fs_; }
+  PowerModel& power() { return *power_; }
+  GpuFleet& gpus() { return *gpus_; }
+
+  // -- Raw data interface (what samplers read) -------------------------------
+  const NodeState& node_state(int node) const { return nodes_.at(node); }
+  double node_mem_free_gb(int node) const;
+  const NodeParams& node_params() const { return params_.node; }
+  /// Timestamp the node's local (drifting) clock would stamp right now.
+  core::TimePoint node_local_time(int node);
+  /// Set a node's DVFS p-state in [0.4, 1.0] (response-path knob: the paper
+  /// envisions "downclocking components" and p-state/power-cap sweeps).
+  void set_node_pstate(int node, double pstate);
+  /// Apply one p-state machine-wide.
+  void set_all_pstates(double pstate);
+  /// Kill the job currently holding `node` (optionally requeueing a copy).
+  /// Returns the killed job id, or kNoJob when the node was idle. The
+  /// "drain a wedged node" response action.
+  core::JobId fail_job_on_node(int node, bool requeue);
+  /// Drain accumulated log events (ERD-style event stream).
+  std::vector<core::LogEvent> drain_logs();
+  /// Enqueue an externally produced event (health suites, probes) onto the
+  /// same stream the platform's own components log to.
+  void emit_log(core::LogEvent event) { push_log(std::move(event)); }
+  std::size_t pending_log_count() const { return log_queue_.size(); }
+
+  // -- Workload ---------------------------------------------------------------
+  /// Start submitting a stochastic job stream from `at` onward.
+  void start_workload(const WorkloadParams& params, core::TimePoint at = 0);
+  /// Submit one specific job at a given time.
+  void submit_at(core::TimePoint at, JobRequest request);
+
+  // -- Fault injection (each records ground truth in fault_log()) ------------
+  void inject_link_ber(core::TimePoint at, int link, double multiplier,
+                       core::Duration duration);
+  void inject_link_down(core::TimePoint at, int link, core::Duration duration);
+  void inject_ost_slowdown(core::TimePoint at, int fs, int ost, double factor,
+                           core::Duration duration);
+  void inject_mds_slowdown(core::TimePoint at, int fs, double factor,
+                           core::Duration duration);
+  void inject_node_hang(core::TimePoint at, int node, core::Duration duration);
+  void inject_mem_leak(core::TimePoint at, int node, double gb_per_hour,
+                       core::Duration duration);
+  void inject_fs_unmount(core::TimePoint at, int node, core::Duration duration);
+  void inject_corrosion_excursion(core::TimePoint at, double ppb,
+                                  core::Duration duration);
+  void inject_gpu_failure(core::TimePoint at, int node);
+  void inject_log_storm(core::TimePoint at, core::Duration duration,
+                        int events_per_tick, std::string message);
+  const std::vector<FaultEvent>& fault_log() const { return fault_log_; }
+
+ private:
+  void step();  // one tick
+  void push_log(core::LogEvent ev);
+
+  ClusterParams params_;
+  core::MetricRegistry registry_;
+  core::SimClock clock_;
+  core::Rng rng_;
+  EventQueue events_;
+  std::unique_ptr<Topology> topo_;
+  std::unique_ptr<Fabric> fabric_;
+  std::unique_ptr<FsModel> fs_;
+  std::unique_ptr<PowerModel> power_;
+  std::unique_ptr<GpuFleet> gpus_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<WorkloadGenerator> workload_;
+  std::vector<NodeState> nodes_;
+  std::vector<double> leak_rate_gb_per_s_;
+  std::vector<core::DriftClock> node_clocks_;
+  std::deque<core::LogEvent> log_queue_;
+  std::vector<FaultEvent> fault_log_;
+};
+
+}  // namespace hpcmon::sim

@@ -1,0 +1,39 @@
+#include "sim/event_queue.hpp"
+
+#include <memory>
+
+namespace hpcmon::sim {
+
+namespace {
+// Self-rescheduling wrapper; shared_ptr to the body avoids copying a
+// potentially heavy closure on every repetition.
+struct Repeater {
+  EventQueue* queue;
+  core::Duration period;
+  std::shared_ptr<EventQueue::Callback> body;
+  void operator()(core::TimePoint now) const {
+    (*body)(now);
+    queue->schedule_at(now + period, Repeater{*this});
+  }
+};
+}  // namespace
+
+void EventQueue::schedule_every(core::TimePoint first, core::Duration period,
+                                Callback cb) {
+  schedule_at(first,
+              Repeater{this, period, std::make_shared<Callback>(std::move(cb))});
+}
+
+std::size_t EventQueue::run_until(core::TimePoint t) {
+  std::size_t n = 0;
+  while (!heap_.empty() && heap_.top().time <= t) {
+    // Copy out before pop so the callback may schedule freely.
+    Entry e = heap_.top();
+    heap_.pop();
+    e.cb(e.time);
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace hpcmon::sim

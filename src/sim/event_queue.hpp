@@ -1,0 +1,56 @@
+// Discrete-event scheduling for the cluster simulator.
+//
+// A thin priority queue of (time, sequence, callback). Sequence numbers make
+// same-time ordering deterministic (FIFO), which keeps whole-simulation runs
+// bit-reproducible under a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/time.hpp"
+
+namespace hpcmon::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void(core::TimePoint)>;
+
+  /// Schedule a one-shot callback at absolute time t.
+  void schedule_at(core::TimePoint t, Callback cb) {
+    heap_.push(Entry{t, next_seq_++, std::move(cb)});
+  }
+
+  /// Schedule a callback every `period`, first firing at `first`.
+  /// The callback returns void; cancel by capturing a shared flag.
+  void schedule_every(core::TimePoint first, core::Duration period,
+                      Callback cb);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  core::TimePoint next_time() const { return heap_.top().time; }
+
+  /// Pop and run all events with time <= t, in (time, seq) order.
+  /// Returns the number of events executed. Events may schedule new events;
+  /// newly scheduled events that fall within t are also executed.
+  std::size_t run_until(core::TimePoint t);
+
+ private:
+  struct Entry {
+    core::TimePoint time;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace hpcmon::sim

@@ -1,0 +1,224 @@
+#include "sim/fabric.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+#include "core/strings.hpp"
+
+namespace hpcmon::sim {
+
+using core::Duration;
+using core::JobId;
+using core::LogEvent;
+using core::LogFacility;
+using core::Severity;
+using core::TimePoint;
+
+const std::vector<int> Fabric::kEmptyRoute{};
+
+Fabric::Fabric(const Topology& topo, const FabricParams& params, core::Rng rng)
+    : topo_(topo), params_(params), rng_(rng) {
+  links_.resize(topo.num_links());
+  node_injection_.assign(topo.num_nodes(), 0.0);
+}
+
+void Fabric::set_job_flows(JobId job, std::vector<Flow> flows) {
+  if (flows.empty()) {
+    flows_.erase(job);
+  } else {
+    flows_[job] = std::move(flows);
+  }
+}
+
+void Fabric::clear_job_flows(JobId job) { flows_.erase(job); }
+
+double Fabric::capacity(int link_index) const {
+  return topo_.link(link_index).global ? params_.global_link_capacity_gbps
+                                       : params_.link_capacity_gbps;
+}
+
+const std::vector<int>& Fabric::route_routers(int src_router, int dst_router) {
+  const auto key = static_cast<std::uint64_t>(src_router) *
+                       static_cast<std::uint64_t>(topo_.num_routers()) +
+                   static_cast<std::uint64_t>(dst_router);
+  if (auto it = route_cache_.find(key); it != route_cache_.end()) {
+    return it->second;
+  }
+  // BFS over up links gives minimal hop-count routes on both fabrics and
+  // naturally reroutes around downed links.
+  std::vector<int> prev_link(topo_.num_routers(), -1);
+  std::vector<char> seen(topo_.num_routers(), 0);
+  std::deque<int> frontier{src_router};
+  seen[src_router] = 1;
+  bool found = src_router == dst_router;
+  while (!frontier.empty() && !found) {
+    const int r = frontier.front();
+    frontier.pop_front();
+    for (int li : topo_.links_from(r)) {
+      if (!links_[li].up) continue;
+      const int nr = topo_.link(li).dst_router;
+      if (seen[nr]) continue;
+      seen[nr] = 1;
+      prev_link[nr] = li;
+      if (nr == dst_router) {
+        found = true;
+        break;
+      }
+      frontier.push_back(nr);
+    }
+  }
+  std::vector<int> path;
+  if (found) {
+    int r = dst_router;
+    while (r != src_router) {
+      const int li = prev_link[r];
+      assert(li >= 0);
+      path.push_back(li);
+      r = topo_.link(li).src_router;
+    }
+    std::reverse(path.begin(), path.end());
+  }
+  return route_cache_.emplace(key, std::move(path)).first->second;
+}
+
+const std::vector<int>& Fabric::route(int src_node, int dst_node) {
+  return route_routers(topo_.router_of_node(src_node),
+                       topo_.router_of_node(dst_node));
+}
+
+void Fabric::tick(TimePoint now, Duration dt, std::vector<LogEvent>& log_out) {
+  const double dt_s = core::to_seconds(dt);
+
+  // Pass 1: accumulate raw demand per link and per source NIC.
+  for (auto& l : links_) {
+    l.demand_gbps = 0.0;
+    l.carried_gbps = 0.0;
+  }
+  std::vector<double> nic_demand(node_injection_.size(), 0.0);
+  for (const auto& [job, flows] : flows_) {
+    for (const auto& f : flows) {
+      nic_demand[f.src_node] += f.gbps;
+      for (int li : route(f.src_node, f.dst_node)) {
+        links_[li].demand_gbps += f.gbps;
+      }
+    }
+  }
+
+  // Pass 2: per-flow delivered fraction = min bottleneck share along the
+  // path (including the source NIC); re-accumulate carried bandwidth.
+  std::fill(node_injection_.begin(), node_injection_.end(), 0.0);
+  for (const auto& [job, flows] : flows_) {
+    for (const auto& f : flows) {
+      double fraction = 1.0;
+      if (nic_demand[f.src_node] > params_.injection_capacity_gbps) {
+        fraction = std::min(
+            fraction, params_.injection_capacity_gbps / nic_demand[f.src_node]);
+      }
+      const auto& path = route(f.src_node, f.dst_node);
+      if (path.empty() && f.src_node != f.dst_node &&
+          topo_.router_of_node(f.src_node) != topo_.router_of_node(f.dst_node)) {
+        fraction = 0.0;  // unreachable (partitioned by down links)
+      }
+      for (int li : path) {
+        const double cap = capacity(li);
+        if (links_[li].demand_gbps > cap) {
+          fraction = std::min(fraction, cap / links_[li].demand_gbps);
+        }
+      }
+      const double carried = f.gbps * fraction;
+      node_injection_[f.src_node] += carried;
+      for (int li : path) links_[li].carried_gbps += carried;
+    }
+  }
+
+  // Pass 3: link state + counters + error processes.
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    auto& l = links_[i];
+    const double cap = capacity(static_cast<int>(i));
+    l.utilization = l.carried_gbps / cap;
+    l.stall_rate = l.demand_gbps > cap ? (l.demand_gbps - cap) / cap : 0.0;
+    l.traffic_bytes += l.carried_gbps * 1e9 / 8.0 * dt_s;
+    l.stalls += l.stall_rate * dt_s * 1e6;  // stall events ~ microsec scale
+    const double bits = l.carried_gbps * 1e9 * dt_s;
+    const double mean_errors = bits * params_.base_ber * l.ber_multiplier;
+    if (mean_errors > 0.0) {
+      const auto errs = rng_.poisson(mean_errors);
+      if (errs > 0) {
+        l.bit_errors += static_cast<double>(errs);
+        if (mean_errors > 1.0 || errs > 2) {
+          log_out.push_back(
+              {now, now, topo_.link(static_cast<int>(i)).component,
+               LogFacility::kNetwork, Severity::kWarning, core::kNoJob,
+               core::strformat("HSN link CRC retry count %lld",
+                               static_cast<long long>(errs))});
+        }
+      }
+    }
+    if (l.stall_rate > 1.0) {
+      log_out.push_back({now, now, topo_.link(static_cast<int>(i)).component,
+                         LogFacility::kNetwork, Severity::kNotice, core::kNoJob,
+                         core::strformat("HSN throttle: demand %.1fx capacity",
+                                         l.demand_gbps / cap)});
+    }
+  }
+}
+
+double Fabric::job_path_stall(JobId job) const {
+  auto it = flows_.find(job);
+  if (it == flows_.end() || it->second.empty()) return 0.0;
+  double total = 0.0;
+  int count = 0;
+  for (const auto& f : it->second) {
+    const auto key = static_cast<std::uint64_t>(topo_.router_of_node(f.src_node)) *
+                         static_cast<std::uint64_t>(topo_.num_routers()) +
+                     static_cast<std::uint64_t>(topo_.router_of_node(f.dst_node));
+    auto rit = route_cache_.find(key);
+    if (rit == route_cache_.end()) continue;
+    for (int li : rit->second) {
+      total += links_[li].stall_rate;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : total / count;
+}
+
+double Fabric::job_delivered_fraction(JobId job) const {
+  auto it = flows_.find(job);
+  if (it == flows_.end() || it->second.empty()) return 1.0;
+  double demand = 0.0;
+  double carried = 0.0;
+  for (const auto& f : it->second) {
+    demand += f.gbps;
+    // Recompute the flow's delivered fraction from current link states.
+    const auto key = static_cast<std::uint64_t>(topo_.router_of_node(f.src_node)) *
+                         static_cast<std::uint64_t>(topo_.num_routers()) +
+                     static_cast<std::uint64_t>(topo_.router_of_node(f.dst_node));
+    auto rit = route_cache_.find(key);
+    double fraction = 1.0;
+    if (rit != route_cache_.end()) {
+      for (int li : rit->second) {
+        const auto& l = links_[li];
+        const double cap = topo_.link(li).global
+                               ? params_.global_link_capacity_gbps
+                               : params_.link_capacity_gbps;
+        if (l.demand_gbps > cap) fraction = std::min(fraction, cap / l.demand_gbps);
+      }
+    }
+    carried += f.gbps * fraction;
+  }
+  return demand == 0.0 ? 1.0 : carried / demand;
+}
+
+void Fabric::set_link_ber_multiplier(int link_index, double multiplier) {
+  links_.at(link_index).ber_multiplier = multiplier;
+}
+
+void Fabric::set_link_up(int link_index, bool up) {
+  if (links_.at(link_index).up != up) {
+    links_.at(link_index).up = up;
+    invalidate_routes();
+  }
+}
+
+}  // namespace hpcmon::sim

@@ -1,0 +1,110 @@
+// High-speed network model: flows, routing, per-link counters, congestion.
+//
+// Mirrors the counter classes SNL's congestion work (Sec. II.9, [5]) builds
+// on: per-link traffic and stall counters sampled synchronously system-wide.
+// Jobs register traffic flows between their nodes; each tick the fabric
+// routes demand, derives per-link utilization and stall rates, and advances
+// monotonic counters (traffic bytes, stalls, bit errors). Fault injection can
+// raise a link's bit-error rate (ALCF's BER trend analysis, Sec. II.8) or
+// take a link down (rerouting then finds surviving paths).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/log_event.hpp"
+#include "core/rng.hpp"
+#include "sim/topology.hpp"
+
+namespace hpcmon::sim {
+
+struct FabricParams {
+  double link_capacity_gbps = 10.0;
+  double global_link_capacity_gbps = 25.0;  // dragonfly optical links
+  double injection_capacity_gbps = 8.0;     // per-node NIC limit
+  double base_ber = 1e-12;                  // bit errors per bit carried
+};
+
+/// One application traffic demand between two compute nodes.
+struct Flow {
+  int src_node = 0;
+  int dst_node = 0;
+  double gbps = 0.0;
+};
+
+/// Instantaneous and cumulative state of one directed link.
+struct LinkState {
+  // Instantaneous (recomputed every tick).
+  double demand_gbps = 0.0;
+  double carried_gbps = 0.0;
+  double utilization = 0.0;   // carried / capacity
+  double stall_rate = 0.0;    // (demand - capacity)+ / capacity
+  // Monotonic counters (what a sampler reads).
+  double traffic_bytes = 0.0;
+  double stalls = 0.0;
+  double bit_errors = 0.0;
+  // Fault state.
+  double ber_multiplier = 1.0;
+  bool up = true;
+};
+
+class Fabric {
+ public:
+  Fabric(const Topology& topo, const FabricParams& params, core::Rng rng);
+
+  /// Replace the flow set of a job (empty vector removes it).
+  void set_job_flows(core::JobId job, std::vector<Flow> flows);
+  void clear_job_flows(core::JobId job);
+
+  /// Advance one tick: route demand, update link states and counters.
+  /// Emits log events (link errors, congestion warnings) into `log_out`.
+  void tick(core::TimePoint now, core::Duration dt,
+            std::vector<core::LogEvent>& log_out);
+
+  const LinkState& link_state(int link_index) const {
+    return links_.at(link_index);
+  }
+  int num_links() const { return static_cast<int>(links_.size()); }
+
+  /// Effective (post-congestion) injection bandwidth of a node, Gbit/s.
+  double node_injection_gbps(int node) const {
+    return node_injection_.at(node);
+  }
+  /// Injection as a fraction of NIC capacity — Fig 1's metric.
+  double node_injection_utilization(int node) const {
+    return node_injection_.at(node) / params_.injection_capacity_gbps;
+  }
+
+  /// Mean stall rate over the links a job's flows traverse (0 if no flows).
+  /// Drives victim-app slowdown (HLRS, Sec. II.10).
+  double job_path_stall(core::JobId job) const;
+
+  /// Ratio of a job's carried to demanded bandwidth in [0,1]; 1 = uncongested.
+  double job_delivered_fraction(core::JobId job) const;
+
+  // -- Fault hooks ----------------------------------------------------------
+  void set_link_ber_multiplier(int link_index, double multiplier);
+  void set_link_up(int link_index, bool up);
+
+  /// Links (indices) on the current route between two nodes; empty if
+  /// unreachable. Exposed for congestion ground-truth checks in tests.
+  const std::vector<int>& route(int src_node, int dst_node);
+
+ private:
+  const std::vector<int>& route_routers(int src_router, int dst_router);
+  void invalidate_routes() { route_cache_.clear(); }
+  double capacity(int link_index) const;
+
+  const Topology& topo_;
+  FabricParams params_;
+  core::Rng rng_;
+  std::vector<LinkState> links_;
+  std::vector<double> node_injection_;
+  std::unordered_map<core::JobId, std::vector<Flow>> flows_;
+  // Route cache: key = src_router * num_routers + dst_router.
+  std::unordered_map<std::uint64_t, std::vector<int>> route_cache_;
+  static const std::vector<int> kEmptyRoute;
+};
+
+}  // namespace hpcmon::sim

@@ -1,0 +1,146 @@
+#include "sim/filesystem.hpp"
+
+#include <algorithm>
+
+#include "core/strings.hpp"
+
+namespace hpcmon::sim {
+
+using core::Duration;
+using core::LogEvent;
+using core::LogFacility;
+using core::Severity;
+using core::TimePoint;
+
+FsModel::FsModel(const Topology& topo, const FsParams& params, core::Rng rng)
+    : topo_(topo), params_(params), rng_(rng) {
+  const int nfs = topo.num_filesystems();
+  mds_.resize(nfs);
+  osts_.resize(nfs);
+  ost_read_demand_.resize(nfs);
+  ost_write_demand_.resize(nfs);
+  for (int f = 0; f < nfs; ++f) {
+    osts_[f].resize(topo.osts_per_fs());
+    ost_read_demand_[f].assign(topo.osts_per_fs(), 0.0);
+    ost_write_demand_[f].assign(topo.osts_per_fs(), 0.0);
+  }
+  node_read_.assign(topo.num_nodes(), 0.0);
+  node_write_.assign(topo.num_nodes(), 0.0);
+}
+
+void FsModel::begin_tick() {
+  for (auto& m : mds_) m.demand = 0.0;
+  for (auto& fs : osts_) {
+    for (auto& o : fs) o.demand = 0.0;
+  }
+  for (auto& fs : ost_read_demand_) std::fill(fs.begin(), fs.end(), 0.0);
+  for (auto& fs : ost_write_demand_) std::fill(fs.begin(), fs.end(), 0.0);
+  std::fill(node_read_.begin(), node_read_.end(), 0.0);
+  std::fill(node_write_.begin(), node_write_.end(), 0.0);
+}
+
+void FsModel::add_demand(int fs, int node, double read_mbps, double write_mbps,
+                         double md_ops) {
+  const int nost = num_osts(fs);
+  const int ost = node % nost;  // round-robin striping by node index
+  osts_[fs][ost].demand += read_mbps + write_mbps;
+  ost_read_demand_[fs][ost] += read_mbps;
+  ost_write_demand_[fs][ost] += write_mbps;
+  mds_[fs].demand += md_ops;
+  node_read_[node] += read_mbps;
+  node_write_[node] += write_mbps;
+}
+
+namespace {
+// M/M/1-style latency inflation: latency = base / (1 - rho), rho clamped.
+double queueing_latency(double base_ms, double rho, double max_rho) {
+  const double r = std::clamp(rho, 0.0, max_rho);
+  return base_ms / (1.0 - r);
+}
+}  // namespace
+
+void FsModel::tick(TimePoint now, Duration dt, std::vector<LogEvent>& log_out) {
+  const double dt_s = core::to_seconds(dt);
+  for (int f = 0; f < num_filesystems(); ++f) {
+    // MDS.
+    auto& m = mds_[f];
+    const double mds_cap = params_.mds_ops_capacity / m.slowdown;
+    m.utilization = mds_cap > 0 ? m.demand / mds_cap : 1.0;
+    m.carried = std::min(m.demand, mds_cap);
+    m.latency_ms = queueing_latency(params_.base_md_latency_ms * m.slowdown,
+                                    m.utilization, params_.max_rho);
+    m.ops += m.carried * dt_s;
+    if (m.utilization > 0.9) {
+      log_out.push_back({now, now, topo_.mds(f), LogFacility::kFilesystem,
+                         Severity::kWarning, core::kNoJob,
+                         core::strformat("MDS request queue saturated: %.0f%%",
+                                         m.utilization * 100.0)});
+    }
+    // OSTs.
+    for (int o = 0; o < num_osts(f); ++o) {
+      auto& t = osts_[f][o];
+      const double cap = params_.ost_bandwidth_mbps / t.slowdown;
+      t.utilization = cap > 0 ? t.demand / cap : 1.0;
+      t.carried = std::min(t.demand, cap);
+      t.latency_ms = queueing_latency(params_.base_io_latency_ms * t.slowdown,
+                                      t.utilization, params_.max_rho);
+      const double scale = t.demand > 0 ? t.carried / t.demand : 0.0;
+      t.read_bytes += ost_read_demand_[f][o] * scale * 1e6 * dt_s;
+      t.write_bytes += ost_write_demand_[f][o] * scale * 1e6 * dt_s;
+      if (t.slowdown > 2.0) {
+        log_out.push_back(
+            {now, now, topo_.ost(f, o), LogFacility::kFilesystem,
+             Severity::kError, core::kNoJob,
+             core::strformat("OST slow ios: latency %.1f ms", t.latency_ms)});
+      }
+    }
+  }
+}
+
+double FsModel::io_slowdown(int fs) const {
+  // Bandwidth-bound work takes demand/carried times longer when the targets
+  // are oversubscribed (throughput share), not the queueing-latency factor —
+  // latency is what probes see, throughput is what checkpoints feel.
+  const auto& m = mds_[fs];
+  const double md_factor =
+      (m.demand > 0 && m.carried > 0) ? m.demand / m.carried : 1.0;
+  double demand = 0.0;
+  double carried = 0.0;
+  for (const auto& o : osts_[fs]) {
+    demand += o.demand;
+    carried += o.carried;
+  }
+  const double ost_factor =
+      (demand > 0 && carried > 0) ? demand / carried : 1.0;
+  return std::max({1.0, md_factor, ost_factor});
+}
+
+double FsModel::fs_read_mbps(int fs) const {
+  double total = 0.0;
+  for (int o = 0; o < num_osts(fs); ++o) {
+    const auto& t = osts_[fs][o];
+    const double scale = t.demand > 0 ? t.carried / t.demand : 0.0;
+    total += ost_read_demand_[fs][o] * scale;
+  }
+  return total;
+}
+
+double FsModel::fs_write_mbps(int fs) const {
+  double total = 0.0;
+  for (int o = 0; o < num_osts(fs); ++o) {
+    const auto& t = osts_[fs][o];
+    const double scale = t.demand > 0 ? t.carried / t.demand : 0.0;
+    total += ost_write_demand_[fs][o] * scale;
+  }
+  return total;
+}
+
+void FsModel::set_ost_slowdown(int fs, int ost, double factor) {
+  osts_.at(fs).at(ost).slowdown = factor;
+}
+
+void FsModel::set_mds_slowdown(int fs, double factor) {
+  mds_.at(fs).slowdown = factor;
+}
+
+}  // namespace hpcmon::sim

@@ -1,0 +1,95 @@
+// Lustre-like shared filesystem model: one MDS plus N OSTs per filesystem.
+//
+// NCSA (Sec. II.2) probes "file I/O and metadata action response latencies"
+// against "each independent filesystem component"; Fig 4 drills from
+// filesystem-aggregate read bytes/s down to per-node contributions. This
+// model provides both surfaces: per-target latency/throughput (M/M/1-style
+// latency inflation as utilization rho -> 1) and per-node demand attribution.
+#pragma once
+
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/log_event.hpp"
+#include "core/rng.hpp"
+#include "core/time.hpp"
+#include "sim/topology.hpp"
+
+namespace hpcmon::sim {
+
+struct FsParams {
+  double ost_bandwidth_mbps = 2000.0;   // per OST, read+write combined
+  double mds_ops_capacity = 20000.0;    // metadata ops/s
+  double base_io_latency_ms = 2.0;      // unloaded OST op latency
+  double base_md_latency_ms = 0.8;      // unloaded MDS op latency
+  double max_rho = 0.97;                // queueing model saturation clamp
+};
+
+/// State of one storage target (MDS or OST) for one tick.
+struct FsTargetState {
+  double demand = 0.0;      // MB/s for OSTs, ops/s for MDS
+  double carried = 0.0;
+  double utilization = 0.0;
+  double latency_ms = 0.0;
+  // Monotonic counters.
+  double read_bytes = 0.0;   // OST only
+  double write_bytes = 0.0;  // OST only
+  double ops = 0.0;          // MDS only
+  // Fault state: multiplies base latency and divides capacity.
+  double slowdown = 1.0;
+};
+
+class FsModel {
+ public:
+  FsModel(const Topology& topo, const FsParams& params, core::Rng rng);
+
+  /// Zero per-tick demand accumulators; call before adding job demand.
+  void begin_tick();
+
+  /// Add one node's I/O demand against filesystem `fs`. Reads/writes are
+  /// striped round-robin over OSTs by node index; metadata goes to the MDS.
+  void add_demand(int fs, int node, double read_mbps, double write_mbps,
+                  double md_ops);
+
+  /// Compute latencies/throughputs and advance counters.
+  void tick(core::TimePoint now, core::Duration dt,
+            std::vector<core::LogEvent>& log_out);
+
+  int num_filesystems() const { return static_cast<int>(mds_.size()); }
+  int num_osts(int fs) const { return static_cast<int>(osts_.at(fs).size()); }
+
+  const FsTargetState& mds_state(int fs) const { return mds_.at(fs); }
+  const FsTargetState& ost_state(int fs, int ost) const {
+    return osts_.at(fs).at(ost);
+  }
+
+  /// Factor >= 1 by which I/O-phase progress is inflated on filesystem `fs`
+  /// this tick (latency relative to unloaded baseline).
+  double io_slowdown(int fs) const;
+
+  /// Per-node I/O actually carried this tick (for Fig 4 attribution).
+  double node_read_mbps(int node) const { return node_read_.at(node); }
+  double node_write_mbps(int node) const { return node_write_.at(node); }
+
+  /// Aggregate carried read MB/s across all OSTs of `fs` this tick.
+  double fs_read_mbps(int fs) const;
+  double fs_write_mbps(int fs) const;
+
+  // -- Fault hooks ----------------------------------------------------------
+  void set_ost_slowdown(int fs, int ost, double factor);
+  void set_mds_slowdown(int fs, double factor);
+
+ private:
+  const Topology& topo_;
+  FsParams params_;
+  core::Rng rng_;
+  std::vector<FsTargetState> mds_;                  // [fs]
+  std::vector<std::vector<FsTargetState>> osts_;    // [fs][ost]
+  std::vector<double> node_read_;                   // [node] demand MB/s
+  std::vector<double> node_write_;
+  // Per-tick read/write split of each OST's demand (for counters).
+  std::vector<std::vector<double>> ost_read_demand_;
+  std::vector<std::vector<double>> ost_write_demand_;
+};
+
+}  // namespace hpcmon::sim

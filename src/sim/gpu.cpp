@@ -1,0 +1,116 @@
+#include "sim/gpu.hpp"
+
+#include "core/strings.hpp"
+
+namespace hpcmon::sim {
+
+using core::Duration;
+using core::LogEvent;
+using core::LogFacility;
+using core::Severity;
+using core::TimePoint;
+
+GpuFleet::GpuFleet(const Topology& topo, const GpuParams& params, core::Rng rng)
+    : topo_(topo), params_(params), rng_(rng) {
+  slot_of_node_.assign(topo.num_nodes(), -1);
+  for (int i = 0; i < topo.num_nodes(); ++i) {
+    if (topo.node_has_gpu(i)) {
+      slot_of_node_[i] = static_cast<int>(gpu_nodes_.size());
+      gpu_nodes_.push_back(i);
+    }
+  }
+  gpus_.resize(gpu_nodes_.size());
+}
+
+int GpuFleet::slot(int node) const { return slot_of_node_.at(node); }
+
+void GpuFleet::tick(TimePoint now, Duration dt, double corrosion_ppb,
+                    std::vector<LogEvent>& log_out) {
+  const double hours = core::to_seconds(dt) / 3600.0;
+  const double excess_ppb =
+      std::max(0.0, corrosion_ppb - params_.corrosion_threshold_ppb);
+  for (std::size_t g = 0; g < gpus_.size(); ++g) {
+    auto& gpu = gpus_[g];
+    if (gpu.health == GpuHealth::kFailed) continue;
+    gpu.damage += params_.damage_per_ppb_hour * excess_ppb * hours;
+    if (gpu.health == GpuHealth::kOk) {
+      const double hazard =
+          (params_.base_degrade_per_hour +
+           params_.damage_degrade_per_hour * gpu.damage) * hours;
+      if (rng_.bernoulli(std::min(1.0, hazard))) {
+        gpu.health = GpuHealth::kDegraded;
+        log_out.push_back({now, now, topo_.gpu_of(gpu_nodes_[g]),
+                           LogFacility::kHardware, Severity::kWarning,
+                           core::kNoJob,
+                           "GPU ECC page retirement threshold reached"});
+      }
+    }
+    if (gpu.health == GpuHealth::kDegraded) {
+      const double mean_dbe = params_.dbe_per_hour_degraded * hours;
+      const auto dbes = rng_.poisson(mean_dbe);
+      if (dbes > 0) {
+        gpu.dbe += static_cast<double>(dbes);
+        log_out.push_back({now, now, topo_.gpu_of(gpu_nodes_[g]),
+                           LogFacility::kHardware, Severity::kError,
+                           core::kNoJob,
+                           core::strformat("GPU double bit error count %lld",
+                                           static_cast<long long>(dbes))});
+      }
+      if (rng_.bernoulli(std::min(1.0, params_.degraded_fail_per_hour * hours))) {
+        gpu.health = GpuHealth::kFailed;
+        log_out.push_back({now, now, topo_.gpu_of(gpu_nodes_[g]),
+                           LogFacility::kHardware, Severity::kCritical,
+                           core::kNoJob, "GPU has fallen off the bus"});
+      }
+    }
+  }
+}
+
+GpuHealth GpuFleet::health(int node) const {
+  const int s = slot(node);
+  return s < 0 ? GpuHealth::kOk : gpus_[s].health;
+}
+
+double GpuFleet::damage(int node) const {
+  const int s = slot(node);
+  return s < 0 ? 0.0 : gpus_[s].damage;
+}
+
+double GpuFleet::dbe_count(int node) const {
+  const int s = slot(node);
+  return s < 0 ? 0.0 : gpus_[s].dbe;
+}
+
+bool GpuFleet::run_diagnostic(int node) {
+  const int s = slot(node);
+  if (s < 0) return true;
+  switch (gpus_[s].health) {
+    case GpuHealth::kOk:
+      return true;
+    case GpuHealth::kDegraded:
+      return !rng_.bernoulli(params_.diag_detect_degraded);
+    case GpuHealth::kFailed:
+      return false;
+  }
+  return true;
+}
+
+void GpuFleet::repair(int node) {
+  const int s = slot(node);
+  if (s >= 0) gpus_[s] = Gpu{};
+}
+
+int GpuFleet::count(GpuHealth h) const {
+  int n = 0;
+  for (const auto& g : gpus_) {
+    if (g.health == h) ++n;
+  }
+  return n;
+}
+
+void GpuFleet::force_health(int node, GpuHealth h) {
+  const int s = slot(node);
+  if (s >= 0) gpus_[s].health = h;
+}
+
+}  // namespace hpcmon::sim

@@ -1,0 +1,88 @@
+// GPU fleet health model.
+//
+// Combines two site stories: CSCS (Sec. II.5) gates every job behind pre/post
+// GPU health checks so "a problem should only be encountered by at most one
+// batch job"; ORNL (Sec. II.6) traced a rising GPU failure rate to
+// sulfur-corrosion of SXM resistors — an environmental aging process. Here
+// each GPU accumulates corrosion damage proportional to the facility's
+// corrosive-gas level; damage raises the hazard of degradation, and degraded
+// GPUs eventually fail (emitting double-bit-error log events).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/log_event.hpp"
+#include "core/rng.hpp"
+#include "core/time.hpp"
+#include "sim/topology.hpp"
+
+namespace hpcmon::sim {
+
+enum class GpuHealth : std::uint8_t { kOk, kDegraded, kFailed };
+
+struct GpuParams {
+  /// Baseline probability of spontaneous degradation per GPU-hour.
+  double base_degrade_per_hour = 2e-6;
+  /// Additional degradation hazard per hour per unit of accumulated damage.
+  double damage_degrade_per_hour = 2e-4;
+  /// Damage accumulation per hour per ppb of corrosive gas above threshold.
+  double damage_per_ppb_hour = 1e-3;
+  double corrosion_threshold_ppb = 10.0;  // ASHRAE G1 boundary
+  /// Probability per hour that a degraded GPU hard-fails.
+  double degraded_fail_per_hour = 0.05;
+  /// Probability a diagnostic catches a degraded (not yet failed) GPU.
+  double diag_detect_degraded = 0.7;
+  /// Rate of double-bit errors per hour on a degraded GPU.
+  double dbe_per_hour_degraded = 0.5;
+};
+
+class GpuFleet {
+ public:
+  GpuFleet(const Topology& topo, const GpuParams& params, core::Rng rng);
+
+  /// Advance aging/failure processes. `corrosion_ppb` is the current
+  /// facility gas level; `gpu_util` is indexed by node.
+  void tick(core::TimePoint now, core::Duration dt, double corrosion_ppb,
+            std::vector<core::LogEvent>& log_out);
+
+  /// Health of the GPU on `node`; kOk if the node has no GPU.
+  GpuHealth health(int node) const;
+  /// Accumulated corrosion damage (arbitrary units) of the GPU on `node`.
+  double damage(int node) const;
+  double dbe_count(int node) const;
+
+  /// Run a CSCS-style diagnostic on the node's GPU. Failed GPUs always fail
+  /// the diagnostic; degraded ones are caught with diag_detect_degraded
+  /// probability; healthy ones always pass. Returns true on pass.
+  bool run_diagnostic(int node);
+
+  /// Replace the GPU (node taken out of service and repaired).
+  void repair(int node);
+
+  int num_gpus() const { return static_cast<int>(gpu_nodes_.size()); }
+  /// Nodes that carry GPUs, ascending.
+  const std::vector<int>& gpu_nodes() const { return gpu_nodes_; }
+  /// Count of GPUs currently in each health state.
+  int count(GpuHealth h) const;
+
+  /// Force a health state (fault injection / tests).
+  void force_health(int node, GpuHealth h);
+
+ private:
+  struct Gpu {
+    GpuHealth health = GpuHealth::kOk;
+    double damage = 0.0;
+    double dbe = 0.0;
+  };
+  int slot(int node) const;  // index into gpus_, -1 if none
+
+  const Topology& topo_;
+  GpuParams params_;
+  core::Rng rng_;
+  std::vector<int> gpu_nodes_;
+  std::vector<int> slot_of_node_;  // [node] -> gpu slot or -1
+  std::vector<Gpu> gpus_;
+};
+
+}  // namespace hpcmon::sim

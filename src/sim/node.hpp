@@ -1,0 +1,37 @@
+// Per-node instantaneous load and health state.
+//
+// This is the "raw data at maximum fidelity" surface (Table I, Architecture)
+// that node samplers read: what /proc, /sys and MSRs expose on a real node.
+#pragma once
+
+#include <vector>
+
+namespace hpcmon::sim {
+
+struct NodeParams {
+  double mem_total_gb = 128.0;
+  double os_mem_gb = 6.0;  // kernel/daemon baseline usage
+};
+
+/// Instantaneous state of one compute node, recomputed every tick by the
+/// scheduler from the applications running on it, plus fault state.
+struct NodeState {
+  double cpu_util = 0.0;       // 0..1
+  double mem_used_gb = 0.0;    // application + OS + leak
+  double read_mbps = 0.0;      // filesystem traffic attributed to this node
+  double write_mbps = 0.0;
+  double md_ops = 0.0;
+  double gpu_util = 0.0;
+  /// CPU frequency scaling factor in (0, 1]: 1.0 = nominal p-state.
+  /// Compute throughput scales ~linearly, dynamic power ~cubically (DVFS).
+  double pstate = 1.0;
+  // Fault state.
+  bool hung = false;           // NodeHang fault: job makes no progress
+  double leak_gb = 0.0;        // accumulated memory leak
+  bool down = false;           // removed from service (response action)
+  // Health-check-visible service state (LANL-style checks, Sec. II.1).
+  bool fs_mounted = true;
+  bool daemons_ok = true;
+};
+
+}  // namespace hpcmon::sim

@@ -1,0 +1,77 @@
+#include "sim/power.hpp"
+
+#include <algorithm>
+
+#include "core/strings.hpp"
+
+namespace hpcmon::sim {
+
+using core::Duration;
+using core::LogEvent;
+using core::LogFacility;
+using core::Severity;
+using core::TimePoint;
+
+PowerModel::PowerModel(const Topology& topo, const PowerParams& params,
+                       core::Rng rng)
+    : topo_(topo), params_(params), rng_(rng) {
+  node_power_.assign(topo.num_nodes(), params.node_idle_w);
+  cabinet_power_.assign(topo.num_cabinets(), 0.0);
+  cabinet_temp_.assign(topo.num_cabinets(), params.inlet_temp_c);
+}
+
+void PowerModel::tick(TimePoint now, Duration dt,
+                      const std::vector<NodeState>& nodes,
+                      std::vector<LogEvent>& log_out) {
+  const double dt_s = core::to_seconds(dt);
+  std::fill(cabinet_power_.begin(), cabinet_power_.end(),
+            params_.blower_w_per_cabinet);
+  for (int i = 0; i < topo_.num_nodes(); ++i) {
+    const auto& n = nodes[i];
+    // DVFS: dynamic power ~ f^3 (voltage scales with frequency).
+    const double dvfs = n.pstate * n.pstate * n.pstate;
+    double p = params_.node_idle_w +
+               (params_.node_peak_w - params_.node_idle_w) * n.cpu_util * dvfs;
+    if (topo_.node_has_gpu(i)) {
+      p += params_.gpu_idle_w +
+           (params_.gpu_peak_w - params_.gpu_idle_w) * n.gpu_util;
+    }
+    if (n.down) p = 0.0;  // powered off for service
+    p += rng_.normal(0.0, params_.noise_w);
+    node_power_[i] = std::max(0.0, p);
+    cabinet_power_[topo_.cabinet_of_node(i)] += node_power_[i];
+  }
+  system_power_ = 0.0;
+  for (int c = 0; c < topo_.num_cabinets(); ++c) {
+    system_power_ += cabinet_power_[c];
+    cabinet_temp_[c] = params_.inlet_temp_c +
+                       params_.temp_c_per_kw * cabinet_power_[c] / 1000.0 +
+                       rng_.normal(0.0, 0.2);
+  }
+  energy_joules_ += system_power_ * dt_s;
+
+  // Facility environment: slow random walk around baselines, plus any
+  // injected corrosion excursion.
+  facility_.humidity_pct =
+      std::clamp(facility_.humidity_pct + rng_.normal(0.0, 0.05), 30.0, 60.0);
+  facility_.particulates_ugm3 = std::max(
+      0.0, facility_.particulates_ugm3 + rng_.normal(0.0, 0.02));
+  double corrosion = 3.0 + rng_.normal(0.0, 0.1);
+  if (now < excursion_until_) corrosion += excursion_ppb_;
+  facility_.corrosion_ppb = std::max(0.0, corrosion);
+  // ASHRAE severity level G1 is < 10 ppb for reactive gases; log breaches.
+  if (facility_.corrosion_ppb > 10.0) {
+    log_out.push_back({now, now, topo_.facility_sensor(),
+                       LogFacility::kFacilityEnv, Severity::kWarning,
+                       core::kNoJob,
+                       core::strformat("corrosive gas %.1f ppb exceeds ASHRAE G1",
+                                       facility_.corrosion_ppb)});
+  }
+}
+
+void PowerModel::set_corrosion_excursion(double ppb, TimePoint until) {
+  excursion_ppb_ = ppb;
+  excursion_until_ = until;
+}
+
+}  // namespace hpcmon::sim

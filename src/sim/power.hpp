@@ -1,0 +1,80 @@
+// Power and thermal model: per-node draw, per-cabinet aggregation,
+// SEDC-style cabinet sensors, and facility environment (temperature,
+// humidity, corrosive gas).
+//
+// Implements the telemetry behind two case studies: KAUST's power-profile
+// anomaly detection (Sec. II.7, Fig 3 — per-cabinet power exposes load
+// imbalance) and ORNL's datacenter-environment monitoring after the GPU
+// sulfur-corrosion failure campaign (Sec. II.6 — ASHRAE gas/particulate
+// limits).
+#pragma once
+
+#include <vector>
+
+#include "core/log_event.hpp"
+#include "core/rng.hpp"
+#include "core/time.hpp"
+#include "sim/node.hpp"
+#include "sim/topology.hpp"
+
+namespace hpcmon::sim {
+
+struct PowerParams {
+  double node_idle_w = 95.0;
+  double node_peak_w = 350.0;   // at cpu_util == 1
+  double gpu_idle_w = 25.0;
+  double gpu_peak_w = 250.0;
+  double blower_w_per_cabinet = 1800.0;  // fans/PSU overhead per cabinet
+  double noise_w = 3.0;                  // per-node measurement noise (stddev)
+  double inlet_temp_c = 21.0;
+  /// Cabinet outlet temp rises this many degC per kW of cabinet draw.
+  double temp_c_per_kw = 0.25;
+};
+
+/// Facility environment state (ASHRAE-relevant quantities, Sec. II.6).
+struct FacilityEnv {
+  double corrosion_ppb = 3.0;   // corrosive gas concentration
+  double humidity_pct = 45.0;
+  double particulates_ugm3 = 8.0;
+};
+
+class PowerModel {
+ public:
+  PowerModel(const Topology& topo, const PowerParams& params, core::Rng rng);
+
+  /// Recompute all power/thermal readings from current node states.
+  void tick(core::TimePoint now, core::Duration dt,
+            const std::vector<NodeState>& nodes,
+            std::vector<core::LogEvent>& log_out);
+
+  double node_power_w(int node) const { return node_power_.at(node); }
+  double cabinet_power_w(int cabinet) const {
+    return cabinet_power_.at(cabinet);
+  }
+  double system_power_w() const { return system_power_; }
+  double cabinet_temp_c(int cabinet) const { return cabinet_temp_.at(cabinet); }
+  /// Cumulative energy counter, joules (PMDB-style).
+  double energy_joules() const { return energy_joules_; }
+
+  const FacilityEnv& facility() const { return facility_; }
+
+  // -- Fault hooks ----------------------------------------------------------
+  /// Corrosive-gas excursion (e.g. nearby construction): level until t_end.
+  void set_corrosion_excursion(double ppb, core::TimePoint until);
+  void set_inlet_temp(double celsius) { params_.inlet_temp_c = celsius; }
+
+ private:
+  const Topology& topo_;
+  PowerParams params_;
+  core::Rng rng_;
+  std::vector<double> node_power_;
+  std::vector<double> cabinet_power_;
+  std::vector<double> cabinet_temp_;
+  double system_power_ = 0.0;
+  double energy_joules_ = 0.0;
+  FacilityEnv facility_;
+  double excursion_ppb_ = 0.0;
+  core::TimePoint excursion_until_ = 0;
+};
+
+}  // namespace hpcmon::sim

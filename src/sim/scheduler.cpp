@@ -1,0 +1,289 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/strings.hpp"
+
+namespace hpcmon::sim {
+
+using core::Duration;
+using core::JobId;
+using core::LogEvent;
+using core::LogFacility;
+using core::Severity;
+using core::TimePoint;
+
+Scheduler::Scheduler(const Topology& topo, Fabric& fabric, FsModel& fs,
+                     PlacementPolicy policy, core::Rng rng)
+    : topo_(topo), fabric_(fabric), fs_(fs), policy_(policy), rng_(rng) {
+  node_owner_.assign(topo.num_nodes(), core::kNoJob);
+  node_unavailable_.assign(topo.num_nodes(), 0);
+}
+
+JobId Scheduler::submit(TimePoint now, JobRequest request) {
+  const JobId id{next_job_++};
+  JobRecord rec;
+  rec.id = id;
+  rec.request = std::move(request);
+  rec.submit_time = now;
+  jobs_.emplace(id, std::move(rec));
+  queue_.push_back(id);
+  return id;
+}
+
+const JobRecord* Scheduler::job(JobId id) const {
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+void Scheduler::apply_loads(TimePoint /*now*/, std::vector<NodeState>& nodes) {
+  // Reset load fields; fault/health fields persist across ticks.
+  for (auto& n : nodes) {
+    n.cpu_util = 0.02;  // OS noise
+    n.mem_used_gb = 0.0;
+    n.read_mbps = 0.0;
+    n.write_mbps = 0.0;
+    n.md_ops = 0.0;
+    n.gpu_util = 0.0;
+  }
+  fs_.begin_tick();
+
+  for (const JobId id : running_) {
+    auto& rec = jobs_.at(id);
+    const auto& profile = rec.request.profile;
+    const int phase_idx = profile.phase_at(rec.progress);
+    const AppPhase& phase =
+        profile.phases.empty() ? AppPhase{} : profile.phases.at(phase_idx);
+    const int n = static_cast<int>(rec.nodes.size());
+    const int active =
+        std::max(1, static_cast<int>(phase.active_fraction * n + 0.5));
+    const int fs_index =
+        static_cast<int>(core::raw(id) % static_cast<std::uint64_t>(
+                                             std::max(1, fs_.num_filesystems())));
+    for (int i = 0; i < n; ++i) {
+      auto& ns = nodes[rec.nodes[i]];
+      const bool is_active = i < active;
+      ns.cpu_util = std::min(1.0, ns.cpu_util +
+                                      (is_active ? phase.cpu_util : 0.04));
+      ns.mem_used_gb += phase.mem_gb_per_node;
+      if (ns.hung) ns.cpu_util = 0.0;
+      if (is_active && !ns.hung) {
+        ns.read_mbps += phase.read_mbps_per_node;
+        ns.write_mbps += phase.write_mbps_per_node;
+        ns.md_ops += phase.md_ops_per_node;
+        if (topo_.node_has_gpu(rec.nodes[i])) {
+          ns.gpu_util = std::min(1.0, ns.gpu_util + phase.cpu_util);
+        }
+        fs_.add_demand(fs_index, rec.nodes[i], phase.read_mbps_per_node,
+                       phase.write_mbps_per_node, phase.md_ops_per_node);
+      }
+    }
+    // Ring flows among the phase's active nodes.
+    std::vector<Flow> flows;
+    if (phase.net_gbps_per_node > 0.0 && active > 1) {
+      flows.reserve(active);
+      for (int i = 0; i < active; ++i) {
+        flows.push_back({rec.nodes[i], rec.nodes[(i + 1) % active],
+                         phase.net_gbps_per_node});
+      }
+    }
+    fabric_.set_job_flows(id, std::move(flows));
+  }
+}
+
+void Scheduler::advance(TimePoint now, Duration dt,
+                        std::vector<NodeState>& nodes,
+                        std::vector<LogEvent>& log_out) {
+  // 1. Progress running jobs against the congestion/latency just computed.
+  std::vector<JobId> finished;
+  for (const JobId id : running_) {
+    auto& rec = jobs_.at(id);
+    const auto& profile = rec.request.profile;
+    const AppPhase& phase = profile.phases.empty()
+                                ? AppPhase{}
+                                : profile.phases.at(profile.phase_at(rec.progress));
+    double rate = 1.0;
+    // DVFS (Amdahl over the phase's compute share): only the compute-bound
+    // part of the phase slows when cores are downclocked.
+    double pstate_sum = 0.0;
+    for (const int node : rec.nodes) pstate_sum += nodes[node].pstate;
+    const double pstate =
+        rec.nodes.empty() ? 1.0
+                          : pstate_sum / static_cast<double>(rec.nodes.size());
+    if (pstate < 1.0) {
+      const double cpu_share = std::clamp(phase.cpu_util, 0.0, 1.0);
+      rate /= cpu_share / pstate + (1.0 - cpu_share);
+    }
+    const double stall = fabric_.job_path_stall(id);
+    rec.stall_integral += stall * core::to_seconds(dt);
+    if (profile.network_sensitivity > 0.0 && phase.net_gbps_per_node > 0.0) {
+      rate /= 1.0 + profile.network_sensitivity * stall;
+    }
+    // Filesystem slowdown only matters in proportion to how I/O-bound the
+    // phase is: a compute phase issuing one metadata op/s should not crawl
+    // because another job is hammering the OSTs.
+    const double io_intensity = phase.read_mbps_per_node +
+                                phase.write_mbps_per_node +
+                                4.0 * phase.md_ops_per_node;
+    if (io_intensity > 0.0) {
+      const int fs_index = static_cast<int>(
+          core::raw(id) %
+          static_cast<std::uint64_t>(std::max(1, fs_.num_filesystems())));
+      const double fs_slow = fs_.io_slowdown(fs_index);
+      const double io_weight = std::min(1.0, io_intensity / 500.0);
+      rate /= 1.0 + profile.io_sensitivity * (fs_slow - 1.0) * io_weight;
+    }
+    bool any_hung = false;
+    for (int node : rec.nodes) {
+      if (nodes[node].hung) any_hung = true;
+      if (problem_probe_ && problem_probe_(node)) rec.saw_problem = true;
+    }
+    if (any_hung) rate = 0.0;
+    rec.progress += rate * static_cast<double>(dt) /
+                    static_cast<double>(rec.request.nominal_runtime);
+    if (rec.progress >= 1.0) finished.push_back(id);
+  }
+  for (const JobId id : finished) {
+    finish(now, jobs_.at(id), JobState::kCompleted, log_out);
+  }
+
+  // 2. FCFS with simple backfill: walk the queue, starting whatever fits.
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (try_start(now, *it, log_out)) {
+      it = queue_.erase(it);
+    } else {
+      ++it;  // backfill: later, smaller jobs may still fit
+    }
+  }
+}
+
+std::vector<int> Scheduler::free_nodes(bool needs_gpu) const {
+  std::vector<int> out;
+  for (int i = 0; i < topo_.num_nodes(); ++i) {
+    if (node_owner_[i] == core::kNoJob && !node_unavailable_[i] &&
+        (!needs_gpu || topo_.node_has_gpu(i))) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<int> Scheduler::place(const std::vector<int>& free, int count) {
+  const int n = static_cast<int>(free.size());
+  if (n < count) return {};
+  switch (policy_) {
+    case PlacementPolicy::kFirstFit:
+      return {free.begin(), free.begin() + count};
+    case PlacementPolicy::kRandom: {
+      std::vector<int> shuffled = free;
+      std::shuffle(shuffled.begin(), shuffled.end(), rng_.engine());
+      shuffled.resize(count);
+      std::sort(shuffled.begin(), shuffled.end());
+      return shuffled;
+    }
+    case PlacementPolicy::kTopoAware: {
+      // Minimal-span contiguous window over the (sorted) free list: keeps a
+      // job's routers close together, shrinking path overlap between jobs.
+      int best_start = 0;
+      int best_span = free[count - 1] - free[0];
+      for (int i = 0; i + count <= n; ++i) {
+        const int span = free[i + count - 1] - free[i];
+        if (span < best_span) {
+          best_span = span;
+          best_start = i;
+        }
+      }
+      return {free.begin() + best_start, free.begin() + best_start + count};
+    }
+  }
+  return {};
+}
+
+bool Scheduler::try_start(TimePoint now, JobId id,
+                          std::vector<LogEvent>& log_out) {
+  auto& rec = jobs_.at(id);
+  auto free = free_nodes(rec.request.needs_gpu);
+  // Pre-job health gate: filter out nodes failing their check, quarantine
+  // them ("the problem node taken out of service", Sec. II.5).
+  if (pre_check_) {
+    std::vector<int> healthy;
+    healthy.reserve(free.size());
+    for (int node : free) {
+      if (pre_check_(node)) {
+        healthy.push_back(node);
+      } else {
+        node_unavailable_[node] = 1;
+        log_out.push_back({now, now, topo_.node(node), LogFacility::kHealth,
+                           Severity::kWarning, id,
+                           "pre-job health check failed; node quarantined"});
+      }
+    }
+    free = std::move(healthy);
+  }
+  auto chosen = place(free, rec.request.num_nodes);
+  if (chosen.empty()) return false;
+
+  rec.nodes = std::move(chosen);
+  rec.start_time = now;
+  rec.state = JobState::kRunning;
+  for (int node : rec.nodes) node_owner_[node] = id;
+  running_.push_back(id);
+  span_sum_ += rec.nodes.back() - rec.nodes.front();
+  ++span_count_;
+  log_out.push_back(
+      {now, now, topo_.system(), LogFacility::kScheduler, Severity::kInfo, id,
+       core::strformat("job %llu start app=%s nodes=%d",
+                       static_cast<unsigned long long>(core::raw(id)),
+                       rec.request.profile.name.c_str(),
+                       rec.request.num_nodes)});
+  if (on_start_) on_start_(rec);
+  return true;
+}
+
+void Scheduler::finish(TimePoint now, JobRecord& rec, JobState final_state,
+                       std::vector<LogEvent>& log_out) {
+  rec.end_time = now;
+  rec.state = final_state;
+  fabric_.clear_job_flows(rec.id);
+  for (int node : rec.nodes) {
+    node_owner_[node] = core::kNoJob;
+    if (post_check_ && !post_check_(node)) {
+      node_unavailable_[node] = 1;
+      log_out.push_back({now, now, topo_.node(node), LogFacility::kHealth,
+                         Severity::kWarning, rec.id,
+                         "post-job health check failed; node quarantined"});
+    }
+  }
+  running_.erase(std::remove(running_.begin(), running_.end(), rec.id),
+                 running_.end());
+  completed_.push_back(rec.id);
+  log_out.push_back(
+      {now, now, topo_.system(), LogFacility::kScheduler, Severity::kInfo,
+       rec.id,
+       core::strformat("job %llu end state=%s runtime=%s",
+                       static_cast<unsigned long long>(core::raw(rec.id)),
+                       final_state == JobState::kCompleted ? "completed" : "failed",
+                       core::format_duration(rec.actual_runtime()).c_str())});
+  if (on_end_) on_end_(rec);
+}
+
+bool Scheduler::fail_job(TimePoint now, JobId id, bool requeue,
+                         std::vector<LogEvent>& log_out) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second.state != JobState::kRunning) {
+    return false;
+  }
+  auto request_copy = it->second.request;
+  finish(now, it->second, JobState::kFailed, log_out);
+  if (requeue) submit(now, std::move(request_copy));
+  return true;
+}
+
+double Scheduler::mean_placement_span() const {
+  return span_count_ == 0
+             ? 0.0
+             : static_cast<double>(span_sum_) / static_cast<double>(span_count_);
+}
+
+}  // namespace hpcmon::sim

@@ -1,0 +1,208 @@
+#include "sim/topology.hpp"
+
+#include <cassert>
+
+#include "core/strings.hpp"
+
+namespace hpcmon::sim {
+
+using core::ComponentId;
+using core::ComponentInfo;
+using core::ComponentKind;
+using core::strformat;
+
+Topology::Topology(core::MetricRegistry& registry, const MachineShape& shape,
+                   FabricKind fabric)
+    : shape_(shape), fabric_(fabric) {
+  assert(shape.cabinets > 0 && shape.chassis_per_cabinet > 0 &&
+         shape.blades_per_chassis > 0 && shape.nodes_per_blade > 0);
+
+  system_ = registry.register_component(
+      {"system", ComponentKind::kSystem, core::kNoComponent});
+  facility_ = registry.register_component(
+      {"facility.env", ComponentKind::kFacility, system_});
+
+  // Structure first (cabinet -> chassis -> blade), then nodes in one dense
+  // block so node_index() can be O(1) arithmetic on the raw id.
+  for (int c = 0; c < shape.cabinets; ++c) {
+    cabinets_.push_back(registry.register_component(
+        {strformat("c%d-0", c), ComponentKind::kCabinet, system_}));
+    for (int ch = 0; ch < shape.chassis_per_cabinet; ++ch) {
+      chassis_.push_back(registry.register_component(
+          {strformat("c%d-0c%d", c, ch), ComponentKind::kChassis,
+           cabinets_.back()}));
+      for (int s = 0; s < shape.blades_per_chassis; ++s) {
+        blades_.push_back(registry.register_component(
+            {strformat("c%d-0c%ds%d", c, ch, s), ComponentKind::kBlade,
+             chassis_.back()}));
+      }
+    }
+  }
+
+  const int total = shape.total_nodes();
+  nodes_.reserve(total);
+  gpu_of_node_.assign(total, -1);
+  const int gpu_cutoff = static_cast<int>(shape.gpu_node_fraction * total);
+  for (int i = 0; i < total; ++i) {
+    const int blade = i / shape.nodes_per_blade;
+    const int n = i % shape.nodes_per_blade;
+    const int cab = blade / (shape.chassis_per_cabinet * shape.blades_per_chassis);
+    const int within_cab =
+        blade % (shape.chassis_per_cabinet * shape.blades_per_chassis);
+    const int ch = within_cab / shape.blades_per_chassis;
+    const int s = within_cab % shape.blades_per_chassis;
+    const auto id = registry.register_component(
+        {strformat("c%d-0c%ds%dn%d", cab, ch, s, n), ComponentKind::kNode,
+         blades_.at(blade)});
+    if (i == 0) first_node_raw_ = core::raw(id);
+    nodes_.push_back(id);
+  }
+  // GPUs on the first gpu_cutoff nodes (a "hybrid partition", Piz-Daint style).
+  for (int i = 0; i < gpu_cutoff; ++i) {
+    gpu_of_node_[i] = static_cast<int>(gpus_.size());
+    gpus_.push_back(registry.register_component(
+        {strformat("gpu.%s", registry.component(nodes_[i]).name.c_str()),
+         ComponentKind::kGpu, nodes_[i]}));
+  }
+
+  // One router per blade.
+  num_routers_ = shape.total_blades();
+  routers_.reserve(num_routers_);
+  for (int r = 0; r < num_routers_; ++r) {
+    routers_.push_back(registry.register_component(
+        {strformat("rtr.%s", registry.component(blades_.at(r)).name.c_str()),
+         ComponentKind::kHsnRouter, blades_.at(r)}));
+  }
+  out_links_.assign(num_routers_, {});
+
+  if (fabric_ == FabricKind::kTorus3D) {
+    build_torus_links(registry);
+  } else {
+    build_dragonfly_links(registry);
+  }
+
+  // Filesystems: one MDS + N OSTs each.
+  for (int f = 0; f < shape.filesystems; ++f) {
+    mds_.push_back(registry.register_component(
+        {strformat("fs%d.mds", f), ComponentKind::kFsTarget, system_}));
+    osts_.emplace_back();
+    for (int o = 0; o < shape.osts_per_filesystem; ++o) {
+      osts_.back().push_back(registry.register_component(
+          {strformat("fs%d.ost%d", f, o), ComponentKind::kFsTarget, system_}));
+    }
+  }
+}
+
+int Topology::node_index(ComponentId id) const {
+  const auto r = core::raw(id);
+  if (r < first_node_raw_ ||
+      r >= first_node_raw_ + static_cast<std::uint32_t>(nodes_.size())) {
+    return -1;
+  }
+  return static_cast<int>(r - first_node_raw_);
+}
+
+ComponentId Topology::gpu_of(int node_index) const {
+  const int g = gpu_of_node_.at(node_index);
+  return g < 0 ? core::kNoComponent : gpus_.at(g);
+}
+
+int Topology::cabinet_of_node(int node_index) const {
+  return node_index / shape_.nodes_per_cabinet();
+}
+
+std::vector<int> Topology::nodes_in_cabinet(int cabinet_index) const {
+  std::vector<int> out;
+  const int per = shape_.nodes_per_cabinet();
+  out.reserve(per);
+  for (int i = cabinet_index * per; i < (cabinet_index + 1) * per; ++i) {
+    out.push_back(i);
+  }
+  return out;
+}
+
+int Topology::link_between(int src_router, int dst_router) const {
+  for (int li : out_links_.at(src_router)) {
+    if (links_[li].dst_router == dst_router) return li;
+  }
+  return -1;
+}
+
+Topology::Coord Topology::torus_coord(int router) const {
+  const int x_dim = shape_.blades_per_chassis;
+  const int y_dim = shape_.chassis_per_cabinet;
+  Coord c;
+  c.x = router % x_dim;
+  c.y = (router / x_dim) % y_dim;
+  c.z = router / (x_dim * y_dim);
+  return c;
+}
+
+int Topology::add_link(core::MetricRegistry& registry, int src, int dst,
+                       bool global) {
+  const int index = static_cast<int>(links_.size());
+  const auto comp = registry.register_component(
+      {strformat("link.r%d-r%d", src, dst), ComponentKind::kHsnLink,
+       routers_.at(src)});
+  links_.push_back({src, dst, comp, global});
+  out_links_.at(src).push_back(index);
+  return index;
+}
+
+void Topology::build_torus_links(core::MetricRegistry& registry) {
+  // 3D torus over (blade-slot, chassis, cabinet) with wraparound in each
+  // dimension; dimensions of size <= 2 get a single bidirectional pair (a
+  // wrap link would duplicate the direct one).
+  const int x_dim = shape_.blades_per_chassis;
+  const int y_dim = shape_.chassis_per_cabinet;
+  const int z_dim = shape_.cabinets;
+  auto router_at = [&](int x, int y, int z) {
+    return x + x_dim * (y + y_dim * z);
+  };
+  for (int z = 0; z < z_dim; ++z) {
+    for (int y = 0; y < y_dim; ++y) {
+      for (int x = 0; x < x_dim; ++x) {
+        const int r = router_at(x, y, z);
+        auto connect = [&](int nx, int ny, int nz) {
+          const int nr = router_at(nx, ny, nz);
+          if (nr == r) return;
+          if (link_between(r, nr) < 0) add_link(registry, r, nr, false);
+          if (link_between(nr, r) < 0) add_link(registry, nr, r, false);
+        };
+        connect((x + 1) % x_dim, y, z);
+        connect(x, (y + 1) % y_dim, z);
+        connect(x, y, (z + 1) % z_dim);
+      }
+    }
+  }
+}
+
+void Topology::build_dragonfly_links(core::MetricRegistry& registry) {
+  // Group == cabinet. Intra-group: all-to-all among the group's routers
+  // (Aries' electrical backplane behaves close to this). Inter-group: every
+  // group pair gets one bidirectional global (optical) link; the endpoint
+  // routers rotate so global traffic does not all land on router 0.
+  const int per_group = shape_.chassis_per_cabinet * shape_.blades_per_chassis;
+  const int groups = shape_.cabinets;
+  for (int g = 0; g < groups; ++g) {
+    const int base = g * per_group;
+    for (int a = 0; a < per_group; ++a) {
+      for (int b = a + 1; b < per_group; ++b) {
+        add_link(registry, base + a, base + b, false);
+        add_link(registry, base + b, base + a, false);
+      }
+    }
+  }
+  int rotation = 0;
+  for (int g1 = 0; g1 < groups; ++g1) {
+    for (int g2 = g1 + 1; g2 < groups; ++g2) {
+      const int r1 = g1 * per_group + (rotation % per_group);
+      const int r2 = g2 * per_group + ((rotation + 1) % per_group);
+      add_link(registry, r1, r2, true);
+      add_link(registry, r2, r1, true);
+      ++rotation;
+    }
+  }
+}
+
+}  // namespace hpcmon::sim

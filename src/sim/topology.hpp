@@ -1,0 +1,142 @@
+// Physical machine model: Cray-XC-style cabinet/chassis/blade/node hierarchy
+// plus an HSN router/link graph in either 3D-torus (Gemini-era XE/XK) or
+// dragonfly (Aries-era XC) arrangement — the two fabrics the paper's sites
+// run (Sec. II.9).
+//
+// Components are registered in the MetricRegistry with Cray-style cnames
+// (c<cab>-0c<chassis>s<slot>n<node>) so dashboards and logs read like the
+// real thing. One router serves each blade (as on XC, where four nodes share
+// an Aries).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/registry.hpp"
+
+namespace hpcmon::sim {
+
+enum class FabricKind : std::uint8_t { kTorus3D, kDragonfly };
+
+/// Machine size knobs. Defaults give a small but structurally faithful
+/// machine (2 cabinets x 3 chassis x 8 blades x 4 nodes = 192 nodes).
+struct MachineShape {
+  int cabinets = 2;
+  int chassis_per_cabinet = 3;
+  int blades_per_chassis = 8;
+  int nodes_per_blade = 4;
+  /// Fraction of nodes carrying one GPU (Piz-Daint-style hybrid machine).
+  double gpu_node_fraction = 0.0;
+  int filesystems = 1;
+  int osts_per_filesystem = 8;
+
+  int nodes_per_chassis() const { return blades_per_chassis * nodes_per_blade; }
+  int nodes_per_cabinet() const {
+    return chassis_per_cabinet * nodes_per_chassis();
+  }
+  int total_nodes() const { return cabinets * nodes_per_cabinet(); }
+  int total_blades() const {
+    return cabinets * chassis_per_cabinet * blades_per_chassis;
+  }
+};
+
+/// One directed HSN link between two routers.
+struct LinkInfo {
+  int src_router = 0;
+  int dst_router = 0;
+  core::ComponentId component{0};  // registered kHsnLink component
+  bool global = false;             // dragonfly inter-group link
+};
+
+class Topology {
+ public:
+  /// Build the component tree and fabric graph, registering every component.
+  Topology(core::MetricRegistry& registry, const MachineShape& shape,
+           FabricKind fabric);
+
+  const MachineShape& shape() const { return shape_; }
+  FabricKind fabric_kind() const { return fabric_; }
+
+  // -- Nodes ---------------------------------------------------------------
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  core::ComponentId node(int index) const { return nodes_.at(index); }
+  /// Reverse lookup; -1 when the component is not a node.
+  int node_index(core::ComponentId id) const;
+  bool node_has_gpu(int node_index) const { return gpu_of_node_.at(node_index) >= 0; }
+  /// GPU component for a node, or kNoComponent.
+  core::ComponentId gpu_of(int node_index) const;
+
+  int cabinet_of_node(int node_index) const;  // cabinet ordinal
+  core::ComponentId cabinet(int cabinet_index) const {
+    return cabinets_.at(cabinet_index);
+  }
+  int num_cabinets() const { return static_cast<int>(cabinets_.size()); }
+  /// Nodes contained in one cabinet, in index order.
+  std::vector<int> nodes_in_cabinet(int cabinet_index) const;
+
+  // -- Routers and links ---------------------------------------------------
+  int num_routers() const { return num_routers_; }
+  int router_of_node(int node_index) const {
+    return node_index / shape_.nodes_per_blade;
+  }
+  core::ComponentId router_component(int router) const {
+    return routers_.at(router);
+  }
+  int num_links() const { return static_cast<int>(links_.size()); }
+  const LinkInfo& link(int link_index) const { return links_.at(link_index); }
+  /// Outgoing link indices of a router.
+  const std::vector<int>& links_from(int router) const {
+    return out_links_.at(router);
+  }
+  /// Link index from src to dst router, or -1 if not adjacent.
+  int link_between(int src_router, int dst_router) const;
+
+  /// Torus coordinate of a router (x: blade slot, y: chassis, z: cabinet).
+  struct Coord {
+    int x = 0, y = 0, z = 0;
+  };
+  Coord torus_coord(int router) const;
+  /// Dragonfly group of a router (== cabinet ordinal).
+  int group_of(int router) const {
+    return router / (shape_.chassis_per_cabinet * shape_.blades_per_chassis);
+  }
+
+  // -- Filesystems ---------------------------------------------------------
+  int num_filesystems() const { return shape_.filesystems; }
+  core::ComponentId mds(int fs) const { return mds_.at(fs); }
+  core::ComponentId ost(int fs, int ost_index) const {
+    return osts_.at(fs).at(ost_index);
+  }
+  int osts_per_fs() const { return shape_.osts_per_filesystem; }
+
+  // -- Facility ------------------------------------------------------------
+  core::ComponentId system() const { return system_; }
+  core::ComponentId facility_sensor() const { return facility_; }
+
+ private:
+  void build_torus_links(core::MetricRegistry& registry);
+  void build_dragonfly_links(core::MetricRegistry& registry);
+  int add_link(core::MetricRegistry& registry, int src, int dst, bool global);
+
+  MachineShape shape_;
+  FabricKind fabric_;
+  core::ComponentId system_{0};
+  core::ComponentId facility_{0};
+  std::vector<core::ComponentId> cabinets_;
+  std::vector<core::ComponentId> chassis_;
+  std::vector<core::ComponentId> blades_;
+  std::vector<core::ComponentId> nodes_;
+  std::vector<core::ComponentId> routers_;
+  std::vector<int> gpu_of_node_;             // -1 or index into gpus_
+  std::vector<core::ComponentId> gpus_;
+  std::vector<core::ComponentId> mds_;
+  std::vector<std::vector<core::ComponentId>> osts_;
+  std::vector<LinkInfo> links_;
+  std::vector<std::vector<int>> out_links_;
+  int num_routers_ = 0;
+  std::uint32_t first_node_raw_ = 0;  // dense node ids for reverse lookup
+};
+
+}  // namespace hpcmon::sim

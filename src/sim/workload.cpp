@@ -1,0 +1,46 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hpcmon::sim {
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadParams& params,
+                                     core::Rng rng)
+    : params_(params), rng_(rng) {
+  assert(!params_.mix.empty());
+  double total = 0.0;
+  for (std::size_t i = 0; i < params_.mix.size(); ++i) {
+    const double w = i < params_.weights.size() ? params_.weights[i] : 1.0;
+    total += w;
+    cumulative_.push_back(total);
+  }
+}
+
+core::Duration WorkloadGenerator::next_interarrival() {
+  return std::max<core::Duration>(
+      core::kSecond,
+      static_cast<core::Duration>(rng_.exponential(
+          static_cast<double>(params_.mean_interarrival))));
+}
+
+JobRequest WorkloadGenerator::next_request() {
+  JobRequest req;
+  const double nodes = rng_.lognormal(std::log(params_.median_nodes), 0.8);
+  req.num_nodes = std::clamp(static_cast<int>(nodes + 0.5), params_.min_nodes,
+                             params_.max_nodes);
+  const double runtime = rng_.lognormal(
+      std::log(static_cast<double>(params_.median_runtime)),
+      params_.runtime_sigma);
+  req.nominal_runtime = std::max(params_.min_runtime,
+                                 static_cast<core::Duration>(runtime));
+  const double pick = rng_.uniform(0.0, cumulative_.back());
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), pick);
+  req.profile = params_.mix.at(
+      static_cast<std::size_t>(std::distance(cumulative_.begin(), it)));
+  req.needs_gpu = rng_.bernoulli(params_.gpu_job_fraction);
+  return req;
+}
+
+}  // namespace hpcmon::sim

@@ -1,0 +1,45 @@
+// Stochastic job stream: Poisson arrivals, log-normal sizes and runtimes,
+// weighted application mix. Drives the background load every figure bench
+// runs against ("a single run of an application may occupy thousands of
+// nodes ... across several functional subsystems", Sec. II).
+#pragma once
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/time.hpp"
+#include "sim/apps.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hpcmon::sim {
+
+struct WorkloadParams {
+  core::Duration mean_interarrival = 2 * core::kMinute;
+  int min_nodes = 2;
+  int max_nodes = 64;
+  /// Median of the log-normal node-count distribution.
+  double median_nodes = 8.0;
+  core::Duration min_runtime = 4 * core::kMinute;
+  core::Duration median_runtime = 15 * core::kMinute;
+  double runtime_sigma = 0.6;  // log-normal shape
+  std::vector<AppProfile> mix = standard_app_mix();
+  std::vector<double> weights = {};  // empty = uniform
+  double gpu_job_fraction = 0.0;
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const WorkloadParams& params, core::Rng rng);
+
+  /// Time until the next submission.
+  core::Duration next_interarrival();
+  /// Draw the next job request.
+  JobRequest next_request();
+
+ private:
+  WorkloadParams params_;
+  core::Rng rng_;
+  std::vector<double> cumulative_;
+};
+
+}  // namespace hpcmon::sim

@@ -1,0 +1,191 @@
+#include "stack/stack.hpp"
+
+#include "core/strings.hpp"
+#include "transport/codec.hpp"
+
+namespace hpcmon::stack {
+
+using core::Duration;
+using core::kSecond;
+
+namespace {
+store::RetentionPolicy retention_from(const core::Config& config) {
+  store::RetentionPolicy policy;
+  policy.hot_window = config.get_int("hot_window_s", 21600) * kSecond;
+  policy.warm_window = config.get_int("warm_window_s", 604800) * kSecond;
+  policy.warm_bucket = config.get_int("warm_bucket_s", 300) * kSecond;
+  return policy;
+}
+}  // namespace
+
+MonitoringStack::MonitoringStack(sim::Cluster& cluster,
+                                 const core::Config& config)
+    : cluster_(cluster),
+      tsdb_(retention_from(config),
+            static_cast<std::size_t>(config.get_int("chunk_points", 512))),
+      detectors_(cluster.registry()),
+      collection_(cluster) {
+  const Duration sample_interval =
+      config.get_int("sample_interval_s", 60) * kSecond;
+  const Duration log_interval = config.get_int("log_interval_s", 15) * kSecond;
+
+  // Collection -> router.
+  for (auto& sampler : collect::make_all_samplers(cluster_)) {
+    collection_.add_sampler(std::move(sampler), sample_interval,
+                            collect::router_sample_sink(router_));
+  }
+  collection_.add_log_collector(log_interval,
+                                collect::router_log_sink(router_));
+
+  // Optional probe suite.
+  if (const auto probe_s = config.get_int("probe_interval_s", 600);
+      probe_s > 0) {
+    collect::ProbeConfig pc;
+    pc.probe_nodes = {0, cluster_.topology().num_nodes() / 2};
+    collection_.add_sampler(
+        std::make_unique<collect::ProbeSuite>(cluster_, pc, core::Rng(101)),
+        probe_s * kSecond, collect::router_sample_sink(router_));
+  }
+  // Optional health battery.
+  if (const auto health_s = config.get_int("health_interval_s", 600);
+      health_s > 0) {
+    collection_.add_sampler(
+        std::make_unique<collect::HealthCheckSuite>(cluster_,
+                                                    collect::HealthConfig{}),
+        health_s * kSecond, collect::router_sample_sink(router_));
+  }
+
+  // Numeric alerting: detector bank on key series (Table I: triggers at
+  // arbitrary points in the data pathway, here in-stream).
+  const bool numeric_alerts = config.get_bool("numeric_alerts", true);
+  if (numeric_alerts) {
+    detectors_.watch("node.low_memory", "node.mem_free_gb",
+                     analysis::below_factory(
+                         config.get_double("min_free_mem_gb", 8.0), 4.0));
+    detectors_.watch("facility.corrosion", "facility.corrosion_ppb",
+                     analysis::above_factory(
+                         config.get_double("corrosion_alert_ppb", 10.0), 2.0));
+    detectors_.watch("fs.latency_outlier", "fs.ost.latency_ms",
+                     analysis::mad_factory(60, 8.0));
+  }
+
+  // Router -> stores (+ analysis on both pathways).
+  router_.subscribe(transport::FrameType::kSamples,
+                    [this, numeric_alerts](const transport::Frame& f) {
+                      auto batch = transport::decode_samples(f);
+                      if (!batch.is_ok()) return;
+                      if (numeric_alerts) {
+                        for (const auto& a : detectors_.process(batch.value())) {
+                          alerts_.raise(
+                              {a.event.time, response::AlertSeverity::kWarning,
+                               a.watch_name, a.component,
+                               core::strformat("%s=%.3g (%s score %.1f)",
+                                               a.metric.c_str(), a.event.value,
+                                               a.event.detector.c_str(),
+                                               a.event.score)});
+                        }
+                      }
+                      tsdb_.append_batch(batch.value().samples);
+                    });
+  router_.subscribe(transport::FrameType::kLogs,
+                    [this](const transport::Frame& f) { on_log_frame(f); });
+
+  // Rules / novelty / response.
+  if (config.get_bool("rules", true)) {
+    for (auto& r : analysis::standard_platform_rules()) {
+      rules_.add_rule(std::move(r));
+    }
+  }
+  if (config.get_bool("novelty", false)) {
+    analysis::NoveltyParams np;
+    np.training_until =
+        config.get_int("novelty_training_s", 14400) * kSecond;
+    novelty_ = std::make_unique<analysis::NoveltyDetector>(np);
+  }
+  alerts_.add_sink(
+      [this](const response::Alert& a) { actions_.dispatch(a); });
+  if (config.get_bool("quarantine_on_hw_critical", false)) {
+    actions_.bind("hw_critical", response::AlertSeverity::kWarning,
+                  "quarantine",
+                  response::make_quarantine_action(
+                      cluster_, config.get_int("gate_repair_s", 1800) * kSecond));
+  }
+
+  // Job lifecycle -> job store.
+  cluster_.scheduler().set_on_start([this](const sim::JobRecord& rec) {
+    store::JobMeta m;
+    m.id = rec.id;
+    m.app_name = rec.request.profile.name;
+    m.nodes = rec.nodes;
+    m.submit_time = rec.submit_time;
+    m.start_time = rec.start_time;
+    jobs_.record_start(m);
+  });
+  cluster_.scheduler().set_on_end([this](const sim::JobRecord& rec) {
+    store::JobMeta m;
+    m.id = rec.id;
+    m.app_name = rec.request.profile.name;
+    m.nodes = rec.nodes;
+    m.submit_time = rec.submit_time;
+    m.start_time = rec.start_time;
+    m.end_time = rec.end_time;
+    m.failed = rec.state == sim::JobState::kFailed;
+    jobs_.record_end(m);
+  });
+
+  // Job gating.
+  const bool pre = config.get_bool("gate_pre", false);
+  const bool post = config.get_bool("gate_post", false);
+  if (pre || post) {
+    gate_ = std::make_unique<response::HealthGate>(
+        cluster_, config.get_int("gate_repair_s", 1800) * kSecond);
+    gate_->attach(pre, post);
+  }
+
+  // Hourly retention maintenance on the simulation timeline.
+  archive_path_ = config.get_string("archive_path", "");
+  cluster_.events().schedule_every(
+      cluster_.now() + core::kHour, core::kHour,
+      [this](core::TimePoint) { enforce_retention(); });
+}
+
+void MonitoringStack::enforce_retention() {
+  const auto archived = tsdb_.enforce(cluster_.now());
+  if (archived > 0 && !archive_path_.empty()) {
+    if (tsdb_.archive().save_to_file(archive_path_).is_ok()) {
+      ++archive_saves_;
+    }
+  }
+}
+
+void MonitoringStack::on_log_frame(const transport::Frame& frame) {
+  auto events = transport::decode_logs(frame);
+  if (!events.is_ok()) return;
+  for (const auto& e : events.value()) {
+    for (const auto& m : rules_.process(e)) {
+      alerts_.raise({m.time,
+                     e.severity <= core::Severity::kCritical
+                         ? response::AlertSeverity::kCritical
+                         : response::AlertSeverity::kWarning,
+                     m.rule_name, m.component, m.detail});
+    }
+    if (novelty_) {
+      for (auto& n : novelty_->process(e)) {
+        novelty_reports_.push_back(std::move(n));
+      }
+    }
+  }
+  logs_.append_batch(std::move(events).take());
+}
+
+std::string MonitoringStack::status() const {
+  const auto st = tsdb_.hot().stats();
+  return core::strformat(
+      "t=%s series=%zu points=%zu archived_blobs=%zu logs=%zu jobs=%zu "
+      "alerts_active=%zu actions=%zu",
+      core::format_time(cluster_.now()).c_str(), st.series, st.points,
+      tsdb_.archive().blob_count(), logs_.size(), jobs_.size(),
+      alerts_.active().size(), actions_.log().size());
+}
+
+}  // namespace hpcmon::stack

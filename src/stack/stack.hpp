@@ -1,0 +1,111 @@
+// MonitoringStack: config-driven assembly of the complete pipeline.
+//
+// Table I (Architecture): "changes in data direction and data access easily
+// configured and changed" and "extensibility and modularity are fundamental".
+// MonitoringStack wires samplers -> EventRouter -> tiered store / log store /
+// job store, plus the rule engine -> alert manager -> action dispatcher
+// chain, entirely from a flat Config — the deployment description a site
+// would keep in version control. Every subsystem remains reachable for
+// extension (add samplers, rules, sinks after construction).
+//
+// Recognized configuration keys (defaults in parentheses):
+//   sample_interval_s   (60)    synchronized sweep period
+//   log_interval_s      (15)    log drain period
+//   probe_interval_s    (600)   0 disables the probe suite
+//   health_interval_s   (600)   0 disables the health battery
+//   hot_window_s        (21600) TSDB hot retention
+//   warm_window_s       (604800)
+//   warm_bucket_s       (300)
+//   chunk_points        (512)   TSDB chunk seal threshold
+//   archive_path        ("")    when set, the cold tier is saved to this
+//                               file after every retention pass (the
+//                               "locate and reload" handoff to slow media)
+//   rules               (true)  install the standard platform rule set
+//   numeric_alerts      (true)  detector bank on key numeric series
+//   min_free_mem_gb     (8)     below-threshold watch on node free memory
+//   corrosion_alert_ppb (10)    ASHRAE G1 watch on facility gas level
+//   novelty             (false) log-template novelty detection
+//   novelty_training_s  (14400)
+//   gate_pre / gate_post (false) CSCS-style GPU job gating
+//   gate_repair_s       (1800)
+//   quarantine_on_hw_critical (false) automated node quarantine action
+#pragma once
+
+#include <memory>
+
+#include "analysis/detector_bank.hpp"
+#include "analysis/novelty.hpp"
+#include "analysis/rules.hpp"
+#include "collect/collection.hpp"
+#include "collect/health.hpp"
+#include "collect/probes.hpp"
+#include "collect/samplers.hpp"
+#include "core/config.hpp"
+#include "response/actions.hpp"
+#include "response/alerts.hpp"
+#include "response/gate.hpp"
+#include "store/jobstore.hpp"
+#include "store/logstore.hpp"
+#include "store/retention.hpp"
+#include "transport/event_router.hpp"
+
+namespace hpcmon::stack {
+
+class MonitoringStack {
+ public:
+  /// Assemble and attach the full pipeline to `cluster` per `config`.
+  /// The cluster must outlive the stack.
+  MonitoringStack(sim::Cluster& cluster, const core::Config& config);
+
+  // -- Data access -----------------------------------------------------------
+  store::TieredStore& tsdb() { return tsdb_; }
+  const store::TieredStore& tsdb() const { return tsdb_; }
+  store::LogStore& logs() { return logs_; }
+  store::JobStore& jobs() { return jobs_; }
+  transport::EventRouter& router() { return router_; }
+  response::AlertManager& alerts() { return alerts_; }
+  response::ActionDispatcher& actions() { return actions_; }
+  analysis::RuleEngine& rules() { return rules_; }
+  analysis::DetectorBank& detectors() { return detectors_; }
+  collect::CollectionService& collection() { return collection_; }
+  sim::Cluster& cluster() { return cluster_; }
+
+  /// Novelty reports accumulated so far (empty unless novelty = true).
+  const std::vector<analysis::NoveltyEvent>& novelty_reports() const {
+    return novelty_reports_;
+  }
+  const response::GateStats* gate_stats() const {
+    return gate_ ? &gate_->stats() : nullptr;
+  }
+
+  /// Run retention maintenance (call periodically, or rely on the built-in
+  /// hourly schedule installed at construction). Spills the archive to
+  /// `archive_path` when configured.
+  void enforce_retention();
+  std::uint64_t archive_saves() const { return archive_saves_; }
+
+  /// One-line status summary for operator consoles.
+  std::string status() const;
+
+ private:
+  void on_log_frame(const transport::Frame& frame);
+
+  sim::Cluster& cluster_;
+  transport::EventRouter router_;
+  store::TieredStore tsdb_;
+  store::LogStore logs_;
+  store::JobStore jobs_;
+  analysis::RuleEngine rules_;
+  analysis::DetectorBank detectors_;
+  response::AlertManager alerts_;
+  response::ActionDispatcher actions_;
+  collect::CollectionService collection_;
+  std::unique_ptr<collect::HealthCheckSuite> health_;
+  std::unique_ptr<response::HealthGate> gate_;
+  std::unique_ptr<analysis::NoveltyDetector> novelty_;
+  std::vector<analysis::NoveltyEvent> novelty_reports_;
+  std::string archive_path_;
+  std::uint64_t archive_saves_ = 0;
+};
+
+}  // namespace hpcmon::stack

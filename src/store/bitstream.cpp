@@ -1,0 +1,33 @@
+#include "store/bitstream.hpp"
+
+namespace hpcmon::store {
+
+void BitWriter::write(std::uint64_t value, int bits) {
+  for (int i = bits - 1; i >= 0; --i) {
+    const bool bit = (value >> i) & 1;
+    const std::size_t byte_index = bit_count_ / 8;
+    if (byte_index == bytes_.size()) bytes_.push_back(0);
+    if (bit) {
+      bytes_[byte_index] |=
+          static_cast<std::uint8_t>(1u << (7 - bit_count_ % 8));
+    }
+    ++bit_count_;
+  }
+}
+
+std::uint64_t BitReader::read(int bits) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < bits; ++i) {
+    const std::size_t byte_index = cursor_ / 8;
+    if (byte_index >= bytes_.size()) {
+      eof_ = true;
+      return 0;
+    }
+    const bool bit = (bytes_[byte_index] >> (7 - cursor_ % 8)) & 1;
+    value = (value << 1) | (bit ? 1 : 0);
+    ++cursor_;
+  }
+  return value;
+}
+
+}  // namespace hpcmon::store

@@ -1,0 +1,48 @@
+// Bit-granular writer/reader used by the chunk codecs.
+//
+// Kept deliberately simple: append-only writer over a byte vector, and a
+// cursor-based reader. Both are bounds-checked; the reader reports exhaustion
+// via eof() rather than throwing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hpcmon::store {
+
+class BitWriter {
+ public:
+  /// Append the low `bits` bits of `value`, most-significant first.
+  void write(std::uint64_t value, int bits);
+  void write_bit(bool bit) { write(bit ? 1 : 0, 1); }
+
+  /// Number of bits written so far.
+  std::size_t bit_count() const { return bit_count_; }
+  /// Finished byte buffer (padded with zero bits).
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() && { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t bit_count_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  /// Read `bits` bits (MSB-first). Returns 0 and sets eof on underrun.
+  std::uint64_t read(int bits);
+  bool read_bit() { return read(1) != 0; }
+
+  bool eof() const { return eof_; }
+  std::size_t bits_consumed() const { return cursor_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t cursor_ = 0;  // bit cursor
+  bool eof_ = false;
+};
+
+}  // namespace hpcmon::store

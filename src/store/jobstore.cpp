@@ -1,0 +1,83 @@
+#include "store/jobstore.hpp"
+
+#include <algorithm>
+
+namespace hpcmon::store {
+
+void JobStore::record_start(const JobMeta& meta) {
+  std::scoped_lock lock(mu_);
+  jobs_[meta.id] = meta;
+}
+
+void JobStore::record_end(const JobMeta& meta) {
+  std::scoped_lock lock(mu_);
+  jobs_[meta.id] = meta;
+}
+
+std::optional<JobMeta> JobStore::get(core::JobId id) const {
+  std::scoped_lock lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<JobMeta> JobStore::jobs_overlapping(
+    const core::TimeRange& range) const {
+  std::scoped_lock lock(mu_);
+  std::vector<JobMeta> out;
+  for (const auto& [id, j] : jobs_) {
+    if (j.start_time < 0) continue;
+    const core::TimePoint end = j.end_time < 0 ? INT64_MAX : j.end_time;
+    if (j.start_time < range.end && range.begin < end) out.push_back(j);
+  }
+  std::sort(out.begin(), out.end(), [](const JobMeta& a, const JobMeta& b) {
+    return a.start_time < b.start_time;
+  });
+  return out;
+}
+
+std::optional<JobMeta> JobStore::job_on_node_at(int node,
+                                                core::TimePoint t) const {
+  std::scoped_lock lock(mu_);
+  for (const auto& [id, j] : jobs_) {
+    if (!j.running_at(t)) continue;
+    if (std::find(j.nodes.begin(), j.nodes.end(), node) != j.nodes.end()) {
+      return j;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<JobMeta> JobStore::running_at(core::TimePoint t) const {
+  std::scoped_lock lock(mu_);
+  std::vector<JobMeta> out;
+  for (const auto& [id, j] : jobs_) {
+    if (j.running_at(t)) out.push_back(j);
+  }
+  std::sort(out.begin(), out.end(), [](const JobMeta& a, const JobMeta& b) {
+    return core::raw(a.id) < core::raw(b.id);
+  });
+  return out;
+}
+
+std::size_t JobStore::size() const {
+  std::scoped_lock lock(mu_);
+  return jobs_.size();
+}
+
+std::vector<JobMeta> JobStore::completed_runs_of(
+    const std::string& app_name) const {
+  std::scoped_lock lock(mu_);
+  std::vector<JobMeta> out;
+  for (const auto& [id, j] : jobs_) {
+    if (j.app_name == app_name && j.end_time >= 0 && !j.failed) {
+      out.push_back(j);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const JobMeta& a, const JobMeta& b) {
+    return a.start_time < b.start_time;
+  });
+  return out;
+}
+
+}  // namespace hpcmon::store

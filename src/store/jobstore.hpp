@@ -1,0 +1,60 @@
+// Job allocation store: which job held which nodes, when.
+//
+// The paper notes (Fig 4/5 discussion) that "per-job analysis requires
+// storing and extraction of job allocations and timeframes, which adds to
+// storage and query complexity". JobStore is that piece: populated from
+// scheduler events, queried by the drill-down path (aggregate spike ->
+// component -> owning job) and by per-job dashboards.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/time.hpp"
+
+namespace hpcmon::store {
+
+/// Store-side view of a job (decoupled from the simulator's JobRecord).
+struct JobMeta {
+  core::JobId id = core::kNoJob;
+  std::string app_name;
+  std::vector<int> nodes;  // node indices
+  core::TimePoint submit_time = 0;
+  core::TimePoint start_time = -1;
+  core::TimePoint end_time = -1;  // -1 while running
+  bool failed = false;
+
+  bool running_at(core::TimePoint t) const {
+    return start_time >= 0 && t >= start_time &&
+           (end_time < 0 || t < end_time);
+  }
+};
+
+class JobStore {
+ public:
+  void record_start(const JobMeta& meta);
+  /// Record completion; `meta.id` must have been started (else inserted).
+  void record_end(const JobMeta& meta);
+
+  std::optional<JobMeta> get(core::JobId id) const;
+  /// Jobs whose [start, end) intersects the range (running jobs included).
+  std::vector<JobMeta> jobs_overlapping(const core::TimeRange& range) const;
+  /// Job holding `node` at time t, if any.
+  std::optional<JobMeta> job_on_node_at(int node, core::TimePoint t) const;
+  std::vector<JobMeta> running_at(core::TimePoint t) const;
+  std::size_t size() const;
+
+  /// All completed runs of an app, for runtime-variability analysis
+  /// (HLRS aggressor/victim, Sec. II.10).
+  std::vector<JobMeta> completed_runs_of(const std::string& app_name) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<core::JobId, JobMeta> jobs_;
+};
+
+}  // namespace hpcmon::store

@@ -1,0 +1,155 @@
+#include "store/logstore.hpp"
+#include <cstdio>
+
+#include "transport/codec.hpp"
+
+#include <algorithm>
+
+#include "core/strings.hpp"
+
+namespace hpcmon::store {
+
+using core::LogEvent;
+using core::TimedValue;
+
+void LogStore::append(LogEvent event) {
+  std::scoped_lock lock(mu_);
+  if (event.time < last_time_) event.time = last_time_;
+  last_time_ = event.time;
+  const auto idx = static_cast<std::uint32_t>(events_.size());
+  for (const auto& tok : core::tokenize_words(event.message)) {
+    auto& postings = token_index_[tok];
+    if (postings.empty() || postings.back() != idx) postings.push_back(idx);
+  }
+  events_.push_back(std::move(event));
+}
+
+void LogStore::append_batch(std::vector<LogEvent> events) {
+  for (auto& e : events) append(std::move(e));
+}
+
+bool LogStore::matches(const LogEvent& e, const LogQuery& q) const {
+  if (!q.range.contains(e.time)) return false;
+  if (q.max_severity && e.severity > *q.max_severity) return false;
+  if (q.facility && e.facility != *q.facility) return false;
+  if (q.component && e.component != *q.component) return false;
+  if (q.job && e.job != *q.job) return false;
+  if (!q.message_glob.empty() &&
+      !core::glob_match(q.message_glob, e.message)) {
+    return false;
+  }
+  return true;
+}
+
+std::vector<LogEvent> LogStore::query(const LogQuery& q) const {
+  std::scoped_lock lock(mu_);
+  std::vector<LogEvent> out;
+  if (!q.token.empty()) {
+    const auto it = token_index_.find(core::to_lower(q.token));
+    if (it == token_index_.end()) return out;
+    for (const auto idx : it->second) {
+      const auto& e = events_[idx];
+      if (matches(e, q)) out.push_back(e);
+    }
+    return out;
+  }
+  // Time-ordered scan; narrow with binary search on the range start.
+  const auto begin = std::lower_bound(
+      events_.begin(), events_.end(), q.range.begin,
+      [](const LogEvent& e, core::TimePoint t) { return e.time < t; });
+  for (auto it2 = begin; it2 != events_.end() && it2->time < q.range.end;
+       ++it2) {
+    if (matches(*it2, q)) out.push_back(*it2);
+  }
+  return out;
+}
+
+std::vector<TimedValue> LogStore::count_by_bucket(const LogQuery& q,
+                                                  core::Duration bucket) const {
+  std::vector<TimedValue> out;
+  if (bucket <= 0) return out;
+  const auto hits = query(q);
+  std::size_t i = 0;
+  while (i < hits.size()) {
+    const core::TimePoint start = hits[i].time / bucket * bucket;
+    double n = 0;
+    while (i < hits.size() && hits[i].time < start + bucket) {
+      ++n;
+      ++i;
+    }
+    out.push_back({start, n});
+  }
+  return out;
+}
+
+std::size_t LogStore::size() const {
+  std::scoped_lock lock(mu_);
+  return events_.size();
+}
+
+std::vector<std::size_t> LogStore::severity_histogram() const {
+  std::scoped_lock lock(mu_);
+  std::vector<std::size_t> hist(8, 0);
+  for (const auto& e : events_) {
+    hist[static_cast<std::size_t>(e.severity)]++;
+  }
+  return hist;
+}
+
+namespace {
+constexpr std::uint32_t kLogMagic = 0x48504D4C;  // "HPML"
+constexpr std::size_t kFrameEvents = 1024;       // events per stored frame
+}  // namespace
+
+core::Status LogStore::save_to_file(const std::string& path) const {
+  std::scoped_lock lock(mu_);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return core::Status::error("cannot open " + path);
+  bool ok = std::fwrite(&kLogMagic, 4, 1, f) == 1;
+  const auto total = static_cast<std::uint64_t>(events_.size());
+  ok = ok && std::fwrite(&total, 8, 1, f) == 1;
+  for (std::size_t start = 0; ok && start < events_.size();
+       start += kFrameEvents) {
+    const std::size_t end = std::min(events_.size(), start + kFrameEvents);
+    const std::vector<LogEvent> slice(events_.begin() + start,
+                                      events_.begin() + end);
+    const auto frame = transport::encode_logs(slice);
+    const auto len = static_cast<std::uint32_t>(frame.payload.size());
+    ok = std::fwrite(&len, 4, 1, f) == 1 &&
+         std::fwrite(frame.payload.data(), 1, len, f) == len;
+  }
+  std::fclose(f);
+  return ok ? core::Status::ok() : core::Status::error("short write " + path);
+}
+
+core::Status LogStore::load_from_file(const std::string& path, LogStore& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return core::Status::error("cannot open " + path);
+  std::uint32_t magic = 0;
+  std::uint64_t total = 0;
+  if (std::fread(&magic, 4, 1, f) != 1 || magic != kLogMagic ||
+      std::fread(&total, 8, 1, f) != 1) {
+    std::fclose(f);
+    return core::Status::error("bad log archive header in " + path);
+  }
+  std::uint64_t loaded = 0;
+  while (loaded < total) {
+    std::uint32_t len = 0;
+    if (std::fread(&len, 4, 1, f) != 1) break;
+    transport::Frame frame;
+    frame.type = transport::FrameType::kLogs;
+    frame.payload.resize(len);
+    if (std::fread(frame.payload.data(), 1, len, f) != len) break;
+    auto events = transport::decode_logs(frame);
+    if (!events.is_ok()) break;
+    loaded += events.value().size();
+    out.append_batch(std::move(events).take());
+  }
+  std::fclose(f);
+  if (loaded != total) {
+    return core::Status::error("truncated log archive " + path);
+  }
+  return core::Status::ok();
+}
+
+}  // namespace hpcmon::store

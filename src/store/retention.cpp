@@ -1,0 +1,184 @@
+#include "store/retention.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace hpcmon::store {
+
+using core::Result;
+using core::SeriesId;
+using core::Status;
+using core::TimedValue;
+using core::TimePoint;
+using core::TimeRange;
+
+void Archive::store(SeriesId series, Chunk&& chunk) {
+  Blob b;
+  b.min_time = chunk.min_time();
+  b.max_time = chunk.max_time();
+  b.raw = chunk.serialize();
+  blobs_[core::raw(series)].push_back(std::move(b));
+}
+
+std::vector<TimedValue> Archive::fetch(SeriesId series,
+                                       const TimeRange& range) const {
+  std::vector<TimedValue> out;
+  auto it = blobs_.find(core::raw(series));
+  if (it == blobs_.end()) return out;
+  for (const auto& b : it->second) {
+    if (b.min_time >= range.end || b.max_time < range.begin) continue;
+    ++reloads_;
+    for (const auto& p : Chunk::deserialize(b.raw).decompress()) {
+      if (range.contains(p.time)) out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::size_t Archive::blob_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, blobs] : blobs_) n += blobs.size();
+  return n;
+}
+
+std::size_t Archive::byte_size() const {
+  std::size_t n = 0;
+  for (const auto& [id, blobs] : blobs_) {
+    for (const auto& b : blobs) n += b.raw.size();
+  }
+  return n;
+}
+
+namespace {
+constexpr std::uint32_t kArchiveMagic = 0x48504D41;  // "HPMA"
+
+bool write_u32(std::FILE* f, std::uint32_t v) {
+  return std::fwrite(&v, 4, 1, f) == 1;
+}
+bool write_u64(std::FILE* f, std::uint64_t v) {
+  return std::fwrite(&v, 8, 1, f) == 1;
+}
+bool read_u32(std::FILE* f, std::uint32_t& v) {
+  return std::fread(&v, 4, 1, f) == 1;
+}
+bool read_u64(std::FILE* f, std::uint64_t& v) {
+  return std::fread(&v, 8, 1, f) == 1;
+}
+}  // namespace
+
+Status Archive::save_to_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::error("cannot open " + path);
+  bool ok = write_u32(f, kArchiveMagic) &&
+            write_u32(f, static_cast<std::uint32_t>(blobs_.size()));
+  for (const auto& [id, blobs] : blobs_) {
+    ok = ok && write_u32(f, id) &&
+         write_u32(f, static_cast<std::uint32_t>(blobs.size()));
+    for (const auto& b : blobs) {
+      ok = ok && write_u64(f, static_cast<std::uint64_t>(b.min_time)) &&
+           write_u64(f, static_cast<std::uint64_t>(b.max_time)) &&
+           write_u32(f, static_cast<std::uint32_t>(b.raw.size()));
+      ok = ok && std::fwrite(b.raw.data(), 1, b.raw.size(), f) == b.raw.size();
+    }
+  }
+  std::fclose(f);
+  return ok ? Status::ok() : Status::error("short write to " + path);
+}
+
+Result<Archive> Archive::load_from_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Result<Archive>::error("cannot open " + path);
+  Archive a;
+  std::uint32_t magic = 0;
+  std::uint32_t n_series = 0;
+  if (!read_u32(f, magic) || magic != kArchiveMagic || !read_u32(f, n_series)) {
+    std::fclose(f);
+    return Result<Archive>::error("bad archive header in " + path);
+  }
+  for (std::uint32_t s = 0; s < n_series; ++s) {
+    std::uint32_t id = 0;
+    std::uint32_t n_blobs = 0;
+    if (!read_u32(f, id) || !read_u32(f, n_blobs)) {
+      std::fclose(f);
+      return Result<Archive>::error("truncated archive " + path);
+    }
+    for (std::uint32_t i = 0; i < n_blobs; ++i) {
+      Blob b;
+      std::uint64_t t = 0;
+      std::uint32_t len = 0;
+      if (!read_u64(f, t)) break;
+      b.min_time = static_cast<TimePoint>(t);
+      if (!read_u64(f, t)) break;
+      b.max_time = static_cast<TimePoint>(t);
+      if (!read_u32(f, len)) break;
+      b.raw.resize(len);
+      if (std::fread(b.raw.data(), 1, len, f) != len) {
+        std::fclose(f);
+        return Result<Archive>::error("truncated blob in " + path);
+      }
+      a.blobs_[id].push_back(std::move(b));
+    }
+  }
+  std::fclose(f);
+  return a;
+}
+
+TieredStore::TieredStore(const RetentionPolicy& policy,
+                         std::size_t chunk_points)
+    : policy_(policy), hot_(chunk_points), warm_(chunk_points) {}
+
+std::size_t TieredStore::enforce(TimePoint now) {
+  const TimePoint hot_cutoff = now - policy_.hot_window;
+  const std::size_t archived = hot_.evict_before(
+      hot_cutoff, [this](SeriesId id, Chunk&& chunk) {
+        // Downsample into warm before the raw chunk goes cold. A bucket that
+        // straddles two chunks keeps its first chunk's aggregate (the
+        // second append is rejected by ordering) — bounded, documented bias.
+        const auto pts = chunk.decompress();
+        std::size_t i = 0;
+        while (i < pts.size()) {
+          const TimePoint bucket =
+              pts[i].time / policy_.warm_bucket * policy_.warm_bucket;
+          std::vector<TimedValue> in_bucket;
+          while (i < pts.size() &&
+                 pts[i].time < bucket + policy_.warm_bucket) {
+            in_bucket.push_back(pts[i]);
+            ++i;
+          }
+          if (auto v = aggregate_points(in_bucket, policy_.warm_agg)) {
+            warm_.append(id, bucket, *v);
+          }
+        }
+        archive_.store(id, std::move(chunk));
+      });
+  warm_.evict_before(now - policy_.warm_window, {});
+  return archived;
+}
+
+namespace {
+std::vector<TimedValue> merge_sorted(std::vector<TimedValue> a,
+                                     std::vector<TimedValue> b) {
+  std::vector<TimedValue> out;
+  out.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out),
+             [](const TimedValue& x, const TimedValue& y) {
+               return x.time < y.time;
+             });
+  return out;
+}
+}  // namespace
+
+std::vector<TimedValue> TieredStore::query_range(SeriesId series,
+                                                 const TimeRange& range) const {
+  return merge_sorted(warm_.query_range(series, range),
+                      hot_.query_range(series, range));
+}
+
+std::vector<TimedValue> TieredStore::query_full(SeriesId series,
+                                                const TimeRange& range) const {
+  return merge_sorted(archive_.fetch(series, range),
+                      hot_.query_range(series, range));
+}
+
+}  // namespace hpcmon::store

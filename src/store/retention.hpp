@@ -1,0 +1,104 @@
+// Hierarchical retention: hot (full fidelity, in-memory) -> warm
+// (downsampled) -> cold (archived compressed chunks, reloadable).
+//
+// Table I (Data Storage and Formats): "all storage does not have to be
+// equally performant; hierarchical storage models with the ability to locate
+// and reload data as needed are desirable" and "easy access to historical
+// data ... in conjunction with current data is required". TieredStore keeps
+// the partition invariant that every raw point lives in exactly one of
+// {hot, cold}: eviction moves whole sealed chunks from hot into the cold
+// archive, emitting downsampled aggregates into warm on the way. Queries
+// therefore merge tiers without double counting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/result.hpp"
+#include "store/tsdb.hpp"
+
+namespace hpcmon::store {
+
+/// Cold tier: serialized compressed chunks with a time index per series.
+/// Supports save/load to a file so "archived" history can move to slower
+/// media and be located + reloaded later.
+class Archive {
+ public:
+  void store(core::SeriesId series, Chunk&& chunk);
+
+  /// Decompress and return archived points of `series` within `range`.
+  std::vector<core::TimedValue> fetch(core::SeriesId series,
+                                      const core::TimeRange& range) const;
+
+  std::size_t blob_count() const;
+  std::size_t byte_size() const;
+  /// Number of chunk reloads performed by fetch() so far.
+  std::size_t reload_count() const { return reloads_; }
+
+  core::Status save_to_file(const std::string& path) const;
+  static core::Result<Archive> load_from_file(const std::string& path);
+
+ private:
+  struct Blob {
+    core::TimePoint min_time = 0;
+    core::TimePoint max_time = 0;
+    std::vector<std::uint8_t> raw;
+  };
+  std::map<std::uint32_t, std::vector<Blob>> blobs_;  // raw series id -> blobs
+  mutable std::size_t reloads_ = 0;
+};
+
+struct RetentionPolicy {
+  core::Duration hot_window = 6 * core::kHour;
+  core::Duration warm_window = 7 * core::kDay;
+  core::Duration warm_bucket = 5 * core::kMinute;
+  Agg warm_agg = Agg::kMean;
+};
+
+class TieredStore {
+ public:
+  explicit TieredStore(const RetentionPolicy& policy,
+                       std::size_t chunk_points = 512);
+
+  bool append(core::SeriesId series, core::TimePoint t, double value) {
+    return hot_.append(series, t, value);
+  }
+  void append(const core::Sample& s) { hot_.append(s); }
+  std::size_t append_batch(const std::vector<core::Sample>& samples) {
+    return hot_.append_batch(samples);
+  }
+
+  /// Run retention at `now`: age hot chunks into warm+cold, expire warm.
+  /// Returns the number of chunks archived.
+  std::size_t enforce(core::TimePoint now);
+
+  /// Merge hot + warm (downsampled history): the everyday dashboard query.
+  std::vector<core::TimedValue> query_range(core::SeriesId series,
+                                            const core::TimeRange& range) const;
+
+  /// Merge hot + cold (full-fidelity history, reloading archives): the
+  /// "apply new analyses to historical data" path.
+  std::vector<core::TimedValue> query_full(core::SeriesId series,
+                                           const core::TimeRange& range) const;
+
+  std::optional<core::TimedValue> latest(core::SeriesId series) const {
+    return hot_.latest(series);
+  }
+
+  TimeSeriesStore& hot() { return hot_; }
+  const TimeSeriesStore& hot() const { return hot_; }
+  const TimeSeriesStore& warm() const { return warm_; }
+  Archive& archive() { return archive_; }
+  const Archive& archive() const { return archive_; }
+  const RetentionPolicy& policy() const { return policy_; }
+
+ private:
+  RetentionPolicy policy_;
+  TimeSeriesStore hot_;
+  TimeSeriesStore warm_;
+  Archive archive_;
+};
+
+}  // namespace hpcmon::store

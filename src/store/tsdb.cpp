@@ -1,0 +1,191 @@
+#include "store/tsdb.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpcmon::store {
+
+using core::SeriesId;
+using core::TimedValue;
+using core::TimePoint;
+using core::TimeRange;
+
+std::string_view to_string(Agg agg) {
+  switch (agg) {
+    case Agg::kSum: return "sum";
+    case Agg::kMean: return "mean";
+    case Agg::kMin: return "min";
+    case Agg::kMax: return "max";
+    case Agg::kCount: return "count";
+    case Agg::kLast: return "last";
+  }
+  return "?";
+}
+
+std::optional<double> aggregate_points(const std::vector<TimedValue>& pts,
+                                       Agg agg) {
+  if (pts.empty()) return std::nullopt;
+  switch (agg) {
+    case Agg::kCount:
+      return static_cast<double>(pts.size());
+    case Agg::kLast:
+      return pts.back().value;
+    case Agg::kSum:
+    case Agg::kMean: {
+      double sum = 0.0;
+      for (const auto& p : pts) sum += p.value;
+      return agg == Agg::kSum ? sum : sum / static_cast<double>(pts.size());
+    }
+    case Agg::kMin: {
+      double m = pts[0].value;
+      for (const auto& p : pts) m = std::min(m, p.value);
+      return m;
+    }
+    case Agg::kMax: {
+      double m = pts[0].value;
+      for (const auto& p : pts) m = std::max(m, p.value);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+TimeSeriesStore::Series* TimeSeriesStore::find(SeriesId id) {
+  const auto i = core::raw(id);
+  if (i >= series_.size()) return nullptr;
+  return &series_[i];
+}
+
+const TimeSeriesStore::Series* TimeSeriesStore::find(SeriesId id) const {
+  const auto i = core::raw(id);
+  if (i >= series_.size()) return nullptr;
+  return &series_[i];
+}
+
+bool TimeSeriesStore::append(SeriesId id, TimePoint t, double value) {
+  std::scoped_lock lock(mu_);
+  const auto i = core::raw(id);
+  if (i >= series_.size()) series_.resize(i + 1);
+  auto& s = series_[i];
+  if (t <= s.last_time) return false;  // strict ordering per series
+  s.head.push_back({t, value});
+  s.last_time = t;
+  if (s.head.size() >= chunk_points_) seal_locked(s);
+  return true;
+}
+
+std::size_t TimeSeriesStore::append_batch(
+    const std::vector<core::Sample>& samples) {
+  std::size_t accepted = 0;
+  for (const auto& s : samples) {
+    if (append(s.series, s.time, s.value)) ++accepted;
+  }
+  return accepted;
+}
+
+void TimeSeriesStore::seal_locked(Series& s) {
+  if (s.head.empty()) return;
+  s.sealed.push_back(Chunk::compress(s.head));
+  s.head.clear();
+}
+
+std::vector<TimedValue> TimeSeriesStore::query_range(
+    SeriesId id, const TimeRange& range) const {
+  std::scoped_lock lock(mu_);
+  std::vector<TimedValue> out;
+  const auto* s = find(id);
+  if (s == nullptr) return out;
+  for (const auto& c : s->sealed) {
+    if (!c.overlaps(range)) continue;
+    for (const auto& p : c.decompress()) {
+      if (range.contains(p.time)) out.push_back(p);
+    }
+  }
+  for (const auto& p : s->head) {
+    if (range.contains(p.time)) out.push_back(p);
+  }
+  return out;  // chunks are time-ordered, head follows sealed
+}
+
+std::optional<TimedValue> TimeSeriesStore::latest(SeriesId id) const {
+  std::scoped_lock lock(mu_);
+  const auto* s = find(id);
+  if (s == nullptr) return std::nullopt;
+  if (!s->head.empty()) return s->head.back();
+  if (!s->sealed.empty()) {
+    const auto pts = s->sealed.back().decompress();
+    if (!pts.empty()) return pts.back();
+  }
+  return std::nullopt;
+}
+
+std::optional<double> TimeSeriesStore::aggregate(SeriesId id,
+                                                 const TimeRange& range,
+                                                 Agg agg) const {
+  return aggregate_points(query_range(id, range), agg);
+}
+
+std::vector<TimedValue> TimeSeriesStore::downsample(SeriesId id,
+                                                    const TimeRange& range,
+                                                    core::Duration bucket,
+                                                    Agg agg) const {
+  std::vector<TimedValue> out;
+  if (bucket <= 0) return out;
+  const auto pts = query_range(id, range);
+  std::size_t i = 0;
+  while (i < pts.size()) {
+    const TimePoint bucket_start =
+        range.begin + (pts[i].time - range.begin) / bucket * bucket;
+    std::vector<TimedValue> in_bucket;
+    while (i < pts.size() && pts[i].time < bucket_start + bucket) {
+      in_bucket.push_back(pts[i]);
+      ++i;
+    }
+    if (auto v = aggregate_points(in_bucket, agg)) {
+      out.push_back({bucket_start, *v});
+    }
+  }
+  return out;
+}
+
+std::size_t TimeSeriesStore::evict_before(
+    TimePoint cutoff,
+    const std::function<void(SeriesId, Chunk&&)>& sink) {
+  std::scoped_lock lock(mu_);
+  std::size_t evicted = 0;
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    auto& s = series_[i];
+    auto it = s.sealed.begin();
+    while (it != s.sealed.end() && it->max_time() < cutoff) {
+      if (sink) sink(SeriesId{static_cast<std::uint32_t>(i)}, std::move(*it));
+      it = s.sealed.erase(it);
+      ++evicted;
+    }
+  }
+  return evicted;
+}
+
+bool TimeSeriesStore::has_series(SeriesId id) const {
+  std::scoped_lock lock(mu_);
+  const auto* s = find(id);
+  return s != nullptr && (!s->head.empty() || !s->sealed.empty());
+}
+
+StoreStats TimeSeriesStore::stats() const {
+  std::scoped_lock lock(mu_);
+  StoreStats st;
+  for (const auto& s : series_) {
+    if (s.head.empty() && s.sealed.empty()) continue;
+    ++st.series;
+    st.head_points += s.head.size();
+    st.points += s.head.size();
+    for (const auto& c : s.sealed) {
+      st.points += c.count();
+      st.compressed_bytes += c.byte_size();
+      ++st.sealed_chunks;
+    }
+  }
+  return st;
+}
+
+}  // namespace hpcmon::store

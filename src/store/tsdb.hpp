@@ -1,0 +1,96 @@
+// TimeSeriesStore: the "hot" in-memory store for numeric telemetry.
+//
+// Per-series layout: an uncompressed append head plus sealed compressed
+// chunks (chunk.hpp). Queries merge sealed and head data. Thread-safe:
+// collectors append from transport threads while dashboards query
+// (Table I: "multiple consumers ... at variety of locations").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/sample.hpp"
+#include "core/series_buffer.hpp"
+#include "core/time.hpp"
+#include "store/chunk.hpp"
+
+namespace hpcmon::store {
+
+enum class Agg : std::uint8_t { kSum, kMean, kMin, kMax, kCount, kLast };
+
+struct StoreStats {
+  std::size_t series = 0;
+  std::size_t points = 0;
+  std::size_t sealed_chunks = 0;
+  std::size_t compressed_bytes = 0;  // sealed payloads
+  std::size_t head_points = 0;       // not yet sealed
+};
+
+class TimeSeriesStore {
+ public:
+  /// `chunk_points`: head size at which a chunk is sealed and compressed.
+  explicit TimeSeriesStore(std::size_t chunk_points = 512)
+      : chunk_points_(chunk_points) {}
+
+  /// Append one point. Out-of-order points (time < last time of the series)
+  /// are rejected (returns false) — matching TSDB ingest semantics.
+  bool append(core::SeriesId series, core::TimePoint t, double value);
+  void append(const core::Sample& s) { append(s.series, s.time, s.value); }
+  /// Append a whole batch; returns the number accepted.
+  std::size_t append_batch(const std::vector<core::Sample>& samples);
+
+  /// All points of a series within [range.begin, range.end), time-ordered.
+  std::vector<core::TimedValue> query_range(core::SeriesId series,
+                                            const core::TimeRange& range) const;
+
+  std::optional<core::TimedValue> latest(core::SeriesId series) const;
+
+  /// Scalar aggregate over a time range; nullopt when no points in range.
+  std::optional<double> aggregate(core::SeriesId series,
+                                  const core::TimeRange& range, Agg agg) const;
+
+  /// Fixed-interval downsampling: one aggregated point per bucket (bucket
+  /// timestamp = bucket start). Buckets without data are omitted.
+  std::vector<core::TimedValue> downsample(core::SeriesId series,
+                                           const core::TimeRange& range,
+                                           core::Duration bucket,
+                                           Agg agg) const;
+
+  /// Remove sealed chunks entirely older than `cutoff`, handing each to
+  /// `sink` (archive hook) before deletion. Head data is never evicted.
+  std::size_t evict_before(core::TimePoint cutoff,
+                           const std::function<void(core::SeriesId,
+                                                    Chunk&&)>& sink);
+
+  bool has_series(core::SeriesId series) const;
+  StoreStats stats() const;
+
+ private:
+  struct Series {
+    std::vector<Chunk> sealed;
+    std::vector<core::TimedValue> head;
+    core::TimePoint last_time = INT64_MIN;
+  };
+  Series* find(core::SeriesId id);
+  const Series* find(core::SeriesId id) const;
+  void seal_locked(Series& s);
+  static void aggregate_into(const std::vector<core::TimedValue>& pts,
+                             Agg agg, double& acc, std::size_t& n);
+
+  mutable std::mutex mu_;
+  std::size_t chunk_points_;
+  std::vector<Series> series_;  // indexed by raw(SeriesId)
+};
+
+/// Apply an aggregate to a point vector; nullopt when empty.
+std::optional<double> aggregate_points(const std::vector<core::TimedValue>& pts,
+                                       Agg agg);
+
+std::string_view to_string(Agg agg);
+
+}  // namespace hpcmon::store

@@ -1,0 +1,22 @@
+#include "transport/bus.hpp"
+
+namespace hpcmon::transport {
+
+void Bus::subscribe(std::string topic_glob, Handler handler) {
+  bindings_.emplace_back(std::move(topic_glob), std::move(handler));
+}
+
+void Bus::publish(const std::string& topic, const Payload& payload) {
+  ++stats_.published;
+  bool delivered = false;
+  for (const auto& [glob, handler] : bindings_) {
+    if (core::glob_match(glob, topic)) {
+      handler(topic, payload);
+      ++stats_.deliveries;
+      delivered = true;
+    }
+  }
+  if (!delivered) ++stats_.unrouted;
+}
+
+}  // namespace hpcmon::transport

@@ -1,0 +1,50 @@
+// Topic-routed pub/sub bus (AMQP/RabbitMQ-style semantics, in process).
+//
+// NERSC's infrastructure "includes a message queuing system (RabbitMQ)"
+// feeding Elasticsearch (Sec. IV-C); Table I requires directing "the data
+// and analysis results to multiple consumers". Bus gives hpcmon that
+// routing layer: publishers tag payloads with a dotted topic
+// ("samples.node.c0-0", "logs.hardware"), subscribers bind glob patterns
+// ("samples.*", "logs.#" -> use '*' which spans dots here).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/log_event.hpp"
+#include "core/sample.hpp"
+#include "core/strings.hpp"
+
+namespace hpcmon::transport {
+
+/// A routed payload: numeric batch, log batch, or opaque text.
+using Payload = std::variant<core::SampleBatch, std::vector<core::LogEvent>,
+                             std::string>;
+
+struct BusStats {
+  std::uint64_t published = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t unrouted = 0;
+};
+
+class Bus {
+ public:
+  using Handler = std::function<void(const std::string& topic,
+                                     const Payload& payload)>;
+
+  /// Bind a handler to a topic glob ('*' and '?' wildcards).
+  void subscribe(std::string topic_glob, Handler handler);
+
+  /// Deliver to every matching binding, in subscription order.
+  void publish(const std::string& topic, const Payload& payload);
+
+  const BusStats& stats() const { return stats_; }
+
+ private:
+  std::vector<std::pair<std::string, Handler>> bindings_;
+  BusStats stats_;
+};
+
+}  // namespace hpcmon::transport

@@ -1,0 +1,88 @@
+// Bounded MPMC channel for threaded transport stages.
+//
+// The deterministic benches wire routers synchronously; the threaded example
+// deployments (examples/quickstart) put a Channel between collection and
+// storage so a slow consumer exerts backpressure instead of unbounded
+// buffering (Table I: impact of transport "should be well-documented" — here
+// it is explicit: producers block when the channel is full).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace hpcmon::transport {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Blocking push; returns false if the channel was closed.
+  bool push(T value) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || queue_.size() < capacity_; });
+    if (closed_) return false;
+    queue_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; returns false when full or closed.
+  bool try_push(T value) {
+    std::scoped_lock lock(mu_);
+    if (closed_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop; nullopt once closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;
+    T out = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::scoped_lock lock(mu_);
+    if (queue_.empty()) return std::nullopt;
+    T out = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Close: producers fail fast, consumers drain remaining items.
+  void close() {
+    std::scoped_lock lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::scoped_lock lock(mu_);
+    return queue_.size();
+  }
+  bool closed() const {
+    std::scoped_lock lock(mu_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> queue_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace hpcmon::transport

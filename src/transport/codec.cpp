@@ -1,0 +1,197 @@
+#include "transport/codec.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/strings.hpp"
+
+namespace hpcmon::transport {
+
+using core::LogEvent;
+using core::Result;
+using core::Sample;
+using core::SampleBatch;
+
+namespace {
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { raw(&v, 2); }
+  void u32(std::uint32_t v) { raw(&v, 4); }
+  void u64(std::uint64_t v) { raw(&v, 8); }
+  void i64(std::int64_t v) { raw(&v, 8); }
+  void f64(double v) { raw(&v, 8); }
+  void str(const std::string& s) {
+    u16(static_cast<std::uint16_t>(std::min<std::size_t>(s.size(), 65535)));
+    raw(s.data(), std::min<std::size_t>(s.size(), 65535));
+  }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    out_.insert(out_.end(), b, b + n);
+  }
+  std::vector<std::uint8_t>& out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& in) : in_(in) {}
+  bool u8(std::uint8_t& v) { return raw(&v, 1); }
+  bool u16(std::uint16_t& v) { return raw(&v, 2); }
+  bool u32(std::uint32_t& v) { return raw(&v, 4); }
+  bool u64(std::uint64_t& v) { return raw(&v, 8); }
+  bool i64(std::int64_t& v) { return raw(&v, 8); }
+  bool f64(double& v) { return raw(&v, 8); }
+  bool str(std::string& s) {
+    std::uint16_t n = 0;
+    if (!u16(n)) return false;
+    if (pos_ + n > in_.size()) return false;
+    s.assign(reinterpret_cast<const char*>(in_.data() + pos_), n);
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  bool raw(void* p, std::size_t n) {
+    if (pos_ + n > in_.size()) return false;
+    std::memcpy(p, in_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  const std::vector<std::uint8_t>& in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Frame encode_samples(const SampleBatch& batch) {
+  Frame f;
+  f.type = FrameType::kSamples;
+  ByteWriter w(f.payload);
+  w.i64(batch.sweep_time);
+  w.u32(core::raw(batch.origin));
+  w.u32(static_cast<std::uint32_t>(batch.samples.size()));
+  for (const auto& s : batch.samples) {
+    w.u32(core::raw(s.series));
+    w.i64(s.time);
+    w.f64(s.value);
+  }
+  return f;
+}
+
+Result<SampleBatch> decode_samples(const Frame& frame) {
+  if (frame.type != FrameType::kSamples) {
+    return Result<SampleBatch>::error("frame is not a sample batch");
+  }
+  ByteReader r(frame.payload);
+  SampleBatch batch;
+  std::uint32_t origin = 0;
+  std::uint32_t count = 0;
+  if (!r.i64(batch.sweep_time) || !r.u32(origin) || !r.u32(count)) {
+    return Result<SampleBatch>::error("truncated sample frame header");
+  }
+  batch.origin = core::ComponentId{origin};
+  batch.samples.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Sample s;
+    std::uint32_t series = 0;
+    if (!r.u32(series) || !r.i64(s.time) || !r.f64(s.value)) {
+      return Result<SampleBatch>::error("truncated sample frame body");
+    }
+    s.series = core::SeriesId{series};
+    batch.samples.push_back(s);
+  }
+  return batch;
+}
+
+Frame encode_logs(const std::vector<LogEvent>& events) {
+  Frame f;
+  f.type = FrameType::kLogs;
+  ByteWriter w(f.payload);
+  w.u32(static_cast<std::uint32_t>(events.size()));
+  for (const auto& e : events) {
+    w.i64(e.time);
+    w.i64(e.local_time);
+    w.u32(core::raw(e.component));
+    w.u8(static_cast<std::uint8_t>(e.facility));
+    w.u8(static_cast<std::uint8_t>(e.severity));
+    w.u64(core::raw(e.job));
+    w.str(e.message);
+  }
+  return f;
+}
+
+Result<std::vector<LogEvent>> decode_logs(const Frame& frame) {
+  if (frame.type != FrameType::kLogs) {
+    return Result<std::vector<LogEvent>>::error("frame is not a log batch");
+  }
+  ByteReader r(frame.payload);
+  std::uint32_t count = 0;
+  if (!r.u32(count)) {
+    return Result<std::vector<LogEvent>>::error("truncated log frame header");
+  }
+  std::vector<LogEvent> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    LogEvent e;
+    std::uint32_t comp = 0;
+    std::uint8_t fac = 0;
+    std::uint8_t sev = 0;
+    std::uint64_t job = 0;
+    if (!r.i64(e.time) || !r.i64(e.local_time) || !r.u32(comp) ||
+        !r.u8(fac) || !r.u8(sev) || !r.u64(job) || !r.str(e.message)) {
+      return Result<std::vector<LogEvent>>::error("truncated log frame body");
+    }
+    e.component = core::ComponentId{comp};
+    e.facility = static_cast<core::LogFacility>(fac);
+    e.severity = static_cast<core::Severity>(sev);
+    e.job = core::JobId{job};
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::string format_text(const LogEvent& event,
+                        const core::MetricRegistry& registry) {
+  const int pri = static_cast<int>(event.facility) * 8 +
+                  static_cast<int>(event.severity);
+  const std::string comp = event.component == core::kNoComponent
+                               ? "-"
+                               : registry.component(event.component).name;
+  return core::strformat("<%d> %s %s %s: %s", pri,
+                         core::format_time(event.time).c_str(), comp.c_str(),
+                         std::string(core::to_string(event.facility)).c_str(),
+                         event.message.c_str());
+}
+
+std::optional<LogEvent> parse_text(const std::string& line,
+                                   const core::MetricRegistry& registry) {
+  int pri = 0;
+  long long days = 0, h = 0, m = 0, s = 0, ms = 0;
+  char comp[128] = {0};
+  char fac[32] = {0};
+  int consumed = 0;
+  const int n =
+      std::sscanf(line.c_str(), "<%d> %lld+%lld:%lld:%lld.%lld %127s %31[^:]: %n",
+                  &pri, &days, &h, &m, &s, &ms, comp, fac, &consumed);
+  if (n < 8) return std::nullopt;
+  LogEvent e;
+  e.time = ((days * 24 + h) * 3600 + m * 60 + s) * core::kSecond +
+           ms * core::kMillisecond;
+  e.local_time = e.time;  // lost in translation: local stamp not in text form
+  e.severity = static_cast<core::Severity>(pri % 8);
+  e.facility = static_cast<core::LogFacility>(pri / 8);
+  e.job = core::kNoJob;  // lost in translation
+  if (auto id = registry.find_component(comp)) {
+    e.component = *id;
+  } else {
+    e.component = core::kNoComponent;
+  }
+  e.message = line.substr(static_cast<std::size_t>(consumed));
+  return e;
+}
+
+}  // namespace hpcmon::transport

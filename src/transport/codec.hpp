@@ -1,0 +1,63 @@
+// Wire codecs for telemetry frames.
+//
+// The paper's Sec. IV-A case study: Cray's ERD moves "a vast amount of data
+// ... transported in a proprietary binary format (a small subset is made
+// available to operations staff in text format)". ALCF had to reverse the
+// format from source RPMs. hpcmon implements both paths as *documented*
+// codecs: a compact binary frame format (what the ERD should have been —
+// documented, lossless, raw) and a syslog-style text rendering (the lossy
+// translated view). bench/ablation_transport measures the cost of the text
+// detour; tests assert the binary path round-trips losslessly while the text
+// path drops fields (job attribution, local timestamps) — exactly the
+// paper's complaint.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/log_event.hpp"
+#include "core/registry.hpp"
+#include "core/result.hpp"
+#include "core/sample.hpp"
+
+namespace hpcmon::transport {
+
+enum class FrameType : std::uint8_t {
+  kSamples = 1,  // SampleBatch payload
+  kLogs = 2,     // LogEvent[] payload
+};
+
+/// One framed message: type tag + binary payload.
+struct Frame {
+  FrameType type = FrameType::kSamples;
+  std::vector<std::uint8_t> payload;
+
+  std::size_t byte_size() const { return payload.size() + 1; }
+};
+
+// -- Binary codec (lossless, documented) -------------------------------------
+
+Frame encode_samples(const core::SampleBatch& batch);
+core::Result<core::SampleBatch> decode_samples(const Frame& frame);
+
+Frame encode_logs(const std::vector<core::LogEvent>& events);
+core::Result<std::vector<core::LogEvent>> decode_logs(const Frame& frame);
+
+// -- Text codec (syslog-style, lossy translation) -----------------------------
+
+/// Render one event as a syslog-like line:
+///   "<pri> D+HH:MM:SS.mmm component facility: message"
+/// Deliberately loses job attribution and the local (drifted) timestamp —
+/// the kind of "vendor translation/filtration" the paper warns "may result
+/// in less usable forms of data".
+std::string format_text(const core::LogEvent& event,
+                        const core::MetricRegistry& registry);
+
+/// Parse a format_text() line back into an event. Component names are
+/// resolved through the registry; unknown components yield kNoComponent.
+std::optional<core::LogEvent> parse_text(const std::string& line,
+                                         const core::MetricRegistry& registry);
+
+}  // namespace hpcmon::transport

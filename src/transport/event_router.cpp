@@ -1,0 +1,41 @@
+#include "transport/event_router.hpp"
+
+namespace hpcmon::transport {
+
+void EventRouter::subscribe(FrameType type, Handler handler) {
+  subscribers_.emplace_back(type, std::move(handler));
+}
+
+void EventRouter::subscribe_raw(Handler handler) {
+  raw_taps_.push_back(std::move(handler));
+}
+
+void EventRouter::forward_to(EventRouter& downstream) {
+  forwards_.push_back(&downstream);
+}
+
+void EventRouter::publish(const Frame& frame) {
+  ++stats_.frames;
+  stats_.bytes += frame.byte_size();
+  const auto t = static_cast<std::size_t>(frame.type);
+  if (t < stats_.frames_by_type.size()) ++stats_.frames_by_type[t];
+
+  bool delivered = false;
+  for (const auto& tap : raw_taps_) {
+    tap(frame);
+    delivered = true;
+  }
+  for (const auto& [type, handler] : subscribers_) {
+    if (type == frame.type) {
+      handler(frame);
+      delivered = true;
+    }
+  }
+  for (auto* fwd : forwards_) {
+    fwd->publish(frame);
+    delivered = true;
+  }
+  if (!delivered) ++stats_.dropped;
+}
+
+}  // namespace hpcmon::transport

@@ -1,0 +1,53 @@
+// EventRouter: the documented, open replacement for a vendor ERD.
+//
+// A fan-out hub for binary frames with (a) per-type subscriptions, (b) a raw
+// tap that sees everything at maximum fidelity (Table I: "well-documented
+// interfaces for accessing raw data at maximum fidelity with the lowest
+// possible overhead"), and (c) forwarding into downstream routers so sites
+// can build an aggregation tree (the paper notes PMDB "can be stored
+// separately via ERD forwarding capabilities"). Routing is synchronous and
+// deterministic; threaded deployments put a Channel between routers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "transport/codec.hpp"
+
+namespace hpcmon::transport {
+
+struct RouterStats {
+  std::uint64_t frames = 0;
+  std::uint64_t bytes = 0;
+  std::array<std::uint64_t, 4> frames_by_type{};  // indexed by FrameType
+  std::uint64_t dropped = 0;                      // no subscriber, no forward
+};
+
+class EventRouter {
+ public:
+  using Handler = std::function<void(const Frame&)>;
+
+  /// Subscribe to one frame type.
+  void subscribe(FrameType type, Handler handler);
+  /// Raw tap: receives every frame before type dispatch.
+  void subscribe_raw(Handler handler);
+
+  /// Forward every frame into a downstream router (aggregation tree edge).
+  /// The downstream router must outlive this one.
+  void forward_to(EventRouter& downstream);
+
+  /// Publish one frame: raw taps, then type subscribers, then forwards.
+  void publish(const Frame& frame);
+
+  const RouterStats& stats() const { return stats_; }
+
+ private:
+  std::vector<std::pair<FrameType, Handler>> subscribers_;
+  std::vector<Handler> raw_taps_;
+  std::vector<EventRouter*> forwards_;
+  RouterStats stats_;
+};
+
+}  // namespace hpcmon::transport

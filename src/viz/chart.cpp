@@ -1,0 +1,130 @@
+#include "viz/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/strings.hpp"
+#include "core/time.hpp"
+
+namespace hpcmon::viz {
+
+namespace {
+
+struct Extent {
+  core::TimePoint t_min = 0, t_max = 0;
+  double v_min = 0.0, v_max = 1.0;
+  bool valid = false;
+};
+
+Extent compute_extent(const std::vector<ChartSeries>& series,
+                      bool y_from_zero) {
+  Extent e;
+  for (const auto& s : series) {
+    for (const auto& p : s.points) {
+      if (!e.valid) {
+        e.t_min = e.t_max = p.time;
+        e.v_min = e.v_max = p.value;
+        e.valid = true;
+      } else {
+        e.t_min = std::min(e.t_min, p.time);
+        e.t_max = std::max(e.t_max, p.time);
+        e.v_min = std::min(e.v_min, p.value);
+        e.v_max = std::max(e.v_max, p.value);
+      }
+    }
+  }
+  if (y_from_zero && e.v_min > 0.0) e.v_min = 0.0;
+  if (e.v_max == e.v_min) e.v_max = e.v_min + 1.0;
+  if (e.t_max == e.t_min) e.t_max = e.t_min + 1;
+  return e;
+}
+
+constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@'};
+
+}  // namespace
+
+std::string render_ascii(const std::vector<ChartSeries>& series,
+                         const ChartOptions& options) {
+  const Extent e = compute_extent(series, options.y_from_zero);
+  std::string out;
+  if (!options.title.empty()) out += options.title + "\n";
+  if (!e.valid) return out + "(no data)\n";
+
+  const int w = std::max(8, options.width);
+  const int h = std::max(4, options.height);
+  std::vector<std::string> grid(h, std::string(w, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    for (const auto& p : series[si].points) {
+      const int col = static_cast<int>(
+          static_cast<double>(p.time - e.t_min) /
+          static_cast<double>(e.t_max - e.t_min) * (w - 1));
+      const int row = static_cast<int>(
+          (p.value - e.v_min) / (e.v_max - e.v_min) * (h - 1));
+      grid[h - 1 - std::clamp(row, 0, h - 1)][std::clamp(col, 0, w - 1)] =
+          glyph;
+    }
+  }
+  for (int r = 0; r < h; ++r) {
+    const double v = e.v_max - (e.v_max - e.v_min) * r / (h - 1);
+    out += core::strformat("%10.3g |", v);
+    out += grid[r];
+    out += '\n';
+  }
+  out += std::string(11, ' ') + '+' + std::string(w, '-') + '\n';
+  out += core::strformat("%12s%s ... %s", "",
+                         core::format_time(e.t_min).c_str(),
+                         core::format_time(e.t_max).c_str());
+  out += '\n';
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out += core::strformat("  %c %s", kGlyphs[si % sizeof(kGlyphs)],
+                           series[si].label.c_str());
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_svg(const std::vector<ChartSeries>& series,
+                       const ChartOptions& options) {
+  const Extent e = compute_extent(series, options.y_from_zero);
+  const int w = options.width * 10;
+  const int h = options.height * 10;
+  const int margin = 40;
+  std::string out = core::strformat(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\">\n",
+      w + 2 * margin, h + 2 * margin);
+  out += core::strformat(
+      "<text x=\"%d\" y=\"16\" font-size=\"13\">%s</text>\n", margin,
+      options.title.c_str());
+  out += core::strformat(
+      "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"none\" "
+      "stroke=\"black\"/>\n",
+      margin, margin, w, h);
+  static const char* kColors[] = {"#1f77b4", "#d62728", "#2ca02c",
+                                  "#ff7f0e", "#9467bd", "#8c564b"};
+  for (std::size_t si = 0; si < series.size() && e.valid; ++si) {
+    std::string pts;
+    for (const auto& p : series[si].points) {
+      const double x = margin + static_cast<double>(p.time - e.t_min) /
+                                    static_cast<double>(e.t_max - e.t_min) * w;
+      const double y =
+          margin + h - (p.value - e.v_min) / (e.v_max - e.v_min) * h;
+      pts += core::strformat("%.1f,%.1f ", x, y);
+    }
+    out += core::strformat(
+        "<polyline fill=\"none\" stroke=\"%s\" stroke-width=\"1.5\" "
+        "points=\"%s\"/>\n",
+        kColors[si % 6], pts.c_str());
+    out += core::strformat(
+        "<text x=\"%d\" y=\"%zu\" font-size=\"11\" fill=\"%s\">%s</text>\n",
+        margin + w + 4, margin + 14 * (si + 1), kColors[si % 6],
+        series[si].label.c_str());
+  }
+  out += core::strformat(
+      "<text x=\"%d\" y=\"%d\" font-size=\"11\">%s</text>\n", 4,
+      margin + h / 2, options.y_label.c_str());
+  out += "</svg>\n";
+  return out;
+}
+
+}  // namespace hpcmon::viz

@@ -1,0 +1,43 @@
+#include "viz/dashboard.hpp"
+
+#include "core/strings.hpp"
+
+namespace hpcmon::viz {
+
+void Dashboard::add_panel(std::string name, PanelQuery query,
+                          ChartOptions options) {
+  if (options.title.empty()) options.title = name;
+  panels_.push_back({std::move(name), std::move(query), std::move(options)});
+}
+
+std::string Dashboard::render() const {
+  std::string out = "==== " + title_ + " ====\n";
+  for (const auto& p : panels_) {
+    out += render_ascii(p.query(), p.options);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Dashboard::render_panel_svg(std::size_t index) const {
+  const auto& p = panels_.at(index);
+  return render_svg(p.query(), p.options);
+}
+
+std::string Dashboard::panel_csv(std::size_t index) const {
+  const auto& p = panels_.at(index);
+  return export_csv(p.query());
+}
+
+std::string Dashboard::describe() const {
+  std::string out = core::strformat("dashboard \"%s\" (%zu panels)\n",
+                                    title_.c_str(), panels_.size());
+  for (const auto& p : panels_) {
+    out += core::strformat("  panel \"%s\" %dx%d y_label=%s\n", p.name.c_str(),
+                           p.options.width, p.options.height,
+                           p.options.y_label.c_str());
+  }
+  return out;
+}
+
+}  // namespace hpcmon::viz

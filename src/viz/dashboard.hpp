@@ -1,0 +1,52 @@
+// Dashboard model: named panels bound to data queries, rendered on demand.
+//
+// "Dashboards for visualization of status are a common practice across
+// sites. Grafana is currently a popular first order solution, due to its
+// ease of configuration, ability to graph live data, and ability to copy and
+// share dashboard configurations." (Sec. III-B). Dashboard is the
+// library-level equivalent: panels are closures over live stores, render()
+// re-evaluates them, and describe() serializes the configuration so it can
+// be copied between deployments.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "viz/chart.hpp"
+#include "viz/export.hpp"
+
+namespace hpcmon::viz {
+
+class Dashboard {
+ public:
+  using PanelQuery = std::function<std::vector<ChartSeries>()>;
+
+  explicit Dashboard(std::string title) : title_(std::move(title)) {}
+
+  /// Add a panel; the query is re-run on every render (live data).
+  void add_panel(std::string name, PanelQuery query, ChartOptions options = {});
+
+  std::size_t panel_count() const { return panels_.size(); }
+  const std::string& title() const { return title_; }
+
+  /// Render all panels as ASCII.
+  std::string render() const;
+  /// Render one panel as SVG.
+  std::string render_panel_svg(std::size_t index) const;
+  /// Raw data of one panel as CSV (the Fig 5 download path).
+  std::string panel_csv(std::size_t index) const;
+  /// Serializable configuration: panel names and options (shareable config).
+  std::string describe() const;
+
+ private:
+  struct Panel {
+    std::string name;
+    PanelQuery query;
+    ChartOptions options;
+  };
+  std::string title_;
+  std::vector<Panel> panels_;
+};
+
+}  // namespace hpcmon::viz

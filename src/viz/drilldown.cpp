@@ -1,0 +1,43 @@
+#include "viz/drilldown.hpp"
+
+#include <algorithm>
+
+namespace hpcmon::viz {
+
+DrillDownResult DrillDown::investigate(
+    std::string_view metric_name,
+    const std::vector<core::ComponentId>& components, core::TimePoint at,
+    core::Duration lookback,
+    const std::function<int(core::ComponentId)>& component_to_node) const {
+  DrillDownResult result;
+  result.at = at;
+  result.breakdown =
+      breakdown_at(store_, registry_, metric_name, components, at, lookback);
+  for (const auto& cv : result.breakdown) result.aggregate_value += cv.value;
+  if (result.breakdown.empty()) return result;
+
+  // Attribute the top contributor to a job.
+  for (const auto& cv : result.breakdown) {
+    const int node = component_to_node(cv.component);
+    if (node < 0) continue;
+    if (auto job = jobs_.job_on_node_at(node, at)) {
+      result.responsible_job = job;
+      // Sum the share contributed by all of this job's components.
+      double share = 0.0;
+      for (const auto& other : result.breakdown) {
+        const int n2 = component_to_node(other.component);
+        if (n2 >= 0 && std::find(job->nodes.begin(), job->nodes.end(), n2) !=
+                           job->nodes.end()) {
+          share += other.value;
+        }
+      }
+      result.job_share = result.aggregate_value > 0
+                             ? share / result.aggregate_value
+                             : 0.0;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace hpcmon::viz

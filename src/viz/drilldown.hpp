@@ -1,0 +1,49 @@
+// Drill-down: aggregate anomaly -> per-component breakdown -> owning job.
+//
+// Fig 4 (NCSA): "high values of system aggregate I/O metrics (top) drives
+// further investigation into the nodes, and hence, the job responsible for
+// the I/O." DrillDown packages that three-step investigation as one query.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "store/jobstore.hpp"
+#include "viz/query.hpp"
+
+namespace hpcmon::viz {
+
+struct DrillDownResult {
+  core::TimePoint at = 0;
+  double aggregate_value = 0.0;
+  /// Per-component values, descending (the middle panel).
+  std::vector<ComponentValue> breakdown;
+  /// Job owning the top contributor at that instant, when resolvable.
+  std::optional<store::JobMeta> responsible_job;
+  /// Fraction of the aggregate contributed by that job's components.
+  double job_share = 0.0;
+};
+
+class DrillDown {
+ public:
+  DrillDown(const store::TimeSeriesStore& store, core::MetricRegistry& registry,
+            const store::JobStore& jobs)
+      : store_(store), registry_(registry), jobs_(jobs) {}
+
+  /// Investigate `metric_name` summed over `components` at time `at`.
+  /// `component_to_node` maps a component to its node index for job lookup
+  /// (return -1 when the component is not node-attributable).
+  DrillDownResult investigate(
+      std::string_view metric_name,
+      const std::vector<core::ComponentId>& components, core::TimePoint at,
+      core::Duration lookback,
+      const std::function<int(core::ComponentId)>& component_to_node) const;
+
+ private:
+  const store::TimeSeriesStore& store_;
+  core::MetricRegistry& registry_;
+  const store::JobStore& jobs_;
+};
+
+}  // namespace hpcmon::viz

@@ -1,0 +1,38 @@
+#include "viz/export.hpp"
+
+#include <map>
+
+#include "core/csv.hpp"
+#include "core/time.hpp"
+
+namespace hpcmon::viz {
+
+std::string export_csv(const std::vector<ChartSeries>& series) {
+  // Union of timestamps -> per-series value.
+  std::map<core::TimePoint, std::vector<std::pair<bool, double>>> rows;
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    for (const auto& p : series[si].points) {
+      auto& row = rows[p.time];
+      if (row.size() < series.size()) row.resize(series.size(), {false, 0.0});
+      row[si] = {true, p.value};
+    }
+  }
+  core::CsvWriter csv;
+  csv.field("time_s");
+  for (const auto& s : series) csv.field(s.label);
+  csv.end_row();
+  for (const auto& [t, row] : rows) {
+    csv.number(core::to_seconds(t));
+    for (std::size_t si = 0; si < series.size(); ++si) {
+      if (si < row.size() && row[si].first) {
+        csv.number(row[si].second);
+      } else {
+        csv.field("");
+      }
+    }
+    csv.end_row();
+  }
+  return csv.str();
+}
+
+}  // namespace hpcmon::viz

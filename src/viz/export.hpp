@@ -1,0 +1,17 @@
+// Data export: aligned multi-series CSV (Fig 5's "download ... the raw data
+// for further investigation").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "viz/chart.hpp"
+
+namespace hpcmon::viz {
+
+/// Render series as CSV with a shared time column. Rows are the union of all
+/// timestamps; a series without a sample at a timestamp gets an empty field.
+/// Header: time_s,<label1>,<label2>,...
+std::string export_csv(const std::vector<ChartSeries>& series);
+
+}  // namespace hpcmon::viz

@@ -1,0 +1,131 @@
+#include "viz/heatmap.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/strings.hpp"
+
+namespace hpcmon::viz {
+
+namespace {
+// 10-step intensity ramp, low to high.
+constexpr char kRamp[] = " .:-=+*%#@";
+
+char glyph(double v, double lo, double hi) {
+  if (std::isnan(v)) return '?';
+  if (hi <= lo) return kRamp[0];
+  const double t = std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+  const int idx = std::min(9, static_cast<int>(t * 10.0));
+  return kRamp[idx];
+}
+
+// Derive the scale from data when the caller didn't fix one.
+void derive_scale(const std::vector<double>& values, HeatmapOptions& opt) {
+  if (opt.scale_max > opt.scale_min) return;
+  bool any = false;
+  double lo = 0.0;
+  double hi = 1.0;
+  for (const double v : values) {
+    if (std::isnan(v)) continue;
+    if (!any) {
+      lo = hi = v;
+      any = true;
+    } else {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  opt.scale_min = lo;
+  opt.scale_max = hi > lo ? hi : lo + 1.0;
+}
+
+std::string legend(const HeatmapOptions& opt) {
+  return core::strformat("scale: '%c'=%.3g .. '%c'=%.3g\n", kRamp[0],
+                         opt.scale_min, kRamp[9], opt.scale_max);
+}
+}  // namespace
+
+std::string machine_heatmap(const sim::Topology& topo,
+                            const std::function<double(int)>& value,
+                            const HeatmapOptions& options) {
+  HeatmapOptions opt = options;
+  std::vector<double> values(topo.num_nodes());
+  for (int i = 0; i < topo.num_nodes(); ++i) values[i] = value(i);
+  derive_scale(values, opt);
+
+  std::string out;
+  if (!opt.title.empty()) out += opt.title + "\n";
+  const auto& shape = topo.shape();
+  // One row per (cabinet, chassis); columns are slot-major with the blade's
+  // nodes side by side, cabinets separated by a blank column.
+  for (int ch = shape.chassis_per_cabinet - 1; ch >= 0; --ch) {
+    out += core::strformat("c%-2d |", ch);
+    for (int cab = 0; cab < shape.cabinets; ++cab) {
+      for (int s = 0; s < shape.blades_per_chassis; ++s) {
+        for (int n = 0; n < shape.nodes_per_blade; ++n) {
+          const int node =
+              ((cab * shape.chassis_per_cabinet + ch) *
+                   shape.blades_per_chassis +
+               s) *
+                  shape.nodes_per_blade +
+              n;
+          out += glyph(values[node], opt.scale_min, opt.scale_max);
+        }
+      }
+      out += '|';
+    }
+    out += '\n';
+  }
+  out += "     ";
+  for (int cab = 0; cab < shape.cabinets; ++cab) {
+    const int width = shape.blades_per_chassis * shape.nodes_per_blade;
+    auto label = core::strformat("c%d-0", cab);
+    label.resize(static_cast<std::size_t>(width), ' ');
+    out += ' ' + label;
+  }
+  out += '\n' + legend(opt);
+  return out;
+}
+
+std::string router_grid_heatmap(const sim::Topology& topo,
+                                const std::function<double(int)>& value,
+                                const HeatmapOptions& options) {
+  HeatmapOptions opt = options;
+  std::vector<double> values(topo.num_routers());
+  for (int r = 0; r < topo.num_routers(); ++r) values[r] = value(r);
+  derive_scale(values, opt);
+
+  std::string out;
+  if (!opt.title.empty()) out += opt.title + "\n";
+  if (topo.fabric_kind() == sim::FabricKind::kTorus3D) {
+    const int x_dim = topo.shape().blades_per_chassis;
+    const int y_dim = topo.shape().chassis_per_cabinet;
+    const int z_dim = topo.shape().cabinets;
+    for (int z = 0; z < z_dim; ++z) {
+      out += core::strformat("z=%d (cabinet c%d-0)\n", z, z);
+      for (int y = y_dim - 1; y >= 0; --y) {
+        out += core::strformat("  y%-2d ", y);
+        for (int x = 0; x < x_dim; ++x) {
+          const int r = x + x_dim * (y + y_dim * z);
+          out += glyph(values[r], opt.scale_min, opt.scale_max);
+        }
+        out += '\n';
+      }
+    }
+  } else {
+    // Dragonfly: one row per group.
+    const int per_group =
+        topo.shape().chassis_per_cabinet * topo.shape().blades_per_chassis;
+    for (int g = 0; g < topo.shape().cabinets; ++g) {
+      out += core::strformat("group %d ", g);
+      for (int i = 0; i < per_group; ++i) {
+        out += glyph(values[g * per_group + i], opt.scale_min, opt.scale_max);
+      }
+      out += '\n';
+    }
+  }
+  out += legend(opt);
+  return out;
+}
+
+}  // namespace hpcmon::viz

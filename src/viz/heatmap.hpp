@@ -1,0 +1,43 @@
+// Architecture-context heatmaps.
+//
+// Sec. III-B: "Representations in the context of the architecture, such as
+// network-topology representations, are being developed by sites and others
+// ... however visualization of complex connectivities is a challenge."
+// Two renderers:
+//  * machine_heatmap: the physical layout view — one cell per node, arranged
+//    cabinet/chassis/slot the way the machine stands on the floor, intensity
+//    from a per-node value (DragonView-style at-a-glance state).
+//  * router_grid_heatmap: the torus (x, y, z) router grid with a per-router
+//    value (e.g. max outgoing link stall) — the congestion-region view.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/topology.hpp"
+
+namespace hpcmon::viz {
+
+struct HeatmapOptions {
+  std::string title;
+  /// Value mapped to the lowest intensity glyph; values at or above
+  /// `scale_max` use the highest. When scale_max <= scale_min the scale is
+  /// derived from the data.
+  double scale_min = 0.0;
+  double scale_max = 0.0;
+};
+
+/// Per-node value -> physical layout heatmap. `value(node_index)` is called
+/// once per node; NaN renders as '?' (no data).
+std::string machine_heatmap(const sim::Topology& topo,
+                            const std::function<double(int)>& value,
+                            const HeatmapOptions& options);
+
+/// Per-router value -> torus x/y grid per z-plane (dragonfly machines render
+/// as group rows). `value(router)` called once per router.
+std::string router_grid_heatmap(const sim::Topology& topo,
+                                const std::function<double(int)>& value,
+                                const HeatmapOptions& options);
+
+}  // namespace hpcmon::viz

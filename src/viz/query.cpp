@@ -1,0 +1,85 @@
+#include "viz/query.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace hpcmon::viz {
+
+using core::TimedValue;
+
+namespace {
+/// Collect per-timestamp values of metric@component for all components.
+std::map<core::TimePoint, std::vector<double>> collect_by_time(
+    const store::TimeSeriesStore& store, core::MetricRegistry& registry,
+    std::string_view metric_name,
+    const std::vector<core::ComponentId>& components,
+    const core::TimeRange& range) {
+  std::map<core::TimePoint, std::vector<double>> by_time;
+  for (const auto c : components) {
+    const auto sid = registry.series(metric_name, c);
+    for (const auto& p : store.query_range(sid, range)) {
+      by_time[p.time].push_back(p.value);
+    }
+  }
+  return by_time;
+}
+}  // namespace
+
+std::vector<TimedValue> aggregate_across(
+    const store::TimeSeriesStore& store, core::MetricRegistry& registry,
+    std::string_view metric_name,
+    const std::vector<core::ComponentId>& components,
+    const core::TimeRange& range, store::Agg agg) {
+  std::vector<TimedValue> out;
+  for (const auto& [t, values] : collect_by_time(store, registry, metric_name,
+                                                 components, range)) {
+    std::vector<TimedValue> pts;
+    pts.reserve(values.size());
+    for (const double v : values) pts.push_back({t, v});
+    if (auto a = store::aggregate_points(pts, agg)) out.push_back({t, *a});
+  }
+  return out;
+}
+
+std::vector<TimedValue> fraction_in_state(
+    const store::TimeSeriesStore& store, core::MetricRegistry& registry,
+    std::string_view metric_name,
+    const std::vector<core::ComponentId>& components,
+    const core::TimeRange& range,
+    const std::function<bool(double)>& predicate) {
+  std::vector<TimedValue> out;
+  for (const auto& [t, values] : collect_by_time(store, registry, metric_name,
+                                                 components, range)) {
+    std::size_t hits = 0;
+    for (const double v : values) {
+      if (predicate(v)) ++hits;
+    }
+    out.push_back({t, values.empty()
+                          ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(values.size())});
+  }
+  return out;
+}
+
+std::vector<ComponentValue> breakdown_at(
+    const store::TimeSeriesStore& store, core::MetricRegistry& registry,
+    std::string_view metric_name,
+    const std::vector<core::ComponentId>& components, core::TimePoint at,
+    core::Duration lookback) {
+  std::vector<ComponentValue> out;
+  for (const auto c : components) {
+    const auto sid = registry.series(metric_name, c);
+    const auto pts = store.query_range(sid, {at - lookback, at + 1});
+    if (pts.empty()) continue;
+    out.push_back({c, registry.component(c).name, pts.back().value,
+                   pts.back().time});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ComponentValue& a, const ComponentValue& b) {
+              return a.value > b.value;
+            });
+  return out;
+}
+
+}  // namespace hpcmon::viz

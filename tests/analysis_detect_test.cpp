@@ -1,0 +1,175 @@
+// Anomaly detectors, trend analysis, change-point onset detection.
+#include <gtest/gtest.h>
+
+#include "analysis/anomaly.hpp"
+#include "analysis/changepoint.hpp"
+#include "analysis/trend.hpp"
+#include "core/rng.hpp"
+
+namespace hpcmon::analysis {
+namespace {
+
+TEST(ZScoreTest, FlagsOutlierNotNoise) {
+  core::Rng rng(1);
+  ZScoreDetector det(60, 4.0);
+  int false_alarms = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (det.update(i, rng.normal(100.0, 2.0))) ++false_alarms;
+  }
+  EXPECT_LE(false_alarms, 2);
+  const auto hit = det.update(201, 150.0);  // 25 sigma
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_GT(hit->score, 4.0);
+  EXPECT_EQ(hit->detector, "zscore");
+}
+
+TEST(ZScoreTest, SilentWithoutHistory) {
+  ZScoreDetector det(60, 4.0);
+  EXPECT_FALSE(det.update(0, 1e9).has_value());  // no baseline yet
+}
+
+TEST(MadTest, RobustToContaminatedBaseline) {
+  // Baseline already contains outliers; MAD still finds the new one while
+  // being far less inflated than a naive stddev would be.
+  core::Rng rng(2);
+  MadDetector det(100, 6.0);
+  for (int i = 0; i < 150; ++i) {
+    double x = rng.normal(10.0, 0.5);
+    if (i % 20 == 0) x = 100.0;  // contamination
+    det.update(i, x);
+  }
+  const auto hit = det.update(151, 60.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->detector, "mad");
+}
+
+TEST(ThresholdTest, HysteresisPreventsFlapping) {
+  ThresholdDetector det(10.0, 2.0);
+  EXPECT_FALSE(det.update(0, 9.0).has_value());
+  EXPECT_TRUE(det.update(1, 11.0).has_value());   // enter alarm
+  EXPECT_FALSE(det.update(2, 12.0).has_value());  // still in alarm: no refire
+  EXPECT_FALSE(det.update(3, 9.0).has_value());   // above re-arm level (8.0)
+  EXPECT_TRUE(det.in_alarm());
+  EXPECT_FALSE(det.update(4, 7.0).has_value());   // re-armed
+  EXPECT_FALSE(det.in_alarm());
+  EXPECT_TRUE(det.update(5, 11.0).has_value());   // fires again
+}
+
+TEST(CusumTest, CatchesSlowDriftZScoreMisses) {
+  core::Rng rng(3);
+  CusumDetector cusum(100.0, 1.0, 30.0);
+  ZScoreDetector zscore(60, 4.0);
+  bool cusum_fired = false;
+  bool zscore_fired = false;
+  // Mean creeps up by 0.02/step: each step is well within noise, the
+  // accumulated shift is not.
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.normal(100.0 + i * 0.02, 1.0);
+    if (cusum.update(i, x)) cusum_fired = true;
+    if (zscore.update(i, x)) zscore_fired = true;
+  }
+  EXPECT_TRUE(cusum_fired);
+  EXPECT_FALSE(zscore_fired);
+}
+
+TEST(TrendFitTest, RecoversLine) {
+  std::vector<core::TimedValue> pts;
+  for (int i = 0; i < 20; ++i) {
+    pts.push_back({i * core::kHour, 10.0 + 3.0 * i});
+  }
+  const auto fit = fit_trend(pts);
+  EXPECT_NEAR(fit.slope_per_hour, 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 10.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(TrendFitTest, FlatAndNoisySeries) {
+  std::vector<core::TimedValue> flat;
+  for (int i = 0; i < 10; ++i) flat.push_back({i * core::kHour, 5.0});
+  EXPECT_NEAR(fit_trend(flat).slope_per_hour, 0.0, 1e-12);
+
+  core::Rng rng(4);
+  std::vector<core::TimedValue> noise;
+  for (int i = 0; i < 200; ++i) {
+    noise.push_back({i * core::kHour, rng.normal(0.0, 1.0)});
+  }
+  EXPECT_LT(fit_trend(noise).r2, 0.2);  // no real trend to explain
+}
+
+TEST(TrendAnalyzerTest, WindowSlides) {
+  TrendAnalyzer tr(10 * core::kHour);
+  // Old regime: rising; recent regime: falling. The window should only see
+  // the recent one.
+  for (int i = 0; i < 20; ++i) tr.add(i * core::kHour, i * 1.0);
+  for (int i = 20; i < 40; ++i) tr.add(i * core::kHour, 40.0 - i);
+  const auto fit = tr.fit();
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_LT(fit->slope_per_hour, 0.0);
+}
+
+TEST(TrendAnalyzerTest, ForecastCrossing) {
+  TrendAnalyzer tr(core::kDay);
+  // BER counter rate rising 2 units/hour from 10; limit 100 -> ~45h from t0.
+  for (int i = 0; i <= 10; ++i) {
+    tr.add(i * core::kHour, 10.0 + 2.0 * i);
+  }
+  const auto when = tr.forecast_crossing(100.0);
+  ASSERT_TRUE(when.has_value());
+  // Latest point is (10h, 30); (100-30)/2 = 35h further.
+  EXPECT_NEAR(static_cast<double>(*when),
+              static_cast<double>(45 * core::kHour),
+              static_cast<double>(core::kHour));
+  // Falling trend: no crossing.
+  TrendAnalyzer down(core::kDay);
+  for (int i = 0; i <= 10; ++i) down.add(i * core::kHour, 100.0 - i);
+  EXPECT_FALSE(down.forecast_crossing(200.0).has_value());
+}
+
+TEST(OnsetTest, DetectsStepUpAndDown) {
+  core::Rng rng(5);
+  std::vector<core::TimedValue> series;
+  // 30 samples at 100, 30 at 130, 30 back at 100.
+  for (int i = 0; i < 90; ++i) {
+    double level = 100.0;
+    if (i >= 30 && i < 60) level = 130.0;
+    series.push_back({i * core::kMinute, level + rng.normal(0.0, 1.0)});
+  }
+  const auto onsets = detect_onsets(series);
+  ASSERT_EQ(onsets.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(onsets[0].time),
+              static_cast<double>(30 * core::kMinute),
+              static_cast<double>(4 * core::kMinute));
+  EXPECT_GT(onsets[0].after_mean, onsets[0].before_mean);
+  EXPECT_LT(onsets[1].after_mean, onsets[1].before_mean);
+}
+
+TEST(OnsetTest, QuietSeriesHasNoOnsets) {
+  core::Rng rng(6);
+  std::vector<core::TimedValue> series;
+  for (int i = 0; i < 200; ++i) {
+    series.push_back({i * core::kMinute, rng.normal(50.0, 2.0)});
+  }
+  EXPECT_TRUE(detect_onsets(series).empty());
+}
+
+TEST(OnsetTest, RelativeShiftGuardSuppressesTinySteps) {
+  // A 1% step on a near-noiseless series is many sigma but operationally
+  // meaningless; min_rel_shift suppresses it.
+  std::vector<core::TimedValue> series;
+  for (int i = 0; i < 60; ++i) {
+    const double level = i < 30 ? 1000.0 : 1010.0;
+    series.push_back({i * core::kMinute, level + (i % 2) * 0.01});
+  }
+  OnsetParams params;
+  params.min_rel_shift = 0.10;
+  EXPECT_TRUE(detect_onsets(series, params).empty());
+}
+
+TEST(OnsetTest, ShortSeriesHandled) {
+  EXPECT_TRUE(detect_onsets({}).empty());
+  std::vector<core::TimedValue> tiny{{0, 1.0}, {1, 2.0}};
+  EXPECT_TRUE(detect_onsets(tiny).empty());
+}
+
+}  // namespace
+}  // namespace hpcmon::analysis

@@ -1,0 +1,327 @@
+// Correlation, power profiles/imbalance, congestion, variability, backlog.
+#include <gtest/gtest.h>
+
+#include "analysis/backlog.hpp"
+#include "analysis/congestion.hpp"
+#include "analysis/correlate.hpp"
+#include "analysis/power_profile.hpp"
+#include "analysis/variability.hpp"
+#include "core/registry.hpp"
+#include "core/rng.hpp"
+
+namespace hpcmon::analysis {
+namespace {
+
+using core::ComponentId;
+using core::TimedValue;
+
+// -- Correlation --------------------------------------------------------------
+
+TEST(AssociateTest, ExactMatchingWithoutSkew) {
+  std::vector<Occurrence> a;
+  std::vector<Occurrence> b;
+  for (int i = 0; i < 10; ++i) {
+    a.push_back({i * core::kMinute, ComponentId{1}});
+    b.push_back({i * core::kMinute, ComponentId{2}});
+  }
+  const auto r = associate(a, b, 0);
+  EXPECT_EQ(r.matched, 10u);
+  EXPECT_DOUBLE_EQ(r.recall_a(), 1.0);
+}
+
+TEST(AssociateTest, SkewBreaksExactButNotWindowed) {
+  std::vector<Occurrence> a;
+  std::vector<Occurrence> b;
+  for (int i = 0; i < 10; ++i) {
+    a.push_back({i * core::kMinute, ComponentId{1}});
+    b.push_back({i * core::kMinute + 300 * core::kMillisecond, ComponentId{2}});
+  }
+  EXPECT_EQ(associate(a, b, 0).matched, 0u);  // drift kills exact matching
+  EXPECT_EQ(associate(a, b, core::kSecond).matched, 10u);
+}
+
+TEST(AssociateTest, EachBConsumedOnce) {
+  std::vector<Occurrence> a{{0, ComponentId{1}}, {1, ComponentId{1}}};
+  std::vector<Occurrence> b{{0, ComponentId{2}}};
+  const auto r = associate(a, b, 10);
+  EXPECT_EQ(r.matched, 1u);
+  EXPECT_EQ(r.unmatched_a, 1u);
+  EXPECT_EQ(r.unmatched_b, 0u);
+}
+
+TEST(ConcurrentTest, FindsOverlapGroups) {
+  std::vector<ConditionInterval> intervals{
+      {ComponentId{1}, {0, 100}, "ost slow"},
+      {ComponentId{2}, {50, 150}, "mds slow"},
+      {ComponentId{3}, {200, 300}, "link down"},
+  };
+  const auto groups = find_concurrent(intervals, 2);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].overlap, (core::TimeRange{50, 100}));
+  EXPECT_EQ(groups[0].components.size(), 2u);
+}
+
+TEST(ConcurrentTest, ThreeWayOverlapAndThreshold) {
+  std::vector<ConditionInterval> intervals{
+      {ComponentId{1}, {0, 100}, "a"},
+      {ComponentId{2}, {10, 90}, "b"},
+      {ComponentId{3}, {20, 80}, "c"},
+  };
+  EXPECT_FALSE(find_concurrent(intervals, 3).empty());
+  const auto strict = find_concurrent(intervals, 3);
+  EXPECT_EQ(strict[0].overlap, (core::TimeRange{20, 80}));
+  EXPECT_TRUE(find_concurrent(intervals, 4).empty());
+}
+
+TEST(ConcurrentTest, EmptyAndSingle) {
+  EXPECT_TRUE(find_concurrent({}, 2).empty());
+  EXPECT_TRUE(
+      find_concurrent({{ComponentId{1}, {0, 10}, "x"}}, 2).empty());
+}
+
+// -- Power profiles -----------------------------------------------------------
+
+std::vector<TimedValue> power_trace(double base, double burst_at_frac,
+                                    std::size_t n = 200) {
+  std::vector<TimedValue> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = base;
+    const double frac = static_cast<double>(i) / n;
+    if (frac > burst_at_frac && frac < burst_at_frac + 0.1) v = base * 1.5;
+    out.push_back({static_cast<core::TimePoint>(i) * core::kMinute, v});
+  }
+  return out;
+}
+
+TEST(PowerProfileTest, SameShapeScoresNearZero) {
+  PowerProfileLibrary lib;
+  lib.set_reference(PowerProfile::from_trace("vasp", power_trace(100, 0.5)));
+  // Same shape, different absolute level and length: normalization handles it.
+  const auto score = lib.score_run("vasp", power_trace(250, 0.5, 400));
+  ASSERT_TRUE(score.has_value());
+  EXPECT_LT(*score, 0.05);
+}
+
+TEST(PowerProfileTest, DifferentShapeScoresHigh) {
+  PowerProfileLibrary lib;
+  lib.set_reference(PowerProfile::from_trace("vasp", power_trace(100, 0.5)));
+  const auto score = lib.score_run("vasp", power_trace(100, 0.1));
+  ASSERT_TRUE(score.has_value());
+  EXPECT_GT(*score, 0.15);
+  EXPECT_FALSE(lib.score_run("unknown_app", power_trace(1, 0.5)).has_value());
+}
+
+TEST(ImbalanceTest, DetectsFig3Pattern) {
+  // 4 cabinets, 60 minutes. Minutes 17-22: cabinet 0 stays busy, others drop
+  // to near idle (the KAUST load-imbalance bug).
+  std::vector<std::vector<TimedValue>> cabinets(4);
+  for (int m = 0; m < 60; ++m) {
+    const bool bad = m >= 17 && m < 23;
+    for (int c = 0; c < 4; ++c) {
+      double watts = 30000.0;
+      if (bad && c != 0) watts = 11000.0;
+      cabinets[c].push_back({m * core::kMinute, watts});
+    }
+  }
+  const auto windows = detect_imbalance(cabinets);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].range.begin, 17 * core::kMinute);
+  EXPECT_EQ(windows[0].range.end, 23 * core::kMinute);
+  EXPECT_NEAR(windows[0].max_ratio, 30000.0 / 11000.0, 0.01);
+  // System draw dropped vs baseline: 120kW -> 63kW ~ 1.9x (the Fig 3 number).
+  EXPECT_NEAR(windows[0].draw_drop, 120.0 / 63.0, 0.02);
+}
+
+TEST(ImbalanceTest, BalancedLoadIsQuiet) {
+  std::vector<std::vector<TimedValue>> cabinets(4);
+  core::Rng rng(9);
+  for (int m = 0; m < 60; ++m) {
+    for (int c = 0; c < 4; ++c) {
+      cabinets[c].push_back({m * core::kMinute, rng.normal(30000.0, 500.0)});
+    }
+  }
+  EXPECT_TRUE(detect_imbalance(cabinets).empty());
+}
+
+TEST(ImbalanceTest, ShortBlipIgnored) {
+  std::vector<std::vector<TimedValue>> cabinets(2);
+  for (int m = 0; m < 30; ++m) {
+    const bool blip = m == 10;  // one sample only
+    cabinets[0].push_back({m * core::kMinute, 30000.0});
+    cabinets[1].push_back({m * core::kMinute, blip ? 10000.0 : 30000.0});
+  }
+  ImbalanceParams params;
+  params.min_duration = 2 * core::kMinute;
+  EXPECT_TRUE(detect_imbalance(cabinets, params).empty());
+}
+
+// -- Congestion ---------------------------------------------------------------
+
+struct CongestionFixture {
+  core::MetricRegistry reg;
+  sim::MachineShape shape;
+  std::unique_ptr<sim::Topology> topo;
+
+  CongestionFixture() {
+    shape.cabinets = 2;
+    shape.chassis_per_cabinet = 2;
+    shape.blades_per_chassis = 4;
+    shape.nodes_per_blade = 4;
+    topo = std::make_unique<sim::Topology>(reg, shape,
+                                           sim::FabricKind::kTorus3D);
+  }
+};
+
+TEST(CongestionTest, QuietFabric) {
+  CongestionFixture f;
+  std::vector<double> stalls(f.topo->num_links(), 0.0);
+  const auto report = analyze_congestion(*f.topo, stalls);
+  EXPECT_EQ(report.level, CongestionLevel::kNone);
+  EXPECT_TRUE(report.regions.empty());
+}
+
+TEST(CongestionTest, RegionsFollowAdjacency) {
+  CongestionFixture f;
+  std::vector<double> stalls(f.topo->num_links(), 0.0);
+  // Congest all links out of router 0 -> one region around router 0.
+  for (const int li : f.topo->links_from(0)) stalls[li] = 0.5;
+  // Plus one isolated congested link far away.
+  const int far_router = f.topo->num_routers() - 1;
+  stalls[f.topo->links_from(far_router)[0]] = 0.3;
+  const auto report = analyze_congestion(*f.topo, stalls);
+  EXPECT_EQ(report.regions.size(), 2u);
+  EXPECT_GT(report.regions[0].links.size(), report.regions[1].links.size());
+  EXPECT_GT(report.level, CongestionLevel::kNone);
+}
+
+TEST(CongestionTest, LevelGrading) {
+  CongestionFixture f;
+  std::vector<double> stalls(f.topo->num_links(), 0.0);
+  const int n = f.topo->num_links();
+  for (int i = 0; i < n / 5; ++i) stalls[i] = 1.0;  // 20% congested
+  EXPECT_EQ(analyze_congestion(*f.topo, stalls).level,
+            CongestionLevel::kHigh);
+  std::fill(stalls.begin(), stalls.end(), 0.0);
+  for (int i = 0; i < std::max(1, n / 12); ++i) stalls[i] = 1.0;  // ~8%
+  EXPECT_EQ(analyze_congestion(*f.topo, stalls).level,
+            CongestionLevel::kMedium);
+}
+
+TEST(CongestionTest, SizeMismatchYieldsEmptyReport) {
+  CongestionFixture f;
+  const auto report = analyze_congestion(*f.topo, {0.1, 0.2});
+  EXPECT_EQ(report.level, CongestionLevel::kNone);
+}
+
+// -- Variability --------------------------------------------------------------
+
+store::JobMeta run(std::uint64_t id, const std::string& app,
+                   core::TimePoint start, core::Duration runtime) {
+  store::JobMeta j;
+  j.id = core::JobId{id};
+  j.app_name = app;
+  j.start_time = start;
+  j.end_time = start + runtime;
+  j.submit_time = start;
+  return j;
+}
+
+TEST(VariabilityTest, ClassifiesVictimByCv) {
+  store::JobStore jobs;
+  // "victim": runtimes 10, 10, 14, 15 min (high CV).
+  std::uint64_t id = 1;
+  core::TimePoint t = 0;
+  for (const int minutes : {10, 10, 14, 15}) {
+    jobs.record_end(run(id++, "victim", t, minutes * core::kMinute));
+    t += 20 * core::kMinute;
+  }
+  // "steady": constant runtimes.
+  t = 0;
+  for (int i = 0; i < 4; ++i) {
+    jobs.record_end(run(id++, "steady", t, 10 * core::kMinute));
+    t += 20 * core::kMinute;
+  }
+  VariabilityAnalyzer analyzer;
+  const auto classes = analyzer.classify(jobs);
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0].app_name, "victim");  // sorted by CV desc
+  EXPECT_TRUE(classes[0].is_victim);
+  EXPECT_FALSE(classes[1].is_victim);
+}
+
+TEST(VariabilityTest, SuspectsOverlapSlowRuns) {
+  store::JobStore jobs;
+  std::uint64_t id = 1;
+  // victim runs: normal at t=0, slow at t=100min.
+  jobs.record_end(run(id++, "victim", 0, 10 * core::kMinute));
+  jobs.record_end(run(id++, "victim", 30 * core::kMinute, 10 * core::kMinute));
+  jobs.record_end(run(id++, "victim", 100 * core::kMinute, 16 * core::kMinute));
+  // aggressor overlaps only the slow run.
+  jobs.record_end(run(id++, "blaster", 98 * core::kMinute, 20 * core::kMinute));
+  jobs.record_end(run(id++, "blaster", 200 * core::kMinute, 20 * core::kMinute));
+  jobs.record_end(run(id++, "blaster", 240 * core::kMinute, 20 * core::kMinute));
+  // bystander never overlaps a slow run.
+  jobs.record_end(run(id++, "bystander", 0, 5 * core::kMinute));
+  jobs.record_end(run(id++, "bystander", 31 * core::kMinute, 5 * core::kMinute));
+  jobs.record_end(run(id++, "bystander", 200 * core::kMinute, 5 * core::kMinute));
+
+  VariabilityAnalyzer analyzer;
+  const auto suspects = analyzer.suspects(jobs);
+  ASSERT_GE(suspects.size(), 1u);
+  EXPECT_EQ(suspects[0].app_name, "blaster");
+  for (const auto& s : suspects) EXPECT_NE(s.app_name, "victim");
+  for (const auto& s : suspects) EXPECT_NE(s.app_name, "bystander");
+}
+
+TEST(VariabilityTest, MinRunsFilter) {
+  store::JobStore jobs;
+  jobs.record_end(run(1, "rare", 0, 10 * core::kMinute));
+  VariabilityAnalyzer analyzer;
+  EXPECT_TRUE(analyzer.classify(jobs).empty());
+}
+
+// -- Backlog ------------------------------------------------------------------
+
+TEST(BacklogTest, DetectsFillAndDrain) {
+  std::vector<TimedValue> depth;
+  // Stable at 10 for 30 min, then fills 10/min for 10 min, stable, then
+  // drains fast.
+  int d = 10;
+  for (int m = 0; m < 30; ++m) depth.push_back({m * core::kMinute, 1.0 * d});
+  for (int m = 30; m < 40; ++m) {
+    d += 10;
+    depth.push_back({m * core::kMinute, 1.0 * d});
+  }
+  for (int m = 40; m < 50; ++m) depth.push_back({m * core::kMinute, 1.0 * d});
+  for (int m = 50; m < 60 && d > 0; ++m) {
+    d = std::max(0, d - 30);
+    depth.push_back({m * core::kMinute, 1.0 * d});
+  }
+  const auto events = detect_backlog_events(depth);
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(events[0].signal, BacklogSignal::kRapidFill);
+  EXPECT_GT(events[0].rate_jobs_per_min, 0.0);
+  bool drain = false;
+  for (const auto& e : events) {
+    if (e.signal == BacklogSignal::kRapidDrain) drain = true;
+  }
+  EXPECT_TRUE(drain);
+}
+
+TEST(BacklogTest, StableQueueIsQuiet) {
+  std::vector<TimedValue> depth;
+  for (int m = 0; m < 120; ++m) {
+    depth.push_back({m * core::kMinute, 20.0 + (m % 3)});
+  }
+  EXPECT_TRUE(detect_backlog_events(depth).empty());
+}
+
+TEST(BacklogTest, WaitEstimate) {
+  // 40 queued, mean runtime 1200 s, 10 running -> 4800 s.
+  EXPECT_DOUBLE_EQ(estimate_wait_seconds(40, 1200, 10), 4800.0);
+  EXPECT_DOUBLE_EQ(estimate_wait_seconds(0, 1200, 10), 0.0);
+  EXPECT_GT(estimate_wait_seconds(5, 1200, 0), 1e17);  // scheduler wedged
+}
+
+}  // namespace
+}  // namespace hpcmon::analysis

@@ -1,0 +1,85 @@
+#include "analysis/novelty.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpcmon::analysis {
+namespace {
+
+using core::LogEvent;
+
+LogEvent ev(core::TimePoint t, std::string msg) {
+  LogEvent e;
+  e.time = t;
+  e.message = std::move(msg);
+  e.component = core::ComponentId{1};
+  return e;
+}
+
+TEST(TemplateTest, NumbersAbstracted) {
+  EXPECT_EQ(message_template("CRC retry count 3"), "CRC retry count #");
+  EXPECT_EQ(message_template("CRC retry count 17"), "CRC retry count #");
+  EXPECT_EQ(message_template("job 42 start nodes=8"), "job # start nodes=#");
+}
+
+TEST(TemplateTest, HexTokensAbstracted) {
+  EXPECT_EQ(message_template("page fault at 0x7fff0a2c"), "page fault at &");
+  EXPECT_EQ(message_template("uuid deadbeef99"), "uuid &");
+  // Real words survive, even hex-looking short ones.
+  EXPECT_EQ(message_template("bad cafe bed"), "bad cafe bed");
+}
+
+TEST(TemplateTest, DistinctStructuresStayDistinct) {
+  EXPECT_NE(message_template("link failed: lane degrade"),
+            message_template("link recovered"));
+  EXPECT_NE(message_template("error count 3"), message_template("error rate 3"));
+}
+
+TEST(NoveltyTest, TrainingWindowSuppressesKnownTemplates) {
+  NoveltyParams params;
+  params.training_until = core::kHour;
+  NoveltyDetector det(params);
+  // Training period: everything is silent.
+  EXPECT_TRUE(det.process(ev(core::kMinute, "CRC retry count 1")).empty());
+  EXPECT_TRUE(det.process(ev(2 * core::kMinute, "session opened")).empty());
+  // After training: known templates stay silent, new ones fire once.
+  EXPECT_TRUE(det.process(ev(2 * core::kHour, "CRC retry count 99")).empty());
+  const auto hits =
+      det.process(ev(3 * core::kHour, "kernel BUG at mm/slab.c:123"));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].example, "kernel BUG at mm/slab.c:123");
+  // The same new template does not fire twice.
+  EXPECT_TRUE(
+      det.process(ev(4 * core::kHour, "kernel BUG at mm/slab.c:456")).empty());
+  EXPECT_EQ(det.occurrences(message_template("kernel BUG at mm/slab.c:1")), 2u);
+}
+
+TEST(NoveltyTest, FirstSeenAfterTrainingFiresEvenWithNoTraining) {
+  NoveltyDetector det(NoveltyParams{});  // training_until = 0
+  const auto hits = det.process(ev(core::kSecond, "anything at all"));
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(NoveltyTest, RareReturnFires) {
+  NoveltyParams params;
+  params.rare_gap = core::kDay;
+  NoveltyDetector det(params);
+  det.process(ev(0, "lustre reconnect"));
+  EXPECT_TRUE(det.process(ev(core::kHour, "lustre reconnect")).empty());
+  // Silent for > rare_gap, then returns: flagged again.
+  const auto hits = det.process(ev(3 * core::kDay, "lustre reconnect"));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].time, 3 * core::kDay);
+}
+
+TEST(NoveltyTest, TemplatePopulationIsCompact) {
+  NoveltyDetector det(NoveltyParams{});
+  for (int i = 0; i < 1000; ++i) {
+    det.process(ev(i, "CRC retry count " + std::to_string(i)));
+    det.process(ev(i, "job " + std::to_string(i) + " start nodes=" +
+                          std::to_string(i % 64)));
+  }
+  EXPECT_EQ(det.known_templates(), 2u);  // 2000 messages, 2 signatures
+}
+
+}  // namespace
+}  // namespace hpcmon::analysis

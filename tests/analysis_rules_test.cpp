@@ -1,0 +1,195 @@
+#include "analysis/rules.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpcmon::analysis {
+namespace {
+
+using core::ComponentId;
+using core::LogEvent;
+using core::LogFacility;
+using core::Severity;
+
+LogEvent ev(core::TimePoint t, std::string msg,
+            ComponentId comp = ComponentId{1},
+            Severity sev = Severity::kError,
+            LogFacility fac = LogFacility::kNetwork) {
+  LogEvent e;
+  e.time = t;
+  e.local_time = t;
+  e.message = std::move(msg);
+  e.component = comp;
+  e.severity = sev;
+  e.facility = fac;
+  return e;
+}
+
+TEST(RuleEngineTest, SingleRuleFiresOnMatch) {
+  RuleEngine engine;
+  Rule r;
+  r.name = "fail";
+  r.pattern = "*failed*";
+  engine.add_rule(r);
+  EXPECT_TRUE(engine.process(ev(1, "all good")).empty());
+  const auto fired = engine.process(ev(2, "HSN link failed"));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].rule_name, "fail");
+  EXPECT_EQ(fired[0].time, 2);
+}
+
+TEST(RuleEngineTest, SeverityAndFacilityGuards) {
+  RuleEngine engine;
+  Rule r;
+  r.name = "hw_crit";
+  r.max_severity = Severity::kCritical;
+  r.facility = LogFacility::kHardware;
+  engine.add_rule(r);
+  EXPECT_TRUE(engine.process(ev(1, "x", ComponentId{1}, Severity::kError,
+                                LogFacility::kHardware))
+                  .empty());  // not severe enough
+  EXPECT_TRUE(engine.process(ev(2, "x", ComponentId{1}, Severity::kCritical,
+                                LogFacility::kNetwork))
+                  .empty());  // wrong facility
+  EXPECT_EQ(engine.process(ev(3, "x", ComponentId{1}, Severity::kCritical,
+                              LogFacility::kHardware))
+                .size(),
+            1u);
+}
+
+TEST(RuleEngineTest, SuppressionSwallowsRepeats) {
+  RuleEngine engine;
+  Rule r;
+  r.name = "noisy";
+  r.pattern = "*err*";
+  r.suppress = core::kMinute;
+  engine.add_rule(r);
+  EXPECT_EQ(engine.process(ev(0, "err")).size(), 1u);
+  EXPECT_TRUE(engine.process(ev(10 * core::kSecond, "err")).empty());
+  // Different component is not suppressed.
+  EXPECT_EQ(engine.process(ev(11 * core::kSecond, "err", ComponentId{2})).size(),
+            1u);
+  // After the window, re-fires.
+  EXPECT_EQ(engine.process(ev(2 * core::kMinute, "err")).size(), 1u);
+}
+
+TEST(RuleEngineTest, PairRuleMatchesChains) {
+  RuleEngine engine;
+  Rule r;
+  r.name = "fail_then_throttle";
+  r.kind = RuleKind::kPair;
+  r.pattern = "*link failed*";
+  r.pattern_b = "*throttle*";
+  r.window = core::kMinute;
+  engine.add_rule(r);
+  engine.process(ev(0, "HSN link failed"));
+  const auto fired = engine.process(ev(30 * core::kSecond, "HSN throttle"));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_NE(fired[0].detail.find("pair completed"), std::string::npos);
+  // B after the window does not fire.
+  engine.process(ev(2 * core::kMinute, "HSN link failed"));
+  EXPECT_TRUE(engine.process(ev(10 * core::kMinute, "HSN throttle")).empty());
+}
+
+TEST(RuleEngineTest, PairRequiresSameComponentByDefault) {
+  RuleEngine engine;
+  Rule r;
+  r.name = "pair";
+  r.kind = RuleKind::kPair;
+  r.pattern = "A*";
+  r.pattern_b = "B*";
+  r.window = core::kMinute;
+  engine.add_rule(r);
+  engine.process(ev(0, "A event", ComponentId{1}));
+  EXPECT_TRUE(engine.process(ev(1, "B event", ComponentId{2})).empty());
+  EXPECT_EQ(engine.process(ev(2, "B event", ComponentId{1})).size(), 1u);
+}
+
+TEST(RuleEngineTest, AbsenceFiresWhenRecoveryNeverComes) {
+  RuleEngine engine;
+  Rule r;
+  r.name = "no_recovery";
+  r.kind = RuleKind::kAbsence;
+  r.pattern = "*link failed*";
+  r.pattern_b = "*link recovered*";
+  r.window = 5 * core::kMinute;
+  engine.add_rule(r);
+  engine.process(ev(0, "HSN link failed"));
+  // Recovery arrives in time: nothing fires, ever.
+  engine.process(ev(core::kMinute, "HSN link recovered"));
+  EXPECT_TRUE(engine.advance_time(core::kHour).empty());
+
+  // Second failure without recovery: fires at deadline.
+  engine.process(ev(2 * core::kHour, "HSN link failed"));
+  const auto fired = engine.advance_time(3 * core::kHour);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].rule_name, "no_recovery");
+  EXPECT_EQ(fired[0].time, 2 * core::kHour + 5 * core::kMinute);
+}
+
+TEST(RuleEngineTest, AbsenceExpiryDeliveredByLaterEvent) {
+  RuleEngine engine;
+  Rule r;
+  r.name = "no_recovery";
+  r.kind = RuleKind::kAbsence;
+  r.pattern = "*failed*";
+  r.pattern_b = "*recovered*";
+  r.window = core::kMinute;
+  engine.add_rule(r);
+  engine.process(ev(0, "failed"));
+  // Any later event carries time forward and flushes the expiry.
+  const auto fired = engine.process(ev(10 * core::kMinute, "unrelated"));
+  ASSERT_EQ(fired.size(), 1u);
+}
+
+TEST(RuleEngineTest, ThresholdCountsWithinWindow) {
+  RuleEngine engine;
+  Rule r;
+  r.name = "storm";
+  r.kind = RuleKind::kThreshold;
+  r.pattern = "*DBE*";
+  r.window = core::kMinute;
+  r.count = 3;
+  engine.add_rule(r);
+  EXPECT_TRUE(engine.process(ev(0, "DBE")).empty());
+  EXPECT_TRUE(engine.process(ev(10 * core::kSecond, "DBE")).empty());
+  EXPECT_EQ(engine.process(ev(20 * core::kSecond, "DBE")).size(), 1u);
+  // Old events age out of the window.
+  EXPECT_TRUE(engine.process(ev(5 * core::kMinute, "DBE")).empty());
+}
+
+TEST(RuleEngineTest, ThresholdMachineWideWhenSameComponentFalse) {
+  RuleEngine engine;
+  Rule r;
+  r.name = "flood";
+  r.kind = RuleKind::kThreshold;
+  r.window = core::kMinute;
+  r.count = 3;
+  r.same_component = false;
+  engine.add_rule(r);
+  engine.process(ev(0, "x", ComponentId{1}));
+  engine.process(ev(1, "x", ComponentId{2}));
+  EXPECT_EQ(engine.process(ev(2, "x", ComponentId{3})).size(), 1u);
+}
+
+TEST(RuleEngineTest, StandardRuleSetCatchesPlatformEvents) {
+  RuleEngine engine;
+  for (auto& r : standard_platform_rules()) engine.add_rule(std::move(r));
+  EXPECT_GE(engine.rule_count(), 5u);
+  // GPU DBE storm on one component.
+  std::vector<RuleMatch> fired;
+  for (int i = 0; i < 4; ++i) {
+    auto matches = engine.process(ev(i * core::kMinute,
+                                     "GPU double bit error count 1",
+                                     ComponentId{7}, Severity::kError,
+                                     LogFacility::kHardware));
+    fired.insert(fired.end(), matches.begin(), matches.end());
+  }
+  bool storm = false;
+  for (const auto& m : fired) {
+    if (m.rule_name == "gpu_dbe_storm") storm = true;
+  }
+  EXPECT_TRUE(storm);
+}
+
+}  // namespace
+}  // namespace hpcmon::analysis

@@ -1,0 +1,95 @@
+#include "analysis/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace hpcmon::analysis {
+namespace {
+
+TEST(OnlineStatsTest, MatchesClosedForm) {
+  OnlineStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.cv(), 2.138 / 5.0, 1e-3);
+}
+
+TEST(OnlineStatsTest, SinglePointHasZeroVariance) {
+  OnlineStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(EwmaTest, ConvergesToLevel) {
+  Ewma e(0.2);
+  EXPECT_FALSE(e.initialized());
+  for (int i = 0; i < 100; ++i) e.add(10.0);
+  EXPECT_NEAR(e.mean(), 10.0, 1e-6);
+  EXPECT_NEAR(e.stddev(), 0.0, 1e-6);
+  // Step change: EWMA follows with lag.
+  e.add(20.0);
+  EXPECT_GT(e.mean(), 10.0);
+  EXPECT_LT(e.mean(), 20.0);
+  EXPECT_GT(e.stddev(), 0.0);
+}
+
+class P2QuantileParamTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(P2QuantileParamTest, ApproximatesExactQuantile) {
+  const double q = GetParam();
+  core::Rng rng(77);
+  P2Quantile est(q);
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.lognormal(1.0, 0.5);
+    est.add(x);
+    values.push_back(x);
+  }
+  std::sort(values.begin(), values.end());
+  const double exact =
+      values[static_cast<std::size_t>(q * (values.size() - 1))];
+  EXPECT_NEAR(est.value(), exact, exact * 0.05)
+      << "q=" << q << " exact=" << exact << " est=" << est.value();
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, P2QuantileParamTest,
+                         ::testing::Values(0.5, 0.9, 0.95, 0.99));
+
+TEST(P2QuantileTest, ExactForSmallCounts) {
+  P2Quantile est(0.5);
+  est.add(5.0);
+  EXPECT_DOUBLE_EQ(est.value(), 5.0);
+  est.add(1.0);
+  est.add(9.0);
+  EXPECT_DOUBLE_EQ(est.value(), 5.0);  // median of {1, 5, 9}
+}
+
+TEST(RateConverterTest, CounterToRate) {
+  RateConverter rc;
+  EXPECT_FALSE(rc.update(0, 100.0).has_value());  // first point
+  const auto r1 = rc.update(10 * core::kSecond, 600.0);
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_DOUBLE_EQ(*r1, 50.0);  // 500 per 10 s
+  const auto r2 = rc.update(20 * core::kSecond, 600.0);
+  EXPECT_DOUBLE_EQ(*r2, 0.0);
+}
+
+TEST(RateConverterTest, ResetRestartsBaseline) {
+  RateConverter rc;
+  rc.update(0, 1000.0);
+  EXPECT_FALSE(rc.update(10 * core::kSecond, 50.0).has_value());  // went back
+  const auto r = rc.update(20 * core::kSecond, 150.0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(*r, 10.0);
+}
+
+}  // namespace
+}  // namespace hpcmon::analysis

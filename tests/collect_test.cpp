@@ -1,0 +1,274 @@
+// Samplers, CollectionService synchronization, ProbeSuite, HealthCheckSuite.
+#include <gtest/gtest.h>
+
+#include "collect/collection.hpp"
+#include "collect/health.hpp"
+#include "collect/probes.hpp"
+#include "collect/samplers.hpp"
+#include "store/tsdb.hpp"
+#include "transport/codec.hpp"
+
+namespace hpcmon::collect {
+namespace {
+
+sim::ClusterParams small_params() {
+  sim::ClusterParams p;
+  p.shape.cabinets = 2;
+  p.shape.chassis_per_cabinet = 1;
+  p.shape.blades_per_chassis = 4;
+  p.shape.nodes_per_blade = 4;  // 32 nodes
+  p.shape.gpu_node_fraction = 0.25;
+  p.fabric_kind = sim::FabricKind::kTorus3D;
+  p.seed = 3;
+  return p;
+}
+
+sim::JobRequest busy_job(int nodes) {
+  sim::JobRequest r;
+  r.num_nodes = nodes;
+  r.nominal_runtime = 10 * core::kMinute;
+  r.profile = sim::app_network_heavy();
+  return r;
+}
+
+TEST(SamplersTest, NodeSamplerEmitsPerNodeMetrics) {
+  sim::Cluster cluster(small_params());
+  NodeSampler sampler(cluster);
+  cluster.run_for(10 * core::kSecond);
+  core::SampleBatch batch;
+  sampler.sample(cluster.now(), batch);
+  EXPECT_EQ(batch.size(), 32u * 4u);  // cpu, mem_free, read, write per node
+  // Values are sane: mem_free close to machine config at idle.
+  const auto mem_series = cluster.registry().series(
+      "node.mem_free_gb", cluster.topology().node(0));
+  bool found = false;
+  for (const auto& s : batch.samples) {
+    if (s.series == mem_series) {
+      EXPECT_GT(s.value, 100.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SamplersTest, AllSamplersCoverSubsystems) {
+  sim::Cluster cluster(small_params());
+  auto samplers = make_all_samplers(cluster);
+  EXPECT_EQ(samplers.size(), 7u);  // node/power/hsn/fs/gpu/queue/facility
+  cluster.run_for(5 * core::kSecond);
+  std::size_t total = 0;
+  for (auto& s : samplers) {
+    core::SampleBatch batch;
+    s->sample(cluster.now(), batch);
+    EXPECT_FALSE(batch.empty()) << s->name();
+    total += batch.size();
+  }
+  EXPECT_GT(total, 300u);  // 32-node machine: ~325 samples per full sweep
+  // Registry now documents every metric.
+  const auto dict = cluster.registry().describe_all();
+  for (const char* metric : {"node.cpu_util", "power.cabinet_w",
+                             "hsn.link.stalls", "fs.ost.read_bytes",
+                             "gpu.health", "sched.queue_depth",
+                             "facility.corrosion_ppb"}) {
+    EXPECT_NE(dict.find(metric), std::string::npos) << metric;
+  }
+}
+
+TEST(SamplersTest, CountersAreMonotone) {
+  sim::Cluster cluster(small_params());
+  cluster.submit_at(0, busy_job(16));
+  HsnSampler sampler(cluster);
+  double last_traffic = -1.0;
+  for (int i = 0; i < 5; ++i) {
+    cluster.run_for(10 * core::kSecond);
+    core::SampleBatch batch;
+    sampler.sample(cluster.now(), batch);
+    double traffic = 0.0;
+    for (const auto& s : batch.samples) {
+      const auto& info = cluster.registry().metric(
+          cluster.registry().series_metric(s.series));
+      if (info.name == "hsn.link.traffic_bytes") traffic += s.value;
+    }
+    EXPECT_GE(traffic, last_traffic);
+    last_traffic = traffic;
+  }
+  EXPECT_GT(last_traffic, 0.0);
+}
+
+TEST(CollectionServiceTest, SynchronizedSweepsLandOnGrid) {
+  sim::Cluster cluster(small_params());
+  store::TimeSeriesStore store;
+  CollectionService service(cluster);
+  service.add_sampler(std::make_unique<QueueSampler>(cluster), core::kMinute,
+                      store_sink(store));
+  cluster.run_for(5 * core::kMinute + 30 * core::kSecond);
+  EXPECT_EQ(service.sweeps_completed(), 5u);
+  const auto sid = cluster.registry().series("sched.queue_depth",
+                                             cluster.topology().system());
+  const auto pts = store.query_range(sid, {0, core::kDay});
+  ASSERT_EQ(pts.size(), 5u);
+  for (const auto& p : pts) {
+    EXPECT_EQ(p.time % core::kMinute, 0) << "sweep not on synchronized grid";
+  }
+}
+
+TEST(CollectionServiceTest, MultipleSamplersShareTimestamps) {
+  sim::Cluster cluster(small_params());
+  store::TimeSeriesStore store;
+  CollectionService service(cluster);
+  service.add_sampler(std::make_unique<QueueSampler>(cluster),
+                      30 * core::kSecond, store_sink(store));
+  service.add_sampler(std::make_unique<PowerSampler>(cluster),
+                      30 * core::kSecond, store_sink(store));
+  cluster.run_for(2 * core::kMinute);
+  const auto q = cluster.registry().series("sched.queue_depth",
+                                           cluster.topology().system());
+  const auto p = cluster.registry().series("power.system_w",
+                                           cluster.topology().system());
+  const auto qpts = store.query_range(q, {0, core::kDay});
+  const auto ppts = store.query_range(p, {0, core::kDay});
+  ASSERT_EQ(qpts.size(), ppts.size());
+  for (std::size_t i = 0; i < qpts.size(); ++i) {
+    EXPECT_EQ(qpts[i].time, ppts[i].time);  // cross-subsystem association
+  }
+}
+
+TEST(CollectionServiceTest, LogCollectorDrainsStream) {
+  sim::Cluster cluster(small_params());
+  cluster.submit_at(0, busy_job(4));
+  std::vector<core::LogEvent> received;
+  CollectionService service(cluster);
+  service.add_log_collector(10 * core::kSecond,
+                            [&](std::vector<core::LogEvent>&& events) {
+                              for (auto& e : events) received.push_back(e);
+                            });
+  cluster.run_for(core::kMinute);
+  EXPECT_FALSE(received.empty());
+  EXPECT_EQ(cluster.pending_log_count(), 0u);
+}
+
+TEST(CollectionServiceTest, RouterSinkDeliversDecodableFrames) {
+  sim::Cluster cluster(small_params());
+  transport::EventRouter router;
+  std::size_t samples = 0;
+  router.subscribe(transport::FrameType::kSamples,
+                   [&](const transport::Frame& f) {
+                     const auto batch = transport::decode_samples(f);
+                     ASSERT_TRUE(batch.is_ok());
+                     samples += batch.value().size();
+                   });
+  CollectionService service(cluster);
+  service.add_sampler(std::make_unique<PowerSampler>(cluster),
+                      30 * core::kSecond, router_sample_sink(router));
+  cluster.run_for(2 * core::kMinute);
+  EXPECT_GT(samples, 0u);
+}
+
+TEST(ProbeSuiteTest, BaselinesWhenIdle) {
+  sim::Cluster cluster(small_params());
+  ProbeConfig config;
+  config.probe_nodes = {0, 16};
+  config.noise_frac = 0.0;
+  ProbeSuite probes(cluster, config, core::Rng(1));
+  cluster.run_for(5 * core::kSecond);
+  core::SampleBatch batch;
+  probes.sample(cluster.now(), batch);
+  // 2 probe nodes x 3 metrics + 8 OST probes + 1 MDS probe.
+  EXPECT_EQ(batch.size(), 2u * 3u + 8u + 1u);
+  for (const auto& s : batch.samples) {
+    const auto& name = cluster.registry()
+                           .metric(cluster.registry().series_metric(s.series))
+                           .name;
+    if (name == "probe.dgemm_seconds") {
+      EXPECT_NEAR(s.value, config.dgemm_seconds, 2.0);
+    } else if (name == "probe.fs_read_ms") {
+      EXPECT_NEAR(s.value, 2.0, 0.5);  // base OST latency
+    }
+  }
+}
+
+TEST(ProbeSuiteTest, FsDegradationShowsInProbe) {
+  sim::Cluster cluster(small_params());
+  ProbeConfig config;
+  config.noise_frac = 0.0;
+  ProbeSuite probes(cluster, config, core::Rng(1));
+  cluster.inject_ost_slowdown(10 * core::kSecond, 0, 2, 8.0, core::kHour);
+  cluster.run_for(core::kMinute);
+  core::SampleBatch batch;
+  probes.sample(cluster.now(), batch);
+  const auto slow_sid = cluster.registry().series(
+      "probe.fs_read_ms", cluster.topology().ost(0, 2));
+  const auto ok_sid = cluster.registry().series(
+      "probe.fs_read_ms", cluster.topology().ost(0, 1));
+  double slow = 0.0;
+  double ok = 0.0;
+  for (const auto& s : batch.samples) {
+    if (s.series == slow_sid) slow = s.value;
+    if (s.series == ok_sid) ok = s.value;
+  }
+  EXPECT_GT(slow, ok * 4.0);  // NCSA-style per-target probe isolates the OST
+}
+
+TEST(HealthCheckTest, CleanMachinePasses) {
+  sim::Cluster cluster(small_params());
+  HealthCheckSuite health(cluster, {});
+  cluster.run_for(5 * core::kSecond);
+  for (int i = 0; i < cluster.topology().num_nodes(); ++i) {
+    EXPECT_TRUE(health.check_node(i).ok) << "node " << i;
+  }
+}
+
+TEST(HealthCheckTest, DetectsInjectedProblems) {
+  sim::Cluster cluster(small_params());
+  HealthConfig config;
+  config.min_free_mem_gb = 8.0;
+  HealthCheckSuite health(cluster, config);
+  cluster.inject_mem_leak(core::kSecond, 1, 7200.0, core::kHour);  // 2 GB/s
+  cluster.inject_fs_unmount(core::kSecond, 2, core::kHour);
+  cluster.inject_gpu_failure(core::kSecond, 3);
+  cluster.inject_node_hang(core::kSecond, 4, core::kHour);
+  cluster.run_for(2 * core::kMinute);
+  EXPECT_FALSE(health.check_node(1).ok);  // memory exhausted
+  EXPECT_FALSE(health.check_node(2).ok);  // unmounted
+  EXPECT_FALSE(health.check_node(3).ok);  // GPU failed
+  EXPECT_FALSE(health.check_node(4).ok);  // hung
+  EXPECT_TRUE(health.check_node(10).ok);
+  // Reasons are specific.
+  EXPECT_NE(health.check_node(2).failures[0].find("filesystem"),
+            std::string::npos);
+}
+
+TEST(HealthCheckTest, SampleEmitsFailingCountAndLogs) {
+  sim::Cluster cluster(small_params());
+  HealthCheckSuite health(cluster, {});
+  cluster.inject_gpu_failure(core::kSecond, 0);
+  cluster.run_for(10 * core::kSecond);
+  cluster.drain_logs();
+  core::SampleBatch batch;
+  health.sample(cluster.now(), batch);
+  const auto failing_sid = cluster.registry().series(
+      "health.failing_nodes", cluster.topology().system());
+  double failing = -1;
+  for (const auto& s : batch.samples) {
+    if (s.series == failing_sid) failing = s.value;
+  }
+  EXPECT_DOUBLE_EQ(failing, 1.0);
+  const auto logs = cluster.drain_logs();
+  bool health_log = false;
+  for (const auto& e : logs) {
+    if (e.facility == core::LogFacility::kHealth) health_log = true;
+  }
+  EXPECT_TRUE(health_log);
+}
+
+TEST(HealthCheckTest, GpuPrecheckClosureWorks) {
+  sim::Cluster cluster(small_params());
+  cluster.inject_gpu_failure(core::kSecond, 0);
+  cluster.run_for(5 * core::kSecond);
+  auto check = make_gpu_precheck(cluster);
+  EXPECT_FALSE(check(0));
+  EXPECT_TRUE(check(20));  // non-GPU node passes
+}
+
+}  // namespace
+}  // namespace hpcmon::collect

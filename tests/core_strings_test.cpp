@@ -1,0 +1,88 @@
+#include "core/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpcmon::core {
+namespace {
+
+TEST(StringsTest, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("\ta b\n"), "a b");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("hello world", "hello"));
+  EXPECT_FALSE(starts_with("hello", "hello world"));
+  EXPECT_TRUE(ends_with("file.csv", ".csv"));
+  EXPECT_FALSE(ends_with("csv", "file.csv"));
+}
+
+TEST(StringsTest, GlobExact) {
+  EXPECT_TRUE(glob_match("abc", "abc"));
+  EXPECT_FALSE(glob_match("abc", "abd"));
+  EXPECT_FALSE(glob_match("abc", "ab"));
+}
+
+TEST(StringsTest, GlobStar) {
+  EXPECT_TRUE(glob_match("*", ""));
+  EXPECT_TRUE(glob_match("*", "anything"));
+  EXPECT_TRUE(glob_match("HSN link failed*", "HSN link failed: lane degrade"));
+  EXPECT_TRUE(glob_match("*error*", "GPU double bit error count 3"));
+  EXPECT_FALSE(glob_match("*error*", "all good"));
+  EXPECT_TRUE(glob_match("a*b*c", "aXXbYYc"));
+  EXPECT_FALSE(glob_match("a*b*c", "aXXcYYb"));
+}
+
+TEST(StringsTest, GlobQuestion) {
+  EXPECT_TRUE(glob_match("a?c", "abc"));
+  EXPECT_FALSE(glob_match("a?c", "ac"));
+  EXPECT_TRUE(glob_match("??", "xy"));
+}
+
+TEST(StringsTest, GlobBacktracking) {
+  // Patterns that require re-expanding an earlier '*'.
+  EXPECT_TRUE(glob_match("*ab", "aab"));
+  EXPECT_TRUE(glob_match("*aab", "aaab"));
+  EXPECT_TRUE(glob_match("a*a*a", "aaaa"));
+  EXPECT_FALSE(glob_match("a*a*a", "aa"));
+}
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(to_lower("MiXeD 123"), "mixed 123");
+}
+
+TEST(StringsTest, TokenizeWords) {
+  const auto toks = tokenize_words("GPU double-bit error, count=3 (node c0-0c1s2n3)");
+  // '-' '.' '_' are word characters; punctuation splits.
+  EXPECT_NE(std::find(toks.begin(), toks.end(), "gpu"), toks.end());
+  EXPECT_NE(std::find(toks.begin(), toks.end(), "double-bit"), toks.end());
+  EXPECT_NE(std::find(toks.begin(), toks.end(), "c0-0c1s2n3"), toks.end());
+  EXPECT_EQ(std::find(toks.begin(), toks.end(), "count=3"), toks.end());
+}
+
+TEST(StringsTest, Strformat) {
+  EXPECT_EQ(strformat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strformat("%.2f", 1.5), "1.50");
+  EXPECT_EQ(strformat("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace hpcmon::core

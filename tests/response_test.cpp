@@ -1,0 +1,175 @@
+// AlertManager, ActionDispatcher, HealthGate, PowerBudgetWatcher.
+#include <gtest/gtest.h>
+
+#include "response/actions.hpp"
+#include "response/alerts.hpp"
+#include "response/gate.hpp"
+#include "response/power_budget.hpp"
+
+namespace hpcmon::response {
+namespace {
+
+Alert alert(core::TimePoint t, const std::string& key,
+            AlertSeverity sev = AlertSeverity::kWarning) {
+  Alert a;
+  a.time = t;
+  a.key = key;
+  a.severity = sev;
+  a.message = "test";
+  return a;
+}
+
+TEST(AlertManagerTest, DeliversAndDeduplicates) {
+  AlertManager mgr;
+  std::vector<Alert> seen;
+  mgr.add_sink([&](const Alert& a) { seen.push_back(a); });
+  EXPECT_TRUE(mgr.raise(alert(0, "ost.slow")));
+  EXPECT_FALSE(mgr.raise(alert(core::kMinute, "ost.slow")));  // deduped
+  EXPECT_TRUE(mgr.raise(alert(core::kMinute, "link.down")));  // distinct key
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_EQ(mgr.raised_total(), 3u);
+  EXPECT_EQ(mgr.suppressed_total(), 1u);
+}
+
+TEST(AlertManagerTest, DedupWindowExpires) {
+  AlertPolicy policy;
+  policy.dedup_window = core::kMinute;
+  AlertManager mgr(policy);
+  EXPECT_TRUE(mgr.raise(alert(0, "k")));
+  EXPECT_FALSE(mgr.raise(alert(30 * core::kSecond, "k")));
+  EXPECT_TRUE(mgr.raise(alert(2 * core::kMinute, "k")));
+}
+
+TEST(AlertManagerTest, EscalationAfterRepeats) {
+  AlertPolicy policy;
+  policy.dedup_window = core::kHour;
+  policy.escalate_after = 3;
+  AlertManager mgr(policy);
+  std::vector<Alert> seen;
+  mgr.add_sink([&](const Alert& a) { seen.push_back(a); });
+  mgr.raise(alert(0, "k", AlertSeverity::kWarning));
+  mgr.raise(alert(1, "k"));
+  mgr.raise(alert(2, "k"));  // third merged occurrence -> escalation fires
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[1].severity, AlertSeverity::kCritical);
+}
+
+TEST(AlertManagerTest, ResolveClearsActive) {
+  AlertManager mgr;
+  mgr.raise(alert(0, "a", AlertSeverity::kCritical));
+  mgr.raise(alert(0, "b", AlertSeverity::kInfo));
+  auto active = mgr.active();
+  ASSERT_EQ(active.size(), 2u);
+  EXPECT_EQ(active[0].key, "a");  // most severe first
+  mgr.resolve("a", core::kMinute);
+  EXPECT_EQ(mgr.active().size(), 1u);
+  // After resolve, the same key can fire again immediately.
+  EXPECT_TRUE(mgr.raise(alert(2 * core::kMinute, "a")));
+}
+
+TEST(ActionDispatcherTest, BindingsFilterByKeyAndSeverity) {
+  ActionDispatcher dispatcher;
+  int quarantines = 0;
+  int notifies = 0;
+  dispatcher.bind("node.*", AlertSeverity::kCritical, "quarantine",
+                  [&](const Alert&) { ++quarantines; });
+  dispatcher.bind("*", AlertSeverity::kInfo, "notify",
+                  [&](const Alert&) { ++notifies; });
+  dispatcher.dispatch(alert(0, "node.gpu_failed", AlertSeverity::kCritical));
+  dispatcher.dispatch(alert(1, "node.gpu_failed", AlertSeverity::kWarning));
+  dispatcher.dispatch(alert(2, "fs.slow", AlertSeverity::kCritical));
+  EXPECT_EQ(quarantines, 1);
+  EXPECT_EQ(notifies, 3);
+  ASSERT_EQ(dispatcher.log().size(), 4u);
+  EXPECT_EQ(dispatcher.log()[0].action, "quarantine");
+}
+
+sim::ClusterParams gpu_cluster_params() {
+  sim::ClusterParams p;
+  p.shape.cabinets = 1;
+  p.shape.chassis_per_cabinet = 2;
+  p.shape.blades_per_chassis = 4;
+  p.shape.nodes_per_blade = 4;
+  p.shape.gpu_node_fraction = 1.0;
+  p.seed = 21;
+  return p;
+}
+
+TEST(QuarantineActionTest, RemovesAndRestoresNode) {
+  sim::Cluster cluster(gpu_cluster_params());
+  cluster.inject_gpu_failure(core::kSecond, 3);
+  cluster.run_for(5 * core::kSecond);
+  auto action = make_quarantine_action(cluster, core::kMinute);
+  Alert a = alert(cluster.now(), "node.gpu_failed", AlertSeverity::kCritical);
+  a.component = cluster.topology().node(3);
+  action(a);
+  EXPECT_FALSE(cluster.scheduler().node_available(3));
+  cluster.run_for(2 * core::kMinute);
+  EXPECT_TRUE(cluster.scheduler().node_available(3));
+  EXPECT_EQ(cluster.gpus().health(3), sim::GpuHealth::kOk);  // repaired
+}
+
+TEST(HealthGateTest, PreGateKeepsBadNodeFromJobs) {
+  sim::Cluster cluster(gpu_cluster_params());
+  HealthGate gate(cluster, 10 * core::kMinute);
+  gate.attach(/*pre=*/true, /*post=*/true);
+  cluster.inject_gpu_failure(core::kSecond, 0);
+  // Jobs that would love to use node 0.
+  for (int i = 0; i < 5; ++i) {
+    sim::JobRequest req;
+    req.num_nodes = 4;
+    req.nominal_runtime = 30 * core::kSecond;
+    req.profile = sim::app_compute_bound();
+    cluster.submit_at(2 * core::kSecond + i * core::kMinute, req);
+  }
+  cluster.run_for(6 * core::kMinute);
+  EXPECT_GT(gate.stats().pre_checks, 0u);
+  EXPECT_EQ(gate.stats().pre_failures, 1u);  // caught exactly once
+  // No completed job ran on node 0.
+  for (const auto id : cluster.scheduler().completed_jobs()) {
+    const auto* rec = cluster.scheduler().job(id);
+    for (const int n : rec->nodes) EXPECT_NE(n, 0);
+  }
+}
+
+TEST(HealthGateTest, RepairReturnsNodeToService) {
+  sim::Cluster cluster(gpu_cluster_params());
+  HealthGate gate(cluster, core::kMinute);
+  gate.attach(true, false);
+  cluster.inject_gpu_failure(core::kSecond, 0);
+  sim::JobRequest req;
+  req.num_nodes = 4;
+  req.nominal_runtime = 10 * core::kSecond;
+  req.profile = sim::app_compute_bound();
+  cluster.submit_at(2 * core::kSecond, req);
+  cluster.run_for(5 * core::kMinute);
+  EXPECT_GE(gate.stats().repairs, 1u);
+  EXPECT_TRUE(cluster.scheduler().node_available(0));
+}
+
+TEST(PowerBudgetTest, AlertsNearAndOverBudget) {
+  AlertManager alerts;
+  PowerBudgetParams params;
+  params.budget_w = 100000.0;
+  PowerBudgetWatcher watcher(params, alerts);
+  // Comfortable: exportable headroom reported.
+  auto rec = watcher.update(0, 60000.0);
+  EXPECT_NEAR(rec.exportable_w, 20000.0, 1e-6);
+  EXPECT_TRUE(alerts.active().empty());
+  // Near budget.
+  watcher.update(core::kMinute, 95000.0);
+  ASSERT_EQ(alerts.active().size(), 1u);
+  EXPECT_EQ(alerts.active()[0].key, "power.near_budget");
+  // Over budget.
+  rec = watcher.update(2 * core::kMinute, 110000.0);
+  EXPECT_EQ(rec.exportable_w, 0.0);
+  EXPECT_EQ(watcher.over_budget_samples(), 1u);
+  bool critical = false;
+  for (const auto& a : alerts.active()) {
+    if (a.key == "power.over_budget") critical = true;
+  }
+  EXPECT_TRUE(critical);
+}
+
+}  // namespace
+}  // namespace hpcmon::response

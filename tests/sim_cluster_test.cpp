@@ -1,0 +1,173 @@
+#include "sim/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpcmon::sim {
+namespace {
+
+ClusterParams small_params() {
+  ClusterParams p;
+  p.shape.cabinets = 2;
+  p.shape.chassis_per_cabinet = 2;
+  p.shape.blades_per_chassis = 4;
+  p.shape.nodes_per_blade = 4;
+  p.shape.gpu_node_fraction = 0.25;
+  p.fabric_kind = FabricKind::kTorus3D;
+  p.seed = 11;
+  return p;
+}
+
+JobRequest simple_job(int nodes, core::Duration runtime,
+                      AppProfile profile = app_compute_bound()) {
+  JobRequest r;
+  r.num_nodes = nodes;
+  r.nominal_runtime = runtime;
+  r.profile = std::move(profile);
+  return r;
+}
+
+TEST(ClusterTest, AdvancesAndTicksDeterministically) {
+  Cluster a(small_params());
+  Cluster b(small_params());
+  a.submit_at(0, simple_job(8, core::kMinute));
+  b.submit_at(0, simple_job(8, core::kMinute));
+  a.run_for(2 * core::kMinute);
+  b.run_for(2 * core::kMinute);
+  EXPECT_EQ(a.now(), b.now());
+  EXPECT_DOUBLE_EQ(a.power().system_power_w(), b.power().system_power_w());
+  EXPECT_EQ(a.scheduler().completed_jobs().size(), 1u);
+  EXPECT_EQ(b.scheduler().completed_jobs().size(), 1u);
+}
+
+TEST(ClusterTest, RunningJobRaisesPowerAndCpu) {
+  Cluster c(small_params());
+  c.run_for(10 * core::kSecond);
+  const double idle_power = c.power().system_power_w();
+  c.submit_at(c.now(), simple_job(32, 5 * core::kMinute));
+  c.run_for(core::kMinute);
+  EXPECT_GT(c.power().system_power_w(), idle_power * 1.2);
+  double cpu = 0;
+  for (int i = 0; i < c.topology().num_nodes(); ++i) {
+    cpu += c.node_state(i).cpu_util;
+  }
+  EXPECT_GT(cpu, 10.0);  // 32 busy nodes
+}
+
+TEST(ClusterTest, LogsAccumulateAndDrain) {
+  Cluster c(small_params());
+  c.submit_at(0, simple_job(4, 30 * core::kSecond));
+  c.run_for(2 * core::kMinute);
+  const auto logs = c.drain_logs();
+  EXPECT_FALSE(logs.empty());
+  EXPECT_EQ(c.pending_log_count(), 0u);
+  // Scheduler events are among them.
+  bool sched = false;
+  for (const auto& e : logs) {
+    if (e.facility == core::LogFacility::kScheduler) sched = true;
+  }
+  EXPECT_TRUE(sched);
+}
+
+TEST(ClusterTest, WorkloadKeepsMachineBusy) {
+  auto params = small_params();
+  Cluster c(params);
+  WorkloadParams w;
+  w.mean_interarrival = 20 * core::kSecond;
+  w.max_nodes = 16;
+  w.median_runtime = 2 * core::kMinute;
+  c.start_workload(w);
+  c.run_for(20 * core::kMinute);
+  // The machine is deliberately undersized for this arrival rate: jobs
+  // complete continuously while a backlog builds.
+  EXPECT_GT(c.scheduler().completed_jobs().size(), 10u);
+  EXPECT_GT(c.scheduler().queue_depth(), 0);
+}
+
+TEST(ClusterTest, MemLeakFaultDrainsFreeMemory) {
+  Cluster c(small_params());
+  const double before = c.node_mem_free_gb(3);
+  c.inject_mem_leak(10 * core::kSecond, 3, 3600.0, core::kHour);  // 1 GB/s
+  c.run_for(2 * core::kMinute);
+  EXPECT_LT(c.node_mem_free_gb(3), before - 50.0);
+  ASSERT_EQ(c.fault_log().size(), 1u);
+  EXPECT_EQ(c.fault_log()[0].kind, "mem_leak");
+}
+
+TEST(ClusterTest, NodeHangFaultSetsAndClears) {
+  Cluster c(small_params());
+  c.inject_node_hang(10 * core::kSecond, 5, 30 * core::kSecond);
+  c.run_for(20 * core::kSecond);
+  EXPECT_TRUE(c.node_state(5).hung);
+  c.run_for(core::kMinute);
+  EXPECT_FALSE(c.node_state(5).hung);
+}
+
+TEST(ClusterTest, FsUnmountFaultVisibleToHealthChecks) {
+  Cluster c(small_params());
+  c.inject_fs_unmount(core::kSecond, 7, 10 * core::kSecond);
+  c.run_for(5 * core::kSecond);
+  EXPECT_FALSE(c.node_state(7).fs_mounted);
+  c.run_for(30 * core::kSecond);
+  EXPECT_TRUE(c.node_state(7).fs_mounted);
+}
+
+TEST(ClusterTest, GpuFailureInjection) {
+  Cluster c(small_params());
+  c.inject_gpu_failure(core::kSecond, 0);
+  c.run_for(5 * core::kSecond);
+  EXPECT_EQ(c.gpus().health(0), GpuHealth::kFailed);
+}
+
+TEST(ClusterTest, LogStormFloodsConsole) {
+  Cluster c(small_params());
+  c.run_for(10 * core::kSecond);
+  c.drain_logs();
+  c.inject_log_storm(c.now() + core::kSecond, 10 * core::kSecond, 20,
+                     "mce: hardware error");
+  c.run_for(30 * core::kSecond);
+  const auto logs = c.drain_logs();
+  int storm = 0;
+  for (const auto& e : logs) {
+    if (e.message.find("mce") != std::string::npos) ++storm;
+  }
+  EXPECT_GE(storm, 150);  // ~20/tick for ~9-10 ticks
+}
+
+TEST(ClusterTest, LinkDownEmitsFailAndRecoverLogs) {
+  Cluster c(small_params());
+  c.inject_link_down(5 * core::kSecond, 0, 20 * core::kSecond);
+  c.run_for(core::kMinute);
+  const auto logs = c.drain_logs();
+  bool fail = false;
+  bool recover = false;
+  for (const auto& e : logs) {
+    if (e.message.find("link failed") != std::string::npos) fail = true;
+    if (e.message.find("link recovered") != std::string::npos) recover = true;
+  }
+  EXPECT_TRUE(fail);
+  EXPECT_TRUE(recover);
+}
+
+TEST(ClusterTest, DriftedClocksDiverge) {
+  auto params = small_params();
+  params.clock_drift = true;
+  params.drift_skew_ppm_sigma = 200.0;
+  Cluster c(params);
+  c.run_for(core::kHour);
+  // Different nodes should read different local times.
+  const auto t0 = c.node_local_time(0);
+  const auto t1 = c.node_local_time(1);
+  const auto t2 = c.node_local_time(2);
+  EXPECT_TRUE(t0 != t1 || t1 != t2);
+  // Drift magnitude is bounded but nonzero after an hour.
+  EXPECT_NE(t0, c.now());
+}
+
+TEST(ClusterTest, NoDriftMeansGlobalTime) {
+  Cluster c(small_params());
+  c.run_for(core::kMinute);
+  EXPECT_EQ(c.node_local_time(0), c.now());
+}
+
+}  // namespace
+}  // namespace hpcmon::sim

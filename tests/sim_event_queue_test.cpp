@@ -1,0 +1,52 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpcmon::sim {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&](core::TimePoint) { order.push_back(3); });
+  q.schedule_at(10, [&](core::TimePoint) { order.push_back(1); });
+  q.schedule_at(20, [&](core::TimePoint) { order.push_back(2); });
+  EXPECT_EQ(q.run_until(25), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.run_until(100), 1u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(10, [&order, i](core::TimePoint) { order.push_back(i); });
+  }
+  q.run_until(10);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, EventsMayScheduleWithinWindow) {
+  EventQueue q;
+  std::vector<core::TimePoint> fired;
+  q.schedule_at(5, [&](core::TimePoint t) {
+    fired.push_back(t);
+    q.schedule_at(7, [&](core::TimePoint t2) { fired.push_back(t2); });
+  });
+  EXPECT_EQ(q.run_until(10), 2u);  // the nested event also runs
+  EXPECT_EQ(fired, (std::vector<core::TimePoint>{5, 7}));
+}
+
+TEST(EventQueueTest, ScheduleEveryRepeats) {
+  EventQueue q;
+  int count = 0;
+  q.schedule_every(10, 10, [&](core::TimePoint) { ++count; });
+  q.run_until(55);
+  EXPECT_EQ(count, 5);  // t = 10, 20, 30, 40, 50
+  EXPECT_FALSE(q.empty());  // next repetition is pending
+  EXPECT_EQ(q.next_time(), 60);
+}
+
+}  // namespace
+}  // namespace hpcmon::sim

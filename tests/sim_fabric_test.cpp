@@ -1,0 +1,147 @@
+#include "sim/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+
+namespace hpcmon::sim {
+namespace {
+
+struct FabricFixture {
+  core::MetricRegistry reg;
+  MachineShape shape;
+  std::unique_ptr<Topology> topo;
+  std::unique_ptr<Fabric> fabric;
+  std::vector<core::LogEvent> logs;
+
+  explicit FabricFixture(FabricKind kind = FabricKind::kTorus3D,
+                         FabricParams params = {}) {
+    shape.cabinets = 2;
+    shape.chassis_per_cabinet = 2;
+    shape.blades_per_chassis = 4;
+    shape.nodes_per_blade = 4;
+    topo = std::make_unique<Topology>(reg, shape, kind);
+    fabric = std::make_unique<Fabric>(*topo, params, core::Rng(1));
+  }
+};
+
+TEST(FabricTest, RoutesExistAndAreMinimalHopPaths) {
+  FabricFixture f;
+  // Same-blade nodes share a router: empty route.
+  EXPECT_TRUE(f.fabric->route(0, 1).empty());
+  // Adjacent blades (routers 0 and 1 on the x ring): one hop.
+  const auto& r01 = f.fabric->route(0, 4);
+  EXPECT_EQ(r01.size(), 1u);
+  // Two blades apart on the x ring: two hops either way round.
+  EXPECT_EQ(f.fabric->route(0, 8).size(), 2u);
+  // Route endpoints connect the right routers.
+  const auto& path = f.fabric->route(0, f.topo->num_nodes() - 1);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(f.topo->link(path.front()).src_router, f.topo->router_of_node(0));
+  EXPECT_EQ(f.topo->link(path.back()).dst_router,
+            f.topo->router_of_node(f.topo->num_nodes() - 1));
+  // Consecutive links chain.
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    EXPECT_EQ(f.topo->link(path[i - 1]).dst_router,
+              f.topo->link(path[i]).src_router);
+  }
+}
+
+TEST(FabricTest, DragonflyRoutesAreShort) {
+  FabricFixture f(FabricKind::kDragonfly);
+  // Max minimal path: intra + global + intra = 3 hops.
+  for (int dst : {1, 20, 40, 63}) {
+    const auto& path = f.fabric->route(0, dst);
+    EXPECT_LE(path.size(), 3u);
+  }
+}
+
+TEST(FabricTest, UncongestedFlowDeliversFullBandwidth) {
+  FabricFixture f;
+  f.fabric->set_job_flows(core::JobId{1}, {{0, 8, 2.0}});
+  f.fabric->tick(core::kSecond, core::kSecond, f.logs);
+  EXPECT_NEAR(f.fabric->node_injection_gbps(0), 2.0, 1e-9);
+  EXPECT_NEAR(f.fabric->job_delivered_fraction(core::JobId{1}), 1.0, 1e-9);
+  EXPECT_NEAR(f.fabric->job_path_stall(core::JobId{1}), 0.0, 1e-9);
+  // Counters advanced: 2 Gbit/s for 1 s = 0.25 GB.
+  const auto& path = f.fabric->route(0, 8);
+  ASSERT_FALSE(path.empty());
+  EXPECT_NEAR(f.fabric->link_state(path[0]).traffic_bytes, 2.0e9 / 8.0, 1e3);
+}
+
+TEST(FabricTest, NicCapacityLimitsInjection) {
+  FabricFixture f;
+  // One node sources 3 flows of 4 Gbps each = 12 > 8 Gbps NIC.
+  f.fabric->set_job_flows(core::JobId{1},
+                          {{0, 8, 4.0}, {0, 16, 4.0}, {0, 24, 4.0}});
+  f.fabric->tick(core::kSecond, core::kSecond, f.logs);
+  EXPECT_NEAR(f.fabric->node_injection_gbps(0), 8.0, 1e-6);
+  EXPECT_NEAR(f.fabric->node_injection_utilization(0), 1.0, 1e-6);
+}
+
+TEST(FabricTest, LinkOversubscriptionCausesStalls) {
+  FabricFixture f;
+  // Many flows crossing the same first-hop link (router 0 -> router 1):
+  // demand 4 x 4 = 16 Gbps on a 10 Gbps link.
+  f.fabric->set_job_flows(core::JobId{1}, {{0, 4, 4.0},
+                                           {1, 5, 4.0},
+                                           {2, 6, 4.0},
+                                           {3, 7, 4.0}});
+  f.fabric->tick(core::kSecond, core::kSecond, f.logs);
+  const auto& path = f.fabric->route(0, 4);
+  ASSERT_EQ(path.size(), 1u);
+  const auto& link = f.fabric->link_state(path[0]);
+  EXPECT_GT(link.stall_rate, 0.0);
+  EXPECT_NEAR(link.demand_gbps, 16.0, 1e-9);
+  EXPECT_LE(link.carried_gbps, 10.0 + 1e-9);
+  EXPECT_LT(f.fabric->job_delivered_fraction(core::JobId{1}), 1.0);
+  EXPECT_GT(f.fabric->job_path_stall(core::JobId{1}), 0.0);
+}
+
+TEST(FabricTest, LinkDownReroutes) {
+  FabricFixture f;
+  const auto path_before = f.fabric->route(0, 4);
+  ASSERT_EQ(path_before.size(), 1u);
+  f.fabric->set_link_up(path_before[0], false);
+  const auto& path_after = f.fabric->route(0, 4);
+  ASSERT_FALSE(path_after.empty());
+  for (const int li : path_after) EXPECT_NE(li, path_before[0]);
+  // Traffic still flows.
+  f.fabric->set_job_flows(core::JobId{1}, {{0, 4, 1.0}});
+  f.fabric->tick(core::kSecond, core::kSecond, f.logs);
+  EXPECT_NEAR(f.fabric->node_injection_gbps(0), 1.0, 1e-9);
+}
+
+TEST(FabricTest, BerMultiplierRaisesBitErrors) {
+  FabricParams params;
+  params.base_ber = 1e-9;  // high enough to observe
+  FabricFixture f(FabricKind::kTorus3D, params);
+  f.fabric->set_job_flows(core::JobId{1}, {{0, 8, 5.0}});
+  const auto& path = f.fabric->route(0, 8);
+  ASSERT_FALSE(path.empty());
+  // Baseline errors over 100 ticks.
+  for (int i = 1; i <= 100; ++i) {
+    f.fabric->tick(i * core::kSecond, core::kSecond, f.logs);
+  }
+  const double base_errors = f.fabric->link_state(path[0]).bit_errors;
+  f.fabric->set_link_ber_multiplier(path[0], 100.0);
+  for (int i = 101; i <= 200; ++i) {
+    f.fabric->tick(i * core::kSecond, core::kSecond, f.logs);
+  }
+  const double burst_errors =
+      f.fabric->link_state(path[0]).bit_errors - base_errors;
+  EXPECT_GT(burst_errors, base_errors * 10);
+}
+
+TEST(FabricTest, ClearJobFlowsStopsTraffic) {
+  FabricFixture f;
+  f.fabric->set_job_flows(core::JobId{1}, {{0, 8, 2.0}});
+  f.fabric->tick(core::kSecond, core::kSecond, f.logs);
+  EXPECT_GT(f.fabric->node_injection_gbps(0), 0.0);
+  f.fabric->clear_job_flows(core::JobId{1});
+  f.fabric->tick(2 * core::kSecond, core::kSecond, f.logs);
+  EXPECT_EQ(f.fabric->node_injection_gbps(0), 0.0);
+}
+
+}  // namespace
+}  // namespace hpcmon::sim

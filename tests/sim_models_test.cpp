@@ -1,0 +1,240 @@
+// FsModel, PowerModel, GpuFleet, apps, workload.
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "sim/apps.hpp"
+#include "sim/filesystem.hpp"
+#include "sim/gpu.hpp"
+#include "sim/power.hpp"
+#include "sim/workload.hpp"
+
+namespace hpcmon::sim {
+namespace {
+
+MachineShape tiny_shape() {
+  MachineShape s;
+  s.cabinets = 2;
+  s.chassis_per_cabinet = 1;
+  s.blades_per_chassis = 2;
+  s.nodes_per_blade = 4;
+  s.gpu_node_fraction = 0.5;
+  s.filesystems = 1;
+  s.osts_per_filesystem = 4;
+  return s;
+}
+
+struct ModelsFixture {
+  core::MetricRegistry reg;
+  Topology topo{reg, tiny_shape(), FabricKind::kTorus3D};
+  std::vector<core::LogEvent> logs;
+};
+
+TEST(FsModelTest, UnloadedLatencyIsBaseline) {
+  ModelsFixture f;
+  FsParams p;
+  FsModel fs(f.topo, p, core::Rng(1));
+  fs.begin_tick();
+  fs.tick(core::kSecond, core::kSecond, f.logs);
+  EXPECT_NEAR(fs.ost_state(0, 0).latency_ms, p.base_io_latency_ms, 1e-9);
+  EXPECT_NEAR(fs.mds_state(0).latency_ms, p.base_md_latency_ms, 1e-9);
+  EXPECT_NEAR(fs.io_slowdown(0), 1.0, 1e-9);
+}
+
+TEST(FsModelTest, LoadInflatesLatencyAndCapsThroughput) {
+  ModelsFixture f;
+  FsParams p;  // 2000 MB/s per OST
+  FsModel fs(f.topo, p, core::Rng(1));
+  fs.begin_tick();
+  // Node 0 -> OST 0 with 4x the OST's bandwidth.
+  fs.add_demand(0, 0, 8000.0, 0.0, 0.0);
+  fs.tick(core::kSecond, core::kSecond, f.logs);
+  const auto& ost = fs.ost_state(0, 0);
+  EXPECT_NEAR(ost.carried, 2000.0, 1e-9);
+  EXPECT_GT(ost.latency_ms, p.base_io_latency_ms * 10);
+  EXPECT_GT(fs.io_slowdown(0), 1.0);
+  // Counter advanced by carried bytes only.
+  EXPECT_NEAR(ost.read_bytes, 2000.0 * 1e6, 1.0);
+}
+
+TEST(FsModelTest, StripingSpreadsNodesOverOsts) {
+  ModelsFixture f;
+  FsModel fs(f.topo, {}, core::Rng(1));
+  fs.begin_tick();
+  for (int n = 0; n < 4; ++n) fs.add_demand(0, n, 100.0, 0.0, 0.0);
+  fs.tick(core::kSecond, core::kSecond, f.logs);
+  for (int o = 0; o < 4; ++o) {
+    EXPECT_NEAR(fs.ost_state(0, o).demand, 100.0, 1e-9);
+  }
+  EXPECT_NEAR(fs.fs_read_mbps(0), 400.0, 1e-9);
+  EXPECT_NEAR(fs.node_read_mbps(2), 100.0, 1e-9);
+}
+
+TEST(FsModelTest, SlowdownFaultRaisesLatencyAndLogs) {
+  ModelsFixture f;
+  FsModel fs(f.topo, {}, core::Rng(1));
+  fs.set_ost_slowdown(0, 1, 5.0);
+  fs.begin_tick();
+  fs.add_demand(0, 1, 500.0, 0.0, 0.0);  // node 1 -> ost 1
+  fs.tick(core::kSecond, core::kSecond, f.logs);
+  EXPECT_GT(fs.ost_state(0, 1).latency_ms, 5.0);
+  EXPECT_FALSE(f.logs.empty());  // "OST slow ios" logged
+}
+
+TEST(FsModelTest, MdsSaturationLogsWarning) {
+  ModelsFixture f;
+  FsParams p;
+  FsModel fs(f.topo, p, core::Rng(1));
+  fs.begin_tick();
+  fs.add_demand(0, 0, 0.0, 0.0, p.mds_ops_capacity * 2);
+  fs.tick(core::kSecond, core::kSecond, f.logs);
+  bool found = false;
+  for (const auto& e : f.logs) {
+    if (e.message.find("MDS request queue saturated") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PowerModelTest, IdleAndBusyDraw) {
+  ModelsFixture f;
+  PowerParams p;
+  p.noise_w = 0.0;
+  PowerModel pm(f.topo, p, core::Rng(1));
+  std::vector<NodeState> nodes(f.topo.num_nodes());
+  pm.tick(core::kSecond, core::kSecond, nodes, f.logs);
+  // Idle node with GPU (first half of nodes have GPUs).
+  EXPECT_NEAR(pm.node_power_w(0), p.node_idle_w + p.gpu_idle_w, 1e-6);
+  // Idle node without GPU.
+  EXPECT_NEAR(pm.node_power_w(f.topo.num_nodes() - 1), p.node_idle_w, 1e-6);
+
+  for (auto& n : nodes) n.cpu_util = 1.0;
+  pm.tick(2 * core::kSecond, core::kSecond, nodes, f.logs);
+  EXPECT_NEAR(pm.node_power_w(f.topo.num_nodes() - 1), p.node_peak_w, 1e-6);
+  // Cabinet = blower + sum of nodes.
+  double cab0 = p.blower_w_per_cabinet;
+  for (const int n : f.topo.nodes_in_cabinet(0)) cab0 += pm.node_power_w(n);
+  EXPECT_NEAR(pm.cabinet_power_w(0), cab0, 1e-6);
+  EXPECT_NEAR(pm.system_power_w(),
+              pm.cabinet_power_w(0) + pm.cabinet_power_w(1), 1e-6);
+  EXPECT_GT(pm.energy_joules(), 0.0);
+}
+
+TEST(PowerModelTest, TemperatureTracksLoad) {
+  ModelsFixture f;
+  PowerParams p;
+  p.noise_w = 0.0;
+  PowerModel pm(f.topo, p, core::Rng(1));
+  std::vector<NodeState> nodes(f.topo.num_nodes());
+  pm.tick(core::kSecond, core::kSecond, nodes, f.logs);
+  const double idle_temp = pm.cabinet_temp_c(0);
+  for (auto& n : nodes) n.cpu_util = 1.0;
+  pm.tick(2 * core::kSecond, core::kSecond, nodes, f.logs);
+  EXPECT_GT(pm.cabinet_temp_c(0), idle_temp);
+}
+
+TEST(PowerModelTest, CorrosionExcursionLogsAshraeBreach) {
+  ModelsFixture f;
+  PowerModel pm(f.topo, {}, core::Rng(1));
+  std::vector<NodeState> nodes(f.topo.num_nodes());
+  pm.set_corrosion_excursion(30.0, 10 * core::kSecond);
+  pm.tick(core::kSecond, core::kSecond, nodes, f.logs);
+  EXPECT_GT(pm.facility().corrosion_ppb, 10.0);
+  bool breach = false;
+  for (const auto& e : f.logs) {
+    if (e.facility == core::LogFacility::kFacilityEnv) breach = true;
+  }
+  EXPECT_TRUE(breach);
+  // After the excursion window, level returns to baseline.
+  f.logs.clear();
+  pm.tick(20 * core::kSecond, core::kSecond, nodes, f.logs);
+  EXPECT_LT(pm.facility().corrosion_ppb, 10.0);
+}
+
+TEST(GpuFleetTest, HealthyFleetPassesDiagnostics) {
+  ModelsFixture f;
+  GpuFleet gpus(f.topo, {}, core::Rng(1));
+  EXPECT_EQ(gpus.num_gpus(), f.topo.num_nodes() / 2);
+  for (const int n : gpus.gpu_nodes()) {
+    EXPECT_TRUE(gpus.run_diagnostic(n));
+    EXPECT_EQ(gpus.health(n), GpuHealth::kOk);
+  }
+  // Non-GPU node trivially passes.
+  EXPECT_TRUE(gpus.run_diagnostic(f.topo.num_nodes() - 1));
+}
+
+TEST(GpuFleetTest, FailedGpuAlwaysCaught) {
+  ModelsFixture f;
+  GpuFleet gpus(f.topo, {}, core::Rng(1));
+  const int victim = gpus.gpu_nodes()[0];
+  gpus.force_health(victim, GpuHealth::kFailed);
+  EXPECT_FALSE(gpus.run_diagnostic(victim));
+  EXPECT_EQ(gpus.count(GpuHealth::kFailed), 1);
+  gpus.repair(victim);
+  EXPECT_EQ(gpus.health(victim), GpuHealth::kOk);
+  EXPECT_EQ(gpus.damage(victim), 0.0);
+}
+
+TEST(GpuFleetTest, CorrosionAcceleratesDegradation) {
+  ModelsFixture f;
+  GpuParams p;
+  GpuFleet clean(f.topo, p, core::Rng(7));
+  GpuFleet corroded(f.topo, p, core::Rng(7));
+  std::vector<core::LogEvent> logs;
+  // Simulate 60 days in 1-hour steps: clean room vs 40 ppb excess sulfur.
+  for (int h = 0; h < 24 * 60; ++h) {
+    clean.tick(h * core::kHour, core::kHour, 3.0, logs);
+    corroded.tick(h * core::kHour, core::kHour, 50.0, logs);
+  }
+  const int clean_bad = clean.count(GpuHealth::kDegraded) +
+                        clean.count(GpuHealth::kFailed);
+  const int corroded_bad = corroded.count(GpuHealth::kDegraded) +
+                           corroded.count(GpuHealth::kFailed);
+  EXPECT_GT(corroded_bad, clean_bad);
+  EXPECT_GT(corroded.damage(corroded.gpu_nodes()[0]), 0.0);
+  EXPECT_EQ(clean.damage(clean.gpu_nodes()[0]), 0.0);
+}
+
+TEST(AppProfileTest, PhaseSelection) {
+  const auto app = app_io_checkpoint();
+  EXPECT_EQ(app.phase_at(0.0), 0);
+  EXPECT_EQ(app.phase_at(0.45), 1);   // checkpoint phase
+  EXPECT_EQ(app.phase_at(0.60), 2);
+  EXPECT_EQ(app.phase_at(0.95), 3);
+  EXPECT_EQ(app.phase_at(1.5), 3);    // clamped to last
+}
+
+TEST(AppProfileTest, ImbalancedProfileHasPartialActiveFraction) {
+  const auto app = app_imbalanced();
+  const int mid = app.phase_at(0.5);
+  EXPECT_LT(app.phases[mid].active_fraction, 0.5);
+  EXPECT_EQ(app.phases[app.phase_at(0.05)].active_fraction, 1.0);
+}
+
+TEST(WorkloadTest, RequestsWithinBounds) {
+  WorkloadParams p;
+  p.min_nodes = 2;
+  p.max_nodes = 32;
+  WorkloadGenerator gen(p, core::Rng(5));
+  for (int i = 0; i < 200; ++i) {
+    const auto req = gen.next_request();
+    EXPECT_GE(req.num_nodes, 2);
+    EXPECT_LE(req.num_nodes, 32);
+    EXPECT_GE(req.nominal_runtime, p.min_runtime);
+    EXPECT_FALSE(req.profile.name.empty());
+    EXPECT_GT(gen.next_interarrival(), 0);
+  }
+}
+
+TEST(WorkloadTest, WeightsBiasTheMix) {
+  WorkloadParams p;
+  p.mix = {app_compute_bound(), app_aggressor()};
+  p.weights = {0.0, 1.0};
+  WorkloadGenerator gen(p, core::Rng(5));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(gen.next_request().profile.name, "aggressor");
+  }
+}
+
+}  // namespace
+}  // namespace hpcmon::sim

@@ -1,0 +1,101 @@
+// DVFS / p-state behaviour: power scaling, Amdahl runtime scaling, and the
+// compute-vs-communication asymmetry the SNL sweeps exploit.
+#include <gtest/gtest.h>
+
+#include "sim/cluster.hpp"
+
+namespace hpcmon::sim {
+namespace {
+
+ClusterParams params() {
+  ClusterParams p;
+  p.shape.cabinets = 1;
+  p.shape.chassis_per_cabinet = 2;
+  p.shape.blades_per_chassis = 4;
+  p.shape.nodes_per_blade = 4;  // 32 nodes
+  p.power.noise_w = 0.0;
+  p.seed = 5;
+  return p;
+}
+
+core::Duration run_job(AppProfile profile, double pstate) {
+  Cluster cluster(params());
+  cluster.set_all_pstates(pstate);
+  JobRequest req;
+  req.num_nodes = 32;
+  req.nominal_runtime = 2 * core::kMinute;
+  req.profile = std::move(profile);
+  const auto id = cluster.scheduler().submit(0, std::move(req));
+  while (cluster.scheduler().job(id)->state != JobState::kCompleted) {
+    cluster.run_for(core::kSecond);
+    if (cluster.now() > core::kHour) return -1;
+  }
+  return cluster.scheduler().job(id)->actual_runtime();
+}
+
+TEST(PstateTest, ClampedToValidRange) {
+  Cluster cluster(params());
+  cluster.set_node_pstate(0, 2.0);
+  EXPECT_DOUBLE_EQ(cluster.node_state(0).pstate, 1.0);
+  cluster.set_node_pstate(0, 0.1);
+  EXPECT_DOUBLE_EQ(cluster.node_state(0).pstate, 0.4);
+  cluster.set_node_pstate(0, 0.75);
+  EXPECT_DOUBLE_EQ(cluster.node_state(0).pstate, 0.75);
+}
+
+TEST(PstateTest, DynamicPowerScalesCubically) {
+  Cluster full(params());
+  Cluster half(params());
+  half.set_all_pstates(0.5);
+  // Identical full-machine compute load.
+  for (auto* c : {&full, &half}) {
+    JobRequest req;
+    req.num_nodes = 32;
+    req.nominal_runtime = 10 * core::kMinute;
+    req.profile = app_network_heavy();  // constant single phase
+    c->scheduler().submit(0, std::move(req));
+    c->run_for(core::kMinute);
+  }
+  const auto& pp = params().power;
+  const double full_dyn = full.power().node_power_w(0) - pp.node_idle_w;
+  const double half_dyn = half.power().node_power_w(0) - pp.node_idle_w;
+  EXPECT_NEAR(half_dyn / full_dyn, 0.125, 0.03);  // (0.5)^3
+}
+
+TEST(PstateTest, ComputeBoundSlowsLikeOneOverF) {
+  // Pure-compute profile: Amdahl with cpu_share ~ 0.95.
+  auto app = app_network_heavy();
+  app.phases[0].net_gbps_per_node = 0.0;  // remove the fabric term
+  app.phases[0].cpu_util = 1.0;
+  const auto t_full = run_job(app, 1.0);
+  const auto t_half = run_job(app, 0.5);
+  ASSERT_GT(t_full, 0);
+  ASSERT_GT(t_half, 0);
+  EXPECT_NEAR(static_cast<double>(t_half) / static_cast<double>(t_full), 2.0,
+              0.15);
+}
+
+TEST(PstateTest, LowCpuPhasesBarelySlow) {
+  auto app = app_network_heavy();
+  app.phases[0].cpu_util = 0.2;  // mostly waiting on the fabric
+  app.phases[0].net_gbps_per_node = 0.0;
+  const auto t_full = run_job(app, 1.0);
+  const auto t_half = run_job(app, 0.5);
+  const double slowdown =
+      static_cast<double>(t_half) / static_cast<double>(t_full);
+  EXPECT_LT(slowdown, 1.35);  // Amdahl: 0.2/0.5 + 0.8 = 1.2
+  EXPECT_GT(slowdown, 1.05);
+}
+
+TEST(PstateTest, PerNodeKnobIsIndependent) {
+  Cluster cluster(params());
+  cluster.set_node_pstate(3, 0.6);
+  EXPECT_DOUBLE_EQ(cluster.node_state(3).pstate, 0.6);
+  EXPECT_DOUBLE_EQ(cluster.node_state(4).pstate, 1.0);
+  // Survives ticks (it is configuration, not load).
+  cluster.run_for(10 * core::kSecond);
+  EXPECT_DOUBLE_EQ(cluster.node_state(3).pstate, 0.6);
+}
+
+}  // namespace
+}  // namespace hpcmon::sim

@@ -1,0 +1,226 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "sim/filesystem.hpp"
+
+namespace hpcmon::sim {
+namespace {
+
+struct SchedFixture {
+  core::MetricRegistry reg;
+  MachineShape shape;
+  std::unique_ptr<Topology> topo;
+  std::unique_ptr<Fabric> fabric;
+  std::unique_ptr<FsModel> fs;
+  std::unique_ptr<Scheduler> sched;
+  std::vector<NodeState> nodes;
+  std::vector<core::LogEvent> logs;
+  core::TimePoint now = 0;
+
+  explicit SchedFixture(PlacementPolicy policy = PlacementPolicy::kFirstFit) {
+    shape.cabinets = 2;
+    shape.chassis_per_cabinet = 2;
+    shape.blades_per_chassis = 4;
+    shape.nodes_per_blade = 4;  // 64 nodes
+    topo = std::make_unique<Topology>(reg, shape, FabricKind::kTorus3D);
+    fabric = std::make_unique<Fabric>(*topo, FabricParams{}, core::Rng(1));
+    fs = std::make_unique<FsModel>(*topo, FsParams{}, core::Rng(2));
+    sched = std::make_unique<Scheduler>(*topo, *fabric, *fs, policy,
+                                        core::Rng(3));
+    nodes.resize(topo->num_nodes());
+  }
+
+  void tick() {
+    now += core::kSecond;
+    sched->apply_loads(now, nodes);
+    fabric->tick(now, core::kSecond, logs);
+    fs->tick(now, core::kSecond, logs);
+    sched->advance(now, core::kSecond, nodes, logs);
+  }
+
+  JobRequest request(int n, core::Duration runtime,
+                     AppProfile profile = app_compute_bound()) {
+    JobRequest r;
+    r.num_nodes = n;
+    r.nominal_runtime = runtime;
+    r.profile = std::move(profile);
+    return r;
+  }
+};
+
+TEST(SchedulerTest, JobRunsToCompletionOnTime) {
+  SchedFixture f;
+  const auto id = f.sched->submit(0, f.request(8, 10 * core::kSecond));
+  EXPECT_EQ(f.sched->queue_depth(), 1);
+  f.tick();
+  EXPECT_EQ(f.sched->queue_depth(), 0);
+  EXPECT_EQ(f.sched->running_count(), 1);
+  const auto* rec = f.sched->job(id);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->nodes.size(), 8u);
+  for (int i = 0; i < 12; ++i) f.tick();
+  EXPECT_EQ(f.sched->job(id)->state, JobState::kCompleted);
+  // A compute job with no contention finishes in ~nominal time.
+  EXPECT_LE(f.sched->job(id)->actual_runtime(), 12 * core::kSecond);
+  EXPECT_EQ(f.sched->running_count(), 0);
+}
+
+TEST(SchedulerTest, NodesAreExclusive) {
+  SchedFixture f;
+  f.sched->submit(0, f.request(40, core::kMinute));
+  f.sched->submit(0, f.request(40, core::kMinute));
+  f.tick();
+  // Only one 40-node job fits in 64 nodes.
+  EXPECT_EQ(f.sched->running_count(), 1);
+  EXPECT_EQ(f.sched->queue_depth(), 1);
+  // Node ownership is consistent.
+  int owned = 0;
+  for (int i = 0; i < f.topo->num_nodes(); ++i) {
+    if (f.sched->job_on_node(i) != core::kNoJob) ++owned;
+  }
+  EXPECT_EQ(owned, 40);
+}
+
+TEST(SchedulerTest, BackfillStartsSmallJobBehindBlockedLarge) {
+  SchedFixture f;
+  f.sched->submit(0, f.request(60, core::kMinute));  // takes most nodes
+  f.sched->submit(0, f.request(60, core::kMinute));  // blocked
+  f.sched->submit(0, f.request(4, core::kMinute));   // backfills
+  f.tick();
+  EXPECT_EQ(f.sched->running_count(), 2);  // large + small
+  EXPECT_EQ(f.sched->queue_depth(), 1);
+}
+
+TEST(SchedulerTest, TopoAwarePlacementIsCompact) {
+  SchedFixture ff(PlacementPolicy::kFirstFit);
+  SchedFixture rand(PlacementPolicy::kRandom);
+  SchedFixture topo(PlacementPolicy::kTopoAware);
+  // Fragment the machine: occupy alternating blocks with small jobs, then
+  // place a larger job.
+  for (auto* f : {&ff, &rand, &topo}) {
+    for (int i = 0; i < 6; ++i) {
+      f->sched->submit(0, f->request(4, core::kHour));
+    }
+    f->tick();
+    f->sched->submit(0, f->request(16, core::kMinute));
+    f->tick();
+  }
+  // Topology-aware span should be no worse than random placement's span.
+  EXPECT_LE(topo.sched->mean_placement_span(),
+            rand.sched->mean_placement_span());
+}
+
+TEST(SchedulerTest, UnavailableNodesAreSkipped) {
+  SchedFixture f;
+  for (int i = 0; i < 32; ++i) f.sched->set_node_available(i, false);
+  const auto id = f.sched->submit(0, f.request(20, core::kMinute));
+  f.tick();
+  EXPECT_EQ(f.sched->job(id)->state, JobState::kRunning);
+  for (const int n : f.sched->job(id)->nodes) EXPECT_GE(n, 32);
+}
+
+TEST(SchedulerTest, PreCheckQuarantinesFailingNodes) {
+  SchedFixture f;
+  std::vector<int> checked;
+  f.sched->set_pre_job_check([&](int node) {
+    checked.push_back(node);
+    return node != 0;  // node 0 always fails
+  });
+  const auto id = f.sched->submit(0, f.request(8, core::kMinute));
+  f.tick();
+  EXPECT_EQ(f.sched->job(id)->state, JobState::kRunning);
+  for (const int n : f.sched->job(id)->nodes) EXPECT_NE(n, 0);
+  EXPECT_FALSE(f.sched->node_available(0));
+  EXPECT_FALSE(checked.empty());
+}
+
+TEST(SchedulerTest, PostCheckQuarantinesAfterJob) {
+  SchedFixture f;
+  f.sched->set_post_job_check([](int node) { return node != 1; });
+  f.sched->submit(0, f.request(4, 5 * core::kSecond));
+  for (int i = 0; i < 10; ++i) f.tick();
+  EXPECT_FALSE(f.sched->node_available(1));
+  EXPECT_TRUE(f.sched->node_available(2));
+}
+
+TEST(SchedulerTest, ProblemProbeMarksJobs) {
+  SchedFixture f;
+  f.sched->set_node_problem_probe([](int node) { return node == 2; });
+  const auto id = f.sched->submit(0, f.request(4, 5 * core::kSecond));
+  for (int i = 0; i < 10; ++i) f.tick();
+  EXPECT_TRUE(f.sched->job(id)->saw_problem);
+}
+
+TEST(SchedulerTest, HungNodeStallsJob) {
+  SchedFixture f;
+  const auto id = f.sched->submit(0, f.request(4, 5 * core::kSecond));
+  f.tick();
+  const auto n0 = f.sched->job(id)->nodes[0];
+  f.nodes[n0].hung = true;
+  for (int i = 0; i < 20; ++i) f.tick();
+  EXPECT_EQ(f.sched->job(id)->state, JobState::kRunning);  // stuck forever
+  f.nodes[n0].hung = false;
+  for (int i = 0; i < 10; ++i) f.tick();
+  EXPECT_EQ(f.sched->job(id)->state, JobState::kCompleted);
+}
+
+TEST(SchedulerTest, CongestionSlowsNetworkSensitiveJob) {
+  SchedFixture quiet;
+  SchedFixture noisy;
+  // Identical victim job; noisy fixture adds an external traffic storm
+  // crossing the whole fabric.
+  auto victim_req = quiet.request(8, 20 * core::kSecond, app_network_heavy());
+  const auto qid = quiet.sched->submit(0, victim_req);
+  const auto nid = noisy.sched->submit(0, victim_req);
+  // External flows on the noisy fabric riding exactly the victim's links
+  // (the victim's 8 nodes sit on routers 0 and 1; its ring crosses the
+  // router 0 <-> router 1 links).
+  std::vector<Flow> storm;
+  for (int i = 0; i < 4; ++i) storm.push_back({i, i + 4, 6.0});
+  for (int i = 4; i < 8; ++i) storm.push_back({i, i - 4, 6.0});
+  noisy.fabric->set_job_flows(core::JobId{999}, storm);
+  int q_ticks = 0;
+  int n_ticks = 0;
+  while (quiet.sched->job(qid)->state == JobState::kRunning || q_ticks == 0) {
+    quiet.tick();
+    if (++q_ticks > 500) break;
+  }
+  while (noisy.sched->job(nid)->state == JobState::kRunning || n_ticks == 0) {
+    noisy.tick();
+    if (++n_ticks > 500) break;
+  }
+  EXPECT_GT(n_ticks, q_ticks);  // congestion inflated the victim's runtime
+}
+
+TEST(SchedulerTest, CallbacksFire) {
+  SchedFixture f;
+  int starts = 0;
+  int ends = 0;
+  f.sched->set_on_start([&](const JobRecord&) { ++starts; });
+  f.sched->set_on_end([&](const JobRecord&) { ++ends; });
+  f.sched->submit(0, f.request(4, 3 * core::kSecond));
+  for (int i = 0; i < 8; ++i) f.tick();
+  EXPECT_EQ(starts, 1);
+  EXPECT_EQ(ends, 1);
+  EXPECT_EQ(f.sched->completed_jobs().size(), 1u);
+}
+
+TEST(SchedulerTest, SchedulerEmitsJobLogs) {
+  SchedFixture f;
+  f.sched->submit(0, f.request(4, 3 * core::kSecond));
+  for (int i = 0; i < 8; ++i) f.tick();
+  int start_logs = 0;
+  int end_logs = 0;
+  for (const auto& e : f.logs) {
+    if (e.facility != core::LogFacility::kScheduler) continue;
+    if (e.message.find("start") != std::string::npos) ++start_logs;
+    if (e.message.find("end") != std::string::npos) ++end_logs;
+  }
+  EXPECT_EQ(start_logs, 1);
+  EXPECT_EQ(end_logs, 1);
+}
+
+}  // namespace
+}  // namespace hpcmon::sim

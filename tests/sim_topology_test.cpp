@@ -1,0 +1,136 @@
+#include "sim/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+
+namespace hpcmon::sim {
+namespace {
+
+MachineShape small_shape() {
+  MachineShape s;
+  s.cabinets = 2;
+  s.chassis_per_cabinet = 2;
+  s.blades_per_chassis = 4;
+  s.nodes_per_blade = 4;
+  s.gpu_node_fraction = 0.25;
+  s.filesystems = 2;
+  s.osts_per_filesystem = 4;
+  return s;
+}
+
+TEST(TopologyTest, CountsMatchShape) {
+  core::MetricRegistry reg;
+  Topology topo(reg, small_shape(), FabricKind::kTorus3D);
+  EXPECT_EQ(topo.num_nodes(), 2 * 2 * 4 * 4);
+  EXPECT_EQ(topo.num_cabinets(), 2);
+  EXPECT_EQ(topo.num_routers(), 2 * 2 * 4);
+  EXPECT_EQ(topo.num_filesystems(), 2);
+  EXPECT_EQ(topo.osts_per_fs(), 4);
+}
+
+TEST(TopologyTest, CrayStyleNames) {
+  core::MetricRegistry reg;
+  Topology topo(reg, small_shape(), FabricKind::kTorus3D);
+  EXPECT_EQ(reg.component(topo.node(0)).name, "c0-0c0s0n0");
+  EXPECT_EQ(reg.component(topo.node(5)).name, "c0-0c0s1n1");
+  // Last node of the machine is in the last cabinet/chassis/blade.
+  EXPECT_EQ(reg.component(topo.node(topo.num_nodes() - 1)).name,
+            "c1-0c1s3n3");
+}
+
+TEST(TopologyTest, NodeIndexRoundTrip) {
+  core::MetricRegistry reg;
+  Topology topo(reg, small_shape(), FabricKind::kTorus3D);
+  for (int i = 0; i < topo.num_nodes(); i += 7) {
+    EXPECT_EQ(topo.node_index(topo.node(i)), i);
+  }
+  EXPECT_EQ(topo.node_index(topo.cabinet(0)), -1);
+}
+
+TEST(TopologyTest, GpuAssignment) {
+  core::MetricRegistry reg;
+  Topology topo(reg, small_shape(), FabricKind::kTorus3D);
+  const int expect_gpus = topo.num_nodes() / 4;
+  int gpus = 0;
+  for (int i = 0; i < topo.num_nodes(); ++i) {
+    if (topo.node_has_gpu(i)) {
+      ++gpus;
+      EXPECT_NE(topo.gpu_of(i), core::kNoComponent);
+    } else {
+      EXPECT_EQ(topo.gpu_of(i), core::kNoComponent);
+    }
+  }
+  EXPECT_EQ(gpus, expect_gpus);
+}
+
+TEST(TopologyTest, CabinetMembership) {
+  core::MetricRegistry reg;
+  Topology topo(reg, small_shape(), FabricKind::kTorus3D);
+  const auto cab0 = topo.nodes_in_cabinet(0);
+  EXPECT_EQ(static_cast<int>(cab0.size()), topo.shape().nodes_per_cabinet());
+  for (const int n : cab0) EXPECT_EQ(topo.cabinet_of_node(n), 0);
+  EXPECT_EQ(topo.cabinet_of_node(topo.num_nodes() - 1), 1);
+}
+
+TEST(TopologyTest, TorusLinksAreBidirectionalAndDegreeBounded) {
+  core::MetricRegistry reg;
+  Topology topo(reg, small_shape(), FabricKind::kTorus3D);
+  for (int l = 0; l < topo.num_links(); ++l) {
+    const auto& li = topo.link(l);
+    EXPECT_GE(topo.link_between(li.dst_router, li.src_router), 0)
+        << "missing reverse link";
+    EXPECT_FALSE(li.global);
+  }
+  // Each router has at most 6 outgoing links in a 3D torus.
+  for (int r = 0; r < topo.num_routers(); ++r) {
+    EXPECT_LE(topo.links_from(r).size(), 6u);
+    EXPECT_GE(topo.links_from(r).size(), 1u);
+  }
+}
+
+TEST(TopologyTest, TorusCoordinates) {
+  core::MetricRegistry reg;
+  Topology topo(reg, small_shape(), FabricKind::kTorus3D);
+  const auto c0 = topo.torus_coord(0);
+  EXPECT_EQ(c0.x, 0);
+  EXPECT_EQ(c0.y, 0);
+  EXPECT_EQ(c0.z, 0);
+  const auto c5 = topo.torus_coord(5);  // x_dim=4 -> (1, 1, 0)
+  EXPECT_EQ(c5.x, 1);
+  EXPECT_EQ(c5.y, 1);
+  EXPECT_EQ(c5.z, 0);
+}
+
+TEST(TopologyTest, DragonflyGroupsAndGlobalLinks) {
+  core::MetricRegistry reg;
+  Topology topo(reg, small_shape(), FabricKind::kDragonfly);
+  // Intra-group all-to-all: per_group routers = 8 -> 8*7 directed links per
+  // group; 2 groups; plus 2 global directed links between the pair.
+  const int per_group = 8;
+  EXPECT_EQ(topo.num_links(), 2 * per_group * (per_group - 1) + 2);
+  int globals = 0;
+  for (int l = 0; l < topo.num_links(); ++l) {
+    if (topo.link(l).global) {
+      ++globals;
+      EXPECT_NE(topo.group_of(topo.link(l).src_router),
+                topo.group_of(topo.link(l).dst_router));
+    }
+  }
+  EXPECT_EQ(globals, 2);
+  EXPECT_EQ(topo.group_of(0), 0);
+  EXPECT_EQ(topo.group_of(per_group), 1);
+}
+
+TEST(TopologyTest, ComponentKindsRegistered) {
+  core::MetricRegistry reg;
+  Topology topo(reg, small_shape(), FabricKind::kDragonfly);
+  EXPECT_EQ(reg.components_of_kind(core::ComponentKind::kCabinet).size(), 2u);
+  EXPECT_EQ(reg.components_of_kind(core::ComponentKind::kNode).size(), 64u);
+  EXPECT_EQ(reg.components_of_kind(core::ComponentKind::kFsTarget).size(),
+            2u * (1 + 4));
+  EXPECT_EQ(reg.components_of_kind(core::ComponentKind::kFacility).size(), 1u);
+}
+
+}  // namespace
+}  // namespace hpcmon::sim

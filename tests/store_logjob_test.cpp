@@ -1,0 +1,229 @@
+// LogStore and JobStore.
+#include <cstdio>
+#include <gtest/gtest.h>
+
+#include "store/jobstore.hpp"
+#include "store/logstore.hpp"
+
+namespace hpcmon::store {
+namespace {
+
+using core::ComponentId;
+using core::JobId;
+using core::LogEvent;
+using core::LogFacility;
+using core::Severity;
+
+LogEvent event(core::TimePoint t, std::string msg,
+               Severity sev = Severity::kInfo,
+               LogFacility fac = LogFacility::kConsole,
+               ComponentId comp = ComponentId{0}) {
+  LogEvent e;
+  e.time = t;
+  e.local_time = t;
+  e.message = std::move(msg);
+  e.severity = sev;
+  e.facility = fac;
+  e.component = comp;
+  return e;
+}
+
+TEST(LogStoreTest, TimeRangeQuery) {
+  LogStore store;
+  for (int i = 0; i < 10; ++i) {
+    store.append(event(i * core::kSecond, "line"));
+  }
+  LogQuery q;
+  q.range = {3 * core::kSecond, 7 * core::kSecond};
+  EXPECT_EQ(store.count(q), 4u);
+  EXPECT_EQ(store.size(), 10u);
+}
+
+TEST(LogStoreTest, SeverityAndFacilityFilters) {
+  LogStore store;
+  store.append(event(1, "a", Severity::kError, LogFacility::kHardware));
+  store.append(event(2, "b", Severity::kInfo, LogFacility::kHardware));
+  store.append(event(3, "c", Severity::kCritical, LogFacility::kNetwork));
+  LogQuery q;
+  q.max_severity = Severity::kError;  // error or worse
+  EXPECT_EQ(store.count(q), 2u);
+  q.facility = LogFacility::kHardware;
+  EXPECT_EQ(store.count(q), 1u);
+  EXPECT_EQ(store.query(q)[0].message, "a");
+}
+
+TEST(LogStoreTest, TokenIndexFastPath) {
+  LogStore store;
+  store.append(event(1, "GPU double bit error count 3"));
+  store.append(event(2, "systemd session opened"));
+  store.append(event(3, "gpu fell off the bus"));
+  LogQuery q;
+  q.token = "GPU";  // case-insensitive via index
+  EXPECT_EQ(store.count(q), 2u);
+  q.token = "absent";
+  EXPECT_EQ(store.count(q), 0u);
+}
+
+TEST(LogStoreTest, GlobFilter) {
+  LogStore store;
+  store.append(event(1, "HSN link failed: lane degrade"));
+  store.append(event(2, "HSN link recovered"));
+  store.append(event(3, "OST slow ios"));
+  LogQuery q;
+  q.message_glob = "HSN link*";
+  EXPECT_EQ(store.count(q), 2u);
+  q.message_glob = "*failed*";
+  EXPECT_EQ(store.count(q), 1u);
+}
+
+TEST(LogStoreTest, JobAndComponentFilters) {
+  LogStore store;
+  auto e1 = event(1, "x");
+  e1.job = JobId{5};
+  e1.component = ComponentId{2};
+  store.append(e1);
+  store.append(event(2, "y"));
+  LogQuery q;
+  q.job = JobId{5};
+  EXPECT_EQ(store.count(q), 1u);
+  LogQuery q2;
+  q2.component = ComponentId{2};
+  EXPECT_EQ(store.count(q2), 1u);
+}
+
+TEST(LogStoreTest, CountByBucketHistogram) {
+  LogStore store;
+  // 3 events in minute 0, 1 in minute 2.
+  store.append(event(5 * core::kSecond, "e"));
+  store.append(event(20 * core::kSecond, "e"));
+  store.append(event(50 * core::kSecond, "e"));
+  store.append(event(130 * core::kSecond, "e"));
+  const auto hist = store.count_by_bucket({}, core::kMinute);
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_EQ(hist[0].time, 0);
+  EXPECT_DOUBLE_EQ(hist[0].value, 3.0);
+  EXPECT_EQ(hist[1].time, 2 * core::kMinute);
+  EXPECT_DOUBLE_EQ(hist[1].value, 1.0);
+}
+
+TEST(LogStoreTest, OutOfOrderClampedNotLost) {
+  LogStore store;
+  store.append(event(100, "first"));
+  store.append(event(50, "late"));  // clamped to t=100
+  EXPECT_EQ(store.size(), 2u);
+  LogQuery q;
+  q.range = {100, 101};
+  EXPECT_EQ(store.count(q), 2u);
+}
+
+TEST(LogStoreTest, SeverityHistogram) {
+  LogStore store;
+  store.append(event(1, "a", Severity::kError));
+  store.append(event(2, "b", Severity::kError));
+  store.append(event(3, "c", Severity::kInfo));
+  const auto hist = store.severity_histogram();
+  EXPECT_EQ(hist[static_cast<std::size_t>(Severity::kError)], 2u);
+  EXPECT_EQ(hist[static_cast<std::size_t>(Severity::kInfo)], 1u);
+}
+
+TEST(LogStoreTest, SaveAndLoadFilePreservesEverything) {
+  LogStore store;
+  for (int i = 0; i < 2500; ++i) {  // spans multiple stored frames
+    auto e = event(i * core::kSecond, "CRC retry count " + std::to_string(i),
+                   i % 7 == 0 ? Severity::kError : Severity::kInfo,
+                   LogFacility::kNetwork, ComponentId{static_cast<std::uint32_t>(i % 16)});
+    e.job = JobId{static_cast<std::uint64_t>(i)};
+    e.local_time = e.time + 123;
+    store.append(std::move(e));
+  }
+  const std::string path = "/tmp/hpcmon_logstore_test.bin";
+  ASSERT_TRUE(store.save_to_file(path).is_ok());
+
+  LogStore loaded;
+  ASSERT_TRUE(LogStore::load_from_file(path, loaded).is_ok());
+  EXPECT_EQ(loaded.size(), store.size());
+  // Structured fields survive, including job attribution and local stamps.
+  LogQuery q;
+  q.job = JobId{77};
+  const auto hits = loaded.query(q);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].local_time, hits[0].time + 123);
+  // The token index was rebuilt on load.
+  LogQuery tq;
+  tq.token = "crc";
+  EXPECT_EQ(loaded.count(tq), 2500u);
+  std::remove(path.c_str());
+}
+
+TEST(LogStoreTest, LoadRejectsMissingAndCorrupt) {
+  LogStore out;
+  EXPECT_FALSE(LogStore::load_from_file("/tmp/nonexistent_logs.bin", out)
+                   .is_ok());
+  const std::string path = "/tmp/hpcmon_logstore_corrupt.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("garbage", f);
+  std::fclose(f);
+  EXPECT_FALSE(LogStore::load_from_file(path, out).is_ok());
+  std::remove(path.c_str());
+}
+
+JobMeta job(std::uint64_t id, std::string app, std::vector<int> nodes,
+            core::TimePoint start, core::TimePoint end) {
+  JobMeta j;
+  j.id = JobId{id};
+  j.app_name = std::move(app);
+  j.nodes = std::move(nodes);
+  j.submit_time = start;
+  j.start_time = start;
+  j.end_time = end;
+  return j;
+}
+
+TEST(JobStoreTest, RecordAndLookup) {
+  JobStore store;
+  store.record_start(job(1, "lammps", {0, 1, 2}, 100, -1));
+  EXPECT_EQ(store.size(), 1u);
+  auto j = store.get(JobId{1});
+  ASSERT_TRUE(j.has_value());
+  EXPECT_TRUE(j->running_at(150));
+  store.record_end(job(1, "lammps", {0, 1, 2}, 100, 200));
+  j = store.get(JobId{1});
+  EXPECT_FALSE(j->running_at(250));
+  EXPECT_TRUE(j->running_at(150));
+}
+
+TEST(JobStoreTest, JobOnNodeAt) {
+  JobStore store;
+  store.record_end(job(1, "a", {0, 1}, 0, 100));
+  store.record_end(job(2, "b", {1, 2}, 100, 200));
+  EXPECT_EQ(core::raw(store.job_on_node_at(1, 50)->id), 1u);
+  EXPECT_EQ(core::raw(store.job_on_node_at(1, 150)->id), 2u);
+  EXPECT_FALSE(store.job_on_node_at(5, 50).has_value());
+  EXPECT_FALSE(store.job_on_node_at(0, 150).has_value());
+}
+
+TEST(JobStoreTest, OverlapQuery) {
+  JobStore store;
+  store.record_end(job(1, "a", {0}, 0, 100));
+  store.record_end(job(2, "b", {1}, 150, 250));
+  store.record_start(job(3, "c", {2}, 260, -1));  // still running
+  EXPECT_EQ(store.jobs_overlapping({50, 160}).size(), 2u);
+  EXPECT_EQ(store.jobs_overlapping({500, 600}).size(), 1u);  // running job
+  EXPECT_EQ(store.jobs_overlapping({100, 150}).size(), 0u);  // gap
+}
+
+TEST(JobStoreTest, RunningAtAndCompletedRuns) {
+  JobStore store;
+  store.record_end(job(1, "vasp", {0}, 0, 100));
+  store.record_end(job(2, "vasp", {1}, 50, 300));
+  auto failed = job(3, "vasp", {2}, 60, 70);
+  failed.failed = true;
+  store.record_end(failed);
+  EXPECT_EQ(store.running_at(60).size(), 3u);
+  const auto runs = store.completed_runs_of("vasp");
+  ASSERT_EQ(runs.size(), 2u);  // failed run excluded
+  EXPECT_LE(runs[0].start_time, runs[1].start_time);
+}
+
+}  // namespace
+}  // namespace hpcmon::store

@@ -1,0 +1,144 @@
+#include "store/retention.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace hpcmon::store {
+namespace {
+
+using core::SeriesId;
+using core::TimeRange;
+
+constexpr SeriesId kS0{0};
+
+RetentionPolicy tight_policy() {
+  RetentionPolicy p;
+  p.hot_window = core::kHour;
+  p.warm_window = core::kDay;
+  p.warm_bucket = 10 * core::kMinute;
+  return p;
+}
+
+TEST(TieredStoreTest, EnforceMovesOldDataToWarmAndCold) {
+  TieredStore store(tight_policy(), 16);
+  // 4 hours of minute data.
+  for (int i = 0; i < 240; ++i) {
+    store.append(kS0, i * core::kMinute, static_cast<double>(i % 10));
+  }
+  const auto now = 240 * core::kMinute;
+  const auto archived = store.enforce(now);
+  EXPECT_GT(archived, 0u);
+  EXPECT_GT(store.archive().blob_count(), 0u);
+  // Hot retains the recent window (plus chunk-boundary slack).
+  const auto hot_pts = store.hot().query_range(kS0, {0, now});
+  ASSERT_FALSE(hot_pts.empty());
+  EXPECT_GE(hot_pts.front().time, now - tight_policy().hot_window -
+                                      16 * core::kMinute);
+  // Warm has downsampled history.
+  EXPECT_GT(store.warm().query_range(kS0, {0, now}).size(), 0u);
+}
+
+TEST(TieredStoreTest, QueryRangeMergesWarmAndHotWithoutGaps) {
+  TieredStore store(tight_policy(), 16);
+  for (int i = 0; i < 240; ++i) {
+    store.append(kS0, i * core::kMinute, 1.0);
+  }
+  store.enforce(240 * core::kMinute);
+  const auto pts = store.query_range(kS0, {0, 240 * core::kMinute});
+  ASSERT_FALSE(pts.empty());
+  // Time-ordered.
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LT(pts[i - 1].time, pts[i].time);
+  }
+  // Coverage: first point at or near t=0 (warm bucket start), last recent.
+  EXPECT_LE(pts.front().time, 10 * core::kMinute);
+  EXPECT_EQ(pts.back().time, 239 * core::kMinute);
+  // Warm is downsampled, so the merged count is less than raw but still
+  // covers the whole span.
+  EXPECT_LT(pts.size(), 240u);
+}
+
+TEST(TieredStoreTest, QueryFullReloadsArchiveAtFullFidelity) {
+  TieredStore store(tight_policy(), 16);
+  for (int i = 0; i < 240; ++i) {
+    store.append(kS0, i * core::kMinute, static_cast<double>(i));
+  }
+  store.enforce(240 * core::kMinute);
+  const auto pts = store.query_full(kS0, {0, 240 * core::kMinute});
+  ASSERT_EQ(pts.size(), 240u);  // every raw point is back
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(pts[i].time, static_cast<core::TimePoint>(i) * core::kMinute);
+    EXPECT_DOUBLE_EQ(pts[i].value, static_cast<double>(i));
+  }
+  EXPECT_GT(store.archive().reload_count(), 0u);
+}
+
+TEST(TieredStoreTest, WarmDownsampleAggregatesCorrectly) {
+  RetentionPolicy p = tight_policy();
+  p.warm_agg = Agg::kMax;
+  TieredStore store(p, 32);
+  for (int i = 0; i < 200; ++i) {
+    store.append(kS0, i * core::kMinute, static_cast<double>(i));
+  }
+  store.enforce(200 * core::kMinute);
+  const auto warm = store.warm().query_range(kS0, {0, 200 * core::kMinute});
+  ASSERT_FALSE(warm.empty());
+  // Each warm bucket holds the max of its member minutes.
+  for (const auto& b : warm) {
+    const double bucket_index =
+        static_cast<double>(b.time / (10 * core::kMinute));
+    EXPECT_GE(b.value, bucket_index * 10.0);
+  }
+}
+
+TEST(TieredStoreTest, RepeatedEnforceIsIdempotentOnQuietStore) {
+  TieredStore store(tight_policy(), 16);
+  for (int i = 0; i < 100; ++i) store.append(kS0, i * core::kMinute, 1.0);
+  const auto now = 100 * core::kMinute;
+  store.enforce(now);
+  const auto blobs_before = store.archive().blob_count();
+  store.enforce(now);
+  EXPECT_EQ(store.archive().blob_count(), blobs_before);
+}
+
+TEST(ArchiveTest, SaveAndLoadFile) {
+  Archive archive;
+  std::vector<core::TimedValue> pts;
+  for (int i = 0; i < 50; ++i) pts.push_back({i * core::kSecond, i * 2.0});
+  archive.store(kS0, Chunk::compress(pts));
+  archive.store(SeriesId{7}, Chunk::compress(pts));
+
+  const std::string path = "/tmp/hpcmon_archive_test.bin";
+  ASSERT_TRUE(archive.save_to_file(path).is_ok());
+  const auto loaded = Archive::load_from_file(path);
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_EQ(loaded.value().blob_count(), 2u);
+  const auto fetched = loaded.value().fetch(kS0, {0, core::kDay});
+  EXPECT_EQ(fetched, pts);
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveTest, LoadRejectsMissingAndCorrupt) {
+  EXPECT_FALSE(Archive::load_from_file("/tmp/nonexistent_hpcmon.bin").is_ok());
+  const std::string path = "/tmp/hpcmon_corrupt.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("not an archive", f);
+  std::fclose(f);
+  EXPECT_FALSE(Archive::load_from_file(path).is_ok());
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveTest, FetchFiltersByRange) {
+  Archive archive;
+  std::vector<core::TimedValue> pts;
+  for (int i = 0; i < 100; ++i) pts.push_back({i * core::kSecond, 1.0});
+  archive.store(kS0, Chunk::compress(pts));
+  EXPECT_EQ(archive.fetch(kS0, {10 * core::kSecond, 20 * core::kSecond}).size(),
+            10u);
+  EXPECT_TRUE(archive.fetch(kS0, {core::kDay, 2 * core::kDay}).empty());
+  EXPECT_TRUE(archive.fetch(SeriesId{9}, {0, core::kDay}).empty());
+}
+
+}  // namespace
+}  // namespace hpcmon::store

@@ -1,0 +1,210 @@
+// Codec (binary round-trip, lossy text path), EventRouter, Bus, Channel.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/registry.hpp"
+#include "transport/bus.hpp"
+#include "transport/channel.hpp"
+#include "transport/codec.hpp"
+#include "transport/event_router.hpp"
+
+namespace hpcmon::transport {
+namespace {
+
+using core::ComponentId;
+using core::JobId;
+using core::LogEvent;
+using core::SampleBatch;
+using core::SeriesId;
+
+SampleBatch make_batch() {
+  SampleBatch b;
+  b.sweep_time = 42 * core::kSecond;
+  b.origin = ComponentId{3};
+  for (int i = 0; i < 20; ++i) {
+    b.samples.push_back({SeriesId{static_cast<std::uint32_t>(i)},
+                         b.sweep_time + i, i * 1.5});
+  }
+  return b;
+}
+
+std::vector<LogEvent> make_logs() {
+  std::vector<LogEvent> events;
+  for (int i = 0; i < 5; ++i) {
+    LogEvent e;
+    e.time = i * core::kSecond;
+    e.local_time = e.time + 123;  // drifted local stamp
+    e.component = ComponentId{static_cast<std::uint32_t>(i)};
+    e.facility = core::LogFacility::kHardware;
+    e.severity = core::Severity::kError;
+    e.job = JobId{static_cast<std::uint64_t>(100 + i)};
+    e.message = "GPU double bit error count " + std::to_string(i);
+    events.push_back(e);
+  }
+  return events;
+}
+
+TEST(CodecTest, SamplesRoundTripLosslessly) {
+  const auto batch = make_batch();
+  const auto frame = encode_samples(batch);
+  EXPECT_EQ(frame.type, FrameType::kSamples);
+  const auto decoded = decode_samples(frame);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().sweep_time, batch.sweep_time);
+  EXPECT_EQ(decoded.value().origin, batch.origin);
+  EXPECT_EQ(decoded.value().samples, batch.samples);
+}
+
+TEST(CodecTest, LogsRoundTripLosslessly) {
+  const auto events = make_logs();
+  const auto frame = encode_logs(events);
+  const auto decoded = decode_logs(frame);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), events);  // every field, including job + local time
+}
+
+TEST(CodecTest, DecodeRejectsWrongTypeAndTruncation) {
+  const auto frame = encode_samples(make_batch());
+  EXPECT_FALSE(decode_logs(frame).is_ok());
+  Frame truncated = frame;
+  truncated.payload.resize(truncated.payload.size() / 2);
+  EXPECT_FALSE(decode_samples(truncated).is_ok());
+  Frame empty;
+  empty.type = FrameType::kSamples;
+  EXPECT_FALSE(decode_samples(empty).is_ok());
+}
+
+TEST(CodecTest, TextPathIsLossyExactlyAsThePaperWarns) {
+  core::MetricRegistry reg;
+  const auto comp = reg.register_component(
+      {"c0-0c0s0n0", core::ComponentKind::kNode, core::kNoComponent});
+  auto events = make_logs();
+  events[0].component = comp;
+  const auto line = format_text(events[0], reg);
+  const auto parsed = parse_text(line, reg);
+  ASSERT_TRUE(parsed.has_value());
+  // Preserved: time, component, facility, severity, message.
+  EXPECT_EQ(parsed->time, events[0].time);
+  EXPECT_EQ(parsed->component, events[0].component);
+  EXPECT_EQ(parsed->facility, events[0].facility);
+  EXPECT_EQ(parsed->severity, events[0].severity);
+  EXPECT_EQ(parsed->message, events[0].message);
+  // Lost in translation (Sec. IV-A): job attribution and local clock stamp.
+  EXPECT_EQ(parsed->job, core::kNoJob);
+  EXPECT_NE(parsed->job, events[0].job);
+  EXPECT_EQ(parsed->local_time, parsed->time);
+  EXPECT_NE(parsed->local_time, events[0].local_time);
+}
+
+TEST(CodecTest, ParseTextRejectsGarbage) {
+  core::MetricRegistry reg;
+  EXPECT_FALSE(parse_text("not a log line", reg).has_value());
+  EXPECT_FALSE(parse_text("", reg).has_value());
+}
+
+TEST(RouterTest, TypeDispatchAndRawTap) {
+  EventRouter router;
+  int samples = 0;
+  int logs = 0;
+  int raw = 0;
+  router.subscribe(FrameType::kSamples, [&](const Frame&) { ++samples; });
+  router.subscribe(FrameType::kLogs, [&](const Frame&) { ++logs; });
+  router.subscribe_raw([&](const Frame&) { ++raw; });
+  router.publish(encode_samples(make_batch()));
+  router.publish(encode_logs(make_logs()));
+  EXPECT_EQ(samples, 1);
+  EXPECT_EQ(logs, 1);
+  EXPECT_EQ(raw, 2);
+  EXPECT_EQ(router.stats().frames, 2u);
+  EXPECT_GT(router.stats().bytes, 0u);
+  EXPECT_EQ(router.stats().dropped, 0u);
+}
+
+TEST(RouterTest, ForwardingTree) {
+  EventRouter leaf;
+  EventRouter mid;
+  EventRouter root;
+  leaf.forward_to(mid);
+  mid.forward_to(root);
+  int received = 0;
+  root.subscribe(FrameType::kSamples, [&](const Frame&) { ++received; });
+  leaf.publish(encode_samples(make_batch()));
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(root.stats().frames, 1u);
+}
+
+TEST(RouterTest, DroppedCountsUndeliveredFrames) {
+  EventRouter router;
+  router.publish(encode_samples(make_batch()));
+  EXPECT_EQ(router.stats().dropped, 1u);
+}
+
+TEST(BusTest, TopicGlobRouting) {
+  Bus bus;
+  int node_batches = 0;
+  int all = 0;
+  int logs = 0;
+  bus.subscribe("samples.node.*", [&](const std::string&, const Payload&) {
+    ++node_batches;
+  });
+  bus.subscribe("*", [&](const std::string&, const Payload&) { ++all; });
+  bus.subscribe("logs.*", [&](const std::string&, const Payload& p) {
+    ++logs;
+    EXPECT_TRUE(std::holds_alternative<std::vector<LogEvent>>(p));
+  });
+  bus.publish("samples.node.c0-0", make_batch());
+  bus.publish("samples.power.system", make_batch());
+  bus.publish("logs.hardware", make_logs());
+  EXPECT_EQ(node_batches, 1);
+  EXPECT_EQ(all, 3);
+  EXPECT_EQ(logs, 1);
+  EXPECT_EQ(bus.stats().published, 3u);
+  EXPECT_EQ(bus.stats().deliveries, 5u);
+  EXPECT_EQ(bus.stats().unrouted, 0u);
+}
+
+TEST(BusTest, UnroutedCounted) {
+  Bus bus;
+  bus.subscribe("only.this", [](const std::string&, const Payload&) {});
+  bus.publish("something.else", std::string("payload"));
+  EXPECT_EQ(bus.stats().unrouted, 1u);
+}
+
+TEST(ChannelTest, FifoAndClose) {
+  Channel<int> ch(4);
+  EXPECT_TRUE(ch.try_push(1));
+  EXPECT_TRUE(ch.try_push(2));
+  EXPECT_EQ(ch.pop(), 1);
+  EXPECT_EQ(ch.pop(), 2);
+  EXPECT_FALSE(ch.try_pop().has_value());
+  ch.close();
+  EXPECT_FALSE(ch.push(3));
+  EXPECT_FALSE(ch.pop().has_value());
+}
+
+TEST(ChannelTest, BoundedCapacity) {
+  Channel<int> ch(2);
+  EXPECT_TRUE(ch.try_push(1));
+  EXPECT_TRUE(ch.try_push(2));
+  EXPECT_FALSE(ch.try_push(3));  // full
+  ch.try_pop();
+  EXPECT_TRUE(ch.try_push(3));
+}
+
+TEST(ChannelTest, CrossThreadTransfer) {
+  Channel<int> ch(8);
+  std::thread producer([&ch] {
+    for (int i = 0; i < 1000; ++i) ch.push(i);
+    ch.close();
+  });
+  int expected = 0;
+  while (auto v = ch.pop()) {
+    EXPECT_EQ(*v, expected++);
+  }
+  producer.join();
+  EXPECT_EQ(expected, 1000);
+}
+
+}  // namespace
+}  // namespace hpcmon::transport

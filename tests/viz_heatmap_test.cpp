@@ -1,0 +1,93 @@
+#include "viz/heatmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/registry.hpp"
+#include "core/strings.hpp"
+
+namespace hpcmon::viz {
+namespace {
+
+sim::MachineShape shape() {
+  sim::MachineShape s;
+  s.cabinets = 2;
+  s.chassis_per_cabinet = 2;
+  s.blades_per_chassis = 4;
+  s.nodes_per_blade = 4;
+  return s;
+}
+
+TEST(HeatmapTest, MachineLayoutDimensions) {
+  core::MetricRegistry reg;
+  sim::Topology topo(reg, shape(), sim::FabricKind::kTorus3D);
+  const auto out = machine_heatmap(
+      topo, [](int node) { return static_cast<double>(node); }, {});
+  // One row per chassis + cabinet label row + legend.
+  const auto lines = core::split(out, '\n');
+  int grid_rows = 0;
+  for (const auto line : lines) {
+    if (line.find('|') != std::string_view::npos) ++grid_rows;
+  }
+  EXPECT_EQ(grid_rows, 2);  // chassis_per_cabinet
+  EXPECT_NE(out.find("c0-0"), std::string::npos);
+  EXPECT_NE(out.find("c1-0"), std::string::npos);
+  EXPECT_NE(out.find("scale:"), std::string::npos);
+}
+
+TEST(HeatmapTest, IntensityTracksValues) {
+  core::MetricRegistry reg;
+  sim::Topology topo(reg, shape(), sim::FabricKind::kTorus3D);
+  HeatmapOptions opt;
+  opt.scale_min = 0.0;
+  opt.scale_max = 1.0;
+  // Node 0 hot, everything else cold.
+  const auto out = machine_heatmap(
+      topo, [](int node) { return node == 0 ? 1.0 : 0.0; }, opt);
+  // Exactly one hot cell in the grid (the legend also shows the glyph).
+  const auto grid = out.substr(0, out.find("scale:"));
+  EXPECT_EQ(std::count(grid.begin(), grid.end(), '@'), 1);
+}
+
+TEST(HeatmapTest, NanRendersAsUnknown) {
+  core::MetricRegistry reg;
+  sim::Topology topo(reg, shape(), sim::FabricKind::kTorus3D);
+  const auto out = machine_heatmap(
+      topo,
+      [](int node) {
+        return node == 5 ? std::nan("") : 0.5;
+      },
+      {});
+  EXPECT_NE(out.find('?'), std::string::npos);
+}
+
+TEST(HeatmapTest, RouterGridTorusHasPlanePerCabinet) {
+  core::MetricRegistry reg;
+  sim::Topology topo(reg, shape(), sim::FabricKind::kTorus3D);
+  const auto out = router_grid_heatmap(
+      topo, [](int r) { return static_cast<double>(r % 3); }, {});
+  EXPECT_NE(out.find("z=0"), std::string::npos);
+  EXPECT_NE(out.find("z=1"), std::string::npos);
+  EXPECT_NE(out.find("y1"), std::string::npos);
+}
+
+TEST(HeatmapTest, RouterGridDragonflyHasGroupRows) {
+  core::MetricRegistry reg;
+  sim::Topology topo(reg, shape(), sim::FabricKind::kDragonfly);
+  const auto out = router_grid_heatmap(
+      topo, [](int) { return 0.2; }, {});
+  EXPECT_NE(out.find("group 0"), std::string::npos);
+  EXPECT_NE(out.find("group 1"), std::string::npos);
+}
+
+TEST(HeatmapTest, DerivedScaleCoversData) {
+  core::MetricRegistry reg;
+  sim::Topology topo(reg, shape(), sim::FabricKind::kTorus3D);
+  const auto out = machine_heatmap(
+      topo, [](int node) { return 100.0 + node; }, {});
+  EXPECT_NE(out.find("100"), std::string::npos);  // derived min in legend
+}
+
+}  // namespace
+}  // namespace hpcmon::viz

@@ -1,0 +1,187 @@
+// Aggregation queries, drill-down, charts, CSV export, dashboard.
+#include <gtest/gtest.h>
+
+#include "viz/dashboard.hpp"
+#include "viz/drilldown.hpp"
+#include "viz/query.hpp"
+
+namespace hpcmon::viz {
+namespace {
+
+using core::ComponentId;
+using core::ComponentKind;
+using core::TimedValue;
+
+struct VizFixture {
+  core::MetricRegistry reg;
+  store::TimeSeriesStore store;
+  std::vector<ComponentId> nodes;
+
+  VizFixture() {
+    for (int i = 0; i < 4; ++i) {
+      nodes.push_back(reg.register_component(
+          {"n" + std::to_string(i), ComponentKind::kNode, core::kNoComponent}));
+    }
+    // Synchronized sweeps at minutes 0..9: node i reads i*10 MB/s, except a
+    // spike on node 2 at minute 5.
+    for (int m = 0; m < 10; ++m) {
+      for (int i = 0; i < 4; ++i) {
+        double v = i * 10.0;
+        if (i == 2 && m == 5) v = 500.0;
+        store.append(reg.series("node.read_mbps", nodes[i]),
+                     m * core::kMinute, v);
+      }
+    }
+  }
+};
+
+TEST(QueryTest, AggregateAcrossComputesPerTimestamp) {
+  VizFixture f;
+  const auto sum = aggregate_across(f.store, f.reg, "node.read_mbps", f.nodes,
+                                    {0, 10 * core::kMinute}, store::Agg::kSum);
+  ASSERT_EQ(sum.size(), 10u);
+  EXPECT_DOUBLE_EQ(sum[0].value, 60.0);   // 0+10+20+30
+  EXPECT_DOUBLE_EQ(sum[5].value, 540.0);  // spike minute
+  const auto mean = aggregate_across(f.store, f.reg, "node.read_mbps", f.nodes,
+                                     {0, 10 * core::kMinute}, store::Agg::kMean);
+  EXPECT_DOUBLE_EQ(mean[0].value, 15.0);
+}
+
+TEST(QueryTest, FractionInState) {
+  VizFixture f;
+  const auto frac = fraction_in_state(
+      f.store, f.reg, "node.read_mbps", f.nodes, {0, 10 * core::kMinute},
+      [](double v) { return v > 15.0; });
+  ASSERT_EQ(frac.size(), 10u);
+  EXPECT_DOUBLE_EQ(frac[0].value, 0.5);   // nodes 2, 3
+  EXPECT_DOUBLE_EQ(frac[5].value, 0.5);
+}
+
+TEST(QueryTest, BreakdownAtSortsDescending) {
+  VizFixture f;
+  const auto rows = breakdown_at(f.store, f.reg, "node.read_mbps", f.nodes,
+                                 5 * core::kMinute, core::kMinute);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].name, "n2");  // the spike
+  EXPECT_DOUBLE_EQ(rows[0].value, 500.0);
+  EXPECT_EQ(rows[1].name, "n3");
+}
+
+TEST(DrillDownTest, AttributesSpikeToJob) {
+  VizFixture f;
+  store::JobStore jobs;
+  store::JobMeta job;
+  job.id = core::JobId{42};
+  job.app_name = "io_blaster";
+  job.nodes = {2, 3};
+  job.start_time = 4 * core::kMinute;
+  job.end_time = 7 * core::kMinute;
+  jobs.record_end(job);
+
+  DrillDown drill(f.store, f.reg, jobs);
+  const auto result = drill.investigate(
+      "node.read_mbps", f.nodes, 5 * core::kMinute, core::kMinute,
+      [&f](ComponentId c) {
+        for (std::size_t i = 0; i < f.nodes.size(); ++i) {
+          if (f.nodes[i] == c) return static_cast<int>(i);
+        }
+        return -1;
+      });
+  ASSERT_TRUE(result.responsible_job.has_value());
+  EXPECT_EQ(core::raw(result.responsible_job->id), 42u);
+  EXPECT_EQ(result.responsible_job->app_name, "io_blaster");
+  // Job share: nodes 2+3 contributed 530 of 540.
+  EXPECT_NEAR(result.job_share, 530.0 / 540.0, 1e-9);
+}
+
+TEST(DrillDownTest, NoJobWhenNothingRuns) {
+  VizFixture f;
+  store::JobStore jobs;
+  DrillDown drill(f.store, f.reg, jobs);
+  const auto result = drill.investigate("node.read_mbps", f.nodes,
+                                        5 * core::kMinute, core::kMinute,
+                                        [](ComponentId) { return 0; });
+  EXPECT_FALSE(result.responsible_job.has_value());
+  EXPECT_GT(result.aggregate_value, 0.0);
+}
+
+ChartSeries wave(const std::string& label, double amp) {
+  ChartSeries s;
+  s.label = label;
+  for (int i = 0; i < 50; ++i) {
+    s.points.push_back({i * core::kMinute, amp * (i % 10)});
+  }
+  return s;
+}
+
+TEST(ChartTest, AsciiRenderContainsStructure) {
+  ChartOptions opt;
+  opt.title = "Test Chart";
+  const auto out = render_ascii({wave("a", 1.0), wave("b", 2.0)}, opt);
+  EXPECT_NE(out.find("Test Chart"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);  // series glyphs
+  EXPECT_NE(out.find('+'), std::string::npos);
+  EXPECT_NE(out.find("a"), std::string::npos);  // legend
+  EXPECT_NE(out.find("0+00:00:00.000"), std::string::npos);  // time footer
+}
+
+TEST(ChartTest, EmptySeriesHandled) {
+  const auto out = render_ascii({}, {});
+  EXPECT_NE(out.find("(no data)"), std::string::npos);
+  const auto svg = render_svg({}, {});
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+}
+
+TEST(ChartTest, SvgHasPolylinePerSeries) {
+  const auto svg = render_svg({wave("x", 1.0), wave("y", 3.0)}, {});
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = svg.find("<polyline", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 2u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(ExportTest, CsvAlignsSeriesByTime) {
+  ChartSeries a;
+  a.label = "cpu";
+  a.points = {{0, 1.0}, {core::kMinute, 2.0}};
+  ChartSeries b;
+  b.label = "mem";
+  b.points = {{core::kMinute, 5.0}, {2 * core::kMinute, 6.0}};
+  const auto csv = export_csv({a, b});
+  EXPECT_EQ(csv,
+            "time_s,cpu,mem\n"
+            "0,1,\n"
+            "60,2,5\n"
+            "120,,6\n");
+}
+
+TEST(DashboardTest, PanelsRenderLiveData) {
+  VizFixture f;
+  Dashboard dash("system overview");
+  int query_runs = 0;
+  dash.add_panel("reads", [&]() {
+    ++query_runs;
+    ChartSeries s;
+    s.label = "sum";
+    s.points = aggregate_across(f.store, f.reg, "node.read_mbps", f.nodes,
+                                {0, core::kDay}, store::Agg::kSum);
+    return std::vector<ChartSeries>{s};
+  });
+  EXPECT_EQ(dash.panel_count(), 1u);
+  const auto text = dash.render();
+  EXPECT_NE(text.find("system overview"), std::string::npos);
+  EXPECT_NE(text.find("reads"), std::string::npos);
+  EXPECT_EQ(query_runs, 1);
+  dash.render();  // live: re-queries each time
+  EXPECT_EQ(query_runs, 2);
+  EXPECT_NE(dash.panel_csv(0).find("time_s,sum"), std::string::npos);
+  EXPECT_NE(dash.render_panel_svg(0).find("<svg"), std::string::npos);
+  EXPECT_NE(dash.describe().find("panel \"reads\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpcmon::viz
