@@ -1,0 +1,115 @@
+#include "ingest/metrics.hpp"
+
+#include <algorithm>
+
+#include "core/strings.hpp"
+
+namespace hpcmon::ingest {
+
+IngestMetrics::IngestMetrics(std::size_t shards) : queue_hwm_(shards) {}
+
+void IngestMetrics::record_append(std::size_t merged_batches,
+                                  std::size_t accepted,
+                                  std::size_t out_of_order,
+                                  std::uint64_t duration_us) {
+  appends_.fetch_add(1, std::memory_order_relaxed);
+  coalesced_batches_.fetch_add(merged_batches, std::memory_order_relaxed);
+  accepted_samples_.fetch_add(accepted, std::memory_order_relaxed);
+  out_of_order_samples_.fetch_add(out_of_order, std::memory_order_relaxed);
+  append_us_.fetch_add(duration_us, std::memory_order_relaxed);
+  const std::size_t size = accepted + out_of_order;
+  std::size_t bucket = 0;
+  while (bucket + 1 < kBatchHistBuckets && (2u << bucket) <= size) ++bucket;
+  batch_size_hist_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+IngestSnapshot IngestMetrics::snapshot() const {
+  IngestSnapshot s;
+  s.submitted_batches = submitted_batches_.load(std::memory_order_relaxed);
+  s.submitted_samples = submitted_samples_.load(std::memory_order_relaxed);
+  s.enqueued_batches = enqueued_batches_.load(std::memory_order_relaxed);
+  s.appends = appends_.load(std::memory_order_relaxed);
+  s.coalesced_batches = coalesced_batches_.load(std::memory_order_relaxed);
+  s.accepted_samples = accepted_samples_.load(std::memory_order_relaxed);
+  s.out_of_order_samples =
+      out_of_order_samples_.load(std::memory_order_relaxed);
+  s.dropped_batches = dropped_batches_.load(std::memory_order_relaxed);
+  s.dropped_samples = dropped_samples_.load(std::memory_order_relaxed);
+  s.rejected_batches = rejected_batches_.load(std::memory_order_relaxed);
+  s.rejected_samples = rejected_samples_.load(std::memory_order_relaxed);
+  s.blocked_pushes = blocked_pushes_.load(std::memory_order_relaxed);
+  s.block_wait_us = block_wait_us_.load(std::memory_order_relaxed);
+  s.append_us = append_us_.load(std::memory_order_relaxed);
+  s.queue_hwm.reserve(queue_hwm_.size());
+  for (const auto& h : queue_hwm_) {
+    s.queue_hwm.push_back(h.load(std::memory_order_relaxed));
+  }
+  for (std::size_t b = 0; b < kBatchHistBuckets; ++b) {
+    s.batch_size_hist[b] = batch_size_hist_[b].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+std::uint64_t IngestSnapshot::max_queue_hwm() const {
+  std::uint64_t m = 0;
+  for (const auto h : queue_hwm) m = std::max(m, h);
+  return m;
+}
+
+std::string IngestSnapshot::to_string() const {
+  return core::strformat(
+      "ingest acc=%llu ooo=%llu drop=%llu rej=%llu blocked=%llu hwm=%llu "
+      "batch=%.1f append_us=%.1f",
+      static_cast<unsigned long long>(accepted_samples),
+      static_cast<unsigned long long>(out_of_order_samples),
+      static_cast<unsigned long long>(dropped_samples),
+      static_cast<unsigned long long>(rejected_samples),
+      static_cast<unsigned long long>(blocked_pushes),
+      static_cast<unsigned long long>(max_queue_hwm()), mean_batch_samples(),
+      mean_append_us());
+}
+
+std::vector<core::Sample> IngestMetrics::to_samples(
+    core::MetricRegistry& registry, core::ComponentId component,
+    core::TimePoint now) const {
+  const auto snap = snapshot();
+  std::vector<core::Sample> out;
+  const auto emit = [&](const char* name, const char* units, const char* desc,
+                        bool counter, double value) {
+    const auto metric = registry.register_metric({name, units, desc, counter});
+    out.push_back({registry.series(metric, component), now, value});
+  };
+  emit("ingest.submitted_samples", "samples",
+       "samples offered to the ingest tier", true,
+       static_cast<double>(snap.submitted_samples));
+  emit("ingest.accepted_samples", "samples",
+       "samples stored by the sharded store", true,
+       static_cast<double>(snap.accepted_samples));
+  emit("ingest.out_of_order_samples", "samples",
+       "samples refused by per-series time ordering", true,
+       static_cast<double>(snap.out_of_order_samples));
+  emit("ingest.dropped_samples", "samples",
+       "samples evicted by the drop-oldest overload policy", true,
+       static_cast<double>(snap.dropped_samples));
+  emit("ingest.rejected_samples", "samples",
+       "samples refused at the door by the reject overload policy", true,
+       static_cast<double>(snap.rejected_samples));
+  emit("ingest.blocked_pushes", "pushes",
+       "producer enqueues that hit backpressure (block policy)", true,
+       static_cast<double>(snap.blocked_pushes));
+  emit("ingest.block_wait_us", "us",
+       "cumulative producer time spent blocked on full queues", true,
+       static_cast<double>(snap.block_wait_us));
+  emit("ingest.append_us", "us",
+       "cumulative worker time spent appending to shards", true,
+       static_cast<double>(snap.append_us));
+  emit("ingest.queue_hwm", "batches",
+       "highest per-shard queue depth seen so far", false,
+       static_cast<double>(snap.max_queue_hwm()));
+  emit("ingest.batch_mean_samples", "samples",
+       "mean coalesced batch size per shard append", false,
+       snap.mean_batch_samples());
+  return out;
+}
+
+}  // namespace hpcmon::ingest

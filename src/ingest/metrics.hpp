@@ -1,0 +1,138 @@
+// IngestMetrics: the ingest tier's self-telemetry.
+//
+// Table I demands that transport impact "should be well-documented"; here it
+// is measured. Every overload-policy decision (block, drop, reject), every
+// out-of-order point the store refuses, queue-depth high-water marks, a
+// batch-size histogram, and per-stage latency (producer enqueue wait, worker
+// append time) are counted with relaxed atomics so the hot path stays cheap.
+// The counters can be re-emitted as hpcmon series (to_samples) so the monitor
+// monitors itself with its own pipeline and dashboards.
+//
+// Clock note: the library's telemetry runs on the simulated timeline, but the
+// ingest tier is real threads doing real work, so its latency self-metrics
+// are real (steady_clock) durations measured by the pipeline and recorded
+// here as plain microsecond totals.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/registry.hpp"
+#include "core/sample.hpp"
+#include "core/time.hpp"
+
+namespace hpcmon::ingest {
+
+/// Batch-size histogram buckets: bucket b counts appends of size in
+/// [2^b, 2^(b+1)), with the last bucket open-ended.
+inline constexpr std::size_t kBatchHistBuckets = 16;
+
+/// Point-in-time copy of every counter (plain values, safe to print/compare).
+struct IngestSnapshot {
+  std::uint64_t submitted_batches = 0;  // batches offered via submit()
+  std::uint64_t submitted_samples = 0;
+  std::uint64_t enqueued_batches = 0;   // per-shard sub-batches queued
+  std::uint64_t appends = 0;            // worker append_batch calls
+  std::uint64_t coalesced_batches = 0;  // sub-batches merged into appends
+  std::uint64_t accepted_samples = 0;   // stored by a shard
+  std::uint64_t out_of_order_samples = 0;  // store rejected (time <= last)
+  std::uint64_t dropped_batches = 0;    // kDropOldest evictions
+  std::uint64_t dropped_samples = 0;
+  std::uint64_t rejected_batches = 0;   // kReject refusals (or closed pipe)
+  std::uint64_t rejected_samples = 0;
+  std::uint64_t blocked_pushes = 0;     // kBlock producer stalls
+  std::uint64_t block_wait_us = 0;      // producer time spent in backpressure
+  std::uint64_t append_us = 0;          // worker time spent appending
+  std::vector<std::uint64_t> queue_hwm;  // per-shard depth high-water mark
+  std::array<std::uint64_t, kBatchHistBuckets> batch_size_hist{};
+
+  double mean_batch_samples() const {
+    return appends == 0 ? 0.0
+                        : static_cast<double>(accepted_samples +
+                                              out_of_order_samples) /
+                              static_cast<double>(appends);
+  }
+  double mean_append_us() const {
+    return appends == 0
+               ? 0.0
+               : static_cast<double>(append_us) / static_cast<double>(appends);
+  }
+  std::uint64_t max_queue_hwm() const;
+  /// One-line operator summary for MonitoringStack::status().
+  std::string to_string() const;
+};
+
+class IngestMetrics {
+ public:
+  explicit IngestMetrics(std::size_t shards);
+
+  // -- Producer side ---------------------------------------------------------
+  void record_submit(std::size_t samples) {
+    submitted_batches_.fetch_add(1, std::memory_order_relaxed);
+    submitted_samples_.fetch_add(samples, std::memory_order_relaxed);
+  }
+  void record_enqueue(std::size_t shard, std::size_t depth_after) {
+    enqueued_batches_.fetch_add(1, std::memory_order_relaxed);
+    auto& hwm = queue_hwm_[shard];
+    std::uint64_t seen = hwm.load(std::memory_order_relaxed);
+    while (seen < depth_after &&
+           !hwm.compare_exchange_weak(seen, depth_after,
+                                      std::memory_order_relaxed)) {
+    }
+  }
+  /// The stall is counted on ENTRY to the blocking wait (so an observer can
+  /// see that a producer is parked); the wait duration is added once the
+  /// producer resumes.
+  void record_block_entered() {
+    blocked_pushes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_block_wait(std::uint64_t wait_us) {
+    block_wait_us_.fetch_add(wait_us, std::memory_order_relaxed);
+  }
+  void record_dropped(std::size_t samples) {
+    dropped_batches_.fetch_add(1, std::memory_order_relaxed);
+    dropped_samples_.fetch_add(samples, std::memory_order_relaxed);
+  }
+  void record_rejected(std::size_t samples) {
+    rejected_batches_.fetch_add(1, std::memory_order_relaxed);
+    rejected_samples_.fetch_add(samples, std::memory_order_relaxed);
+  }
+
+  // -- Worker side -----------------------------------------------------------
+  void record_append(std::size_t merged_batches, std::size_t accepted,
+                     std::size_t out_of_order, std::uint64_t duration_us);
+
+  IngestSnapshot snapshot() const;
+
+  /// Re-emit the counters as hpcmon samples at simulated time `now`, interning
+  /// "ingest.*" metrics on `component`. Counters are emitted cumulative
+  /// (is_counter = true), gauges (queue high-water, mean batch/latency) as
+  /// instantaneous values.
+  std::vector<core::Sample> to_samples(core::MetricRegistry& registry,
+                                       core::ComponentId component,
+                                       core::TimePoint now) const;
+
+ private:
+  std::atomic<std::uint64_t> submitted_batches_{0};
+  std::atomic<std::uint64_t> submitted_samples_{0};
+  std::atomic<std::uint64_t> enqueued_batches_{0};
+  std::atomic<std::uint64_t> appends_{0};
+  std::atomic<std::uint64_t> coalesced_batches_{0};
+  std::atomic<std::uint64_t> accepted_samples_{0};
+  std::atomic<std::uint64_t> out_of_order_samples_{0};
+  std::atomic<std::uint64_t> dropped_batches_{0};
+  std::atomic<std::uint64_t> dropped_samples_{0};
+  std::atomic<std::uint64_t> rejected_batches_{0};
+  std::atomic<std::uint64_t> rejected_samples_{0};
+  std::atomic<std::uint64_t> blocked_pushes_{0};
+  std::atomic<std::uint64_t> block_wait_us_{0};
+  std::atomic<std::uint64_t> append_us_{0};
+  std::vector<std::atomic<std::uint64_t>> queue_hwm_;
+  std::array<std::atomic<std::uint64_t>, kBatchHistBuckets> batch_size_hist_{};
+};
+
+}  // namespace hpcmon::ingest

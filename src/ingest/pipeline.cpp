@@ -1,0 +1,163 @@
+#include "ingest/pipeline.hpp"
+
+#include <chrono>
+
+namespace hpcmon::ingest {
+
+namespace {
+using std::chrono::steady_clock;
+
+std::uint64_t elapsed_us(steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          steady_clock::now() - since)
+          .count());
+}
+}  // namespace
+
+std::string_view to_string(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kBlock: return "block";
+    case OverloadPolicy::kDropOldest: return "drop_oldest";
+    case OverloadPolicy::kReject: return "reject";
+  }
+  return "?";
+}
+
+OverloadPolicy policy_from_string(std::string_view name, OverloadPolicy dflt) {
+  if (name == "block") return OverloadPolicy::kBlock;
+  if (name == "drop_oldest") return OverloadPolicy::kDropOldest;
+  if (name == "reject") return OverloadPolicy::kReject;
+  return dflt;
+}
+
+IngestPipeline::IngestPipeline(ShardedTimeSeriesStore& store,
+                               IngestConfig config)
+    : store_(store), config_(config), metrics_(store.shard_count()) {
+  if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+  if (config_.max_coalesce_batches == 0) config_.max_coalesce_batches = 1;
+  channels_.reserve(store_.shard_count());
+  for (std::size_t i = 0; i < store_.shard_count(); ++i) {
+    channels_.push_back(
+        std::make_unique<transport::Channel<core::SampleBatch>>(
+            config_.queue_capacity));
+  }
+}
+
+IngestPipeline::~IngestPipeline() { stop(); }
+
+void IngestPipeline::start() {
+  if (started_ || stopped_) return;
+  started_ = true;
+  workers_.reserve(channels_.size());
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    workers_.emplace_back([this, i] { worker(i); });
+  }
+}
+
+std::size_t IngestPipeline::submit(const core::SampleBatch& batch) {
+  metrics_.record_submit(batch.size());
+  // Partition by owning shard; sub-batches inherit the sweep metadata.
+  std::vector<core::SampleBatch> parts(channels_.size());
+  for (const auto& s : batch.samples) {
+    parts[store_.shard_of(s.series)].samples.push_back(s);
+  }
+  std::size_t enqueued = 0;
+  for (std::size_t shard = 0; shard < parts.size(); ++shard) {
+    auto& part = parts[shard];
+    if (part.samples.empty()) continue;
+    part.sweep_time = batch.sweep_time;
+    part.origin = batch.origin;
+    const std::size_t n = part.samples.size();
+    auto& ch = *channels_[shard];
+
+    // Fast path: space available (push_for with zero wait does not consume
+    // `part` on failure, so the policy below still owns the same item).
+    bool pushed = ch.push_for(part, std::chrono::seconds(0));
+    if (!pushed) {
+      switch (config_.policy) {
+        case OverloadPolicy::kBlock: {
+          if (ch.closed()) break;  // reject, not a backpressure stall
+          metrics_.record_block_entered();
+          const auto t0 = steady_clock::now();
+          // Bounded waits so a closed pipeline cannot wedge a producer.
+          while (!ch.closed() &&
+                 !(pushed = ch.push_for(part, std::chrono::milliseconds(50)))) {
+          }
+          metrics_.record_block_wait(elapsed_us(t0));
+          break;
+        }
+        case OverloadPolicy::kDropOldest: {
+          while (!ch.closed() &&
+                 !(pushed = ch.push_for(part, std::chrono::seconds(0)))) {
+            if (auto oldest = ch.try_pop()) {
+              metrics_.record_dropped(oldest->samples.size());
+              in_flight_.fetch_add(-1, std::memory_order_acq_rel);
+            }
+          }
+          break;
+        }
+        case OverloadPolicy::kReject:
+          break;
+      }
+    }
+    if (pushed) {
+      in_flight_.fetch_add(1, std::memory_order_acq_rel);
+      metrics_.record_enqueue(shard, ch.size());
+      enqueued += n;
+    } else {
+      metrics_.record_rejected(n);
+    }
+  }
+  return enqueued;
+}
+
+void IngestPipeline::drain() {
+  if (!started_ || stopped_) return;
+  while (in_flight_.load(std::memory_order_acquire) > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void IngestPipeline::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& ch : channels_) ch->close();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+}
+
+void IngestPipeline::worker(std::size_t shard) {
+  auto& ch = *channels_[shard];
+  auto& store = store_.shard(shard);
+  const auto idle = std::chrono::milliseconds(config_.idle_poll_ms);
+  for (;;) {
+    auto first = ch.pop_for(idle);
+    if (!first) {
+      // Timeout or closed-and-drained; this worker is the only consumer, so
+      // the emptiness check cannot race another pop.
+      if (ch.closed() && ch.size() == 0) return;
+      continue;
+    }
+    // Coalesce whatever else is already queued (bounded) into one append:
+    // fewer lock acquisitions per sample, and the batch-size histogram shows
+    // how bursty the offered load was.
+    core::SampleBatch merged = std::move(*first);
+    std::size_t sub_batches = 1;
+    while (sub_batches < config_.max_coalesce_batches) {
+      auto more = ch.try_pop();
+      if (!more) break;
+      merged.samples.insert(merged.samples.end(), more->samples.begin(),
+                            more->samples.end());
+      ++sub_batches;
+    }
+    const auto t0 = steady_clock::now();
+    const std::size_t accepted = store.append_batch(merged.samples);
+    metrics_.record_append(sub_batches, accepted,
+                           merged.samples.size() - accepted, elapsed_us(t0));
+    in_flight_.fetch_add(-static_cast<std::int64_t>(sub_batches),
+                         std::memory_order_acq_rel);
+  }
+}
+
+}  // namespace hpcmon::ingest

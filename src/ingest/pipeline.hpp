@@ -1,0 +1,105 @@
+// IngestPipeline: a sharded, multi-threaded ingest tier with backpressure.
+//
+// The queue-decoupled ingestion shape every site in the paper converged on
+// (RabbitMQ -> Elasticsearch at NERSC, Sec. IV-C; "sharding, batching,
+// async" in the roadmap): producers submit SampleBatches; submit() hash-
+// partitions each batch by series into per-shard sub-batches and enqueues
+// them on bounded transport::Channels; one worker thread per shard pops,
+// coalesces adjacent sub-batches, and appends to its ShardedTimeSeriesStore
+// shard. Because a series always maps to the same shard and each shard has
+// one worker, per-series ordering is preserved end to end — pipeline results
+// are identical to appending the same stream synchronously.
+//
+// When a queue is full, one of three configurable overload policies applies
+// (Table I: transport impact "should be well-documented" — here every
+// decision is counted in IngestMetrics):
+//   kBlock      producer waits (backpressure; lossless)
+//   kDropOldest evict the oldest queued sub-batch to admit the new one
+//               (bounded staleness; sheds the oldest load first)
+//   kReject     refuse the new sub-batch at the door (protects queued work)
+//
+// Determinism: the synchronous store path stays the default in
+// MonitoringStack; the pipeline is opt-in (ingest_shards > 0). For
+// deterministic overload tests, construct without start(): submissions then
+// exercise the policies against static full queues with exact counts.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/sample.hpp"
+#include "ingest/metrics.hpp"
+#include "ingest/sharded_store.hpp"
+#include "transport/channel.hpp"
+
+namespace hpcmon::ingest {
+
+enum class OverloadPolicy : std::uint8_t { kBlock, kDropOldest, kReject };
+
+std::string_view to_string(OverloadPolicy policy);
+/// Parse "block" / "drop_oldest" / "reject"; anything else returns `dflt`.
+OverloadPolicy policy_from_string(std::string_view name, OverloadPolicy dflt);
+
+struct IngestConfig {
+  /// Bounded sub-batches per shard queue.
+  std::size_t queue_capacity = 256;
+  OverloadPolicy policy = OverloadPolicy::kBlock;
+  /// Max queued sub-batches a worker merges into one shard append.
+  std::size_t max_coalesce_batches = 16;
+  /// Worker wake period while idle (bounds shutdown latency).
+  int idle_poll_ms = 20;
+};
+
+class IngestPipeline {
+ public:
+  /// One queue + one worker per shard of `store` (which must outlive the
+  /// pipeline). Workers do not run until start().
+  IngestPipeline(ShardedTimeSeriesStore& store, IngestConfig config = {});
+  ~IngestPipeline();
+
+  IngestPipeline(const IngestPipeline&) = delete;
+  IngestPipeline& operator=(const IngestPipeline&) = delete;
+
+  /// Spawn the per-shard worker threads. Idempotent; not restartable after
+  /// stop().
+  void start();
+  bool started() const { return started_; }
+
+  /// Partition `batch` by shard and enqueue per the overload policy.
+  /// Returns the number of samples actually enqueued (the rest were dropped
+  /// or rejected and counted). Thread-safe; callable from many producers.
+  std::size_t submit(const core::SampleBatch& batch);
+
+  /// Block until every enqueued sub-batch has been appended. Requires
+  /// started(); returns immediately otherwise.
+  void drain();
+
+  /// Close the queues, let workers drain what is already queued, join them.
+  /// Subsequent submissions are counted as rejected.
+  void stop();
+
+  const IngestMetrics& metrics() const { return metrics_; }
+  ShardedTimeSeriesStore& store() { return store_; }
+  const IngestConfig& config() const { return config_; }
+  std::size_t queue_depth(std::size_t shard) const {
+    return channels_[shard]->size();
+  }
+
+ private:
+  void worker(std::size_t shard);
+
+  ShardedTimeSeriesStore& store_;
+  IngestConfig config_;
+  IngestMetrics metrics_;
+  std::vector<std::unique_ptr<transport::Channel<core::SampleBatch>>> channels_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::int64_t> in_flight_{0};  // enqueued, not yet appended
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace hpcmon::ingest

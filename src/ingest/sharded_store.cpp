@@ -1,0 +1,44 @@
+#include "ingest/sharded_store.hpp"
+
+namespace hpcmon::ingest {
+
+ShardedTimeSeriesStore::ShardedTimeSeriesStore(std::size_t shards,
+                                               std::size_t chunk_points) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<store::TimeSeriesStore>(chunk_points));
+  }
+}
+
+std::size_t ShardedTimeSeriesStore::append_batch(
+    const std::vector<core::Sample>& samples) {
+  std::size_t accepted = 0;
+  for (const auto& s : samples) {
+    if (append(s.series, s.time, s.value)) ++accepted;
+  }
+  return accepted;
+}
+
+std::size_t ShardedTimeSeriesStore::evict_before(
+    core::TimePoint cutoff,
+    const std::function<void(core::SeriesId, store::Chunk&&)>& sink) {
+  std::size_t evicted = 0;
+  for (auto& shard : shards_) evicted += shard->evict_before(cutoff, sink);
+  return evicted;
+}
+
+store::StoreStats ShardedTimeSeriesStore::stats() const {
+  store::StoreStats merged;
+  for (const auto& shard : shards_) {
+    const auto st = shard->stats();
+    merged.series += st.series;
+    merged.points += st.points;
+    merged.sealed_chunks += st.sealed_chunks;
+    merged.compressed_bytes += st.compressed_bytes;
+    merged.head_points += st.head_points;
+  }
+  return merged;
+}
+
+}  // namespace hpcmon::ingest

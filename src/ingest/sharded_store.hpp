@@ -1,0 +1,83 @@
+// ShardedTimeSeriesStore: N independent TimeSeriesStore shards, hash-
+// partitioned by SeriesId.
+//
+// The paper's Sec. IV-C storage pain point is that canonical per-site SQL
+// stores "lack scalability with respect to ingest"; the single
+// TimeSeriesStore serializes every append behind one global mutex. Sharding
+// partitions both the data and the lock: a series lives in exactly one
+// shard, so per-series operations route to that shard's store (and its
+// mutex), while whole-store operations (stats, eviction) scatter-gather
+// across shards. The result is a drop-in superset of TimeSeriesStore: same
+// API, identical per-series query results, plus shard-level concurrency for
+// the ingest tier (pipeline.hpp) to exploit.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "store/tsdb.hpp"
+
+namespace hpcmon::ingest {
+
+class ShardedTimeSeriesStore {
+ public:
+  /// `shards` must be >= 1; `chunk_points` is forwarded to every shard.
+  explicit ShardedTimeSeriesStore(std::size_t shards = 4,
+                                  std::size_t chunk_points = 512);
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Owning shard of a series (deterministic multiplicative hash — dense
+  /// SeriesIds spread evenly instead of striding into one shard).
+  std::size_t shard_of(core::SeriesId id) const {
+    return (core::raw(id) * 2654435761u) % shards_.size();
+  }
+
+  store::TimeSeriesStore& shard(std::size_t i) { return *shards_[i]; }
+  const store::TimeSeriesStore& shard(std::size_t i) const {
+    return *shards_[i];
+  }
+
+  // -- TimeSeriesStore-compatible API (routed per series) --------------------
+  bool append(core::SeriesId series, core::TimePoint t, double value) {
+    return shards_[shard_of(series)]->append(series, t, value);
+  }
+  void append(const core::Sample& s) { append(s.series, s.time, s.value); }
+  std::size_t append_batch(const std::vector<core::Sample>& samples);
+
+  std::vector<core::TimedValue> query_range(core::SeriesId series,
+                                            const core::TimeRange& range) const {
+    return shards_[shard_of(series)]->query_range(series, range);
+  }
+  std::optional<core::TimedValue> latest(core::SeriesId series) const {
+    return shards_[shard_of(series)]->latest(series);
+  }
+  std::optional<double> aggregate(core::SeriesId series,
+                                  const core::TimeRange& range,
+                                  store::Agg agg) const {
+    return shards_[shard_of(series)]->aggregate(series, range, agg);
+  }
+  std::vector<core::TimedValue> downsample(core::SeriesId series,
+                                           const core::TimeRange& range,
+                                           core::Duration bucket,
+                                           store::Agg agg) const {
+    return shards_[shard_of(series)]->downsample(series, range, bucket, agg);
+  }
+  bool has_series(core::SeriesId series) const {
+    return shards_[shard_of(series)]->has_series(series);
+  }
+
+  // -- Scatter-gather over all shards ----------------------------------------
+  /// Evict sealed chunks older than `cutoff` from every shard; total count.
+  std::size_t evict_before(core::TimePoint cutoff,
+                           const std::function<void(core::SeriesId,
+                                                    store::Chunk&&)>& sink);
+  /// Merged stats across shards (series are disjoint, so sums are exact).
+  store::StoreStats stats() const;
+
+ private:
+  // TimeSeriesStore owns a mutex (immovable), so shards live behind pointers.
+  std::vector<std::unique_ptr<store::TimeSeriesStore>> shards_;
+};
+
+}  // namespace hpcmon::ingest

@@ -29,6 +29,40 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
       config.get_int("sample_interval_s", 60) * kSecond;
   const Duration log_interval = config.get_int("log_interval_s", 15) * kSecond;
 
+  // Optional threaded ingest tier (ingest_shards > 0). The synchronous
+  // TieredStore path stays the default so existing benches remain
+  // deterministic and reproducible.
+  if (const auto shards = config.get_int("ingest_shards", 0); shards > 0) {
+    sharded_ = std::make_unique<ingest::ShardedTimeSeriesStore>(
+        static_cast<std::size_t>(shards),
+        static_cast<std::size_t>(config.get_int("chunk_points", 512)));
+    ingest::IngestConfig ic;
+    ic.queue_capacity =
+        static_cast<std::size_t>(config.get_int("ingest_queue_cap", 256));
+    ic.policy = ingest::policy_from_string(
+        config.get_string("ingest_policy", "block"),
+        ingest::OverloadPolicy::kBlock);
+    ic.max_coalesce_batches =
+        static_cast<std::size_t>(config.get_int("ingest_coalesce", 16));
+    ingest_ = std::make_unique<ingest::IngestPipeline>(*sharded_, ic);
+    ingest_->start();
+    // The monitor monitors itself: every sweep, the pipeline's own counters
+    // are re-ingested as "ingest.*" series on a service component.
+    ingest_component_ = cluster_.registry().register_component(
+        {"ingest.pipeline", core::ComponentKind::kService,
+         cluster_.topology().system()});
+    cluster_.events().schedule_every(
+        cluster_.now() + sample_interval, sample_interval,
+        [this](core::TimePoint t) {
+          core::SampleBatch self;
+          self.sweep_time = t;
+          self.origin = ingest_component_;
+          self.samples = ingest_->metrics().to_samples(cluster_.registry(),
+                                                       ingest_component_, t);
+          ingest_->submit(self);
+        });
+  }
+
   // Collection -> router.
   for (auto& sampler : collect::make_all_samplers(cluster_)) {
     collection_.add_sampler(std::move(sampler), sample_interval,
@@ -85,7 +119,11 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
                                                a.event.score)});
                         }
                       }
-                      tsdb_.append_batch(batch.value().samples);
+                      if (ingest_) {
+                        ingest_->submit(batch.value());
+                      } else {
+                        tsdb_.append_batch(batch.value().samples);
+                      }
                     });
   router_.subscribe(transport::FrameType::kLogs,
                     [this](const transport::Frame& f) { on_log_frame(f); });
@@ -179,13 +217,21 @@ void MonitoringStack::on_log_frame(const transport::Frame& frame) {
 }
 
 std::string MonitoringStack::status() const {
-  const auto st = tsdb_.hot().stats();
-  return core::strformat(
+  const auto st = ingest_ ? sharded_->stats() : tsdb_.hot().stats();
+  std::string line = core::strformat(
       "t=%s series=%zu points=%zu archived_blobs=%zu logs=%zu jobs=%zu "
       "alerts_active=%zu actions=%zu",
       core::format_time(cluster_.now()).c_str(), st.series, st.points,
       tsdb_.archive().blob_count(), logs_.size(), jobs_.size(),
       alerts_.active().size(), actions_.log().size());
+  if (ingest_) {
+    line += core::strformat(
+        " | shards=%zu policy=%s ",
+        sharded_->shard_count(),
+        std::string(ingest::to_string(ingest_->config().policy)).c_str());
+    line += ingest_->metrics().snapshot().to_string();
+  }
+  return line;
 }
 
 }  // namespace hpcmon::stack

@@ -29,6 +29,13 @@
 //   gate_pre / gate_post (false) CSCS-style GPU job gating
 //   gate_repair_s       (1800)
 //   quarantine_on_hw_critical (false) automated node quarantine action
+//   ingest_shards       (0)     >0 routes numeric samples through the
+//                               threaded sharded ingest tier (src/ingest)
+//                               instead of the synchronous TieredStore
+//                               append; 0 keeps the deterministic default
+//   ingest_queue_cap    (256)   bounded sub-batches per shard queue
+//   ingest_policy       (block) overload policy: block|drop_oldest|reject
+//   ingest_coalesce     (16)    max sub-batches merged per shard append
 #pragma once
 
 #include <memory>
@@ -41,6 +48,8 @@
 #include "collect/probes.hpp"
 #include "collect/samplers.hpp"
 #include "core/config.hpp"
+#include "ingest/pipeline.hpp"
+#include "ingest/sharded_store.hpp"
 #include "response/actions.hpp"
 #include "response/alerts.hpp"
 #include "response/gate.hpp"
@@ -69,6 +78,20 @@ class MonitoringStack {
   analysis::DetectorBank& detectors() { return detectors_; }
   collect::CollectionService& collection() { return collection_; }
   sim::Cluster& cluster() { return cluster_; }
+
+  /// Threaded ingest tier; nullptr unless ingest_shards > 0. When enabled,
+  /// numeric samples land in sharded_store() (asynchronously — call
+  /// drain_ingest() before querying) and the pipeline's self-metrics are
+  /// re-ingested as "ingest.*" series every sample sweep.
+  ingest::IngestPipeline* ingest_pipeline() { return ingest_.get(); }
+  const ingest::ShardedTimeSeriesStore* sharded_store() const {
+    return sharded_.get();
+  }
+  ingest::ShardedTimeSeriesStore* sharded_store() { return sharded_.get(); }
+  /// Wait until the ingest tier has appended everything submitted so far.
+  void drain_ingest() {
+    if (ingest_) ingest_->drain();
+  }
 
   /// Novelty reports accumulated so far (empty unless novelty = true).
   const std::vector<analysis::NoveltyEvent>& novelty_reports() const {
@@ -106,6 +129,11 @@ class MonitoringStack {
   std::vector<analysis::NoveltyEvent> novelty_reports_;
   std::string archive_path_;
   std::uint64_t archive_saves_ = 0;
+  // Declaration order matters: ingest_ is destroyed (joining its workers)
+  // before sharded_, which the workers append into.
+  std::unique_ptr<ingest::ShardedTimeSeriesStore> sharded_;
+  std::unique_ptr<ingest::IngestPipeline> ingest_;
+  core::ComponentId ingest_component_ = core::kNoComponent;
 };
 
 }  // namespace hpcmon::stack

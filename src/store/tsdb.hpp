@@ -37,8 +37,10 @@ class TimeSeriesStore {
   explicit TimeSeriesStore(std::size_t chunk_points = 512)
       : chunk_points_(chunk_points) {}
 
-  /// Append one point. Out-of-order points (time < last time of the series)
-  /// are rejected (returns false) — matching TSDB ingest semantics.
+  /// Append one point. Out-of-order AND duplicate-timestamp points
+  /// (time <= last time of the series) are rejected (returns false) —
+  /// per-series timestamps are strictly increasing, so query_range can never
+  /// return duplicate points. Matching TSDB ingest semantics.
   bool append(core::SeriesId series, core::TimePoint t, double value);
   void append(const core::Sample& s) { append(s.series, s.time, s.value); }
   /// Append a whole batch; returns the number accepted.

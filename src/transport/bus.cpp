@@ -2,6 +2,30 @@
 
 namespace hpcmon::transport {
 
+namespace {
+// Recursive segment matcher; pattern/topic segment lists are short (a topic
+// has a handful of dot-separated parts), so backtracking over '#' is cheap.
+bool segments_match(const std::vector<std::string_view>& pat, std::size_t pi,
+                    const std::vector<std::string_view>& top, std::size_t ti) {
+  if (pi == pat.size()) return ti == top.size();
+  if (pat[pi] == "#") {
+    // '#' consumes zero or more whole segments.
+    for (std::size_t k = ti; k <= top.size(); ++k) {
+      if (segments_match(pat, pi + 1, top, k)) return true;
+    }
+    return false;
+  }
+  if (ti == top.size()) return false;
+  if (!core::glob_match(pat[pi], top[ti])) return false;
+  return segments_match(pat, pi + 1, top, ti + 1);
+}
+}  // namespace
+
+bool topic_match(std::string_view pattern, std::string_view topic) {
+  return segments_match(core::split(pattern, '.'), 0, core::split(topic, '.'),
+                        0);
+}
+
 void Bus::subscribe(std::string topic_glob, Handler handler) {
   bindings_.emplace_back(std::move(topic_glob), std::move(handler));
 }
@@ -10,7 +34,7 @@ void Bus::publish(const std::string& topic, const Payload& payload) {
   ++stats_.published;
   bool delivered = false;
   for (const auto& [glob, handler] : bindings_) {
-    if (core::glob_match(glob, topic)) {
+    if (topic_match(glob, topic)) {
       handler(topic, payload);
       ++stats_.deliveries;
       delivered = true;

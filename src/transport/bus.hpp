@@ -4,8 +4,10 @@
 // feeding Elasticsearch (Sec. IV-C); Table I requires directing "the data
 // and analysis results to multiple consumers". Bus gives hpcmon that
 // routing layer: publishers tag payloads with a dotted topic
-// ("samples.node.c0-0", "logs.hardware"), subscribers bind glob patterns
-// ("samples.*", "logs.#" -> use '*' which spans dots here).
+// ("samples.node.c0-0", "logs.hardware"), subscribers bind AMQP-style
+// patterns: '*' matches exactly one dot-separated segment (and may appear
+// inside a segment, e.g. "samples.node.c0-*"), '#' matches zero or more
+// whole segments ("logs.#" matches "logs", "logs.hardware.gpu", ...).
 #pragma once
 
 #include <functional>
@@ -29,12 +31,17 @@ struct BusStats {
   std::uint64_t unrouted = 0;
 };
 
+/// AMQP-style topic match over dot-separated segments: '#' matches zero or
+/// more whole segments; within a segment, '*' and '?' glob without crossing
+/// dots (so a bare '*' segment matches exactly one segment).
+bool topic_match(std::string_view pattern, std::string_view topic);
+
 class Bus {
  public:
   using Handler = std::function<void(const std::string& topic,
                                      const Payload& payload)>;
 
-  /// Bind a handler to a topic glob ('*' and '?' wildcards).
+  /// Bind a handler to a topic pattern (see topic_match for the semantics).
   void subscribe(std::string topic_glob, Handler handler);
 
   /// Deliver to every matching binding, in subscription order.

@@ -7,6 +7,7 @@
 // it is explicit: producers block when the channel is full).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -38,10 +39,45 @@ class Channel {
     return true;
   }
 
+  /// Timed push: waits up to `timeout` for space. Returns false on timeout or
+  /// close and leaves `value` intact (not consumed), so callers can apply an
+  /// overload policy (drop, reject, retry) to the very same item. A zero
+  /// timeout is a non-consuming try_push.
+  template <typename Rep, typename Period>
+  bool push_for(T& value, const std::chrono::duration<Rep, Period>& timeout) {
+    std::unique_lock lock(mu_);
+    if (!not_full_.wait_for(lock, timeout, [&] {
+          return closed_ || queue_.size() < capacity_;
+        })) {
+      return false;
+    }
+    if (closed_) return false;
+    queue_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Blocking pop; nullopt once closed and drained.
   std::optional<T> pop() {
     std::unique_lock lock(mu_);
     not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;
+    T out = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Timed pop: waits up to `timeout` for an item. Returns nullopt on timeout
+  /// or once closed and drained. Lets consumers wake periodically to check
+  /// shutdown flags instead of blocking forever on an idle queue.
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(const std::chrono::duration<Rep, Period>& timeout) {
+    std::unique_lock lock(mu_);
+    if (!not_empty_.wait_for(lock, timeout,
+                             [&] { return closed_ || !queue_.empty(); })) {
+      return std::nullopt;
+    }
     if (queue_.empty()) return std::nullopt;
     T out = std::move(queue_.front());
     queue_.pop_front();

@@ -1,0 +1,122 @@
+// Satellite: concurrent-store stress. M producer threads (a mix of
+// disjoint-series and overlapping-series writers) race a reader thread that
+// continuously runs query_range / stats / latest. Typed over BOTH the
+// single-mutex TimeSeriesStore and the hash-partitioned
+// ingest::ShardedTimeSeriesStore so the two honor the same contract under
+// contention. Labeled `threaded` — the tsan preset runs it under
+// ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "ingest/sharded_store.hpp"
+#include "store/tsdb.hpp"
+
+namespace hpcmon {
+namespace {
+
+using core::SeriesId;
+using core::TimePoint;
+using core::TimeRange;
+
+template <typename Store>
+Store make_store();
+
+template <>
+store::TimeSeriesStore make_store<store::TimeSeriesStore>() {
+  return store::TimeSeriesStore(64);
+}
+template <>
+ingest::ShardedTimeSeriesStore make_store<ingest::ShardedTimeSeriesStore>() {
+  return ingest::ShardedTimeSeriesStore(4, 64);
+}
+
+template <typename Store>
+class StoreConcurrencyTest : public ::testing::Test {};
+
+using StoreTypes =
+    ::testing::Types<store::TimeSeriesStore, ingest::ShardedTimeSeriesStore>;
+TYPED_TEST_SUITE(StoreConcurrencyTest, StoreTypes);
+
+TYPED_TEST(StoreConcurrencyTest, ProducersAndReaderRaceSafely) {
+  constexpr int kDisjointProducers = 3;
+  constexpr int kOverlapProducers = 2;
+  constexpr int kPointsPerSeries = 400;
+  constexpr std::uint32_t kSharedSeries = 1000;
+
+  auto store = make_store<TypeParam>();
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> overlap_accepted{0};
+
+  // Reader: exercises every read path while writers mutate.
+  std::thread reader([&] {
+    std::uint64_t sink = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto st = store.stats();
+      sink += st.points;
+      for (std::uint32_t s = 0; s < kDisjointProducers + 1; ++s) {
+        sink += store.query_range(SeriesId{s}, TimeRange{0, core::kDay}).size();
+        if (const auto l = store.latest(SeriesId{s})) sink += l->time > 0;
+      }
+      sink += store.query_range(SeriesId{kSharedSeries},
+                                TimeRange{0, core::kDay}).size();
+    }
+    EXPECT_GE(sink, 0u);  // keep `sink` observable
+  });
+
+  std::vector<std::thread> producers;
+  // Disjoint writers: producer p owns series p exclusively, strictly
+  // increasing timestamps, so every append must be accepted.
+  for (int p = 0; p < kDisjointProducers; ++p) {
+    producers.emplace_back([&store, p] {
+      for (int i = 0; i < kPointsPerSeries; ++i) {
+        ASSERT_TRUE(store.append(SeriesId{static_cast<std::uint32_t>(p)},
+                                 (i + 1) * core::kSecond, p + i * 0.5));
+      }
+    });
+  }
+  // Overlapping writers: both hammer the SAME series with the same timestamp
+  // ladder — exactly one append per timestamp may win; none may corrupt.
+  for (int p = 0; p < kOverlapProducers; ++p) {
+    producers.emplace_back([&store, &overlap_accepted] {
+      for (int i = 0; i < kPointsPerSeries; ++i) {
+        if (store.append(SeriesId{kSharedSeries}, (i + 1) * core::kSecond,
+                         1.0 * i)) {
+          overlap_accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  // Disjoint series all complete and ordered.
+  for (std::uint32_t s = 0; s < kDisjointProducers; ++s) {
+    const auto pts = store.query_range(SeriesId{s}, TimeRange{0, core::kDay});
+    ASSERT_EQ(pts.size(), static_cast<std::size_t>(kPointsPerSeries));
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+      ASSERT_LT(pts[i - 1].time, pts[i].time);
+    }
+  }
+  // Shared series: the store accepted exactly the points it now returns,
+  // all strictly increasing, and the top of the timestamp ladder landed
+  // (a fast writer may advance last_time past a slow one, so the count can
+  // legitimately be below kPointsPerSeries — but never above).
+  const auto shared =
+      store.query_range(SeriesId{kSharedSeries}, TimeRange{0, core::kDay});
+  EXPECT_EQ(shared.size(), overlap_accepted.load());
+  EXPECT_GE(shared.size(), 1u);
+  EXPECT_LE(shared.size(), static_cast<std::size_t>(kPointsPerSeries));
+  EXPECT_EQ(shared.back().time, kPointsPerSeries * core::kSecond);
+  for (std::size_t i = 1; i < shared.size(); ++i) {
+    ASSERT_LT(shared[i - 1].time, shared[i].time);
+  }
+  const auto st = store.stats();
+  EXPECT_EQ(st.points, kDisjointProducers * kPointsPerSeries + shared.size());
+  EXPECT_EQ(st.series, static_cast<std::size_t>(kDisjointProducers) + 1);
+}
+
+}  // namespace
+}  // namespace hpcmon

@@ -37,6 +37,52 @@ TEST(TsdbTest, RejectsOutOfOrder) {
   EXPECT_TRUE(store.append(kS1, 50, 5.0));
 }
 
+TEST(TsdbTest, DuplicateTimestampRejectedAtChunkSealBoundary) {
+  // last_time must survive the head-vector -> sealed-chunk handoff: a
+  // duplicate of the final point of a just-sealed chunk is still rejected.
+  TimeSeriesStore store(4);
+  for (int i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(store.append(kS0, i * core::kSecond, i * 1.0));
+  }
+  ASSERT_EQ(store.stats().sealed_chunks, 1u);  // head just sealed
+  EXPECT_FALSE(store.append(kS0, 4 * core::kSecond, 99.0));  // dup of sealed tail
+  EXPECT_FALSE(store.append(kS0, 3 * core::kSecond, 99.0));
+  EXPECT_TRUE(store.append(kS0, 5 * core::kSecond, 5.0));
+  // query_range can never return duplicate timestamps.
+  const auto pts = store.query_range(kS0, {0, core::kDay});
+  ASSERT_EQ(pts.size(), 5u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LT(pts[i - 1].time, pts[i].time);
+  }
+}
+
+TEST(TsdbTest, DuplicateTimestampRejectedAfterEviction) {
+  // Eviction removes points but not ordering history: re-appending an
+  // evicted timestamp must still fail, or re-ingest after retention would
+  // silently reorder the series.
+  TimeSeriesStore store(4);
+  for (int i = 1; i <= 9; ++i) store.append(kS0, i * core::kSecond, i * 1.0);
+  std::size_t moved = 0;
+  store.evict_before(5 * core::kSecond,
+                     [&](SeriesId, Chunk&&) { ++moved; });
+  ASSERT_GT(moved, 0u);
+  EXPECT_FALSE(store.append(kS0, 2 * core::kSecond, 99.0));  // evicted region
+  EXPECT_FALSE(store.append(kS0, 9 * core::kSecond, 99.0));  // dup of live tail
+  EXPECT_TRUE(store.append(kS0, 10 * core::kSecond, 10.0));
+}
+
+TEST(TsdbTest, AppendBatchCountsDuplicatesAsRejected) {
+  TimeSeriesStore store;
+  std::vector<core::Sample> batch = {
+      {kS0, 100, 1.0}, {kS0, 100, 2.0},  // duplicate inside one batch
+      {kS0, 101, 3.0}, {kS0, 90, 4.0},   // out-of-order straggler
+      {kS1, 100, 5.0},
+  };
+  EXPECT_EQ(store.append_batch(batch), 3u);  // 2 of 5 rejected
+  EXPECT_EQ(store.query_range(kS0, {0, core::kDay}).size(), 2u);
+  EXPECT_EQ(store.query_range(kS1, {0, core::kDay}).size(), 1u);
+}
+
 TEST(TsdbTest, LatestAcrossSealedAndHead) {
   TimeSeriesStore store(4);
   EXPECT_FALSE(store.latest(kS0).has_value());

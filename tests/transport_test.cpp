@@ -148,7 +148,7 @@ TEST(BusTest, TopicGlobRouting) {
   bus.subscribe("samples.node.*", [&](const std::string&, const Payload&) {
     ++node_batches;
   });
-  bus.subscribe("*", [&](const std::string&, const Payload&) { ++all; });
+  bus.subscribe("#", [&](const std::string&, const Payload&) { ++all; });
   bus.subscribe("logs.*", [&](const std::string&, const Payload& p) {
     ++logs;
     EXPECT_TRUE(std::holds_alternative<std::vector<LogEvent>>(p));
@@ -162,6 +162,45 @@ TEST(BusTest, TopicGlobRouting) {
   EXPECT_EQ(bus.stats().published, 3u);
   EXPECT_EQ(bus.stats().deliveries, 5u);
   EXPECT_EQ(bus.stats().unrouted, 0u);
+}
+
+TEST(BusTest, StarMatchesExactlyOneSegment) {
+  // AMQP semantics: `*` never crosses a `.` boundary.
+  EXPECT_TRUE(topic_match("samples.*.power", "samples.node.power"));
+  EXPECT_FALSE(topic_match("samples.*.power", "samples.node.c0-0.power"));
+  EXPECT_FALSE(topic_match("samples.*", "samples.node.c0-0"));
+  EXPECT_FALSE(topic_match("*", "samples.node"));
+  EXPECT_TRUE(topic_match("*", "samples"));
+  // Glob characters still work WITHIN a segment.
+  EXPECT_TRUE(topic_match("samples.node.c0-*", "samples.node.c0-0c1s3n2"));
+  EXPECT_FALSE(topic_match("samples.node.c0-*", "samples.node.c1-0"));
+  EXPECT_TRUE(topic_match("logs.hw?", "logs.hw1"));
+}
+
+TEST(BusTest, HashMatchesZeroOrMoreSegments) {
+  EXPECT_TRUE(topic_match("#", "samples.node.c0-0"));
+  EXPECT_TRUE(topic_match("#", "samples"));
+  EXPECT_TRUE(topic_match("logs.#", "logs.hardware.gpu"));
+  EXPECT_TRUE(topic_match("logs.#", "logs"));  // zero segments
+  EXPECT_FALSE(topic_match("logs.#", "samples.node"));
+  EXPECT_TRUE(topic_match("samples.#.power", "samples.power"));
+  EXPECT_TRUE(topic_match("samples.#.power", "samples.node.c0-0.power"));
+  EXPECT_FALSE(topic_match("samples.#.power", "samples.node.temp"));
+  // `#` composes with `*`: any depth, then one node segment.
+  EXPECT_TRUE(topic_match("#.c0-*", "samples.node.c0-0"));
+  EXPECT_FALSE(topic_match("#.c0-*", "samples.node"));
+}
+
+TEST(BusTest, HashSubscriptionRoutesAcrossDepths) {
+  Bus bus;
+  int n = 0;
+  bus.subscribe("samples.#", [&](const std::string&, const Payload&) { ++n; });
+  bus.publish("samples", make_batch());
+  bus.publish("samples.node", make_batch());
+  bus.publish("samples.node.c0-0.power", make_batch());
+  bus.publish("logs.hardware", make_logs());
+  EXPECT_EQ(n, 3);
+  EXPECT_EQ(bus.stats().unrouted, 1u);
 }
 
 TEST(BusTest, UnroutedCounted) {
@@ -190,6 +229,88 @@ TEST(ChannelTest, BoundedCapacity) {
   EXPECT_FALSE(ch.try_push(3));  // full
   ch.try_pop();
   EXPECT_TRUE(ch.try_push(3));
+}
+
+TEST(ChannelTest, PopForTimesOutOnEmptyAndReturnsWhenFed) {
+  using namespace std::chrono_literals;
+  Channel<int> ch(2);
+  EXPECT_FALSE(ch.pop_for(1ms).has_value());  // empty: times out
+  int v = 7;
+  EXPECT_TRUE(ch.push_for(v, 0ms));
+  const auto got = ch.pop_for(1h);  // returns immediately, no 1h wait
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 7);
+}
+
+TEST(ChannelTest, PushForTimesOutWhenFullWithoutConsumingValue) {
+  using namespace std::chrono_literals;
+  Channel<std::string> ch(1);
+  std::string first = "first";
+  std::string second = "second";
+  EXPECT_TRUE(ch.push_for(first, 0ms));
+  // Full: timed push fails AND leaves the value intact so the caller can
+  // apply an overload policy (retry, drop-oldest, reject) with the same item.
+  EXPECT_FALSE(ch.push_for(second, 1ms));
+  EXPECT_EQ(second, "second");
+  ch.try_pop();
+  EXPECT_TRUE(ch.push_for(second, 0ms));
+  EXPECT_EQ(ch.pop_for(0ms), "second");
+}
+
+TEST(ChannelTest, CloseWakesTimedWaiters) {
+  using namespace std::chrono_literals;
+  Channel<int> ch(1);
+  // A pop_for blocked on an empty channel returns nullopt promptly on close
+  // rather than sleeping out its full timeout.
+  std::thread closer([&ch] {
+    std::this_thread::sleep_for(5ms);
+    ch.close();
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(ch.pop_for(10s).has_value());
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 5s);
+  closer.join();
+  // After close: timed push always fails, timed pop drains then fails.
+  int v = 1;
+  EXPECT_FALSE(ch.push_for(v, 10s));
+  EXPECT_FALSE(ch.pop_for(0ms).has_value());
+}
+
+TEST(ChannelTest, CloseWithBacklogDrainsThroughPopFor) {
+  using namespace std::chrono_literals;
+  Channel<int> ch(4);
+  int a = 1;
+  int b = 2;
+  ch.push_for(a, 0ms);
+  ch.push_for(b, 0ms);
+  ch.close();
+  EXPECT_EQ(ch.pop_for(0ms), 1);  // close never loses queued items
+  EXPECT_EQ(ch.pop_for(0ms), 2);
+  EXPECT_FALSE(ch.pop_for(1ms).has_value());
+}
+
+TEST(ChannelTest, TimedCrossThreadHandoff) {
+  using namespace std::chrono_literals;
+  Channel<int> ch(1);
+  std::thread producer([&ch] {
+    for (int i = 0; i < 100; ++i) {
+      int v = i;
+      while (!ch.push_for(v, 1ms)) {
+      }
+    }
+    ch.close();
+  });
+  int expected = 0;
+  for (;;) {
+    const auto v = ch.pop_for(1ms);
+    if (v.has_value()) {
+      EXPECT_EQ(*v, expected++);
+    } else if (ch.closed() && ch.size() == 0) {
+      break;  // close happens-after every push, so empty+closed means done
+    }
+  }
+  producer.join();
+  EXPECT_EQ(expected, 100);
 }
 
 TEST(ChannelTest, CrossThreadTransfer) {
