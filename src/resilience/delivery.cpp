@@ -1,0 +1,89 @@
+#include "resilience/delivery.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "core/strings.hpp"
+#include "resilience/fault.hpp"
+
+namespace hpcmon::resilience {
+
+using core::Status;
+
+std::string DeliveryStats::to_string() const {
+  return core::strformat(
+      "dlv ok=%llu retry=%llu fail=%llu dlq=%llu evict=%llu redlv=%llu",
+      static_cast<unsigned long long>(delivered),
+      static_cast<unsigned long long>(retries),
+      static_cast<unsigned long long>(failures),
+      static_cast<unsigned long long>(dead_lettered),
+      static_cast<unsigned long long>(evicted),
+      static_cast<unsigned long long>(redelivered));
+}
+
+ReliableDelivery::ReliableDelivery(DeliverFn fn, DeliveryOptions options)
+    : fn_(std::move(fn)), options_(options) {
+  if (options_.max_attempts < 1) options_.max_attempts = 1;
+}
+
+Status ReliableDelivery::attempt(const transport::Frame& frame) {
+  try {
+    return fn_(frame);
+  } catch (const std::exception& e) {
+    return Status::error(std::string("delivery threw: ") + e.what());
+  }
+}
+
+bool ReliableDelivery::deliver(const transport::Frame& frame) {
+  for (int n = 0; n < options_.max_attempts; ++n) {
+    if (n > 0) {
+      ++stats_.retries;
+      if (options_.backoff_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options_.backoff_ms << (n - 1)));
+      }
+    }
+    if (attempt(frame).is_ok()) {
+      ++stats_.delivered;
+      return true;
+    }
+  }
+  ++stats_.failures;
+  if (options_.dead_letter_cap > 0) {
+    if (dead_letters_.size() >= options_.dead_letter_cap) {
+      dead_letters_.pop_front();
+      ++stats_.evicted;
+    }
+    dead_letters_.push_back(frame);
+    ++stats_.dead_lettered;
+  }
+  return false;
+}
+
+std::size_t ReliableDelivery::redeliver() {
+  std::size_t ok = 0;
+  const std::size_t pending = dead_letters_.size();
+  for (std::size_t i = 0; i < pending; ++i) {
+    transport::Frame frame = std::move(dead_letters_.front());
+    dead_letters_.pop_front();
+    if (attempt(frame).is_ok()) {
+      ++ok;
+      ++stats_.redelivered;
+    } else {
+      dead_letters_.push_back(std::move(frame));  // keep, retry later
+    }
+  }
+  return ok;
+}
+
+ReliableDelivery::DeliverFn faulty_deliver(ReliableDelivery::DeliverFn inner,
+                                           FaultPlan& plan) {
+  return [inner = std::move(inner), &plan](const transport::Frame& frame) {
+    if (plan.delivery_error()) {
+      return Status::error("injected delivery fault");
+    }
+    return inner(frame);
+  };
+}
+
+}  // namespace hpcmon::resilience

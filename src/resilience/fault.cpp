@@ -1,0 +1,92 @@
+#include "resilience/fault.hpp"
+
+#include <stdexcept>
+
+namespace hpcmon::resilience {
+
+FaultPlan::FaultPlan(std::uint64_t seed, FaultSpec spec)
+    : rng_(seed), spec_(spec) {}
+
+bool FaultPlan::draw(double p, std::uint64_t& counter, std::uint64_t at,
+                     std::uint64_t& injected_counter, bool sticky) {
+  ++counter;
+  bool fire = at != 0 && (counter == at || (sticky && counter > at));
+  if (!fire && p > 0.0) fire = rng_.bernoulli(p);
+  if (fire) ++injected_counter;
+  return fire;
+}
+
+bool FaultPlan::sampler_error() {
+  std::scoped_lock lock(mu_);
+  return draw(spec_.sampler_error_p, sampler_error_ops_,
+              spec_.sampler_error_at, injected_.sampler_errors);
+}
+
+bool FaultPlan::sampler_hang() {
+  std::scoped_lock lock(mu_);
+  return draw(spec_.sampler_hang_p, sampler_hang_ops_, spec_.sampler_hang_at,
+              injected_.sampler_hangs, spec_.sampler_hang_sticky);
+}
+
+WalFault FaultPlan::wal_fault() {
+  std::scoped_lock lock(mu_);
+  ++wal_ops_;
+  const bool short_at = spec_.wal_short_write_at != 0 &&
+                        wal_ops_ == spec_.wal_short_write_at;
+  const bool error_at = spec_.wal_error_at != 0 && wal_ops_ == spec_.wal_error_at;
+  if (short_at || (spec_.wal_short_write_p > 0.0 &&
+                   rng_.bernoulli(spec_.wal_short_write_p))) {
+    ++injected_.wal_short_writes;
+    return WalFault::kShortWrite;
+  }
+  if (error_at || (spec_.wal_error_p > 0.0 && rng_.bernoulli(spec_.wal_error_p))) {
+    ++injected_.wal_errors;
+    return WalFault::kError;
+  }
+  return WalFault::kNone;
+}
+
+bool FaultPlan::delivery_error() {
+  std::scoped_lock lock(mu_);
+  return draw(spec_.delivery_error_p, delivery_ops_, spec_.delivery_error_at,
+              injected_.delivery_errors);
+}
+
+void FaultPlan::enter_hang() {
+  std::unique_lock lock(mu_);
+  if (released_) return;
+  ++hanging_;
+  hang_cv_.wait(lock, [&] { return released_; });
+  --hanging_;
+  hang_cv_.notify_all();
+}
+
+void FaultPlan::release_hangs() {
+  std::unique_lock lock(mu_);
+  released_ = true;
+  hang_cv_.notify_all();
+  hang_cv_.wait(lock, [&] { return hanging_ == 0; });
+}
+
+std::size_t FaultPlan::active_hangs() const {
+  std::scoped_lock lock(mu_);
+  return hanging_;
+}
+
+InjectedFaults FaultPlan::injected() const {
+  std::scoped_lock lock(mu_);
+  return injected_;
+}
+
+void FaultySampler::sample(core::TimePoint sweep_time, core::SampleBatch& out) {
+  if (plan_.sampler_hang()) {
+    plan_.enter_hang();
+    return;  // released long after the sweep: contributes nothing
+  }
+  if (plan_.sampler_error()) {
+    throw std::runtime_error("injected sampler fault: " + inner_->name());
+  }
+  inner_->sample(sweep_time, out);
+}
+
+}  // namespace hpcmon::resilience

@@ -1,0 +1,120 @@
+// Deterministic fault injection for the resilience tier.
+//
+// Every site in the paper learned its failure modes the hard way: hung
+// vendor probes, lossy undocumented transports, stores that could not be
+// trusted across restarts (Secs. III-IV). hpcmon makes those failure modes
+// first-class test inputs instead. A FaultPlan is a seeded-RNG-driven (plus
+// optionally scripted) schedule of faults; wrappers consult it at well-
+// defined points:
+//   * FaultySampler  — wraps any collect::Sampler; injects thrown errors and
+//     simulated hangs (the hang parks the calling thread on a condition
+//     variable until release_hangs(), so a SupervisedSampler watchdog can be
+//     exercised deterministically and CI can always reclaim the thread).
+//   * WriteAheadLog  — consults wal_fault() before each physical append to
+//     inject I/O errors and short (torn) writes, simulating crashes mid-
+//     record.
+//   * ReliableDelivery — faulty_deliver() wraps a delivery function with
+//     injected failures to drive retry/dead-letter paths.
+//
+// Determinism: all probabilistic draws come from one seeded core::Rng behind
+// a mutex; given a fixed seed and a fixed sequence of queries the injected
+// fault schedule is bit-reproducible. Scripted one-shots (`*_at` fields,
+// 1-based operation indices) fire regardless of the probabilities, so tests
+// can place a single fault at an exact operation.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "collect/sampler.hpp"
+#include "core/rng.hpp"
+
+namespace hpcmon::resilience {
+
+enum class WalFault : std::uint8_t { kNone, kError, kShortWrite };
+
+struct FaultSpec {
+  // Per-operation probabilities (0 disables the class of fault).
+  double sampler_error_p = 0.0;
+  double sampler_hang_p = 0.0;
+  double wal_error_p = 0.0;
+  double wal_short_write_p = 0.0;
+  double delivery_error_p = 0.0;
+  // Scripted one-shots: fire at the Nth query of that category (1-based);
+  // 0 disables. Fires in addition to any probabilistic faults.
+  std::uint64_t sampler_error_at = 0;
+  std::uint64_t sampler_hang_at = 0;
+  std::uint64_t wal_error_at = 0;
+  std::uint64_t wal_short_write_at = 0;
+  std::uint64_t delivery_error_at = 0;
+  /// Every sampler query after `sampler_hang_at` also hangs when set —
+  /// models a permanently wedged probe rather than a one-off stall.
+  bool sampler_hang_sticky = false;
+};
+
+/// Counters of faults actually injected (for asserting test coverage).
+struct InjectedFaults {
+  std::uint64_t sampler_errors = 0;
+  std::uint64_t sampler_hangs = 0;
+  std::uint64_t wal_errors = 0;
+  std::uint64_t wal_short_writes = 0;
+  std::uint64_t delivery_errors = 0;
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed, FaultSpec spec = {});
+
+  // Each query advances that category's operation counter; thread-safe.
+  bool sampler_error();
+  bool sampler_hang();
+  WalFault wal_fault();
+  bool delivery_error();
+
+  /// Park the calling thread (a simulated hang) until release_hangs().
+  void enter_hang();
+  /// Wake every simulated hang and wait until the hung threads have left
+  /// enter_hang(), so tests tear down deterministically.
+  void release_hangs();
+  std::size_t active_hangs() const;
+
+  InjectedFaults injected() const;
+
+ private:
+  bool draw(double p, std::uint64_t& counter, std::uint64_t at,
+            std::uint64_t& injected_counter, bool sticky = false);
+
+  mutable std::mutex mu_;
+  std::condition_variable hang_cv_;
+  core::Rng rng_;
+  FaultSpec spec_;
+  std::uint64_t sampler_error_ops_ = 0;
+  std::uint64_t sampler_hang_ops_ = 0;
+  std::uint64_t wal_ops_ = 0;
+  std::uint64_t delivery_ops_ = 0;
+  std::size_t hanging_ = 0;
+  bool released_ = false;
+  InjectedFaults injected_;
+};
+
+/// Wrap `inner` so its sample() calls consult `plan`: an injected error
+/// throws std::runtime_error; an injected hang parks the calling thread
+/// until plan.release_hangs(). The plan must outlive every thread that may
+/// still be inside sample().
+class FaultySampler : public collect::Sampler {
+ public:
+  FaultySampler(std::unique_ptr<collect::Sampler> inner, FaultPlan& plan)
+      : inner_(std::move(inner)), plan_(plan) {}
+
+  std::string name() const override { return inner_->name(); }
+  void sample(core::TimePoint sweep_time, core::SampleBatch& out) override;
+
+ private:
+  std::unique_ptr<collect::Sampler> inner_;
+  FaultPlan& plan_;
+};
+
+}  // namespace hpcmon::resilience

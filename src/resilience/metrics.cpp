@@ -1,0 +1,76 @@
+#include "resilience/metrics.hpp"
+
+namespace hpcmon::resilience {
+
+std::vector<core::Sample> resilience_samples(core::MetricRegistry& registry,
+                                             core::ComponentId component,
+                                             core::TimePoint now,
+                                             const WalStats* wal,
+                                             const ReplayStats* replay,
+                                             const SupervisorStats* supervisor,
+                                             const DeliveryStats* delivery) {
+  std::vector<core::Sample> out;
+  const auto emit = [&](const char* name, const char* units, const char* desc,
+                        bool counter, double value) {
+    const auto metric = registry.register_metric({name, units, desc, counter});
+    out.push_back({registry.series(metric, component), now, value});
+  };
+  if (wal != nullptr) {
+    emit("resilience.wal_records", "records",
+         "sample batches appended to the write-ahead log", true,
+         static_cast<double>(wal->appended_records));
+    emit("resilience.wal_bytes", "bytes", "bytes appended to the WAL", true,
+         static_cast<double>(wal->appended_bytes));
+    emit("resilience.wal_append_failures", "records",
+         "WAL appends that failed (I/O error or torn write)", true,
+         static_cast<double>(wal->append_failures));
+    emit("resilience.wal_segments_truncated", "segments",
+         "sealed WAL segments deleted past the durability watermark", true,
+         static_cast<double>(wal->segments_truncated));
+  }
+  if (replay != nullptr) {
+    emit("resilience.replay_records", "records",
+         "WAL records restored at the last restart", true,
+         static_cast<double>(replay->records));
+    emit("resilience.replay_samples", "samples",
+         "samples restored from the WAL at the last restart", true,
+         static_cast<double>(replay->samples));
+    emit("resilience.replay_corrupt_skipped", "records",
+         "CRC-mismatched WAL records skipped during replay", true,
+         static_cast<double>(replay->corrupt_skipped));
+    emit("resilience.replay_torn_tails", "records",
+         "torn trailing WAL records tolerated during replay", true,
+         static_cast<double>(replay->torn_tails));
+  }
+  if (supervisor != nullptr) {
+    emit("resilience.sampler_errors", "calls",
+         "supervised sampler calls that threw", true,
+         static_cast<double>(supervisor->errors));
+    emit("resilience.sampler_timeouts", "calls",
+         "supervised sampler calls abandoned at the deadline", true,
+         static_cast<double>(supervisor->timeouts));
+    emit("resilience.sampler_skipped", "calls",
+         "sweeps that skipped a quarantined (breaker-open) sampler", true,
+         static_cast<double>(supervisor->skipped));
+    emit("resilience.sampler_successes", "calls",
+         "supervised sampler calls that completed in time", true,
+         static_cast<double>(supervisor->successes));
+  }
+  if (delivery != nullptr) {
+    emit("resilience.delivery_retries", "attempts",
+         "extra delivery attempts beyond the first", true,
+         static_cast<double>(delivery->retries));
+    emit("resilience.dead_letters", "frames",
+         "frames parked in the dead-letter queue (cumulative)", true,
+         static_cast<double>(delivery->dead_lettered));
+    emit("resilience.dead_letter_evictions", "frames",
+         "dead letters evicted by the bounded queue", true,
+         static_cast<double>(delivery->evicted));
+    emit("resilience.redelivered", "frames",
+         "dead letters successfully redelivered", true,
+         static_cast<double>(delivery->redelivered));
+  }
+  return out;
+}
+
+}  // namespace hpcmon::resilience

@@ -1,0 +1,32 @@
+// Resilience tier self-telemetry: re-emit every counter as resilience.*
+// series, following the ingest tier's monitor-the-monitor pattern.
+//
+// Table I requires that losses and degradations be "well-documented"; the
+// resilience counters (WAL appends/failures/truncations, replay recoveries,
+// breaker quarantines, delivery retries/dead letters) are re-ingested
+// through the normal pipeline so operators see their monitoring's own
+// durability and supervision state on the same dashboards as the machine.
+#pragma once
+
+#include <vector>
+
+#include "core/registry.hpp"
+#include "core/sample.hpp"
+#include "resilience/delivery.hpp"
+#include "resilience/supervisor.hpp"
+#include "resilience/wal.hpp"
+
+namespace hpcmon::resilience {
+
+/// Build resilience.* samples at simulated time `now` on `component`.
+/// Any stats pointer may be null (that subsystem is disabled); counters are
+/// cumulative (is_counter = true), state summaries are gauges.
+std::vector<core::Sample> resilience_samples(core::MetricRegistry& registry,
+                                             core::ComponentId component,
+                                             core::TimePoint now,
+                                             const WalStats* wal,
+                                             const ReplayStats* replay,
+                                             const SupervisorStats* supervisor,
+                                             const DeliveryStats* delivery);
+
+}  // namespace hpcmon::resilience

@@ -1,0 +1,124 @@
+#include "resilience/supervisor.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "core/strings.hpp"
+
+namespace hpcmon::resilience {
+
+SupervisorStats& SupervisorStats::operator+=(const SupervisorStats& o) {
+  calls += o.calls;
+  successes += o.successes;
+  errors += o.errors;
+  timeouts += o.timeouts;
+  skipped += o.skipped;
+  samples_merged += o.samples_merged;
+  return *this;
+}
+
+std::string SupervisorStats::to_string() const {
+  return core::strformat(
+      "sup calls=%llu ok=%llu err=%llu timeout=%llu skipped=%llu",
+      static_cast<unsigned long long>(calls),
+      static_cast<unsigned long long>(successes),
+      static_cast<unsigned long long>(errors),
+      static_cast<unsigned long long>(timeouts),
+      static_cast<unsigned long long>(skipped));
+}
+
+SupervisedSampler::SupervisedSampler(std::unique_ptr<collect::Sampler> inner,
+                                     SupervisorOptions options)
+    : inner_(std::move(inner)),
+      options_(options),
+      breaker_(options.breaker, options.seed) {}
+
+void SupervisedSampler::sample(core::TimePoint sweep_time,
+                               core::SampleBatch& out) {
+  ++stats_.calls;
+  if (!breaker_.allow(sweep_time)) {
+    ++stats_.skipped;
+    return;  // quarantined: the sweep proceeds without this source
+  }
+  if (options_.deadline_ms <= 0) {
+    run_inline(sweep_time, out);
+  } else {
+    run_with_deadline(sweep_time, out);
+  }
+}
+
+void SupervisedSampler::run_inline(core::TimePoint sweep_time,
+                                   core::SampleBatch& out) {
+  const std::size_t before = out.samples.size();
+  try {
+    inner_->sample(sweep_time, out);
+  } catch (const std::exception&) {
+    // Partial output from a throwing sampler is untrustworthy; discard it.
+    out.samples.resize(before);
+    ++stats_.errors;
+    breaker_.record_failure(sweep_time);
+    return;
+  }
+  ++stats_.successes;
+  stats_.samples_merged += out.samples.size() - before;
+  breaker_.record_success(sweep_time);
+}
+
+void SupervisedSampler::run_with_deadline(core::TimePoint sweep_time,
+                                          core::SampleBatch& out) {
+  // The job outlives an abandoned call via shared ownership: the watchdog
+  // thread only touches the job and its own copy of inner_, never `out` or
+  // `this`, so a timeout cleanly detaches it.
+  struct Job {
+    core::SampleBatch batch;
+    bool done = false;
+    bool failed = false;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto job = std::make_shared<Job>();
+  job->batch.sweep_time = out.sweep_time;
+  job->batch.origin = out.origin;
+  std::thread watchdog([inner = inner_, job, sweep_time] {
+    bool failed = false;
+    try {
+      inner->sample(sweep_time, job->batch);
+    } catch (const std::exception&) {
+      failed = true;
+    }
+    {
+      std::scoped_lock lock(job->mu);
+      job->done = true;
+      job->failed = failed;
+    }
+    job->cv.notify_all();
+  });
+
+  bool done = false;
+  {
+    std::unique_lock lock(job->mu);
+    done = job->cv.wait_for(lock, std::chrono::milliseconds(options_.deadline_ms),
+                            [&] { return job->done; });
+  }
+  if (!done) {
+    watchdog.detach();  // abandon the hung call; its output is discarded
+    ++stats_.timeouts;
+    breaker_.record_failure(sweep_time);
+    return;
+  }
+  watchdog.join();
+  if (job->failed) {
+    ++stats_.errors;
+    breaker_.record_failure(sweep_time);
+    return;
+  }
+  out.samples.insert(out.samples.end(), job->batch.samples.begin(),
+                     job->batch.samples.end());
+  ++stats_.successes;
+  stats_.samples_merged += job->batch.samples.size();
+  breaker_.record_success(sweep_time);
+}
+
+}  // namespace hpcmon::resilience

@@ -1,0 +1,81 @@
+// SupervisedSampler: deadline watchdog + circuit breaker around any Sampler.
+//
+// The failure the paper's sites feared most from synchronized sweeps: one
+// wedged probe (dead filesystem mount, hung vendor ioctl) stalls the entire
+// sweep, and then monitoring itself is down exactly when it is needed
+// (Sec. III; LANL's health checks exist because probes DO hang). The
+// supervisor guarantees a sweep is never held hostage:
+//
+//   * deadline: with deadline_ms > 0 the wrapped sample() runs on a
+//     watchdog thread; if it does not finish within the (real-time)
+//     deadline, the call is abandoned — the sweep continues with whatever
+//     the other samplers produced, and the abandoned thread parks until the
+//     hung call eventually returns (its output is discarded).
+//   * errors: a sampler that throws is contained and counted; the sweep
+//     continues.
+//   * quarantine: consecutive failures open a CircuitBreaker (on the
+//     simulated timeline, so transitions are deterministic); while open, the
+//     sampler is skipped entirely — a permanently hung source degrades to
+//     "that source is dark and counted", not "the sweep stalls".
+//
+// With deadline_ms == 0 the call runs inline (no threads, bit-deterministic)
+// with error containment + breaker only; this is what MonitoringStack uses
+// by default so existing deterministic runs are unchanged.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "collect/sampler.hpp"
+#include "resilience/breaker.hpp"
+
+namespace hpcmon::resilience {
+
+struct SupervisorOptions {
+  /// Real-time budget per sample() call; 0 = inline (no watchdog thread).
+  int deadline_ms = 0;
+  BreakerConfig breaker;
+  /// Seed for this sampler's breaker-jitter stream.
+  std::uint64_t seed = 0x5EEDB4EA;
+};
+
+struct SupervisorStats {
+  std::uint64_t calls = 0;      // sweeps routed at this sampler
+  std::uint64_t successes = 0;  // completed within deadline, no error
+  std::uint64_t errors = 0;     // sampler threw
+  std::uint64_t timeouts = 0;   // deadline exceeded, call abandoned
+  std::uint64_t skipped = 0;    // quarantined by the open breaker
+  std::uint64_t samples_merged = 0;
+
+  SupervisorStats& operator+=(const SupervisorStats& o);
+  std::string to_string() const;
+};
+
+class SupervisedSampler : public collect::Sampler {
+ public:
+  /// Takes ownership of `inner`. The inner sampler may outlive this wrapper
+  /// if a call was abandoned mid-hang (shared ownership with the watchdog
+  /// thread); anything the inner sampler references must outlive that hang.
+  SupervisedSampler(std::unique_ptr<collect::Sampler> inner,
+                    SupervisorOptions options);
+  ~SupervisedSampler() override = default;
+
+  std::string name() const override { return inner_->name(); }
+  void sample(core::TimePoint sweep_time, core::SampleBatch& out) override;
+
+  BreakerState breaker_state() const { return breaker_.state(); }
+  const CircuitBreaker& breaker() const { return breaker_; }
+  const SupervisorStats& stats() const { return stats_; }
+
+ private:
+  void run_inline(core::TimePoint sweep_time, core::SampleBatch& out);
+  void run_with_deadline(core::TimePoint sweep_time, core::SampleBatch& out);
+
+  std::shared_ptr<collect::Sampler> inner_;
+  SupervisorOptions options_;
+  CircuitBreaker breaker_;
+  SupervisorStats stats_;
+};
+
+}  // namespace hpcmon::resilience

@@ -1,0 +1,137 @@
+// Segmented write-ahead log for the ingest path.
+//
+// The paper's sites repeatedly lost analyses to monitoring that was not
+// trustworthy across restarts (Sec. IV; Table I "Data Storage": stores must
+// be dependable, "always on"). hpcmon's hot tier is in-memory, so a crash
+// between retention passes loses every hot sample. The WAL closes that hole:
+// every sample frame is appended (CRC32-framed) to an append-only segment
+// file *before* it is considered ingested; on restart, replay() restores the
+// un-persisted samples into the store, byte-identical to an uninterrupted
+// run (duplicate suppression falls out of the store's strictly-increasing
+// per-series timestamps).
+//
+// On-disk format (host-endian, like the archive files):
+//   segment file "wal-%08llu.seg":
+//     [u32 magic 'HPWL'][u32 version]
+//     record*: [u32 payload_len][u32 crc32(payload)][payload]
+//   payload = the binary transport codec's SampleBatch encoding
+//             (transport::encode_samples), so the WAL reuses the documented
+//             wire format instead of inventing a second one.
+//
+// Failure semantics on replay:
+//   * torn tail (partial trailing record, e.g. crash mid-write): tolerated —
+//     scanning stops at the tear, everything before it is restored, and the
+//     tear is counted (torn_tails);
+//   * CRC mismatch with an intact length header: the record is skipped and
+//     counted (corrupt_skipped); scanning resumes at the next record;
+//   * bad segment header: the whole segment is skipped and counted.
+//
+// Appends fwrite+fflush each record so a crashed *process* loses nothing
+// already acknowledged (media-level fsync durability is out of scope for the
+// simulation substrate and called out in DESIGN.md). Rotation starts a new
+// segment once the active one exceeds segment_bytes; truncate_before()
+// deletes sealed segments whose newest sample is older than a durability
+// watermark (e.g. the hot-window cutoff once the archive has been spilled).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/result.hpp"
+#include "core/sample.hpp"
+#include "resilience/fault.hpp"
+
+namespace hpcmon::resilience {
+
+struct WalOptions {
+  std::string dir;                       // segment directory (created if absent)
+  std::size_t segment_bytes = 1u << 20;  // rotate past this size
+  FaultPlan* faults = nullptr;           // optional file-layer fault injection
+};
+
+struct WalStats {
+  std::uint64_t appended_records = 0;
+  std::uint64_t appended_samples = 0;
+  std::uint64_t appended_bytes = 0;
+  std::uint64_t append_failures = 0;  // injected/real I/O errors, short writes
+  std::uint64_t segments_created = 0;
+  std::uint64_t segments_truncated = 0;
+  std::string to_string() const;
+};
+
+struct ReplayStats {
+  std::uint64_t segments = 0;
+  std::uint64_t records = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t corrupt_skipped = 0;  // CRC-mismatched records skipped
+  std::uint64_t torn_tails = 0;       // partial trailing records tolerated
+  std::uint64_t bad_segments = 0;     // unreadable/garbled segment headers
+  std::string to_string() const;
+};
+
+class WriteAheadLog {
+ public:
+  /// Opens `opts.dir` (creating it if needed) and starts a fresh segment
+  /// after the highest existing index; pre-existing segments are treated as
+  /// sealed (replayable, truncatable) and never appended to.
+  explicit WriteAheadLog(WalOptions opts);
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Append one batch as a CRC-framed record (empty batches are a no-op).
+  /// The record is flushed before returning. Errors (real or injected) are
+  /// counted; an injected short write leaves a torn tail and poisons the
+  /// log (subsequent appends fail), simulating a crash mid-record.
+  core::Status append(const core::SampleBatch& batch);
+
+  /// Flush the active segment's stdio buffer.
+  core::Status sync();
+
+  /// Crash drill: write a deliberately torn record (length header promises
+  /// more bytes than are written) and poison the log. Replay must tolerate
+  /// the tear.
+  void simulate_torn_tail();
+
+  /// Delete sealed segments whose newest sample time is < cutoff. The
+  /// active segment is never deleted. Returns segments removed.
+  std::size_t truncate_before(core::TimePoint cutoff);
+
+  const WalStats& stats() const { return stats_; }
+  std::size_t sealed_segments() const { return sealed_.size(); }
+  std::uint64_t active_segment_index() const { return active_index_; }
+  bool poisoned() const { return dead_; }
+
+  /// Scan every segment in `dir` in index order, invoking `apply` for each
+  /// intact record's decoded batch. Safe on a directory with a torn tail or
+  /// corrupted records (see header comment). Missing dir = empty replay.
+  static ReplayStats replay(
+      const std::string& dir,
+      const std::function<void(core::SampleBatch&&)>& apply);
+
+ private:
+  struct Sealed {
+    std::uint64_t index = 0;
+    std::string path;
+    core::TimePoint max_time = INT64_MIN;
+  };
+
+  std::string segment_path(std::uint64_t index) const;
+  core::Status open_segment(std::uint64_t index);
+  void seal_active();
+
+  WalOptions opts_;
+  std::FILE* file_ = nullptr;
+  std::size_t file_bytes_ = 0;
+  std::uint64_t active_index_ = 0;
+  core::TimePoint active_max_time_ = INT64_MIN;
+  std::vector<Sealed> sealed_;  // ascending index order
+  WalStats stats_;
+  bool dead_ = false;
+};
+
+}  // namespace hpcmon::resilience

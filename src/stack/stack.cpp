@@ -1,6 +1,7 @@
 #include "stack/stack.hpp"
 
 #include "core/strings.hpp"
+#include "resilience/metrics.hpp"
 #include "transport/codec.hpp"
 
 namespace hpcmon::stack {
@@ -63,9 +64,60 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
         });
   }
 
+  // Resilience tier: WAL recovery + durable append, sampler supervision.
+  // Replay happens BEFORE collection is wired so restored history cannot
+  // interleave with new sweeps.
+  const std::string wal_path = config.get_string("wal_path", "");
+  if (!wal_path.empty()) {
+    replay_stats_ = resilience::WriteAheadLog::replay(
+        wal_path, [this](core::SampleBatch&& batch) {
+          if (sharded_) {
+            sharded_->append_batch(batch.samples);
+          } else {
+            tsdb_.append_batch(batch.samples);
+          }
+        });
+    resilience::WalOptions wo;
+    wo.dir = wal_path;
+    wo.segment_bytes =
+        static_cast<std::size_t>(config.get_int("wal_segment_bytes", 1 << 20));
+    wal_ = std::make_unique<resilience::WriteAheadLog>(wo);
+    resilience::DeliveryOptions dopts;
+    dopts.dead_letter_cap =
+        static_cast<std::size_t>(config.get_int("dead_letter_cap", 64));
+    wal_delivery_ = std::make_unique<resilience::ReliableDelivery>(
+        [this](const transport::Frame& f) {
+          auto batch = transport::decode_samples(f);
+          if (!batch.is_ok()) return batch.status();
+          return wal_->append(batch.value());
+        },
+        dopts);
+  }
+
+  const int sampler_deadline_ms = config.get_int("sampler_deadline_ms", 0);
+  const int breaker_threshold = config.get_int("breaker_threshold", 0);
+  const bool supervise = sampler_deadline_ms > 0 || breaker_threshold > 0;
+  std::uint64_t supervisor_seed = 0xC0FFEE;
+  // Wrap a sampler with watchdog + breaker when supervision is configured;
+  // a pass-through otherwise so the default stack stays bit-deterministic.
+  const auto supervised = [&](std::unique_ptr<collect::Sampler> sampler)
+      -> std::unique_ptr<collect::Sampler> {
+    if (!supervise) return sampler;
+    resilience::SupervisorOptions so;
+    so.deadline_ms = sampler_deadline_ms;
+    so.breaker.failure_threshold =
+        breaker_threshold > 0 ? breaker_threshold : 3;
+    so.breaker.cooldown = config.get_int("breaker_cooldown_s", 300) * kSecond;
+    so.seed = supervisor_seed++;
+    auto wrapper = std::make_unique<resilience::SupervisedSampler>(
+        std::move(sampler), so);
+    supervised_.push_back(wrapper.get());
+    return wrapper;
+  };
+
   // Collection -> router.
   for (auto& sampler : collect::make_all_samplers(cluster_)) {
-    collection_.add_sampler(std::move(sampler), sample_interval,
+    collection_.add_sampler(supervised(std::move(sampler)), sample_interval,
                             collect::router_sample_sink(router_));
   }
   collection_.add_log_collector(log_interval,
@@ -77,16 +129,43 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
     collect::ProbeConfig pc;
     pc.probe_nodes = {0, cluster_.topology().num_nodes() / 2};
     collection_.add_sampler(
-        std::make_unique<collect::ProbeSuite>(cluster_, pc, core::Rng(101)),
+        supervised(
+            std::make_unique<collect::ProbeSuite>(cluster_, pc, core::Rng(101))),
         probe_s * kSecond, collect::router_sample_sink(router_));
   }
   // Optional health battery.
   if (const auto health_s = config.get_int("health_interval_s", 600);
       health_s > 0) {
     collection_.add_sampler(
-        std::make_unique<collect::HealthCheckSuite>(cluster_,
-                                                    collect::HealthConfig{}),
+        supervised(std::make_unique<collect::HealthCheckSuite>(
+            cluster_, collect::HealthConfig{})),
         health_s * kSecond, collect::router_sample_sink(router_));
+  }
+
+  // The resilience tier monitors itself like the ingest tier does: counters
+  // re-ingested as resilience.* series every sweep.
+  if (wal_ || supervise) {
+    resilience_component_ = cluster_.registry().register_component(
+        {"resilience.tier", core::ComponentKind::kService,
+         cluster_.topology().system()});
+    cluster_.events().schedule_every(
+        cluster_.now() + sample_interval, sample_interval,
+        [this](core::TimePoint t) {
+          const auto sup = supervisor_stats();
+          core::SampleBatch self;
+          self.sweep_time = t;
+          self.origin = resilience_component_;
+          self.samples = resilience::resilience_samples(
+              cluster_.registry(), resilience_component_, t,
+              wal_ ? &wal_->stats() : nullptr, wal_ ? &replay_stats_ : nullptr,
+              supervised_.empty() ? nullptr : &sup,
+              wal_delivery_ ? &wal_delivery_->stats() : nullptr);
+          if (ingest_) {
+            ingest_->submit(self);
+          } else {
+            tsdb_.append_batch(self.samples);
+          }
+        });
   }
 
   // Numeric alerting: detector bank on key series (Table I: triggers at
@@ -119,6 +198,9 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
                                                a.event.score)});
                         }
                       }
+                      // Write-ahead: the frame is durable (or dead-lettered
+                      // and counted) before the in-memory store sees it.
+                      if (wal_delivery_) wal_delivery_->deliver(f);
                       if (ingest_) {
                         ingest_->submit(batch.value());
                       } else {
@@ -187,11 +269,41 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
       [this](core::TimePoint) { enforce_retention(); });
 }
 
+MonitoringStack::~MonitoringStack() {
+  if (!crashed_) shutdown();
+  // A simulated crash still joins the worker threads (the process is not
+  // really dying) but skips the drain/flush, abandoning buffered state the
+  // way a real crash would.
+  if (ingest_) ingest_->stop();
+}
+
+void MonitoringStack::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  // Drain before teardown: everything already submitted reaches the shards.
+  drain_ingest();
+  if (ingest_) ingest_->stop();
+  if (wal_) wal_->sync();
+}
+
+resilience::SupervisorStats MonitoringStack::supervisor_stats() const {
+  resilience::SupervisorStats total;
+  for (const auto* s : supervised_) total += s->stats();
+  return total;
+}
+
 void MonitoringStack::enforce_retention() {
   const auto archived = tsdb_.enforce(cluster_.now());
   if (archived > 0 && !archive_path_.empty()) {
     if (tsdb_.archive().save_to_file(archive_path_).is_ok()) {
       ++archive_saves_;
+      // History older than the hot window now lives in the just-spilled
+      // archive file; the matching WAL segments are no longer the only
+      // durable copy and can go. Without an archive_path the WAL is the
+      // only durable tier, so it is never truncated.
+      if (wal_) {
+        wal_->truncate_before(cluster_.now() - tsdb_.policy().hot_window);
+      }
     }
   }
 }
@@ -230,6 +342,22 @@ std::string MonitoringStack::status() const {
         sharded_->shard_count(),
         std::string(ingest::to_string(ingest_->config().policy)).c_str());
     line += ingest_->metrics().snapshot().to_string();
+  }
+  if (wal_) {
+    line += " | " + wal_->stats().to_string();
+    line += core::strformat(
+        " dlq=%zu", wal_delivery_ ? wal_delivery_->dead_letter_count() : 0);
+  }
+  if (!supervised_.empty()) {
+    std::size_t open = 0;
+    std::size_t half = 0;
+    for (const auto* s : supervised_) {
+      if (s->breaker_state() == resilience::BreakerState::kOpen) ++open;
+      if (s->breaker_state() == resilience::BreakerState::kHalfOpen) ++half;
+    }
+    line += core::strformat(" | breakers closed=%zu open=%zu half=%zu ",
+                            supervised_.size() - open - half, open, half);
+    line += supervisor_stats().to_string();
   }
   return line;
 }

@@ -36,6 +36,21 @@
 //   ingest_queue_cap    (256)   bounded sub-batches per shard queue
 //   ingest_policy       (block) overload policy: block|drop_oldest|reject
 //   ingest_coalesce     (16)    max sub-batches merged per shard append
+//   wal_path            ("")    when set, every sample frame is appended to
+//                               a segmented write-ahead log in this
+//                               directory before ingestion, and existing
+//                               segments are REPLAYED into the store at
+//                               construction (crash recovery)
+//   wal_segment_bytes   (1048576) WAL segment rotation size
+//   dead_letter_cap     (64)    bounded dead-letter queue for frames whose
+//                               WAL append keeps failing (retried first)
+//   sampler_deadline_ms (0)     >0 runs each sampler under a real-time
+//                               watchdog; a call past the deadline is
+//                               abandoned and the sweep continues
+//   breaker_threshold   (0)     >0 wraps every sampler in a circuit breaker
+//                               (open after N consecutive failures,
+//                               half-open probe after backoff+jitter)
+//   breaker_cooldown_s  (300)   first open->half-open cooldown
 #pragma once
 
 #include <memory>
@@ -50,6 +65,9 @@
 #include "core/config.hpp"
 #include "ingest/pipeline.hpp"
 #include "ingest/sharded_store.hpp"
+#include "resilience/delivery.hpp"
+#include "resilience/supervisor.hpp"
+#include "resilience/wal.hpp"
 #include "response/actions.hpp"
 #include "response/alerts.hpp"
 #include "response/gate.hpp"
@@ -63,8 +81,23 @@ namespace hpcmon::stack {
 class MonitoringStack {
  public:
   /// Assemble and attach the full pipeline to `cluster` per `config`.
-  /// The cluster must outlive the stack.
+  /// The cluster must outlive the stack. When `wal_path` is configured and
+  /// holds segments from a previous incarnation, they are replayed into the
+  /// store here, before any new collection happens.
   MonitoringStack(sim::Cluster& cluster, const core::Config& config);
+
+  /// Orderly teardown: drain the ingest pipeline into the stores, flush the
+  /// WAL, then stop the workers. Idempotent; the destructor calls it, so no
+  /// buffered sample is ever silently lost on destruction.
+  void shutdown();
+
+  /// Crash drill: make the destructor skip shutdown() — buffered/hot state
+  /// is abandoned exactly as a real crash would abandon it (worker threads
+  /// are still joined; a process can't leak threads into the next test).
+  /// Pair with a fresh MonitoringStack on the same wal_path to recover.
+  void simulate_crash() { crashed_ = true; }
+
+  ~MonitoringStack();
 
   // -- Data access -----------------------------------------------------------
   store::TieredStore& tsdb() { return tsdb_; }
@@ -92,6 +125,23 @@ class MonitoringStack {
   void drain_ingest() {
     if (ingest_) ingest_->drain();
   }
+
+  // -- Resilience tier -------------------------------------------------------
+  /// Write-ahead log; nullptr unless wal_path is configured.
+  const resilience::WriteAheadLog* wal() const { return wal_.get(); }
+  /// Replay outcome of the WAL recovery performed at construction.
+  const resilience::ReplayStats& replay_stats() const { return replay_stats_; }
+  /// Retry/dead-letter guard on the WAL append path; nullptr unless the WAL
+  /// is enabled. redeliver() flushes dead letters after a disk recovers.
+  resilience::ReliableDelivery* wal_delivery() { return wal_delivery_.get(); }
+  /// Supervised sampler wrappers (empty unless breaker_threshold or
+  /// sampler_deadline_ms is set); exposes per-sampler breaker state.
+  const std::vector<resilience::SupervisedSampler*>& supervised_samplers()
+      const {
+    return supervised_;
+  }
+  /// Sum of every supervised sampler's counters.
+  resilience::SupervisorStats supervisor_stats() const;
 
   /// Novelty reports accumulated so far (empty unless novelty = true).
   const std::vector<analysis::NoveltyEvent>& novelty_reports() const {
@@ -134,6 +184,15 @@ class MonitoringStack {
   std::unique_ptr<ingest::ShardedTimeSeriesStore> sharded_;
   std::unique_ptr<ingest::IngestPipeline> ingest_;
   core::ComponentId ingest_component_ = core::kNoComponent;
+  // Resilience tier (all optional, see config keys above).
+  std::unique_ptr<resilience::WriteAheadLog> wal_;
+  std::unique_ptr<resilience::ReliableDelivery> wal_delivery_;
+  resilience::ReplayStats replay_stats_;
+  std::vector<resilience::SupervisedSampler*> supervised_;  // owned by
+                                                            // collection_
+  core::ComponentId resilience_component_ = core::kNoComponent;
+  bool crashed_ = false;
+  bool shut_down_ = false;
 };
 
 }  // namespace hpcmon::stack

@@ -68,8 +68,13 @@ bool read_u64(std::FILE* f, std::uint64_t& v) {
 }  // namespace
 
 Status Archive::save_to_file(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::error("cannot open " + path);
+  // Crash-safe spill: write a sibling temp file and atomically rename it
+  // over the destination, so a crash mid-save can never leave a truncated
+  // archive where a good one used to be (the cold tier must stay
+  // trustworthy across restarts — Table I, Data Storage).
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::error("cannot open " + tmp);
   bool ok = write_u32(f, kArchiveMagic) &&
             write_u32(f, static_cast<std::uint32_t>(blobs_.size()));
   for (const auto& [id, blobs] : blobs_) {
@@ -82,8 +87,16 @@ Status Archive::save_to_file(const std::string& path) const {
       ok = ok && std::fwrite(b.raw.data(), 1, b.raw.size(), f) == b.raw.size();
     }
   }
-  std::fclose(f);
-  return ok ? Status::ok() : Status::error("short write to " + path);
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::error("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::error("cannot rename " + tmp + " over " + path);
+  }
+  return Status::ok();
 }
 
 Result<Archive> Archive::load_from_file(const std::string& path) {

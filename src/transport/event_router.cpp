@@ -21,13 +21,20 @@ void EventRouter::publish(const Frame& frame) {
   if (t < stats_.frames_by_type.size()) ++stats_.frames_by_type[t];
 
   bool delivered = false;
+  const auto guarded = [this](const Handler& handler, const Frame& f) {
+    try {
+      handler(f);
+    } catch (const std::exception&) {
+      ++stats_.subscriber_failures;
+    }
+  };
   for (const auto& tap : raw_taps_) {
-    tap(frame);
+    guarded(tap, frame);
     delivered = true;
   }
   for (const auto& [type, handler] : subscribers_) {
     if (type == frame.type) {
-      handler(frame);
+      guarded(handler, frame);
       delivered = true;
     }
   }

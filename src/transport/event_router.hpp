@@ -23,6 +23,7 @@ struct RouterStats {
   std::uint64_t bytes = 0;
   std::array<std::uint64_t, 4> frames_by_type{};  // indexed by FrameType
   std::uint64_t dropped = 0;                      // no subscriber, no forward
+  std::uint64_t subscriber_failures = 0;          // handlers that threw
 };
 
 class EventRouter {
@@ -39,6 +40,9 @@ class EventRouter {
   void forward_to(EventRouter& downstream);
 
   /// Publish one frame: raw taps, then type subscribers, then forwards.
+  /// A handler that throws is contained and counted (subscriber_failures);
+  /// fan-out always continues to the remaining subscribers — one bad
+  /// consumer must never take down the data path for the rest.
   void publish(const Frame& frame);
 
   const RouterStats& stats() const { return stats_; }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 
 namespace hpcmon::store {
 namespace {
@@ -116,6 +117,47 @@ TEST(ArchiveTest, SaveAndLoadFile) {
   EXPECT_EQ(loaded.value().blob_count(), 2u);
   const auto fetched = loaded.value().fetch(kS0, {0, core::kDay});
   EXPECT_EQ(fetched, pts);
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveTest, LoadRejectsTruncatedFile) {
+  Archive archive;
+  std::vector<core::TimedValue> pts;
+  for (int i = 0; i < 50; ++i) pts.push_back({i * core::kSecond, i * 2.0});
+  archive.store(kS0, Chunk::compress(pts));
+  const std::string path = "/tmp/hpcmon_archive_truncated.bin";
+  ASSERT_TRUE(archive.save_to_file(path).is_ok());
+  // Chop the file mid-blob, as a crash mid-copy or a full disk would.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_GT(size, 32);
+  std::error_code ec;
+  std::filesystem::resize_file(path, static_cast<std::uintmax_t>(size / 2), ec);
+  ASSERT_FALSE(ec);
+  EXPECT_FALSE(Archive::load_from_file(path).is_ok());
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveTest, SaveIsAtomicAndNeverClobbersOnFailure) {
+  // A good archive followed by a failed save must leave the good one intact:
+  // save writes a sibling .tmp and renames only on success.
+  Archive archive;
+  std::vector<core::TimedValue> pts;
+  for (int i = 0; i < 20; ++i) pts.push_back({i * core::kSecond, 1.0});
+  archive.store(kS0, Chunk::compress(pts));
+  const std::string path = "/tmp/hpcmon_archive_atomic.bin";
+  ASSERT_TRUE(archive.save_to_file(path).is_ok());
+  // A save into an unopenable temp location fails cleanly...
+  const std::string bad = "/tmp/nonexistent_dir_hpcmon/archive.bin";
+  EXPECT_FALSE(archive.save_to_file(bad).is_ok());
+  // ...and no stray .tmp litters the directory after a successful save.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  const auto loaded = Archive::load_from_file(path);
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_EQ(loaded.value().fetch(kS0, {0, core::kDay}), pts);
   std::remove(path.c_str());
 }
 

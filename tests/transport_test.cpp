@@ -140,6 +140,38 @@ TEST(RouterTest, DroppedCountsUndeliveredFrames) {
   EXPECT_EQ(router.stats().dropped, 1u);
 }
 
+TEST(RouterTest, ThrowingSubscriberDoesNotHaltFanOut) {
+  EventRouter router;
+  int before = 0;
+  int after = 0;
+  int raw = 0;
+  router.subscribe(FrameType::kSamples, [&](const Frame&) { ++before; });
+  router.subscribe(FrameType::kSamples, [&](const Frame&) -> void {
+    throw std::runtime_error("bad consumer");
+  });
+  router.subscribe(FrameType::kSamples, [&](const Frame&) { ++after; });
+  router.subscribe_raw([&](const Frame&) { ++raw; });
+  router.publish(encode_samples(make_batch()));
+  router.publish(encode_samples(make_batch()));
+  // Subscribers past the throwing one still received every frame.
+  EXPECT_EQ(before, 2);
+  EXPECT_EQ(after, 2);
+  EXPECT_EQ(raw, 2);
+  EXPECT_EQ(router.stats().subscriber_failures, 2u);
+  EXPECT_EQ(router.stats().dropped, 0u);
+}
+
+TEST(RouterTest, ThrowingRawTapIsContained) {
+  EventRouter router;
+  int delivered = 0;
+  router.subscribe_raw(
+      [](const Frame&) -> void { throw std::runtime_error("tap died"); });
+  router.subscribe(FrameType::kSamples, [&](const Frame&) { ++delivered; });
+  router.publish(encode_samples(make_batch()));
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(router.stats().subscriber_failures, 1u);
+}
+
 TEST(BusTest, TopicGlobRouting) {
   Bus bus;
   int node_batches = 0;
