@@ -1,5 +1,7 @@
 #include "ingest/sharded_store.hpp"
 
+#include <thread>
+
 namespace hpcmon::ingest {
 
 ShardedTimeSeriesStore::ShardedTimeSeriesStore(std::size_t shards,
@@ -20,6 +22,58 @@ std::size_t ShardedTimeSeriesStore::append_batch(
   return accepted;
 }
 
+void ShardedTimeSeriesStore::scatter(
+    const std::vector<core::SeriesId>& ids,
+    const std::function<void(std::size_t, const std::vector<std::size_t>&)>&
+        work) const {
+  std::vector<std::vector<std::size_t>> groups(shards_.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    groups[shard_of(ids[i])].push_back(i);
+  }
+  std::vector<std::size_t> active;
+  for (std::size_t s = 0; s < groups.size(); ++s) {
+    if (!groups[s].empty()) active.push_back(s);
+  }
+  if (active.size() <= 1) {  // nothing to parallelize
+    for (const auto s : active) work(s, groups[s]);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(active.size() - 1);
+  for (std::size_t k = 1; k < active.size(); ++k) {
+    workers.emplace_back(
+        [&, s = active[k]] { work(s, groups[s]); });
+  }
+  work(active[0], groups[active[0]]);  // this thread takes the first group
+  for (auto& w : workers) w.join();
+}
+
+std::vector<std::optional<double>> ShardedTimeSeriesStore::aggregate_many(
+    const std::vector<core::SeriesId>& ids, const core::TimeRange& range,
+    store::Agg agg) const {
+  std::vector<std::optional<double>> out(ids.size());
+  scatter(ids, [&](std::size_t shard, const std::vector<std::size_t>& idx) {
+    for (const auto i : idx) {
+      out[i] = shards_[shard]->aggregate(ids[i], range, agg);
+    }
+  });
+  return out;
+}
+
+std::vector<std::vector<core::TimedValue>>
+ShardedTimeSeriesStore::downsample_many(const std::vector<core::SeriesId>& ids,
+                                        const core::TimeRange& range,
+                                        core::Duration bucket,
+                                        store::Agg agg) const {
+  std::vector<std::vector<core::TimedValue>> out(ids.size());
+  scatter(ids, [&](std::size_t shard, const std::vector<std::size_t>& idx) {
+    for (const auto i : idx) {
+      out[i] = shards_[shard]->downsample(ids[i], range, bucket, agg);
+    }
+  });
+  return out;
+}
+
 std::size_t ShardedTimeSeriesStore::evict_before(
     core::TimePoint cutoff,
     const std::function<void(core::SeriesId, store::Chunk&&)>& sink) {
@@ -38,6 +92,12 @@ store::StoreStats ShardedTimeSeriesStore::stats() const {
     merged.compressed_bytes += st.compressed_bytes;
     merged.head_points += st.head_points;
   }
+  return merged;
+}
+
+store::QueryStats ShardedTimeSeriesStore::query_stats() const {
+  store::QueryStats merged;
+  for (const auto& shard : shards_) merged += shard->query_stats();
   return merged;
 }
 

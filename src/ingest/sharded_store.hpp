@@ -63,19 +63,43 @@ class ShardedTimeSeriesStore {
                                            store::Agg agg) const {
     return shards_[shard_of(series)]->downsample(series, range, bucket, agg);
   }
+  std::size_t scan(core::SeriesId series, const core::TimeRange& range,
+                   const std::function<bool(const core::TimedValue&)>& visit)
+      const {
+    return shards_[shard_of(series)]->scan(series, range, visit);
+  }
   bool has_series(core::SeriesId series) const {
     return shards_[shard_of(series)]->has_series(series);
   }
 
   // -- Scatter-gather over all shards ----------------------------------------
+  /// Aggregate many series at once — the dashboard/per-job fan-out query.
+  /// Series are grouped by owning shard and the shard groups run in
+  /// parallel (one thread per shard touched); results align with `ids`.
+  std::vector<std::optional<double>> aggregate_many(
+      const std::vector<core::SeriesId>& ids, const core::TimeRange& range,
+      store::Agg agg) const;
+  /// Parallel multi-series downsample; results align with `ids`.
+  std::vector<std::vector<core::TimedValue>> downsample_many(
+      const std::vector<core::SeriesId>& ids, const core::TimeRange& range,
+      core::Duration bucket, store::Agg agg) const;
+
   /// Evict sealed chunks older than `cutoff` from every shard; total count.
   std::size_t evict_before(core::TimePoint cutoff,
                            const std::function<void(core::SeriesId,
                                                     store::Chunk&&)>& sink);
   /// Merged stats across shards (series are disjoint, so sums are exact).
   store::StoreStats stats() const;
+  /// Merged read-path self-metrics across shards.
+  store::QueryStats query_stats() const;
 
  private:
+  /// Run `work(shard, indices-into-ids)` for every shard owning at least one
+  /// id — concurrently when more than one shard is touched.
+  void scatter(const std::vector<core::SeriesId>& ids,
+               const std::function<void(std::size_t,
+                                        const std::vector<std::size_t>&)>&
+                   work) const;
   // TimeSeriesStore owns a mutex (immovable), so shards live behind pointers.
   std::vector<std::unique_ptr<store::TimeSeriesStore>> shards_;
 };

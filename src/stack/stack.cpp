@@ -348,6 +348,7 @@ std::string MonitoringStack::status() const {
     line += core::strformat(
         " dlq=%zu", wal_delivery_ ? wal_delivery_->dead_letter_count() : 0);
   }
+  line += " | " + store_query_stats().to_string();
   if (!supervised_.empty()) {
     std::size_t open = 0;
     std::size_t half = 0;

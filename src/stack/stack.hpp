@@ -157,6 +157,13 @@ class MonitoringStack {
   void enforce_retention();
   std::uint64_t archive_saves() const { return archive_saves_; }
 
+  /// Read-path self-metrics of whichever numeric store is active (the
+  /// sharded ingest tier when enabled, the hot tier otherwise); also
+  /// reported as store.* in status().
+  store::QueryStats store_query_stats() const {
+    return ingest_ ? sharded_->query_stats() : tsdb_.hot().query_stats();
+  }
+
   /// One-line status summary for operator consoles.
   std::string status() const;
 

@@ -1,10 +1,11 @@
 #include "store/chunk.hpp"
 
+#include <atomic>
 #include <bit>
-#include <cassert>
 #include <cstring>
 
-#include "store/bitstream.hpp"
+#include "store/codec_detail.hpp"
+#include "store/cursor.hpp"
 
 namespace hpcmon::store {
 
@@ -13,55 +14,10 @@ using core::TimePoint;
 
 namespace {
 
-std::uint64_t zigzag(std::int64_t v) {
-  return (static_cast<std::uint64_t>(v) << 1) ^
-         static_cast<std::uint64_t>(v >> 63);
-}
-
-std::int64_t unzigzag(std::uint64_t v) {
-  return static_cast<std::int64_t>(v >> 1) ^
-         -static_cast<std::int64_t>(v & 1);
-}
-
-// Delta-of-delta prefix classes (Gorilla Table): value ranges are chosen for
-// microsecond timestamps sampled at second-to-minute cadence.
-void write_dod(BitWriter& w, std::int64_t dod) {
-  const std::uint64_t z = zigzag(dod);
-  if (dod == 0) {
-    w.write_bit(false);                    // '0'
-  } else if (z < (1u << 14)) {
-    w.write(0b10, 2);
-    w.write(z, 14);
-  } else if (z < (1u << 24)) {
-    w.write(0b110, 3);
-    w.write(z, 24);
-  } else if (z < (1ull << 36)) {
-    w.write(0b1110, 4);
-    w.write(z, 36);
-  } else {
-    w.write(0b1111, 4);
-    w.write(z, 64);
-  }
-}
-
-std::int64_t read_dod(BitReader& r) {
-  if (!r.read_bit()) return 0;
-  if (!r.read_bit()) return unzigzag(r.read(14));
-  if (!r.read_bit()) return unzigzag(r.read(24));
-  if (!r.read_bit()) return unzigzag(r.read(36));
-  return unzigzag(r.read(64));
-}
-
-std::uint64_t double_bits(double d) {
-  std::uint64_t u;
-  std::memcpy(&u, &d, sizeof(u));
-  return u;
-}
-
-double bits_double(std::uint64_t u) {
-  double d;
-  std::memcpy(&d, &u, sizeof(d));
-  return d;
+// Generation ids for decode-cache keying; 0 is reserved for the empty chunk.
+std::uint64_t next_chunk_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 }  // namespace
@@ -72,25 +28,28 @@ Chunk Chunk::compress(const std::vector<TimedValue>& points) {
   c.count_ = static_cast<std::uint32_t>(points.size());
   c.min_time_ = points.front().time;
   c.max_time_ = points.back().time;
+  c.id_ = next_chunk_id();
 
   BitWriter w;
   // Header point: full timestamp + full value bits.
-  w.write(zigzag(points[0].time), 64);
-  w.write(double_bits(points[0].value), 64);
+  w.write(detail::zigzag(points[0].time), 64);
+  w.write(detail::double_bits(points[0].value), 64);
+  c.summary_.add(points[0].value);
 
   std::int64_t prev_time = points[0].time;
   std::int64_t prev_delta = 0;
-  std::uint64_t prev_value = double_bits(points[0].value);
+  std::uint64_t prev_value = detail::double_bits(points[0].value);
   int prev_leading = -1;  // -1 = no reusable window yet
   int prev_trailing = 0;
 
   for (std::size_t i = 1; i < points.size(); ++i) {
     const std::int64_t delta = points[i].time - prev_time;
-    write_dod(w, delta - prev_delta);
+    detail::write_dod(w, delta - prev_delta);
     prev_delta = delta;
     prev_time = points[i].time;
+    c.summary_.add(points[i].value);
 
-    const std::uint64_t bits = double_bits(points[i].value);
+    const std::uint64_t bits = detail::double_bits(points[i].value);
     const std::uint64_t x = bits ^ prev_value;
     prev_value = bits;
     if (x == 0) {
@@ -125,40 +84,19 @@ std::vector<TimedValue> Chunk::decompress() const {
   std::vector<TimedValue> out;
   if (count_ == 0) return out;
   out.reserve(count_);
-  BitReader r(bytes_);
-
-  std::int64_t time = unzigzag(r.read(64));
-  std::uint64_t value = r.read(64);
-  out.push_back({time, bits_double(value)});
-
-  std::int64_t prev_delta = 0;
-  int prev_leading = 0;
-  int prev_trailing = 0;
-  for (std::uint32_t i = 1; i < count_; ++i) {
-    prev_delta += read_dod(r);
-    time += prev_delta;
-    if (r.read_bit()) {
-      std::uint64_t x;
-      if (r.read_bit()) {
-        prev_leading = static_cast<int>(r.read(5));
-        const int meaningful = static_cast<int>(r.read(6)) + 1;
-        prev_trailing = 64 - prev_leading - meaningful;
-        x = r.read(meaningful) << prev_trailing;
-      } else {
-        const int meaningful = 64 - prev_leading - prev_trailing;
-        x = r.read(meaningful) << prev_trailing;
-      }
-      value ^= x;
-    }
-    if (r.eof()) break;  // malformed input: return what we decoded
-    out.push_back({time, bits_double(value)});
-  }
+  ChunkCursor cursor(*this);
+  TimedValue p;
+  while (cursor.next(p)) out.push_back(p);
   return out;
 }
 
+namespace {
+// Serialized layout: count(u32) min(u64) max(u64) payload_len(u32) payload.
+constexpr std::size_t kHeaderBytes = 24;
+}  // namespace
+
 std::vector<std::uint8_t> Chunk::serialize() const {
-  // Layout: count(u32) min(u64) max(u64) payload_size(u32) payload.
-  std::vector<std::uint8_t> out(20 + bytes_.size());
+  std::vector<std::uint8_t> out(kHeaderBytes + bytes_.size());
   auto put32 = [&](std::size_t off, std::uint32_t v) {
     std::memcpy(out.data() + off, &v, 4);
   };
@@ -168,21 +106,47 @@ std::vector<std::uint8_t> Chunk::serialize() const {
   put32(0, count_);
   put64(4, static_cast<std::uint64_t>(min_time_));
   put64(12, static_cast<std::uint64_t>(max_time_));
-  // payload size implied by container; store anyway for stream framing:
-  std::memcpy(out.data() + 20, bytes_.data(), bytes_.size());
+  put32(20, static_cast<std::uint32_t>(bytes_.size()));
+  std::memcpy(out.data() + kHeaderBytes, bytes_.data(), bytes_.size());
   return out;
 }
 
 Chunk Chunk::deserialize(const std::vector<std::uint8_t>& raw) {
+  if (raw.size() < kHeaderBytes) return {};  // truncated header
+  std::uint32_t count = 0;
+  std::uint32_t payload_len = 0;
+  std::uint64_t t = 0;
+  std::memcpy(&count, raw.data(), 4);
+  std::memcpy(&payload_len, raw.data() + 20, 4);
+  if (payload_len != raw.size() - kHeaderBytes) return {};  // framing mismatch
+  if (count == 0) return {};  // an empty chunk round-trips to the empty chunk
+  if (payload_len < 16) return {};  // header point alone needs 16 bytes
+
   Chunk c;
-  if (raw.size() < 20) return c;
-  std::memcpy(&c.count_, raw.data(), 4);
-  std::uint64_t t;
+  c.count_ = count;
   std::memcpy(&t, raw.data() + 4, 8);
   c.min_time_ = static_cast<TimePoint>(t);
   std::memcpy(&t, raw.data() + 12, 8);
   c.max_time_ = static_cast<TimePoint>(t);
-  c.bytes_.assign(raw.begin() + 20, raw.end());
+  if (c.min_time_ > c.max_time_) return {};
+  c.bytes_.assign(raw.begin() + kHeaderBytes, raw.end());
+
+  // Decode-validate the bitstream against the header before trusting it:
+  // exactly `count` points, strictly increasing times, endpoints matching
+  // min/max. Recomputes the summary on the way (it is not serialized).
+  ChunkCursor cursor(c);
+  TimedValue p;
+  TimePoint prev = INT64_MIN;
+  std::uint32_t decoded = 0;
+  while (cursor.next(p)) {
+    if (p.time <= prev) return {};
+    prev = p.time;
+    if (decoded == 0 && p.time != c.min_time_) return {};
+    c.summary_.add(p.value);
+    ++decoded;
+  }
+  if (decoded != count || prev != c.max_time_) return {};
+  c.id_ = next_chunk_id();
   return c;
 }
 

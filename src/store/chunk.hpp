@@ -6,7 +6,8 @@
 // the standard technique behind those engines (Facebook Gorilla, VLDB'15):
 // delta-of-delta timestamps with prefix codes, XOR float values with
 // leading/trailing-zero windows. bench/ablation_storage quantifies the win
-// over a naive row store.
+// over a naive row store; bench/ablation_query_engine quantifies the query
+// side (summary.hpp, cursor.hpp).
 #pragma once
 
 #include <cstdint>
@@ -14,13 +15,15 @@
 
 #include "core/series_buffer.hpp"  // TimedValue
 #include "core/time.hpp"
+#include "store/summary.hpp"
 
 namespace hpcmon::store {
 
 /// Immutable compressed block of (time, value) points for one series.
 class Chunk {
  public:
-  /// Compress `points` (must be non-empty and time-ordered).
+  /// Compress `points` (must be non-empty and time-ordered). Also computes
+  /// the chunk's value summary and assigns a process-unique generation id.
   static Chunk compress(const std::vector<core::TimedValue>& points);
 
   std::vector<core::TimedValue> decompress() const;
@@ -30,15 +33,34 @@ class Chunk {
   std::uint32_t count() const { return count_; }
   std::size_t byte_size() const { return bytes_.size(); }
 
+  /// Value statistics computed at seal time; aggregate queries over ranges
+  /// that fully cover this chunk are answered from here without decoding.
+  const ChunkSummary& summary() const { return summary_; }
+
+  /// Process-unique generation id (0 for the empty chunk). Decode caches key
+  /// on this, so a chunk evicted and replaced can never alias a cache entry.
+  std::uint64_t id() const { return id_; }
+
+  /// Raw compressed payload (for ChunkCursor's in-place streaming decode).
+  const std::vector<std::uint8_t>& payload() const { return bytes_; }
+
   /// Serialize to a flat byte buffer (header + payload) for archiving.
   std::vector<std::uint8_t> serialize() const;
-  /// Rebuild from serialize() output; returns empty chunk on malformed input.
+  /// Rebuild from serialize() output; returns empty chunk on malformed input
+  /// (truncated header, count/payload mismatch, garbage bitstream — the
+  /// payload is decode-validated against count/min/max before acceptance).
   static Chunk deserialize(const std::vector<std::uint8_t>& raw);
 
   bool empty() const { return count_ == 0; }
   /// True when the chunk's time span intersects [range.begin, range.end).
+  /// An empty range (begin >= end) intersects nothing.
   bool overlaps(const core::TimeRange& range) const {
-    return min_time_ < range.end && range.begin <= max_time_;
+    return !range.empty() && min_time_ < range.end && range.begin <= max_time_;
+  }
+  /// True when every point of this chunk lies inside [range.begin, range.end)
+  /// — the summary alone can then answer aggregates over it.
+  bool covered_by(const core::TimeRange& range) const {
+    return count_ > 0 && range.begin <= min_time_ && max_time_ < range.end;
   }
 
  private:
@@ -46,6 +68,8 @@ class Chunk {
   core::TimePoint min_time_ = 0;
   core::TimePoint max_time_ = 0;
   std::uint32_t count_ = 0;
+  std::uint64_t id_ = 0;
+  ChunkSummary summary_;
 };
 
 }  // namespace hpcmon::store

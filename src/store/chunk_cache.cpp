@@ -1,0 +1,46 @@
+#include "store/chunk_cache.hpp"
+
+namespace hpcmon::store {
+
+DecodedChunk ChunkCache::get(std::uint64_t chunk_id) {
+  std::scoped_lock lock(mu_);
+  const auto it = index_.find(chunk_id);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+void ChunkCache::put(std::uint64_t chunk_id, DecodedChunk points) {
+  if (capacity_ == 0) return;
+  std::scoped_lock lock(mu_);
+  if (index_.contains(chunk_id)) return;  // racing readers decoded it twice
+  while (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.emplace_front(chunk_id, std::move(points));
+  index_.emplace(chunk_id, lru_.begin());
+}
+
+void ChunkCache::erase(std::uint64_t chunk_id) {
+  std::scoped_lock lock(mu_);
+  const auto it = index_.find(chunk_id);
+  if (it == index_.end()) return;
+  lru_.erase(it->second);
+  index_.erase(it);
+  ++stats_.invalidations;
+}
+
+ChunkCache::Stats ChunkCache::stats() const {
+  std::scoped_lock lock(mu_);
+  Stats s = stats_;
+  s.entries = lru_.size();
+  return s;
+}
+
+}  // namespace hpcmon::store

@@ -1,0 +1,61 @@
+// ChunkCache: bounded LRU of recently decompressed chunks.
+//
+// Dashboards poll the same windows every few seconds (the paper's Table I
+// lists dashboards, detectors, and response hooks all reading concurrently),
+// so the same sealed chunks get decoded over and over. Entries are keyed by
+// the chunk's generation id — unique per compressed chunk for the process
+// lifetime — so eviction (evict_before) invalidates precisely and a recycled
+// slot can never serve stale points. Decoded vectors are handed out as
+// shared_ptr: a hit is a refcount bump, and readers keep their snapshot even
+// if the entry is evicted mid-query.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/series_buffer.hpp"  // TimedValue
+
+namespace hpcmon::store {
+
+using DecodedChunk = std::shared_ptr<const std::vector<core::TimedValue>>;
+
+class ChunkCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;      // pushed out by capacity
+    std::uint64_t invalidations = 0;  // dropped by erase() (store eviction)
+    std::size_t entries = 0;
+  };
+
+  /// `capacity`: maximum cached chunks; 0 disables caching entirely.
+  explicit ChunkCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Look up a decoded chunk; refreshes LRU position on hit.
+  DecodedChunk get(std::uint64_t chunk_id);
+
+  /// Insert a freshly decoded chunk, evicting the least-recently-used entry
+  /// when full. No-op when capacity is 0 or the id is already cached.
+  void put(std::uint64_t chunk_id, DecodedChunk points);
+
+  /// Drop a chunk (store eviction); counts as an invalidation if present.
+  void erase(std::uint64_t chunk_id);
+
+  Stats stats() const;
+
+ private:
+  using LruList = std::list<std::pair<std::uint64_t, DecodedChunk>>;
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::uint64_t, LruList::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace hpcmon::store

@@ -1,0 +1,63 @@
+// Internal Gorilla codec primitives shared by chunk.cpp (encoder) and
+// cursor.cpp (streaming decoder). Not part of the public store API.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "store/bitstream.hpp"
+
+namespace hpcmon::store::detail {
+
+inline std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+// Delta-of-delta prefix classes (Gorilla Table): value ranges are chosen for
+// microsecond timestamps sampled at second-to-minute cadence.
+inline void write_dod(BitWriter& w, std::int64_t dod) {
+  const std::uint64_t z = zigzag(dod);
+  if (dod == 0) {
+    w.write_bit(false);                    // '0'
+  } else if (z < (1u << 14)) {
+    w.write(0b10, 2);
+    w.write(z, 14);
+  } else if (z < (1u << 24)) {
+    w.write(0b110, 3);
+    w.write(z, 24);
+  } else if (z < (1ull << 36)) {
+    w.write(0b1110, 4);
+    w.write(z, 36);
+  } else {
+    w.write(0b1111, 4);
+    w.write(z, 64);
+  }
+}
+
+inline std::int64_t read_dod(BitReader& r) {
+  if (!r.read_bit()) return 0;
+  if (!r.read_bit()) return unzigzag(r.read(14));
+  if (!r.read_bit()) return unzigzag(r.read(24));
+  if (!r.read_bit()) return unzigzag(r.read(36));
+  return unzigzag(r.read(64));
+}
+
+inline std::uint64_t double_bits(double d) {
+  std::uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+inline double bits_double(std::uint64_t u) {
+  double d;
+  std::memcpy(&d, &u, sizeof(d));
+  return d;
+}
+
+}  // namespace hpcmon::store::detail

@@ -1,0 +1,56 @@
+#include "store/cursor.hpp"
+
+#include "store/chunk.hpp"
+#include "store/codec_detail.hpp"
+
+namespace hpcmon::store {
+
+using core::TimedValue;
+
+ChunkCursor::ChunkCursor(const Chunk& chunk)
+    : reader_(chunk.payload()), count_(chunk.count()) {}
+
+bool ChunkCursor::next(TimedValue& out) {
+  if (index_ >= count_) return false;
+  if (index_ == 0) {
+    // Header point: full timestamp + full value bits.
+    time_ = detail::unzigzag(reader_.read(64));
+    value_bits_ = reader_.read(64);
+    out = {time_, detail::bits_double(value_bits_)};
+    ++index_;
+    return true;
+  }
+  // Accumulate in unsigned space: a corrupt stream can carry deltas that
+  // overflow int64, which must wrap (and fail validation) rather than be UB.
+  prev_delta_ = static_cast<std::int64_t>(
+      static_cast<std::uint64_t>(prev_delta_) +
+      static_cast<std::uint64_t>(detail::read_dod(reader_)));
+  time_ = static_cast<std::int64_t>(static_cast<std::uint64_t>(time_) +
+                                    static_cast<std::uint64_t>(prev_delta_));
+  if (reader_.read_bit()) {
+    std::uint64_t x;
+    if (reader_.read_bit()) {
+      prev_leading_ = static_cast<int>(reader_.read(5));
+      const int meaningful = static_cast<int>(reader_.read(6)) + 1;
+      prev_trailing_ = 64 - prev_leading_ - meaningful;
+      if (prev_trailing_ < 0) {  // window wider than 64 bits: garbage stream
+        index_ = count_;
+        return false;
+      }
+      x = reader_.read(meaningful) << prev_trailing_;
+    } else {
+      const int meaningful = 64 - prev_leading_ - prev_trailing_;
+      x = reader_.read(meaningful) << prev_trailing_;
+    }
+    value_bits_ ^= x;
+  }
+  if (reader_.eof()) {  // malformed input: stop at what decoded cleanly
+    index_ = count_;
+    return false;
+  }
+  out = {time_, detail::bits_double(value_bits_)};
+  ++index_;
+  return true;
+}
+
+}  // namespace hpcmon::store

@@ -1,0 +1,45 @@
+// ChunkCursor: streaming point-by-point decoder of a chunk's Gorilla
+// bitstream.
+//
+// query_range used to decompress-everything-then-filter: every overlapping
+// chunk was materialized into a full vector even when the query wanted the
+// first few points. A cursor decodes one point per next() call, so callers
+// stop as soon as they pass range.end (early exit) and never allocate a
+// point vector at all — the dashboard/detector streaming path the paper's
+// Table I consumers ("multiple consumers ... at variety of locations") need.
+#pragma once
+
+#include <cstdint>
+
+#include "core/series_buffer.hpp"  // TimedValue
+#include "store/bitstream.hpp"
+
+namespace hpcmon::store {
+
+class Chunk;
+
+/// Forward-only decoder over one chunk. The chunk must outlive the cursor
+/// (the cursor reads the chunk's payload in place; chunks are immutable).
+class ChunkCursor {
+ public:
+  explicit ChunkCursor(const Chunk& chunk);
+
+  /// Decode the next point into `out`; false at end of stream (or on a
+  /// truncated bitstream, matching Chunk::decompress's stop-early contract).
+  bool next(core::TimedValue& out);
+
+  /// Points not yet decoded (upper bound; a malformed stream ends sooner).
+  std::uint32_t remaining() const { return count_ - index_; }
+
+ private:
+  BitReader reader_;
+  std::uint32_t count_ = 0;
+  std::uint32_t index_ = 0;
+  std::int64_t time_ = 0;
+  std::int64_t prev_delta_ = 0;
+  std::uint64_t value_bits_ = 0;
+  int prev_leading_ = 0;
+  int prev_trailing_ = 0;
+};
+
+}  // namespace hpcmon::store

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/strings.hpp"
+#include "store/cursor.hpp"
+
 namespace hpcmon::store {
 
 using core::SeriesId;
@@ -50,22 +53,46 @@ std::optional<double> aggregate_points(const std::vector<TimedValue>& pts,
   return std::nullopt;
 }
 
-TimeSeriesStore::Series* TimeSeriesStore::find(SeriesId id) {
-  const auto i = core::raw(id);
-  if (i >= series_.size()) return nullptr;
-  return &series_[i];
+QueryStats& QueryStats::operator+=(const QueryStats& o) {
+  queries += o.queries;
+  summary_chunks += o.summary_chunks;
+  cursor_chunks += o.cursor_chunks;
+  cache_hits += o.cache_hits;
+  cache_misses += o.cache_misses;
+  cache_evictions += o.cache_evictions;
+  cache_invalidations += o.cache_invalidations;
+  cache_entries += o.cache_entries;
+  return *this;
 }
 
-const TimeSeriesStore::Series* TimeSeriesStore::find(SeriesId id) const {
-  const auto i = core::raw(id);
-  if (i >= series_.size()) return nullptr;
-  return &series_[i];
+std::string QueryStats::to_string() const {
+  return core::strformat(
+      "store.queries=%llu store.summary_chunks=%llu store.cursor_chunks=%llu "
+      "store.cache_hits=%llu store.cache_misses=%llu "
+      "store.cache_evictions=%llu store.cache_invalidations=%llu "
+      "store.cache_entries=%zu",
+      static_cast<unsigned long long>(queries),
+      static_cast<unsigned long long>(summary_chunks),
+      static_cast<unsigned long long>(cursor_chunks),
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(cache_misses),
+      static_cast<unsigned long long>(cache_evictions),
+      static_cast<unsigned long long>(cache_invalidations), cache_entries);
 }
 
 bool TimeSeriesStore::append(SeriesId id, TimePoint t, double value) {
-  std::scoped_lock lock(mu_);
   const auto i = core::raw(id);
+  {
+    std::shared_lock map_lock(map_mu_);
+    if (i < series_.size()) return append_at(i, t, value);
+  }
+  std::unique_lock map_lock(map_mu_);  // slow path: grow the series table
   if (i >= series_.size()) series_.resize(i + 1);
+  return append_at(i, t, value);
+}
+
+bool TimeSeriesStore::append_at(std::size_t i, TimePoint t, double value) {
+  std::scoped_lock lock(stripe(i));
   auto& s = series_[i];
   if (t <= s.last_time) return false;  // strict ordering per series
   s.head.push_back({t, value});
@@ -85,36 +112,67 @@ std::size_t TimeSeriesStore::append_batch(
 
 void TimeSeriesStore::seal_locked(Series& s) {
   if (s.head.empty()) return;
-  s.sealed.push_back(Chunk::compress(s.head));
+  s.sealed.push_back(std::make_shared<const Chunk>(Chunk::compress(s.head)));
   s.head.clear();
+}
+
+TimeSeriesStore::ReadView TimeSeriesStore::read_view(
+    SeriesId id, const TimeRange& range) const {
+  ReadView view;
+  const auto i = core::raw(id);
+  std::shared_lock map_lock(map_mu_);
+  if (i >= series_.size()) return view;
+  std::scoped_lock lock(stripe(i));
+  const auto& s = series_[i];
+  for (const auto& c : s.sealed) {
+    if (!c->overlaps(range)) continue;
+    view.chunk_points += c->count();
+    view.chunks.push_back(c);
+  }
+  for (const auto& p : s.head) {
+    if (range.contains(p.time)) view.head.push_back(p);
+  }
+  return view;
+}
+
+DecodedChunk TimeSeriesStore::decoded(const Chunk& chunk) const {
+  if (auto hit = cache_.get(chunk.id())) return hit;
+  auto pts =
+      std::make_shared<const std::vector<TimedValue>>(chunk.decompress());
+  cache_.put(chunk.id(), pts);
+  return pts;
 }
 
 std::vector<TimedValue> TimeSeriesStore::query_range(
     SeriesId id, const TimeRange& range) const {
-  std::scoped_lock lock(mu_);
+  queries_.fetch_add(1, std::memory_order_relaxed);
   std::vector<TimedValue> out;
-  const auto* s = find(id);
-  if (s == nullptr) return out;
-  for (const auto& c : s->sealed) {
-    if (!c.overlaps(range)) continue;
-    for (const auto& p : c.decompress()) {
+  if (range.empty()) return out;
+  const auto view = read_view(id, range);
+  out.reserve(view.chunk_points + view.head.size());
+  for (const auto& c : view.chunks) {
+    // Keep the decoded vector alive for the loop: when the cache is disabled
+    // the returned shared_ptr is the only owner.
+    const auto pts = decoded(*c);
+    for (const auto& p : *pts) {
       if (range.contains(p.time)) out.push_back(p);
     }
   }
-  for (const auto& p : s->head) {
-    if (range.contains(p.time)) out.push_back(p);
-  }
+  out.insert(out.end(), view.head.begin(), view.head.end());
   return out;  // chunks are time-ordered, head follows sealed
 }
 
 std::optional<TimedValue> TimeSeriesStore::latest(SeriesId id) const {
-  std::scoped_lock lock(mu_);
-  const auto* s = find(id);
-  if (s == nullptr) return std::nullopt;
-  if (!s->head.empty()) return s->head.back();
-  if (!s->sealed.empty()) {
-    const auto pts = s->sealed.back().decompress();
-    if (!pts.empty()) return pts.back();
+  const auto i = core::raw(id);
+  std::shared_lock map_lock(map_mu_);
+  if (i >= series_.size()) return std::nullopt;
+  std::scoped_lock lock(stripe(i));
+  const auto& s = series_[i];
+  if (!s.head.empty()) return s.head.back();
+  if (!s.sealed.empty()) {
+    // The seal-time summary already knows the newest sealed point: no decode.
+    const auto& c = *s.sealed.back();
+    if (c.count() > 0) return TimedValue{c.max_time(), c.summary().last};
   }
   return std::nullopt;
 }
@@ -122,70 +180,166 @@ std::optional<TimedValue> TimeSeriesStore::latest(SeriesId id) const {
 std::optional<double> TimeSeriesStore::aggregate(SeriesId id,
                                                  const TimeRange& range,
                                                  Agg agg) const {
-  return aggregate_points(query_range(id, range), agg);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  if (range.empty()) return std::nullopt;
+  const auto view = read_view(id, range);
+  ChunkSummary acc;
+  for (const auto& c : view.chunks) {
+    if (c->covered_by(range)) {
+      acc.merge(c->summary());
+      summary_chunks_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // Boundary chunk: stream with early exit instead of materializing.
+    cursor_chunks_.fetch_add(1, std::memory_order_relaxed);
+    ChunkCursor cursor(*c);
+    TimedValue p;
+    while (cursor.next(p)) {
+      if (p.time >= range.end) break;
+      if (p.time >= range.begin) acc.add(p);
+    }
+  }
+  for (const auto& p : view.head) acc.add(p);
+  return summary_aggregate(acc, agg);
 }
 
 std::vector<TimedValue> TimeSeriesStore::downsample(SeriesId id,
                                                     const TimeRange& range,
                                                     core::Duration bucket,
                                                     Agg agg) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
   std::vector<TimedValue> out;
-  if (bucket <= 0) return out;
-  const auto pts = query_range(id, range);
-  std::size_t i = 0;
-  while (i < pts.size()) {
-    const TimePoint bucket_start =
-        range.begin + (pts[i].time - range.begin) / bucket * bucket;
-    std::vector<TimedValue> in_bucket;
-    while (i < pts.size() && pts[i].time < bucket_start + bucket) {
-      in_bucket.push_back(pts[i]);
-      ++i;
+  if (bucket <= 0 || range.empty()) return out;
+  const auto view = read_view(id, range);
+
+  // Data arrives in time order, so bucket starts are non-decreasing and the
+  // open bucket is always the back of the list.
+  std::vector<std::pair<TimePoint, ChunkSummary>> buckets;
+  const auto bucket_start = [&](TimePoint t) {
+    return range.begin + (t - range.begin) / bucket * bucket;
+  };
+  const auto acc_for = [&](TimePoint bs) -> ChunkSummary& {
+    if (buckets.empty() || buckets.back().first != bs) {
+      buckets.emplace_back(bs, ChunkSummary{});
     }
-    if (auto v = aggregate_points(in_bucket, agg)) {
-      out.push_back({bucket_start, *v});
+    return buckets.back().second;
+  };
+
+  for (const auto& c : view.chunks) {
+    // A chunk entirely inside the range AND inside one bucket contributes
+    // its summary without decoding — stepped aggregation per bucket.
+    if (c->covered_by(range) &&
+        bucket_start(c->min_time()) == bucket_start(c->max_time())) {
+      acc_for(bucket_start(c->min_time())).merge(c->summary());
+      summary_chunks_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    cursor_chunks_.fetch_add(1, std::memory_order_relaxed);
+    ChunkCursor cursor(*c);
+    TimedValue p;
+    while (cursor.next(p)) {
+      if (p.time >= range.end) break;
+      if (p.time >= range.begin) acc_for(bucket_start(p.time)).add(p);
     }
   }
+  for (const auto& p : view.head) acc_for(bucket_start(p.time)).add(p);
+
+  out.reserve(buckets.size());
+  for (const auto& [bs, acc] : buckets) {
+    if (auto v = summary_aggregate(acc, agg)) out.push_back({bs, *v});
+  }
   return out;
+}
+
+std::size_t TimeSeriesStore::scan(
+    SeriesId id, const TimeRange& range,
+    const std::function<bool(const TimedValue&)>& visit) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  if (range.empty()) return 0;
+  const auto view = read_view(id, range);
+  std::size_t visited = 0;
+  for (const auto& c : view.chunks) {
+    cursor_chunks_.fetch_add(1, std::memory_order_relaxed);
+    ChunkCursor cursor(*c);
+    TimedValue p;
+    while (cursor.next(p)) {
+      if (p.time >= range.end) return visited;
+      if (p.time < range.begin) continue;
+      ++visited;
+      if (!visit(p)) return visited;
+    }
+  }
+  for (const auto& p : view.head) {
+    ++visited;
+    if (!visit(p)) return visited;
+  }
+  return visited;
 }
 
 std::size_t TimeSeriesStore::evict_before(
     TimePoint cutoff,
     const std::function<void(SeriesId, Chunk&&)>& sink) {
-  std::scoped_lock lock(mu_);
+  std::shared_lock map_lock(map_mu_);
   std::size_t evicted = 0;
+  std::vector<std::uint64_t> dropped;  // cache invalidations, outside stripes
   for (std::size_t i = 0; i < series_.size(); ++i) {
+    std::scoped_lock lock(stripe(i));
     auto& s = series_[i];
     auto it = s.sealed.begin();
-    while (it != s.sealed.end() && it->max_time() < cutoff) {
-      if (sink) sink(SeriesId{static_cast<std::uint32_t>(i)}, std::move(*it));
+    while (it != s.sealed.end() && (*it)->max_time() < cutoff) {
+      dropped.push_back((*it)->id());
+      if (sink) {
+        Chunk copy(**it);  // queries may still hold the shared ref
+        sink(SeriesId{static_cast<std::uint32_t>(i)}, std::move(copy));
+      }
       it = s.sealed.erase(it);
       ++evicted;
     }
   }
+  for (const auto id : dropped) cache_.erase(id);
   return evicted;
 }
 
 bool TimeSeriesStore::has_series(SeriesId id) const {
-  std::scoped_lock lock(mu_);
-  const auto* s = find(id);
-  return s != nullptr && (!s->head.empty() || !s->sealed.empty());
+  const auto i = core::raw(id);
+  std::shared_lock map_lock(map_mu_);
+  if (i >= series_.size()) return false;
+  std::scoped_lock lock(stripe(i));
+  const auto& s = series_[i];
+  return !s.head.empty() || !s.sealed.empty();
 }
 
 StoreStats TimeSeriesStore::stats() const {
-  std::scoped_lock lock(mu_);
+  std::shared_lock map_lock(map_mu_);
   StoreStats st;
-  for (const auto& s : series_) {
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    std::scoped_lock lock(stripe(i));
+    const auto& s = series_[i];
     if (s.head.empty() && s.sealed.empty()) continue;
     ++st.series;
     st.head_points += s.head.size();
     st.points += s.head.size();
     for (const auto& c : s.sealed) {
-      st.points += c.count();
-      st.compressed_bytes += c.byte_size();
+      st.points += c->count();
+      st.compressed_bytes += c->byte_size();
       ++st.sealed_chunks;
     }
   }
   return st;
+}
+
+QueryStats TimeSeriesStore::query_stats() const {
+  QueryStats qs;
+  qs.queries = queries_.load(std::memory_order_relaxed);
+  qs.summary_chunks = summary_chunks_.load(std::memory_order_relaxed);
+  qs.cursor_chunks = cursor_chunks_.load(std::memory_order_relaxed);
+  const auto cs = cache_.stats();
+  qs.cache_hits = cs.hits;
+  qs.cache_misses = cs.misses;
+  qs.cache_evictions = cs.evictions;
+  qs.cache_invalidations = cs.invalidations;
+  qs.cache_entries = cs.entries;
+  return qs;
 }
 
 }  // namespace hpcmon::store

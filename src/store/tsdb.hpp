@@ -4,12 +4,28 @@
 // chunks (chunk.hpp). Queries merge sealed and head data. Thread-safe:
 // collectors append from transport threads while dashboards query
 // (Table I: "multiple consumers ... at variety of locations").
+//
+// Query engine (see DESIGN.md "Query engine"):
+//   * aggregate()/downsample() answer chunks fully covered by the range from
+//     seal-time summaries (summary.hpp) and only stream-decode boundary
+//     chunks (cursor.hpp) — stepped aggregation.
+//   * query_range() decodes through a bounded LRU of decoded chunks
+//     (chunk_cache.hpp) keyed by chunk generation, so dashboard refreshes
+//     stop paying decode cost; scan() streams without materializing.
+//   * Locking is a reader-writer map lock plus striped per-series mutexes:
+//     readers snapshot chunk refs under the stripe and decode OUTSIDE any
+//     lock, so queries neither block collector appends to other series nor
+//     each other.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -18,10 +34,9 @@
 #include "core/series_buffer.hpp"
 #include "core/time.hpp"
 #include "store/chunk.hpp"
+#include "store/chunk_cache.hpp"
 
 namespace hpcmon::store {
-
-enum class Agg : std::uint8_t { kSum, kMean, kMin, kMax, kCount, kLast };
 
 struct StoreStats {
   std::size_t series = 0;
@@ -31,11 +46,29 @@ struct StoreStats {
   std::size_t head_points = 0;       // not yet sealed
 };
 
+/// Read-path self-metrics (cumulative); surfaced as store.* in
+/// MonitoringStack::status().
+struct QueryStats {
+  std::uint64_t queries = 0;         // query_range+aggregate+downsample+scan
+  std::uint64_t summary_chunks = 0;  // chunks answered from summaries alone
+  std::uint64_t cursor_chunks = 0;   // boundary chunks streamed point-by-point
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;      // decode cache capacity evictions
+  std::uint64_t cache_invalidations = 0;  // dropped by evict_before
+  std::size_t cache_entries = 0;
+
+  QueryStats& operator+=(const QueryStats& o);
+  std::string to_string() const;
+};
+
 class TimeSeriesStore {
  public:
   /// `chunk_points`: head size at which a chunk is sealed and compressed.
-  explicit TimeSeriesStore(std::size_t chunk_points = 512)
-      : chunk_points_(chunk_points) {}
+  /// `cache_chunks`: decode-cache capacity in chunks (0 disables caching).
+  explicit TimeSeriesStore(std::size_t chunk_points = 512,
+                           std::size_t cache_chunks = 64)
+      : chunk_points_(chunk_points), cache_(cache_chunks) {}
 
   /// Append one point. Out-of-order AND duplicate-timestamp points
   /// (time <= last time of the series) are rejected (returns false) —
@@ -47,52 +80,88 @@ class TimeSeriesStore {
   std::size_t append_batch(const std::vector<core::Sample>& samples);
 
   /// All points of a series within [range.begin, range.end), time-ordered.
+  /// The output is pre-reserved from chunk counts + head size.
   std::vector<core::TimedValue> query_range(core::SeriesId series,
                                             const core::TimeRange& range) const;
 
   std::optional<core::TimedValue> latest(core::SeriesId series) const;
 
   /// Scalar aggregate over a time range; nullopt when no points in range.
+  /// Chunks fully covered by the range are answered from their seal-time
+  /// summaries; only boundary chunks are decoded (and those are streamed
+  /// with early exit, never materialized).
   std::optional<double> aggregate(core::SeriesId series,
                                   const core::TimeRange& range, Agg agg) const;
 
   /// Fixed-interval downsampling: one aggregated point per bucket (bucket
-  /// timestamp = bucket start). Buckets without data are omitted.
+  /// timestamp = bucket start). Buckets without data are omitted. A chunk
+  /// falling entirely inside one bucket contributes its summary unscanned.
   std::vector<core::TimedValue> downsample(core::SeriesId series,
                                            const core::TimeRange& range,
                                            core::Duration bucket,
                                            Agg agg) const;
 
+  /// Stream every point of `series` in `range` through `visit`, oldest
+  /// first, without materializing a vector; `visit` returns false to stop.
+  /// Returns the number of points visited. Sealed chunks are decoded
+  /// point-by-point with early exit past range.end.
+  std::size_t scan(core::SeriesId series, const core::TimeRange& range,
+                   const std::function<bool(const core::TimedValue&)>& visit)
+      const;
+
   /// Remove sealed chunks entirely older than `cutoff`, handing each to
   /// `sink` (archive hook) before deletion. Head data is never evicted.
+  /// Evicted chunks are also dropped from the decode cache.
   std::size_t evict_before(core::TimePoint cutoff,
                            const std::function<void(core::SeriesId,
                                                     Chunk&&)>& sink);
 
   bool has_series(core::SeriesId series) const;
   StoreStats stats() const;
+  QueryStats query_stats() const;
 
  private:
   struct Series {
-    std::vector<Chunk> sealed;
+    std::vector<std::shared_ptr<const Chunk>> sealed;
     std::vector<core::TimedValue> head;
     core::TimePoint last_time = INT64_MIN;
   };
-  Series* find(core::SeriesId id);
-  const Series* find(core::SeriesId id) const;
-  void seal_locked(Series& s);
-  static void aggregate_into(const std::vector<core::TimedValue>& pts,
-                             Agg agg, double& acc, std::size_t& n);
+  /// What a query needs from a series, snapshotted under the stripe lock:
+  /// refs to the overlapping immutable chunks plus a copy of the in-range
+  /// head tail. All decoding happens after the locks are released.
+  struct ReadView {
+    std::vector<std::shared_ptr<const Chunk>> chunks;
+    std::vector<core::TimedValue> head;
+    std::size_t chunk_points = 0;  // sum of chunk counts (for reserve)
+  };
 
-  mutable std::mutex mu_;
+  static constexpr std::size_t kLockStripes = 16;
+
+  std::mutex& stripe(std::size_t series_index) const {
+    return stripe_mu_[series_index % kLockStripes];
+  }
+  bool append_at(std::size_t index, core::TimePoint t, double value);
+  void seal_locked(Series& s);
+  /// Snapshot the chunks/head of `series` overlapping `range` (shared map
+  /// lock + stripe lock, both released on return).
+  ReadView read_view(core::SeriesId series, const core::TimeRange& range) const;
+  /// Decode a sealed chunk through the LRU cache.
+  DecodedChunk decoded(const Chunk& chunk) const;
+
+  // Lock order: map_mu_ before stripe; never take a stripe while holding
+  // another stripe or the cache mutex.
+  mutable std::shared_mutex map_mu_;  // guards series_ growth
+  mutable std::array<std::mutex, kLockStripes> stripe_mu_;  // per-series state
   std::size_t chunk_points_;
   std::vector<Series> series_;  // indexed by raw(SeriesId)
+  mutable ChunkCache cache_;
+  mutable std::atomic<std::uint64_t> queries_{0};
+  mutable std::atomic<std::uint64_t> summary_chunks_{0};
+  mutable std::atomic<std::uint64_t> cursor_chunks_{0};
 };
 
 /// Apply an aggregate to a point vector; nullopt when empty.
 std::optional<double> aggregate_points(const std::vector<core::TimedValue>& pts,
                                        Agg agg);
-
-std::string_view to_string(Agg agg);
 
 }  // namespace hpcmon::store

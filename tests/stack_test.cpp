@@ -41,6 +41,16 @@ TEST(StackTest, DefaultConfigCollectsEverything) {
   EXPECT_TRUE(cluster.registry().find_metric("probe.dgemm_seconds"));
   EXPECT_TRUE(cluster.registry().find_metric("health.ok"));
   EXPECT_NE(stack.status().find("series="), std::string::npos);
+  // Read-path self-metrics surface as store.* counters, and querying moves
+  // them (rules/detectors already query during collection, so just verify
+  // the counter is live and reported).
+  const auto qs0 = stack.store_query_stats();
+  (void)stack.tsdb().hot().query_range(
+      cluster.registry().series("node.cpu_load", cluster.topology().node(0)),
+      {0, core::kDay});
+  EXPECT_GT(stack.store_query_stats().queries, qs0.queries);
+  EXPECT_NE(stack.status().find("store.queries="), std::string::npos);
+  EXPECT_NE(stack.status().find("store.cache_hits="), std::string::npos);
 }
 
 TEST(StackTest, ConfigDisablesOptionalStages) {
