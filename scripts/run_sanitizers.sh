@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Drive the sanitizer presets end to end: configure, build, and test each
+# requested preset. The tsan preset runs only `threaded`-labeled tests (the
+# chaos storm battery carries both `chaos` and `threaded`, so every seeded
+# storm scenario runs under ThreadSanitizer); asan and ubsan run the full
+# suite.
+#
+# Usage:
+#   scripts/run_sanitizers.sh              # tsan, asan, ubsan in sequence
+#   scripts/run_sanitizers.sh tsan         # one preset
+#   scripts/run_sanitizers.sh asan ubsan   # any subset, in order
+#
+# Each preset builds into its own tree (build-<preset>), so runs are
+# incremental and independent of the default build/. Exits nonzero on the
+# first preset that fails to configure, build, or pass its tests.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(tsan asan ubsan)
+fi
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+for preset in "${presets[@]}"; do
+  case "$preset" in
+    tsan|asan|ubsan) ;;
+    *)
+      echo "error: unknown preset '$preset' (expected tsan, asan, or ubsan)" >&2
+      exit 2
+      ;;
+  esac
+
+  echo "==== [$preset] configure ===="
+  cmake --preset "$preset"
+  echo "==== [$preset] build ===="
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "==== [$preset] test ===="
+  ctest --preset "$preset" -j "$jobs"
+  echo "==== [$preset] OK ===="
+done
+
+echo "All requested sanitizer presets passed: ${presets[*]}"

@@ -85,6 +85,11 @@ const ComponentInfo& MetricRegistry::component(ComponentId id) const {
   return components_.at(raw(id));
 }
 
+Priority MetricRegistry::series_priority(SeriesId id) const {
+  std::scoped_lock lock(mu_);
+  return metrics_.at(series_.at(raw(id)).metric).priority;
+}
+
 std::uint32_t MetricRegistry::series_metric(SeriesId id) const {
   std::scoped_lock lock(mu_);
   return series_.at(raw(id)).metric;
@@ -151,8 +156,12 @@ std::string MetricRegistry::describe_all() const {
   std::ostringstream os;
   for (const auto& m : metrics_) {
     os << m.name << " [" << (m.units.empty() ? "-" : m.units) << "]"
-       << (m.is_counter ? " (counter)" : "") << ": "
-       << (m.description.empty() ? "(undocumented)" : m.description) << "\n";
+       << (m.is_counter ? " (counter)" : "");
+    if (m.priority != Priority::kStandard) {
+      os << " {" << to_string(m.priority) << "}";
+    }
+    os << ": " << (m.description.empty() ? "(undocumented)" : m.description)
+       << "\n";
   }
   return os.str();
 }

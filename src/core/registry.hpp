@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/ids.hpp"
+#include "core/priority.hpp"
 
 namespace hpcmon::core {
 
@@ -25,6 +26,9 @@ struct MetricInfo {
   std::string units;        // e.g. "stalls/s"
   std::string description;  // Table I: "the meaning of all raw data"
   bool is_counter = false;  // monotonically increasing raw counter?
+  /// Shedding class under storm load (priority.hpp); like the rest of the
+  /// metadata, the first registration wins and the class is then immutable.
+  Priority priority = Priority::kStandard;
 };
 
 /// Metadata describing one component instance.
@@ -59,6 +63,8 @@ class MetricRegistry {
   /// Metric/component of an interned series.
   std::uint32_t series_metric(SeriesId id) const;
   ComponentId series_component(SeriesId id) const;
+  /// Shedding class of an interned series (its metric family's priority).
+  Priority series_priority(SeriesId id) const;
   /// "metric@component" label for reports.
   std::string series_name(SeriesId id) const;
 

@@ -12,23 +12,40 @@
 
 namespace hpcmon::core {
 
+/// Broad failure class, so callers can branch on *what kind* of failure
+/// occurred (e.g. corruption is surfaced to operators differently than a
+/// missing file) without parsing the human-readable message.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kError = 1,       // generic expected failure
+  kCorruption = 2,  // data failed an integrity check (CRC, framing)
+};
+
 class Status {
  public:
   Status() = default;  // OK
   static Status ok() { return Status(); }
   static Status error(std::string message) {
-    Status s;
-    s.message_ = std::move(message);
-    s.ok_ = false;
-    return s;
+    return make(StatusCode::kError, std::move(message));
+  }
+  static Status corruption(std::string message) {
+    return make(StatusCode::kCorruption, std::move(message));
   }
 
-  bool is_ok() const { return ok_; }
-  explicit operator bool() const { return ok_; }
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+  StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
  private:
-  bool ok_ = true;
+  static Status make(StatusCode code, std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    s.code_ = code;
+    return s;
+  }
+
+  StatusCode code_ = StatusCode::kOk;
   std::string message_;
 };
 

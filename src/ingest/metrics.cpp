@@ -47,6 +47,15 @@ IngestSnapshot IngestMetrics::snapshot() const {
   for (std::size_t b = 0; b < kBatchHistBuckets; ++b) {
     s.batch_size_hist[b] = batch_size_hist_[b].load(std::memory_order_relaxed);
   }
+  for (std::size_t c = 0; c < core::kPriorityClasses; ++c) {
+    s.submitted_by_class[c] =
+        submitted_by_class_[c].load(std::memory_order_relaxed);
+    s.shed_by_class[c] = shed_by_class_[c].load(std::memory_order_relaxed);
+    s.dropped_by_class[c] =
+        dropped_by_class_[c].load(std::memory_order_relaxed);
+    s.rejected_by_class[c] =
+        rejected_by_class_[c].load(std::memory_order_relaxed);
+  }
   return s;
 }
 
@@ -58,15 +67,21 @@ std::uint64_t IngestSnapshot::max_queue_hwm() const {
 
 std::string IngestSnapshot::to_string() const {
   return core::strformat(
-      "ingest acc=%llu ooo=%llu drop=%llu rej=%llu blocked=%llu hwm=%llu "
-      "batch=%.1f append_us=%.1f",
+      "ingest acc=%llu ooo=%llu drop=%llu rej=%llu shed=%llu blocked=%llu "
+      "hwm=%llu batch=%.1f append_us=%.1f crit_lost=%llu",
       static_cast<unsigned long long>(accepted_samples),
       static_cast<unsigned long long>(out_of_order_samples),
       static_cast<unsigned long long>(dropped_samples),
       static_cast<unsigned long long>(rejected_samples),
+      static_cast<unsigned long long>(shed_samples()),
       static_cast<unsigned long long>(blocked_pushes),
       static_cast<unsigned long long>(max_queue_hwm()), mean_batch_samples(),
-      mean_append_us());
+      mean_append_us(),
+      static_cast<unsigned long long>(
+          dropped_by_class[static_cast<std::size_t>(
+              core::Priority::kCritical)] +
+          rejected_by_class[static_cast<std::size_t>(
+              core::Priority::kCritical)]));
 }
 
 std::vector<core::Sample> IngestMetrics::to_samples(
@@ -109,6 +124,26 @@ std::vector<core::Sample> IngestMetrics::to_samples(
   emit("ingest.batch_mean_samples", "samples",
        "mean coalesced batch size per shard append", false,
        snap.mean_batch_samples());
+  // Per-priority-class counters: named ingest.<verb>_<class>_samples so one
+  // glance at a dashboard shows which class is absorbing the storm. The
+  // critical drop/reject series exist precisely so operators can alert on
+  // them being nonzero (the invariant the priority machinery enforces).
+  for (std::size_t c = 0; c < core::kPriorityClasses; ++c) {
+    const auto pri = static_cast<core::Priority>(c);
+    const std::string cls{core::to_string(pri)};
+    emit(("ingest.submitted_" + cls + "_samples").c_str(), "samples",
+         "samples of this priority class offered to the ingest tier", true,
+         static_cast<double>(snap.submitted_by_class[c]));
+    emit(("ingest.shed_" + cls + "_samples").c_str(), "samples",
+         "samples voluntarily shed at the door by the degradation controller",
+         true, static_cast<double>(snap.shed_by_class[c]));
+    emit(("ingest.dropped_" + cls + "_samples").c_str(), "samples",
+         "samples of this priority class lost to drop-oldest eviction", true,
+         static_cast<double>(snap.dropped_by_class[c]));
+    emit(("ingest.rejected_" + cls + "_samples").c_str(), "samples",
+         "samples of this priority class refused at the door under overload",
+         true, static_cast<double>(snap.rejected_by_class[c]));
+  }
   return out;
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/ids.hpp"
+#include "core/priority.hpp"
 #include "core/registry.hpp"
 #include "core/sample.hpp"
 #include "core/time.hpp"
@@ -49,6 +50,23 @@ struct IngestSnapshot {
   std::uint64_t append_us = 0;          // worker time spent appending
   std::vector<std::uint64_t> queue_hwm;  // per-shard depth high-water mark
   std::array<std::uint64_t, kBatchHistBuckets> batch_size_hist{};
+
+  // Per-priority-class accounting (indexed by core::Priority). "Shed" is the
+  // voluntary kind — samples the degradation controller turned away at the
+  // door (bulk shed, standard downsampled) — as opposed to dropped/rejected,
+  // which are involuntary overload losses. The storm-mode invariant is
+  // dropped_by_class[kCritical] == rejected_by_class[kCritical] == 0, always.
+  std::array<std::uint64_t, core::kPriorityClasses> submitted_by_class{};
+  std::array<std::uint64_t, core::kPriorityClasses> shed_by_class{};
+  std::array<std::uint64_t, core::kPriorityClasses> dropped_by_class{};
+  std::array<std::uint64_t, core::kPriorityClasses> rejected_by_class{};
+
+  std::uint64_t shed_samples() const {
+    std::uint64_t total = 0;
+    for (const auto s : shed_by_class) total += s;
+    return total;
+  }
+  std::uint64_t lost_samples() const { return dropped_samples + rejected_samples; }
 
   double mean_batch_samples() const {
     return appends == 0 ? 0.0
@@ -93,13 +111,28 @@ class IngestMetrics {
   void record_block_wait(std::uint64_t wait_us) {
     block_wait_us_.fetch_add(wait_us, std::memory_order_relaxed);
   }
-  void record_dropped(std::size_t samples) {
+  void record_dropped(std::size_t samples,
+                      core::Priority pri = core::Priority::kStandard) {
     dropped_batches_.fetch_add(1, std::memory_order_relaxed);
     dropped_samples_.fetch_add(samples, std::memory_order_relaxed);
+    dropped_by_class_[static_cast<std::size_t>(pri)].fetch_add(
+        samples, std::memory_order_relaxed);
   }
-  void record_rejected(std::size_t samples) {
+  void record_rejected(std::size_t samples,
+                       core::Priority pri = core::Priority::kStandard) {
     rejected_batches_.fetch_add(1, std::memory_order_relaxed);
     rejected_samples_.fetch_add(samples, std::memory_order_relaxed);
+    rejected_by_class_[static_cast<std::size_t>(pri)].fetch_add(
+        samples, std::memory_order_relaxed);
+  }
+  void record_submit_class(core::Priority pri, std::size_t samples) {
+    submitted_by_class_[static_cast<std::size_t>(pri)].fetch_add(
+        samples, std::memory_order_relaxed);
+  }
+  /// Voluntary degradation-mode shedding at the submit door (never critical).
+  void record_shed(core::Priority pri, std::size_t samples) {
+    shed_by_class_[static_cast<std::size_t>(pri)].fetch_add(
+        samples, std::memory_order_relaxed);
   }
 
   // -- Worker side -----------------------------------------------------------
@@ -133,6 +166,14 @@ class IngestMetrics {
   std::atomic<std::uint64_t> append_us_{0};
   std::vector<std::atomic<std::uint64_t>> queue_hwm_;
   std::array<std::atomic<std::uint64_t>, kBatchHistBuckets> batch_size_hist_{};
+  std::array<std::atomic<std::uint64_t>, core::kPriorityClasses>
+      submitted_by_class_{};
+  std::array<std::atomic<std::uint64_t>, core::kPriorityClasses>
+      shed_by_class_{};
+  std::array<std::atomic<std::uint64_t>, core::kPriorityClasses>
+      dropped_by_class_{};
+  std::array<std::atomic<std::uint64_t>, core::kPriorityClasses>
+      rejected_by_class_{};
 };
 
 }  // namespace hpcmon::ingest

@@ -36,12 +36,35 @@ IngestPipeline::IngestPipeline(ShardedTimeSeriesStore& store,
     : store_(store), config_(config), metrics_(store.shard_count()) {
   if (config_.queue_capacity == 0) config_.queue_capacity = 1;
   if (config_.max_coalesce_batches == 0) config_.max_coalesce_batches = 1;
+  if (config_.standard_stride == 0) config_.standard_stride = 1;
   channels_.reserve(store_.shard_count());
   for (std::size_t i = 0; i < store_.shard_count(); ++i) {
-    channels_.push_back(
-        std::make_unique<transport::Channel<core::SampleBatch>>(
-            config_.queue_capacity));
+    channels_.push_back(std::make_unique<transport::Channel<PrioritizedBatch>>(
+        config_.queue_capacity));
   }
+}
+
+core::Priority IngestPipeline::priority_of(core::SeriesId series) {
+  if (!config_.priority_of) return core::Priority::kStandard;
+  const auto idx = static_cast<std::size_t>(core::raw(series));
+  {
+    std::shared_lock lock(pri_mu_);
+    if (idx < pri_cache_.size() && pri_cache_[idx] != 255) {
+      return static_cast<core::Priority>(pri_cache_[idx]);
+    }
+  }
+  const auto pri = config_.priority_of(series);
+  std::unique_lock lock(pri_mu_);
+  if (idx >= pri_cache_.size()) pri_cache_.resize(idx + 1, 255);
+  pri_cache_[idx] = static_cast<std::uint8_t>(pri);
+  return pri;
+}
+
+bool IngestPipeline::admit_standard(core::SeriesId series) {
+  const auto idx = static_cast<std::size_t>(core::raw(series));
+  std::scoped_lock lock(stride_mu_);
+  if (idx >= stride_counts_.size()) stride_counts_.resize(idx + 1, 0);
+  return (stride_counts_[idx]++ % config_.standard_stride) == 0;
 }
 
 IngestPipeline::~IngestPipeline() { stop(); }
@@ -57,56 +80,134 @@ void IngestPipeline::start() {
 
 std::size_t IngestPipeline::submit(const core::SampleBatch& batch) {
   metrics_.record_submit(batch.size());
-  // Partition by owning shard; sub-batches inherit the sweep metadata.
-  std::vector<core::SampleBatch> parts(channels_.size());
+  const auto mode = this->mode();
+  // Partition by owning shard AND priority class, applying the degradation
+  // mode's door policy per sample; each queued item then has one uniform
+  // class, which keeps per-series ordering (a series has exactly one class)
+  // and lets eviction treat items wholesale.
+  constexpr std::size_t kClasses = core::kPriorityClasses;
+  std::vector<std::array<core::SampleBatch, kClasses>> parts(channels_.size());
+  std::array<std::size_t, kClasses> offered{};
+  std::array<std::size_t, kClasses> shed{};
   for (const auto& s : batch.samples) {
-    parts[store_.shard_of(s.series)].samples.push_back(s);
-  }
-  std::size_t enqueued = 0;
-  for (std::size_t shard = 0; shard < parts.size(); ++shard) {
-    auto& part = parts[shard];
-    if (part.samples.empty()) continue;
-    part.sweep_time = batch.sweep_time;
-    part.origin = batch.origin;
-    const std::size_t n = part.samples.size();
-    auto& ch = *channels_[shard];
-
-    // Fast path: space available (push_for with zero wait does not consume
-    // `part` on failure, so the policy below still owns the same item).
-    bool pushed = ch.push_for(part, std::chrono::seconds(0));
-    if (!pushed) {
-      switch (config_.policy) {
-        case OverloadPolicy::kBlock: {
-          if (ch.closed()) break;  // reject, not a backpressure stall
-          metrics_.record_block_entered();
-          const auto t0 = steady_clock::now();
-          // Bounded waits so a closed pipeline cannot wedge a producer.
-          while (!ch.closed() &&
-                 !(pushed = ch.push_for(part, std::chrono::milliseconds(50)))) {
-          }
-          metrics_.record_block_wait(elapsed_us(t0));
-          break;
-        }
-        case OverloadPolicy::kDropOldest: {
-          while (!ch.closed() &&
-                 !(pushed = ch.push_for(part, std::chrono::seconds(0)))) {
-            if (auto oldest = ch.try_pop()) {
-              metrics_.record_dropped(oldest->samples.size());
-              in_flight_.fetch_add(-1, std::memory_order_acq_rel);
-            }
-          }
-          break;
-        }
-        case OverloadPolicy::kReject:
-          break;
+    const auto pri = priority_of(s.series);
+    const auto cls = static_cast<std::size_t>(pri);
+    ++offered[cls];
+    if (pri == core::Priority::kBulk &&
+        mode >= core::DegradationMode::kShedBulk) {
+      ++shed[cls];
+      continue;
+    }
+    if (pri == core::Priority::kStandard) {
+      if (mode == core::DegradationMode::kQuarantine ||
+          (mode == core::DegradationMode::kSummarize &&
+           !admit_standard(s.series))) {
+        ++shed[cls];
+        continue;
       }
     }
-    if (pushed) {
-      in_flight_.fetch_add(1, std::memory_order_acq_rel);
-      metrics_.record_enqueue(shard, ch.size());
-      enqueued += n;
-    } else {
-      metrics_.record_rejected(n);
+    parts[store_.shard_of(s.series)][cls].samples.push_back(s);
+  }
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    const auto pri = static_cast<core::Priority>(c);
+    if (offered[c] > 0) metrics_.record_submit_class(pri, offered[c]);
+    if (shed[c] > 0) metrics_.record_shed(pri, shed[c]);
+  }
+
+  std::size_t enqueued = 0;
+  for (std::size_t shard = 0; shard < parts.size(); ++shard) {
+    for (std::size_t c = 0; c < kClasses; ++c) {
+      auto& samples = parts[shard][c].samples;
+      if (samples.empty()) continue;
+      const auto pri = static_cast<core::Priority>(c);
+      PrioritizedBatch part;
+      part.priority = pri;
+      part.batch.samples = std::move(samples);
+      part.batch.sweep_time = batch.sweep_time;
+      part.batch.origin = batch.origin;
+      const std::size_t n = part.batch.samples.size();
+      auto& ch = *channels_[shard];
+      const bool critical = pri == core::Priority::kCritical;
+
+      // Fast path: space available (push_for with zero wait does not consume
+      // `part` on failure, so the policy below still owns the same item).
+      bool pushed = ch.push_for(part, std::chrono::seconds(0));
+      if (!pushed) {
+        // Critical sub-batches bypass the lossy policies: make room by
+        // evicting lower-priority queued work, then fall back to bounded
+        // blocking backpressure. The only way a critical batch is refused is
+        // a closed (stopping) pipeline.
+        const auto policy = critical && config_.policy != OverloadPolicy::kBlock
+                                ? OverloadPolicy::kDropOldest
+                                : config_.policy;
+        switch (policy) {
+          case OverloadPolicy::kBlock: {
+            if (ch.closed()) break;  // reject, not a backpressure stall
+            metrics_.record_block_entered();
+            const auto t0 = steady_clock::now();
+            // Bounded waits so a closed pipeline cannot wedge a producer.
+            while (!ch.closed() && !(pushed = ch.push_for(
+                                         part, std::chrono::milliseconds(50)))) {
+            }
+            metrics_.record_block_wait(elapsed_us(t0));
+            break;
+          }
+          case OverloadPolicy::kDropOldest: {
+            bool block_entered = false;
+            auto t0 = steady_clock::now();
+            while (!ch.closed() &&
+                   !(pushed = ch.push_for(part, std::chrono::seconds(0)))) {
+              // Evict the oldest item of the worst class present, down to the
+              // incoming batch's own class (classic drop-oldest within a
+              // class) — bulk before standard, critical never.
+              const std::size_t floor = c < 1 ? 1 : c;
+              std::optional<PrioritizedBatch> evicted;
+              for (std::size_t victim = kClasses - 1; victim >= floor;
+                   --victim) {
+                evicted = ch.evict_first_if([victim](const PrioritizedBatch& q) {
+                  return static_cast<std::size_t>(q.priority) == victim;
+                });
+                if (evicted) break;
+              }
+              if (evicted) {
+                metrics_.record_dropped(evicted->batch.samples.size(),
+                                        evicted->priority);
+                in_flight_.fetch_add(-1, std::memory_order_acq_rel);
+                continue;
+              }
+              if (critical) {
+                // Nothing outranked below us (queue is all-critical):
+                // backpressure rather than lose critical data.
+                if (!block_entered) {
+                  block_entered = true;
+                  metrics_.record_block_entered();
+                  t0 = steady_clock::now();
+                }
+                pushed = ch.push_for(part, std::chrono::milliseconds(50));
+                continue;
+              }
+              // Incoming batch ranks no higher than anything queued: the
+              // incoming work IS the oldest-to-shed equivalent. Drop it.
+              break;
+            }
+            if (block_entered) metrics_.record_block_wait(elapsed_us(t0));
+            if (!pushed && !ch.closed()) {
+              metrics_.record_dropped(n, pri);
+              continue;  // counted as dropped, not rejected
+            }
+            break;
+          }
+          case OverloadPolicy::kReject:
+            break;
+        }
+      }
+      if (pushed) {
+        in_flight_.fetch_add(1, std::memory_order_acq_rel);
+        metrics_.record_enqueue(shard, ch.size());
+        enqueued += n;
+      } else {
+        metrics_.record_rejected(n, pri);
+      }
     }
   }
   return enqueued;
@@ -117,6 +218,18 @@ void IngestPipeline::drain() {
   while (in_flight_.load(std::memory_order_acquire) > 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
+}
+
+bool IngestPipeline::drain_for(std::chrono::milliseconds deadline) {
+  if (!started_ || stopped_) {
+    return in_flight_.load(std::memory_order_acquire) <= 0;
+  }
+  const auto until = steady_clock::now() + deadline;
+  while (in_flight_.load(std::memory_order_acquire) > 0) {
+    if (steady_clock::now() >= until) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
 }
 
 void IngestPipeline::stop() {
@@ -141,14 +254,16 @@ void IngestPipeline::worker(std::size_t shard) {
     }
     // Coalesce whatever else is already queued (bounded) into one append:
     // fewer lock acquisitions per sample, and the batch-size histogram shows
-    // how bursty the offered load was.
-    core::SampleBatch merged = std::move(*first);
+    // how bursty the offered load was. Classes may mix in the merged append;
+    // the store does not care, and each sub-batch already survived the
+    // priority-aware admission above.
+    core::SampleBatch merged = std::move(first->batch);
     std::size_t sub_batches = 1;
     while (sub_batches < config_.max_coalesce_batches) {
       auto more = ch.try_pop();
       if (!more) break;
-      merged.samples.insert(merged.samples.end(), more->samples.begin(),
-                            more->samples.end());
+      merged.samples.insert(merged.samples.end(), more->batch.samples.begin(),
+                            more->batch.samples.end());
       ++sub_batches;
     }
     const auto t0 = steady_clock::now();

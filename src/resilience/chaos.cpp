@@ -1,0 +1,195 @@
+#include "resilience/chaos.hpp"
+
+#include <algorithm>
+
+namespace hpcmon::resilience {
+
+FaultSpec ChaosSchedule::composed() const {
+  FaultSpec out;
+  for (std::size_t i = 0; i < scenario_.phases.size(); ++i) {
+    if (!active_[i]) continue;
+    const auto& s = scenario_.phases[i].spec;
+    out.sampler_error_p = std::max(out.sampler_error_p, s.sampler_error_p);
+    out.sampler_hang_p = std::max(out.sampler_hang_p, s.sampler_hang_p);
+    out.wal_error_p = std::max(out.wal_error_p, s.wal_error_p);
+    out.wal_short_write_p =
+        std::max(out.wal_short_write_p, s.wal_short_write_p);
+    out.delivery_error_p = std::max(out.delivery_error_p, s.delivery_error_p);
+    out.sampler_error_at = std::max(out.sampler_error_at, s.sampler_error_at);
+    out.sampler_hang_at = std::max(out.sampler_hang_at, s.sampler_hang_at);
+    out.wal_error_at = std::max(out.wal_error_at, s.wal_error_at);
+    out.wal_short_write_at =
+        std::max(out.wal_short_write_at, s.wal_short_write_at);
+    out.delivery_error_at =
+        std::max(out.delivery_error_at, s.delivery_error_at);
+    out.sampler_hang_sticky |= s.sampler_hang_sticky;
+  }
+  return out;
+}
+
+void ChaosSchedule::arm(sim::EventQueue& events, core::TimePoint t0,
+                        FaultPlan& plan, Hooks hooks) {
+  for (std::size_t i = 0; i < scenario_.phases.size(); ++i) {
+    const auto& phase = scenario_.phases[i];
+    events.schedule_at(t0 + phase.start, [this, i, &plan,
+                                          hooks](core::TimePoint now) {
+      active_[i] = true;
+      plan.set_spec(composed());
+      if (hooks.phase_start) hooks.phase_start(scenario_.phases[i], now);
+    });
+    events.schedule_at(
+        t0 + phase.start + phase.duration,
+        [this, i, &plan, hooks](core::TimePoint now) {
+          active_[i] = false;
+          plan.set_spec(composed());
+          if (hooks.phase_end) hooks.phase_end(scenario_.phases[i], now);
+        });
+  }
+}
+
+std::vector<const StormPhase*> ChaosSchedule::active_phases() const {
+  std::vector<const StormPhase*> out;
+  for (std::size_t i = 0; i < scenario_.phases.size(); ++i) {
+    if (active_[i]) out.push_back(&scenario_.phases[i]);
+  }
+  return out;
+}
+
+std::uint32_t ChaosSchedule::active_log_events_per_tick() const {
+  std::uint32_t out = 0;
+  for (const auto* p : active_phases()) {
+    out = std::max(out, p->log_events_per_tick);
+  }
+  return out;
+}
+
+std::uint32_t ChaosSchedule::active_bulk_batches_per_tick() const {
+  std::uint32_t out = 0;
+  for (const auto* p : active_phases()) {
+    out = std::max(out, p->bulk_batches_per_tick);
+  }
+  return out;
+}
+
+std::vector<ChaosScenario> standard_storm_scenarios() {
+  std::vector<ChaosScenario> out;
+
+  // 1. Log storm: the Sec. IV-B console-forwarder meltdown. A burst of log
+  // traffic rides alongside elevated delivery failures (the forwarder is
+  // what is melting).
+  {
+    ChaosScenario s;
+    s.name = "log_storm";
+    s.seed = 0xCA05001;
+    s.total = 40 * core::kMinute;
+    StormPhase storm;
+    storm.label = "log_burst";
+    storm.start = 5 * core::kMinute;
+    storm.duration = 15 * core::kMinute;
+    storm.log_events_per_tick = 200;
+    storm.spec.delivery_error_p = 0.10;
+    s.phases.push_back(storm);
+    out.push_back(std::move(s));
+  }
+
+  // 2. Sampler hang storm: probes wedge on dead mounts; the watchdog
+  // deadline and breaker quarantine must carry the sweep.
+  {
+    ChaosScenario s;
+    s.name = "sampler_hang_storm";
+    s.seed = 0xCA05002;
+    s.total = 40 * core::kMinute;
+    StormPhase hang;
+    hang.label = "probe_hangs";
+    hang.start = 5 * core::kMinute;
+    hang.duration = 12 * core::kMinute;
+    hang.spec.sampler_hang_p = 0.08;
+    hang.spec.sampler_error_p = 0.15;
+    s.phases.push_back(hang);
+    out.push_back(std::move(s));
+  }
+
+  // 3. WAL I/O storm: the durability device browns out (errors and torn
+  // writes); critical data must still survive end to end.
+  {
+    ChaosScenario s;
+    s.name = "wal_io_storm";
+    s.seed = 0xCA05003;
+    s.total = 40 * core::kMinute;
+    StormPhase io;
+    io.label = "wal_brownout";
+    io.start = 5 * core::kMinute;
+    io.duration = 10 * core::kMinute;
+    io.spec.wal_error_p = 0.20;
+    io.spec.wal_short_write_p = 0.05;
+    s.phases.push_back(io);
+    out.push_back(std::move(s));
+  }
+
+  // 4. Delivery storm: the downstream sink flaps hard; retries and the DLQ
+  // absorb it, and the DLQ bound must hold.
+  {
+    ChaosScenario s;
+    s.name = "delivery_storm";
+    s.seed = 0xCA05004;
+    s.total = 40 * core::kMinute;
+    StormPhase d;
+    d.label = "sink_flapping";
+    d.start = 5 * core::kMinute;
+    d.duration = 15 * core::kMinute;
+    d.spec.delivery_error_p = 0.60;
+    s.phases.push_back(d);
+    out.push_back(std::move(s));
+  }
+
+  // 5. Queue saturation: a bulk-class ingest flood far beyond queue
+  // capacity; the degradation ladder must shed bulk and keep critical
+  // intact.
+  {
+    ChaosScenario s;
+    s.name = "queue_saturation";
+    s.seed = 0xCA05005;
+    s.total = 45 * core::kMinute;
+    StormPhase flood;
+    flood.label = "bulk_flood";
+    flood.start = 5 * core::kMinute;
+    flood.duration = 15 * core::kMinute;
+    flood.bulk_batches_per_tick = 50;
+    s.phases.push_back(flood);
+    out.push_back(std::move(s));
+  }
+
+  // 6. Kitchen sink: overlapping compound storm — the realistic incident.
+  {
+    ChaosScenario s;
+    s.name = "kitchen_sink";
+    s.seed = 0xCA05006;
+    s.total = 60 * core::kMinute;
+    StormPhase logs;
+    logs.label = "log_burst";
+    logs.start = 5 * core::kMinute;
+    logs.duration = 20 * core::kMinute;
+    logs.log_events_per_tick = 100;
+    s.phases.push_back(logs);
+    StormPhase flood;
+    flood.label = "bulk_flood";
+    flood.start = 10 * core::kMinute;
+    flood.duration = 15 * core::kMinute;
+    flood.bulk_batches_per_tick = 30;
+    s.phases.push_back(flood);
+    StormPhase faults;
+    faults.label = "fault_pressure";
+    faults.start = 12 * core::kMinute;
+    faults.duration = 10 * core::kMinute;
+    faults.spec.sampler_error_p = 0.10;
+    faults.spec.sampler_hang_p = 0.03;
+    faults.spec.wal_error_p = 0.05;
+    faults.spec.delivery_error_p = 0.30;
+    s.phases.push_back(faults);
+    out.push_back(std::move(s));
+  }
+
+  return out;
+}
+
+}  // namespace hpcmon::resilience

@@ -1,0 +1,131 @@
+#include "resilience/degradation.hpp"
+
+#include <algorithm>
+
+#include "core/strings.hpp"
+
+namespace hpcmon::resilience {
+
+DegradationController::DegradationController(DegradationConfig config)
+    : config_(config) {
+  config_.enter_ticks = std::max<std::uint32_t>(1, config_.enter_ticks);
+  config_.exit_ticks = std::max<std::uint32_t>(1, config_.exit_ticks);
+}
+
+double DegradationController::pressure(const HealthSignals& signals) {
+  double p = std::max({signals.queue_fill, signals.dlq_fill,
+                       signals.wal_backlog, signals.cache_fill,
+                       signals.breaker_open_frac});
+  // Fresh involuntary loss: samples are already being dropped or rejected,
+  // so whatever the fill gauges say, the system is saturated. Sprint up.
+  const std::uint64_t lost_delta =
+      signals.lost_samples >= last_lost_ ? signals.lost_samples - last_lost_
+                                         : signals.lost_samples;
+  last_lost_ = signals.lost_samples;
+  if (lost_delta > 0) p = 1.0;
+  // Fresh voluntary shedding: the door is actively turning load away, which
+  // is exactly why the fill gauges look healthy. Hold pressure at the
+  // current level's exit threshold so the controller neither escalates off
+  // the shed (it is working as designed) nor relaxes into re-admitting the
+  // storm the moment the gauges clear. The hold is a BOUNDED budget, not a
+  // latch: a degraded mode sheds its own steady-state traffic (QUARANTINE
+  // turns every standard sweep away), so an unbounded hold would pin the
+  // controller at its own door forever. After shed_hold_ticks consecutive
+  // evaluations where ONLY the shed is keeping pressure up, the hold lapses
+  // and the controller probes downward; any real pressure (a fill gauge at
+  // or above the exit threshold, fresh involuntary loss) refills the budget.
+  const std::uint64_t shed_delta =
+      signals.shed_samples >= last_shed_ ? signals.shed_samples - last_shed_
+                                         : signals.shed_samples;
+  last_shed_ = signals.shed_samples;
+  const auto level = static_cast<std::size_t>(mode_);
+  if (level > 0) {
+    if (p >= config_.exit[level]) {
+      shed_hold_used_ = 0;  // genuine pressure: the hold budget refills
+    } else if (shed_delta > 0 && shed_hold_used_ < config_.shed_hold_ticks) {
+      ++shed_hold_used_;
+      p = std::max(p, config_.exit[level]);
+    }
+  }
+  return std::clamp(p, 0.0, 1.0);
+}
+
+core::DegradationMode DegradationController::evaluate(
+    core::TimePoint now, const HealthSignals& signals) {
+  ++stats_.evaluations;
+  const auto level = static_cast<std::size_t>(mode_);
+  ++stats_.ticks_in_mode[level];
+  const double p = pressure(signals);
+  stats_.last_pressure = p;
+
+  const auto commit = [&](core::DegradationMode next, bool up) {
+    mode_ = next;
+    ++stats_.transitions;
+    if (up) {
+      ++stats_.escalations;
+    } else {
+      ++stats_.deescalations;
+    }
+    stats_.last_transition = now;
+    above_ticks_ = 0;
+    below_ticks_ = 0;
+    shed_hold_used_ = 0;  // each level gets a fresh anti-flap hold budget
+    if (on_change_) on_change_(mode_);
+  };
+
+  // Escalation: pressure above the NEXT level's enter threshold for
+  // enter_ticks consecutive evaluations, one level per transition.
+  if (level + 1 < core::kDegradationModes && p >= config_.enter[level + 1]) {
+    below_ticks_ = 0;
+    if (++above_ticks_ >= config_.enter_ticks) {
+      commit(static_cast<core::DegradationMode>(level + 1), true);
+    }
+    return mode_;
+  }
+  // De-escalation: pressure below the CURRENT level's exit threshold for
+  // exit_ticks consecutive evaluations.
+  if (level > 0 && p < config_.exit[level]) {
+    above_ticks_ = 0;
+    if (++below_ticks_ >= config_.exit_ticks) {
+      commit(static_cast<core::DegradationMode>(level - 1), false);
+    }
+    return mode_;
+  }
+  // In the dead band between exit and enter: stay put, disarm both counters.
+  above_ticks_ = 0;
+  below_ticks_ = 0;
+  return mode_;
+}
+
+std::string DegradationController::to_string() const {
+  return core::strformat(
+      "degrade mode=%s p=%.2f transitions=%llu up=%llu down=%llu",
+      std::string(core::to_string(mode_)).c_str(), stats_.last_pressure,
+      static_cast<unsigned long long>(stats_.transitions),
+      static_cast<unsigned long long>(stats_.escalations),
+      static_cast<unsigned long long>(stats_.deescalations));
+}
+
+std::vector<core::Sample> DegradationController::to_samples(
+    core::MetricRegistry& registry, core::ComponentId component,
+    core::TimePoint now) const {
+  std::vector<core::Sample> out;
+  const auto emit = [&](const char* name, const char* units, const char* desc,
+                        bool counter, double value) {
+    const auto metric = registry.register_metric(
+        {name, units, desc, counter, core::Priority::kCritical});
+    out.push_back({registry.series(metric, component), now, value});
+  };
+  emit("resilience.degradation.mode", "level",
+       "degradation mode in force (0=NORMAL..3=QUARANTINE)", false,
+       static_cast<double>(static_cast<int>(mode_)));
+  emit("resilience.degradation.pressure", "frac",
+       "scalar pressure driving the degradation control loop", false,
+       stats_.last_pressure);
+  emit("resilience.degradation.transitions", "transitions",
+       "mode changes committed by the degradation controller", true,
+       static_cast<double>(stats_.transitions));
+  return out;
+}
+
+}  // namespace hpcmon::resilience

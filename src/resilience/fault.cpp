@@ -7,6 +7,16 @@ namespace hpcmon::resilience {
 FaultPlan::FaultPlan(std::uint64_t seed, FaultSpec spec)
     : rng_(seed), spec_(spec) {}
 
+void FaultPlan::set_spec(FaultSpec spec) {
+  std::scoped_lock lock(mu_);
+  spec_ = spec;
+}
+
+FaultSpec FaultPlan::spec() const {
+  std::scoped_lock lock(mu_);
+  return spec_;
+}
+
 bool FaultPlan::draw(double p, std::uint64_t& counter, std::uint64_t at,
                      std::uint64_t& injected_counter, bool sticky) {
   ++counter;

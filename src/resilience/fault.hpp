@@ -68,6 +68,12 @@ class FaultPlan {
  public:
   explicit FaultPlan(std::uint64_t seed, FaultSpec spec = {});
 
+  /// Replace the active spec (thread-safe). Operation counters and the RNG
+  /// stream keep running, so a ChaosSchedule can swap phase specs mid-run
+  /// without disturbing determinism of the draws themselves.
+  void set_spec(FaultSpec spec);
+  FaultSpec spec() const;
+
   // Each query advances that category's operation counter; thread-safe.
   bool sampler_error();
   bool sampler_hang();

@@ -15,18 +15,20 @@ SupervisorStats& SupervisorStats::operator+=(const SupervisorStats& o) {
   errors += o.errors;
   timeouts += o.timeouts;
   skipped += o.skipped;
+  downsampled += o.downsampled;
   samples_merged += o.samples_merged;
   return *this;
 }
 
 std::string SupervisorStats::to_string() const {
   return core::strformat(
-      "sup calls=%llu ok=%llu err=%llu timeout=%llu skipped=%llu",
+      "sup calls=%llu ok=%llu err=%llu timeout=%llu skipped=%llu downs=%llu",
       static_cast<unsigned long long>(calls),
       static_cast<unsigned long long>(successes),
       static_cast<unsigned long long>(errors),
       static_cast<unsigned long long>(timeouts),
-      static_cast<unsigned long long>(skipped));
+      static_cast<unsigned long long>(skipped),
+      static_cast<unsigned long long>(downsampled));
 }
 
 SupervisedSampler::SupervisedSampler(std::unique_ptr<collect::Sampler> inner,
@@ -38,6 +40,12 @@ SupervisedSampler::SupervisedSampler(std::unique_ptr<collect::Sampler> inner,
 void SupervisedSampler::sample(core::TimePoint sweep_time,
                                core::SampleBatch& out) {
   ++stats_.calls;
+  const auto stride = stride_.load(std::memory_order_relaxed);
+  const auto seq = sweep_seq_++;
+  if (stride > 1 && (seq % stride) != 0) {
+    ++stats_.downsampled;
+    return;  // degraded cadence: skip this sweep, no breaker accounting
+  }
   if (!breaker_.allow(sweep_time)) {
     ++stats_.skipped;
     return;  // quarantined: the sweep proceeds without this source

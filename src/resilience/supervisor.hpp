@@ -23,11 +23,13 @@
 // by default so existing deterministic runs are unchanged.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
 
 #include "collect/sampler.hpp"
+#include "core/priority.hpp"
 #include "resilience/breaker.hpp"
 
 namespace hpcmon::resilience {
@@ -38,6 +40,10 @@ struct SupervisorOptions {
   BreakerConfig breaker;
   /// Seed for this sampler's breaker-jitter stream.
   std::uint64_t seed = 0x5EEDB4EA;
+  /// Shedding class of the series this sampler produces: the degradation
+  /// controller widens cadence (set_stride) on standard/bulk samplers under
+  /// storm load but never on critical ones.
+  core::Priority priority = core::Priority::kStandard;
 };
 
 struct SupervisorStats {
@@ -46,6 +52,7 @@ struct SupervisorStats {
   std::uint64_t errors = 0;     // sampler threw
   std::uint64_t timeouts = 0;   // deadline exceeded, call abandoned
   std::uint64_t skipped = 0;    // quarantined by the open breaker
+  std::uint64_t downsampled = 0;  // sweeps skipped by a cadence stride > 1
   std::uint64_t samples_merged = 0;
 
   SupervisorStats& operator+=(const SupervisorStats& o);
@@ -67,6 +74,18 @@ class SupervisedSampler : public collect::Sampler {
   BreakerState breaker_state() const { return breaker_.state(); }
   const CircuitBreaker& breaker() const { return breaker_; }
   const SupervisorStats& stats() const { return stats_; }
+  core::Priority priority() const { return options_.priority; }
+
+  /// Cadence divisor under degradation: with stride N this sampler runs on
+  /// every Nth sweep and the rest are counted as downsampled (no inner call,
+  /// no error/breaker accounting). 1 restores full cadence; 0 is clamped to
+  /// 1. Safe to call from any thread.
+  void set_stride(std::uint32_t stride) {
+    stride_.store(stride == 0 ? 1 : stride, std::memory_order_relaxed);
+  }
+  std::uint32_t stride() const {
+    return stride_.load(std::memory_order_relaxed);
+  }
 
  private:
   void run_inline(core::TimePoint sweep_time, core::SampleBatch& out);
@@ -76,6 +95,8 @@ class SupervisedSampler : public collect::Sampler {
   SupervisorOptions options_;
   CircuitBreaker breaker_;
   SupervisorStats stats_;
+  std::atomic<std::uint32_t> stride_{1};
+  std::uint64_t sweep_seq_ = 0;  // advances once per sample() call
 };
 
 }  // namespace hpcmon::resilience

@@ -234,6 +234,13 @@ core::Status WriteAheadLog::append(const SampleBatch& batch) {
   return Status::ok();
 }
 
+core::Status WriteAheadLog::rotate() {
+  if (file_ != nullptr) seal_active();
+  const auto st = open_segment(active_index_ + 1);
+  dead_ = !st.is_ok();
+  return st;
+}
+
 core::Status WriteAheadLog::sync() {
   if (file_ == nullptr) return Status::error("wal: no active segment");
   return std::fflush(file_) == 0 ? Status::ok()

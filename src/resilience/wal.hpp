@@ -97,6 +97,15 @@ class WriteAheadLog {
   /// the tear.
   void simulate_torn_tail();
 
+  /// Recover a poisoned log: seal the damaged active segment (replay already
+  /// tolerates its torn tail) and open a fresh one, clearing the poison on
+  /// success. Appending after a tear must go to a NEW segment — anything
+  /// written after a torn record in the same file would be unreachable to
+  /// replay. No-op-ish on a healthy log: the active segment just rotates.
+  /// The storm-mode self-heal loop calls this; sites can too, after an
+  /// operator clears a disk fault.
+  core::Status rotate();
+
   /// Delete sealed segments whose newest sample time is < cutoff. The
   /// active segment is never deleted. Returns segments removed.
   std::size_t truncate_before(core::TimePoint cutoff);

@@ -1,0 +1,203 @@
+#include "stack/chaos_harness.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "core/config.hpp"
+#include "core/strings.hpp"
+#include "stack/stack.hpp"
+#include "transport/codec.hpp"
+
+namespace hpcmon::stack {
+
+namespace {
+
+sim::ClusterParams harness_cluster(std::uint64_t seed) {
+  sim::ClusterParams p;
+  p.shape.cabinets = 1;
+  p.shape.chassis_per_cabinet = 2;
+  p.shape.blades_per_chassis = 2;
+  p.shape.nodes_per_blade = 4;
+  p.shape.gpu_node_fraction = 0.25;
+  p.tick = 5 * core::kSecond;
+  p.seed = seed;
+  return p;
+}
+
+constexpr std::size_t kBulkSeries = 32;
+constexpr std::size_t kDeadLetterCap = 32;
+
+}  // namespace
+
+std::string ChaosReport::to_string() const {
+  return core::strformat(
+      "chaos[%s] survived=%d hb=%llu/%llu crit_lost=%llu bulk_shed=%llu "
+      "std_shed=%llu lost=%llu max_mode=%d transitions=%llu normal=%d "
+      "dlq=%zu/%zu clean=%d%s%s",
+      scenario.c_str(), survived ? 1 : 0,
+      static_cast<unsigned long long>(heartbeats_stored),
+      static_cast<unsigned long long>(heartbeats_sent),
+      static_cast<unsigned long long>(critical_lost),
+      static_cast<unsigned long long>(bulk_shed),
+      static_cast<unsigned long long>(standard_shed),
+      static_cast<unsigned long long>(involuntary_lost), max_mode,
+      static_cast<unsigned long long>(transitions), returned_to_normal ? 1 : 0,
+      dead_letters, dead_letter_cap, shutdown_clean ? 1 : 0,
+      failure.empty() ? "" : " FAIL: ", failure.c_str());
+}
+
+ChaosReport run_chaos(
+    const resilience::ChaosScenario& scenario,
+    const std::vector<std::pair<std::string, std::string>>& overrides) {
+  ChaosReport report;
+  report.scenario = scenario.name;
+  report.dead_letter_cap = kDeadLetterCap;
+
+  const std::string wal_dir = "/tmp/hpcmon_chaos_" + scenario.name;
+  std::filesystem::remove_all(wal_dir);
+
+  core::Config config;
+  config.set("sample_interval_s", "30");
+  config.set("log_interval_s", "15");
+  config.set("probe_interval_s", "0");
+  config.set("health_interval_s", "120");
+  config.set("ingest_shards", "2");
+  config.set("ingest_queue_cap", "64");
+  config.set("ingest_policy", "drop_oldest");
+  config.set("wal_path", wal_dir);
+  config.set("dead_letter_cap", std::to_string(kDeadLetterCap));
+  // A real deadline so injected hangs are abandoned to watchdog threads
+  // (and reclaimed by release_hangs) instead of stalling the sweep.
+  config.set("sampler_deadline_ms", "50");
+  config.set("breaker_threshold", "3");
+  config.set("breaker_cooldown_s", "120");
+  config.set("degradation", "1");
+  config.set("degradation_interval_s", "30");
+  for (const auto& [k, v] : scenario.config_overrides) config.set(k, v);
+  for (const auto& [k, v] : overrides) config.set(k, v);
+
+  sim::Cluster cluster(harness_cluster(scenario.seed));
+  resilience::FaultPlan plan(scenario.seed);
+  MonitoringStack stack(cluster, config, &plan);
+  auto& registry = cluster.registry();
+
+  // The liveness proof: one critical-class heartbeat series, published
+  // through the full path (router -> WAL -> ingest) every tick. After the
+  // storm every beat must be in the store — byte-complete critical data.
+  const auto harness_component = registry.register_component(
+      {"chaos.harness", core::ComponentKind::kService,
+       cluster.topology().system()});
+  const auto hb_metric = registry.register_metric(
+      {"chaos.heartbeat", "beats", "storm-mode liveness heartbeat", true,
+       core::Priority::kCritical});
+  const auto hb_series = registry.series(hb_metric, harness_component);
+
+  // Bulk-class flood series: the load the storm phases pour in.
+  std::vector<core::SeriesId> bulk_series;
+  for (std::size_t i = 0; i < kBulkSeries; ++i) {
+    const auto m = registry.register_metric(
+        {"chaos.bulk_flood." + std::to_string(i), "points",
+         "synthetic bulk-class storm load", false, core::Priority::kBulk});
+    bulk_series.push_back(registry.series(m, harness_component));
+  }
+
+  resilience::ChaosSchedule schedule(scenario);
+  resilience::ChaosSchedule::Hooks hooks;
+  // Log storms ride the cluster's own injection machinery so the storm
+  // traffic is indistinguishable from a real console flood.
+  hooks.phase_start = [&cluster](const resilience::StormPhase& phase,
+                                 core::TimePoint now) {
+    if (phase.log_events_per_tick > 0) {
+      cluster.inject_log_storm(now, phase.duration,
+                               static_cast<int>(phase.log_events_per_tick),
+                               "chaos storm: " + phase.label);
+    }
+  };
+  schedule.arm(cluster.events(), cluster.now(), plan, hooks);
+
+  const auto tick = 10 * core::kSecond;
+  cluster.events().schedule_every(
+      cluster.now() + tick, tick, [&](core::TimePoint t) {
+        // Heartbeat through the full stack path.
+        core::SampleBatch hb;
+        hb.sweep_time = t;
+        hb.origin = harness_component;
+        hb.samples.push_back(
+            {hb_series, t, static_cast<double>(report.heartbeats_sent)});
+        auto frame = transport::encode_samples(hb);
+        frame.priority = core::Priority::kCritical;
+        stack.router().publish(frame);
+        ++report.heartbeats_sent;
+
+        // Bulk flood when a phase calls for it: each batch strides the bulk
+        // series so queue pressure lands on both shards.
+        const auto flood = schedule.active_bulk_batches_per_tick();
+        for (std::uint32_t b = 0; b < flood; ++b) {
+          core::SampleBatch bulk;
+          bulk.sweep_time = t;
+          bulk.origin = harness_component;
+          for (std::size_t i = 0; i < bulk_series.size(); ++i) {
+            bulk.samples.push_back(
+                {bulk_series[i], t + static_cast<core::Duration>(b),
+                 static_cast<double>(b)});
+          }
+          auto bulk_frame = transport::encode_samples(bulk);
+          bulk_frame.priority = core::Priority::kBulk;
+          stack.router().publish(bulk_frame);
+        }
+
+        // Track the controller's trajectory.
+        if (const auto* d = stack.degradation()) {
+          report.max_mode =
+              std::max(report.max_mode, static_cast<int>(d->mode()));
+        }
+      });
+
+  cluster.run_for(scenario.total);
+
+  // Teardown in the only safe order: wake hung sampler threads, then drain
+  // and stop the pipeline under a deadline.
+  plan.release_hangs();
+  const auto shutdown_report = stack.shutdown(std::chrono::milliseconds(10000));
+  report.shutdown_clean = shutdown_report.clean();
+  report.survived = true;
+
+  const auto snap = stack.ingest_pipeline()->metrics().snapshot();
+  constexpr auto kCrit = static_cast<std::size_t>(core::Priority::kCritical);
+  constexpr auto kStd = static_cast<std::size_t>(core::Priority::kStandard);
+  constexpr auto kBulk = static_cast<std::size_t>(core::Priority::kBulk);
+  report.critical_lost =
+      snap.dropped_by_class[kCrit] + snap.rejected_by_class[kCrit];
+  report.bulk_shed = snap.shed_by_class[kBulk] + snap.dropped_by_class[kBulk] +
+                     snap.rejected_by_class[kBulk];
+  report.standard_shed = snap.shed_by_class[kStd];
+  report.involuntary_lost = snap.lost_samples();
+  report.dead_letters = shutdown_report.dead_letters;
+  if (const auto* d = stack.degradation()) {
+    report.transitions = d->stats().transitions;
+    report.returned_to_normal = d->mode() == core::DegradationMode::kNormal;
+  }
+  report.heartbeats_stored = static_cast<std::uint64_t>(
+      stack.sharded_store()
+          ->query_range(hb_series, {0, cluster.now() + core::kHour})
+          .size());
+
+  // Invariants, in the order an operator would triage them.
+  if (!report.shutdown_clean) {
+    report.failure = "shutdown abandoned in-flight work";
+  } else if (report.critical_lost != 0) {
+    report.failure = "critical-class samples were dropped or rejected";
+  } else if (report.heartbeats_stored != report.heartbeats_sent) {
+    report.failure = core::strformat(
+        "heartbeat gap: stored %llu of %llu",
+        static_cast<unsigned long long>(report.heartbeats_stored),
+        static_cast<unsigned long long>(report.heartbeats_sent));
+  } else if (report.dead_letters > report.dead_letter_cap) {
+    report.failure = "dead-letter queue exceeded its bound";
+  } else if (!report.returned_to_normal) {
+    report.failure = "controller did not return to NORMAL in the recovery window";
+  }
+  return report;
+}
+
+}  // namespace hpcmon::stack

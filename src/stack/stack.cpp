@@ -1,5 +1,7 @@
 #include "stack/stack.hpp"
 
+#include <algorithm>
+
 #include "core/strings.hpp"
 #include "resilience/metrics.hpp"
 #include "transport/codec.hpp"
@@ -21,11 +23,17 @@ store::RetentionPolicy retention_from(const core::Config& config) {
 
 MonitoringStack::MonitoringStack(sim::Cluster& cluster,
                                  const core::Config& config)
+    : MonitoringStack(cluster, config, nullptr) {}
+
+MonitoringStack::MonitoringStack(sim::Cluster& cluster,
+                                 const core::Config& config,
+                                 resilience::FaultPlan* chaos)
     : cluster_(cluster),
       tsdb_(retention_from(config),
             static_cast<std::size_t>(config.get_int("chunk_points", 512))),
       detectors_(cluster.registry()),
-      collection_(cluster) {
+      collection_(cluster),
+      chaos_(chaos) {
   const Duration sample_interval =
       config.get_int("sample_interval_s", 60) * kSecond;
   const Duration log_interval = config.get_int("log_interval_s", 15) * kSecond;
@@ -45,8 +53,14 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
         ingest::OverloadPolicy::kBlock);
     ic.max_coalesce_batches =
         static_cast<std::size_t>(config.get_int("ingest_coalesce", 16));
+    // Priority-aware shedding: the pipeline resolves (and caches) each
+    // series' class from the registry, so bulk drops first and critical is
+    // never dropped.
+    ic.priority_of = [this](core::SeriesId id) {
+      return cluster_.registry().series_priority(id);
+    };
     ingest_ = std::make_unique<ingest::IngestPipeline>(*sharded_, ic);
-    ingest_->start();
+    if (config.get_bool("ingest_autostart", true)) ingest_->start();
     // The monitor monitors itself: every sweep, the pipeline's own counters
     // are re-ingested as "ingest.*" series on a service component.
     ingest_component_ = cluster_.registry().register_component(
@@ -81,17 +95,23 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
     wo.dir = wal_path;
     wo.segment_bytes =
         static_cast<std::size_t>(config.get_int("wal_segment_bytes", 1 << 20));
+    wo.faults = chaos_;
     wal_ = std::make_unique<resilience::WriteAheadLog>(wo);
     resilience::DeliveryOptions dopts;
     dopts.dead_letter_cap =
         static_cast<std::size_t>(config.get_int("dead_letter_cap", 64));
-    wal_delivery_ = std::make_unique<resilience::ReliableDelivery>(
+    dead_letter_cap_ = dopts.dead_letter_cap;
+    resilience::ReliableDelivery::DeliverFn append_fn =
         [this](const transport::Frame& f) {
           auto batch = transport::decode_samples(f);
           if (!batch.is_ok()) return batch.status();
           return wal_->append(batch.value());
-        },
-        dopts);
+        };
+    if (chaos_ != nullptr) {
+      append_fn = resilience::faulty_deliver(std::move(append_fn), *chaos_);
+    }
+    wal_delivery_ = std::make_unique<resilience::ReliableDelivery>(
+        std::move(append_fn), dopts);
   }
 
   const int sampler_deadline_ms = config.get_int("sampler_deadline_ms", 0);
@@ -100,8 +120,18 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
   std::uint64_t supervisor_seed = 0xC0FFEE;
   // Wrap a sampler with watchdog + breaker when supervision is configured;
   // a pass-through otherwise so the default stack stays bit-deterministic.
-  const auto supervised = [&](std::unique_ptr<collect::Sampler> sampler)
+  const auto supervised =
+      [&](std::unique_ptr<collect::Sampler> sampler,
+          core::Priority priority = core::Priority::kStandard)
       -> std::unique_ptr<collect::Sampler> {
+    // Chaos builds interpose fault injection between the real sampler and
+    // its supervisor, so injected hangs/errors hit the watchdog + breaker
+    // exactly where real ones would (scenarios should configure
+    // supervision; a bare FaultySampler throws into the sweep).
+    if (chaos_ != nullptr) {
+      sampler = std::make_unique<resilience::FaultySampler>(std::move(sampler),
+                                                            *chaos_);
+    }
     if (!supervise) return sampler;
     resilience::SupervisorOptions so;
     so.deadline_ms = sampler_deadline_ms;
@@ -109,6 +139,7 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
         breaker_threshold > 0 ? breaker_threshold : 3;
     so.breaker.cooldown = config.get_int("breaker_cooldown_s", 300) * kSecond;
     so.seed = supervisor_seed++;
+    so.priority = priority;
     auto wrapper = std::make_unique<resilience::SupervisedSampler>(
         std::move(sampler), so);
     supervised_.push_back(wrapper.get());
@@ -133,12 +164,15 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
             std::make_unique<collect::ProbeSuite>(cluster_, pc, core::Rng(101))),
         probe_s * kSecond, collect::router_sample_sink(router_));
   }
-  // Optional health battery.
+  // Optional health battery. Critical priority: the health signals are what
+  // operators steer by during a storm, so the degradation controller never
+  // widens this sampler's cadence.
   if (const auto health_s = config.get_int("health_interval_s", 600);
       health_s > 0) {
     collection_.add_sampler(
         supervised(std::make_unique<collect::HealthCheckSuite>(
-            cluster_, collect::HealthConfig{})),
+                       cluster_, collect::HealthConfig{}),
+                   core::Priority::kCritical),
         health_s * kSecond, collect::router_sample_sink(router_));
   }
 
@@ -160,6 +194,51 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
               wal_ ? &wal_->stats() : nullptr, wal_ ? &replay_stats_ : nullptr,
               supervised_.empty() ? nullptr : &sup,
               wal_delivery_ ? &wal_delivery_->stats() : nullptr);
+          if (ingest_) {
+            ingest_->submit(self);
+          } else {
+            tsdb_.append_batch(self.samples);
+          }
+        });
+  }
+
+  // Storm mode: the degradation controller closes the loop from the stack's
+  // own health telemetry to priority-aware shedding. Evaluations run on the
+  // simulated timeline; mode changes reach the ingest door immediately and
+  // widen non-critical sampler cadence. The controller's own state is
+  // re-ingested as resilience.degradation.* (critical priority — mode
+  // telemetry must survive the storm it reports on).
+  if (config.get_bool("degradation", false)) {
+    degradation_ =
+        std::make_unique<resilience::DegradationController>(
+            resilience::DegradationConfig{});
+    degradation_->on_change(
+        [this](core::DegradationMode mode) { apply_degradation(mode); });
+    const Duration eval_interval =
+        config.get_int("degradation_interval_s", 60) * kSecond;
+    if (resilience_component_ == core::kNoComponent) {
+      resilience_component_ = cluster_.registry().register_component(
+          {"resilience.tier", core::ComponentKind::kService,
+           cluster_.topology().system()});
+    }
+    cluster_.events().schedule_every(
+        cluster_.now() + eval_interval, eval_interval,
+        [this](core::TimePoint t) {
+          // Self-heal before taking the reading: rotate a poisoned WAL onto
+          // a fresh segment, then run one redelivery pass over the
+          // dead-letter queue. While the fault persists the letters stay put
+          // (and keep dlq pressure honest); once the path recovers the queue
+          // drains and the controller can stand down.
+          if (wal_ && wal_->poisoned()) wal_->rotate();
+          if (wal_delivery_ && wal_delivery_->dead_letter_count() > 0) {
+            wal_delivery_->redeliver();
+          }
+          degradation_->evaluate(t, gather_health());
+          core::SampleBatch self;
+          self.sweep_time = t;
+          self.origin = resilience_component_;
+          self.samples = degradation_->to_samples(cluster_.registry(),
+                                                  resilience_component_, t);
           if (ingest_) {
             ingest_->submit(self);
           } else {
@@ -277,13 +356,75 @@ MonitoringStack::~MonitoringStack() {
   if (ingest_) ingest_->stop();
 }
 
-void MonitoringStack::shutdown() {
-  if (shut_down_) return;
+ShutdownReport MonitoringStack::shutdown(std::chrono::milliseconds deadline) {
+  ShutdownReport report;
+  if (shut_down_) return report;
   shut_down_ = true;
-  // Drain before teardown: everything already submitted reaches the shards.
-  drain_ingest();
-  if (ingest_) ingest_->stop();
+  // Drain before teardown: everything already submitted reaches the shards —
+  // unless a wedged tier can't finish within the deadline, in which case the
+  // leftovers are abandoned and REPORTED rather than hanging teardown.
+  if (ingest_) {
+    report.drained = ingest_->drain_for(deadline);
+    if (!report.drained) report.abandoned_batches = ingest_->in_flight();
+    ingest_->stop();
+  }
   if (wal_) wal_->sync();
+  if (wal_delivery_) report.dead_letters = wal_delivery_->dead_letter_count();
+  return report;
+}
+
+void MonitoringStack::apply_degradation(core::DegradationMode mode) {
+  if (ingest_) ingest_->set_mode(mode);
+  // Widen sampler cadence per the mode's stride — but never on critical
+  // samplers: the health battery keeps full cadence through any storm.
+  const auto stride =
+      degradation_->config().sampler_stride[static_cast<std::size_t>(mode)];
+  for (auto* s : supervised_) {
+    if (s->priority() == core::Priority::kCritical) continue;
+    s->set_stride(stride);
+  }
+}
+
+resilience::HealthSignals MonitoringStack::gather_health() const {
+  resilience::HealthSignals hs;
+  if (ingest_) {
+    std::size_t depth = 0;
+    for (std::size_t i = 0; i < sharded_->shard_count(); ++i) {
+      depth = std::max(depth, ingest_->queue_depth(i));
+    }
+    hs.queue_fill = static_cast<double>(depth) /
+                    static_cast<double>(ingest_->config().queue_capacity);
+    const auto snap = ingest_->metrics().snapshot();
+    hs.lost_samples = snap.lost_samples();
+    hs.shed_samples = snap.shed_samples();
+  }
+  if (wal_delivery_) {
+    hs.dlq_fill = static_cast<double>(wal_delivery_->dead_letter_count()) /
+                  static_cast<double>(dead_letter_cap_ == 0 ? 1
+                                                            : dead_letter_cap_);
+  }
+  if (wal_) {
+    // The cumulative failure counter never shrinks, so pressure comes from
+    // the delta since the previous evaluation (ten failing appends within
+    // one window = full pressure from the durability tier).
+    const auto failures = wal_->stats().append_failures;
+    const auto delta =
+        failures >= last_wal_failures_ ? failures - last_wal_failures_ : 0;
+    last_wal_failures_ = failures;
+    hs.wal_backlog = std::min(1.0, static_cast<double>(delta) / 10.0);
+  }
+  const auto qs = store_query_stats();
+  hs.cache_fill =
+      std::min(1.0, static_cast<double>(qs.cache_entries) / 1024.0);
+  if (!supervised_.empty()) {
+    std::size_t open = 0;
+    for (const auto* s : supervised_) {
+      if (s->breaker_state() == resilience::BreakerState::kOpen) ++open;
+    }
+    hs.breaker_open_frac =
+        static_cast<double>(open) / static_cast<double>(supervised_.size());
+  }
+  return hs;
 }
 
 resilience::SupervisorStats MonitoringStack::supervisor_stats() const {
@@ -349,6 +490,9 @@ std::string MonitoringStack::status() const {
         " dlq=%zu", wal_delivery_ ? wal_delivery_->dead_letter_count() : 0);
   }
   line += " | " + store_query_stats().to_string();
+  if (degradation_) {
+    line += " | " + degradation_->to_string();
+  }
   if (!supervised_.empty()) {
     std::size_t open = 0;
     std::size_t half = 0;

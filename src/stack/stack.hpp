@@ -36,6 +36,15 @@
 //   ingest_queue_cap    (256)   bounded sub-batches per shard queue
 //   ingest_policy       (block) overload policy: block|drop_oldest|reject
 //   ingest_coalesce     (16)    max sub-batches merged per shard append
+//   ingest_autostart    (1)     0 constructs the pipeline without starting
+//                               its workers (deterministic overload tests,
+//                               wedged-shutdown drills)
+//   degradation         (0)     1 runs the storm-mode DegradationController:
+//                               series priorities (registry) drive the
+//                               ingest door, and the controller walks
+//                               NORMAL->SHED_BULK->SUMMARIZE->QUARANTINE on
+//                               live health signals with hysteresis
+//   degradation_interval_s (60) controller evaluation cadence
 //   wal_path            ("")    when set, every sample frame is appended to
 //                               a segmented write-ahead log in this
 //                               directory before ingestion, and existing
@@ -53,6 +62,7 @@
 //   breaker_cooldown_s  (300)   first open->half-open cooldown
 #pragma once
 
+#include <chrono>
 #include <memory>
 
 #include "analysis/detector_bank.hpp"
@@ -65,7 +75,9 @@
 #include "core/config.hpp"
 #include "ingest/pipeline.hpp"
 #include "ingest/sharded_store.hpp"
+#include "resilience/degradation.hpp"
 #include "resilience/delivery.hpp"
+#include "resilience/fault.hpp"
 #include "resilience/supervisor.hpp"
 #include "resilience/wal.hpp"
 #include "response/actions.hpp"
@@ -78,6 +90,18 @@
 
 namespace hpcmon::stack {
 
+/// What shutdown() left behind when its drain deadline expired. With a
+/// healthy pipeline everything drains and the report is all zeros; a wedged
+/// tier (workers never started, a hung store) is REPORTED instead of hanging
+/// teardown forever — the paper's operational lesson that the monitor must
+/// never become the thing you cannot restart.
+struct ShutdownReport {
+  bool drained = true;  // ingest in-flight reached zero within the deadline
+  std::int64_t abandoned_batches = 0;  // sub-batches still queued at deadline
+  std::size_t dead_letters = 0;        // frames stranded in the WAL DLQ
+  bool clean() const { return drained && abandoned_batches == 0; }
+};
+
 class MonitoringStack {
  public:
   /// Assemble and attach the full pipeline to `cluster` per `config`.
@@ -86,10 +110,21 @@ class MonitoringStack {
   /// store here, before any new collection happens.
   MonitoringStack(sim::Cluster& cluster, const core::Config& config);
 
-  /// Orderly teardown: drain the ingest pipeline into the stores, flush the
-  /// WAL, then stop the workers. Idempotent; the destructor calls it, so no
-  /// buffered sample is ever silently lost on destruction.
-  void shutdown();
+  /// Chaos-harness variant: every fault surface is threaded through `chaos`
+  /// when non-null — samplers are wrapped in FaultySampler, the WAL consults
+  /// it before each physical append, and the WAL delivery path injects
+  /// delivery failures. The plan must outlive the stack (and any hung
+  /// sampler threads; call chaos->release_hangs() before teardown).
+  MonitoringStack(sim::Cluster& cluster, const core::Config& config,
+                  resilience::FaultPlan* chaos);
+
+  /// Orderly teardown: drain the ingest pipeline into the stores (bounded by
+  /// `deadline` of real time), flush the WAL, then stop the workers. Work
+  /// still queued when the deadline expires is abandoned and reported.
+  /// Idempotent; the destructor calls it, so no buffered sample is ever
+  /// silently lost on destruction — and a wedged tier cannot hang it.
+  ShutdownReport shutdown(
+      std::chrono::milliseconds deadline = std::chrono::milliseconds(5000));
 
   /// Crash drill: make the destructor skip shutdown() — buffered/hot state
   /// is abandoned exactly as a real crash would abandon it (worker threads
@@ -142,6 +177,13 @@ class MonitoringStack {
   }
   /// Sum of every supervised sampler's counters.
   resilience::SupervisorStats supervisor_stats() const;
+  /// Storm-mode controller; nullptr unless `degradation` is configured.
+  resilience::DegradationController* degradation() {
+    return degradation_.get();
+  }
+  const resilience::DegradationController* degradation() const {
+    return degradation_.get();
+  }
 
   /// Novelty reports accumulated so far (empty unless novelty = true).
   const std::vector<analysis::NoveltyEvent>& novelty_reports() const {
@@ -169,6 +211,8 @@ class MonitoringStack {
 
  private:
   void on_log_frame(const transport::Frame& frame);
+  void apply_degradation(core::DegradationMode mode);
+  resilience::HealthSignals gather_health() const;
 
   sim::Cluster& cluster_;
   transport::EventRouter router_;
@@ -198,6 +242,10 @@ class MonitoringStack {
   std::vector<resilience::SupervisedSampler*> supervised_;  // owned by
                                                             // collection_
   core::ComponentId resilience_component_ = core::kNoComponent;
+  std::unique_ptr<resilience::DegradationController> degradation_;
+  resilience::FaultPlan* chaos_ = nullptr;  // not owned; see chaos ctor
+  std::size_t dead_letter_cap_ = 64;
+  mutable std::uint64_t last_wal_failures_ = 0;  // gather_health delta state
   bool crashed_ = false;
   bool shut_down_ = false;
 };

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "core/crc32.hpp"
+
 namespace hpcmon::store {
 
 using core::Result;
@@ -51,7 +53,12 @@ std::size_t Archive::byte_size() const {
 }
 
 namespace {
-constexpr std::uint32_t kArchiveMagic = 0x48504D41;  // "HPMA"
+// V1 ("HPMA") carried no checksums; V2 ("HPMB") appends a CRC-32 of each
+// blob's raw bytes after its length field, so a cold-tier file that rotted
+// on slow media (bit flip, torn copy) is detected at reload instead of
+// silently feeding garbage into queries. Loads accept both; saves write V2.
+constexpr std::uint32_t kArchiveMagic = 0x48504D41;    // "HPMA"
+constexpr std::uint32_t kArchiveMagicV2 = 0x48504D42;  // "HPMB"
 
 bool write_u32(std::FILE* f, std::uint32_t v) {
   return std::fwrite(&v, 4, 1, f) == 1;
@@ -75,7 +82,7 @@ Status Archive::save_to_file(const std::string& path) const {
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) return Status::error("cannot open " + tmp);
-  bool ok = write_u32(f, kArchiveMagic) &&
+  bool ok = write_u32(f, kArchiveMagicV2) &&
             write_u32(f, static_cast<std::uint32_t>(blobs_.size()));
   for (const auto& [id, blobs] : blobs_) {
     ok = ok && write_u32(f, id) &&
@@ -83,7 +90,8 @@ Status Archive::save_to_file(const std::string& path) const {
     for (const auto& b : blobs) {
       ok = ok && write_u64(f, static_cast<std::uint64_t>(b.min_time)) &&
            write_u64(f, static_cast<std::uint64_t>(b.max_time)) &&
-           write_u32(f, static_cast<std::uint32_t>(b.raw.size()));
+           write_u32(f, static_cast<std::uint32_t>(b.raw.size())) &&
+           write_u32(f, core::crc32(b.raw.data(), b.raw.size()));
       ok = ok && std::fwrite(b.raw.data(), 1, b.raw.size(), f) == b.raw.size();
     }
   }
@@ -105,10 +113,13 @@ Result<Archive> Archive::load_from_file(const std::string& path) {
   Archive a;
   std::uint32_t magic = 0;
   std::uint32_t n_series = 0;
-  if (!read_u32(f, magic) || magic != kArchiveMagic || !read_u32(f, n_series)) {
+  if (!read_u32(f, magic) ||
+      (magic != kArchiveMagic && magic != kArchiveMagicV2) ||
+      !read_u32(f, n_series)) {
     std::fclose(f);
     return Result<Archive>::error("bad archive header in " + path);
   }
+  const bool has_crc = magic == kArchiveMagicV2;
   for (std::uint32_t s = 0; s < n_series; ++s) {
     std::uint32_t id = 0;
     std::uint32_t n_blobs = 0;
@@ -120,15 +131,29 @@ Result<Archive> Archive::load_from_file(const std::string& path) {
       Blob b;
       std::uint64_t t = 0;
       std::uint32_t len = 0;
+      std::uint32_t want_crc = 0;
       if (!read_u64(f, t)) break;
       b.min_time = static_cast<TimePoint>(t);
       if (!read_u64(f, t)) break;
       b.max_time = static_cast<TimePoint>(t);
       if (!read_u32(f, len)) break;
+      if (has_crc && !read_u32(f, want_crc)) {
+        std::fclose(f);
+        return Result<Archive>::error("truncated blob header in " + path);
+      }
       b.raw.resize(len);
       if (std::fread(b.raw.data(), 1, len, f) != len) {
         std::fclose(f);
         return Result<Archive>::error("truncated blob in " + path);
+      }
+      if (has_crc) {
+        const std::uint32_t got = core::crc32(b.raw.data(), b.raw.size());
+        if (got != want_crc) {
+          std::fclose(f);
+          return Result<Archive>(Status::corruption(
+              "archive blob CRC mismatch in " + path + " (series " +
+              std::to_string(id) + ", blob " + std::to_string(i) + ")"));
+        }
       }
       a.blobs_[id].push_back(std::move(b));
     }

@@ -85,6 +85,24 @@ class Channel {
     return out;
   }
 
+  /// Remove and return the OLDEST queued item satisfying `pred`; nullopt when
+  /// none matches. The priority-aware overload path uses this to make room by
+  /// evicting the lowest-priority queued work first (bulk before standard,
+  /// never critical) instead of blindly evicting the queue head.
+  template <typename Pred>
+  std::optional<T> evict_first_if(Pred&& pred) {
+    std::scoped_lock lock(mu_);
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (pred(*it)) {
+        T out = std::move(*it);
+        queue_.erase(it);
+        not_full_.notify_one();
+        return out;
+      }
+    }
+    return std::nullopt;
+  }
+
   /// Non-blocking pop.
   std::optional<T> try_pop() {
     std::scoped_lock lock(mu_);

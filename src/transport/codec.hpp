@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/log_event.hpp"
+#include "core/priority.hpp"
 #include "core/registry.hpp"
 #include "core/result.hpp"
 #include "core/sample.hpp"
@@ -29,9 +30,14 @@ enum class FrameType : std::uint8_t {
   kLogs = 2,     // LogEvent[] payload
 };
 
-/// One framed message: type tag + binary payload.
+/// One framed message: type tag + binary payload. `priority` is a hop-local
+/// QoS tag (not serialized): bounded fan-out queues shed lower-priority
+/// frames first (see EventRouter::subscribe_buffered). Encoders default it
+/// to kStandard; producers that know better (self-telemetry, chaos floods)
+/// tag their frames explicitly.
 struct Frame {
   FrameType type = FrameType::kSamples;
+  core::Priority priority = core::Priority::kStandard;
   std::vector<std::uint8_t> payload;
 
   std::size_t byte_size() const { return payload.size() + 1; }

@@ -1,6 +1,49 @@
 #include "transport/event_router.hpp"
 
+#include <algorithm>
+
 namespace hpcmon::transport {
+
+std::size_t BufferedSubscription::drain(
+    const std::function<void(const Frame&)>& handler) {
+  std::size_t delivered = 0;
+  while (!queue_.empty()) {
+    Frame f = std::move(queue_.front());
+    queue_.pop_front();
+    try {
+      handler(f);
+    } catch (const std::exception&) {
+      // The frame it threw on is lost; the rest of the queue still drains.
+    }
+    ++delivered;
+  }
+  return delivered;
+}
+
+void BufferedSubscription::offer(const Frame& frame, RouterStats& rs) {
+  if (queue_.size() >= max_pending_) {
+    // Evict the oldest frame of the lowest-priority class present. Priority
+    // values order kCritical(0) < kStandard < kBulk, so "worst" = max value.
+    auto worst = std::max_element(
+        queue_.begin(), queue_.end(), [](const Frame& a, const Frame& b) {
+          return static_cast<int>(a.priority) < static_cast<int>(b.priority);
+        });
+    if (worst == queue_.end() || worst->priority < frame.priority) {
+      // Everything pending outranks (or ties better than) the newcomer:
+      // shed the incoming frame instead.
+      ++dropped_;
+      ++rs.fanout_dropped;
+      return;
+    }
+    // max_element returns the FIRST (oldest) of the worst class.
+    queue_.erase(worst);
+    ++dropped_;
+    ++rs.fanout_dropped;
+  }
+  queue_.push_back(frame);
+  rs.fanout_pending_hwm = std::max<std::uint64_t>(
+      rs.fanout_pending_hwm, static_cast<std::uint64_t>(queue_.size()));
+}
 
 void EventRouter::subscribe(FrameType type, Handler handler) {
   subscribers_.emplace_back(type, std::move(handler));
@@ -8,6 +51,14 @@ void EventRouter::subscribe(FrameType type, Handler handler) {
 
 void EventRouter::subscribe_raw(Handler handler) {
   raw_taps_.push_back(std::move(handler));
+}
+
+std::shared_ptr<BufferedSubscription> EventRouter::subscribe_buffered(
+    FrameType type, std::size_t max_pending) {
+  auto sub = std::shared_ptr<BufferedSubscription>(
+      new BufferedSubscription(type, max_pending));
+  buffered_.push_back(sub);
+  return sub;
 }
 
 void EventRouter::forward_to(EventRouter& downstream) {
@@ -35,6 +86,12 @@ void EventRouter::publish(const Frame& frame) {
   for (const auto& [type, handler] : subscribers_) {
     if (type == frame.type) {
       guarded(handler, frame);
+      delivered = true;
+    }
+  }
+  for (const auto& sub : buffered_) {
+    if (sub->type_ == frame.type) {
+      sub->offer(frame, stats_);
       delivered = true;
     }
   }

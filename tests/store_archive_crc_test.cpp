@@ -1,0 +1,167 @@
+// Cold-tier integrity: every archived blob carries a CRC32 (V2 format), a
+// flipped bit on slow media surfaces as a typed kCorruption status — not a
+// garbage chunk silently decompressed into a dashboard — and legacy V1
+// archives (no CRC) still load.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/result.hpp"
+#include "store/retention.hpp"
+
+namespace hpcmon::store {
+namespace {
+
+constexpr core::SeriesId kS0{3};
+
+Archive make_archive(int series_count = 2) {
+  Archive archive;
+  std::vector<core::TimedValue> pts;
+  for (int i = 0; i < 50; ++i) pts.push_back({i * core::kSecond, i * 2.0});
+  for (int s = 0; s < series_count; ++s) {
+    archive.store(core::SeriesId{static_cast<std::uint32_t>(3 + 4 * s)},
+                  Chunk::compress(pts));
+  }
+  return archive;
+}
+
+std::vector<std::uint8_t> read_all(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(std::ftell(f)));
+  std::fseek(f, 0, SEEK_SET);
+  EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  return bytes;
+}
+
+void write_all(const std::string& path, const std::vector<std::uint8_t>& b) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(b.data(), 1, b.size(), f), b.size());
+  std::fclose(f);
+}
+
+template <typename T>
+T read_le(const std::vector<std::uint8_t>& b, std::size_t off) {
+  T v{};
+  std::memcpy(&v, b.data() + off, sizeof(T));
+  return v;
+}
+
+TEST(ArchiveCrcTest, CleanSaveLoadsAndFetchesIntact) {
+  const std::string path = "/tmp/hpcmon_crc_clean.bin";
+  const auto archive = make_archive();
+  ASSERT_TRUE(archive.save_to_file(path).is_ok());
+  const auto loaded = Archive::load_from_file(path);
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_EQ(loaded.value().blob_count(), archive.blob_count());
+  EXPECT_EQ(loaded.value().fetch(kS0, {0, core::kDay}),
+            archive.fetch(kS0, {0, core::kDay}));
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveCrcTest, BitFlipInBlobIsTypedCorruption) {
+  const std::string path = "/tmp/hpcmon_crc_bitflip.bin";
+  ASSERT_TRUE(make_archive().save_to_file(path).is_ok());
+  auto bytes = read_all(path);
+  ASSERT_GT(bytes.size(), 32u);
+  // The file ends inside the last blob's compressed payload: flip one bit
+  // there, exactly the single-event upset a long-lived cold file can take.
+  bytes[bytes.size() - 1] ^= 0x01;
+  write_all(path, bytes);
+
+  const auto loaded = Archive::load_from_file(path);
+  ASSERT_FALSE(loaded.is_ok());
+  EXPECT_EQ(loaded.status().code(), core::StatusCode::kCorruption);
+  EXPECT_NE(loaded.message().find("CRC"), std::string::npos);
+  // The message localizes the damage (series, blob) for the operator.
+  EXPECT_NE(loaded.message().find("series"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveCrcTest, EverySingleBitFlipInPayloadIsCaught) {
+  // Property-style sweep: flipping ANY single bit of a blob payload must be
+  // detected — CRC32 guarantees detection of all 1-bit errors.
+  const std::string path = "/tmp/hpcmon_crc_sweep.bin";
+  ASSERT_TRUE(make_archive(1).save_to_file(path).is_ok());
+  const auto pristine = read_all(path);
+  // Layout: magic u32, n_series u32, then id u32, n_blobs u32, then per blob
+  // min u64, max u64, len u32, crc u32, raw[len]. One series, one blob.
+  const std::size_t payload_off = 4 + 4 + 4 + 4 + 8 + 8 + 4 + 4;
+  const auto len = read_le<std::uint32_t>(pristine, payload_off - 8);
+  ASSERT_EQ(payload_off + len, pristine.size());
+  for (std::size_t i = payload_off; i < pristine.size(); i += 7) {
+    for (int bit = 0; bit < 8; bit += 3) {
+      auto bytes = pristine;
+      bytes[i] ^= static_cast<std::uint8_t>(1u << bit);
+      write_all(path, bytes);
+      const auto loaded = Archive::load_from_file(path);
+      ASSERT_FALSE(loaded.is_ok()) << "undetected flip at byte " << i;
+      EXPECT_EQ(loaded.status().code(), core::StatusCode::kCorruption);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveCrcTest, TruncationIsAnErrorNotAPartialLoad) {
+  const std::string path = "/tmp/hpcmon_crc_truncated.bin";
+  ASSERT_TRUE(make_archive().save_to_file(path).is_ok());
+  const auto bytes = read_all(path);
+  // Chop mid-payload and mid-header: both must refuse to load.
+  for (const auto keep : {bytes.size() - 5, std::size_t{4 + 4 + 4 + 4 + 8 + 2}}) {
+    write_all(path, {bytes.begin(), bytes.begin() + static_cast<long>(keep)});
+    EXPECT_FALSE(Archive::load_from_file(path).is_ok()) << "kept " << keep;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveCrcTest, LegacyV1ArchiveStillLoads) {
+  // Rewrite a V2 file into the V1 layout (old magic, no per-blob CRC): sites
+  // with cold archives from before the integrity change must not lose them.
+  const std::string path = "/tmp/hpcmon_crc_v1.bin";
+  const auto archive = make_archive();
+  ASSERT_TRUE(archive.save_to_file(path).is_ok());
+  const auto v2 = read_all(path);
+
+  std::vector<std::uint8_t> v1;
+  auto copy = [&](std::size_t off, std::size_t n) {
+    v1.insert(v1.end(), v2.begin() + static_cast<long>(off),
+              v2.begin() + static_cast<long>(off + n));
+  };
+  const std::uint32_t v1_magic = 0x48504D41;  // "HPMA"
+  v1.resize(4);
+  std::memcpy(v1.data(), &v1_magic, 4);
+  std::size_t off = 4;
+  const auto n_series = read_le<std::uint32_t>(v2, off);
+  copy(off, 4);
+  off += 4;
+  for (std::uint32_t s = 0; s < n_series; ++s) {
+    copy(off, 4);  // series id
+    const auto n_blobs = read_le<std::uint32_t>(v2, off + 4);
+    copy(off + 4, 4);
+    off += 8;
+    for (std::uint32_t b = 0; b < n_blobs; ++b) {
+      copy(off, 8 + 8 + 4);  // min, max, len — but NOT the crc word
+      const auto len = read_le<std::uint32_t>(v2, off + 16);
+      copy(off + 24, len);  // skip the 4-byte crc, copy the payload
+      off += 24 + len;
+    }
+  }
+  write_all(path, v1);
+
+  const auto loaded = Archive::load_from_file(path);
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_EQ(loaded.value().blob_count(), archive.blob_count());
+  EXPECT_EQ(loaded.value().fetch(kS0, {0, core::kDay}),
+            archive.fetch(kS0, {0, core::kDay}));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hpcmon::store
