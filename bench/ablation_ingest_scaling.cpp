@@ -223,8 +223,12 @@ int main() {
     const auto m = pipe.metrics().snapshot();
     std::printf(
         "\nReference (real threads, 8 producers, 4 shards, kBlock): "
-        "%.1f ms wall, %.2f Msamples/s\n  %s\n",
-        wall * 1e3, total / wall / 1e6, m.to_string().c_str());
+        "%.1f ms wall, %.2f Msamples/s\n  accepted=%llu appends=%llu "
+        "mean_batch=%.1f blocked=%llu\n",
+        wall * 1e3, total / wall / 1e6,
+        static_cast<unsigned long long>(m.accepted_samples),
+        static_cast<unsigned long long>(m.appends), m.mean_batch_samples(),
+        static_cast<unsigned long long>(m.blocked_pushes));
     shape_check(m.accepted_samples == total,
                 "threaded kBlock run is lossless: every sample accepted");
     shape_check(m.dropped_samples == 0 && m.rejected_samples == 0,

@@ -1,0 +1,188 @@
+// Ablation: cost of the self-observability plane on the hot append path.
+//
+// Table I demands the monitoring system's own overhead "be well-documented";
+// the paper's broader theme is that sites refuse monitoring they cannot
+// price. hpcmon::obs claims its instruments are cheap enough to leave on
+// everywhere: per-batch updates are a handful of relaxed atomics plus two
+// steady_clock reads for the stage span. This bench proves the price two
+// ways:
+//
+//   (a) the same append workload runs through a template hot path
+//       instantiated once with the real obs:: instruments and once with
+//       obs::noop:: (API-compatible empty bodies, so the instrumentation
+//       compiles out entirely) — the instrumented arm must stay within 5%;
+//   (b) the per-stage latency table an operator actually sees (p50/p95/p99
+//       per pipeline stage) is printed from the same run, demonstrating
+//       what the 5% buys.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/rng.hpp"
+#include "obs/instruments.hpp"
+#include "obs/registry.hpp"
+#include "obs/stage.hpp"
+#include "store/tsdb.hpp"
+
+namespace hpcmon::bench {
+namespace {
+
+using core::Sample;
+using core::SampleBatch;
+using core::SeriesId;
+using std::chrono::steady_clock;
+
+constexpr std::uint32_t kSeries = 256;
+constexpr int kSweeps = 2000;
+constexpr std::size_t kChunkPoints = 512;
+constexpr int kTrials = 5;
+
+std::vector<SampleBatch> make_sweeps() {
+  std::vector<SampleBatch> sweeps;
+  core::Rng rng(42);
+  sweeps.reserve(kSweeps);
+  for (int p = 0; p < kSweeps; ++p) {
+    SampleBatch b;
+    b.sweep_time = (p + 1) * core::kSecond;
+    b.samples.reserve(kSeries);
+    for (std::uint32_t s = 0; s < kSeries; ++s) {
+      b.samples.push_back(
+          {SeriesId{s}, b.sweep_time, 40.0 + rng.uniform(0.0, 20.0)});
+    }
+    sweeps.push_back(std::move(b));
+  }
+  return sweeps;
+}
+
+/// The hot path under test, with the instrument set as a template
+/// parameter: exactly what an instrumented ingest worker does per batch —
+/// time the append, then bump a counter, a sample tally, a depth
+/// high-water mark, and the latency histogram. Instantiated with
+/// obs::noop::* every instrument call is an empty inline body and the
+/// span's clock reads vanish with it.
+template <typename CounterT, typename GaugeT, typename HistT,
+          bool kTimeStages>
+double run_append_loop(const std::vector<SampleBatch>& sweeps,
+                       obs::HistogramSnapshot* stage_hist_out = nullptr) {
+  store::TimeSeriesStore store(kChunkPoints);
+  CounterT batches, samples;
+  GaugeT batch_hwm;
+  HistT append_us;
+  const auto t0 = steady_clock::now();
+  for (const auto& b : sweeps) {
+    steady_clock::time_point s0{};
+    if constexpr (kTimeStages) s0 = steady_clock::now();
+    store.append_batch(b.samples);
+    if constexpr (kTimeStages) {
+      append_us.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              steady_clock::now() - s0)
+              .count()));
+    }
+    batches.add();
+    samples.add(b.size());
+    batch_hwm.update_max(static_cast<double>(b.size()));
+  }
+  const double secs =
+      std::chrono::duration<double>(steady_clock::now() - t0).count();
+  if constexpr (kTimeStages) {
+    if (stage_hist_out != nullptr) *stage_hist_out = append_us.snapshot();
+  }
+  return secs;
+}
+
+/// Best-of-N wall time: the minimum is the least noise-contaminated
+/// estimate of the loop's intrinsic cost.
+template <typename F>
+double best_of(F&& run) {
+  double best = run();
+  for (int i = 1; i < kTrials; ++i) best = std::min(best, run());
+  return best;
+}
+
+void print_stage_row(const char* name, const obs::HistogramSnapshot& h) {
+  if (h.count == 0) {
+    std::printf("  %-16s %10s\n", name, "-");
+    return;
+  }
+  std::printf("  %-16s %8llu  %8.1f  %8.1f  %8.1f  %8llu\n", name,
+              static_cast<unsigned long long>(h.count), h.quantile(0.50),
+              h.quantile(0.95), h.quantile(0.99),
+              static_cast<unsigned long long>(h.max));
+}
+
+}  // namespace
+}  // namespace hpcmon::bench
+
+int main() {
+  using namespace hpcmon::bench;
+  namespace obs = hpcmon::obs;
+  header("Ablation: self-observability overhead on the append path",
+         "Table I — transport/monitoring overhead must be well-documented");
+
+  const auto sweeps = make_sweeps();
+  const std::size_t total_samples =
+      static_cast<std::size_t>(kSweeps) * kSeries;
+  std::printf("workload: %d sweeps x %u series = %zu samples, best of %d\n\n",
+              kSweeps, kSeries, total_samples, kTrials);
+
+  // Warm-up absorbs first-touch costs, then measure both arms interleaved
+  // (best-of-N each) so neither systematically inherits a cold cache.
+  run_append_loop<obs::noop::Counter, obs::noop::Gauge, obs::noop::Histogram,
+                  false>(sweeps);
+  const double noop = best_of([&] {
+    return run_append_loop<obs::noop::Counter, obs::noop::Gauge,
+                           obs::noop::Histogram, false>(sweeps);
+  });
+  obs::HistogramSnapshot append_hist;
+  const double instrumented = best_of([&] {
+    return run_append_loop<obs::Counter, obs::Gauge, obs::Histogram, true>(
+        sweeps, &append_hist);
+  });
+
+  const double overhead = instrumented / noop - 1.0;
+  std::printf("noop instruments  : %8.3f ms  (%5.1f Msamples/s)\n",
+              noop * 1e3, total_samples / noop / 1e6);
+  std::printf("obs instruments   : %8.3f ms  (%5.1f Msamples/s)\n",
+              instrumented * 1e3, total_samples / instrumented / 1e6);
+  std::printf("overhead          : %+8.2f %%\n\n", overhead * 100.0);
+
+  // What the overhead buys: the per-stage latency table. The append stage
+  // comes from the instrumented run above; the query stages from a quick
+  // instrumented read pass over the populated store.
+  hpcmon::store::TimeSeriesStore store(kChunkPoints);
+  obs::StageTimer stages;
+  obs::ObsRegistry reg;
+  stages.attach_to(reg);
+  for (const auto& b : sweeps) {
+    obs::StageTimer::Scoped span(&stages, obs::Stage::kStoreAppend);
+    store.append_batch(b.samples);
+  }
+  for (std::uint32_t s = 0; s < kSeries; ++s) {
+    obs::StageTimer::Scoped span(&stages, obs::Stage::kQueryCursor);
+    const auto pts = store.query_range(
+        SeriesId{s}, {0, (kSweeps + 1) * hpcmon::core::kSecond});
+    if (pts.size() != static_cast<std::size_t>(kSweeps)) {
+      std::printf("BUG: query returned %zu points\n", pts.size());
+      return 1;
+    }
+  }
+  const auto snap = reg.snapshot();
+  std::printf("per-stage latency (us):\n");
+  std::printf("  %-16s %8s  %8s  %8s  %8s  %8s\n", "stage", "n", "p50",
+              "p95", "p99", "max");
+  print_stage_row("store_append", *snap.histogram("stage.store_append_us"));
+  print_stage_row("query_cursor", *snap.histogram("stage.query_cursor_us"));
+  std::printf("\n");
+
+  shape_check(overhead < 0.05,
+              "obs instruments cost < 5% over the compiled-out noop path");
+  shape_check(append_hist.count == static_cast<std::uint64_t>(kSweeps),
+              "every batch landed one latency histogram record");
+  shape_check(snap.histogram("stage.store_append_us")->count ==
+                  static_cast<std::uint64_t>(kSweeps),
+              "stage timer catalogs the append stage in the obs registry");
+  return finish();
+}

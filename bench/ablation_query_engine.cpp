@@ -121,7 +121,13 @@ int main() {
               t_new * 1e3, agg_speedup);
   std::printf("  (answer drift from reassociation: %.3g)\n", sink);
   const auto qs = engine.query_stats();
-  std::printf("  %s\n", qs.to_string().c_str());
+  std::printf(
+      "  store.queries=%llu store.summary_chunks=%llu "
+      "store.cursor_chunks=%llu store.cache_hits=%llu\n",
+      static_cast<unsigned long long>(qs.queries),
+      static_cast<unsigned long long>(qs.summary_chunks),
+      static_cast<unsigned long long>(qs.cursor_chunks),
+      static_cast<unsigned long long>(qs.cache_hits));
   shape_check(agg_speedup >= 5.0,
               core::strformat("summary-answered range aggregate is >= 5x "
                               "faster than full decode (%.1fx)",

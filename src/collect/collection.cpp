@@ -25,7 +25,11 @@ void CollectionService::add_sampler(std::unique_ptr<Sampler> sampler,
       [this, shared, sink = std::move(sink)](TimePoint now) {
         core::SampleBatch batch;
         batch.sweep_time = now;
-        shared->sample(now, batch);
+        {
+          obs::StageTimer::Scoped span(stage_timer_,
+                                       obs::Stage::kSamplerSweep);
+          shared->sample(now, batch);
+        }
         ++sweeps_;
         samples_ += batch.size();
         sink(std::move(batch));

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "collect/sampler.hpp"
+#include "obs/stage.hpp"
 #include "sim/cluster.hpp"
 #include "store/retention.hpp"
 #include "store/tsdb.hpp"
@@ -37,8 +38,14 @@ class CollectionService {
   std::size_t sweeps_completed() const { return sweeps_; }
   std::size_t samples_collected() const { return samples_; }
 
+  /// Time every sampler's sweep callback into the sampler_sweep stage
+  /// histogram; nullptr disables (the default). Takes effect on the next
+  /// sweep, including for samplers already registered.
+  void set_stage_timer(obs::StageTimer* timer) { stage_timer_ = timer; }
+
  private:
   sim::Cluster& cluster_;
+  obs::StageTimer* stage_timer_ = nullptr;
   // Samplers are owned via shared_ptr because the event-queue closures that
   // reference them must remain valid for the simulation's lifetime.
   std::vector<std::shared_ptr<Sampler>> samplers_;

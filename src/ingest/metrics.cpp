@@ -1,8 +1,7 @@
 #include "ingest/metrics.hpp"
 
 #include <algorithm>
-
-#include "core/strings.hpp"
+#include <string>
 
 namespace hpcmon::ingest {
 
@@ -12,49 +11,40 @@ void IngestMetrics::record_append(std::size_t merged_batches,
                                   std::size_t accepted,
                                   std::size_t out_of_order,
                                   std::uint64_t duration_us) {
-  appends_.fetch_add(1, std::memory_order_relaxed);
-  coalesced_batches_.fetch_add(merged_batches, std::memory_order_relaxed);
-  accepted_samples_.fetch_add(accepted, std::memory_order_relaxed);
-  out_of_order_samples_.fetch_add(out_of_order, std::memory_order_relaxed);
-  append_us_.fetch_add(duration_us, std::memory_order_relaxed);
-  const std::size_t size = accepted + out_of_order;
-  std::size_t bucket = 0;
-  while (bucket + 1 < kBatchHistBuckets && (2u << bucket) <= size) ++bucket;
-  batch_size_hist_[bucket].fetch_add(1, std::memory_order_relaxed);
+  appends_.add();
+  coalesced_batches_.add(merged_batches);
+  accepted_samples_.add(accepted);
+  out_of_order_samples_.add(out_of_order);
+  append_us_.add(duration_us);
+  batch_samples_.record(accepted + out_of_order);
 }
 
 IngestSnapshot IngestMetrics::snapshot() const {
   IngestSnapshot s;
-  s.submitted_batches = submitted_batches_.load(std::memory_order_relaxed);
-  s.submitted_samples = submitted_samples_.load(std::memory_order_relaxed);
-  s.enqueued_batches = enqueued_batches_.load(std::memory_order_relaxed);
-  s.appends = appends_.load(std::memory_order_relaxed);
-  s.coalesced_batches = coalesced_batches_.load(std::memory_order_relaxed);
-  s.accepted_samples = accepted_samples_.load(std::memory_order_relaxed);
-  s.out_of_order_samples =
-      out_of_order_samples_.load(std::memory_order_relaxed);
-  s.dropped_batches = dropped_batches_.load(std::memory_order_relaxed);
-  s.dropped_samples = dropped_samples_.load(std::memory_order_relaxed);
-  s.rejected_batches = rejected_batches_.load(std::memory_order_relaxed);
-  s.rejected_samples = rejected_samples_.load(std::memory_order_relaxed);
-  s.blocked_pushes = blocked_pushes_.load(std::memory_order_relaxed);
-  s.block_wait_us = block_wait_us_.load(std::memory_order_relaxed);
-  s.append_us = append_us_.load(std::memory_order_relaxed);
+  s.submitted_batches = submitted_batches_.value();
+  s.submitted_samples = submitted_samples_.value();
+  s.enqueued_batches = enqueued_batches_.value();
+  s.appends = appends_.value();
+  s.coalesced_batches = coalesced_batches_.value();
+  s.accepted_samples = accepted_samples_.value();
+  s.out_of_order_samples = out_of_order_samples_.value();
+  s.dropped_batches = dropped_batches_.value();
+  s.dropped_samples = dropped_samples_.value();
+  s.rejected_batches = rejected_batches_.value();
+  s.rejected_samples = rejected_samples_.value();
+  s.blocked_pushes = blocked_pushes_.value();
+  s.block_wait_us = block_wait_us_.value();
+  s.append_us = append_us_.value();
   s.queue_hwm.reserve(queue_hwm_.size());
   for (const auto& h : queue_hwm_) {
-    s.queue_hwm.push_back(h.load(std::memory_order_relaxed));
+    s.queue_hwm.push_back(static_cast<std::uint64_t>(h.value()));
   }
-  for (std::size_t b = 0; b < kBatchHistBuckets; ++b) {
-    s.batch_size_hist[b] = batch_size_hist_[b].load(std::memory_order_relaxed);
-  }
+  s.batch_samples = batch_samples_.snapshot();
   for (std::size_t c = 0; c < core::kPriorityClasses; ++c) {
-    s.submitted_by_class[c] =
-        submitted_by_class_[c].load(std::memory_order_relaxed);
-    s.shed_by_class[c] = shed_by_class_[c].load(std::memory_order_relaxed);
-    s.dropped_by_class[c] =
-        dropped_by_class_[c].load(std::memory_order_relaxed);
-    s.rejected_by_class[c] =
-        rejected_by_class_[c].load(std::memory_order_relaxed);
+    s.submitted_by_class[c] = submitted_by_class_[c].value();
+    s.shed_by_class[c] = shed_by_class_[c].value();
+    s.dropped_by_class[c] = dropped_by_class_[c].value();
+    s.rejected_by_class[c] = rejected_by_class_[c].value();
   }
   return s;
 }
@@ -65,86 +55,73 @@ std::uint64_t IngestSnapshot::max_queue_hwm() const {
   return m;
 }
 
-std::string IngestSnapshot::to_string() const {
-  return core::strformat(
-      "ingest acc=%llu ooo=%llu drop=%llu rej=%llu shed=%llu blocked=%llu "
-      "hwm=%llu batch=%.1f append_us=%.1f crit_lost=%llu",
-      static_cast<unsigned long long>(accepted_samples),
-      static_cast<unsigned long long>(out_of_order_samples),
-      static_cast<unsigned long long>(dropped_samples),
-      static_cast<unsigned long long>(rejected_samples),
-      static_cast<unsigned long long>(shed_samples()),
-      static_cast<unsigned long long>(blocked_pushes),
-      static_cast<unsigned long long>(max_queue_hwm()), mean_batch_samples(),
-      mean_append_us(),
-      static_cast<unsigned long long>(
-          dropped_by_class[static_cast<std::size_t>(
-              core::Priority::kCritical)] +
-          rejected_by_class[static_cast<std::size_t>(
-              core::Priority::kCritical)]));
-}
-
-std::vector<core::Sample> IngestMetrics::to_samples(
-    core::MetricRegistry& registry, core::ComponentId component,
-    core::TimePoint now) const {
-  const auto snap = snapshot();
-  std::vector<core::Sample> out;
-  const auto emit = [&](const char* name, const char* units, const char* desc,
-                        bool counter, double value) {
-    const auto metric = registry.register_metric({name, units, desc, counter});
-    out.push_back({registry.series(metric, component), now, value});
+void IngestMetrics::attach_to(obs::ObsRegistry& registry) const {
+  const auto counter = [&](const char* name, const char* unit,
+                           const char* desc, const obs::Counter* c) {
+    registry.attach({name, unit, desc}, c);
   };
-  emit("ingest.submitted_samples", "samples",
-       "samples offered to the ingest tier", true,
-       static_cast<double>(snap.submitted_samples));
-  emit("ingest.accepted_samples", "samples",
-       "samples stored by the sharded store", true,
-       static_cast<double>(snap.accepted_samples));
-  emit("ingest.out_of_order_samples", "samples",
-       "samples refused by per-series time ordering", true,
-       static_cast<double>(snap.out_of_order_samples));
-  emit("ingest.dropped_samples", "samples",
-       "samples evicted by the drop-oldest overload policy", true,
-       static_cast<double>(snap.dropped_samples));
-  emit("ingest.rejected_samples", "samples",
-       "samples refused at the door by the reject overload policy", true,
-       static_cast<double>(snap.rejected_samples));
-  emit("ingest.blocked_pushes", "pushes",
-       "producer enqueues that hit backpressure (block policy)", true,
-       static_cast<double>(snap.blocked_pushes));
-  emit("ingest.block_wait_us", "us",
-       "cumulative producer time spent blocked on full queues", true,
-       static_cast<double>(snap.block_wait_us));
-  emit("ingest.append_us", "us",
-       "cumulative worker time spent appending to shards", true,
-       static_cast<double>(snap.append_us));
-  emit("ingest.queue_hwm", "batches",
-       "highest per-shard queue depth seen so far", false,
-       static_cast<double>(snap.max_queue_hwm()));
-  emit("ingest.batch_mean_samples", "samples",
-       "mean coalesced batch size per shard append", false,
-       snap.mean_batch_samples());
+  counter("ingest.submitted_batches", "batches",
+          "batches offered via submit()", &submitted_batches_);
+  counter("ingest.submitted_samples", "samples",
+          "samples offered to the ingest tier", &submitted_samples_);
+  counter("ingest.enqueued_batches", "batches",
+          "per-shard sub-batches queued", &enqueued_batches_);
+  counter("ingest.appends", "appends", "worker append_batch calls", &appends_);
+  counter("ingest.coalesced_batches", "batches",
+          "sub-batches merged into shard appends", &coalesced_batches_);
+  counter("ingest.accepted_samples", "samples",
+          "samples stored by the sharded store", &accepted_samples_);
+  counter("ingest.out_of_order_samples", "samples",
+          "samples refused by per-series time ordering",
+          &out_of_order_samples_);
+  counter("ingest.dropped_batches", "batches", "drop-oldest evictions",
+          &dropped_batches_);
+  counter("ingest.dropped_samples", "samples",
+          "samples evicted by the drop-oldest overload policy",
+          &dropped_samples_);
+  counter("ingest.rejected_batches", "batches",
+          "batches refused at the door (reject policy or closed pipe)",
+          &rejected_batches_);
+  counter("ingest.rejected_samples", "samples",
+          "samples refused at the door by the reject overload policy",
+          &rejected_samples_);
+  counter("ingest.blocked_pushes", "pushes",
+          "producer enqueues that hit backpressure (block policy)",
+          &blocked_pushes_);
+  counter("ingest.block_wait_us", "us",
+          "cumulative producer time spent blocked on full queues",
+          &block_wait_us_);
+  counter("ingest.append_us", "us",
+          "cumulative worker time spent appending to shards", &append_us_);
+  obs::InstrumentInfo hwm;
+  hwm.name = "ingest.queue_hwm";
+  hwm.unit = "batches";
+  hwm.description = "highest per-shard queue depth seen so far";
+  hwm.gauge_agg = obs::GaugeAgg::kMax;
+  for (const auto& g : queue_hwm_) registry.attach(hwm, &g);
+  registry.attach({"ingest.batch_samples", "samples",
+                   "coalesced samples per shard append"},
+                  &batch_samples_);
   // Per-priority-class counters: named ingest.<verb>_<class>_samples so one
   // glance at a dashboard shows which class is absorbing the storm. The
   // critical drop/reject series exist precisely so operators can alert on
   // them being nonzero (the invariant the priority machinery enforces).
   for (std::size_t c = 0; c < core::kPriorityClasses; ++c) {
-    const auto pri = static_cast<core::Priority>(c);
-    const std::string cls{core::to_string(pri)};
-    emit(("ingest.submitted_" + cls + "_samples").c_str(), "samples",
-         "samples of this priority class offered to the ingest tier", true,
-         static_cast<double>(snap.submitted_by_class[c]));
-    emit(("ingest.shed_" + cls + "_samples").c_str(), "samples",
-         "samples voluntarily shed at the door by the degradation controller",
-         true, static_cast<double>(snap.shed_by_class[c]));
-    emit(("ingest.dropped_" + cls + "_samples").c_str(), "samples",
-         "samples of this priority class lost to drop-oldest eviction", true,
-         static_cast<double>(snap.dropped_by_class[c]));
-    emit(("ingest.rejected_" + cls + "_samples").c_str(), "samples",
-         "samples of this priority class refused at the door under overload",
-         true, static_cast<double>(snap.rejected_by_class[c]));
+    const std::string cls{core::to_string(static_cast<core::Priority>(c))};
+    registry.attach({"ingest.submitted_" + cls + "_samples", "samples",
+                     "samples of this priority class offered to the tier"},
+                    &submitted_by_class_[c]);
+    registry.attach(
+        {"ingest.shed_" + cls + "_samples", "samples",
+         "samples voluntarily shed at the door by degradation mode"},
+        &shed_by_class_[c]);
+    registry.attach({"ingest.dropped_" + cls + "_samples", "samples",
+                     "samples of this class lost to drop-oldest eviction"},
+                    &dropped_by_class_[c]);
+    registry.attach({"ingest.rejected_" + cls + "_samples", "samples",
+                     "samples of this class refused at the door"},
+                    &rejected_by_class_[c]);
   }
-  return out;
 }
 
 }  // namespace hpcmon::ingest

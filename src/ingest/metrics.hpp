@@ -1,12 +1,15 @@
-// IngestMetrics: the ingest tier's self-telemetry.
+// IngestMetrics: the ingest tier's self-telemetry, built on hpcmon::obs
+// instruments.
 //
 // Table I demands that transport impact "should be well-documented"; here it
 // is measured. Every overload-policy decision (block, drop, reject), every
 // out-of-order point the store refuses, queue-depth high-water marks, a
 // batch-size histogram, and per-stage latency (producer enqueue wait, worker
-// append time) are counted with relaxed atomics so the hot path stays cheap.
-// The counters can be re-emitted as hpcmon series (to_samples) so the monitor
-// monitors itself with its own pipeline and dashboards.
+// append time) are counted with lock-free obs instruments so the hot path
+// stays cheap. The instruments are the single source of truth: attach_to()
+// catalogs them in the shared ObsRegistry, where the degradation control
+// loop, the hpcmon.self.* export, and the operator report all read the same
+// atomics. snapshot() is a typed view for tests and benches.
 //
 // Clock note: the library's telemetry runs on the simulated timeline, but the
 // ingest tier is real threads doing real work, so its latency self-metrics
@@ -15,22 +18,13 @@
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <cstdint>
-#include <string>
 #include <vector>
 
-#include "core/ids.hpp"
 #include "core/priority.hpp"
-#include "core/registry.hpp"
-#include "core/sample.hpp"
-#include "core/time.hpp"
+#include "obs/registry.hpp"
 
 namespace hpcmon::ingest {
-
-/// Batch-size histogram buckets: bucket b counts appends of size in
-/// [2^b, 2^(b+1)), with the last bucket open-ended.
-inline constexpr std::size_t kBatchHistBuckets = 16;
 
 /// Point-in-time copy of every counter (plain values, safe to print/compare).
 struct IngestSnapshot {
@@ -49,7 +43,8 @@ struct IngestSnapshot {
   std::uint64_t block_wait_us = 0;      // producer time spent in backpressure
   std::uint64_t append_us = 0;          // worker time spent appending
   std::vector<std::uint64_t> queue_hwm;  // per-shard depth high-water mark
-  std::array<std::uint64_t, kBatchHistBuckets> batch_size_hist{};
+  /// Coalesced samples-per-append distribution (log-bucketed, mergeable).
+  obs::HistogramSnapshot batch_samples;
 
   // Per-priority-class accounting (indexed by core::Priority). "Shed" is the
   // voluntary kind — samples the degradation controller turned away at the
@@ -66,22 +61,17 @@ struct IngestSnapshot {
     for (const auto s : shed_by_class) total += s;
     return total;
   }
-  std::uint64_t lost_samples() const { return dropped_samples + rejected_samples; }
-
-  double mean_batch_samples() const {
-    return appends == 0 ? 0.0
-                        : static_cast<double>(accepted_samples +
-                                              out_of_order_samples) /
-                              static_cast<double>(appends);
+  std::uint64_t lost_samples() const {
+    return dropped_samples + rejected_samples;
   }
+
+  double mean_batch_samples() const { return batch_samples.mean(); }
   double mean_append_us() const {
     return appends == 0
                ? 0.0
                : static_cast<double>(append_us) / static_cast<double>(appends);
   }
   std::uint64_t max_queue_hwm() const;
-  /// One-line operator summary for MonitoringStack::status().
-  std::string to_string() const;
 };
 
 class IngestMetrics {
@@ -90,49 +80,36 @@ class IngestMetrics {
 
   // -- Producer side ---------------------------------------------------------
   void record_submit(std::size_t samples) {
-    submitted_batches_.fetch_add(1, std::memory_order_relaxed);
-    submitted_samples_.fetch_add(samples, std::memory_order_relaxed);
+    submitted_batches_.add();
+    submitted_samples_.add(samples);
   }
   void record_enqueue(std::size_t shard, std::size_t depth_after) {
-    enqueued_batches_.fetch_add(1, std::memory_order_relaxed);
-    auto& hwm = queue_hwm_[shard];
-    std::uint64_t seen = hwm.load(std::memory_order_relaxed);
-    while (seen < depth_after &&
-           !hwm.compare_exchange_weak(seen, depth_after,
-                                      std::memory_order_relaxed)) {
-    }
+    enqueued_batches_.add();
+    queue_hwm_[shard].update_max(static_cast<double>(depth_after));
   }
   /// The stall is counted on ENTRY to the blocking wait (so an observer can
   /// see that a producer is parked); the wait duration is added once the
   /// producer resumes.
-  void record_block_entered() {
-    blocked_pushes_.fetch_add(1, std::memory_order_relaxed);
-  }
-  void record_block_wait(std::uint64_t wait_us) {
-    block_wait_us_.fetch_add(wait_us, std::memory_order_relaxed);
-  }
+  void record_block_entered() { blocked_pushes_.add(); }
+  void record_block_wait(std::uint64_t wait_us) { block_wait_us_.add(wait_us); }
   void record_dropped(std::size_t samples,
                       core::Priority pri = core::Priority::kStandard) {
-    dropped_batches_.fetch_add(1, std::memory_order_relaxed);
-    dropped_samples_.fetch_add(samples, std::memory_order_relaxed);
-    dropped_by_class_[static_cast<std::size_t>(pri)].fetch_add(
-        samples, std::memory_order_relaxed);
+    dropped_batches_.add();
+    dropped_samples_.add(samples);
+    dropped_by_class_[static_cast<std::size_t>(pri)].add(samples);
   }
   void record_rejected(std::size_t samples,
                        core::Priority pri = core::Priority::kStandard) {
-    rejected_batches_.fetch_add(1, std::memory_order_relaxed);
-    rejected_samples_.fetch_add(samples, std::memory_order_relaxed);
-    rejected_by_class_[static_cast<std::size_t>(pri)].fetch_add(
-        samples, std::memory_order_relaxed);
+    rejected_batches_.add();
+    rejected_samples_.add(samples);
+    rejected_by_class_[static_cast<std::size_t>(pri)].add(samples);
   }
   void record_submit_class(core::Priority pri, std::size_t samples) {
-    submitted_by_class_[static_cast<std::size_t>(pri)].fetch_add(
-        samples, std::memory_order_relaxed);
+    submitted_by_class_[static_cast<std::size_t>(pri)].add(samples);
   }
   /// Voluntary degradation-mode shedding at the submit door (never critical).
   void record_shed(core::Priority pri, std::size_t samples) {
-    shed_by_class_[static_cast<std::size_t>(pri)].fetch_add(
-        samples, std::memory_order_relaxed);
+    shed_by_class_[static_cast<std::size_t>(pri)].add(samples);
   }
 
   // -- Worker side -----------------------------------------------------------
@@ -141,39 +118,31 @@ class IngestMetrics {
 
   IngestSnapshot snapshot() const;
 
-  /// Re-emit the counters as hpcmon samples at simulated time `now`, interning
-  /// "ingest.*" metrics on `component`. Counters are emitted cumulative
-  /// (is_counter = true), gauges (queue high-water, mean batch/latency) as
-  /// instantaneous values.
-  std::vector<core::Sample> to_samples(core::MetricRegistry& registry,
-                                       core::ComponentId component,
-                                       core::TimePoint now) const;
+  /// Catalog every instrument as ingest.* in `registry` (critical priority:
+  /// the ingest tier's vitals must survive the storms they report on).
+  void attach_to(obs::ObsRegistry& registry) const;
 
  private:
-  std::atomic<std::uint64_t> submitted_batches_{0};
-  std::atomic<std::uint64_t> submitted_samples_{0};
-  std::atomic<std::uint64_t> enqueued_batches_{0};
-  std::atomic<std::uint64_t> appends_{0};
-  std::atomic<std::uint64_t> coalesced_batches_{0};
-  std::atomic<std::uint64_t> accepted_samples_{0};
-  std::atomic<std::uint64_t> out_of_order_samples_{0};
-  std::atomic<std::uint64_t> dropped_batches_{0};
-  std::atomic<std::uint64_t> dropped_samples_{0};
-  std::atomic<std::uint64_t> rejected_batches_{0};
-  std::atomic<std::uint64_t> rejected_samples_{0};
-  std::atomic<std::uint64_t> blocked_pushes_{0};
-  std::atomic<std::uint64_t> block_wait_us_{0};
-  std::atomic<std::uint64_t> append_us_{0};
-  std::vector<std::atomic<std::uint64_t>> queue_hwm_;
-  std::array<std::atomic<std::uint64_t>, kBatchHistBuckets> batch_size_hist_{};
-  std::array<std::atomic<std::uint64_t>, core::kPriorityClasses>
-      submitted_by_class_{};
-  std::array<std::atomic<std::uint64_t>, core::kPriorityClasses>
-      shed_by_class_{};
-  std::array<std::atomic<std::uint64_t>, core::kPriorityClasses>
-      dropped_by_class_{};
-  std::array<std::atomic<std::uint64_t>, core::kPriorityClasses>
-      rejected_by_class_{};
+  obs::Counter submitted_batches_;
+  obs::Counter submitted_samples_;
+  obs::Counter enqueued_batches_;
+  obs::Counter appends_;
+  obs::Counter coalesced_batches_;
+  obs::Counter accepted_samples_;
+  obs::Counter out_of_order_samples_;
+  obs::Counter dropped_batches_;
+  obs::Counter dropped_samples_;
+  obs::Counter rejected_batches_;
+  obs::Counter rejected_samples_;
+  obs::Counter blocked_pushes_;
+  obs::Counter block_wait_us_;
+  obs::Counter append_us_;
+  std::vector<obs::Gauge> queue_hwm_;  // per shard; merged via GaugeAgg::kMax
+  obs::Histogram batch_samples_;
+  std::array<obs::Counter, core::kPriorityClasses> submitted_by_class_;
+  std::array<obs::Counter, core::kPriorityClasses> shed_by_class_;
+  std::array<obs::Counter, core::kPriorityClasses> dropped_by_class_;
+  std::array<obs::Counter, core::kPriorityClasses> rejected_by_class_;
 };
 
 }  // namespace hpcmon::ingest

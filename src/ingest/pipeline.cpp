@@ -37,6 +37,8 @@ IngestPipeline::IngestPipeline(ShardedTimeSeriesStore& store,
   if (config_.queue_capacity == 0) config_.queue_capacity = 1;
   if (config_.max_coalesce_batches == 0) config_.max_coalesce_batches = 1;
   if (config_.standard_stride == 0) config_.standard_stride = 1;
+  obs_ = config_.obs != nullptr ? config_.obs : &own_obs_;
+  metrics_.attach_to(*obs_);
   channels_.reserve(store_.shard_count());
   for (std::size_t i = 0; i < store_.shard_count(); ++i) {
     channels_.push_back(std::make_unique<transport::Channel<PrioritizedBatch>>(
@@ -125,6 +127,7 @@ std::size_t IngestPipeline::submit(const core::SampleBatch& batch) {
       part.batch.samples = std::move(samples);
       part.batch.sweep_time = batch.sweep_time;
       part.batch.origin = batch.origin;
+      if (config_.stages != nullptr) part.enqueue_time = steady_clock::now();
       const std::size_t n = part.batch.samples.size();
       auto& ch = *channels_[shard];
       const bool critical = pri == core::Priority::kCritical;
@@ -252,6 +255,17 @@ void IngestPipeline::worker(std::size_t shard) {
       if (ch.closed() && ch.size() == 0) return;
       continue;
     }
+    const auto work_t0 = steady_clock::now();
+    const auto queue_wait = [&](const PrioritizedBatch& item) {
+      if (config_.stages == nullptr) return;
+      config_.stages->record(
+          obs::Stage::kQueueWait,
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  work_t0 - item.enqueue_time)
+                  .count()));
+    };
+    queue_wait(*first);
     // Coalesce whatever else is already queued (bounded) into one append:
     // fewer lock acquisitions per sample, and the batch-size histogram shows
     // how bursty the offered load was. Classes may mix in the merged append;
@@ -262,14 +276,20 @@ void IngestPipeline::worker(std::size_t shard) {
     while (sub_batches < config_.max_coalesce_batches) {
       auto more = ch.try_pop();
       if (!more) break;
+      queue_wait(*more);
       merged.samples.insert(merged.samples.end(), more->batch.samples.begin(),
                             more->batch.samples.end());
       ++sub_batches;
     }
     const auto t0 = steady_clock::now();
     const std::size_t accepted = store.append_batch(merged.samples);
+    const auto append_us = elapsed_us(t0);
     metrics_.record_append(sub_batches, accepted,
-                           merged.samples.size() - accepted, elapsed_us(t0));
+                           merged.samples.size() - accepted, append_us);
+    if (config_.stages != nullptr) {
+      config_.stages->record(obs::Stage::kStoreAppend, append_us);
+      config_.stages->record(obs::Stage::kShardWorker, elapsed_us(work_t0));
+    }
     in_flight_.fetch_add(-static_cast<std::int64_t>(sub_batches),
                          std::memory_order_acq_rel);
   }

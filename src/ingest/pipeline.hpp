@@ -49,6 +49,8 @@
 #include "core/sample.hpp"
 #include "ingest/metrics.hpp"
 #include "ingest/sharded_store.hpp"
+#include "obs/registry.hpp"
+#include "obs/stage.hpp"
 #include "transport/channel.hpp"
 
 namespace hpcmon::ingest {
@@ -65,6 +67,8 @@ OverloadPolicy policy_from_string(std::string_view name, OverloadPolicy dflt);
 struct PrioritizedBatch {
   core::Priority priority = core::Priority::kStandard;
   core::SampleBatch batch;
+  /// When the producer enqueued it (feeds the queue_wait stage histogram).
+  std::chrono::steady_clock::time_point enqueue_time{};
 };
 
 struct IngestConfig {
@@ -82,6 +86,12 @@ struct IngestConfig {
   /// In SUMMARIZE mode, admit every Nth standard-class sample per series
   /// (downsample-on-ingest); the rest are counted as voluntarily shed.
   std::size_t standard_stride = 4;
+  /// Shared obs registry to catalog the tier's instruments in. Unset => the
+  /// pipeline attaches them to a private registry (see obs()).
+  obs::ObsRegistry* obs = nullptr;
+  /// Stage timer for queue_wait / shard_worker / store_append spans; unset
+  /// disables span recording.
+  obs::StageTimer* stages = nullptr;
 };
 
 class IngestPipeline {
@@ -140,6 +150,9 @@ class IngestPipeline {
   }
 
   const IngestMetrics& metrics() const { return metrics_; }
+  /// The registry this pipeline's instruments are cataloged in — the shared
+  /// one from IngestConfig::obs, or the private fallback.
+  const obs::ObsRegistry& obs() const { return *obs_; }
   ShardedTimeSeriesStore& store() { return store_; }
   const IngestConfig& config() const { return config_; }
   std::size_t queue_depth(std::size_t shard) const {
@@ -154,6 +167,8 @@ class IngestPipeline {
   ShardedTimeSeriesStore& store_;
   IngestConfig config_;
   IngestMetrics metrics_;
+  obs::ObsRegistry own_obs_;       // fallback when config_.obs is unset
+  obs::ObsRegistry* obs_ = nullptr;
   std::vector<std::unique_ptr<transport::Channel<PrioritizedBatch>>> channels_;
   std::vector<std::thread> workers_;
   std::atomic<std::int64_t> in_flight_{0};  // enqueued, not yet appended

@@ -15,6 +15,8 @@
 #include <memory>
 #include <vector>
 
+#include "obs/registry.hpp"
+#include "obs/stage.hpp"
 #include "store/tsdb.hpp"
 
 namespace hpcmon::ingest {
@@ -92,6 +94,16 @@ class ShardedTimeSeriesStore {
   store::StoreStats stats() const;
   /// Merged read-path self-metrics across shards.
   store::QueryStats query_stats() const;
+
+  /// Attach every shard's read-path instruments under the shared store.*
+  /// names; the registry merges them at snapshot time.
+  void attach_to(obs::ObsRegistry& registry) const {
+    for (const auto& shard : shards_) shard->attach_to(registry);
+  }
+  /// Route every shard's query spans into `timer`.
+  void set_stage_timer(obs::StageTimer* timer) {
+    for (auto& shard : shards_) shard->set_stage_timer(timer);
+  }
 
  private:
   /// Run `work(shard, indices-into-ids)` for every shard owning at least one

@@ -1,0 +1,60 @@
+#include "obs/instruments.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpcmon::obs {
+
+std::uint64_t Histogram::bucket_lower(std::size_t idx) {
+  if (idx < kSub) return idx;
+  const auto octave = static_cast<std::uint32_t>((idx - kSub) / kSub);
+  const auto sub = static_cast<std::uint64_t>((idx - kSub) % kSub);
+  const auto msb = octave + kSubBits;
+  return (std::uint64_t{1} << msb) + (sub << (msb - kSubBits));
+}
+
+double Histogram::bucket_mid(std::size_t idx) {
+  const auto lo = bucket_lower(idx);
+  const auto hi = idx + 1 < kBuckets ? bucket_lower(idx + 1) : lo + 1;
+  return (static_cast<double>(lo) + static_cast<double>(hi)) / 2.0;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  std::size_t last = 0;
+  std::vector<std::uint64_t> all(kBuckets, 0);
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    all[i] = buckets_[i].load(std::memory_order_relaxed);
+    if (all[i] != 0) last = i + 1;
+  }
+  all.resize(last);
+  s.buckets = std::move(all);
+  return s;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& o) {
+  if (o.buckets.size() > buckets.size()) buckets.resize(o.buckets.size(), 0);
+  for (std::size_t i = 0; i < o.buckets.size(); ++i) buckets[i] += o.buckets[i];
+  count += o.count;
+  sum += o.sum;
+  max = std::max(max, o.max);
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th element (1-based, nearest-rank definition).
+  const auto rank = static_cast<std::uint64_t>(
+      std::max<double>(1.0, std::ceil(q * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return Histogram::bucket_mid(i);
+  }
+  return Histogram::bucket_mid(buckets.empty() ? 0 : buckets.size() - 1);
+}
+
+}  // namespace hpcmon::obs

@@ -1,0 +1,161 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpcmon::obs {
+
+const InstrumentValue* ObsSnapshot::find(std::string_view name) const {
+  for (const auto& v : values) {
+    if (v.info.name == name) return &v;
+  }
+  return nullptr;
+}
+
+std::uint64_t ObsSnapshot::counter(std::string_view name) const {
+  const auto* v = find(name);
+  return v != nullptr && v->kind == InstrumentKind::kCounter ? v->counter : 0;
+}
+
+double ObsSnapshot::gauge(std::string_view name) const {
+  const auto* v = find(name);
+  return v != nullptr && v->kind == InstrumentKind::kGauge ? v->gauge : 0.0;
+}
+
+const HistogramSnapshot* ObsSnapshot::histogram(std::string_view name) const {
+  const auto* v = find(name);
+  return v != nullptr && v->kind == InstrumentKind::kHistogram ? &v->histogram
+                                                               : nullptr;
+}
+
+void ObsSnapshot::merge(const ObsSnapshot& o) {
+  for (const auto& ov : o.values) {
+    InstrumentValue* mine = nullptr;
+    for (auto& v : values) {
+      if (v.info.name == ov.info.name && v.kind == ov.kind) {
+        mine = &v;
+        break;
+      }
+    }
+    if (mine == nullptr) {
+      values.push_back(ov);
+      continue;
+    }
+    switch (ov.kind) {
+      case InstrumentKind::kCounter:
+        mine->counter += ov.counter;
+        break;
+      case InstrumentKind::kGauge:
+        mine->gauge = mine->info.gauge_agg == GaugeAgg::kSum
+                          ? mine->gauge + ov.gauge
+                          : std::max(mine->gauge, ov.gauge);
+        break;
+      case InstrumentKind::kHistogram:
+        mine->histogram.merge(ov.histogram);
+        break;
+    }
+  }
+}
+
+ObsRegistry::Entry& ObsRegistry::entry_for(const InstrumentInfo& info,
+                                           InstrumentKind kind) {
+  // Caller holds mu_.
+  if (const auto it = by_name_.find(info.name); it != by_name_.end()) {
+    auto& e = entries_[it->second];
+    if (e.kind != kind) {
+      throw std::logic_error("obs instrument '" + info.name +
+                             "' re-registered with a different kind");
+    }
+    return e;  // first metadata wins
+  }
+  by_name_.emplace(info.name, entries_.size());
+  entries_.push_back({info, kind, {}});
+  return entries_.back();
+}
+
+Counter& ObsRegistry::counter(const InstrumentInfo& info) {
+  std::scoped_lock lock(mu_);
+  auto& e = entry_for(info, InstrumentKind::kCounter);
+  if (e.sources.empty()) {
+    owned_counters_.emplace_back();
+    e.sources.push_back(&owned_counters_.back());
+  }
+  return *const_cast<Counter*>(static_cast<const Counter*>(e.sources.front()));
+}
+
+Gauge& ObsRegistry::gauge(const InstrumentInfo& info) {
+  std::scoped_lock lock(mu_);
+  auto& e = entry_for(info, InstrumentKind::kGauge);
+  if (e.sources.empty()) {
+    owned_gauges_.emplace_back();
+    e.sources.push_back(&owned_gauges_.back());
+  }
+  return *const_cast<Gauge*>(static_cast<const Gauge*>(e.sources.front()));
+}
+
+Histogram& ObsRegistry::histogram(const InstrumentInfo& info) {
+  std::scoped_lock lock(mu_);
+  auto& e = entry_for(info, InstrumentKind::kHistogram);
+  if (e.sources.empty()) {
+    owned_histograms_.emplace_back();
+    e.sources.push_back(&owned_histograms_.back());
+  }
+  return *const_cast<Histogram*>(
+      static_cast<const Histogram*>(e.sources.front()));
+}
+
+void ObsRegistry::attach(const InstrumentInfo& info, const Counter* c) {
+  std::scoped_lock lock(mu_);
+  entry_for(info, InstrumentKind::kCounter).sources.push_back(c);
+}
+
+void ObsRegistry::attach(const InstrumentInfo& info, const Gauge* g) {
+  std::scoped_lock lock(mu_);
+  entry_for(info, InstrumentKind::kGauge).sources.push_back(g);
+}
+
+void ObsRegistry::attach(const InstrumentInfo& info, const Histogram* h) {
+  std::scoped_lock lock(mu_);
+  entry_for(info, InstrumentKind::kHistogram).sources.push_back(h);
+}
+
+ObsSnapshot ObsRegistry::snapshot() const {
+  std::scoped_lock lock(mu_);
+  ObsSnapshot snap;
+  snap.values.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    InstrumentValue v;
+    v.info = e.info;
+    v.kind = e.kind;
+    for (std::size_t i = 0; i < e.sources.size(); ++i) {
+      switch (e.kind) {
+        case InstrumentKind::kCounter:
+          v.counter += static_cast<const Counter*>(e.sources[i])->value();
+          break;
+        case InstrumentKind::kGauge: {
+          const double g = static_cast<const Gauge*>(e.sources[i])->value();
+          if (i == 0) {
+            v.gauge = g;
+          } else {
+            v.gauge = e.info.gauge_agg == GaugeAgg::kSum ? v.gauge + g
+                                                         : std::max(v.gauge, g);
+          }
+          break;
+        }
+        case InstrumentKind::kHistogram:
+          v.histogram.merge(
+              static_cast<const Histogram*>(e.sources[i])->snapshot());
+          break;
+      }
+    }
+    snap.values.push_back(std::move(v));
+  }
+  return snap;
+}
+
+std::size_t ObsRegistry::instrument_count() const {
+  std::scoped_lock lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace hpcmon::obs

@@ -1,0 +1,31 @@
+#include "obs/stage.hpp"
+
+namespace hpcmon::obs {
+
+std::string_view to_string(Stage s) {
+  switch (s) {
+    case Stage::kSamplerSweep: return "sampler_sweep";
+    case Stage::kQueueWait: return "queue_wait";
+    case Stage::kShardWorker: return "shard_worker";
+    case Stage::kStoreAppend: return "store_append";
+    case Stage::kQuerySummary: return "query_summary";
+    case Stage::kQueryCursor: return "query_cursor";
+    case Stage::kQueryCache: return "query_cache";
+  }
+  return "?";
+}
+
+void StageTimer::attach_to(ObsRegistry& registry) const {
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    const auto stage = static_cast<Stage>(i);
+    InstrumentInfo info;
+    info.name = "stage." + std::string(to_string(stage)) + "_us";
+    info.unit = "us";
+    info.description =
+        "real-time latency distribution of pipeline stage " +
+        std::string(to_string(stage));
+    registry.attach(info, &hist_[i]);
+  }
+}
+
+}  // namespace hpcmon::obs

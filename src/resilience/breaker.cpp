@@ -21,14 +21,14 @@ bool CircuitBreaker::allow(core::TimePoint now) {
     case BreakerState::kOpen:
       if (now >= retry_at_) {
         state_ = BreakerState::kHalfOpen;
-        ++stats_.half_open_probes;
+        half_open_probes_.add();
         return true;  // this call is the probe
       }
-      ++stats_.denied;
+      denied_.add();
       return false;
     case BreakerState::kHalfOpen:
       // One probe at a time; further calls wait for its verdict.
-      ++stats_.denied;
+      denied_.add();
       return false;
   }
   return true;
@@ -39,7 +39,7 @@ void CircuitBreaker::record_success(core::TimePoint) {
   if (state_ == BreakerState::kHalfOpen) {
     state_ = BreakerState::kClosed;
     reopen_streak_ = 0;
-    ++stats_.closes;
+    closes_.add();
   }
 }
 
@@ -57,7 +57,7 @@ void CircuitBreaker::record_failure(core::TimePoint now) {
 
 void CircuitBreaker::open(core::TimePoint now) {
   state_ = BreakerState::kOpen;
-  ++stats_.opens;
+  opens_.add();
   ++reopen_streak_;
   const double factor =
       std::pow(config_.backoff_factor, reopen_streak_ - 1);
@@ -67,6 +67,30 @@ void CircuitBreaker::open(core::TimePoint now) {
     cooldown *= 1.0 + config_.jitter * rng_.uniform(-1.0, 1.0);
   }
   retry_at_ = now + static_cast<core::Duration>(std::max(cooldown, 1.0));
+}
+
+BreakerStats CircuitBreaker::stats() const {
+  BreakerStats s;
+  s.opens = opens_.value();
+  s.half_open_probes = half_open_probes_.value();
+  s.closes = closes_.value();
+  s.denied = denied_.value();
+  return s;
+}
+
+void CircuitBreaker::attach_to(obs::ObsRegistry& registry) const {
+  registry.attach({"resilience.breaker_opens", "transitions",
+                   "circuit breakers opened (quarantine began)"},
+                  &opens_);
+  registry.attach({"resilience.breaker_probes", "calls",
+                   "half-open probes admitted after a cooldown"},
+                  &half_open_probes_);
+  registry.attach({"resilience.breaker_closes", "transitions",
+                   "breakers closed again after a successful probe"},
+                  &closes_);
+  registry.attach({"resilience.breaker_denied", "calls",
+                   "calls refused while a breaker was open"},
+                  &denied_);
 }
 
 }  // namespace hpcmon::resilience

@@ -21,6 +21,7 @@
 
 #include "core/rng.hpp"
 #include "core/time.hpp"
+#include "obs/registry.hpp"
 
 namespace hpcmon::resilience {
 
@@ -36,6 +37,7 @@ struct BreakerConfig {
   double jitter = 0.1;  // +/- fraction of the cooldown, drawn per open
 };
 
+/// Typed view over a breaker's obs instruments.
 struct BreakerStats {
   std::uint64_t opens = 0;             // closed/half-open -> open transitions
   std::uint64_t half_open_probes = 0;  // probes admitted while half-open
@@ -61,7 +63,10 @@ class CircuitBreaker {
   int consecutive_failures() const { return consecutive_failures_; }
   /// Earliest time a half-open probe will be admitted (meaningful when open).
   core::TimePoint retry_at() const { return retry_at_; }
-  const BreakerStats& stats() const { return stats_; }
+  BreakerStats stats() const;
+  /// Catalog the breaker's counters as resilience.breaker_* in `registry`
+  /// (shared names across breakers; the registry sums at snapshot time).
+  void attach_to(obs::ObsRegistry& registry) const;
 
  private:
   void open(core::TimePoint now);
@@ -72,7 +77,10 @@ class CircuitBreaker {
   int consecutive_failures_ = 0;
   int reopen_streak_ = 0;  // consecutive opens without a close (backoff exp.)
   core::TimePoint retry_at_ = 0;
-  BreakerStats stats_;
+  obs::Counter opens_;
+  obs::Counter half_open_probes_;
+  obs::Counter closes_;
+  obs::Counter denied_;
 };
 
 }  // namespace hpcmon::resilience

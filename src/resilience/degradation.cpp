@@ -1,10 +1,34 @@
 #include "resilience/degradation.hpp"
 
 #include <algorithm>
-
-#include "core/strings.hpp"
+#include <string>
 
 namespace hpcmon::resilience {
+
+HealthSignals HealthSignalAssembler::assemble(const obs::ObsSnapshot& snap) {
+  HealthSignals hs;
+  // Live fill gauges the stack refreshes just before snapshotting.
+  hs.queue_fill = snap.gauge("ingest.queue_fill");
+  hs.dlq_fill = snap.gauge("resilience.dlq_fill");
+  hs.breaker_open_frac = snap.gauge("resilience.breaker_open_frac");
+  hs.cache_fill =
+      std::min(1.0, snap.gauge("store.cache_entries") / 1024.0);
+  // The cumulative failure counter never shrinks, so pressure comes from the
+  // delta since the previous assembly (ten failing appends within one window
+  // = full pressure from the durability tier).
+  const auto failures = snap.counter("resilience.wal_append_failures");
+  const auto delta =
+      failures >= last_wal_failures_ ? failures - last_wal_failures_ : 0;
+  last_wal_failures_ = failures;
+  hs.wal_backlog = std::min(1.0, static_cast<double>(delta) / 10.0);
+  hs.lost_samples = snap.counter("ingest.dropped_samples") +
+                    snap.counter("ingest.rejected_samples");
+  for (std::size_t c = 0; c < core::kPriorityClasses; ++c) {
+    const std::string cls{core::to_string(static_cast<core::Priority>(c))};
+    hs.shed_samples += snap.counter("ingest.shed_" + cls + "_samples");
+  }
+  return hs;
+}
 
 DegradationController::DegradationController(DegradationConfig config)
     : config_(config) {
@@ -52,21 +76,22 @@ double DegradationController::pressure(const HealthSignals& signals) {
 
 core::DegradationMode DegradationController::evaluate(
     core::TimePoint now, const HealthSignals& signals) {
-  ++stats_.evaluations;
+  evaluations_.add();
   const auto level = static_cast<std::size_t>(mode_);
-  ++stats_.ticks_in_mode[level];
+  ticks_in_mode_[level].add();
   const double p = pressure(signals);
-  stats_.last_pressure = p;
+  pressure_gauge_.set(p);
 
   const auto commit = [&](core::DegradationMode next, bool up) {
     mode_ = next;
-    ++stats_.transitions;
+    mode_gauge_.set(static_cast<double>(static_cast<int>(next)));
+    transitions_.add();
     if (up) {
-      ++stats_.escalations;
+      escalations_.add();
     } else {
-      ++stats_.deescalations;
+      deescalations_.add();
     }
-    stats_.last_transition = now;
+    last_transition_ = now;
     above_ticks_ = 0;
     below_ticks_ = 0;
     shed_hold_used_ = 0;  // each level gets a fresh anti-flap hold budget
@@ -97,35 +122,39 @@ core::DegradationMode DegradationController::evaluate(
   return mode_;
 }
 
-std::string DegradationController::to_string() const {
-  return core::strformat(
-      "degrade mode=%s p=%.2f transitions=%llu up=%llu down=%llu",
-      std::string(core::to_string(mode_)).c_str(), stats_.last_pressure,
-      static_cast<unsigned long long>(stats_.transitions),
-      static_cast<unsigned long long>(stats_.escalations),
-      static_cast<unsigned long long>(stats_.deescalations));
+DegradationStats DegradationController::stats() const {
+  DegradationStats s;
+  s.evaluations = evaluations_.value();
+  s.transitions = transitions_.value();
+  s.escalations = escalations_.value();
+  s.deescalations = deescalations_.value();
+  for (std::size_t i = 0; i < core::kDegradationModes; ++i) {
+    s.ticks_in_mode[i] = ticks_in_mode_[i].value();
+  }
+  s.last_transition = last_transition_;
+  s.last_pressure = pressure_gauge_.value();
+  return s;
 }
 
-std::vector<core::Sample> DegradationController::to_samples(
-    core::MetricRegistry& registry, core::ComponentId component,
-    core::TimePoint now) const {
-  std::vector<core::Sample> out;
-  const auto emit = [&](const char* name, const char* units, const char* desc,
-                        bool counter, double value) {
-    const auto metric = registry.register_metric(
-        {name, units, desc, counter, core::Priority::kCritical});
-    out.push_back({registry.series(metric, component), now, value});
-  };
-  emit("resilience.degradation.mode", "level",
-       "degradation mode in force (0=NORMAL..3=QUARANTINE)", false,
-       static_cast<double>(static_cast<int>(mode_)));
-  emit("resilience.degradation.pressure", "frac",
-       "scalar pressure driving the degradation control loop", false,
-       stats_.last_pressure);
-  emit("resilience.degradation.transitions", "transitions",
-       "mode changes committed by the degradation controller", true,
-       static_cast<double>(stats_.transitions));
-  return out;
+void DegradationController::attach_to(obs::ObsRegistry& registry) const {
+  registry.attach({"resilience.degradation.mode", "level",
+                   "degradation mode in force (0=NORMAL..3=QUARANTINE)"},
+                  &mode_gauge_);
+  registry.attach({"resilience.degradation.pressure", "frac",
+                   "scalar pressure driving the degradation control loop"},
+                  &pressure_gauge_);
+  registry.attach({"resilience.degradation.evaluations", "evals",
+                   "health readings folded into the control loop"},
+                  &evaluations_);
+  registry.attach({"resilience.degradation.transitions", "transitions",
+                   "mode changes committed by the degradation controller"},
+                  &transitions_);
+  registry.attach({"resilience.degradation.escalations", "transitions",
+                   "mode changes that tightened shedding"},
+                  &escalations_);
+  registry.attach({"resilience.degradation.deescalations", "transitions",
+                   "mode changes that relaxed shedding"},
+                  &deescalations_);
 }
 
 }  // namespace hpcmon::resilience

@@ -45,13 +45,10 @@
 #include <array>
 #include <cstdint>
 #include <functional>
-#include <string>
-#include <vector>
 
 #include "core/priority.hpp"
-#include "core/registry.hpp"
-#include "core/sample.hpp"
 #include "core/time.hpp"
+#include "obs/registry.hpp"
 
 namespace hpcmon::resilience {
 
@@ -68,6 +65,21 @@ struct HealthSignals {
   std::uint64_t lost_samples = 0;
   /// Cumulative voluntarily shed samples (degradation-mode door sheds).
   std::uint64_t shed_samples = 0;
+};
+
+/// Builds a HealthSignals reading from an ObsSnapshot — the SAME snapshot
+/// the exporter prints and the self-series are cut from, so the control
+/// loop, the chaos assertions, and the operator report read identical
+/// numbers by construction. Stateful only for the WAL-failure delta (the
+/// cumulative counter never shrinks; pressure comes from failures within
+/// one evaluation window — ten failing appends in a window = full pressure
+/// from the durability tier).
+class HealthSignalAssembler {
+ public:
+  HealthSignals assemble(const obs::ObsSnapshot& snap);
+
+ private:
+  std::uint64_t last_wal_failures_ = 0;
 };
 
 struct DegradationConfig {
@@ -92,6 +104,7 @@ struct DegradationConfig {
                                                                       4};
 };
 
+/// Typed view over the controller's obs instruments (see attach_to).
 struct DegradationStats {
   std::uint64_t evaluations = 0;
   std::uint64_t transitions = 0;
@@ -118,7 +131,7 @@ class DegradationController {
                                  const HealthSignals& signals);
 
   core::DegradationMode mode() const { return mode_; }
-  const DegradationStats& stats() const { return stats_; }
+  DegradationStats stats() const;
   const DegradationConfig& config() const { return config_; }
 
   /// Scalar pressure in [0,1] derived from `signals` (max of the fill
@@ -126,21 +139,23 @@ class DegradationController {
   /// Exposed for tests and the ablation bench.
   double pressure(const HealthSignals& signals);
 
-  /// One-line operator summary for MonitoringStack::status().
-  std::string to_string() const;
-
-  /// Re-emit controller state as hpcmon samples (resilience.degradation.*);
-  /// the metrics are registered critical-priority — mode telemetry must
+  /// Catalog the controller's instruments as resilience.degradation.* in
+  /// `registry`. All default critical priority — mode telemetry must
   /// survive the very storms it reports on.
-  std::vector<core::Sample> to_samples(core::MetricRegistry& registry,
-                                       core::ComponentId component,
-                                       core::TimePoint now) const;
+  void attach_to(obs::ObsRegistry& registry) const;
 
  private:
   DegradationConfig config_;
   core::DegradationMode mode_ = core::DegradationMode::kNormal;
   std::function<void(core::DegradationMode)> on_change_;
-  DegradationStats stats_;
+  obs::Counter evaluations_;
+  obs::Counter transitions_;
+  obs::Counter escalations_;
+  obs::Counter deescalations_;
+  std::array<obs::Counter, core::kDegradationModes> ticks_in_mode_;
+  obs::Gauge mode_gauge_;      // 0=NORMAL..3=QUARANTINE, set on commit
+  obs::Gauge pressure_gauge_;  // last evaluation's scalar pressure
+  core::TimePoint last_transition_{};
   std::uint32_t above_ticks_ = 0;  // consecutive evals arming escalation
   std::uint32_t below_ticks_ = 0;  // consecutive evals arming de-escalation
   std::uint64_t last_lost_ = 0;

@@ -3,23 +3,11 @@
 #include <chrono>
 #include <thread>
 
-#include "core/strings.hpp"
 #include "resilience/fault.hpp"
 
 namespace hpcmon::resilience {
 
 using core::Status;
-
-std::string DeliveryStats::to_string() const {
-  return core::strformat(
-      "dlv ok=%llu retry=%llu fail=%llu dlq=%llu evict=%llu redlv=%llu",
-      static_cast<unsigned long long>(delivered),
-      static_cast<unsigned long long>(retries),
-      static_cast<unsigned long long>(failures),
-      static_cast<unsigned long long>(dead_lettered),
-      static_cast<unsigned long long>(evicted),
-      static_cast<unsigned long long>(redelivered));
-}
 
 ReliableDelivery::ReliableDelivery(DeliverFn fn, DeliveryOptions options)
     : fn_(std::move(fn)), options_(options) {
@@ -37,25 +25,26 @@ Status ReliableDelivery::attempt(const transport::Frame& frame) {
 bool ReliableDelivery::deliver(const transport::Frame& frame) {
   for (int n = 0; n < options_.max_attempts; ++n) {
     if (n > 0) {
-      ++stats_.retries;
+      retries_.add();
       if (options_.backoff_ms > 0) {
         std::this_thread::sleep_for(
             std::chrono::milliseconds(options_.backoff_ms << (n - 1)));
       }
     }
     if (attempt(frame).is_ok()) {
-      ++stats_.delivered;
+      delivered_.add();
       return true;
     }
   }
-  ++stats_.failures;
+  failures_.add();
   if (options_.dead_letter_cap > 0) {
     if (dead_letters_.size() >= options_.dead_letter_cap) {
       dead_letters_.pop_front();
-      ++stats_.evicted;
+      evicted_.add();
     }
     dead_letters_.push_back(frame);
-    ++stats_.dead_lettered;
+    dead_lettered_.add();
+    update_dlq_fill();
   }
   return false;
 }
@@ -68,12 +57,51 @@ std::size_t ReliableDelivery::redeliver() {
     dead_letters_.pop_front();
     if (attempt(frame).is_ok()) {
       ++ok;
-      ++stats_.redelivered;
+      redelivered_.add();
     } else {
       dead_letters_.push_back(std::move(frame));  // keep, retry later
     }
   }
+  update_dlq_fill();
   return ok;
+}
+
+DeliveryStats ReliableDelivery::stats() const {
+  DeliveryStats s;
+  s.delivered = delivered_.value();
+  s.retries = retries_.value();
+  s.failures = failures_.value();
+  s.dead_lettered = dead_lettered_.value();
+  s.evicted = evicted_.value();
+  s.redelivered = redelivered_.value();
+  return s;
+}
+
+void ReliableDelivery::attach_to(obs::ObsRegistry& registry) const {
+  registry.attach({"resilience.delivered_frames", "frames",
+                   "frames that eventually got through"},
+                  &delivered_);
+  registry.attach({"resilience.delivery_retries", "attempts",
+                   "extra delivery attempts beyond the first"},
+                  &retries_);
+  registry.attach({"resilience.delivery_failures", "frames",
+                   "frames that exhausted every delivery attempt"},
+                  &failures_);
+  registry.attach({"resilience.dead_letters", "frames",
+                   "frames parked in the dead-letter queue (cumulative)"},
+                  &dead_lettered_);
+  registry.attach({"resilience.dead_letter_evictions", "frames",
+                   "dead letters evicted by the bounded queue"},
+                  &evicted_);
+  registry.attach({"resilience.redelivered", "frames",
+                   "dead letters successfully redelivered"},
+                  &redelivered_);
+  obs::InstrumentInfo fill;
+  fill.name = "resilience.dlq_fill";
+  fill.unit = "frac";
+  fill.description = "dead-letter queue occupancy / capacity";
+  fill.gauge_agg = obs::GaugeAgg::kMax;
+  registry.attach(fill, &dlq_fill_);
 }
 
 ReliableDelivery::DeliverFn faulty_deliver(ReliableDelivery::DeliverFn inner,

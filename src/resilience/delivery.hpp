@@ -23,6 +23,7 @@
 #include <string>
 
 #include "core/result.hpp"
+#include "obs/registry.hpp"
 #include "transport/codec.hpp"
 
 namespace hpcmon::resilience {
@@ -35,6 +36,7 @@ struct DeliveryOptions {
   std::size_t dead_letter_cap = 64;
 };
 
+/// Typed view over the delivery instruments.
 struct DeliveryStats {
   std::uint64_t delivered = 0;     // frames that eventually got through
   std::uint64_t retries = 0;       // extra attempts beyond the first
@@ -42,7 +44,6 @@ struct DeliveryStats {
   std::uint64_t dead_lettered = 0;
   std::uint64_t evicted = 0;       // oldest dead letters pushed out by cap
   std::uint64_t redelivered = 0;   // dead letters later delivered
-  std::string to_string() const;
 };
 
 class ReliableDelivery {
@@ -63,15 +64,32 @@ class ReliableDelivery {
   const std::deque<transport::Frame>& dead_letters() const {
     return dead_letters_;
   }
-  const DeliveryStats& stats() const { return stats_; }
+  DeliveryStats stats() const;
+  const DeliveryOptions& options() const { return options_; }
+  /// Catalog the delivery counters and the live DLQ fill gauge as
+  /// resilience.* in `registry`.
+  void attach_to(obs::ObsRegistry& registry) const;
 
  private:
   core::Status attempt(const transport::Frame& frame);
 
+  void update_dlq_fill() {
+    dlq_fill_.set(options_.dead_letter_cap == 0
+                      ? 0.0
+                      : static_cast<double>(dead_letters_.size()) /
+                            static_cast<double>(options_.dead_letter_cap));
+  }
+
   DeliverFn fn_;
   DeliveryOptions options_;
   std::deque<transport::Frame> dead_letters_;
-  DeliveryStats stats_;
+  obs::Counter delivered_;
+  obs::Counter retries_;
+  obs::Counter failures_;
+  obs::Counter dead_lettered_;
+  obs::Counter evicted_;
+  obs::Counter redelivered_;
+  obs::Gauge dlq_fill_;  // dead letters / cap, refreshed on every change
 };
 
 /// Wrap a delivery function with FaultPlan-injected failures (for driving

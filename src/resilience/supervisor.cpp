@@ -5,8 +5,6 @@
 #include <mutex>
 #include <thread>
 
-#include "core/strings.hpp"
-
 namespace hpcmon::resilience {
 
 SupervisorStats& SupervisorStats::operator+=(const SupervisorStats& o) {
@@ -20,17 +18,6 @@ SupervisorStats& SupervisorStats::operator+=(const SupervisorStats& o) {
   return *this;
 }
 
-std::string SupervisorStats::to_string() const {
-  return core::strformat(
-      "sup calls=%llu ok=%llu err=%llu timeout=%llu skipped=%llu downs=%llu",
-      static_cast<unsigned long long>(calls),
-      static_cast<unsigned long long>(successes),
-      static_cast<unsigned long long>(errors),
-      static_cast<unsigned long long>(timeouts),
-      static_cast<unsigned long long>(skipped),
-      static_cast<unsigned long long>(downsampled));
-}
-
 SupervisedSampler::SupervisedSampler(std::unique_ptr<collect::Sampler> inner,
                                      SupervisorOptions options)
     : inner_(std::move(inner)),
@@ -39,15 +26,15 @@ SupervisedSampler::SupervisedSampler(std::unique_ptr<collect::Sampler> inner,
 
 void SupervisedSampler::sample(core::TimePoint sweep_time,
                                core::SampleBatch& out) {
-  ++stats_.calls;
+  calls_.add();
   const auto stride = stride_.load(std::memory_order_relaxed);
   const auto seq = sweep_seq_++;
   if (stride > 1 && (seq % stride) != 0) {
-    ++stats_.downsampled;
+    downsampled_.add();
     return;  // degraded cadence: skip this sweep, no breaker accounting
   }
   if (!breaker_.allow(sweep_time)) {
-    ++stats_.skipped;
+    skipped_.add();
     return;  // quarantined: the sweep proceeds without this source
   }
   if (options_.deadline_ms <= 0) {
@@ -65,12 +52,12 @@ void SupervisedSampler::run_inline(core::TimePoint sweep_time,
   } catch (const std::exception&) {
     // Partial output from a throwing sampler is untrustworthy; discard it.
     out.samples.resize(before);
-    ++stats_.errors;
+    errors_.add();
     breaker_.record_failure(sweep_time);
     return;
   }
-  ++stats_.successes;
-  stats_.samples_merged += out.samples.size() - before;
+  successes_.add();
+  samples_merged_.add(out.samples.size() - before);
   breaker_.record_success(sweep_time);
 }
 
@@ -112,21 +99,58 @@ void SupervisedSampler::run_with_deadline(core::TimePoint sweep_time,
   }
   if (!done) {
     watchdog.detach();  // abandon the hung call; its output is discarded
-    ++stats_.timeouts;
+    timeouts_.add();
     breaker_.record_failure(sweep_time);
     return;
   }
   watchdog.join();
   if (job->failed) {
-    ++stats_.errors;
+    errors_.add();
     breaker_.record_failure(sweep_time);
     return;
   }
   out.samples.insert(out.samples.end(), job->batch.samples.begin(),
                      job->batch.samples.end());
-  ++stats_.successes;
-  stats_.samples_merged += job->batch.samples.size();
+  successes_.add();
+  samples_merged_.add(job->batch.samples.size());
   breaker_.record_success(sweep_time);
+}
+
+SupervisorStats SupervisedSampler::stats() const {
+  SupervisorStats s;
+  s.calls = calls_.value();
+  s.successes = successes_.value();
+  s.errors = errors_.value();
+  s.timeouts = timeouts_.value();
+  s.skipped = skipped_.value();
+  s.downsampled = downsampled_.value();
+  s.samples_merged = samples_merged_.value();
+  return s;
+}
+
+void SupervisedSampler::attach_to(obs::ObsRegistry& registry) const {
+  registry.attach({"resilience.sampler_calls", "calls",
+                   "sweeps routed at supervised samplers"},
+                  &calls_);
+  registry.attach({"resilience.sampler_successes", "calls",
+                   "supervised sampler calls that completed in time"},
+                  &successes_);
+  registry.attach({"resilience.sampler_errors", "calls",
+                   "supervised sampler calls that threw"},
+                  &errors_);
+  registry.attach({"resilience.sampler_timeouts", "calls",
+                   "supervised sampler calls abandoned at the deadline"},
+                  &timeouts_);
+  registry.attach({"resilience.sampler_skipped", "calls",
+                   "sweeps that skipped a quarantined (breaker-open) sampler"},
+                  &skipped_);
+  registry.attach({"resilience.sampler_downsampled", "calls",
+                   "sweeps skipped by a widened degradation cadence"},
+                  &downsampled_);
+  registry.attach({"resilience.sampler_samples", "samples",
+                   "samples merged into sweeps by supervised samplers"},
+                  &samples_merged_);
+  breaker_.attach_to(registry);
 }
 
 }  // namespace hpcmon::resilience

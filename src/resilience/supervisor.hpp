@@ -30,6 +30,7 @@
 
 #include "collect/sampler.hpp"
 #include "core/priority.hpp"
+#include "obs/registry.hpp"
 #include "resilience/breaker.hpp"
 
 namespace hpcmon::resilience {
@@ -46,6 +47,9 @@ struct SupervisorOptions {
   core::Priority priority = core::Priority::kStandard;
 };
 
+/// Typed view over a supervised sampler's obs instruments; operator+= merges
+/// views across samplers (the registry does the same at snapshot time when
+/// every sampler attaches under the shared resilience.sampler_* names).
 struct SupervisorStats {
   std::uint64_t calls = 0;      // sweeps routed at this sampler
   std::uint64_t successes = 0;  // completed within deadline, no error
@@ -56,7 +60,6 @@ struct SupervisorStats {
   std::uint64_t samples_merged = 0;
 
   SupervisorStats& operator+=(const SupervisorStats& o);
-  std::string to_string() const;
 };
 
 class SupervisedSampler : public collect::Sampler {
@@ -73,8 +76,13 @@ class SupervisedSampler : public collect::Sampler {
 
   BreakerState breaker_state() const { return breaker_.state(); }
   const CircuitBreaker& breaker() const { return breaker_; }
-  const SupervisorStats& stats() const { return stats_; }
+  SupervisorStats stats() const;
   core::Priority priority() const { return options_.priority; }
+
+  /// Catalog this sampler's instruments as resilience.sampler_* in
+  /// `registry` (plus the breaker's resilience.breaker_*). All supervised
+  /// samplers share the names; the registry sums them at snapshot time.
+  void attach_to(obs::ObsRegistry& registry) const;
 
   /// Cadence divisor under degradation: with stride N this sampler runs on
   /// every Nth sweep and the rest are counted as downsampled (no inner call,
@@ -94,7 +102,13 @@ class SupervisedSampler : public collect::Sampler {
   std::shared_ptr<collect::Sampler> inner_;
   SupervisorOptions options_;
   CircuitBreaker breaker_;
-  SupervisorStats stats_;
+  obs::Counter calls_;
+  obs::Counter successes_;
+  obs::Counter errors_;
+  obs::Counter timeouts_;
+  obs::Counter skipped_;
+  obs::Counter downsampled_;
+  obs::Counter samples_merged_;
   std::atomic<std::uint32_t> stride_{1};
   std::uint64_t sweep_seq_ = 0;  // advances once per sample() call
 };

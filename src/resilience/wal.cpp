@@ -112,17 +112,6 @@ std::vector<std::pair<std::uint64_t, std::string>> list_segments(
 }
 }  // namespace
 
-std::string WalStats::to_string() const {
-  return core::strformat(
-      "wal rec=%llu samples=%llu bytes=%llu fail=%llu segs+=%llu segs-=%llu",
-      static_cast<unsigned long long>(appended_records),
-      static_cast<unsigned long long>(appended_samples),
-      static_cast<unsigned long long>(appended_bytes),
-      static_cast<unsigned long long>(append_failures),
-      static_cast<unsigned long long>(segments_created),
-      static_cast<unsigned long long>(segments_truncated));
-}
-
 std::string ReplayStats::to_string() const {
   return core::strformat(
       "replay segs=%llu rec=%llu samples=%llu corrupt=%llu torn=%llu bad=%llu",
@@ -172,7 +161,7 @@ core::Status WriteAheadLog::open_segment(std::uint64_t index) {
   active_index_ = index;
   active_max_time_ = INT64_MIN;
   file_bytes_ = 8;
-  ++stats_.segments_created;
+  segments_created_.add();
   if (!write_u32(file_, kWalMagic) || !write_u32(file_, kWalVersion) ||
       std::fflush(file_) != 0) {
     return Status::error("wal: short header write");
@@ -193,7 +182,7 @@ void WriteAheadLog::seal_active() {
 core::Status WriteAheadLog::append(const SampleBatch& batch) {
   if (batch.empty()) return Status::ok();
   if (dead_ || file_ == nullptr) {
-    ++stats_.append_failures;
+    append_failures_.add();
     return Status::error("wal: log is poisoned");
   }
   if (opts_.faults != nullptr) {
@@ -201,7 +190,7 @@ core::Status WriteAheadLog::append(const SampleBatch& batch) {
       case WalFault::kNone:
         break;
       case WalFault::kError:
-        ++stats_.append_failures;
+        append_failures_.add();
         return Status::error("wal: injected I/O error");
       case WalFault::kShortWrite:
         simulate_torn_tail();
@@ -219,14 +208,14 @@ core::Status WriteAheadLog::append(const SampleBatch& batch) {
     // A real short write leaves an undefined tail; poison the log so the
     // damage is bounded to one record (replay tolerates the tear).
     dead_ = true;
-    ++stats_.append_failures;
+    append_failures_.add();
     return Status::error("wal: short write");
   }
   file_bytes_ += 8 + payload.size();
   active_max_time_ = std::max(active_max_time_, batch_max_time(batch));
-  ++stats_.appended_records;
-  stats_.appended_samples += batch.size();
-  stats_.appended_bytes += 8 + payload.size();
+  appended_records_.add();
+  appended_samples_.add(batch.size());
+  appended_bytes_.add(8 + payload.size());
   if (file_bytes_ >= opts_.segment_bytes) {
     seal_active();
     if (!open_segment(active_index_ + 1).is_ok()) dead_ = true;
@@ -256,7 +245,7 @@ void WriteAheadLog::simulate_torn_tail() {
   std::fwrite(half.data(), 1, half.size(), file_);
   std::fflush(file_);
   dead_ = true;
-  ++stats_.append_failures;
+  append_failures_.add();
 }
 
 std::size_t WriteAheadLog::truncate_before(TimePoint cutoff) {
@@ -267,7 +256,7 @@ std::size_t WriteAheadLog::truncate_before(TimePoint cutoff) {
     fs::remove(it->path, ec);
     it = sealed_.erase(it);
     ++removed;
-    ++stats_.segments_truncated;
+    segments_truncated_.add();
   }
   return removed;
 }
@@ -280,6 +269,39 @@ ReplayStats WriteAheadLog::replay(
     scan_segment(path, apply, stats);
   }
   return stats;
+}
+
+WalStats WriteAheadLog::stats() const {
+  WalStats s;
+  s.appended_records = appended_records_.value();
+  s.appended_samples = appended_samples_.value();
+  s.appended_bytes = appended_bytes_.value();
+  s.append_failures = append_failures_.value();
+  s.segments_created = segments_created_.value();
+  s.segments_truncated = segments_truncated_.value();
+  return s;
+}
+
+void WriteAheadLog::attach_to(obs::ObsRegistry& registry) const {
+  registry.attach({"resilience.wal_records", "records",
+                   "sample batches appended to the write-ahead log"},
+                  &appended_records_);
+  registry.attach({"resilience.wal_samples", "samples",
+                   "samples made durable by the WAL"},
+                  &appended_samples_);
+  registry.attach({"resilience.wal_bytes", "bytes",
+                   "bytes appended to the WAL"},
+                  &appended_bytes_);
+  registry.attach({"resilience.wal_append_failures", "records",
+                   "WAL appends that failed (I/O error or torn write)"},
+                  &append_failures_);
+  registry.attach({"resilience.wal_segments_created", "segments",
+                   "WAL segments opened (initial + rotations)"},
+                  &segments_created_);
+  registry.attach(
+      {"resilience.wal_segments_truncated", "segments",
+       "sealed WAL segments deleted past the durability watermark"},
+      &segments_truncated_);
 }
 
 }  // namespace hpcmon::resilience

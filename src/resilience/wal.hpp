@@ -42,6 +42,7 @@
 
 #include "core/result.hpp"
 #include "core/sample.hpp"
+#include "obs/registry.hpp"
 #include "resilience/fault.hpp"
 
 namespace hpcmon::resilience {
@@ -52,6 +53,7 @@ struct WalOptions {
   FaultPlan* faults = nullptr;           // optional file-layer fault injection
 };
 
+/// Typed view over the WAL's obs instruments (see WriteAheadLog::attach_to).
 struct WalStats {
   std::uint64_t appended_records = 0;
   std::uint64_t appended_samples = 0;
@@ -59,7 +61,6 @@ struct WalStats {
   std::uint64_t append_failures = 0;  // injected/real I/O errors, short writes
   std::uint64_t segments_created = 0;
   std::uint64_t segments_truncated = 0;
-  std::string to_string() const;
 };
 
 struct ReplayStats {
@@ -110,7 +111,9 @@ class WriteAheadLog {
   /// active segment is never deleted. Returns segments removed.
   std::size_t truncate_before(core::TimePoint cutoff);
 
-  const WalStats& stats() const { return stats_; }
+  WalStats stats() const;
+  /// Catalog the WAL's instruments as resilience.wal_* in `registry`.
+  void attach_to(obs::ObsRegistry& registry) const;
   std::size_t sealed_segments() const { return sealed_.size(); }
   std::uint64_t active_segment_index() const { return active_index_; }
   bool poisoned() const { return dead_; }
@@ -139,7 +142,12 @@ class WriteAheadLog {
   std::uint64_t active_index_ = 0;
   core::TimePoint active_max_time_ = INT64_MIN;
   std::vector<Sealed> sealed_;  // ascending index order
-  WalStats stats_;
+  obs::Counter appended_records_;
+  obs::Counter appended_samples_;
+  obs::Counter appended_bytes_;
+  obs::Counter append_failures_;
+  obs::Counter segments_created_;
+  obs::Counter segments_truncated_;
   bool dead_ = false;
 };
 

@@ -162,16 +162,17 @@ ChaosReport run_chaos(
   report.shutdown_clean = shutdown_report.clean();
   report.survived = true;
 
-  const auto snap = stack.ingest_pipeline()->metrics().snapshot();
-  constexpr auto kCrit = static_cast<std::size_t>(core::Priority::kCritical);
-  constexpr auto kStd = static_cast<std::size_t>(core::Priority::kStandard);
-  constexpr auto kBulk = static_cast<std::size_t>(core::Priority::kBulk);
-  report.critical_lost =
-      snap.dropped_by_class[kCrit] + snap.rejected_by_class[kCrit];
-  report.bulk_shed = snap.shed_by_class[kBulk] + snap.dropped_by_class[kBulk] +
-                     snap.rejected_by_class[kBulk];
-  report.standard_shed = snap.shed_by_class[kStd];
-  report.involuntary_lost = snap.lost_samples();
+  // Assertions read the SAME obs snapshot the degradation loop and the
+  // operator report consume — no bespoke accessors, no second set of books.
+  const auto snap = stack.obs_snapshot();
+  report.critical_lost = snap.counter("ingest.dropped_critical_samples") +
+                         snap.counter("ingest.rejected_critical_samples");
+  report.bulk_shed = snap.counter("ingest.shed_bulk_samples") +
+                     snap.counter("ingest.dropped_bulk_samples") +
+                     snap.counter("ingest.rejected_bulk_samples");
+  report.standard_shed = snap.counter("ingest.shed_standard_samples");
+  report.involuntary_lost = snap.counter("ingest.dropped_samples") +
+                            snap.counter("ingest.rejected_samples");
   report.dead_letters = shutdown_report.dead_letters;
   if (const auto* d = stack.degradation()) {
     report.transitions = d->stats().transitions;

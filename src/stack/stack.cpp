@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "core/strings.hpp"
-#include "resilience/metrics.hpp"
 #include "transport/codec.hpp"
 
 namespace hpcmon::stack {
@@ -38,6 +37,14 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
       config.get_int("sample_interval_s", 60) * kSecond;
   const Duration log_interval = config.get_int("log_interval_s", 15) * kSecond;
 
+  // Self-observability plane: every tier catalogs its instruments in obs_,
+  // and the per-stage latency histograms live in stages_. One snapshot of
+  // this registry feeds the degradation control loop, the hpcmon.self.*
+  // re-ingest, status(), and the chaos assertions.
+  stages_.attach_to(obs_);
+  router_.attach_to(obs_);
+  collection_.set_stage_timer(&stages_);
+
   // Optional threaded ingest tier (ingest_shards > 0). The synchronous
   // TieredStore path stays the default so existing benches remain
   // deterministic and reproducible.
@@ -45,6 +52,8 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
     sharded_ = std::make_unique<ingest::ShardedTimeSeriesStore>(
         static_cast<std::size_t>(shards),
         static_cast<std::size_t>(config.get_int("chunk_points", 512)));
+    sharded_->attach_to(obs_);
+    sharded_->set_stage_timer(&stages_);
     ingest::IngestConfig ic;
     ic.queue_capacity =
         static_cast<std::size_t>(config.get_int("ingest_queue_cap", 256));
@@ -53,6 +62,8 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
         ingest::OverloadPolicy::kBlock);
     ic.max_coalesce_batches =
         static_cast<std::size_t>(config.get_int("ingest_coalesce", 16));
+    ic.obs = &obs_;
+    ic.stages = &stages_;
     // Priority-aware shedding: the pipeline resolves (and caches) each
     // series' class from the registry, so bulk drops first and critical is
     // never dropped.
@@ -61,21 +72,14 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
     };
     ingest_ = std::make_unique<ingest::IngestPipeline>(*sharded_, ic);
     if (config.get_bool("ingest_autostart", true)) ingest_->start();
-    // The monitor monitors itself: every sweep, the pipeline's own counters
-    // are re-ingested as "ingest.*" series on a service component.
-    ingest_component_ = cluster_.registry().register_component(
-        {"ingest.pipeline", core::ComponentKind::kService,
-         cluster_.topology().system()});
-    cluster_.events().schedule_every(
-        cluster_.now() + sample_interval, sample_interval,
-        [this](core::TimePoint t) {
-          core::SampleBatch self;
-          self.sweep_time = t;
-          self.origin = ingest_component_;
-          self.samples = ingest_->metrics().to_samples(cluster_.registry(),
-                                                       ingest_component_, t);
-          ingest_->submit(self);
-        });
+    queue_fill_gauge_ = &obs_.gauge(
+        {"ingest.queue_fill", "frac",
+         "max shard queue depth / capacity (refreshed per snapshot)"});
+  } else {
+    // The synchronous hot tier is the active numeric store; its read-path
+    // counters are the store.* instruments.
+    tsdb_.hot().attach_to(obs_);
+    tsdb_.hot().set_stage_timer(&stages_);
   }
 
   // Resilience tier: WAL recovery + durable append, sampler supervision.
@@ -91,16 +95,31 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
             tsdb_.append_batch(batch.samples);
           }
         });
+    // Replay ran exactly once, at construction: export its outcome through
+    // registry-owned counters so it appears in the same snapshot as
+    // everything else.
+    obs_.counter({"resilience.replay_records", "records",
+                  "intact WAL records restored at construction"})
+        .add(replay_stats_.records);
+    obs_.counter({"resilience.replay_samples", "samples",
+                  "samples restored from the WAL at construction"})
+        .add(replay_stats_.samples);
+    obs_.counter({"resilience.replay_corrupt_skipped", "records",
+                  "CRC-mismatched WAL records skipped during replay"})
+        .add(replay_stats_.corrupt_skipped);
+    obs_.counter({"resilience.replay_torn_tails", "records",
+                  "torn trailing WAL records tolerated during replay"})
+        .add(replay_stats_.torn_tails);
     resilience::WalOptions wo;
     wo.dir = wal_path;
     wo.segment_bytes =
         static_cast<std::size_t>(config.get_int("wal_segment_bytes", 1 << 20));
     wo.faults = chaos_;
     wal_ = std::make_unique<resilience::WriteAheadLog>(wo);
+    wal_->attach_to(obs_);
     resilience::DeliveryOptions dopts;
     dopts.dead_letter_cap =
         static_cast<std::size_t>(config.get_int("dead_letter_cap", 64));
-    dead_letter_cap_ = dopts.dead_letter_cap;
     resilience::ReliableDelivery::DeliverFn append_fn =
         [this](const transport::Frame& f) {
           auto batch = transport::decode_samples(f);
@@ -112,11 +131,17 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
     }
     wal_delivery_ = std::make_unique<resilience::ReliableDelivery>(
         std::move(append_fn), dopts);
+    wal_delivery_->attach_to(obs_);
   }
 
   const int sampler_deadline_ms = config.get_int("sampler_deadline_ms", 0);
   const int breaker_threshold = config.get_int("breaker_threshold", 0);
   const bool supervise = sampler_deadline_ms > 0 || breaker_threshold > 0;
+  if (supervise) {
+    breaker_open_gauge_ = &obs_.gauge(
+        {"resilience.breaker_open_frac", "frac",
+         "open breakers / supervised samplers (refreshed per snapshot)"});
+  }
   std::uint64_t supervisor_seed = 0xC0FFEE;
   // Wrap a sampler with watchdog + breaker when supervision is configured;
   // a pass-through otherwise so the default stack stays bit-deterministic.
@@ -142,6 +167,7 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
     so.priority = priority;
     auto wrapper = std::make_unique<resilience::SupervisedSampler>(
         std::move(sampler), so);
+    wrapper->attach_to(obs_);
     supervised_.push_back(wrapper.get());
     return wrapper;
   };
@@ -176,51 +202,21 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
         health_s * kSecond, collect::router_sample_sink(router_));
   }
 
-  // The resilience tier monitors itself like the ingest tier does: counters
-  // re-ingested as resilience.* series every sweep.
-  if (wal_ || supervise) {
-    resilience_component_ = cluster_.registry().register_component(
-        {"resilience.tier", core::ComponentKind::kService,
-         cluster_.topology().system()});
-    cluster_.events().schedule_every(
-        cluster_.now() + sample_interval, sample_interval,
-        [this](core::TimePoint t) {
-          const auto sup = supervisor_stats();
-          core::SampleBatch self;
-          self.sweep_time = t;
-          self.origin = resilience_component_;
-          self.samples = resilience::resilience_samples(
-              cluster_.registry(), resilience_component_, t,
-              wal_ ? &wal_->stats() : nullptr, wal_ ? &replay_stats_ : nullptr,
-              supervised_.empty() ? nullptr : &sup,
-              wal_delivery_ ? &wal_delivery_->stats() : nullptr);
-          if (ingest_) {
-            ingest_->submit(self);
-          } else {
-            tsdb_.append_batch(self.samples);
-          }
-        });
-  }
-
   // Storm mode: the degradation controller closes the loop from the stack's
   // own health telemetry to priority-aware shedding. Evaluations run on the
   // simulated timeline; mode changes reach the ingest door immediately and
-  // widen non-critical sampler cadence. The controller's own state is
-  // re-ingested as resilience.degradation.* (critical priority — mode
-  // telemetry must survive the storm it reports on).
+  // widen non-critical sampler cadence. Health signals are assembled from
+  // the SAME obs snapshot the exporter re-ingests, so the control loop and
+  // the operator report cannot disagree.
   if (config.get_bool("degradation", false)) {
     degradation_ =
         std::make_unique<resilience::DegradationController>(
             resilience::DegradationConfig{});
+    degradation_->attach_to(obs_);
     degradation_->on_change(
         [this](core::DegradationMode mode) { apply_degradation(mode); });
     const Duration eval_interval =
         config.get_int("degradation_interval_s", 60) * kSecond;
-    if (resilience_component_ == core::kNoComponent) {
-      resilience_component_ = cluster_.registry().register_component(
-          {"resilience.tier", core::ComponentKind::kService,
-           cluster_.topology().system()});
-    }
     cluster_.events().schedule_every(
         cluster_.now() + eval_interval, eval_interval,
         [this](core::TimePoint t) {
@@ -233,12 +229,28 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
           if (wal_delivery_ && wal_delivery_->dead_letter_count() > 0) {
             wal_delivery_->redeliver();
           }
-          degradation_->evaluate(t, gather_health());
+          degradation_->evaluate(t,
+                                 health_assembler_.assemble(obs_snapshot()));
+        });
+  }
+
+  // The monitor monitors itself: one unified export task re-ingests the
+  // whole obs snapshot as hpcmon.self.* series every sweep (replacing the
+  // per-tier self-ingest plumbing). Instruments are registered critical by
+  // default — the monitor's vitals must survive the storms they report on.
+  if (ingest_ || wal_ || supervise || degradation_) {
+    self_component_ = cluster_.registry().register_component(
+        {"hpcmon.self", core::ComponentKind::kService,
+         cluster_.topology().system()});
+    cluster_.events().schedule_every(
+        cluster_.now() + sample_interval, sample_interval,
+        [this](core::TimePoint t) {
           core::SampleBatch self;
           self.sweep_time = t;
-          self.origin = resilience_component_;
-          self.samples = degradation_->to_samples(cluster_.registry(),
-                                                  resilience_component_, t);
+          self.origin = self_component_;
+          self.samples = exporter_.to_samples(obs_snapshot(),
+                                              cluster_.registry(),
+                                              self_component_, t);
           if (ingest_) {
             ingest_->submit(self);
           } else {
@@ -385,46 +397,29 @@ void MonitoringStack::apply_degradation(core::DegradationMode mode) {
   }
 }
 
-resilience::HealthSignals MonitoringStack::gather_health() const {
-  resilience::HealthSignals hs;
-  if (ingest_) {
+void MonitoringStack::refresh_live_gauges() const {
+  if (queue_fill_gauge_ != nullptr && ingest_) {
     std::size_t depth = 0;
     for (std::size_t i = 0; i < sharded_->shard_count(); ++i) {
       depth = std::max(depth, ingest_->queue_depth(i));
     }
-    hs.queue_fill = static_cast<double>(depth) /
-                    static_cast<double>(ingest_->config().queue_capacity);
-    const auto snap = ingest_->metrics().snapshot();
-    hs.lost_samples = snap.lost_samples();
-    hs.shed_samples = snap.shed_samples();
+    queue_fill_gauge_->set(
+        static_cast<double>(depth) /
+        static_cast<double>(ingest_->config().queue_capacity));
   }
-  if (wal_delivery_) {
-    hs.dlq_fill = static_cast<double>(wal_delivery_->dead_letter_count()) /
-                  static_cast<double>(dead_letter_cap_ == 0 ? 1
-                                                            : dead_letter_cap_);
-  }
-  if (wal_) {
-    // The cumulative failure counter never shrinks, so pressure comes from
-    // the delta since the previous evaluation (ten failing appends within
-    // one window = full pressure from the durability tier).
-    const auto failures = wal_->stats().append_failures;
-    const auto delta =
-        failures >= last_wal_failures_ ? failures - last_wal_failures_ : 0;
-    last_wal_failures_ = failures;
-    hs.wal_backlog = std::min(1.0, static_cast<double>(delta) / 10.0);
-  }
-  const auto qs = store_query_stats();
-  hs.cache_fill =
-      std::min(1.0, static_cast<double>(qs.cache_entries) / 1024.0);
-  if (!supervised_.empty()) {
+  if (breaker_open_gauge_ != nullptr && !supervised_.empty()) {
     std::size_t open = 0;
     for (const auto* s : supervised_) {
       if (s->breaker_state() == resilience::BreakerState::kOpen) ++open;
     }
-    hs.breaker_open_frac =
-        static_cast<double>(open) / static_cast<double>(supervised_.size());
+    breaker_open_gauge_->set(static_cast<double>(open) /
+                             static_cast<double>(supervised_.size()));
   }
-  return hs;
+}
+
+obs::ObsSnapshot MonitoringStack::obs_snapshot() const {
+  refresh_live_gauges();
+  return obs_.snapshot();
 }
 
 resilience::SupervisorStats MonitoringStack::supervisor_stats() const {
@@ -479,19 +474,15 @@ std::string MonitoringStack::status() const {
       alerts_.active().size(), actions_.log().size());
   if (ingest_) {
     line += core::strformat(
-        " | shards=%zu policy=%s ",
+        " | shards=%zu policy=%s",
         sharded_->shard_count(),
         std::string(ingest::to_string(ingest_->config().policy)).c_str());
-    line += ingest_->metrics().snapshot().to_string();
   }
-  if (wal_) {
-    line += " | " + wal_->stats().to_string();
-    line += core::strformat(
-        " dlq=%zu", wal_delivery_ ? wal_delivery_->dead_letter_count() : 0);
-  }
-  line += " | " + store_query_stats().to_string();
   if (degradation_) {
-    line += " | " + degradation_->to_string();
+    line += core::strformat(
+        " | mode=%s p=%.2f",
+        std::string(core::to_string(degradation_->mode())).c_str(),
+        degradation_->stats().last_pressure);
   }
   if (!supervised_.empty()) {
     std::size_t open = 0;
@@ -500,10 +491,16 @@ std::string MonitoringStack::status() const {
       if (s->breaker_state() == resilience::BreakerState::kOpen) ++open;
       if (s->breaker_state() == resilience::BreakerState::kHalfOpen) ++half;
     }
-    line += core::strformat(" | breakers closed=%zu open=%zu half=%zu ",
+    line += core::strformat(" | breakers closed=%zu open=%zu half=%zu",
                             supervised_.size() - open - half, open, half);
-    line += supervisor_stats().to_string();
   }
+  if (wal_delivery_) {
+    line += core::strformat(" dlq=%zu", wal_delivery_->dead_letter_count());
+  }
+  // Everything else — ingest/store/wal/supervisor/degradation counters and
+  // the per-stage latency histograms — is the exporter's one-line rendering
+  // of the same snapshot the control loop reads.
+  line += " | " + exporter_.report_line(obs_snapshot());
   return line;
 }
 

@@ -75,6 +75,9 @@
 #include "core/config.hpp"
 #include "ingest/pipeline.hpp"
 #include "ingest/sharded_store.hpp"
+#include "obs/exporter.hpp"
+#include "obs/registry.hpp"
+#include "obs/stage.hpp"
 #include "resilience/degradation.hpp"
 #include "resilience/delivery.hpp"
 #include "resilience/fault.hpp"
@@ -206,15 +209,34 @@ class MonitoringStack {
     return ingest_ ? sharded_->query_stats() : tsdb_.hot().query_stats();
   }
 
+  // -- Self-observability ----------------------------------------------------
+  /// The one catalog every tier's instruments live in.
+  const obs::ObsRegistry& obs() const { return obs_; }
+  /// Refresh the live fill gauges (queue fill, breaker fraction) and take a
+  /// merged snapshot of every instrument. This one snapshot feeds the
+  /// degradation control loop, the hpcmon.self.* re-ingest, status(), and
+  /// the chaos assertions — identical numbers, by construction.
+  obs::ObsSnapshot obs_snapshot() const;
+  /// Multi-line operator report over obs_snapshot() (per-tier sections,
+  /// per-stage latency table).
+  std::string obs_report() const { return exporter_.report(obs_snapshot()); }
+
   /// One-line status summary for operator consoles.
   std::string status() const;
 
  private:
   void on_log_frame(const transport::Frame& frame);
   void apply_degradation(core::DegradationMode mode);
-  resilience::HealthSignals gather_health() const;
+  void refresh_live_gauges() const;
 
   sim::Cluster& cluster_;
+  // Declared before every tier: instruments attach into the registry at
+  // construction and the registry must outlive their detachment-free
+  // teardown (nobody snapshots during destruction).
+  obs::ObsRegistry obs_;
+  obs::StageTimer stages_;
+  obs::ObsExporter exporter_;
+  mutable resilience::HealthSignalAssembler health_assembler_;
   transport::EventRouter router_;
   store::TieredStore tsdb_;
   store::LogStore logs_;
@@ -234,18 +256,19 @@ class MonitoringStack {
   // before sharded_, which the workers append into.
   std::unique_ptr<ingest::ShardedTimeSeriesStore> sharded_;
   std::unique_ptr<ingest::IngestPipeline> ingest_;
-  core::ComponentId ingest_component_ = core::kNoComponent;
   // Resilience tier (all optional, see config keys above).
   std::unique_ptr<resilience::WriteAheadLog> wal_;
   std::unique_ptr<resilience::ReliableDelivery> wal_delivery_;
   resilience::ReplayStats replay_stats_;
   std::vector<resilience::SupervisedSampler*> supervised_;  // owned by
                                                             // collection_
-  core::ComponentId resilience_component_ = core::kNoComponent;
   std::unique_ptr<resilience::DegradationController> degradation_;
   resilience::FaultPlan* chaos_ = nullptr;  // not owned; see chaos ctor
-  std::size_t dead_letter_cap_ = 64;
-  mutable std::uint64_t last_wal_failures_ = 0;  // gather_health delta state
+  // Registry-owned fill gauges the stack refreshes before each snapshot
+  // (they summarize state the tiers do not hold as single instruments).
+  obs::Gauge* queue_fill_gauge_ = nullptr;
+  obs::Gauge* breaker_open_gauge_ = nullptr;
+  core::ComponentId self_component_ = core::kNoComponent;
   bool crashed_ = false;
   bool shut_down_ = false;
 };

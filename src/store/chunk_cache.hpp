@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/series_buffer.hpp"  // TimedValue
+#include "obs/registry.hpp"
 
 namespace hpcmon::store {
 
@@ -25,6 +26,7 @@ using DecodedChunk = std::shared_ptr<const std::vector<core::TimedValue>>;
 
 class ChunkCache {
  public:
+  /// Point-in-time view of the cache's obs instruments.
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -48,6 +50,10 @@ class ChunkCache {
 
   Stats stats() const;
 
+  /// Catalog the cache's instruments as store.cache_* in `registry`. Entries
+  /// gauges sum across attachments so sharded stores report total residency.
+  void attach_to(obs::ObsRegistry& registry) const;
+
  private:
   using LruList = std::list<std::pair<std::uint64_t, DecodedChunk>>;
 
@@ -55,7 +61,13 @@ class ChunkCache {
   std::size_t capacity_;
   LruList lru_;  // front = most recently used
   std::unordered_map<std::uint64_t, LruList::iterator> index_;
-  Stats stats_;
+  // Counted straight into obs instruments: the degradation loop, the
+  // hpcmon.self.* export, and query_stats() all read the same atomics.
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter evictions_;
+  obs::Counter invalidations_;
+  obs::Gauge entries_;
 };
 
 }  // namespace hpcmon::store

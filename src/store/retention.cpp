@@ -30,7 +30,7 @@ std::vector<TimedValue> Archive::fetch(SeriesId series,
   if (it == blobs_.end()) return out;
   for (const auto& b : it->second) {
     if (b.min_time >= range.end || b.max_time < range.begin) continue;
-    ++reloads_;
+    reloads_.fetch_add(1, std::memory_order_relaxed);
     for (const auto& p : Chunk::deserialize(b.raw).decompress()) {
       if (range.contains(p.time)) out.push_back(p);
     }

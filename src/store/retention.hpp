@@ -11,6 +11,7 @@
 // therefore merge tiers without double counting.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -26,6 +27,19 @@ namespace hpcmon::store {
 /// media and be located + reloaded later.
 class Archive {
  public:
+  Archive() = default;
+  // reloads_ is atomic (concurrent const fetch() calls mutate it), which
+  // drops the implicit moves load_from_file's by-value return relies on.
+  Archive(Archive&& o) noexcept
+      : blobs_(std::move(o.blobs_)),
+        reloads_(o.reloads_.load(std::memory_order_relaxed)) {}
+  Archive& operator=(Archive&& o) noexcept {
+    blobs_ = std::move(o.blobs_);
+    reloads_.store(o.reloads_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    return *this;
+  }
+
   void store(core::SeriesId series, Chunk&& chunk);
 
   /// Decompress and return archived points of `series` within `range`.
@@ -35,7 +49,9 @@ class Archive {
   std::size_t blob_count() const;
   std::size_t byte_size() const;
   /// Number of chunk reloads performed by fetch() so far.
-  std::size_t reload_count() const { return reloads_; }
+  std::size_t reload_count() const {
+    return reloads_.load(std::memory_order_relaxed);
+  }
 
   core::Status save_to_file(const std::string& path) const;
   static core::Result<Archive> load_from_file(const std::string& path);
@@ -47,7 +63,9 @@ class Archive {
     std::vector<std::uint8_t> raw;
   };
   std::map<std::uint32_t, std::vector<Blob>> blobs_;  // raw series id -> blobs
-  mutable std::size_t reloads_ = 0;
+  // Atomic: fetch() is const and runs concurrently from query threads; a
+  // plain counter here was a data race under tsan.
+  mutable std::atomic<std::size_t> reloads_{0};
 };
 
 struct RetentionPolicy {

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "core/strings.hpp"
 #include "store/cursor.hpp"
 
 namespace hpcmon::store {
@@ -65,21 +64,6 @@ QueryStats& QueryStats::operator+=(const QueryStats& o) {
   return *this;
 }
 
-std::string QueryStats::to_string() const {
-  return core::strformat(
-      "store.queries=%llu store.summary_chunks=%llu store.cursor_chunks=%llu "
-      "store.cache_hits=%llu store.cache_misses=%llu "
-      "store.cache_evictions=%llu store.cache_invalidations=%llu "
-      "store.cache_entries=%zu",
-      static_cast<unsigned long long>(queries),
-      static_cast<unsigned long long>(summary_chunks),
-      static_cast<unsigned long long>(cursor_chunks),
-      static_cast<unsigned long long>(cache_hits),
-      static_cast<unsigned long long>(cache_misses),
-      static_cast<unsigned long long>(cache_evictions),
-      static_cast<unsigned long long>(cache_invalidations), cache_entries);
-}
-
 bool TimeSeriesStore::append(SeriesId id, TimePoint t, double value) {
   const auto i = core::raw(id);
   {
@@ -135,8 +119,12 @@ TimeSeriesStore::ReadView TimeSeriesStore::read_view(
   return view;
 }
 
-DecodedChunk TimeSeriesStore::decoded(const Chunk& chunk) const {
-  if (auto hit = cache_.get(chunk.id())) return hit;
+DecodedChunk TimeSeriesStore::decoded(const Chunk& chunk, bool& hit) const {
+  if (auto cached = cache_.get(chunk.id())) {
+    hit = true;
+    return cached;
+  }
+  hit = false;
   auto pts =
       std::make_shared<const std::vector<TimedValue>>(chunk.decompress());
   cache_.put(chunk.id(), pts);
@@ -145,7 +133,8 @@ DecodedChunk TimeSeriesStore::decoded(const Chunk& chunk) const {
 
 std::vector<TimedValue> TimeSeriesStore::query_range(
     SeriesId id, const TimeRange& range) const {
-  queries_.fetch_add(1, std::memory_order_relaxed);
+  queries_.add();
+  obs::StageTimer::Scoped span(stages_, obs::Stage::kQueryCache);
   std::vector<TimedValue> out;
   if (range.empty()) return out;
   const auto view = read_view(id, range);
@@ -153,7 +142,10 @@ std::vector<TimedValue> TimeSeriesStore::query_range(
   for (const auto& c : view.chunks) {
     // Keep the decoded vector alive for the loop: when the cache is disabled
     // the returned shared_ptr is the only owner.
-    const auto pts = decoded(*c);
+    bool hit = false;
+    const auto pts = decoded(*c, hit);
+    // A single decompress reclassifies the whole read: it dominates latency.
+    if (!hit) span.set_stage(obs::Stage::kQueryCursor);
     for (const auto& p : *pts) {
       if (range.contains(p.time)) out.push_back(p);
     }
@@ -180,18 +172,20 @@ std::optional<TimedValue> TimeSeriesStore::latest(SeriesId id) const {
 std::optional<double> TimeSeriesStore::aggregate(SeriesId id,
                                                  const TimeRange& range,
                                                  Agg agg) const {
-  queries_.fetch_add(1, std::memory_order_relaxed);
+  queries_.add();
+  obs::StageTimer::Scoped span(stages_, obs::Stage::kQuerySummary);
   if (range.empty()) return std::nullopt;
   const auto view = read_view(id, range);
   ChunkSummary acc;
   for (const auto& c : view.chunks) {
     if (c->covered_by(range)) {
       acc.merge(c->summary());
-      summary_chunks_.fetch_add(1, std::memory_order_relaxed);
+      summary_chunks_.add();
       continue;
     }
     // Boundary chunk: stream with early exit instead of materializing.
-    cursor_chunks_.fetch_add(1, std::memory_order_relaxed);
+    cursor_chunks_.add();
+    span.set_stage(obs::Stage::kQueryCursor);
     ChunkCursor cursor(*c);
     TimedValue p;
     while (cursor.next(p)) {
@@ -207,7 +201,8 @@ std::vector<TimedValue> TimeSeriesStore::downsample(SeriesId id,
                                                     const TimeRange& range,
                                                     core::Duration bucket,
                                                     Agg agg) const {
-  queries_.fetch_add(1, std::memory_order_relaxed);
+  queries_.add();
+  obs::StageTimer::Scoped span(stages_, obs::Stage::kQuerySummary);
   std::vector<TimedValue> out;
   if (bucket <= 0 || range.empty()) return out;
   const auto view = read_view(id, range);
@@ -231,10 +226,11 @@ std::vector<TimedValue> TimeSeriesStore::downsample(SeriesId id,
     if (c->covered_by(range) &&
         bucket_start(c->min_time()) == bucket_start(c->max_time())) {
       acc_for(bucket_start(c->min_time())).merge(c->summary());
-      summary_chunks_.fetch_add(1, std::memory_order_relaxed);
+      summary_chunks_.add();
       continue;
     }
-    cursor_chunks_.fetch_add(1, std::memory_order_relaxed);
+    cursor_chunks_.add();
+    span.set_stage(obs::Stage::kQueryCursor);
     ChunkCursor cursor(*c);
     TimedValue p;
     while (cursor.next(p)) {
@@ -254,12 +250,13 @@ std::vector<TimedValue> TimeSeriesStore::downsample(SeriesId id,
 std::size_t TimeSeriesStore::scan(
     SeriesId id, const TimeRange& range,
     const std::function<bool(const TimedValue&)>& visit) const {
-  queries_.fetch_add(1, std::memory_order_relaxed);
+  queries_.add();
+  obs::StageTimer::Scoped span(stages_, obs::Stage::kQueryCursor);
   if (range.empty()) return 0;
   const auto view = read_view(id, range);
   std::size_t visited = 0;
   for (const auto& c : view.chunks) {
-    cursor_chunks_.fetch_add(1, std::memory_order_relaxed);
+    cursor_chunks_.add();
     ChunkCursor cursor(*c);
     TimedValue p;
     while (cursor.next(p)) {
@@ -330,9 +327,9 @@ StoreStats TimeSeriesStore::stats() const {
 
 QueryStats TimeSeriesStore::query_stats() const {
   QueryStats qs;
-  qs.queries = queries_.load(std::memory_order_relaxed);
-  qs.summary_chunks = summary_chunks_.load(std::memory_order_relaxed);
-  qs.cursor_chunks = cursor_chunks_.load(std::memory_order_relaxed);
+  qs.queries = queries_.value();
+  qs.summary_chunks = summary_chunks_.value();
+  qs.cursor_chunks = cursor_chunks_.value();
   const auto cs = cache_.stats();
   qs.cache_hits = cs.hits;
   qs.cache_misses = cs.misses;
@@ -340,6 +337,20 @@ QueryStats TimeSeriesStore::query_stats() const {
   qs.cache_invalidations = cs.invalidations;
   qs.cache_entries = cs.entries;
   return qs;
+}
+
+void TimeSeriesStore::attach_to(obs::ObsRegistry& registry) const {
+  registry.attach({"store.queries", "queries",
+                   "read-path calls (range+aggregate+downsample+scan)"},
+                  &queries_);
+  registry.attach(
+      {"store.summary_chunks", "chunks",
+       "chunks answered from seal-time summaries without decoding"},
+      &summary_chunks_);
+  registry.attach({"store.cursor_chunks", "chunks",
+                   "boundary chunks streamed point-by-point"},
+                  &cursor_chunks_);
+  cache_.attach_to(registry);
 }
 
 }  // namespace hpcmon::store

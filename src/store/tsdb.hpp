@@ -33,6 +33,8 @@
 #include "core/sample.hpp"
 #include "core/series_buffer.hpp"
 #include "core/time.hpp"
+#include "obs/registry.hpp"
+#include "obs/stage.hpp"
 #include "store/chunk.hpp"
 #include "store/chunk_cache.hpp"
 
@@ -46,8 +48,10 @@ struct StoreStats {
   std::size_t head_points = 0;       // not yet sealed
 };
 
-/// Read-path self-metrics (cumulative); surfaced as store.* in
-/// MonitoringStack::status().
+/// Typed view over the read-path obs instruments (cumulative). The
+/// instruments are the source of truth; this struct exists for tests and
+/// benches that want field access instead of name lookups. Rendering goes
+/// through obs::ObsExporter, not a bespoke to_string.
 struct QueryStats {
   std::uint64_t queries = 0;         // query_range+aggregate+downsample+scan
   std::uint64_t summary_chunks = 0;  // chunks answered from summaries alone
@@ -59,7 +63,6 @@ struct QueryStats {
   std::size_t cache_entries = 0;
 
   QueryStats& operator+=(const QueryStats& o);
-  std::string to_string() const;
 };
 
 class TimeSeriesStore {
@@ -120,6 +123,15 @@ class TimeSeriesStore {
   StoreStats stats() const;
   QueryStats query_stats() const;
 
+  /// Catalog the read-path instruments (store.* counters, cache gauges) in
+  /// `registry`. Attaching several stores (shards) under the same names
+  /// merges them at snapshot time.
+  void attach_to(obs::ObsRegistry& registry) const;
+
+  /// Route query-path spans (query_summary/query_cursor/query_cache) into
+  /// `timer`; nullptr (the default) disables span recording.
+  void set_stage_timer(obs::StageTimer* timer) { stages_ = timer; }
+
  private:
   struct Series {
     std::vector<std::shared_ptr<const Chunk>> sealed;
@@ -145,8 +157,9 @@ class TimeSeriesStore {
   /// Snapshot the chunks/head of `series` overlapping `range` (shared map
   /// lock + stripe lock, both released on return).
   ReadView read_view(core::SeriesId series, const core::TimeRange& range) const;
-  /// Decode a sealed chunk through the LRU cache.
-  DecodedChunk decoded(const Chunk& chunk) const;
+  /// Decode a sealed chunk through the LRU cache; `hit` reports whether the
+  /// cache served it (feeds the query_cache stage classification).
+  DecodedChunk decoded(const Chunk& chunk, bool& hit) const;
 
   // Lock order: map_mu_ before stripe; never take a stripe while holding
   // another stripe or the cache mutex.
@@ -155,9 +168,10 @@ class TimeSeriesStore {
   std::size_t chunk_points_;
   std::vector<Series> series_;  // indexed by raw(SeriesId)
   mutable ChunkCache cache_;
-  mutable std::atomic<std::uint64_t> queries_{0};
-  mutable std::atomic<std::uint64_t> summary_chunks_{0};
-  mutable std::atomic<std::uint64_t> cursor_chunks_{0};
+  mutable obs::Counter queries_;
+  mutable obs::Counter summary_chunks_;
+  mutable obs::Counter cursor_chunks_;
+  obs::StageTimer* stages_ = nullptr;
 };
 
 /// Apply an aggregate to a point vector; nullopt when empty.

@@ -20,7 +20,7 @@ std::size_t BufferedSubscription::drain(
   return delivered;
 }
 
-void BufferedSubscription::offer(const Frame& frame, RouterStats& rs) {
+void BufferedSubscription::offer(const Frame& frame, EventRouter& router) {
   if (queue_.size() >= max_pending_) {
     // Evict the oldest frame of the lowest-priority class present. Priority
     // values order kCritical(0) < kStandard < kBulk, so "worst" = max value.
@@ -32,17 +32,16 @@ void BufferedSubscription::offer(const Frame& frame, RouterStats& rs) {
       // Everything pending outranks (or ties better than) the newcomer:
       // shed the incoming frame instead.
       ++dropped_;
-      ++rs.fanout_dropped;
+      router.fanout_dropped_.add();
       return;
     }
     // max_element returns the FIRST (oldest) of the worst class.
     queue_.erase(worst);
     ++dropped_;
-    ++rs.fanout_dropped;
+    router.fanout_dropped_.add();
   }
   queue_.push_back(frame);
-  rs.fanout_pending_hwm = std::max<std::uint64_t>(
-      rs.fanout_pending_hwm, static_cast<std::uint64_t>(queue_.size()));
+  router.fanout_pending_hwm_.update_max(static_cast<double>(queue_.size()));
 }
 
 void EventRouter::subscribe(FrameType type, Handler handler) {
@@ -66,17 +65,17 @@ void EventRouter::forward_to(EventRouter& downstream) {
 }
 
 void EventRouter::publish(const Frame& frame) {
-  ++stats_.frames;
-  stats_.bytes += frame.byte_size();
+  frames_.add();
+  bytes_.add(frame.byte_size());
   const auto t = static_cast<std::size_t>(frame.type);
-  if (t < stats_.frames_by_type.size()) ++stats_.frames_by_type[t];
+  if (t < frames_by_type_.size()) frames_by_type_[t].add();
 
   bool delivered = false;
   const auto guarded = [this](const Handler& handler, const Frame& f) {
     try {
       handler(f);
     } catch (const std::exception&) {
-      ++stats_.subscriber_failures;
+      subscriber_failures_.add();
     }
   };
   for (const auto& tap : raw_taps_) {
@@ -91,7 +90,7 @@ void EventRouter::publish(const Frame& frame) {
   }
   for (const auto& sub : buffered_) {
     if (sub->type_ == frame.type) {
-      sub->offer(frame, stats_);
+      sub->offer(frame, *this);
       delivered = true;
     }
   }
@@ -99,7 +98,48 @@ void EventRouter::publish(const Frame& frame) {
     fwd->publish(frame);
     delivered = true;
   }
-  if (!delivered) ++stats_.dropped;
+  if (!delivered) dropped_.add();
+}
+
+RouterStats EventRouter::stats() const {
+  RouterStats s;
+  s.frames = frames_.value();
+  s.bytes = bytes_.value();
+  for (std::size_t i = 0; i < frames_by_type_.size(); ++i) {
+    s.frames_by_type[i] = frames_by_type_[i].value();
+  }
+  s.dropped = dropped_.value();
+  s.subscriber_failures = subscriber_failures_.value();
+  s.fanout_dropped = fanout_dropped_.value();
+  s.fanout_pending_hwm =
+      static_cast<std::uint64_t>(fanout_pending_hwm_.value());
+  return s;
+}
+
+void EventRouter::attach_to(obs::ObsRegistry& registry) const {
+  registry.attach({"transport.frames", "frames", "frames published"},
+                  &frames_);
+  registry.attach({"transport.bytes", "bytes", "frame payload bytes routed"},
+                  &bytes_);
+  registry.attach({"transport.sample_frames", "frames",
+                   "sample-batch frames published"},
+                  &frames_by_type_[static_cast<std::size_t>(
+                      FrameType::kSamples)]);
+  registry.attach(
+      {"transport.log_frames", "frames", "log-event frames published"},
+      &frames_by_type_[static_cast<std::size_t>(FrameType::kLogs)]);
+  registry.attach({"transport.unrouted_frames", "frames",
+                   "frames with no subscriber and no forward"},
+                  &dropped_);
+  registry.attach({"transport.subscriber_failures", "frames",
+                   "handler invocations that threw (contained)"},
+                  &subscriber_failures_);
+  registry.attach({"transport.fanout_dropped", "frames",
+                   "frames shed by full buffered subscriptions"},
+                  &fanout_dropped_);
+  registry.attach({"transport.fanout_pending_hwm", "frames",
+                   "max pending frames across buffered subscriptions"},
+                  &fanout_pending_hwm_);
 }
 
 }  // namespace hpcmon::transport

@@ -16,10 +16,12 @@
 #include <memory>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "transport/codec.hpp"
 
 namespace hpcmon::transport {
 
+/// Typed view over the router's obs instruments (see EventRouter::attach_to).
 struct RouterStats {
   std::uint64_t frames = 0;
   std::uint64_t bytes = 0;
@@ -56,8 +58,9 @@ class BufferedSubscription {
   friend class EventRouter;
   BufferedSubscription(FrameType type, std::size_t max_pending)
       : type_(type), max_pending_(max_pending == 0 ? 1 : max_pending) {}
-  /// Admit `frame`, shedding per the policy above; reports drops into `rs`.
-  void offer(const Frame& frame, RouterStats& rs);
+  /// Admit `frame`, shedding per the policy above; reports drops into the
+  /// owning router's instruments.
+  void offer(const Frame& frame, EventRouter& router);
 
   FrameType type_;
   std::size_t max_pending_;
@@ -90,14 +93,25 @@ class EventRouter {
   /// path for the rest.
   void publish(const Frame& frame);
 
-  const RouterStats& stats() const { return stats_; }
+  RouterStats stats() const;
+
+  /// Catalog the router's instruments as transport.* in `registry`.
+  void attach_to(obs::ObsRegistry& registry) const;
 
  private:
+  friend class BufferedSubscription;
+
   std::vector<std::pair<FrameType, Handler>> subscribers_;
   std::vector<Handler> raw_taps_;
   std::vector<std::shared_ptr<BufferedSubscription>> buffered_;
   std::vector<EventRouter*> forwards_;
-  RouterStats stats_;
+  obs::Counter frames_;
+  obs::Counter bytes_;
+  std::array<obs::Counter, 4> frames_by_type_;  // indexed by FrameType
+  obs::Counter dropped_;
+  obs::Counter subscriber_failures_;
+  obs::Counter fanout_dropped_;
+  obs::Gauge fanout_pending_hwm_;
 };
 
 }  // namespace hpcmon::transport

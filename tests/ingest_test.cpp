@@ -11,6 +11,7 @@
 #include "core/rng.hpp"
 #include "ingest/pipeline.hpp"
 #include "ingest/sharded_store.hpp"
+#include "obs/exporter.hpp"
 #include "sim/cluster.hpp"
 #include "stack/stack.hpp"
 
@@ -290,10 +291,8 @@ TEST(IngestPipelineTest, ConcurrentProducersMatchSynchronousIngest) {
   EXPECT_EQ(m.accepted_samples, kSeries * static_cast<std::size_t>(kPoints));
   EXPECT_EQ(m.out_of_order_samples, 0u);
   EXPECT_GT(m.appends, 0u);
-  // Histogram sums to the number of appends.
-  std::uint64_t hist_total = 0;
-  for (const auto c : m.batch_size_hist) hist_total += c;
-  EXPECT_EQ(hist_total, m.appends);
+  // Every append recorded exactly one batch-size histogram entry.
+  EXPECT_EQ(m.batch_samples.count, m.appends);
 }
 
 TEST(IngestMetricsTest, SelfMetricsBecomeSeries) {
@@ -306,20 +305,22 @@ TEST(IngestMetricsTest, SelfMetricsBecomeSeries) {
   core::MetricRegistry reg;
   const auto comp = reg.register_component(
       {"ingest.pipeline", core::ComponentKind::kService, core::kNoComponent});
-  const auto samples =
-      pipe.metrics().to_samples(reg, comp, 42 * core::kSecond);
+  // The pipeline cataloged its instruments in its obs registry; the exporter
+  // renders one snapshot as hpcmon.self.* samples.
+  const auto samples = obs::ObsExporter().to_samples(
+      pipe.obs().snapshot(), reg, comp, 42 * core::kSecond);
   ASSERT_GE(samples.size(), 8u);
   // The monitor monitors itself: re-ingest its own counters.
   pipe.submit({42 * core::kSecond, comp, samples});
   pipe.drain();
-  const auto acc = reg.find_metric("ingest.accepted_samples");
+  const auto acc = reg.find_metric("hpcmon.self.ingest.accepted_samples");
   ASSERT_TRUE(acc.has_value());
   const auto sid = reg.series(*acc, comp);
   const auto pts = store.query_range(sid, kAll);
   ASSERT_EQ(pts.size(), 1u);
   EXPECT_DOUBLE_EQ(pts[0].value, 5.0);  // counter value at snapshot time
   // Data dictionary carries units/descriptions for every ingest metric.
-  EXPECT_NE(reg.describe_all().find("ingest.accepted_samples"),
+  EXPECT_NE(reg.describe_all().find("hpcmon.self.ingest.accepted_samples"),
             std::string::npos);
 }
 
@@ -348,11 +349,11 @@ TEST(StackIngestTest, ConfigEnablesShardedIngestTier) {
   // Samples landed in the sharded store, not the synchronous hot tier.
   EXPECT_GT(stack.sharded_store()->stats().points, 0u);
   EXPECT_EQ(stack.tsdb().hot().stats().points, 0u);
-  // The pipeline's own counters were re-ingested as ingest.* series.
+  // The stack's own counters were re-ingested as hpcmon.self.* series.
   const auto metric =
-      cluster.registry().find_metric("ingest.accepted_samples");
+      cluster.registry().find_metric("hpcmon.self.ingest.accepted_samples");
   ASSERT_TRUE(metric.has_value());
-  const auto comp = cluster.registry().find_component("ingest.pipeline");
+  const auto comp = cluster.registry().find_component("hpcmon.self");
   ASSERT_TRUE(comp.has_value());
   const auto sid = cluster.registry().series(*metric, *comp);
   EXPECT_FALSE(

@@ -1,0 +1,224 @@
+// hpcmon::obs instrument layer: randomized quantile accuracy of the
+// log-bucketed histogram, associativity of snapshot merges (the property
+// that lets per-shard instruments combine in any order), and multi-writer
+// correctness of the lock-free instruments under concurrent hammering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "obs/exporter.hpp"
+#include "obs/instruments.hpp"
+#include "obs/registry.hpp"
+
+namespace hpcmon::obs {
+namespace {
+
+/// Nearest-rank exact quantile, matching HistogramSnapshot::quantile's
+/// definition (rank = ceil(q * count), 1-based).
+double exact_quantile(std::vector<std::uint64_t> v, double q) {
+  std::sort(v.begin(), v.end());
+  const auto rank = static_cast<std::size_t>(std::max<double>(
+      1.0, std::ceil(q * static_cast<double>(v.size()))));
+  return static_cast<double>(v[rank - 1]);
+}
+
+class HistogramQuantileTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(HistogramQuantileTest, RandomizedQuantilesWithinResolutionBound) {
+  std::mt19937_64 rng(GetParam());
+  // Log-uniform over [1, 1e6]: exercises many octaves of the log-linear
+  // bucketing, like real stage latencies spanning ns-scale cache hits to
+  // ms-scale archive reloads.
+  std::uniform_real_distribution<double> log_u(0.0, std::log(1e6));
+  Histogram h;
+  std::vector<std::uint64_t> values;
+  values.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = static_cast<std::uint64_t>(std::exp(log_u(rng)));
+    values.push_back(v);
+    h.record(v);
+  }
+  const auto snap = h.snapshot();
+  ASSERT_EQ(snap.count, values.size());
+  for (const double q : {0.5, 0.9, 0.95, 0.99}) {
+    const double exact = exact_quantile(values, q);
+    const double est = snap.quantile(q);
+    // Sub-bucket resolution bounds relative error at 2^-(kSubBits+1)
+    // ≈ 3.1%; 5% leaves headroom for bucket-midpoint reporting.
+    EXPECT_NEAR(est, exact, 0.05 * exact)
+        << "q=" << q << " exact=" << exact << " est=" << est;
+  }
+  // max is tracked exactly, not bucketed.
+  EXPECT_EQ(snap.max, *std::max_element(values.begin(), values.end()));
+}
+
+TEST_P(HistogramQuantileTest, SmallValuesLandInExactUnitBuckets) {
+  // Values below 2^kSubBits get exact unit buckets: the quantile identifies
+  // the precise value (reported as the bucket midpoint, value + 0.5), with
+  // no log-bucketing error for small integer distributions like batch sizes
+  // and retry counts.
+  std::mt19937_64 rng(GetParam() * 7919);
+  std::uniform_int_distribution<std::uint64_t> u(0, Histogram::kSub - 1);
+  Histogram h;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 5000; ++i) {
+    values.push_back(u(rng));
+    h.record(values.back());
+  }
+  const auto snap = h.snapshot();
+  for (const double q : {0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_DOUBLE_EQ(snap.quantile(q), exact_quantile(values, q) + 0.5) << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramQuantileTest,
+                         ::testing::Values(1u, 7u, 42u, 1337u));
+
+TEST(HistogramSnapshotTest, MergeIsAssociativeAndCommutative) {
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<std::uint64_t> u(0, 1u << 20);
+  Histogram ha, hb, hc;
+  for (int i = 0; i < 3000; ++i) ha.record(u(rng));
+  for (int i = 0; i < 1000; ++i) hb.record(u(rng));
+  for (int i = 0; i < 1; ++i) hc.record(u(rng));  // tiny arm: short buckets
+  const auto a = ha.snapshot(), b = hb.snapshot(), c = hc.snapshot();
+
+  auto merged = [](HistogramSnapshot x, const HistogramSnapshot& y) {
+    x.merge(y);
+    return x;
+  };
+  const auto left = merged(merged(a, b), c);    // (a+b)+c
+  const auto right = merged(a, merged(b, c));   // a+(b+c)
+  const auto swapped = merged(merged(c, b), a); // c+b+a
+  EXPECT_EQ(left.buckets, right.buckets);
+  EXPECT_EQ(left.buckets, swapped.buckets);
+  EXPECT_EQ(left.count, 4001u);
+  EXPECT_EQ(left.sum, a.sum + b.sum + c.sum);
+  EXPECT_EQ(left.max, std::max({a.max, b.max, c.max}));
+  EXPECT_DOUBLE_EQ(left.quantile(0.95), right.quantile(0.95));
+  // Merging an empty snapshot is the identity.
+  EXPECT_EQ(merged(a, HistogramSnapshot{}).buckets, a.buckets);
+}
+
+TEST(ObsSnapshotTest, RegistryMergeIsAssociativeByName) {
+  // Three sibling registries share some names and own some exclusively,
+  // like per-shard stores attached next to a singleton WAL.
+  ObsRegistry ra, rb, rc;
+  ra.counter({"x.events", "events", "shared counter"}).add(10);
+  rb.counter({"x.events", "events", "shared counter"}).add(5);
+  rc.counter({"x.events", "events", "shared counter"}).add(1);
+  ra.gauge({"x.depth", "items", "max-agg gauge"}).set(3.0);
+  rc.gauge({"x.depth", "items", "max-agg gauge"}).set(9.0);
+  rb.gauge({"x.load", "frac", "sum-agg gauge", core::Priority::kCritical,
+            GaugeAgg::kSum})
+      .set(0.25);
+  rc.gauge({"x.load", "frac", "sum-agg gauge", core::Priority::kCritical,
+            GaugeAgg::kSum})
+      .set(0.5);
+  rb.counter({"x.only_b", "events", "exclusive to b"}).add(7);
+
+  auto merged = [](ObsSnapshot x, const ObsSnapshot& y) {
+    x.merge(y);
+    return x;
+  };
+  const auto a = ra.snapshot(), b = rb.snapshot(), c = rc.snapshot();
+  const auto left = merged(merged(a, b), c);
+  const auto right = merged(a, merged(b, c));
+  for (const auto* s : {&left, &right}) {
+    EXPECT_EQ(s->counter("x.events"), 16u);
+    EXPECT_DOUBLE_EQ(s->gauge("x.depth"), 9.0);   // kMax
+    EXPECT_DOUBLE_EQ(s->gauge("x.load"), 0.75);   // kSum
+    EXPECT_EQ(s->counter("x.only_b"), 7u);
+    EXPECT_EQ(s->counter("x.absent"), 0u);
+    EXPECT_EQ(s->histogram("x.absent"), nullptr);
+  }
+}
+
+TEST(ObsRegistryTest, SameNameAttachmentsMergeAtSnapshotTime) {
+  ObsRegistry reg;
+  // Registry-owned: re-registering a name yields the same atomic.
+  auto& c1 = reg.counter({"t.hits", "hits", "dedup"});
+  auto& c2 = reg.counter({"t.hits", "hits", "dedup"});
+  EXPECT_EQ(&c1, &c2);
+  c1.add(3);
+  // Tier-owned: two shards attach their own counters under one name.
+  Counter shard0, shard1;
+  shard0.add(100);
+  shard1.add(200);
+  reg.attach({"t.appends", "appends", "per-shard"}, &shard0);
+  reg.attach({"t.appends", "appends", "per-shard"}, &shard1);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("t.hits"), 3u);
+  EXPECT_EQ(snap.counter("t.appends"), 300u);
+  EXPECT_EQ(reg.instrument_count(), 2u);
+}
+
+TEST(ObsInstrumentsTest, MultiWriterHammerCountsExactly) {
+  // The instruments' whole contract: concurrent relaxed updates lose
+  // nothing. 8 writers hammer one counter, one max-gauge, and one
+  // histogram; totals must be exact (run under tsan via the threaded
+  // label).
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kOps = 50000;
+  Counter counter;
+  Gauge hwm;
+  Histogram hist;
+  ObsRegistry reg;
+  reg.attach({"hammer.ops", "ops", "shared"}, &counter);
+  reg.attach({"hammer.hwm", "ops", "shared"}, &hwm);
+  reg.attach({"hammer.lat", "us", "shared"}, &hist);
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kOps; ++i) {
+        counter.add(1);
+        hwm.update_max(static_cast<double>(t * kOps + i));
+        hist.record(i & 1023u);
+      }
+    });
+  }
+  // A concurrent reader: snapshots taken mid-hammer must be internally
+  // sane (count never exceeds the final total, no torn values).
+  std::thread reader([&] {
+    for (int i = 0; i < 200; ++i) {
+      const auto snap = reg.snapshot();
+      EXPECT_LE(snap.counter("hammer.ops"), kThreads * kOps);
+      const auto* h = snap.histogram("hammer.lat");
+      ASSERT_NE(h, nullptr);
+      EXPECT_LE(h->max, 1023u);
+    }
+  });
+  for (auto& w : writers) w.join();
+  reader.join();
+
+  EXPECT_EQ(counter.value(), kThreads * kOps);
+  EXPECT_DOUBLE_EQ(hwm.value(), static_cast<double>(kThreads * kOps - 1));
+  const auto snap = hist.snapshot();
+  EXPECT_EQ(snap.count, kThreads * kOps);
+  // Each thread records 0..1023 repeating: the sum is exactly derivable.
+  std::uint64_t per_thread = 0;
+  for (std::uint64_t i = 0; i < kOps; ++i) per_thread += i & 1023u;
+  EXPECT_EQ(snap.sum, kThreads * per_thread);
+}
+
+TEST(ObsExporterTest, ReportLineUsesBareInstrumentNames) {
+  ObsRegistry reg;
+  reg.counter({"tier.things", "things", "count of things"}).add(12);
+  reg.gauge({"tier.fill", "frac", "fill fraction"}).set(0.5);
+  const ObsExporter exp;
+  const auto line = exp.report_line(reg.snapshot());
+  EXPECT_NE(line.find("tier.things=12"), std::string::npos);
+  EXPECT_NE(line.find("tier.fill=0.5"), std::string::npos);
+  // The hpcmon.self. prefix belongs to the re-ingested series only.
+  EXPECT_EQ(line.find("hpcmon.self."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpcmon::obs

@@ -12,6 +12,8 @@
 #include "core/rng.hpp"
 #include "ingest/pipeline.hpp"
 #include "ingest/sharded_store.hpp"
+#include "obs/exporter.hpp"
+#include "obs/registry.hpp"
 #include "resilience/degradation.hpp"
 
 namespace hpcmon::resilience {
@@ -182,21 +184,32 @@ TEST(DegradationControllerTest, SeededWalksNeverSkipLevels) {
 
 TEST(DegradationControllerTest, OperatorSurfaces) {
   DegradationController c;
+  obs::ObsRegistry registry;
+  c.attach_to(registry);
   c.evaluate(1, fill(0.8));
   c.evaluate(2, fill(0.8));
-  const auto line = c.to_string();
-  EXPECT_NE(line.find("SHED_BULK"), std::string::npos);
+  ASSERT_EQ(c.mode(), DegradationMode::kShedBulk);
 
+  // The controller's instruments surface through the shared registry.
+  const auto snap = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snap.gauge("resilience.degradation.mode"), 1.0);
+  EXPECT_DOUBLE_EQ(snap.gauge("resilience.degradation.pressure"), 0.8);
+  EXPECT_EQ(snap.counter("resilience.degradation.evaluations"), 2u);
+  EXPECT_EQ(snap.counter("resilience.degradation.transitions"), 1u);
+
+  // And the exporter re-ingests them as critical-class series: mode
+  // telemetry must survive the storms it reports on.
   core::MetricRegistry reg;
   const auto comp = reg.register_component(
       {"resilience", core::ComponentKind::kService, core::kNoComponent});
-  const auto samples = c.to_samples(reg, comp, 3 * core::kMinute);
+  const auto samples =
+      obs::ObsExporter().to_samples(snap, reg, comp, 3 * core::kMinute);
   ASSERT_GE(samples.size(), 3u);
-  // Mode telemetry must itself be critical class: it has to survive the
-  // storms it reports on.
   for (const auto& s : samples) {
     EXPECT_EQ(reg.series_priority(s.series), Priority::kCritical);
   }
+  const auto mode = reg.find_metric("hpcmon.self.resilience.degradation.mode");
+  ASSERT_TRUE(mode.has_value());
 }
 
 // ---------------------------------------------------------------------------

@@ -173,8 +173,9 @@ TEST(StackRecoveryTest, SupervisedStackCollectsNormally) {
     EXPECT_EQ(s->breaker_state(), resilience::BreakerState::kClosed);
   }
   EXPECT_NE(stack.status().find("breakers closed="), std::string::npos);
-  // The tier's own counters are re-ingested as resilience.* series.
-  EXPECT_TRUE(cluster.registry().find_metric("resilience.sampler_successes"));
+  // The tier's own counters are re-ingested as hpcmon.self.* series.
+  EXPECT_TRUE(cluster.registry().find_metric(
+      "hpcmon.self.resilience.sampler_successes"));
 }
 
 TEST(StackRecoveryTest, StatusSurfacesWalAndDeadLetters) {
@@ -184,9 +185,10 @@ TEST(StackRecoveryTest, StatusSurfacesWalAndDeadLetters) {
       cluster, parse("sample_interval_s = 30\nwal_path = " + wal_dir + "\n"));
   cluster.run_for(5 * core::kMinute);
   const auto line = stack.status();
-  EXPECT_NE(line.find("wal rec="), std::string::npos);
+  EXPECT_NE(line.find("resilience.wal_records="), std::string::npos);
   EXPECT_NE(line.find("dlq=0"), std::string::npos);
-  EXPECT_TRUE(cluster.registry().find_metric("resilience.wal_records"));
+  EXPECT_TRUE(
+      cluster.registry().find_metric("hpcmon.self.resilience.wal_records"));
   fs::remove_all(wal_dir);
 }
 

@@ -1,0 +1,86 @@
+// Regression test for the Archive::reloads_ data race: fetch() is const and
+// runs concurrently from query threads, but it bumps the reload counter. As
+// a plain `mutable std::size_t` that increment was a tsan-visible data race
+// (and could lose counts); it is now a relaxed atomic. This test hammers
+// concurrent fetches and asserts the count is exact — run under
+// ThreadSanitizer via the `threaded` label.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "store/retention.hpp"
+
+namespace hpcmon::store {
+namespace {
+
+constexpr int kSeries = 4;
+constexpr int kBlobsPerSeries = 3;
+constexpr int kPointsPerBlob = 64;
+
+Archive make_archive() {
+  Archive archive;
+  for (int s = 0; s < kSeries; ++s) {
+    for (int b = 0; b < kBlobsPerSeries; ++b) {
+      std::vector<core::TimedValue> pts;
+      for (int i = 0; i < kPointsPerBlob; ++i) {
+        pts.push_back({(b * kPointsPerBlob + i) * core::kSecond,
+                       static_cast<double>(s * 1000 + i)});
+      }
+      archive.store(core::SeriesId{static_cast<std::uint32_t>(s)},
+                    Chunk::compress(pts));
+    }
+  }
+  return archive;
+}
+
+TEST(ArchiveRaceTest, ConcurrentFetchCountsEveryReloadExactly) {
+  const Archive archive = make_archive();
+  ASSERT_EQ(archive.blob_count(),
+            static_cast<std::size_t>(kSeries * kBlobsPerSeries));
+  ASSERT_EQ(archive.reload_count(), 0u);
+
+  constexpr int kThreads = 8;
+  constexpr int kFetchesPerThread = 100;
+  const core::TimeRange all{0, core::kDay};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      for (int i = 0; i < kFetchesPerThread; ++i) {
+        const auto series =
+            core::SeriesId{static_cast<std::uint32_t>((t + i) % kSeries)};
+        const auto pts = archive.fetch(series, all);
+        // Full-range fetch reloads every blob of the series and returns
+        // every point — concurrent reads never see partial state.
+        EXPECT_EQ(pts.size(),
+                  static_cast<std::size_t>(kBlobsPerSeries * kPointsPerBlob));
+      }
+    });
+  }
+  for (auto& r : readers) r.join();
+
+  // Every fetch reloaded exactly kBlobsPerSeries blobs; a racy (non-atomic)
+  // counter drops increments under contention and this equality fails.
+  EXPECT_EQ(archive.reload_count(),
+            static_cast<std::size_t>(kThreads * kFetchesPerThread *
+                                     kBlobsPerSeries));
+}
+
+TEST(ArchiveRaceTest, MoveCarriesReloadCount) {
+  Archive a = make_archive();
+  (void)a.fetch(core::SeriesId{0}, {0, core::kDay});
+  const auto reloads = a.reload_count();
+  ASSERT_GT(reloads, 0u);
+  // The atomic member deleted the implicit moves load_from_file relies on;
+  // the explicit ones must preserve the counter.
+  Archive b = std::move(a);
+  EXPECT_EQ(b.reload_count(), reloads);
+  Archive c;
+  c = std::move(b);
+  EXPECT_EQ(c.reload_count(), reloads);
+}
+
+}  // namespace
+}  // namespace hpcmon::store
