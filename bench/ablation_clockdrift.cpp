@@ -77,6 +77,7 @@ void experiment_association() {
     }
   }
   std::printf("\n");
+  json_metric("assoc.exact_recall_nodrift", exact_recall_nodrift);
   shape_check(exact_recall_nodrift > 0.99,
               "without drift, exact matching associates everything");
   shape_check(exact_degrades,
@@ -135,6 +136,8 @@ void experiment_sampling() {
   const double local_aligned = alignment(local_store);
   std::printf("  synchronized sweep alignment:    %.3f\n", sync_aligned);
   std::printf("  locally-stamped alignment:       %.3f\n\n", local_aligned);
+  json_metric("sampling.sync_aligned_frac", sync_aligned);
+  json_metric("sampling.local_aligned_frac", local_aligned);
   shape_check(sync_aligned > 0.999,
               "synchronized sweeps give one global timestamp per sweep");
   shape_check(local_aligned < 0.2,
@@ -144,7 +147,8 @@ void experiment_sampling() {
 }  // namespace
 }  // namespace hpcmon::bench
 
-int main() {
+int main(int argc, char** argv) {
+  hpcmon::bench::json_init(argc, argv);
   using namespace hpcmon::bench;
   header("Ablation: clock drift vs cross-component association",
          "Ahlgren et al. 2018, Sec. III-A");

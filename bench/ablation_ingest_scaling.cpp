@@ -118,7 +118,8 @@ Modeled model(const std::vector<double>& busy, double producer_work,
 }  // namespace
 }  // namespace hpcmon::bench
 
-int main() {
+int main(int argc, char** argv) {
+  hpcmon::bench::json_init(argc, argv);
   using namespace hpcmon;
   using namespace hpcmon::bench;
 
@@ -187,6 +188,9 @@ int main() {
       single_mutex_p8, four_shard_p8, four_shard_p8 / single_mutex_p8,
       eight_shard_p8, eight_shard_p8 / single_mutex_p8);
 
+  json_metric("ingest.single_mutex_p8_msps", single_mutex_p8);
+  json_metric("ingest.four_shard_p8_msps", four_shard_p8);
+  json_metric("ingest.eight_shard_p8_msps", eight_shard_p8);
   shape_check(four_shard_p8 >= 3.0 * single_mutex_p8,
               core::strformat(
                   "4-shard store @ 8 producers sustains >= 3x the "

@@ -33,7 +33,8 @@ sim::ClusterParams machine() {
 }  // namespace
 }  // namespace hpcmon::bench
 
-int main() {
+int main(int argc, char** argv) {
+  hpcmon::bench::json_init(argc, argv);
   using namespace hpcmon;
   using namespace hpcmon::bench;
 
@@ -111,6 +112,9 @@ int main() {
                              static_cast<double>(novelty.known_templates());
   std::printf("template compression: %.0fx (%zu events -> %zu templates)\n",
               compression, total_events, novelty.known_templates());
+  json_metric("novelty.compression_x", compression);
+  json_metric("novelty.known_templates",
+              static_cast<double>(novelty.known_templates()));
   shape_check(compression > 20.0,
               "template abstraction compresses the stream by >20x");
   return finish();

@@ -116,7 +116,8 @@ void print_stage_row(const char* name, const obs::HistogramSnapshot& h) {
 }  // namespace
 }  // namespace hpcmon::bench
 
-int main() {
+int main(int argc, char** argv) {
+  hpcmon::bench::json_init(argc, argv);
   using namespace hpcmon::bench;
   namespace obs = hpcmon::obs;
   header("Ablation: self-observability overhead on the append path",
@@ -177,6 +178,7 @@ int main() {
   print_stage_row("query_cursor", *snap.histogram("stage.query_cursor_us"));
   std::printf("\n");
 
+  json_metric("obs.append_overhead_frac", overhead);
   shape_check(overhead < 0.05,
               "obs instruments cost < 5% over the compiled-out noop path");
   shape_check(append_hist.count == static_cast<std::uint64_t>(kSweeps),

@@ -71,7 +71,8 @@ std::optional<double> old_aggregate(const store::TimeSeriesStore& s,
 }  // namespace
 }  // namespace hpcmon::bench
 
-int main() {
+int main(int argc, char** argv) {
+  hpcmon::bench::json_init(argc, argv);
   using namespace hpcmon;
   using namespace hpcmon::bench;
 
@@ -128,6 +129,7 @@ int main() {
       static_cast<unsigned long long>(qs.summary_chunks),
       static_cast<unsigned long long>(qs.cursor_chunks),
       static_cast<unsigned long long>(qs.cache_hits));
+  json_metric("query.agg_speedup_x", agg_speedup);
   shape_check(agg_speedup >= 5.0,
               core::strformat("summary-answered range aggregate is >= 5x "
                               "faster than full decode (%.1fx)",
@@ -160,6 +162,7 @@ int main() {
                 "%zu\n",
                 kQueryReps, t_cold * 1e3, t_warm * 1e3, t_cold / t_warm,
                 static_cast<unsigned long long>(hits), n);
+    json_metric("query.decode_cache_speedup_x", t_cold / t_warm);
     shape_check(t_warm < t_cold,
                 "decode cache makes the repeated dashboard window cheaper "
                 "than decoding every time");
@@ -188,6 +191,7 @@ int main() {
                 "(%zu pts), scan+early-exit %6.2f ms (%.0fx, visited %zu)\n",
                 kQueryReps, t_mat * 1e3, n, t_scan * 1e3, t_mat / t_scan,
                 visited);
+    json_metric("query.scan_vs_materialize_x", t_mat / t_scan);
     shape_check(t_scan * 10.0 < t_mat,
                 "scan() with early exit beats materializing the range by "
                 ">= 10x when the visitor stops early");
@@ -246,6 +250,9 @@ int main() {
       std::printf("  %-10.1f", kqps);
     }
     std::printf("\n");
+    json_metric("query.new_engine_r1_kqps", new_r1);
+    json_metric("query.new_engine_r4_kqps", new_r4);
+    json_metric("query.old_engine_r4_kqps", old_r4);
     shape_check(new_r4 >= 2.0 * new_r1,
                 core::strformat("new engine's modeled 4-reader throughput "
                                 "scales >= 2x over 1 reader (%.1fx)",

@@ -1,0 +1,256 @@
+// Ablation: serving-tier fan-out — the network front door under a fleet of
+// concurrent consumers.
+//
+// The paper's recommendation is that monitoring data be continuously
+// available to every consumer (dashboards, per-job reports, site tooling),
+// not trapped in the collector. That only holds if the serving tier keeps
+// its latency tail flat while >= 100 clients hammer it AND a live
+// subscription fan-out rides the same reactor. This bench measures both:
+//   1. request latency: 100+ concurrent clients issuing point queries,
+//      aggregates, and pings against one server; reports p50/p99/max and
+//      aggregate request throughput;
+//   2. subscription fan-out: 100+ subscribers each matched to every series
+//      while the "ingest thread" publishes sweep batches; reports delivered
+//      delta samples/second and verifies every subscriber converged to the
+//      final value of every series (the snapshot-then-deltas contract).
+//
+// `--json out.json` writes the flat metric map (bench_common.hpp) so CI can
+// archive the serving-tier perf trajectory per PR.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/registry.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "store/tsdb.hpp"
+
+namespace hpcmon::bench {
+namespace {
+
+constexpr int kClients = 112;  // >= 100 concurrent connections
+constexpr int kRequestsPerClient = 40;
+constexpr int kSeries = 16;
+constexpr int kPointsPerSeries = 2000;
+constexpr int kFanoutBatches = 60;
+
+using Clock = std::chrono::steady_clock;
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+}  // namespace
+}  // namespace hpcmon::bench
+
+int main(int argc, char** argv) {
+  using namespace hpcmon;
+  using namespace hpcmon::bench;
+  json_init(argc, argv);
+  header("Ablation: serving-tier fan-out (hpcmon::serve)",
+         "continuous availability of monitoring data to consumers "
+         "(Sec. IV recommendations)");
+
+  core::MetricRegistry registry;
+  const auto node = registry.register_component(
+      {"n0", core::ComponentKind::kNode, core::kNoComponent});
+  const auto metric = registry.register_metric(
+      {"node.power_w", "W", "", false, core::Priority::kCritical});
+  std::vector<core::SeriesId> series;
+  store::TimeSeriesStore store;
+  for (int i = 0; i < kSeries; ++i) {
+    const auto comp = registry.register_component(
+        {"n" + std::to_string(i + 1), core::ComponentKind::kNode, node});
+    const auto s = registry.series(metric, comp);
+    series.push_back(s);
+    for (int t = 0; t < kPointsPerSeries; ++t) {
+      store.append(s, t * 100, 100.0 + (t % 50));
+    }
+  }
+
+  serve::ServeConfig sc;
+  sc.writer_threads = 4;
+  serve::ServeHooks hooks;
+  serve::bind_query_hooks(hooks, store);
+  hooks.registry = &registry;
+  serve::ServeServer server(sc, std::move(hooks));
+  if (!server.start()) {
+    std::printf("server failed to start: %s\n", server.error().c_str());
+    return 1;
+  }
+  std::printf("server on 127.0.0.1:%u, %d clients\n\n", server.port(),
+              kClients);
+
+  // -- Phase 1: concurrent request latency ----------------------------------
+  std::printf("phase 1: %d clients x %d requests (query_range + aggregate + "
+              "ping)\n",
+              kClients, kRequestsPerClient);
+  std::vector<double> latencies_us;
+  std::mutex lat_mu;
+  std::atomic<int> request_failures{0};
+  const auto t0 = Clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        serve::ServeClient client;
+        if (!client.connect(server.port())) {
+          request_failures.fetch_add(kRequestsPerClient);
+          return;
+        }
+        const auto s = series[static_cast<std::size_t>(c) % series.size()];
+        std::vector<double> local;
+        local.reserve(kRequestsPerClient);
+        for (int r = 0; r < kRequestsPerClient; ++r) {
+          const auto rt0 = Clock::now();
+          bool ok = false;
+          switch (r % 3) {
+            case 0:
+              ok = client.query_range(s, {0, 20000}).is_ok();
+              break;
+            case 1:
+              ok = client.aggregate(s, {0, 200000}, store::Agg::kMax).is_ok();
+              break;
+            default:
+              ok = client.ping();
+              break;
+          }
+          if (!ok) request_failures.fetch_add(1);
+          local.push_back(
+              std::chrono::duration<double, std::micro>(Clock::now() - rt0)
+                  .count());
+        }
+        const std::lock_guard<std::mutex> lock(lat_mu);
+        latencies_us.insert(latencies_us.end(), local.begin(), local.end());
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  const double query_wall = std::chrono::duration<double>(Clock::now() - t0).count();
+  const double total_requests = static_cast<double>(kClients) * kRequestsPerClient;
+  const double rps = total_requests / query_wall;
+  const double p50 = percentile(latencies_us, 0.50);
+  const double p99 = percentile(latencies_us, 0.99);
+  const double pmax = latencies_us.empty() ? 0.0 : latencies_us.back();
+  std::printf("  wall %.2fs  throughput %.0f req/s\n", query_wall, rps);
+  std::printf("  latency us: p50 %.0f  p99 %.0f  max %.0f\n\n", p50, p99, pmax);
+  json_metric("serve.clients", kClients);
+  json_metric("serve.request_throughput_rps", rps);
+  json_metric("serve.request_p50_us", p50);
+  json_metric("serve.request_p99_us", p99);
+  json_metric("serve.request_max_us", pmax);
+
+  shape_check(request_failures.load() == 0,
+              core::strformat("all %.0f requests from %d concurrent clients "
+                              "answered correctly",
+                              total_requests, kClients));
+  shape_check(p99 < 250000.0,
+              core::strformat("p99 request latency stays under 250ms under "
+                              "%d-way concurrency (%.0fus)",
+                              kClients, p99));
+
+  // -- Phase 2: subscription fan-out ----------------------------------------
+  std::printf("phase 2: %d subscribers x %d series, %d published batches\n",
+              kClients, kSeries, kFanoutBatches);
+  std::vector<std::unique_ptr<serve::ServeClient>> subs;
+  std::atomic<int> sub_failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    auto client = std::make_unique<serve::ServeClient>();
+    if (!client->connect(server.port()) ||
+        !client->subscribe("node.#").is_ok() ||
+        !client->poll_push(2000).has_value()) {  // the snapshot
+      sub_failures.fetch_add(1);
+    }
+    subs.push_back(std::move(client));
+  }
+  shape_check(sub_failures.load() == 0,
+              "every subscriber connected and received its snapshot");
+
+  std::atomic<std::uint64_t> delivered{0};
+  std::atomic<int> unconverged{0};
+  const auto f0 = Clock::now();
+  std::thread publisher([&] {
+    for (int b = 1; b <= kFanoutBatches; ++b) {
+      core::SampleBatch batch;
+      batch.sweep_time = 1000000 + b * 100;
+      for (const auto s : series) {
+        batch.samples.push_back({s, 1000000 + b * 100,
+                                 static_cast<double>(b)});
+      }
+      server.publish_batch(batch);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  {
+    std::vector<std::thread> drains;
+    drains.reserve(subs.size());
+    for (auto& sub : subs) {
+      drains.emplace_back([&, client = sub.get()] {
+        std::map<core::SeriesId, double> last;
+        const auto deadline = Clock::now() + std::chrono::seconds(20);
+        while (Clock::now() < deadline) {
+          auto push = client->poll_push(200);
+          if (!push.has_value()) {
+            bool done = last.size() == series.size();
+            for (const auto& [sid, v] : last) {
+              done = done && v == static_cast<double>(kFanoutBatches);
+            }
+            if (done) break;
+            continue;
+          }
+          delivered.fetch_add(push->batch.samples.size());
+          for (const auto& smp : push->batch.samples) {
+            last[smp.series] = smp.value;
+          }
+        }
+        for (const auto s : series) {
+          const auto it = last.find(s);
+          if (it == last.end() ||
+              it->second != static_cast<double>(kFanoutBatches)) {
+            unconverged.fetch_add(1);
+            break;
+          }
+        }
+      });
+    }
+    for (auto& th : drains) th.join();
+  }
+  publisher.join();
+  const double fan_wall = std::chrono::duration<double>(Clock::now() - f0).count();
+  const double fan_sps = static_cast<double>(delivered.load()) / fan_wall;
+  std::printf("  delivered %llu delta samples in %.2fs (%.0f samples/s "
+              "across %d subscribers)\n\n",
+              static_cast<unsigned long long>(delivered.load()), fan_wall,
+              fan_sps, kClients);
+  json_metric("serve.fanout_subscribers", kClients);
+  json_metric("serve.fanout_delivered_samples",
+              static_cast<double>(delivered.load()));
+  json_metric("serve.fanout_wall_s", fan_wall);
+  json_metric("serve.fanout_samples_per_s", fan_sps);
+
+  shape_check(unconverged.load() == 0,
+              core::strformat("all %d subscribers converged to the final "
+                              "value of every series (zero critical loss)",
+                              kClients));
+  shape_check(fan_sps > 0.0, "fan-out delivered a nonzero delta stream");
+
+  const auto stats = server.stats();
+  json_metric("serve.bad_frames", static_cast<double>(stats.bad_frames));
+  json_metric("serve.request_errors",
+              static_cast<double>(stats.request_errors));
+  shape_check(stats.bad_frames == 0 && stats.request_errors == 0,
+              "no protocol violations or request errors across the run");
+
+  server.stop();
+  return finish();
+}

@@ -11,6 +11,8 @@
 
 #include <cstdio>
 #include <map>
+#include <string>
+#include <vector>
 
 #include "core/rng.hpp"
 #include "store/tsdb.hpp"
@@ -187,7 +189,23 @@ int summary() {
 }  // namespace hpcmon::bench
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  // `--json out.json` is the repo-wide bench flag; translate it to google
+  // benchmark's own JSON reporter so every ablation_* binary speaks it.
+  std::vector<std::string> rewritten(argv, argv + argc);
+  for (std::size_t i = 1; i < rewritten.size(); ++i) {
+    if (rewritten[i] == "--json" && i + 1 < rewritten.size()) {
+      rewritten[i] = "--benchmark_out=" + rewritten[i + 1];
+      rewritten[i + 1] = "--benchmark_out_format=json";
+    } else if (rewritten[i].rfind("--json=", 0) == 0) {
+      rewritten[i] = "--benchmark_out=" + rewritten[i].substr(7);
+      rewritten.insert(rewritten.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                       "--benchmark_out_format=json");
+    }
+  }
+  std::vector<char*> args;
+  for (auto& a : rewritten) args.push_back(a.data());
+  int args_n = static_cast<int>(args.size());
+  benchmark::Initialize(&args_n, args.data());
   benchmark::RunSpecifiedBenchmarks();
   return hpcmon::bench::summary();
 }

@@ -182,7 +182,8 @@ void print_row(const char* label, const RunResult& r) {
 }  // namespace
 }  // namespace hpcmon::bench
 
-int main() {
+int main(int argc, char** argv) {
+  hpcmon::bench::json_init(argc, argv);
   using namespace hpcmon::bench;
   using hpcmon::core::Priority;
   header("Ablation: storm mode — priority-aware degradation vs class-blind "
@@ -242,6 +243,10 @@ int main() {
       static_cast<double>(storm.snap.shed_by_class[kStd]) /
       static_cast<double>(storm.snap.submitted_by_class[kStd] +
                           storm.snap.shed_by_class[kStd] + 1);
+  json_metric("storm.crit_lost_baseline",
+              static_cast<double>(crit_lost(baseline)));
+  json_metric("storm.bulk_shed_frac", storm_bulk_shed_frac);
+  json_metric("storm.std_shed_frac", storm_std_shed_frac);
   shape_check(storm_bulk_shed_frac >= storm_std_shed_frac,
               "degradation sheds bulk at least as hard as standard");
   shape_check(storm.snap.shed_by_class[kCrit] == 0,

@@ -35,7 +35,8 @@ sim::ClusterParams machine() {
 }  // namespace
 }  // namespace hpcmon::bench
 
-int main() {
+int main(int argc, char** argv) {
+  hpcmon::bench::json_init(argc, argv);
   using namespace hpcmon;
   using namespace hpcmon::bench;
 
@@ -106,6 +107,8 @@ int main() {
   }
   std::printf("\n");
 
+  json_metric("trend.slope_per_hour", aging_fit.slope_per_hour);
+  json_metric("trend.fit_r2", aging_fit.r2);
   shape_check(flagged >= 1 && healthy_flagged == 0,
               "exactly the aging link is flagged by the trend analysis");
   shape_check(aging_fit.slope_per_hour > 0.02 &&

@@ -78,7 +78,8 @@ double run_with_wal(const std::vector<SampleBatch>& sweeps,
 }  // namespace
 }  // namespace hpcmon::bench
 
-int main() {
+int main(int argc, char** argv) {
+  hpcmon::bench::json_init(argc, argv);
   using namespace hpcmon::bench;
   header("Ablation: WAL overhead on the append path",
          "Sec. IV / Table I Data Storage — dependable ('always on') stores");
@@ -125,6 +126,8 @@ int main() {
   // Generous bound: fwrite+fflush per 256-sample batch amortizes well; a
   // durable append path should stay within an order of magnitude of the
   // bare in-memory append, and typically far closer.
+  json_metric("wal.append_overhead_x", overhead);
+  json_metric("wal.churn_vs_walled_x", churned / walled);
   shape_check(overhead < 10.0,
               "WAL durability costs < 10x the bare hot-tier append");
   shape_check(churned < walled * 8.0,

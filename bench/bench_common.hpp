@@ -9,8 +9,11 @@
 // simulator); the checks encode who wins / direction / rough factor.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "collect/collection.hpp"
@@ -80,10 +83,34 @@ struct MonitoredCluster {
 };
 
 inline int g_failures = 0;
+inline int g_checks = 0;
+inline std::string g_json_path;
+inline std::vector<std::pair<std::string, double>> g_json_metrics;
+
+/// Parse `--json <path>` / `--json=<path>`. Call first thing in main(); every
+/// bench then writes a flat metric map to <path> from finish() so CI can
+/// archive the perf trajectory as BENCH_*.json artifacts.
+inline void json_init(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      g_json_path = argv[i + 1];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      g_json_path = argv[i] + 7;
+    }
+  }
+}
+
+/// Record one numeric result for the --json metric map. Keys are flat
+/// dotted identifiers ("ingest.throughput_4_shards"); last write wins is NOT
+/// applied — duplicates are emitted in order, so pick unique keys.
+inline void json_metric(const std::string& key, double value) {
+  g_json_metrics.emplace_back(key, value);
+}
 
 /// Print a PASS/FAIL shape-check line; tracks failures for the exit code.
 inline void shape_check(bool ok, const std::string& claim) {
   std::printf("SHAPE CHECK [%s] %s\n", ok ? "PASS" : "FAIL", claim.c_str());
+  ++g_checks;
   if (!ok) ++g_failures;
 }
 
@@ -95,6 +122,26 @@ inline void header(const std::string& title, const std::string& paper_ref) {
 }
 
 inline int finish() {
+  if (!g_json_path.empty()) {
+    std::FILE* f = std::fopen(g_json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("cannot open %s for writing\n", g_json_path.c_str());
+      ++g_failures;
+    } else {
+      std::fprintf(f, "{\n");
+      for (const auto& [key, value] : g_json_metrics) {
+        if (std::isfinite(value)) {
+          std::fprintf(f, "  \"%s\": %.17g,\n", key.c_str(), value);
+        } else {
+          std::fprintf(f, "  \"%s\": null,\n", key.c_str());
+        }
+      }
+      std::fprintf(f, "  \"shape_checks_total\": %d,\n", g_checks);
+      std::fprintf(f, "  \"shape_checks_failed\": %d\n}\n", g_failures);
+      std::fclose(f);
+      std::printf("wrote %s\n", g_json_path.c_str());
+    }
+  }
   if (g_failures > 0) {
     std::printf("\n%d shape check(s) FAILED\n", g_failures);
     return 1;

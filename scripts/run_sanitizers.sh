@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Drive the sanitizer presets end to end: configure, build, and test each
-# requested preset. The tsan preset runs only `threaded`-labeled tests (the
-# chaos storm battery carries both `chaos` and `threaded`, so every seeded
-# storm scenario runs under ThreadSanitizer); asan and ubsan run the full
-# suite.
+# requested preset. The tsan preset runs the `threaded`- and `serve`-labeled
+# tests (the chaos storm battery carries both `chaos` and `threaded`, so
+# every seeded storm scenario runs under ThreadSanitizer, and the serving
+# tier's reactor/writer-pool/slow-client tests ride along); asan and ubsan
+# run the full suite.
 #
 # Usage:
 #   scripts/run_sanitizers.sh              # tsan, asan, ubsan in sequence

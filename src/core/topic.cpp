@@ -1,0 +1,33 @@
+#include "core/topic.hpp"
+
+#include <cstddef>
+#include <vector>
+
+#include "core/strings.hpp"
+
+namespace hpcmon::core {
+
+namespace {
+// Recursive segment matcher; pattern/topic segment lists are short (a topic
+// has a handful of dot-separated parts), so backtracking over '#' is cheap.
+bool segments_match(const std::vector<std::string_view>& pat, std::size_t pi,
+                    const std::vector<std::string_view>& top, std::size_t ti) {
+  if (pi == pat.size()) return ti == top.size();
+  if (pat[pi] == "#") {
+    // '#' consumes zero or more whole segments.
+    for (std::size_t k = ti; k <= top.size(); ++k) {
+      if (segments_match(pat, pi + 1, top, k)) return true;
+    }
+    return false;
+  }
+  if (ti == top.size()) return false;
+  if (!glob_match(pat[pi], top[ti])) return false;
+  return segments_match(pat, pi + 1, top, ti + 1);
+}
+}  // namespace
+
+bool topic_match(std::string_view pattern, std::string_view topic) {
+  return segments_match(split(pattern, '.'), 0, split(topic, '.'), 0);
+}
+
+}  // namespace hpcmon::core

@@ -1,0 +1,271 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "transport/codec.hpp"
+
+namespace hpcmon::serve {
+
+bool ServeClient::connect(std::uint16_t port, int rcvbuf_bytes) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    error_ = std::strerror(errno);
+    return false;
+  }
+  if (rcvbuf_bytes > 0) {
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                 sizeof(rcvbuf_bytes));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    error_ = std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+void ServeClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  assembler_ = WireAssembler();
+  pushes_.clear();
+}
+
+bool ServeClient::send_all(const std::vector<std::uint8_t>& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    error_ = std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+std::optional<WireFrame> ServeClient::read_frame(int timeout_ms) {
+  while (true) {
+    if (auto frame = assembler_.next()) return frame;
+    if (assembler_.errored()) {
+      error_ = assembler_.error();
+      return std::nullopt;
+    }
+    if (timeout_ms >= 0) {
+      pollfd pfd{fd_, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, timeout_ms);
+      if (pr == 0) {
+        error_ = "timeout";
+        return std::nullopt;
+      }
+      if (pr < 0 && errno != EINTR) {
+        error_ = std::strerror(errno);
+        return std::nullopt;
+      }
+      if (pr < 0) continue;
+    }
+    std::uint8_t buf[64 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      if (!assembler_.feed(buf, static_cast<std::size_t>(n))) {
+        error_ = assembler_.error();
+        return std::nullopt;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    error_ = n == 0 ? "connection closed" : std::strerror(errno);
+    return std::nullopt;
+  }
+}
+
+std::optional<Push> ServeClient::as_push(WireFrame&& frame) {
+  if (frame.type != MsgType::kSnapshot && frame.type != MsgType::kDelta) {
+    return std::nullopt;
+  }
+  transport::Frame tf;
+  tf.type = transport::FrameType::kSamples;
+  tf.payload = std::move(frame.body);
+  auto decoded = transport::decode_samples(tf);
+  if (!decoded) return std::nullopt;
+  Push push;
+  push.type = frame.type;
+  push.sub_id = frame.request_id;
+  push.batch = std::move(decoded).take();
+  return push;
+}
+
+core::Result<std::vector<std::uint8_t>> ServeClient::call(
+    MsgType type, const std::vector<std::uint8_t>& body) {
+  using R = core::Result<std::vector<std::uint8_t>>;
+  if (fd_ < 0) return R::error("not connected");
+  const std::uint32_t id = next_request_++;
+  std::vector<std::uint8_t> bytes;
+  append_wire_frame(bytes, type, id, body);
+  if (!send_all(bytes)) return R::error(error_);
+  while (true) {
+    auto frame = read_frame(-1);
+    if (!frame) return R::error(error_);
+    if (frame->type == MsgType::kSnapshot || frame->type == MsgType::kDelta) {
+      if (auto push = as_push(std::move(*frame))) {
+        pushes_.push_back(std::move(*push));
+      }
+      continue;
+    }
+    if (frame->request_id != id) continue;  // stale response: skip
+    if (frame->type == MsgType::kError) {
+      std::string message;
+      decode_string(frame->body, message);
+      return R::error(message.empty() ? "server error" : message);
+    }
+    return std::move(frame->body);
+  }
+}
+
+std::optional<Push> ServeClient::poll_push(int timeout_ms) {
+  if (!pushes_.empty()) {
+    Push push = std::move(pushes_.front());
+    pushes_.pop_front();
+    return push;
+  }
+  if (fd_ < 0) return std::nullopt;
+  while (true) {
+    auto frame = read_frame(timeout_ms);
+    if (!frame) return std::nullopt;
+    if (auto push = as_push(std::move(*frame))) return push;
+    // A non-push frame here is a stray response; drop it and keep waiting.
+  }
+}
+
+bool ServeClient::ping() { return call(MsgType::kPing, {}).is_ok(); }
+
+core::Result<std::vector<core::TimedValue>> ServeClient::query_range(
+    core::SeriesId series, const core::TimeRange& range) {
+  using R = core::Result<std::vector<core::TimedValue>>;
+  auto body = call(MsgType::kQueryRange, encode_range_req({series, range}));
+  if (!body) return R::error(body.message());
+  std::vector<core::TimedValue> points;
+  if (!decode_points(body.value(), points)) return R::error("bad reply body");
+  return points;
+}
+
+core::Result<std::optional<core::TimedValue>> ServeClient::latest(
+    core::SeriesId series) {
+  using R = core::Result<std::optional<core::TimedValue>>;
+  auto body = call(MsgType::kLatest, encode_range_req({series, {}}));
+  if (!body) return R::error(body.message());
+  std::optional<core::TimedValue> v;
+  if (!decode_latest(body.value(), v)) return R::error("bad reply body");
+  return v;
+}
+
+core::Result<std::optional<double>> ServeClient::aggregate(
+    core::SeriesId series, const core::TimeRange& range, store::Agg agg) {
+  using R = core::Result<std::optional<double>>;
+  auto body =
+      call(MsgType::kAggregate, encode_aggregate_req({series, range, agg}));
+  if (!body) return R::error(body.message());
+  std::optional<double> v;
+  if (!decode_scalar(body.value(), v)) return R::error("bad reply body");
+  return v;
+}
+
+core::Result<std::vector<core::TimedValue>> ServeClient::downsample(
+    core::SeriesId series, const core::TimeRange& range, core::Duration bucket,
+    store::Agg agg) {
+  using R = core::Result<std::vector<core::TimedValue>>;
+  auto body = call(MsgType::kDownsample,
+                   encode_downsample_req({series, range, bucket, agg}));
+  if (!body) return R::error(body.message());
+  std::vector<core::TimedValue> points;
+  if (!decode_points(body.value(), points)) return R::error("bad reply body");
+  return points;
+}
+
+core::Result<std::uint32_t> ServeClient::scan_open(core::SeriesId series,
+                                                   const core::TimeRange& range,
+                                                   std::uint32_t page_points) {
+  using R = core::Result<std::uint32_t>;
+  auto body = call(MsgType::kScanOpen,
+                   encode_scan_open_req({series, range, page_points}));
+  if (!body) return R::error(body.message());
+  std::uint32_t cursor = 0;
+  if (!decode_u32(body.value(), cursor)) return R::error("bad reply body");
+  return cursor;
+}
+
+core::Result<ScanPage> ServeClient::scan_next(std::uint32_t cursor_id) {
+  using R = core::Result<ScanPage>;
+  auto body = call(MsgType::kScanNext, encode_u32(cursor_id));
+  if (!body) return R::error(body.message());
+  ScanPage page;
+  if (!decode_scan_page(body.value(), page)) return R::error("bad reply body");
+  return page;
+}
+
+bool ServeClient::scan_close(std::uint32_t cursor_id) {
+  return call(MsgType::kScanClose, encode_u32(cursor_id)).is_ok();
+}
+
+core::Result<SubscribeAck> ServeClient::subscribe(const std::string& pattern) {
+  using R = core::Result<SubscribeAck>;
+  auto body = call(MsgType::kSubscribe, encode_subscribe_req({pattern}));
+  if (!body) return R::error(body.message());
+  SubscribeAck ack;
+  if (!decode_subscribe_ack(body.value(), ack)) {
+    return R::error("bad reply body");
+  }
+  return ack;
+}
+
+bool ServeClient::unsubscribe(std::uint32_t sub_id) {
+  return call(MsgType::kUnsubscribe, encode_u32(sub_id)).is_ok();
+}
+
+core::Result<std::string> ServeClient::status() {
+  using R = core::Result<std::string>;
+  auto body = call(MsgType::kStatus, {});
+  if (!body) return R::error(body.message());
+  std::string text;
+  if (!decode_string(body.value(), text)) return R::error("bad reply body");
+  return text;
+}
+
+bool ServeClient::set_mode(std::optional<core::DegradationMode> mode) {
+  return call(MsgType::kSetMode, encode_set_mode(mode)).is_ok();
+}
+
+bool ServeClient::wal_rotate() {
+  return call(MsgType::kWalRotate, {}).is_ok();
+}
+
+core::Result<std::vector<ConnInfo>> ServeClient::list_conns() {
+  using R = core::Result<std::vector<ConnInfo>>;
+  auto body = call(MsgType::kListConns, {});
+  if (!body) return R::error(body.message());
+  std::vector<ConnInfo> conns;
+  if (!decode_conn_list(body.value(), conns)) return R::error("bad reply body");
+  return conns;
+}
+
+}  // namespace hpcmon::serve

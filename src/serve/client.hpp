@@ -1,0 +1,98 @@
+// ServeClient: a small blocking client for the serve protocol.
+//
+// One connection, one request in flight: each call sends a frame and blocks
+// until the response with the matching request id arrives. Server-initiated
+// pushes (kSnapshot/kDelta) that arrive while a response is pending are set
+// aside in arrival order and surfaced through poll_push(), so a client can
+// interleave queries with a live subscription without losing or reordering
+// pushed frames. Used by the end-to-end tests, bench/ablation_serve_fanout's
+// load generator, and examples/serve_client.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/result.hpp"
+#include "core/sample.hpp"
+#include "serve/protocol.hpp"
+#include "serve/wire.hpp"
+#include "store/summary.hpp"
+
+namespace hpcmon::serve {
+
+/// One server push: a snapshot or delta for subscription `sub_id`, already
+/// decoded back into the batch the server encoded.
+struct Push {
+  MsgType type = MsgType::kDelta;  // kSnapshot or kDelta
+  std::uint32_t sub_id = 0;
+  core::SampleBatch batch;
+};
+
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient() { close(); }
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Connect to 127.0.0.1:`port`. `rcvbuf_bytes` > 0 shrinks the socket's
+  /// receive buffer (tests use a tiny one to wedge the pipe quickly).
+  bool connect(std::uint16_t port, int rcvbuf_bytes = 0);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+  const std::string& error() const { return error_; }
+
+  bool ping();
+  core::Result<std::vector<core::TimedValue>> query_range(
+      core::SeriesId series, const core::TimeRange& range);
+  core::Result<std::optional<core::TimedValue>> latest(core::SeriesId series);
+  core::Result<std::optional<double>> aggregate(core::SeriesId series,
+                                                const core::TimeRange& range,
+                                                store::Agg agg);
+  core::Result<std::vector<core::TimedValue>> downsample(
+      core::SeriesId series, const core::TimeRange& range,
+      core::Duration bucket, store::Agg agg);
+
+  /// Streaming scan cursor: open -> next until page.done -> (auto-closed).
+  core::Result<std::uint32_t> scan_open(core::SeriesId series,
+                                        const core::TimeRange& range,
+                                        std::uint32_t page_points = 512);
+  core::Result<ScanPage> scan_next(std::uint32_t cursor_id);
+  bool scan_close(std::uint32_t cursor_id);
+
+  core::Result<SubscribeAck> subscribe(const std::string& pattern);
+  bool unsubscribe(std::uint32_t sub_id);
+
+  /// Block up to `timeout_ms` for the next pushed snapshot/delta (pushes
+  /// queued during request waits are returned first, without blocking).
+  std::optional<Push> poll_push(int timeout_ms);
+  /// Pushed frames currently queued client-side.
+  std::size_t pending_pushes() const { return pushes_.size(); }
+
+  // Admin surface.
+  core::Result<std::string> status();
+  bool set_mode(std::optional<core::DegradationMode> mode);
+  bool wal_rotate();
+  core::Result<std::vector<ConnInfo>> list_conns();
+
+ private:
+  /// Send `body` as `type` and block for the matching kOk/kError, queueing
+  /// pushes aside. Returns the kOk body, or an error Result.
+  core::Result<std::vector<std::uint8_t>> call(
+      MsgType type, const std::vector<std::uint8_t>& body);
+  bool send_all(const std::vector<std::uint8_t>& bytes);
+  /// Read until the assembler yields a frame; -1 timeout blocks forever.
+  std::optional<WireFrame> read_frame(int timeout_ms);
+  static std::optional<Push> as_push(WireFrame&& frame);
+
+  int fd_ = -1;
+  std::uint32_t next_request_ = 1;
+  WireAssembler assembler_;
+  std::deque<Push> pushes_;
+  std::string error_;
+};
+
+}  // namespace hpcmon::serve

@@ -1,0 +1,140 @@
+#include "serve/egress.hpp"
+
+#include <algorithm>
+
+#include "serve/wire.hpp"
+#include "transport/codec.hpp"
+
+namespace hpcmon::serve {
+
+std::vector<std::uint8_t> EgressQueue::frame_delta(
+    std::uint32_t sub_id, const core::SampleBatch& batch) {
+  // A delta body is verbatim transport codec bytes: the same documented
+  // encoding the in-process router moves, now inside a wire frame.
+  std::vector<std::uint8_t> bytes;
+  append_wire_frame(bytes, MsgType::kDelta, sub_id,
+                    transport::encode_samples(batch).payload);
+  return bytes;
+}
+
+void EgressQueue::push_response(std::vector<std::uint8_t> frame_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  items_.push_back({core::Priority::kCritical, false, std::move(frame_bytes)});
+  if (counters_.depth_hwm != nullptr) {
+    counters_.depth_hwm->update_max(static_cast<double>(items_.size()));
+  }
+}
+
+bool EgressQueue::evict_for_locked(core::Priority incoming) {
+  // Shed lowest class first, oldest first within the class; only deltas are
+  // evictable, and only ones strictly lower-class than the arrival.
+  for (auto pri : {core::Priority::kBulk, core::Priority::kStandard}) {
+    if (pri <= incoming) continue;  // not strictly lower-class
+    for (auto it = items_.begin(); it != items_.end(); ++it) {
+      if (it->is_delta && it->priority == pri) {
+        items_.erase(it);
+        auto* counter = pri == core::Priority::kBulk
+                            ? counters_.evicted_bulk
+                            : counters_.evicted_standard;
+        if (counter != nullptr) counter->add();
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool EgressQueue::push_delta(std::uint32_t sub_id, core::Priority priority,
+                             const core::SampleBatch& samples) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (items_.size() >= cap_ && !evict_for_locked(priority)) {
+    if (priority == core::Priority::kCritical) {
+      // The queue is saturated with same-or-higher class frames: fold the
+      // samples into the latest-state map instead of dropping them. The
+      // client converges to the current value of every critical series as
+      // soon as it drains.
+      for (const auto& s : samples.samples) {
+        coalesced_[{sub_id, s.series}] = {s.time, s.value};
+      }
+      if (counters_.coalesced_critical != nullptr) {
+        counters_.coalesced_critical->add(samples.samples.size());
+      }
+      return true;
+    }
+    // The arrival outranks nothing queued: it is itself the shed frame.
+    auto* counter = priority == core::Priority::kBulk
+                        ? counters_.evicted_bulk
+                        : counters_.evicted_standard;
+    if (counter != nullptr) counter->add();
+    return false;
+  }
+  items_.push_back({priority, true, frame_delta(sub_id, samples)});
+  // Coalesced state is emitted AFTER queued items; a stale entry must not
+  // outlive a newer queued value for the same series, or the client would
+  // converge to the older reading.
+  if (!coalesced_.empty() && priority == core::Priority::kCritical) {
+    for (const auto& s : samples.samples) {
+      coalesced_.erase({sub_id, s.series});
+    }
+  }
+  if (counters_.deltas_enqueued != nullptr) counters_.deltas_enqueued->add();
+  if (counters_.depth_hwm != nullptr) {
+    counters_.depth_hwm->update_max(static_cast<double>(items_.size()));
+  }
+  return true;
+}
+
+std::size_t EgressQueue::take_bytes(std::vector<std::uint8_t>& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t frames = 0;
+  for (auto& item : items_) {
+    out.insert(out.end(), item.bytes.begin(), item.bytes.end());
+    ++frames;
+  }
+  items_.clear();
+  // Materialize the coalesced critical state now that the pipe has room:
+  // one delta frame per subscription, per-series latest values, time-ordered
+  // within the frame by construction of the map (insertion keeps latest).
+  std::uint32_t current_sub = 0;
+  core::SampleBatch batch;
+  const auto flush = [&] {
+    if (batch.samples.empty()) return;
+    std::sort(batch.samples.begin(), batch.samples.end(),
+              [](const core::Sample& a, const core::Sample& b) {
+                return a.time < b.time;
+              });
+    batch.sweep_time = batch.samples.back().time;
+    const auto bytes = frame_delta(current_sub, batch);
+    out.insert(out.end(), bytes.begin(), bytes.end());
+    ++frames;
+    if (counters_.deltas_enqueued != nullptr) counters_.deltas_enqueued->add();
+    batch.samples.clear();
+  };
+  for (const auto& [key, tv] : coalesced_) {
+    if (!batch.samples.empty() && key.first != current_sub) flush();
+    current_sub = key.first;
+    batch.samples.push_back({key.second, tv.time, tv.value});
+  }
+  flush();
+  coalesced_.clear();
+  return frames;
+}
+
+std::size_t EgressQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+std::size_t EgressQueue::coalesced_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return coalesced_.size();
+}
+
+void EgressQueue::forget_subscription(std::uint32_t sub_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = coalesced_.begin(); it != coalesced_.end();) {
+    it = it->first.first == sub_id ? coalesced_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace hpcmon::serve

@@ -1,0 +1,327 @@
+#include "serve/protocol.hpp"
+
+#include "transport/codec.hpp"
+
+namespace hpcmon::serve {
+
+using transport::ByteReader;
+using transport::ByteWriter;
+
+namespace {
+// Adversarial-count guard: a decoder never reserves more entries than the
+// remaining bytes could possibly hold (smallest element is 8 bytes), so a
+// hostile count cannot force a large allocation before the underrun check.
+std::size_t bounded_reserve(std::uint32_t count, std::size_t remaining,
+                            std::size_t min_elem_bytes) {
+  const std::size_t possible = remaining / min_elem_bytes;
+  return std::min<std::size_t>(count, possible);
+}
+}  // namespace
+
+std::vector<std::uint8_t> encode_range_req(const RangeReq& r) {
+  std::vector<std::uint8_t> body;
+  ByteWriter w(body);
+  w.u32(core::raw(r.series));
+  w.i64(r.range.begin);
+  w.i64(r.range.end);
+  return body;
+}
+
+bool decode_range_req(const std::vector<std::uint8_t>& body, RangeReq& out) {
+  ByteReader r(body);
+  std::uint32_t series = 0;
+  if (!r.u32(series) || !r.i64(out.range.begin) || !r.i64(out.range.end)) {
+    return false;
+  }
+  out.series = core::SeriesId{series};
+  return true;
+}
+
+std::vector<std::uint8_t> encode_aggregate_req(const AggregateReq& r) {
+  std::vector<std::uint8_t> body;
+  ByteWriter w(body);
+  w.u32(core::raw(r.series));
+  w.i64(r.range.begin);
+  w.i64(r.range.end);
+  w.u8(static_cast<std::uint8_t>(r.agg));
+  return body;
+}
+
+bool decode_aggregate_req(const std::vector<std::uint8_t>& body,
+                          AggregateReq& out) {
+  ByteReader r(body);
+  std::uint32_t series = 0;
+  std::uint8_t agg = 0;
+  if (!r.u32(series) || !r.i64(out.range.begin) || !r.i64(out.range.end) ||
+      !r.u8(agg)) {
+    return false;
+  }
+  if (agg > static_cast<std::uint8_t>(store::Agg::kLast)) return false;
+  out.series = core::SeriesId{series};
+  out.agg = static_cast<store::Agg>(agg);
+  return true;
+}
+
+std::vector<std::uint8_t> encode_downsample_req(const DownsampleReq& r) {
+  std::vector<std::uint8_t> body;
+  ByteWriter w(body);
+  w.u32(core::raw(r.series));
+  w.i64(r.range.begin);
+  w.i64(r.range.end);
+  w.i64(r.bucket);
+  w.u8(static_cast<std::uint8_t>(r.agg));
+  return body;
+}
+
+bool decode_downsample_req(const std::vector<std::uint8_t>& body,
+                           DownsampleReq& out) {
+  ByteReader r(body);
+  std::uint32_t series = 0;
+  std::uint8_t agg = 0;
+  if (!r.u32(series) || !r.i64(out.range.begin) || !r.i64(out.range.end) ||
+      !r.i64(out.bucket) || !r.u8(agg)) {
+    return false;
+  }
+  if (agg > static_cast<std::uint8_t>(store::Agg::kLast)) return false;
+  if (out.bucket <= 0) return false;
+  out.series = core::SeriesId{series};
+  out.agg = static_cast<store::Agg>(agg);
+  return true;
+}
+
+std::vector<std::uint8_t> encode_scan_open_req(const ScanOpenReq& r) {
+  std::vector<std::uint8_t> body;
+  ByteWriter w(body);
+  w.u32(core::raw(r.series));
+  w.i64(r.range.begin);
+  w.i64(r.range.end);
+  w.u32(r.page_points);
+  return body;
+}
+
+bool decode_scan_open_req(const std::vector<std::uint8_t>& body,
+                          ScanOpenReq& out) {
+  ByteReader r(body);
+  std::uint32_t series = 0;
+  if (!r.u32(series) || !r.i64(out.range.begin) || !r.i64(out.range.end) ||
+      !r.u32(out.page_points)) {
+    return false;
+  }
+  out.series = core::SeriesId{series};
+  return true;
+}
+
+std::vector<std::uint8_t> encode_subscribe_req(const SubscribeReq& r) {
+  std::vector<std::uint8_t> body;
+  ByteWriter w(body);
+  w.str(r.pattern);
+  return body;
+}
+
+bool decode_subscribe_req(const std::vector<std::uint8_t>& body,
+                          SubscribeReq& out) {
+  ByteReader r(body);
+  return r.str(out.pattern);
+}
+
+std::vector<std::uint8_t> encode_u32(std::uint32_t v) {
+  std::vector<std::uint8_t> body;
+  ByteWriter w(body);
+  w.u32(v);
+  return body;
+}
+
+bool decode_u32(const std::vector<std::uint8_t>& body, std::uint32_t& out) {
+  ByteReader r(body);
+  return r.u32(out);
+}
+
+std::vector<std::uint8_t> encode_set_mode(
+    std::optional<core::DegradationMode> mode) {
+  std::vector<std::uint8_t> body;
+  ByteWriter w(body);
+  w.u8(mode.has_value() ? 1 : 0);
+  w.u8(mode.has_value() ? static_cast<std::uint8_t>(*mode) : 0);
+  return body;
+}
+
+bool decode_set_mode(const std::vector<std::uint8_t>& body,
+                     std::optional<core::DegradationMode>& out) {
+  ByteReader r(body);
+  std::uint8_t has = 0;
+  std::uint8_t mode = 0;
+  if (!r.u8(has) || !r.u8(mode)) return false;
+  if (has == 0) {
+    out = std::nullopt;
+    return true;
+  }
+  if (mode >= core::kDegradationModes) return false;
+  out = static_cast<core::DegradationMode>(mode);
+  return true;
+}
+
+std::vector<std::uint8_t> encode_points(
+    const std::vector<core::TimedValue>& pts) {
+  std::vector<std::uint8_t> body;
+  ByteWriter w(body);
+  w.u32(static_cast<std::uint32_t>(pts.size()));
+  for (const auto& p : pts) {
+    w.i64(p.time);
+    w.f64(p.value);
+  }
+  return body;
+}
+
+bool decode_points(const std::vector<std::uint8_t>& body,
+                   std::vector<core::TimedValue>& out) {
+  ByteReader r(body);
+  std::uint32_t count = 0;
+  if (!r.u32(count)) return false;
+  out.clear();
+  out.reserve(bounded_reserve(count, r.remaining(), 16));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    core::TimedValue p;
+    if (!r.i64(p.time) || !r.f64(p.value)) return false;
+    out.push_back(p);
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> encode_scalar(std::optional<double> v) {
+  std::vector<std::uint8_t> body;
+  ByteWriter w(body);
+  w.u8(v.has_value() ? 1 : 0);
+  w.f64(v.value_or(0.0));
+  return body;
+}
+
+bool decode_scalar(const std::vector<std::uint8_t>& body,
+                   std::optional<double>& out) {
+  ByteReader r(body);
+  std::uint8_t has = 0;
+  double v = 0.0;
+  if (!r.u8(has) || !r.f64(v)) return false;
+  out = has != 0 ? std::optional<double>(v) : std::nullopt;
+  return true;
+}
+
+std::vector<std::uint8_t> encode_latest(std::optional<core::TimedValue> v) {
+  std::vector<std::uint8_t> body;
+  ByteWriter w(body);
+  w.u8(v.has_value() ? 1 : 0);
+  w.i64(v ? v->time : 0);
+  w.f64(v ? v->value : 0.0);
+  return body;
+}
+
+bool decode_latest(const std::vector<std::uint8_t>& body,
+                   std::optional<core::TimedValue>& out) {
+  ByteReader r(body);
+  std::uint8_t has = 0;
+  core::TimedValue v;
+  if (!r.u8(has) || !r.i64(v.time) || !r.f64(v.value)) return false;
+  out = has != 0 ? std::optional<core::TimedValue>(v) : std::nullopt;
+  return true;
+}
+
+std::vector<std::uint8_t> encode_scan_page(const ScanPage& p) {
+  std::vector<std::uint8_t> body;
+  ByteWriter w(body);
+  w.u8(p.done ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(p.points.size()));
+  for (const auto& pt : p.points) {
+    w.i64(pt.time);
+    w.f64(pt.value);
+  }
+  return body;
+}
+
+bool decode_scan_page(const std::vector<std::uint8_t>& body, ScanPage& out) {
+  ByteReader r(body);
+  std::uint8_t done = 0;
+  std::uint32_t count = 0;
+  if (!r.u8(done) || !r.u32(count)) return false;
+  out.done = done != 0;
+  out.points.clear();
+  out.points.reserve(bounded_reserve(count, r.remaining(), 16));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    core::TimedValue p;
+    if (!r.i64(p.time) || !r.f64(p.value)) return false;
+    out.points.push_back(p);
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> encode_subscribe_ack(const SubscribeAck& a) {
+  std::vector<std::uint8_t> body;
+  ByteWriter w(body);
+  w.u32(a.sub_id);
+  w.u32(static_cast<std::uint32_t>(a.matched.size()));
+  for (const auto& [id, name] : a.matched) {
+    w.u32(core::raw(id));
+    w.str(name);
+  }
+  return body;
+}
+
+bool decode_subscribe_ack(const std::vector<std::uint8_t>& body,
+                          SubscribeAck& out) {
+  ByteReader r(body);
+  std::uint32_t count = 0;
+  if (!r.u32(out.sub_id) || !r.u32(count)) return false;
+  out.matched.clear();
+  out.matched.reserve(bounded_reserve(count, r.remaining(), 6));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t id = 0;
+    std::string name;
+    if (!r.u32(id) || !r.str(name)) return false;
+    out.matched.emplace_back(core::SeriesId{id}, std::move(name));
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> encode_conn_list(const std::vector<ConnInfo>& conns) {
+  std::vector<std::uint8_t> body;
+  ByteWriter w(body);
+  w.u32(static_cast<std::uint32_t>(conns.size()));
+  for (const auto& c : conns) {
+    w.u32(c.id);
+    w.u64(c.requests);
+    w.u64(c.tx_bytes);
+    w.u32(c.egress_depth);
+    w.u32(c.subscriptions);
+  }
+  return body;
+}
+
+bool decode_conn_list(const std::vector<std::uint8_t>& body,
+                      std::vector<ConnInfo>& out) {
+  ByteReader r(body);
+  std::uint32_t count = 0;
+  if (!r.u32(count)) return false;
+  out.clear();
+  out.reserve(bounded_reserve(count, r.remaining(), 28));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ConnInfo c;
+    if (!r.u32(c.id) || !r.u64(c.requests) || !r.u64(c.tx_bytes) ||
+        !r.u32(c.egress_depth) || !r.u32(c.subscriptions)) {
+      return false;
+    }
+    out.push_back(c);
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> encode_string(const std::string& s) {
+  std::vector<std::uint8_t> body;
+  ByteWriter w(body);
+  w.str(s);
+  return body;
+}
+
+bool decode_string(const std::vector<std::uint8_t>& body, std::string& out) {
+  ByteReader r(body);
+  return r.str(out);
+}
+
+}  // namespace hpcmon::serve

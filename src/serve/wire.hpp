@@ -1,0 +1,106 @@
+// Wire framing for the serve tier: length-prefixed binary messages.
+//
+// The paper's Sec. IV-A complaint is monitoring data trapped behind
+// proprietary transports; hpcmon::serve puts the documented binary codec
+// (transport/codec.hpp) on a socket behind the simplest possible framing:
+//
+//   u32 length | u8 msg type | u32 request id | body...
+//
+// `length` counts everything after itself (type + id + body), little-endian
+// like every other hpcmon codec. The body of each message type is encoded
+// with transport::ByteWriter primitives (protocol.hpp); sample payloads are
+// verbatim transport::encode_samples() bytes, so a serve frame carrying
+// telemetry is the SAME bytes the in-process router moves.
+//
+// A socket is an adversarial input: WireAssembler reassembles frames from
+// arbitrary read() fragmentation, rejects declared lengths above
+// kMaxWireFrameBytes before allocating anything (no unbounded allocation
+// from a hostile u32), and reports malformed input as a hard error so the
+// connection can be dropped.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hpcmon::serve {
+
+/// Message types on the wire. Client->server requests are < 64;
+/// server->client messages are >= 64. Every request gets exactly one kOk or
+/// kError response carrying its request id; kSnapshot/kDelta are
+/// server-initiated pushes (request id = owning subscription id).
+enum class MsgType : std::uint8_t {
+  // Requests.
+  kPing = 1,
+  kQueryRange = 2,
+  kAggregate = 3,
+  kDownsample = 4,
+  kLatest = 5,
+  kScanOpen = 6,
+  kScanNext = 7,
+  kScanClose = 8,
+  kSubscribe = 9,
+  kUnsubscribe = 10,
+  // Admin surface.
+  kStatus = 16,
+  kSetMode = 17,
+  kWalRotate = 18,
+  kListConns = 19,
+  // Responses / pushes.
+  kOk = 64,
+  kError = 65,
+  kSnapshot = 66,
+  kDelta = 67,
+};
+
+/// One parsed wire frame: type + request id + raw body bytes.
+struct WireFrame {
+  MsgType type = MsgType::kPing;
+  std::uint32_t request_id = 0;
+  std::vector<std::uint8_t> body;
+};
+
+/// Hard cap on a declared frame length (type + id + body). A frame header
+/// declaring more is a protocol violation, not a large message.
+inline constexpr std::uint32_t kMaxWireFrameBytes = 8u << 20;  // 8 MiB
+/// Bytes of header before the body: length(4) + type(1) + request id(4).
+inline constexpr std::size_t kWireHeaderBytes = 9;
+
+/// Serialize one frame (header + body) onto `out`.
+void append_wire_frame(std::vector<std::uint8_t>& out, MsgType type,
+                       std::uint32_t request_id,
+                       const std::vector<std::uint8_t>& body);
+
+/// Incremental frame reassembly over a byte stream. Feed it whatever read()
+/// returned; pop complete frames until nullopt. Once a declared length
+/// exceeds kMaxWireFrameBytes (or a frame is shorter than type+id) the
+/// assembler enters a sticky error state — the caller must drop the
+/// connection, because frame boundaries are unrecoverable.
+class WireAssembler {
+ public:
+  explicit WireAssembler(std::uint32_t max_frame_bytes = kMaxWireFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Append raw bytes from the socket. Returns false (and consumes nothing
+  /// more) when the stream is in the error state.
+  bool feed(const std::uint8_t* data, std::size_t n);
+
+  /// Extract the next complete frame, if any.
+  std::optional<WireFrame> next();
+
+  bool errored() const { return errored_; }
+  const std::string& error() const { return error_; }
+  /// Bytes buffered awaiting a complete frame (bounded by max_frame_bytes_).
+  std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  void fail(std::string why);
+
+  std::uint32_t max_frame_bytes_;
+  std::vector<std::uint8_t> buf_;
+  bool errored_ = false;
+  std::string error_;
+};
+
+}  // namespace hpcmon::serve

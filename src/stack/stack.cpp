@@ -234,6 +234,50 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
         });
   }
 
+  // Serving tier: the network front door (queries, streamed scans, live
+  // subscriptions, admin surface) — off unless serve_port is present in the
+  // config. serve_port = 0 binds an ephemeral port (serve()->port()).
+  if (config.contains("serve_port")) {
+    serve::ServeConfig sc;
+    sc.port = static_cast<std::uint16_t>(config.get_int("serve_port", 0));
+    sc.writer_threads = static_cast<std::size_t>(
+        config.get_int("serve_writer_threads", 2));
+    sc.egress_cap =
+        static_cast<std::size_t>(config.get_int("serve_egress_cap", 256));
+    sc.obs = &obs_;
+    serve::ServeHooks hooks;
+    // Queries answer from whichever numeric store is active — the exact
+    // objects in-process callers read, so results are byte-identical.
+    if (sharded_) {
+      serve::bind_query_hooks(hooks, *sharded_);
+    } else {
+      serve::bind_query_hooks(hooks, tsdb_.hot());
+    }
+    hooks.registry = &cluster_.registry();
+    hooks.status = [this] { return status(); };
+    hooks.set_mode = [this](std::optional<core::DegradationMode> mode) {
+      // Manual storm-mode override through the same enforcement path the
+      // controller's on_change uses; nullopt releases back to NORMAL (a
+      // running controller re-asserts its own verdict next evaluation).
+      const auto m = mode.value_or(core::DegradationMode::kNormal);
+      if (degradation_) {
+        apply_degradation(m);
+      } else if (ingest_) {
+        ingest_->set_mode(m);
+      } else {
+        return false;
+      }
+      return true;
+    };
+    hooks.wal_rotate = [this] {
+      if (!wal_) return false;
+      wal_->rotate();
+      return true;
+    };
+    serve_ = std::make_unique<serve::ServeServer>(sc, std::move(hooks));
+    serve_->start();
+  }
+
   // The monitor monitors itself: one unified export task re-ingests the
   // whole obs snapshot as hpcmon.self.* series every sweep (replacing the
   // per-tier self-ingest plumbing). Instruments are registered critical by
@@ -256,6 +300,7 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
           } else {
             tsdb_.append_batch(self.samples);
           }
+          if (serve_) serve_->publish_batch(self);
         });
   }
 
@@ -297,6 +342,10 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
                       } else {
                         tsdb_.append_batch(batch.value().samples);
                       }
+                      // Live-subscription tap: fan the batch out to serve
+                      // clients through bounded egress queues (never blocks
+                      // on a slow client).
+                      if (serve_) serve_->publish_batch(batch.value());
                     });
   router_.subscribe(transport::FrameType::kLogs,
                     [this](const transport::Frame& f) { on_log_frame(f); });
@@ -372,6 +421,8 @@ ShutdownReport MonitoringStack::shutdown(std::chrono::milliseconds deadline) {
   ShutdownReport report;
   if (shut_down_) return report;
   shut_down_ = true;
+  // Stop serving first: no client observes (or stalls) the drain below.
+  if (serve_) serve_->stop();
   // Drain before teardown: everything already submitted reaches the shards —
   // unless a wedged tier can't finish within the deadline, in which case the
   // leftovers are abandoned and REPORTED rather than hanging teardown.

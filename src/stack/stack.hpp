@@ -60,6 +60,14 @@
 //                               (open after N consecutive failures,
 //                               half-open probe after backoff+jitter)
 //   breaker_cooldown_s  (300)   first open->half-open cooldown
+//   serve_port          (unset) when PRESENT, start the network serving tier
+//                               (src/serve) on 127.0.0.1:<port>; 0 binds an
+//                               ephemeral port (read it back via
+//                               serve()->port()). Absent = no server.
+//   serve_writer_threads (2)    serve writer pool size (one writer drains
+//                               every (conn id % pool)-th connection)
+//   serve_egress_cap    (256)   per-connection egress queue bound; the
+//                               storm-mode priority door engages above it
 #pragma once
 
 #include <chrono>
@@ -86,6 +94,7 @@
 #include "response/actions.hpp"
 #include "response/alerts.hpp"
 #include "response/gate.hpp"
+#include "serve/server.hpp"
 #include "store/jobstore.hpp"
 #include "store/logstore.hpp"
 #include "store/retention.hpp"
@@ -188,6 +197,13 @@ class MonitoringStack {
     return degradation_.get();
   }
 
+  // -- Serving tier ----------------------------------------------------------
+  /// Network front door (queries, scans, live subscriptions, admin);
+  /// nullptr unless `serve_port` is configured. The bound port (ephemeral
+  /// when serve_port = 0) is serve()->port().
+  serve::ServeServer* serve() { return serve_.get(); }
+  const serve::ServeServer* serve() const { return serve_.get(); }
+
   /// Novelty reports accumulated so far (empty unless novelty = true).
   const std::vector<analysis::NoveltyEvent>& novelty_reports() const {
     return novelty_reports_;
@@ -263,6 +279,9 @@ class MonitoringStack {
   std::vector<resilience::SupervisedSampler*> supervised_;  // owned by
                                                             // collection_
   std::unique_ptr<resilience::DegradationController> degradation_;
+  // Declared after the stores/ingest tier: destroyed first, so the serve
+  // threads stop answering before the data they serve is torn down.
+  std::unique_ptr<serve::ServeServer> serve_;
   resilience::FaultPlan* chaos_ = nullptr;  // not owned; see chaos ctor
   // Registry-owned fill gauges the stack refreshes before each snapshot
   // (they summarize state the tiers do not hold as single instruments).

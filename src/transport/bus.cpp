@@ -1,29 +1,13 @@
 #include "transport/bus.hpp"
 
+#include "core/topic.hpp"
+
 namespace hpcmon::transport {
 
-namespace {
-// Recursive segment matcher; pattern/topic segment lists are short (a topic
-// has a handful of dot-separated parts), so backtracking over '#' is cheap.
-bool segments_match(const std::vector<std::string_view>& pat, std::size_t pi,
-                    const std::vector<std::string_view>& top, std::size_t ti) {
-  if (pi == pat.size()) return ti == top.size();
-  if (pat[pi] == "#") {
-    // '#' consumes zero or more whole segments.
-    for (std::size_t k = ti; k <= top.size(); ++k) {
-      if (segments_match(pat, pi + 1, top, k)) return true;
-    }
-    return false;
-  }
-  if (ti == top.size()) return false;
-  if (!core::glob_match(pat[pi], top[ti])) return false;
-  return segments_match(pat, pi + 1, top, ti + 1);
-}
-}  // namespace
-
 bool topic_match(std::string_view pattern, std::string_view topic) {
-  return segments_match(core::split(pattern, '.'), 0, core::split(topic, '.'),
-                        0);
+  // One matcher for the whole stack: Bus bindings and serve-tier
+  // subscription patterns share core::topic_match's semantics exactly.
+  return core::topic_match(pattern, topic);
 }
 
 void Bus::subscribe(std::string topic_glob, Handler handler) {

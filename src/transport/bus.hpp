@@ -33,7 +33,9 @@ struct BusStats {
 
 /// AMQP-style topic match over dot-separated segments: '#' matches zero or
 /// more whole segments; within a segment, '*' and '?' glob without crossing
-/// dots (so a bare '*' segment matches exactly one segment).
+/// dots (so a bare '*' segment matches exactly one segment). Thin alias of
+/// core::topic_match (core/topic.hpp), the one matcher shared with the serve
+/// tier's subscription patterns.
 bool topic_match(std::string_view pattern, std::string_view topic);
 
 class Bus {

@@ -12,61 +12,6 @@ using core::Result;
 using core::Sample;
 using core::SampleBatch;
 
-namespace {
-
-class ByteWriter {
- public:
-  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
-  void u8(std::uint8_t v) { out_.push_back(v); }
-  void u16(std::uint16_t v) { raw(&v, 2); }
-  void u32(std::uint32_t v) { raw(&v, 4); }
-  void u64(std::uint64_t v) { raw(&v, 8); }
-  void i64(std::int64_t v) { raw(&v, 8); }
-  void f64(double v) { raw(&v, 8); }
-  void str(const std::string& s) {
-    u16(static_cast<std::uint16_t>(std::min<std::size_t>(s.size(), 65535)));
-    raw(s.data(), std::min<std::size_t>(s.size(), 65535));
-  }
-
- private:
-  void raw(const void* p, std::size_t n) {
-    const auto* b = static_cast<const std::uint8_t*>(p);
-    out_.insert(out_.end(), b, b + n);
-  }
-  std::vector<std::uint8_t>& out_;
-};
-
-class ByteReader {
- public:
-  explicit ByteReader(const std::vector<std::uint8_t>& in) : in_(in) {}
-  bool u8(std::uint8_t& v) { return raw(&v, 1); }
-  bool u16(std::uint16_t& v) { return raw(&v, 2); }
-  bool u32(std::uint32_t& v) { return raw(&v, 4); }
-  bool u64(std::uint64_t& v) { return raw(&v, 8); }
-  bool i64(std::int64_t& v) { return raw(&v, 8); }
-  bool f64(double& v) { return raw(&v, 8); }
-  bool str(std::string& s) {
-    std::uint16_t n = 0;
-    if (!u16(n)) return false;
-    if (pos_ + n > in_.size()) return false;
-    s.assign(reinterpret_cast<const char*>(in_.data() + pos_), n);
-    pos_ += n;
-    return true;
-  }
-
- private:
-  bool raw(void* p, std::size_t n) {
-    if (pos_ + n > in_.size()) return false;
-    std::memcpy(p, in_.data() + pos_, n);
-    pos_ += n;
-    return true;
-  }
-  const std::vector<std::uint8_t>& in_;
-  std::size_t pos_ = 0;
-};
-
-}  // namespace
-
 Frame encode_samples(const SampleBatch& batch) {
   Frame f;
   f.type = FrameType::kSamples;

@@ -12,7 +12,9 @@
 // paper's complaint.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <optional>
 #include <string>
 #include <vector>
@@ -41,6 +43,66 @@ struct Frame {
   std::vector<std::uint8_t> payload;
 
   std::size_t byte_size() const { return payload.size() + 1; }
+};
+
+// -- Primitive byte codec ------------------------------------------------------
+// The little-endian scalar/string primitives every binary frame body in
+// hpcmon is built from (sample/log frames here, WAL records, and the serve
+// tier's request/response bodies). Reader methods return false on underrun
+// instead of throwing — adversarial input from a socket must fail cheaply.
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { raw(&v, 2); }
+  void u32(std::uint32_t v) { raw(&v, 4); }
+  void u64(std::uint64_t v) { raw(&v, 8); }
+  void i64(std::int64_t v) { raw(&v, 8); }
+  void f64(double v) { raw(&v, 8); }
+  /// Length-prefixed string, truncated at 65535 bytes.
+  void str(const std::string& s) {
+    u16(static_cast<std::uint16_t>(std::min<std::size_t>(s.size(), 65535)));
+    raw(s.data(), std::min<std::size_t>(s.size(), 65535));
+  }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    out_.insert(out_.end(), b, b + n);
+  }
+  std::vector<std::uint8_t>& out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& in) : in_(in) {}
+  bool u8(std::uint8_t& v) { return raw(&v, 1); }
+  bool u16(std::uint16_t& v) { return raw(&v, 2); }
+  bool u32(std::uint32_t& v) { return raw(&v, 4); }
+  bool u64(std::uint64_t& v) { return raw(&v, 8); }
+  bool i64(std::int64_t& v) { return raw(&v, 8); }
+  bool f64(double& v) { return raw(&v, 8); }
+  bool str(std::string& s) {
+    std::uint16_t n = 0;
+    if (!u16(n)) return false;
+    if (pos_ + n > in_.size()) return false;
+    s.assign(reinterpret_cast<const char*>(in_.data() + pos_), n);
+    pos_ += n;
+    return true;
+  }
+  /// Bytes not yet consumed.
+  std::size_t remaining() const { return in_.size() - pos_; }
+
+ private:
+  bool raw(void* p, std::size_t n) {
+    if (pos_ + n > in_.size()) return false;
+    std::memcpy(p, in_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  const std::vector<std::uint8_t>& in_;
+  std::size_t pos_ = 0;
 };
 
 // -- Binary codec (lossless, documented) -------------------------------------

@@ -1,0 +1,97 @@
+// core::topic_match edge cases: the one matcher shared by the in-process Bus
+// and the serve tier's live subscriptions. '#' at the start, middle, and end;
+// empty segments; literal-only patterns.
+#include "core/topic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "transport/bus.hpp"
+
+namespace hpcmon {
+namespace {
+
+using core::topic_match;
+
+TEST(TopicMatch, LiteralOnlyPatterns) {
+  EXPECT_TRUE(topic_match("node.power_w", "node.power_w"));
+  EXPECT_FALSE(topic_match("node.power_w", "node.power"));
+  EXPECT_FALSE(topic_match("node.power_w", "node.power_w.cab0"));
+  EXPECT_FALSE(topic_match("node.power_w.cab0", "node.power_w"));
+  EXPECT_TRUE(topic_match("", ""));
+  EXPECT_FALSE(topic_match("", "a"));
+  EXPECT_FALSE(topic_match("a", ""));
+}
+
+TEST(TopicMatch, HashAtEnd) {
+  EXPECT_TRUE(topic_match("node.#", "node"));  // '#' matches ZERO segments
+  EXPECT_TRUE(topic_match("node.#", "node.power_w"));
+  EXPECT_TRUE(topic_match("node.#", "node.power_w.cab0.chassis1"));
+  EXPECT_FALSE(topic_match("node.#", "link.power_w"));
+  EXPECT_TRUE(topic_match("#", ""));
+  EXPECT_TRUE(topic_match("#", "anything.at.all"));
+}
+
+TEST(TopicMatch, HashAtStart) {
+  EXPECT_TRUE(topic_match("#.power_w", "power_w"));
+  EXPECT_TRUE(topic_match("#.power_w", "node.power_w"));
+  EXPECT_TRUE(topic_match("#.power_w", "cab0.node.power_w"));
+  EXPECT_FALSE(topic_match("#.power_w", "node.power_w.extra"));
+}
+
+TEST(TopicMatch, HashInMiddle) {
+  EXPECT_TRUE(topic_match("node.#.stalls", "node.stalls"));
+  EXPECT_TRUE(topic_match("node.#.stalls", "node.hsn.stalls"));
+  EXPECT_TRUE(topic_match("node.#.stalls", "node.hsn.link.0.stalls"));
+  EXPECT_FALSE(topic_match("node.#.stalls", "node.hsn.errors"));
+  // Two hashes: still fine (backtracking).
+  EXPECT_TRUE(topic_match("#.hsn.#", "a.b.hsn.c.d"));
+  EXPECT_TRUE(topic_match("#.hsn.#", "hsn"));
+  EXPECT_FALSE(topic_match("#.hsn.#", "a.b.c"));
+}
+
+TEST(TopicMatch, StarAndQuestionStayWithinSegments) {
+  EXPECT_TRUE(topic_match("node.*", "node.power_w"));
+  EXPECT_FALSE(topic_match("node.*", "node.power_w.cab0"));  // '*' != '#'
+  EXPECT_TRUE(topic_match("*.power_w", "node.power_w"));
+  EXPECT_TRUE(topic_match("node.p?wer_w", "node.power_w"));
+  EXPECT_FALSE(topic_match("node.p?wer_w", "node.pwer_w"));
+  EXPECT_TRUE(topic_match("node.pow*", "node.power_w"));
+}
+
+TEST(TopicMatch, EmptySegments) {
+  // "a..b" has an empty middle segment; it is an ordinary segment.
+  EXPECT_TRUE(topic_match("a..b", "a..b"));
+  EXPECT_FALSE(topic_match("a..b", "a.b"));
+  EXPECT_FALSE(topic_match("a.b", "a..b"));
+  EXPECT_TRUE(topic_match("a.*.b", "a..b"));   // '*' matches the empty run
+  EXPECT_FALSE(topic_match("a.?.b", "a..b"));  // '?' needs one char
+  EXPECT_TRUE(topic_match("a.#.b", "a..b"));   // '#' absorbs it
+  // Leading/trailing dots create empty first/last segments.
+  EXPECT_TRUE(topic_match(".a", ".a"));
+  EXPECT_FALSE(topic_match(".a", "a"));
+  EXPECT_TRUE(topic_match("a.", "a."));
+  EXPECT_FALSE(topic_match("a", "a."));
+}
+
+TEST(TopicMatch, SerchSeriesNameShapes) {
+  // Serve subscriptions match "metric@component" series names; '@' is an
+  // ordinary character to the matcher.
+  EXPECT_TRUE(topic_match("node.power_w@*", "node.power_w@node-3"));
+  EXPECT_TRUE(topic_match("node.#", "node.power_w@node-3"));
+  EXPECT_FALSE(topic_match("node.power_w@node-4", "node.power_w@node-3"));
+}
+
+TEST(TopicMatch, BusDelegatesToCore) {
+  // transport::topic_match must be a thin alias — identical verdicts.
+  const char* patterns[] = {"#", "a.#.b", "*.x", "a..b", "node.*", ""};
+  const char* topics[] = {"", "a.b", "a.q.b", "a..b", "node.x", "node.x.y"};
+  for (const char* p : patterns) {
+    for (const char* t : topics) {
+      EXPECT_EQ(transport::topic_match(p, t), core::topic_match(p, t))
+          << "pattern=" << p << " topic=" << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hpcmon

@@ -1,0 +1,130 @@
+// Short loopback soak: concurrent query clients + a subscriber + a live
+// publisher hammering one server for a couple of seconds. Nothing may error,
+// wedge, or leak a connection — the CI smoke for the serving tier.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/registry.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "store/tsdb.hpp"
+
+namespace hpcmon::serve {
+namespace {
+
+TEST(ServeSoak, ConcurrentClientsAndPublisherStayHealthy) {
+  core::MetricRegistry registry;
+  const auto node = registry.register_component(
+      {"n0", core::ComponentKind::kNode, core::kNoComponent});
+  const auto metric = registry.register_metric(
+      {"node.power_w", "W", "", false, core::Priority::kCritical});
+  std::vector<core::SeriesId> series;
+  for (int i = 0; i < 8; ++i) {
+    const auto comp = registry.register_component(
+        {"n" + std::to_string(i + 1), core::ComponentKind::kNode, node});
+    series.push_back(registry.series(metric, comp));
+  }
+  store::TimeSeriesStore store;
+  for (const auto s : series) {
+    for (int t = 0; t < 500; ++t) store.append(s, t * 100, t * 0.5);
+  }
+  ServeConfig sc;
+  sc.writer_threads = 3;
+  ServeHooks hooks;
+  bind_query_hooks(hooks, store);
+  hooks.registry = &registry;
+  ServeServer server(sc, std::move(hooks));
+  ASSERT_TRUE(server.start()) << server.error();
+
+  constexpr auto kSoak = std::chrono::seconds(2);
+  const auto deadline = std::chrono::steady_clock::now() + kSoak;
+  std::atomic<bool> failed{false};
+  std::atomic<std::uint64_t> queries{0};
+  std::atomic<std::uint64_t> deltas{0};
+
+  // Query hammers: point reads + paginated scans, checked against the store.
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 4; ++c) {
+    threads.emplace_back([&, c] {
+      ServeClient client;
+      if (!client.connect(server.port())) {
+        failed = true;
+        return;
+      }
+      const auto s = series[static_cast<std::size_t>(c) % series.size()];
+      while (std::chrono::steady_clock::now() < deadline) {
+        auto pts = client.query_range(s, {0, 50000});
+        if (!pts.is_ok() || pts.value() != store.query_range(s, {0, 50000})) {
+          failed = true;
+          return;
+        }
+        auto agg = client.aggregate(s, {0, 50000}, store::Agg::kMax);
+        if (!agg.is_ok()) {
+          failed = true;
+          return;
+        }
+        auto cursor = client.scan_open(s, {0, 50000}, 200);
+        if (!cursor.is_ok()) {
+          failed = true;
+          return;
+        }
+        while (true) {
+          auto page = client.scan_next(cursor.value());
+          if (!page.is_ok()) {
+            failed = true;
+            return;
+          }
+          if (page.value().done) break;
+        }
+        queries.fetch_add(1);
+      }
+    });
+  }
+  // A subscriber counting deltas.
+  threads.emplace_back([&] {
+    ServeClient client;
+    if (!client.connect(server.port())) {
+      failed = true;
+      return;
+    }
+    auto ack = client.subscribe("node.power_w@*");
+    if (!ack.is_ok()) {
+      failed = true;
+      return;
+    }
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (auto push = client.poll_push(50)) {
+        deltas.fetch_add(push->batch.samples.size());
+      }
+    }
+  });
+  // The publisher, pushing from "ingest".
+  threads.emplace_back([&] {
+    std::int64_t t = 100000;
+    while (std::chrono::steady_clock::now() < deadline) {
+      core::SampleBatch batch;
+      batch.sweep_time = t;
+      for (const auto s : series) batch.samples.push_back({s, t, 1.0});
+      server.publish_batch(batch);
+      t += 100;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (auto& th : threads) th.join();
+
+  EXPECT_FALSE(failed.load());
+  EXPECT_GT(queries.load(), 0u);
+  EXPECT_GT(deltas.load(), 0u);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.bad_frames, 0u);
+  EXPECT_EQ(stats.request_errors, 0u);
+  EXPECT_GT(stats.requests, 0u);
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+}  // namespace
+}  // namespace hpcmon::serve
