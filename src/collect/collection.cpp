@@ -22,7 +22,8 @@ void CollectionService::add_sampler(std::unique_ptr<Sampler> sampler,
   const TimePoint first = align_up(cluster_.now() + 1, interval);
   cluster_.events().schedule_every(
       first, interval,
-      [this, shared, sink = std::move(sink)](TimePoint now) {
+      [this, alive = alive_, shared, sink = std::move(sink)](TimePoint now) {
+        if (!*alive) return;
         core::SampleBatch batch;
         batch.sweep_time = now;
         {
@@ -39,7 +40,9 @@ void CollectionService::add_sampler(std::unique_ptr<Sampler> sampler,
 void CollectionService::add_log_collector(Duration interval, LogSink sink) {
   const TimePoint first = align_up(cluster_.now() + 1, interval);
   cluster_.events().schedule_every(
-      first, interval, [this, sink = std::move(sink)](TimePoint) {
+      first, interval,
+      [this, alive = alive_, sink = std::move(sink)](TimePoint) {
+        if (!*alive) return;
         auto events = cluster_.drain_logs();
         if (!events.empty()) sink(std::move(events));
       });

@@ -26,6 +26,12 @@ class CollectionService {
  public:
   explicit CollectionService(sim::Cluster& cluster) : cluster_(cluster) {}
 
+  /// The event queue has no cancellation, so sweep closures carry a shared
+  /// liveness flag: once the service dies (a chaos-harness stack restart
+  /// mid-run), already-scheduled sweeps fire as no-ops instead of touching
+  /// a destroyed service.
+  ~CollectionService() { *alive_ = false; }
+
   /// Register a sampler to sweep every `interval`, starting at the first
   /// multiple of `interval` >= the cluster's current time. Ownership moves
   /// to the service.
@@ -46,6 +52,7 @@ class CollectionService {
  private:
   sim::Cluster& cluster_;
   obs::StageTimer* stage_timer_ = nullptr;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   // Samplers are owned via shared_ptr because the event-queue closures that
   // reference them must remain valid for the simulation's lifetime.
   std::vector<std::shared_ptr<Sampler>> samplers_;

@@ -1,0 +1,69 @@
+// Filesystem fault-injection interface.
+//
+// Durable-state code (the WAL, the tiered-retention compactor) must be
+// provably crash-safe: a torn write, a full disk, a failed rename, or a kill
+// at any point between two syscalls may never lose acknowledged data or
+// leave a torn file behind. Proving that requires injecting exactly those
+// faults at every filesystem operation. The injector interface lives in
+// core so the store tier can consult it without depending on the resilience
+// tier (which implements it in FaultPlan and already depends on store
+// transitively); production code passes nullptr and pays nothing.
+//
+// Contract: callers consult fs_fault(op) immediately BEFORE performing the
+// real operation. Each consultation advances the injector's single fs-op
+// schedule, so a scripted "crash at op N" lands on a precise step of a
+// multi-file transaction — the crash-matrix battery sweeps N over every op
+// of a compaction pass.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace hpcmon::core {
+
+/// The filesystem operation about to be performed.
+enum class FsOp : std::uint8_t { kOpen, kWrite, kFsync, kRename, kUnlink };
+
+/// What the injector wants to happen instead.
+enum class FsFault : std::uint8_t {
+  kNone,        // perform the operation normally
+  kError,       // fail with a generic I/O error
+  kShortWrite,  // write part of the data, then fail (torn record/file)
+  kEnospc,      // fail as a full disk would
+  kCrash,       // do NOT perform the operation; the process "dies" here —
+                // the caller must abandon all in-memory state and recover
+                // from disk (tests restart on the same directory)
+};
+
+constexpr std::string_view to_string(FsOp op) {
+  switch (op) {
+    case FsOp::kOpen: return "open";
+    case FsOp::kWrite: return "write";
+    case FsOp::kFsync: return "fsync";
+    case FsOp::kRename: return "rename";
+    case FsOp::kUnlink: return "unlink";
+  }
+  return "?";
+}
+
+constexpr std::string_view to_string(FsFault f) {
+  switch (f) {
+    case FsFault::kNone: return "none";
+    case FsFault::kError: return "error";
+    case FsFault::kShortWrite: return "short_write";
+    case FsFault::kEnospc: return "enospc";
+    case FsFault::kCrash: return "crash";
+  }
+  return "?";
+}
+
+/// Consulted before every physical filesystem operation of fault-aware
+/// durable-state code. Implementations must be thread-safe (the WAL appends
+/// from transport threads while the compactor runs on the timeline).
+class FsFaultInjector {
+ public:
+  virtual ~FsFaultInjector() = default;
+  virtual FsFault fs_fault(FsOp op) = 0;
+};
+
+}  // namespace hpcmon::core

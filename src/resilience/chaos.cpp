@@ -11,17 +11,24 @@ FaultSpec ChaosSchedule::composed() const {
     const auto& s = scenario_.phases[i].spec;
     out.sampler_error_p = std::max(out.sampler_error_p, s.sampler_error_p);
     out.sampler_hang_p = std::max(out.sampler_hang_p, s.sampler_hang_p);
-    out.wal_error_p = std::max(out.wal_error_p, s.wal_error_p);
-    out.wal_short_write_p =
-        std::max(out.wal_short_write_p, s.wal_short_write_p);
     out.delivery_error_p = std::max(out.delivery_error_p, s.delivery_error_p);
+    out.fs_error_p = std::max(out.fs_error_p, s.fs_error_p);
+    out.fs_short_write_p = std::max(out.fs_short_write_p, s.fs_short_write_p);
+    out.fs_enospc_p = std::max(out.fs_enospc_p, s.fs_enospc_p);
+    out.fs_rename_error_p =
+        std::max(out.fs_rename_error_p, s.fs_rename_error_p);
+    out.fs_crash_p = std::max(out.fs_crash_p, s.fs_crash_p);
     out.sampler_error_at = std::max(out.sampler_error_at, s.sampler_error_at);
     out.sampler_hang_at = std::max(out.sampler_hang_at, s.sampler_hang_at);
-    out.wal_error_at = std::max(out.wal_error_at, s.wal_error_at);
-    out.wal_short_write_at =
-        std::max(out.wal_short_write_at, s.wal_short_write_at);
     out.delivery_error_at =
         std::max(out.delivery_error_at, s.delivery_error_at);
+    out.fs_error_at = std::max(out.fs_error_at, s.fs_error_at);
+    out.fs_short_write_at =
+        std::max(out.fs_short_write_at, s.fs_short_write_at);
+    out.fs_enospc_at = std::max(out.fs_enospc_at, s.fs_enospc_at);
+    out.fs_rename_error_at =
+        std::max(out.fs_rename_error_at, s.fs_rename_error_at);
+    out.fs_crash_at = std::max(out.fs_crash_at, s.fs_crash_at);
     out.sampler_hang_sticky |= s.sampler_hang_sticky;
   }
   return out;
@@ -120,8 +127,8 @@ std::vector<ChaosScenario> standard_storm_scenarios() {
     io.label = "wal_brownout";
     io.start = 5 * core::kMinute;
     io.duration = 10 * core::kMinute;
-    io.spec.wal_error_p = 0.20;
-    io.spec.wal_short_write_p = 0.05;
+    io.spec.fs_error_p = 0.20;
+    io.spec.fs_short_write_p = 0.05;
     s.phases.push_back(io);
     out.push_back(std::move(s));
   }
@@ -183,9 +190,50 @@ std::vector<ChaosScenario> standard_storm_scenarios() {
     faults.duration = 10 * core::kMinute;
     faults.spec.sampler_error_p = 0.10;
     faults.spec.sampler_hang_p = 0.03;
-    faults.spec.wal_error_p = 0.05;
+    faults.spec.fs_error_p = 0.05;
     faults.spec.delivery_error_p = 0.30;
     s.phases.push_back(faults);
+    out.push_back(std::move(s));
+  }
+
+  // 7. Disk storm: the retention device dies in every way at once. Bulk
+  // load keeps the compactor busy; a crash window kills filesystem ops at
+  // random (torn WAL tails, dead mid-pass compactions); the whole stack is
+  // then hard-crashed and rebuilt on the same WAL + tier directories; the
+  // revived stack immediately faces an ENOSPC burst. Zero critical loss
+  // across the restart and a return to NORMAL are the invariants.
+  {
+    ChaosScenario s;
+    s.name = "disk_storm";
+    s.seed = 0xCA05007;
+    s.total = 45 * core::kMinute;
+    s.config_overrides = {
+        {"tier_dir", "auto"},          // harness substitutes a scratch dir
+        {"compact_interval_s", "60"},  // compact every simulated minute
+        {"tier_hot_window_s", "300"},  // age sealed chunks out aggressively
+        {"chunk_points", "32"},        // seal fast so tiers actually fill
+    };
+    StormPhase load;
+    load.label = "bulk_load";
+    load.start = 1 * core::kMinute;
+    load.duration = 30 * core::kMinute;
+    load.bulk_batches_per_tick = 20;
+    s.phases.push_back(load);
+    StormPhase kill;
+    kill.label = "fs_crash_window";
+    kill.start = 8 * core::kMinute;
+    kill.duration = 1 * core::kMinute;
+    kill.spec.fs_crash_p = 0.05;
+    s.phases.push_back(kill);
+    // Hard restart after the crash window, with enough clean time first for
+    // self-heal (WAL rotate + DLQ redelivery) to make everything durable.
+    s.crash_restart_at = 12 * core::kMinute;
+    StormPhase enospc;
+    enospc.label = "enospc_burst";
+    enospc.start = 14 * core::kMinute;
+    enospc.duration = 8 * core::kMinute;
+    enospc.spec.fs_enospc_p = 0.35;
+    s.phases.push_back(enospc);
     out.push_back(std::move(s));
   }
 

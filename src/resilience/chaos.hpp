@@ -50,6 +50,11 @@ struct ChaosScenario {
   std::vector<StormPhase> phases;
   /// Stack config overrides this scenario needs (key, value).
   std::vector<std::pair<std::string, std::string>> config_overrides;
+  /// When nonzero, the harness hard-crashes the stack (no shutdown, exactly
+  /// as simulate_crash()) at this offset from t0 and rebuilds it on the same
+  /// WAL/tier directories — the recovery path runs mid-storm, and the
+  /// zero-critical-loss invariant must hold across the restart.
+  core::Duration crash_restart_at = 0;
 };
 
 class ChaosSchedule {
@@ -86,7 +91,8 @@ class ChaosSchedule {
 
 /// The standing storm battery every chaos build runs: at least five distinct
 /// seeded scenarios (log storm, hang storm, WAL I/O storm, delivery storm,
-/// queue saturation, and a kitchen-sink compound).
+/// queue saturation, a kitchen-sink compound, and a disk storm that crashes
+/// the stack mid-compaction and restarts it into an ENOSPC burst).
 std::vector<ChaosScenario> standard_storm_scenarios();
 
 }  // namespace hpcmon::resilience

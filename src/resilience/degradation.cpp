@@ -11,6 +11,7 @@ HealthSignals HealthSignalAssembler::assemble(const obs::ObsSnapshot& snap) {
   hs.queue_fill = snap.gauge("ingest.queue_fill");
   hs.dlq_fill = snap.gauge("resilience.dlq_fill");
   hs.breaker_open_frac = snap.gauge("resilience.breaker_open_frac");
+  hs.disk_fill = snap.gauge("compact.disk_fill");
   hs.cache_fill =
       std::min(1.0, snap.gauge("store.cache_entries") / 1024.0);
   // The cumulative failure counter never shrinks, so pressure comes from the
@@ -39,7 +40,7 @@ DegradationController::DegradationController(DegradationConfig config)
 double DegradationController::pressure(const HealthSignals& signals) {
   double p = std::max({signals.queue_fill, signals.dlq_fill,
                        signals.wal_backlog, signals.cache_fill,
-                       signals.breaker_open_frac});
+                       signals.breaker_open_frac, signals.disk_fill});
   // Fresh involuntary loss: samples are already being dropped or rejected,
   // so whatever the fill gauges say, the system is saturated. Sprint up.
   const std::uint64_t lost_delta =

@@ -60,6 +60,7 @@ struct HealthSignals {
   double wal_backlog = 0.0;   // WAL append failures mapped into [0,1]
   double cache_fill = 0.0;    // store decode-cache pressure in [0,1]
   double breaker_open_frac = 0.0;  // open breakers / supervised samplers
+  double disk_fill = 0.0;  // tier-ladder disk bytes / configured budget
   /// Cumulative involuntarily lost samples (ingest dropped + rejected);
   /// the controller reacts to the delta since its previous evaluation.
   std::uint64_t lost_samples = 0;

@@ -39,7 +39,21 @@ bool ReliableDelivery::deliver(const transport::Frame& frame) {
   failures_.add();
   if (options_.dead_letter_cap > 0) {
     if (dead_letters_.size() >= options_.dead_letter_cap) {
-      dead_letters_.pop_front();
+      // Priority-aware eviction: a full queue makes room by dropping the
+      // oldest frame of the LOWEST priority present (bulk before standard
+      // before critical), so a bulk flood can never push a critical frame
+      // out of its last durable refuge. When everything parked outranks the
+      // newcomer, the newcomer is the one turned away.
+      auto victim = dead_letters_.begin();
+      for (auto it = dead_letters_.begin(); it != dead_letters_.end(); ++it) {
+        if (it->priority > victim->priority) victim = it;
+      }
+      if (victim->priority < frame.priority) {
+        evicted_.add();
+        update_dlq_fill();
+        return false;  // incoming frame is the lowest priority in sight
+      }
+      dead_letters_.erase(victim);
       evicted_.add();
     }
     dead_letters_.push_back(frame);

@@ -38,22 +38,45 @@ bool FaultPlan::sampler_hang() {
               injected_.sampler_hangs, spec_.sampler_hang_sticky);
 }
 
-WalFault FaultPlan::wal_fault() {
+core::FsFault FaultPlan::fs_fault(core::FsOp op) {
   std::scoped_lock lock(mu_);
-  ++wal_ops_;
-  const bool short_at = spec_.wal_short_write_at != 0 &&
-                        wal_ops_ == spec_.wal_short_write_at;
-  const bool error_at = spec_.wal_error_at != 0 && wal_ops_ == spec_.wal_error_at;
-  if (short_at || (spec_.wal_short_write_p > 0.0 &&
-                   rng_.bernoulli(spec_.wal_short_write_p))) {
-    ++injected_.wal_short_writes;
-    return WalFault::kShortWrite;
+  ++fs_ops_;
+  const auto at = [&](std::uint64_t n) { return n != 0 && fs_ops_ == n; };
+  const auto p = [&](double prob) { return prob > 0.0 && rng_.bernoulli(prob); };
+  // At most one fault per op; scripted one-shots and the most disruptive
+  // classes win. Applicability: short writes only tear kWrite; rename
+  // errors only hit kRename; ENOSPC hits the space-consuming ops; generic
+  // errors and crashes hit everything.
+  if (at(spec_.fs_crash_at) || p(spec_.fs_crash_p)) {
+    ++injected_.fs_crashes;
+    return core::FsFault::kCrash;
   }
-  if (error_at || (spec_.wal_error_p > 0.0 && rng_.bernoulli(spec_.wal_error_p))) {
-    ++injected_.wal_errors;
-    return WalFault::kError;
+  if (op == core::FsOp::kRename &&
+      (at(spec_.fs_rename_error_at) || p(spec_.fs_rename_error_p))) {
+    ++injected_.fs_rename_errors;
+    return core::FsFault::kError;
   }
-  return WalFault::kNone;
+  if (op == core::FsOp::kWrite &&
+      (at(spec_.fs_short_write_at) || p(spec_.fs_short_write_p))) {
+    ++injected_.fs_short_writes;
+    return core::FsFault::kShortWrite;
+  }
+  if ((op == core::FsOp::kOpen || op == core::FsOp::kWrite ||
+       op == core::FsOp::kFsync) &&
+      (at(spec_.fs_enospc_at) || p(spec_.fs_enospc_p))) {
+    ++injected_.fs_enospc;
+    return core::FsFault::kEnospc;
+  }
+  if (at(spec_.fs_error_at) || p(spec_.fs_error_p)) {
+    ++injected_.fs_errors;
+    return core::FsFault::kError;
+  }
+  return core::FsFault::kNone;
+}
+
+std::uint64_t FaultPlan::fs_ops() const {
+  std::scoped_lock lock(mu_);
+  return fs_ops_;
 }
 
 bool FaultPlan::delivery_error() {

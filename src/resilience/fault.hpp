@@ -10,9 +10,13 @@
 //     simulated hangs (the hang parks the calling thread on a condition
 //     variable until release_hangs(), so a SupervisedSampler watchdog can be
 //     exercised deterministically and CI can always reclaim the thread).
-//   * WriteAheadLog  — consults wal_fault() before each physical append to
-//     inject I/O errors and short (torn) writes, simulating crashes mid-
-//     record.
+//   * core::FsFaultInjector — FaultPlan implements the generic filesystem
+//     fault interface: every durable-state writer (the WAL's appends, the
+//     tiered-retention compactor's temp-write/fsync/rename/unlink sequences)
+//     consults fs_fault(op) before each physical operation. One shared
+//     monotone fs-op counter drives the scripted `fs_*_at` one-shots, so a
+//     crash-matrix test can kill a multi-file transaction at exactly the
+//     Nth filesystem operation and assert byte-exact recovery.
 //   * ReliableDelivery — faulty_deliver() wraps a delivery function with
 //     injected failures to drive retry/dead-letter paths.
 //
@@ -30,26 +34,37 @@
 #include <string>
 
 #include "collect/sampler.hpp"
+#include "core/fsfault.hpp"
 #include "core/rng.hpp"
 
 namespace hpcmon::resilience {
-
-enum class WalFault : std::uint8_t { kNone, kError, kShortWrite };
 
 struct FaultSpec {
   // Per-operation probabilities (0 disables the class of fault).
   double sampler_error_p = 0.0;
   double sampler_hang_p = 0.0;
-  double wal_error_p = 0.0;
-  double wal_short_write_p = 0.0;
   double delivery_error_p = 0.0;
+  // Filesystem fault probabilities, consulted once per physical fs
+  // operation by every fault-aware durable-state writer. Short writes
+  // apply only to kWrite ops; rename errors only to kRename; ENOSPC to
+  // the space-consuming ops (open/write/fsync); error and crash to all.
+  double fs_error_p = 0.0;
+  double fs_short_write_p = 0.0;
+  double fs_enospc_p = 0.0;
+  double fs_rename_error_p = 0.0;
+  double fs_crash_p = 0.0;
   // Scripted one-shots: fire at the Nth query of that category (1-based);
-  // 0 disables. Fires in addition to any probabilistic faults.
+  // 0 disables. Fires in addition to any probabilistic faults. All fs_*_at
+  // indices count the SAME fs-op stream, so "crash at fs op 7" is exact
+  // regardless of which fault classes are armed.
   std::uint64_t sampler_error_at = 0;
   std::uint64_t sampler_hang_at = 0;
-  std::uint64_t wal_error_at = 0;
-  std::uint64_t wal_short_write_at = 0;
   std::uint64_t delivery_error_at = 0;
+  std::uint64_t fs_error_at = 0;
+  std::uint64_t fs_short_write_at = 0;
+  std::uint64_t fs_enospc_at = 0;
+  std::uint64_t fs_rename_error_at = 0;
+  std::uint64_t fs_crash_at = 0;
   /// Every sampler query after `sampler_hang_at` also hangs when set —
   /// models a permanently wedged probe rather than a one-off stall.
   bool sampler_hang_sticky = false;
@@ -59,12 +74,15 @@ struct FaultSpec {
 struct InjectedFaults {
   std::uint64_t sampler_errors = 0;
   std::uint64_t sampler_hangs = 0;
-  std::uint64_t wal_errors = 0;
-  std::uint64_t wal_short_writes = 0;
   std::uint64_t delivery_errors = 0;
+  std::uint64_t fs_errors = 0;
+  std::uint64_t fs_short_writes = 0;
+  std::uint64_t fs_enospc = 0;
+  std::uint64_t fs_rename_errors = 0;
+  std::uint64_t fs_crashes = 0;
 };
 
-class FaultPlan {
+class FaultPlan : public core::FsFaultInjector {
  public:
   explicit FaultPlan(std::uint64_t seed, FaultSpec spec = {});
 
@@ -77,8 +95,16 @@ class FaultPlan {
   // Each query advances that category's operation counter; thread-safe.
   bool sampler_error();
   bool sampler_hang();
-  WalFault wal_fault();
   bool delivery_error();
+
+  /// Generic filesystem fault point (core::FsFaultInjector). Advances the
+  /// shared fs-op counter; scripted one-shots take precedence over the
+  /// probabilistic draws, and at most one fault fires per operation.
+  core::FsFault fs_fault(core::FsOp op) override;
+
+  /// Total filesystem operations consulted so far — lets a crash-matrix
+  /// test measure a pass's op count before sweeping fs_crash_at over it.
+  std::uint64_t fs_ops() const;
 
   /// Park the calling thread (a simulated hang) until release_hangs().
   void enter_hang();
@@ -99,7 +125,7 @@ class FaultPlan {
   FaultSpec spec_;
   std::uint64_t sampler_error_ops_ = 0;
   std::uint64_t sampler_hang_ops_ = 0;
-  std::uint64_t wal_ops_ = 0;
+  std::uint64_t fs_ops_ = 0;
   std::uint64_t delivery_ops_ = 0;
   std::size_t hanging_ = 0;
   bool released_ = false;

@@ -186,13 +186,21 @@ core::Status WriteAheadLog::append(const SampleBatch& batch) {
     return Status::error("wal: log is poisoned");
   }
   if (opts_.faults != nullptr) {
-    switch (opts_.faults->wal_fault()) {
-      case WalFault::kNone:
+    // One fs-op consult per logical append (the record write); the generic
+    // injector maps onto the WAL's two observable failure shapes.
+    switch (opts_.faults->fs_fault(core::FsOp::kWrite)) {
+      case core::FsFault::kNone:
         break;
-      case WalFault::kError:
+      case core::FsFault::kError:
         append_failures_.add();
         return Status::error("wal: injected I/O error");
-      case WalFault::kShortWrite:
+      case core::FsFault::kEnospc:
+        append_failures_.add();
+        return Status::error("wal: injected ENOSPC");
+      case core::FsFault::kShortWrite:
+      case core::FsFault::kCrash:
+        // A crash mid-append and a short write are indistinguishable to the
+        // next reader: both leave a torn tail that replay must tolerate.
         simulate_torn_tail();
         return Status::error("wal: injected short write (torn tail)");
     }

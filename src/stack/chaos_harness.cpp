@@ -54,7 +54,9 @@ ChaosReport run_chaos(
   report.dead_letter_cap = kDeadLetterCap;
 
   const std::string wal_dir = "/tmp/hpcmon_chaos_" + scenario.name;
+  const std::string tier_dir = wal_dir + "_tiers";
   std::filesystem::remove_all(wal_dir);
+  std::filesystem::remove_all(tier_dir);
 
   core::Config config;
   config.set("sample_interval_s", "30");
@@ -75,10 +77,15 @@ ChaosReport run_chaos(
   config.set("degradation_interval_s", "30");
   for (const auto& [k, v] : scenario.config_overrides) config.set(k, v);
   for (const auto& [k, v] : overrides) config.set(k, v);
+  // Scenarios ask for a tier ladder with the sentinel "auto"; the harness
+  // owns the scratch directory so reruns start clean.
+  if (config.get_string("tier_dir", "") == "auto") {
+    config.set("tier_dir", tier_dir);
+  }
 
   sim::Cluster cluster(harness_cluster(scenario.seed));
   resilience::FaultPlan plan(scenario.seed);
-  MonitoringStack stack(cluster, config, &plan);
+  auto stack = std::make_unique<MonitoringStack>(cluster, config, &plan);
   auto& registry = cluster.registry();
 
   // The liveness proof: one critical-class heartbeat series, published
@@ -115,6 +122,23 @@ ChaosReport run_chaos(
   };
   schedule.arm(cluster.events(), cluster.now(), plan, hooks);
 
+  // Hard crash + restart mid-storm when the scenario scripts one: the stack
+  // is destroyed the way a dead process dies (no drain, no flush — buffered
+  // state abandoned) and a fresh stack recovers from the same WAL and tier
+  // directories. Pre-crash obs counters are merged into the final snapshot
+  // so the shedding ledger spans both incarnations.
+  obs::ObsSnapshot pre_crash;
+  if (scenario.crash_restart_at > 0) {
+    cluster.events().schedule_at(
+        cluster.now() + scenario.crash_restart_at, [&](core::TimePoint) {
+          pre_crash.merge(stack->obs_snapshot());
+          plan.release_hangs();  // hung sampler threads must join
+          stack->simulate_crash();
+          stack.reset();
+          stack = std::make_unique<MonitoringStack>(cluster, config, &plan);
+        });
+  }
+
   const auto tick = 10 * core::kSecond;
   cluster.events().schedule_every(
       cluster.now() + tick, tick, [&](core::TimePoint t) {
@@ -126,7 +150,7 @@ ChaosReport run_chaos(
             {hb_series, t, static_cast<double>(report.heartbeats_sent)});
         auto frame = transport::encode_samples(hb);
         frame.priority = core::Priority::kCritical;
-        stack.router().publish(frame);
+        stack->router().publish(frame);
         ++report.heartbeats_sent;
 
         // Bulk flood when a phase calls for it: each batch strides the bulk
@@ -143,11 +167,11 @@ ChaosReport run_chaos(
           }
           auto bulk_frame = transport::encode_samples(bulk);
           bulk_frame.priority = core::Priority::kBulk;
-          stack.router().publish(bulk_frame);
+          stack->router().publish(bulk_frame);
         }
 
         // Track the controller's trajectory.
-        if (const auto* d = stack.degradation()) {
+        if (const auto* d = stack->degradation()) {
           report.max_mode =
               std::max(report.max_mode, static_cast<int>(d->mode()));
         }
@@ -158,13 +182,17 @@ ChaosReport run_chaos(
   // Teardown in the only safe order: wake hung sampler threads, then drain
   // and stop the pipeline under a deadline.
   plan.release_hangs();
-  const auto shutdown_report = stack.shutdown(std::chrono::milliseconds(10000));
+  const auto shutdown_report =
+      stack->shutdown(std::chrono::milliseconds(10000));
   report.shutdown_clean = shutdown_report.clean();
   report.survived = true;
 
   // Assertions read the SAME obs snapshot the degradation loop and the
   // operator report consume — no bespoke accessors, no second set of books.
-  const auto snap = stack.obs_snapshot();
+  // Counters from a pre-restart incarnation are merged in so voluntary
+  // shedding before the crash still shows in the ledger.
+  auto snap = stack->obs_snapshot();
+  snap.merge(pre_crash);
   report.critical_lost = snap.counter("ingest.dropped_critical_samples") +
                          snap.counter("ingest.rejected_critical_samples");
   report.bulk_shed = snap.counter("ingest.shed_bulk_samples") +
@@ -174,14 +202,23 @@ ChaosReport run_chaos(
   report.involuntary_lost = snap.counter("ingest.dropped_samples") +
                             snap.counter("ingest.rejected_samples");
   report.dead_letters = shutdown_report.dead_letters;
-  if (const auto* d = stack.degradation()) {
+  if (const auto* d = stack->degradation()) {
     report.transitions = d->stats().transitions;
     report.returned_to_normal = d->mode() == core::DegradationMode::kNormal;
   }
-  report.heartbeats_stored = static_cast<std::uint64_t>(
-      stack.sharded_store()
-          ->query_range(hb_series, {0, cluster.now() + core::kHour})
-          .size());
+  // Byte-completeness spans the tier ladder: heartbeats compacted out of the
+  // hot store before a crash live in tier files, and the span view merges
+  // both sides (hot wins exact-timestamp duplicates).
+  const core::TimeRange hb_window{0, cluster.now() + core::kHour};
+  if (stack->tiers() != nullptr) {
+    const store::TierSpanView<ingest::ShardedTimeSeriesStore> span(
+        stack->tiers(), stack->sharded_store());
+    report.heartbeats_stored =
+        static_cast<std::uint64_t>(span.query_range(hb_series, hb_window).size());
+  } else {
+    report.heartbeats_stored = static_cast<std::uint64_t>(
+        stack->sharded_store()->query_range(hb_series, hb_window).size());
+  }
 
   // Invariants, in the order an operator would triage them.
   if (!report.shutdown_clean) {

@@ -1,6 +1,7 @@
 #include "stack/stack.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "core/strings.hpp"
 #include "transport/codec.hpp"
@@ -17,6 +18,49 @@ store::RetentionPolicy retention_from(const core::Config& config) {
   policy.warm_window = config.get_int("warm_window_s", 604800) * kSecond;
   policy.warm_bucket = config.get_int("warm_bucket_s", 300) * kSecond;
   return policy;
+}
+
+/// Parse "res_s:crit_s,std_s,bulk_s;..." (res_s 0 = raw); empty or
+/// unparseable keeps the standard raw/10s/5min/1h ladder. A tier whose
+/// fields don't all parse as non-negative integers with at least one
+/// positive keep is rejected outright — a typo'd ladder must never become
+/// a "keep nothing" ladder that silently expires everything.
+store::TierPolicy tier_policy_from(const core::Config& config) {
+  const std::string spec = config.get_string("tier_policy", "");
+  if (spec.empty()) return store::TierPolicy::standard();
+  const auto as_seconds = [](std::string_view field) -> long long {
+    const std::string s{core::trim(field)};
+    if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) {
+      return -1;
+    }
+    return std::atoll(s.c_str());
+  };
+  store::TierPolicy policy;
+  for (const auto tier : core::split(spec, ';')) {
+    const auto parts = core::split(tier, ':');
+    if (parts.size() != 2) continue;
+    store::TierSpec ts;
+    const long long res = as_seconds(parts[0]);
+    if (res < 0) continue;
+    ts.resolution = res * kSecond;
+    ts.agg = ts.resolution > 0 ? store::Agg::kMean : store::Agg::kLast;
+    const auto keeps = core::split(parts[1], ',');
+    bool valid = !keeps.empty();
+    long long kept = 0;
+    for (std::size_t c = 0; c < core::kPriorityClasses && c < keeps.size();
+         ++c) {
+      const long long keep = as_seconds(keeps[c]);
+      if (keep < 0) {
+        valid = false;
+        break;
+      }
+      ts.keep[c] = keep * kSecond;
+      kept += keep;
+    }
+    if (!valid || kept == 0) continue;
+    policy.tiers.push_back(ts);
+  }
+  return policy.tiers.empty() ? store::TierPolicy::standard() : policy;
 }
 }  // namespace
 
@@ -82,6 +126,72 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
     tsdb_.hot().set_stage_timer(&stages_);
   }
 
+  // Tiered retention: recover the durable tier ladder BEFORE the WAL
+  // replays, so the watermark is known and samples already durable in a
+  // tier are filtered out of the replay instead of re-ingested.
+  if (const std::string tier_dir = config.get_string("tier_dir", "");
+      !tier_dir.empty()) {
+    store::TierStore::Options topts;
+    topts.dir = tier_dir;
+    topts.policy = tier_policy_from(config);
+    topts.faults = chaos_;
+    tiers_ = std::make_unique<store::TierStore>(std::move(topts));
+    if (!tiers_->open().is_ok()) {
+      // Unrecoverable tier directory: serve hot-only rather than refuse to
+      // start — the monitor must come up even when its history cannot.
+      tiers_.reset();
+    }
+  }
+  if (tiers_) {
+    tiers_->attach_to(obs_);
+    std::vector<store::TimeSeriesStore*> shards;
+    if (sharded_) {
+      for (std::size_t i = 0; i < sharded_->shard_count(); ++i) {
+        shards.push_back(&sharded_->shard(i));
+      }
+      span_sharded_ = std::make_unique<
+          store::TierSpanView<ingest::ShardedTimeSeriesStore>>(
+          tiers_.get(), sharded_.get());
+    } else {
+      shards.push_back(&tsdb_.hot());
+      span_hot_ =
+          std::make_unique<store::TierSpanView<store::TimeSeriesStore>>(
+              tiers_.get(), &tsdb_.hot());
+    }
+    store::CompactorOptions co;
+    co.hot_window =
+        config.get_int("tier_hot_window_s",
+                       config.get_int("hot_window_s", 21600)) *
+        kSecond;
+    co.priority_of = [this](core::SeriesId id) {
+      return cluster_.registry().series_priority(id);
+    };
+    compactor_ = std::make_unique<store::Compactor>(std::move(shards),
+                                                    tiers_.get(),
+                                                    std::move(co));
+    compactor_->attach_to(obs_);
+    // Compactor I/O runs behind a breaker: persistent disk failure opens it
+    // and the stack stops compacting while ingest and serving continue.
+    compact_breaker_ = std::make_unique<resilience::CircuitBreaker>(
+        resilience::BreakerConfig{}, 0xD15C);
+    compact_breaker_->attach_to(obs_);
+    tier_disk_budget_bytes_ =
+        static_cast<std::int64_t>(config.get_int("tier_disk_budget_mb", 1024)) *
+        1024 * 1024;
+    disk_fill_gauge_ = &obs_.gauge(
+        {"compact.disk_fill", "frac",
+         "tier-ladder disk bytes / tier_disk_budget_mb (refreshed per "
+         "snapshot)"});
+    const Duration compact_interval =
+        config.get_int("compact_interval_s", 3600) * kSecond;
+    cluster_.events().schedule_every(
+        cluster_.now() + compact_interval, compact_interval,
+        [this, alive = alive_](core::TimePoint t) {
+          if (!*alive) return;
+          run_compaction(t);
+        });
+  }
+
   // Resilience tier: WAL recovery + durable append, sampler supervision.
   // Replay happens BEFORE collection is wired so restored history cannot
   // interleave with new sweeps.
@@ -89,6 +199,17 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
   if (!wal_path.empty()) {
     replay_stats_ = resilience::WriteAheadLog::replay(
         wal_path, [this](core::SampleBatch&& batch) {
+          // Samples below the tier watermark are already durable in a tier
+          // file; replaying them would double-count against the span view.
+          if (tiers_) {
+            const auto wm = tiers_->watermark();
+            auto& s = batch.samples;
+            s.erase(std::remove_if(s.begin(), s.end(),
+                                   [wm](const core::Sample& x) {
+                                     return x.time < wm;
+                                   }),
+                    s.end());
+          }
           if (sharded_) {
             sharded_->append_batch(batch.samples);
           } else {
@@ -219,7 +340,8 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
         config.get_int("degradation_interval_s", 60) * kSecond;
     cluster_.events().schedule_every(
         cluster_.now() + eval_interval, eval_interval,
-        [this](core::TimePoint t) {
+        [this, alive = alive_](core::TimePoint t) {
+          if (!*alive) return;
           // Self-heal before taking the reading: rotate a poisoned WAL onto
           // a fresh segment, then run one redelivery pass over the
           // dead-letter queue. While the fault persists the letters stay put
@@ -247,8 +369,14 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
     sc.obs = &obs_;
     serve::ServeHooks hooks;
     // Queries answer from whichever numeric store is active — the exact
-    // objects in-process callers read, so results are byte-identical.
-    if (sharded_) {
+    // objects in-process callers read, so results are byte-identical. With
+    // a tier ladder configured, the span view answers instead: dashboards
+    // reach back through every resolution tier without knowing tiers exist.
+    if (span_sharded_) {
+      serve::bind_query_hooks(hooks, *span_sharded_);
+    } else if (span_hot_) {
+      serve::bind_query_hooks(hooks, *span_hot_);
+    } else if (sharded_) {
       serve::bind_query_hooks(hooks, *sharded_);
     } else {
       serve::bind_query_hooks(hooks, tsdb_.hot());
@@ -288,7 +416,8 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
          cluster_.topology().system()});
     cluster_.events().schedule_every(
         cluster_.now() + sample_interval, sample_interval,
-        [this](core::TimePoint t) {
+        [this, alive = alive_](core::TimePoint t) {
+          if (!*alive) return;
           core::SampleBatch self;
           self.sweep_time = t;
           self.origin = self_component_;
@@ -406,10 +535,16 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
   archive_path_ = config.get_string("archive_path", "");
   cluster_.events().schedule_every(
       cluster_.now() + core::kHour, core::kHour,
-      [this](core::TimePoint) { enforce_retention(); });
+      [this, alive = alive_](core::TimePoint) {
+        if (!*alive) return;
+        enforce_retention();
+      });
 }
 
 MonitoringStack::~MonitoringStack() {
+  // Scheduled closures outlive the stack in the event queue; flip the
+  // liveness flag first so any tick firing after this point is a no-op.
+  *alive_ = false;
   if (!crashed_) shutdown();
   // A simulated crash still joins the worker threads (the process is not
   // really dying) but skips the drain/flush, abandoning buffered state the
@@ -448,6 +583,24 @@ void MonitoringStack::apply_degradation(core::DegradationMode mode) {
   }
 }
 
+void MonitoringStack::run_compaction(core::TimePoint now) {
+  if (!compactor_ || !tiers_) return;
+  // An injected crash killed the TierStore: durable state is frozen until a
+  // fresh stack recovers the directory (the chaos harness's restart).
+  if (tiers_->crashed()) return;
+  // "Stop compacting, keep serving": the breaker denies passes while the
+  // disk is sick; ingest, queries, and the WAL keep running untouched.
+  if (!compact_breaker_->allow(now)) return;
+  if (compactor_->run_pass(now).is_ok()) {
+    compact_breaker_->record_success(now);
+    // Everything below the watermark is durable in a tier file; the WAL no
+    // longer needs to be able to replay it.
+    if (wal_) wal_->truncate_before(tiers_->watermark());
+  } else {
+    compact_breaker_->record_failure(now);
+  }
+}
+
 void MonitoringStack::refresh_live_gauges() const {
   if (queue_fill_gauge_ != nullptr && ingest_) {
     std::size_t depth = 0;
@@ -457,6 +610,10 @@ void MonitoringStack::refresh_live_gauges() const {
     queue_fill_gauge_->set(
         static_cast<double>(depth) /
         static_cast<double>(ingest_->config().queue_capacity));
+  }
+  if (disk_fill_gauge_ != nullptr && tiers_ && tier_disk_budget_bytes_ > 0) {
+    disk_fill_gauge_->set(static_cast<double>(tiers_->disk_bytes()) /
+                          static_cast<double>(tier_disk_budget_bytes_));
   }
   if (breaker_open_gauge_ != nullptr && !supervised_.empty()) {
     std::size_t open = 0;
@@ -480,6 +637,10 @@ resilience::SupervisorStats MonitoringStack::supervisor_stats() const {
 }
 
 void MonitoringStack::enforce_retention() {
+  // With a tier ladder configured, on-disk tiered retention owns eviction
+  // (compaction passes evict behind the durable watermark); the in-memory
+  // warm/archive ladder stands down so the two never race over a chunk.
+  if (tiers_) return;
   const auto archived = tsdb_.enforce(cluster_.now());
   if (archived > 0 && !archive_path_.empty()) {
     if (tsdb_.archive().save_to_file(archive_path_).is_ok()) {

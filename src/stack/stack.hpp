@@ -68,6 +68,26 @@
 //                               every (conn id % pool)-th connection)
 //   serve_egress_cap    (256)   per-connection egress queue bound; the
 //                               storm-mode priority door engages above it
+//   tier_dir            ("")    when set, sealed hot chunks age through
+//                               journaled on-disk resolution tiers in this
+//                               directory (raw -> 10s -> 5min -> 1h by
+//                               default) and queries served over the network
+//                               transparently span hot + every tier. The
+//                               directory is recovered at construction
+//                               (journal replay) BEFORE the WAL replays, so
+//                               samples already durable in a tier are not
+//                               re-ingested.
+//   compact_interval_s  (3600)  compactor pass cadence (simulated timeline)
+//   tier_hot_window_s   (hot_window_s) age at which sealed hot chunks are
+//                               tiered out and evicted behind the durable
+//                               watermark
+//   tier_disk_budget_mb (1024)  denominator of the compact.disk_fill gauge
+//                               that feeds disk pressure into storm mode
+//   tier_policy         ("")    override the tier ladder:
+//                               "res_s:crit_s,std_s,bulk_s;..." per tier,
+//                               e.g. "0:172800,86400,21600;10:604800,
+//                               259200,86400" (res_s 0 = raw); empty keeps
+//                               the standard raw/10s/5min/1h ladder
 #pragma once
 
 #include <chrono>
@@ -86,6 +106,7 @@
 #include "obs/exporter.hpp"
 #include "obs/registry.hpp"
 #include "obs/stage.hpp"
+#include "resilience/breaker.hpp"
 #include "resilience/degradation.hpp"
 #include "resilience/delivery.hpp"
 #include "resilience/fault.hpp"
@@ -95,9 +116,11 @@
 #include "response/alerts.hpp"
 #include "response/gate.hpp"
 #include "serve/server.hpp"
+#include "store/compactor.hpp"
 #include "store/jobstore.hpp"
 #include "store/logstore.hpp"
 #include "store/retention.hpp"
+#include "store/tier.hpp"
 #include "transport/event_router.hpp"
 
 namespace hpcmon::stack {
@@ -197,6 +220,22 @@ class MonitoringStack {
     return degradation_.get();
   }
 
+  // -- Tiered retention ------------------------------------------------------
+  /// Durable tier ladder; nullptr unless tier_dir is configured (or its
+  /// recovery failed, in which case the stack serves hot-only).
+  store::TierStore* tiers() { return tiers_.get(); }
+  const store::TierStore* tiers() const { return tiers_.get(); }
+  /// Background compactor driving the ladder; nullptr without tiers.
+  store::Compactor* compactor() { return compactor_.get(); }
+  /// Breaker guarding compactor I/O: a sick disk opens it and the stack
+  /// degrades to "stop compacting, keep serving".
+  const resilience::CircuitBreaker* compact_breaker() const {
+    return compact_breaker_.get();
+  }
+  /// One compaction attempt through the breaker at simulated time `now`
+  /// (the scheduled cadence calls this; tests/benches drive it directly).
+  void run_compaction(core::TimePoint now);
+
   // -- Serving tier ----------------------------------------------------------
   /// Network front door (queries, scans, live subscriptions, admin);
   /// nullptr unless `serve_port` is configured. The bound port (ephemeral
@@ -279,6 +318,16 @@ class MonitoringStack {
   std::vector<resilience::SupervisedSampler*> supervised_;  // owned by
                                                             // collection_
   std::unique_ptr<resilience::DegradationController> degradation_;
+  // Tiered retention: the durable tier ladder, the compactor that drives
+  // it, the breaker that guards its I/O, and the merged read views the
+  // serving tier binds. Declared after the hot stores they reference.
+  std::unique_ptr<store::TierStore> tiers_;
+  std::unique_ptr<store::Compactor> compactor_;
+  std::unique_ptr<resilience::CircuitBreaker> compact_breaker_;
+  std::unique_ptr<store::TierSpanView<store::TimeSeriesStore>> span_hot_;
+  std::unique_ptr<store::TierSpanView<ingest::ShardedTimeSeriesStore>>
+      span_sharded_;
+  std::int64_t tier_disk_budget_bytes_ = 0;
   // Declared after the stores/ingest tier: destroyed first, so the serve
   // threads stop answering before the data they serve is torn down.
   std::unique_ptr<serve::ServeServer> serve_;
@@ -287,7 +336,12 @@ class MonitoringStack {
   // (they summarize state the tiers do not hold as single instruments).
   obs::Gauge* queue_fill_gauge_ = nullptr;
   obs::Gauge* breaker_open_gauge_ = nullptr;
+  obs::Gauge* disk_fill_gauge_ = nullptr;
   core::ComponentId self_component_ = core::kNoComponent;
+  // Liveness flag captured by every event-queue closure the stack schedules:
+  // the queue has no cancellation, so after a chaos-harness restart destroys
+  // this stack mid-run, already-scheduled ticks fire as no-ops.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   bool crashed_ = false;
   bool shut_down_ = false;
 };

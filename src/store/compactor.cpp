@@ -1,0 +1,273 @@
+#include "store/compactor.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+
+namespace hpcmon::store {
+using core::Status;
+
+namespace {
+
+core::TimePoint bucket_start(core::TimePoint t, core::Duration b) {
+  auto q = t / b;
+  if (t % b < 0) --q;
+  return q * b;
+}
+
+/// Re-bucket `points` (time-ordered) at `resolution` with `agg`; the output
+/// timestamps are absolute floor-aligned bucket starts, so buckets from
+/// different compactions of the same epoch line up exactly.
+std::vector<core::TimedValue> rebucket(
+    const std::vector<core::TimedValue>& points, core::Duration resolution,
+    Agg agg) {
+  if (resolution <= 0) return points;  // raw destination: pass through
+  std::map<core::TimePoint, ChunkSummary> buckets;
+  for (const auto& p : points) {
+    buckets[bucket_start(p.time, resolution)].add(p);
+  }
+  std::vector<core::TimedValue> out;
+  out.reserve(buckets.size());
+  for (const auto& [t, s] : buckets) {
+    if (const auto v = summary_aggregate(s, agg)) out.push_back({t, *v});
+  }
+  return out;
+}
+
+}  // namespace
+
+Compactor::Compactor(std::vector<TimeSeriesStore*> hot_shards,
+                     TierStore* tiers, CompactorOptions opts)
+    : shards_(std::move(hot_shards)), tiers_(tiers), opts_(std::move(opts)) {}
+
+Status Compactor::run_pass(core::TimePoint now) {
+  auto st = tiers_->maintain();
+  if (st.is_ok()) st = compact_hot(now);
+  if (st.is_ok()) st = age_tiers(now);
+  if (st.is_ok()) st = expire_last(now);
+  if (!st.is_ok()) {
+    pass_failures_.add();
+    return st;
+  }
+  passes_.add();
+  return Status::ok();
+}
+
+Status Compactor::compact_hot(core::TimePoint now) {
+  const auto cutoff = now - opts_.hot_window;
+  // Snapshot the aged sealed chunks of every shard plus the watermark that
+  // is safe once (and only once) they are durable.
+  struct Picked {
+    core::SeriesId series;
+    std::shared_ptr<const Chunk> chunk;
+  };
+  std::array<std::vector<Picked>, core::kPriorityClasses> by_class;
+  std::vector<std::vector<std::pair<core::SeriesId, std::uint64_t>>>
+      evictions(shards_.size());
+  core::TimePoint watermark = cutoff;
+  std::size_t total = 0;
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    auto set = shards_[si]->sealed_chunks_before(cutoff);
+    watermark = std::min(watermark, set.safe_watermark);
+    for (auto& [sid, chunk] : set.chunks) {
+      const auto cls = static_cast<std::size_t>(
+          opts_.priority_of ? opts_.priority_of(sid)
+                            : core::Priority::kStandard);
+      evictions[si].emplace_back(sid, chunk->id());
+      by_class[cls].push_back({sid, std::move(chunk)});
+      ++total;
+    }
+  }
+  if (total == 0 && watermark <= tiers_->watermark()) return Status::ok();
+
+  std::vector<TierWriteSpec> specs;
+  std::uint64_t samples = 0;
+  std::uint64_t bytes = 0;
+  for (std::size_t cls = 0; cls < by_class.size(); ++cls) {
+    auto& picked = by_class[cls];
+    if (picked.empty()) continue;
+    std::sort(picked.begin(), picked.end(),
+              [](const Picked& a, const Picked& b) {
+                if (core::raw(a.series) != core::raw(b.series)) {
+                  return core::raw(a.series) < core::raw(b.series);
+                }
+                return a.chunk->min_time() < b.chunk->min_time();
+              });
+    TierWriteSpec spec;
+    spec.tier = 0;
+    spec.cls = static_cast<std::uint32_t>(cls);
+    for (const auto& p : picked) {
+      TierWriteSpec::SeriesChunk sc;
+      sc.series = p.series;
+      sc.min_time = p.chunk->min_time();
+      sc.max_time = p.chunk->max_time();
+      sc.summary = p.chunk->summary();
+      sc.payload = p.chunk->serialize();  // raw tier is byte-identical
+      samples += p.chunk->count();
+      bytes += sc.payload.size();
+      spec.chunks.push_back(std::move(sc));
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  const auto st = tiers_->ingest_hot(specs, watermark);
+  if (!st.is_ok()) return st;
+  // Durable → now (and only now) evict exactly the snapshot from the hot
+  // shards, behind the committed watermark.
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    shards_[si]->evict_chunks(evictions[si]);
+  }
+  files_written_.add(specs.size());
+  chunks_compacted_.add(total);
+  samples_tiered_.add(samples);
+  bytes_written_.add(bytes);
+  return Status::ok();
+}
+
+Status Compactor::age_tiers(core::TimePoint now) {
+  const auto& policy = tiers_->policy();
+  for (std::uint32_t k = 0; k + 1 < policy.tiers.size(); ++k) {
+    const auto next_res = policy.tiers[k + 1].resolution;
+    const auto next_agg = policy.tiers[k + 1].agg;
+    for (std::uint32_t cls = 0; cls < core::kPriorityClasses; ++cls) {
+      const auto keep = policy.tiers[k].keep[cls];
+      std::vector<std::shared_ptr<const TierFile>> srcs;
+      for (auto& f : tiers_->files(k, cls)) {
+        if (f->meta().max_time < now - keep) srcs.push_back(std::move(f));
+      }
+      if (srcs.empty()) continue;
+
+      // Gather every source entry per series, in time order, then decode,
+      // concatenate, and re-bucket at the destination resolution.
+      std::map<std::uint32_t,
+               std::vector<std::pair<const TierFile*, const TierEntry*>>>
+          per_series;
+      for (const auto& f : srcs) {
+        for (const auto& e : f->entries()) {
+          per_series[core::raw(e.series)].emplace_back(f.get(), &e);
+        }
+      }
+      TierWriteSpec dest;
+      dest.tier = k + 1;
+      dest.cls = cls;
+      std::uint64_t bytes = 0;
+      for (auto& [sid, list] : per_series) {
+        std::sort(list.begin(), list.end(), [](const auto& a, const auto& b) {
+          if (a.second->min_time != b.second->min_time) {
+            return a.second->min_time < b.second->min_time;
+          }
+          return a.second->payload_crc < b.second->payload_crc;
+        });
+        // A crash between a hot-ingest commit and the hot eviction re-tiers
+        // the same chunk into a second file (see TierStore::entries_for);
+        // collapse those duplicates here too, or aging would double-count.
+        list.erase(std::unique(list.begin(), list.end(),
+                               [](const auto& a, const auto& b) {
+                                 return a.second->min_time ==
+                                            b.second->min_time &&
+                                        a.second->max_time ==
+                                            b.second->max_time &&
+                                        a.second->summary.count ==
+                                            b.second->summary.count &&
+                                        a.second->payload_crc ==
+                                            b.second->payload_crc;
+                               }),
+                   list.end());
+        std::vector<core::TimedValue> points;
+        ChunkSummary summary;
+        core::TimePoint min_t = 0;
+        core::TimePoint max_t = 0;
+        bool any = false;
+        for (const auto& [file, e] : list) {
+          auto chunk = file->load_chunk(*e);
+          if (!chunk.is_ok()) {
+            // Corrupt entry: skip (typed, counted); the ladder keeps moving
+            // and the loss is bounded to this entry.
+            corrupt_entries_skipped_.add();
+            continue;
+          }
+          auto pts = chunk.value().decompress();
+          points.insert(points.end(), pts.begin(), pts.end());
+          summary.merge(e->summary);
+          min_t = any ? std::min(min_t, e->min_time) : e->min_time;
+          max_t = any ? std::max(max_t, e->max_time) : e->max_time;
+          any = true;
+        }
+        if (!any || points.empty()) continue;
+        std::sort(points.begin(), points.end(),
+                  [](const auto& a, const auto& b) { return a.time < b.time; });
+        TierWriteSpec::SeriesChunk sc;
+        sc.series = core::SeriesId{sid};
+        sc.min_time = min_t;
+        sc.max_time = max_t;
+        sc.summary = summary;
+        sc.payload =
+            Chunk::compress(rebucket(points, next_res, next_agg)).serialize();
+        bytes += sc.payload.size();
+        dest.chunks.push_back(std::move(sc));
+      }
+
+      // Everything in the sources was corrupt: nothing to carry downward,
+      // so the sources simply expire.
+      const auto st = dest.chunks.empty() ? tiers_->expire(srcs)
+                                          : tiers_->age(srcs, dest);
+      if (!st.is_ok()) return st;
+      files_aged_.add(srcs.size());
+      if (!dest.chunks.empty()) {
+        files_written_.add();
+        bytes_written_.add(bytes);
+      }
+    }
+  }
+  return Status::ok();
+}
+
+Status Compactor::expire_last(core::TimePoint now) {
+  const auto& policy = tiers_->policy();
+  if (policy.tiers.empty()) return Status::ok();
+  const auto last = static_cast<std::uint32_t>(policy.tiers.size() - 1);
+  for (std::uint32_t cls = 0; cls < core::kPriorityClasses; ++cls) {
+    const auto keep = policy.tiers[last].keep[cls];
+    std::vector<std::shared_ptr<const TierFile>> srcs;
+    for (auto& f : tiers_->files(last, cls)) {
+      if (f->meta().max_time < now - keep) srcs.push_back(std::move(f));
+    }
+    if (srcs.empty()) continue;
+    const auto st = tiers_->expire(srcs);
+    if (!st.is_ok()) return st;
+    files_expired_.add(srcs.size());
+  }
+  return Status::ok();
+}
+
+void Compactor::attach_to(obs::ObsRegistry& registry) const {
+  registry.attach({"compact.passes", "passes",
+                   "compactor passes completed end to end"},
+                  &passes_);
+  registry.attach({"compact.pass_failures", "passes",
+                   "compactor passes aborted by an I/O failure"},
+                  &pass_failures_);
+  registry.attach({"compact.files_written", "files",
+                   "tier files durably written (ingest + aging)"},
+                  &files_written_);
+  registry.attach({"compact.files_aged", "files",
+                   "tier files replaced by a coarser tier"},
+                  &files_aged_);
+  registry.attach({"compact.files_expired", "files",
+                   "last-tier files durably deleted by retention"},
+                  &files_expired_);
+  registry.attach({"compact.chunks_compacted", "chunks",
+                   "sealed hot chunks moved into tier 0"},
+                  &chunks_compacted_);
+  registry.attach({"compact.samples_tiered", "samples",
+                   "raw samples whose custody moved to the tier ladder"},
+                  &samples_tiered_);
+  registry.attach({"compact.corrupt_entries_skipped", "chunks",
+                   "source entries dropped during aging (CRC/decode failed)"},
+                  &corrupt_entries_skipped_);
+  registry.attach({"compact.bytes_written", "bytes",
+                   "bytes written into tier files"},
+                  &bytes_written_);
+}
+
+}  // namespace hpcmon::store

@@ -297,6 +297,53 @@ std::size_t TimeSeriesStore::evict_before(
   return evicted;
 }
 
+TimeSeriesStore::SealedChunkSet TimeSeriesStore::sealed_chunks_before(
+    TimePoint cutoff) const {
+  std::shared_lock map_lock(map_mu_);
+  SealedChunkSet out;
+  out.safe_watermark = cutoff;
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    std::scoped_lock lock(stripe(i));
+    const auto& s = series_[i];
+    TimePoint oldest_remaining = INT64_MAX;
+    for (const auto& c : s.sealed) {
+      if (c->max_time() < cutoff) {
+        out.chunks.emplace_back(SeriesId{static_cast<std::uint32_t>(i)}, c);
+      } else {
+        oldest_remaining = std::min(oldest_remaining, c->min_time());
+      }
+    }
+    if (!s.head.empty()) {
+      oldest_remaining = std::min(oldest_remaining, s.head.front().time);
+    }
+    out.safe_watermark = std::min(out.safe_watermark, oldest_remaining);
+  }
+  return out;
+}
+
+std::size_t TimeSeriesStore::evict_chunks(
+    const std::vector<std::pair<core::SeriesId, std::uint64_t>>& ids) {
+  std::shared_lock map_lock(map_mu_);
+  std::size_t evicted = 0;
+  std::vector<std::uint64_t> dropped;
+  for (const auto& [sid, chunk_id] : ids) {
+    const auto i = core::raw(sid);
+    if (i >= series_.size()) continue;
+    std::scoped_lock lock(stripe(i));
+    auto& sealed = series_[i].sealed;
+    for (auto it = sealed.begin(); it != sealed.end(); ++it) {
+      if ((*it)->id() == chunk_id) {
+        dropped.push_back(chunk_id);
+        sealed.erase(it);
+        ++evicted;
+        break;
+      }
+    }
+  }
+  for (const auto id : dropped) cache_.erase(id);
+  return evicted;
+}
+
 bool TimeSeriesStore::has_series(SeriesId id) const {
   const auto i = core::raw(id);
   std::shared_lock map_lock(map_mu_);

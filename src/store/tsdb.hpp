@@ -119,6 +119,29 @@ class TimeSeriesStore {
                            const std::function<void(core::SeriesId,
                                                     Chunk&&)>& sink);
 
+  /// Snapshot of the sealed chunks entirely older than `cutoff`, taken for
+  /// the tiered-retention compactor. `chunks` are shared refs (immutable;
+  /// safe to read outside any store lock). `safe_watermark` is the highest
+  /// time T such that EVERY point with time < T is inside the returned
+  /// chunks: min(cutoff, oldest time still remaining in any series after
+  /// those chunks are gone — a straddling chunk or head tail lowers it).
+  /// Once the returned chunks are durable elsewhere, dropping replayed
+  /// samples older than safe_watermark loses nothing.
+  struct SealedChunkSet {
+    std::vector<std::pair<core::SeriesId, std::shared_ptr<const Chunk>>>
+        chunks;
+    core::TimePoint safe_watermark = 0;
+  };
+  SealedChunkSet sealed_chunks_before(core::TimePoint cutoff) const;
+
+  /// Remove exactly the sealed chunks named by (series, chunk generation
+  /// id), dropping them from the decode cache. The compactor evicts the
+  /// snapshot it durably tiered — never "everything older than X", which
+  /// could swallow a chunk sealed after the snapshot. Returns the number
+  /// removed (already-gone ids are ignored).
+  std::size_t evict_chunks(
+      const std::vector<std::pair<core::SeriesId, std::uint64_t>>& ids);
+
   bool has_series(core::SeriesId series) const;
   StoreStats stats() const;
   QueryStats query_stats() const;

@@ -224,10 +224,12 @@ TEST(WalTest, ReopenSealsPriorIncarnationsSegments) {
   fs::remove_all(dir);
 }
 
+// The WAL consults the generic filesystem fault points (one kWrite op per
+// logical append), so these tests script faults by fs-op index.
 TEST(WalTest, InjectedErrorFailsOneAppend) {
   const auto dir = fresh_dir("inject_error");
   FaultSpec spec;
-  spec.wal_error_at = 2;
+  spec.fs_error_at = 2;
   FaultPlan plan(1234, spec);
   {
     WriteAheadLog wal({.dir = dir, .faults = &plan});
@@ -238,17 +240,38 @@ TEST(WalTest, InjectedErrorFailsOneAppend) {
     EXPECT_EQ(wal.stats().append_failures, 1u);
     EXPECT_EQ(wal.stats().appended_records, 2u);
   }
-  EXPECT_EQ(plan.injected().wal_errors, 1u);
+  EXPECT_EQ(plan.injected().fs_errors, 1u);
+  EXPECT_EQ(plan.fs_ops(), 3u);
   const auto batches = replay_all(dir);
   ASSERT_EQ(batches.size(), 2u);
   EXPECT_EQ(batches[1].sweep_time, 3 * core::kMinute);
   fs::remove_all(dir);
 }
 
+TEST(WalTest, InjectedEnospcFailsAppendWithoutPoisoning) {
+  const auto dir = fresh_dir("inject_enospc");
+  FaultSpec spec;
+  spec.fs_enospc_at = 2;
+  FaultPlan plan(1234, spec);
+  {
+    WriteAheadLog wal({.dir = dir, .faults = &plan});
+    EXPECT_TRUE(wal.append(make_batch(core::kMinute)).is_ok());
+    EXPECT_FALSE(wal.append(make_batch(2 * core::kMinute)).is_ok());
+    // A full disk rejects the record cleanly; nothing was half-written, so
+    // the log is not poisoned and recovers as soon as space returns.
+    EXPECT_FALSE(wal.poisoned());
+    EXPECT_TRUE(wal.append(make_batch(3 * core::kMinute)).is_ok());
+  }
+  EXPECT_EQ(plan.injected().fs_enospc, 1u);
+  const auto batches = replay_all(dir);
+  ASSERT_EQ(batches.size(), 2u);
+  fs::remove_all(dir);
+}
+
 TEST(WalTest, InjectedShortWriteTearsAndPoisons) {
   const auto dir = fresh_dir("inject_short");
   FaultSpec spec;
-  spec.wal_short_write_at = 3;
+  spec.fs_short_write_at = 3;
   FaultPlan plan(1234, spec);
   {
     WriteAheadLog wal({.dir = dir, .faults = &plan});
@@ -257,11 +280,30 @@ TEST(WalTest, InjectedShortWriteTearsAndPoisons) {
     EXPECT_FALSE(wal.append(make_batch(3 * core::kMinute)).is_ok());
     EXPECT_TRUE(wal.poisoned());
   }
-  EXPECT_EQ(plan.injected().wal_short_writes, 1u);
+  EXPECT_EQ(plan.injected().fs_short_writes, 1u);
   ReplayStats stats;
   const auto batches = replay_all(dir, &stats);
   EXPECT_EQ(stats.torn_tails, 1u);
   ASSERT_EQ(batches.size(), 2u);
+  fs::remove_all(dir);
+}
+
+TEST(WalTest, InjectedCrashLooksLikeATornTail) {
+  const auto dir = fresh_dir("inject_crash");
+  FaultSpec spec;
+  spec.fs_crash_at = 2;
+  FaultPlan plan(1234, spec);
+  {
+    WriteAheadLog wal({.dir = dir, .faults = &plan});
+    EXPECT_TRUE(wal.append(make_batch(core::kMinute)).is_ok());
+    EXPECT_FALSE(wal.append(make_batch(2 * core::kMinute)).is_ok());
+    EXPECT_TRUE(wal.poisoned());
+  }
+  EXPECT_EQ(plan.injected().fs_crashes, 1u);
+  ReplayStats stats;
+  const auto batches = replay_all(dir, &stats);
+  EXPECT_EQ(stats.torn_tails, 1u);
+  ASSERT_EQ(batches.size(), 1u);  // only the pre-crash record survives
   fs::remove_all(dir);
 }
 
