@@ -21,6 +21,7 @@
 // A real-threaded pipeline run is also executed and printed as a reference
 // (it validates correctness and losslessness; its wall-clock speedup is only
 // meaningful on multi-core hosts).
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <thread>
@@ -191,6 +192,11 @@ int main(int argc, char** argv) {
   json_metric("ingest.single_mutex_p8_msps", single_mutex_p8);
   json_metric("ingest.four_shard_p8_msps", four_shard_p8);
   json_metric("ingest.eight_shard_p8_msps", eight_shard_p8);
+  // Hardware-relative ratios for the CI regression gate (absolute Msps vary
+  // by runner; ratios of same-run measurements do not).
+  json_metric("ingest.four_shard_scaling_x", four_shard_p8 / single_mutex_p8);
+  json_metric("ingest.eight_shard_scaling_x",
+              eight_shard_p8 / single_mutex_p8);
   shape_check(four_shard_p8 >= 3.0 * single_mutex_p8,
               core::strformat(
                   "4-shard store @ 8 producers sustains >= 3x the "
@@ -199,6 +205,111 @@ int main(int argc, char** argv) {
   shape_check(eight_shard_p8 >= four_shard_p8 * 0.9,
               "adding shards past the producer bound never hurts (8-shard "
               ">= ~4-shard)");
+
+  // -- Samples/sec/core by shard count and priority class --------------------
+  // Per-core throughput from the same real busy-time measurements: how many
+  // samples one core's worth of shard-worker busy time encodes. Classes are
+  // assigned like the stack's default policy (a sparse critical set, a bulk
+  // tail, standard in between); each series has exactly one class, so
+  // per-class streams keep per-series timestamps increasing.
+  {
+    const auto class_of = [](std::uint32_t s) {
+      if (s % 16 == 0) return core::Priority::kCritical;
+      if (s % 4 == 0) return core::Priority::kBulk;
+      return core::Priority::kStandard;
+    };
+    const char* class_name[core::kPriorityClasses] = {"critical", "standard",
+                                                      "bulk"};
+    std::printf("\nEncode throughput per core, Ksamples/s/core "
+                "(real append busy time, by class):\n");
+    std::printf("  %-10s", "shards");
+    for (const auto* n : class_name) std::printf("  %-10s", n);
+    std::printf("  %-10s\n", "all");
+    double s4_all_sps_core = 0.0;
+    for (const auto s : shard_counts) {
+      ingest::ShardedTimeSeriesStore store(s, kChunkPoints);
+      // Partition per (shard, class) in sweep order.
+      std::vector<std::array<std::vector<Sample>, core::kPriorityClasses>>
+          streams(store.shard_count());
+      std::array<std::size_t, core::kPriorityClasses> cls_samples{};
+      for (const auto& b : sweeps) {
+        for (const auto& smp : b.samples) {
+          const auto cls = static_cast<std::size_t>(class_of(
+              core::raw(smp.series)));
+          streams[store.shard_of(smp.series)][cls].push_back(smp);
+          ++cls_samples[cls];
+        }
+      }
+      std::array<double, core::kPriorityClasses> cls_busy{};
+      for (std::size_t i = 0; i < streams.size(); ++i) {
+        for (std::size_t c = 0; c < core::kPriorityClasses; ++c) {
+          if (streams[i][c].empty()) continue;
+          const auto t0 = steady_clock::now();
+          store.shard(i).append_batch(streams[i][c]);
+          cls_busy[c] += seconds_since(t0);
+        }
+      }
+      double all_busy = 0.0;
+      std::printf("  %-10zu", s);
+      for (std::size_t c = 0; c < core::kPriorityClasses; ++c) {
+        all_busy += cls_busy[c];
+        const double sps = cls_samples[c] / cls_busy[c];
+        std::printf("  %-10.0f", sps / 1e3);
+        json_metric(core::strformat("ingest.sps_core_s%zu_%s", s,
+                                    class_name[c]),
+                    sps);
+      }
+      const double all_sps = total / all_busy;
+      std::printf("  %-10.0f\n", all_sps / 1e3);
+      json_metric(core::strformat("ingest.sps_core_s%zu_all", s), all_sps);
+      if (s == 4) s4_all_sps_core = all_sps;
+    }
+    shape_check(s4_all_sps_core >= 1e6,
+                core::strformat("batched ingest encodes >= 1M samples/s per "
+                                "core at 4 shards (%.2fM)",
+                                s4_all_sps_core / 1e6));
+  }
+
+  // -- append_run: one lock per series-run vs one lock per sample ------------
+  {
+    // Series-major runs (the replay/backfill shape): each series' 1500
+    // samples arrive as one time-ordered run.
+    std::vector<std::vector<Sample>> runs(kSeries);
+    for (std::uint32_t s = 0; s < kSeries; ++s) runs[s].reserve(kSweeps);
+    for (const auto& b : sweeps) {
+      for (const auto& smp : b.samples) {
+        runs[core::raw(smp.series)].push_back(smp);
+      }
+    }
+    store::TimeSeriesStore per_sample(kChunkPoints);
+    auto t0 = steady_clock::now();
+    std::size_t acc_one = 0;
+    for (std::uint32_t s = 0; s < kSeries; ++s) {
+      for (const auto& smp : runs[s]) {
+        acc_one += per_sample.append(smp.series, smp.time, smp.value);
+      }
+    }
+    const double t_one = seconds_since(t0);
+    store::TimeSeriesStore per_run(kChunkPoints);
+    t0 = steady_clock::now();
+    std::size_t acc_run = 0;
+    for (std::uint32_t s = 0; s < kSeries; ++s) {
+      acc_run += per_run.append_run(SeriesId{s}, runs[s]);
+    }
+    const double t_run = seconds_since(t0);
+    const double run_x = t_one / t_run;
+    std::printf("\nappend_run (%u series x %d samples): per-sample %6.1f ms, "
+                "per-run %6.1f ms (%.2fx), accepted %zu/%zu\n",
+                kSeries, kSweeps, t_one * 1e3, t_run * 1e3, run_x, acc_run,
+                acc_one);
+    json_metric("ingest.append_run_speedup_x", run_x);
+    shape_check(acc_run == acc_one && acc_run == total,
+                "append_run accepts exactly the per-sample append set");
+    shape_check(run_x >= 1.2,
+                core::strformat("one stripe-lock per run beats one per sample "
+                                "(%.2fx)",
+                                run_x));
+  }
 
   // -- Real-threaded reference run -------------------------------------------
   {

@@ -29,6 +29,9 @@
 #include "bench_common.hpp"
 #include "core/rng.hpp"
 #include "ingest/sharded_store.hpp"
+#include "store/cursor.hpp"
+
+#include "../tests/reference_codec.hpp"  // original bit-at-a-time codec
 
 namespace hpcmon::bench {
 namespace {
@@ -316,6 +319,79 @@ int main(int argc, char** argv) {
                 ids.size(), t_many * 1e3, ok);
     shape_check(ok == ids.size(),
                 "scatter-gather fan-out answers every series in one call");
+  }
+
+  // -- 6. Hot-path codec: word-at-a-time vs the original bit-at-a-time -------
+  {
+    // One big chunk of jittered-cadence random-walk data: every dod class 1
+    // and XOR window path gets exercised, like real telemetry.
+    std::vector<TimedValue> pts;
+    core::Rng rng(99);
+    TimePoint t = 0;
+    double level = 200.0;
+    pts.reserve(kPointsPerSeries);
+    for (int i = 0; i < kPointsPerSeries; ++i) {
+      t += core::kSecond +
+           static_cast<core::Duration>(rng.uniform(0.0, 2000.0));
+      level += rng.normal(0.0, 1.0);
+      pts.push_back({t, level});
+    }
+    constexpr int kCodecReps = 25;
+    const auto chunk = store::Chunk::compress(pts);
+    shape_check(chunk.payload() == refcodec::ref_encode_payload(pts),
+                "word-at-a-time encoder emits a byte-identical payload to the "
+                "original bit-at-a-time codec");
+
+    auto t0 = steady_clock::now();
+    std::size_t bytes = 0;
+    for (int r = 0; r < kCodecReps; ++r) {
+      bytes += refcodec::ref_encode_payload(pts).size();
+    }
+    const double t_enc_ref = seconds_since(t0);
+    t0 = steady_clock::now();
+    for (int r = 0; r < kCodecReps; ++r) {
+      bytes -= store::Chunk::compress(pts).payload().size();
+    }
+    const double t_enc_new = seconds_since(t0);
+
+    t0 = steady_clock::now();
+    std::size_t decoded = 0;
+    for (int r = 0; r < kCodecReps; ++r) {
+      decoded +=
+          refcodec::ref_decode_payload(chunk.payload(), chunk.count()).size();
+    }
+    const double t_dec_ref = seconds_since(t0);
+    std::vector<TimedValue> out;
+    t0 = steady_clock::now();
+    for (int r = 0; r < kCodecReps; ++r) {
+      out.clear();
+      decoded -= store::decode_all(chunk, out);
+    }
+    const double t_dec_new = seconds_since(t0);
+
+    const double enc_x = t_enc_ref / t_enc_new;
+    const double dec_x = t_dec_ref / t_dec_new;
+    const double dec_msps =
+        kCodecReps * static_cast<double>(pts.size()) / t_dec_new / 1e6;
+    std::printf("\nHot-path codec, %d points x %d reps (byte drift %zu):\n",
+                kPointsPerSeries, kCodecReps, bytes + decoded);
+    std::printf("  encode: bit-at-a-time %7.1f ms, word-at-a-time %7.1f ms "
+                "(%.1fx)\n",
+                t_enc_ref * 1e3, t_enc_new * 1e3, enc_x);
+    std::printf("  decode: bit-at-a-time %7.1f ms, word-at-a-time %7.1f ms "
+                "(%.1fx, %.1f Msamples/s)\n",
+                t_dec_ref * 1e3, t_dec_new * 1e3, dec_x, dec_msps);
+    json_metric("query.codec_encode_speedup_x", enc_x);
+    json_metric("query.codec_decode_speedup_x", dec_x);
+    json_metric("query.full_decode_msamples_per_s", dec_msps);
+    shape_check(dec_x >= 2.0,
+                core::strformat("batch decode_all is >= 2x the bit-at-a-time "
+                                "decoder on the full-decode path (%.1fx)",
+                                dec_x));
+    shape_check(enc_x >= 1.5,
+                core::strformat("word-at-a-time encode is >= 1.5x the "
+                                "bit-at-a-time encoder (%.1fx)",
+                                enc_x));
   }
 
   return finish();

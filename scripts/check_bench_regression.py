@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Gate CI on bench regressions: diff a bench's --json metric map against its
+committed baseline and fail on a >20% regression in any baselined metric.
+
+Usage:
+    scripts/check_bench_regression.py BASELINE.json CURRENT.json [--tolerance 0.20]
+
+The baseline (bench/baselines/*.json) intentionally lists only
+HARDWARE-RELATIVE metrics — speedup ratios of two measurements taken in the
+same run (keys ending in `_x`). Absolute throughputs (Msamples/s etc.) vary
+with the runner and would flap; ratios of same-run measurements do not.
+
+Direction is inferred from the key suffix:
+    lower is better:  *_ms, *_us, *_ns, *_s, *_bytes
+    higher is better: everything else (the `_x` speedup ratios)
+
+Exit status: 0 when every baselined metric is present and within tolerance,
+1 on any regression or missing metric, 2 on usage/parse errors. Improvements
+are reported but never fail the gate — refresh the baseline in the same PR
+that earns them.
+"""
+
+import json
+import sys
+
+LOWER_IS_BETTER_SUFFIXES = ("_ms", "_us", "_ns", "_s", "_bytes")
+
+
+def lower_is_better(key: str) -> bool:
+    return key.endswith(LOWER_IS_BETTER_SUFFIXES)
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    tolerance = 0.20
+    for a in argv[1:]:
+        if a.startswith("--tolerance"):
+            tolerance = float(a.split("=", 1)[1] if "=" in a
+                              else argv[argv.index(a) + 1])
+    if len(args) != 2:
+        print(__doc__)
+        return 2
+    baseline_path, current_path = args
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+        with open(current_path) as f:
+            current = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {e}")
+        return 2
+
+    failures = 0
+    for key, base in sorted(baseline.items()):
+        if key.startswith("shape_checks"):
+            continue
+        cur = current.get(key)
+        if cur is None:
+            print(f"FAIL {key}: missing from {current_path} "
+                  f"(baseline {base:g})")
+            failures += 1
+            continue
+        if base <= 0:
+            print(f"FAIL {key}: non-positive baseline {base:g} "
+                  f"(baselines must be positive)")
+            failures += 1
+            continue
+        if lower_is_better(key):
+            change = (cur - base) / base  # positive change = regression
+        else:
+            change = (base - cur) / base
+        status = "FAIL" if change > tolerance else "ok  "
+        trend = "regressed" if change > 0 else "improved"
+        print(f"{status} {key}: baseline {base:g} -> current {cur:g} "
+              f"({trend} {abs(change) * 100:.1f}%, tolerance "
+              f"{tolerance * 100:.0f}%)")
+        if change > tolerance:
+            failures += 1
+
+    # A current run that fails its own shape checks is a regression even if
+    # every baselined ratio held up.
+    shape_failed = current.get("shape_checks_failed", 0)
+    if shape_failed:
+        print(f"FAIL shape_checks_failed={shape_failed} in {current_path}")
+        failures += 1
+
+    if failures:
+        print(f"\n{failures} bench regression(s) vs {baseline_path}")
+        return 1
+    print(f"\nno regressions vs {baseline_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -4,7 +4,11 @@
 # tests (the chaos storm battery carries both `chaos` and `threaded`, so
 # every seeded storm scenario runs under ThreadSanitizer, and the serving
 # tier's reactor/writer-pool/slow-client tests ride along); asan and ubsan
-# run the full suite.
+# run the full suite — which includes the `codec`-labeled adversarial
+# sweep (store_codec_property_test): the word-at-a-time Gorilla decoder
+# against bit-flipped and truncated frames, where an out-of-bounds read or
+# shift-UB would otherwise hide. CI re-asserts that label by name
+# (`ctest -L codec`) in the instrumented trees.
 #
 # Usage:
 #   scripts/run_sanitizers.sh              # tsan, asan, ubsan in sequence

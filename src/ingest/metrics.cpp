@@ -5,7 +5,8 @@
 
 namespace hpcmon::ingest {
 
-IngestMetrics::IngestMetrics(std::size_t shards) : queue_hwm_(shards) {}
+IngestMetrics::IngestMetrics(std::size_t shards)
+    : queue_hwm_(shards), arena_bytes_(shards) {}
 
 void IngestMetrics::record_append(std::size_t merged_batches,
                                   std::size_t accepted,
@@ -38,6 +39,9 @@ IngestSnapshot IngestMetrics::snapshot() const {
   s.queue_hwm.reserve(queue_hwm_.size());
   for (const auto& h : queue_hwm_) {
     s.queue_hwm.push_back(static_cast<std::uint64_t>(h.value()));
+  }
+  for (const auto& a : arena_bytes_) {
+    s.arena_bytes += static_cast<std::uint64_t>(a.value());
   }
   s.batch_samples = batch_samples_.snapshot();
   for (std::size_t c = 0; c < core::kPriorityClasses; ++c) {
@@ -99,6 +103,12 @@ void IngestMetrics::attach_to(obs::ObsRegistry& registry) const {
   hwm.description = "highest per-shard queue depth seen so far";
   hwm.gauge_agg = obs::GaugeAgg::kMax;
   for (const auto& g : queue_hwm_) registry.attach(hwm, &g);
+  obs::InstrumentInfo arena;
+  arena.name = "ingest.arena_bytes";
+  arena.unit = "bytes";
+  arena.description = "retained shard-worker sample-arena allocation";
+  arena.gauge_agg = obs::GaugeAgg::kSum;  // shard arenas sum to tier memory
+  for (const auto& g : arena_bytes_) registry.attach(arena, &g);
   registry.attach({"ingest.batch_samples", "samples",
                    "coalesced samples per shard append"},
                   &batch_samples_);

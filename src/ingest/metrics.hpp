@@ -43,6 +43,7 @@ struct IngestSnapshot {
   std::uint64_t block_wait_us = 0;      // producer time spent in backpressure
   std::uint64_t append_us = 0;          // worker time spent appending
   std::vector<std::uint64_t> queue_hwm;  // per-shard depth high-water mark
+  std::uint64_t arena_bytes = 0;  // summed retained worker-arena allocation
   /// Coalesced samples-per-append distribution (log-bucketed, mergeable).
   obs::HistogramSnapshot batch_samples;
 
@@ -115,6 +116,10 @@ class IngestMetrics {
   // -- Worker side -----------------------------------------------------------
   void record_append(std::size_t merged_batches, std::size_t accepted,
                      std::size_t out_of_order, std::uint64_t duration_us);
+  /// Current retained allocation of a shard worker's sample arena.
+  void record_arena(std::size_t shard, std::size_t bytes) {
+    arena_bytes_[shard].set(static_cast<double>(bytes));
+  }
 
   IngestSnapshot snapshot() const;
 
@@ -138,6 +143,7 @@ class IngestMetrics {
   obs::Counter block_wait_us_;
   obs::Counter append_us_;
   std::vector<obs::Gauge> queue_hwm_;  // per shard; merged via GaugeAgg::kMax
+  std::vector<obs::Gauge> arena_bytes_;  // per shard; merged via GaugeAgg::kSum
   obs::Histogram batch_samples_;
   std::array<obs::Counter, core::kPriorityClasses> submitted_by_class_;
   std::array<obs::Counter, core::kPriorityClasses> shed_by_class_;

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "ingest/arena.hpp"
+
 namespace hpcmon::ingest {
 
 namespace {
@@ -247,6 +249,10 @@ void IngestPipeline::worker(std::size_t shard) {
   auto& ch = *channels_[shard];
   auto& store = store_.shard(shard);
   const auto idle = std::chrono::milliseconds(config_.idle_poll_ms);
+  // Per-worker merge arena: reset on every drain, so the coalesce+append
+  // hot loop reuses one warmed-up allocation instead of growing and freeing
+  // a vector per iteration.
+  SampleArena arena;
   for (;;) {
     auto first = ch.pop_for(idle);
     if (!first) {
@@ -271,21 +277,22 @@ void IngestPipeline::worker(std::size_t shard) {
     // how bursty the offered load was. Classes may mix in the merged append;
     // the store does not care, and each sub-batch already survived the
     // priority-aware admission above.
-    core::SampleBatch merged = std::move(first->batch);
+    arena.reset();
+    arena.append(first->batch.samples);
     std::size_t sub_batches = 1;
     while (sub_batches < config_.max_coalesce_batches) {
       auto more = ch.try_pop();
       if (!more) break;
       queue_wait(*more);
-      merged.samples.insert(merged.samples.end(), more->batch.samples.begin(),
-                            more->batch.samples.end());
+      arena.append(more->batch.samples);
       ++sub_batches;
     }
     const auto t0 = steady_clock::now();
-    const std::size_t accepted = store.append_batch(merged.samples);
+    const std::size_t accepted = store.append_batch(arena.run());
     const auto append_us = elapsed_us(t0);
-    metrics_.record_append(sub_batches, accepted,
-                           merged.samples.size() - accepted, append_us);
+    metrics_.record_append(sub_batches, accepted, arena.size() - accepted,
+                           append_us);
+    metrics_.record_arena(shard, arena.capacity_bytes());
     if (config_.stages != nullptr) {
       config_.stages->record(obs::Stage::kStoreAppend, append_us);
       config_.stages->record(obs::Stage::kShardWorker, elapsed_us(work_t0));

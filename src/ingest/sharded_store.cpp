@@ -14,10 +14,31 @@ ShardedTimeSeriesStore::ShardedTimeSeriesStore(std::size_t shards,
 }
 
 std::size_t ShardedTimeSeriesStore::append_batch(
-    const std::vector<core::Sample>& samples) {
+    std::span<const core::Sample> samples) {
+  if (samples.empty()) return 0;
+  if (shards_.size() == 1) return shards_[0]->append_batch(samples);
+  // Stable counting sort by owning shard into a recycled scratch buffer;
+  // each shard then takes one batched append (which stripe-groups
+  // internally). Per-series order is preserved, so results are identical to
+  // routing sample by sample.
+  thread_local std::vector<core::Sample> scratch;
+  thread_local std::vector<std::size_t> offsets;
+  offsets.assign(shards_.size() + 1, 0);
+  for (const auto& s : samples) ++offsets[shard_of(s.series) + 1];
+  for (std::size_t k = 1; k <= shards_.size(); ++k) {
+    offsets[k] += offsets[k - 1];
+  }
+  scratch.resize(samples.size());
+  thread_local std::vector<std::size_t> fill;
+  fill.assign(offsets.begin(), offsets.end());
+  for (const auto& s : samples) scratch[fill[shard_of(s.series)]++] = s;
+
   std::size_t accepted = 0;
-  for (const auto& s : samples) {
-    if (append(s.series, s.time, s.value)) ++accepted;
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    const std::size_t n = offsets[k + 1] - offsets[k];
+    if (n == 0) continue;
+    accepted += shards_[k]->append_batch(
+        std::span<const core::Sample>(scratch.data() + offsets[k], n));
   }
   return accepted;
 }

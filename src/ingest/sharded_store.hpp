@@ -13,6 +13,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "obs/registry.hpp"
@@ -45,7 +46,16 @@ class ShardedTimeSeriesStore {
     return shards_[shard_of(series)]->append(series, t, value);
   }
   void append(const core::Sample& s) { append(s.series, s.time, s.value); }
-  std::size_t append_batch(const std::vector<core::Sample>& samples);
+  /// Append a batch: samples are grouped by owning shard (stable counting
+  /// sort into a recycled scratch buffer) and each shard gets one
+  /// stripe-grouped append_batch call instead of a per-sample route+lock.
+  std::size_t append_batch(std::span<const core::Sample> samples);
+  /// One series' time-ordered run, encoded under a single stripe-lock
+  /// acquisition of the owning shard.
+  std::size_t append_run(core::SeriesId series,
+                         std::span<const core::Sample> run) {
+    return shards_[shard_of(series)]->append_run(series, run);
+  }
 
   std::vector<core::TimedValue> query_range(core::SeriesId series,
                                             const core::TimeRange& range) const {

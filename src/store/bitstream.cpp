@@ -2,32 +2,51 @@
 
 namespace hpcmon::store {
 
-void BitWriter::write(std::uint64_t value, int bits) {
-  for (int i = bits - 1; i >= 0; --i) {
-    const bool bit = (value >> i) & 1;
-    const std::size_t byte_index = bit_count_ / 8;
-    if (byte_index == bytes_.size()) bytes_.push_back(0);
-    if (bit) {
-      bytes_[byte_index] |=
-          static_cast<std::uint8_t>(1u << (7 - bit_count_ % 8));
-    }
-    ++bit_count_;
+void BitWriter::finish() {
+  if (finished_) return;
+  int pending = filled_;
+  std::uint64_t acc = acc_;
+  while (pending > 0) {
+    bytes_.push_back(static_cast<std::uint8_t>(acc >> 56));
+    acc <<= 8;
+    pending -= 8;
+  }
+  acc_ = 0;
+  filled_ = 0;
+  finished_ = true;
+}
+
+void BitWriter::unfinish() {
+  finished_ = false;
+  const int tail = static_cast<int>(bit_count_ % 8);
+  if (tail != 0) {
+    // The last byte holds `tail` real bits at its top plus zero padding;
+    // pull it back into the accumulator so new bits pack right behind them.
+    acc_ = static_cast<std::uint64_t>(bytes_.back()) << 56;
+    bytes_.pop_back();
+    filled_ = tail;
   }
 }
 
-std::uint64_t BitReader::read(int bits) {
-  std::uint64_t value = 0;
-  for (int i = 0; i < bits; ++i) {
-    const std::size_t byte_index = cursor_ / 8;
-    if (byte_index >= bytes_.size()) {
-      eof_ = true;
-      return 0;
-    }
-    const bool bit = (bytes_[byte_index] >> (7 - cursor_ % 8)) & 1;
-    value = (value << 1) | (bit ? 1 : 0);
-    ++cursor_;
-  }
-  return value;
+std::uint64_t BitReader::read_split(int bits) {
+  // refill() already ran: either the stream is exhausted mid-field, or the
+  // field straddles the accumulator boundary (avail_ >= 57, bits > avail_).
+  if (pos_ >= size_) return underrun();
+  const int first = avail_;
+  const std::uint64_t hi = extract(first);
+  refill();
+  const int rest = bits - first;  // 1..7
+  if (rest > avail_) return underrun();
+  return (hi << rest) | extract(rest);
+}
+
+std::uint64_t BitReader::underrun() {
+  eof_ = true;
+  consumed_ = size_ * 8;
+  pos_ = size_;
+  acc_ = 0;
+  avail_ = 0;
+  return 0;
 }
 
 }  // namespace hpcmon::store

@@ -31,6 +31,11 @@ Chunk Chunk::compress(const std::vector<TimedValue>& points) {
   c.id_ = next_chunk_id();
 
   BitWriter w;
+  // Worst case per point: 68-bit delta-of-delta + 77-bit value = 19 bytes;
+  // header point is 16. Reserving up front (plus word-granular spill slack)
+  // means the encode loop never reallocates — one growth-free allocation,
+  // then one right-sizing copy at take().
+  w.reserve(24 + 19 * points.size());
   // Header point: full timestamp + full value bits.
   w.write(detail::zigzag(points[0].time), 64);
   w.write(detail::double_bits(points[0].value), 64);
@@ -53,40 +58,39 @@ Chunk Chunk::compress(const std::vector<TimedValue>& points) {
     const std::uint64_t x = bits ^ prev_value;
     prev_value = bits;
     if (x == 0) {
-      w.write_bit(false);
+      w.write(0, 1);  // '0': same value
       continue;
     }
-    w.write_bit(true);
     int leading = std::countl_zero(x);
     int trailing = std::countr_zero(x);
     if (leading > 31) leading = 31;  // 5-bit leading field
     if (prev_leading >= 0 && leading >= prev_leading &&
         trailing >= prev_trailing) {
-      // Reuse previous window.
-      w.write_bit(false);
+      // '10': reuse previous window.
+      w.write(0b10, 2);
       const int meaningful = 64 - prev_leading - prev_trailing;
       w.write(x >> prev_trailing, meaningful);
     } else {
-      w.write_bit(true);
+      // '11': new window — control, 5-bit leading, and 6-bit meaningful-1
+      // fused into one 13-bit write (bit-identical to the separate writes).
       const int meaningful = 64 - leading - trailing;
-      w.write(static_cast<std::uint64_t>(leading), 5);
-      w.write(static_cast<std::uint64_t>(meaningful - 1), 6);  // 1..64
+      w.write((std::uint64_t{0b11} << 11) |
+                  (static_cast<std::uint64_t>(leading) << 6) |
+                  static_cast<std::uint64_t>(meaningful - 1),
+              13);
       w.write(x >> trailing, meaningful);
       prev_leading = leading;
       prev_trailing = trailing;
     }
   }
   c.bytes_ = std::move(w).take();
+  c.bytes_.shrink_to_fit();  // drop the worst-case reserve slack at seal
   return c;
 }
 
 std::vector<TimedValue> Chunk::decompress() const {
   std::vector<TimedValue> out;
-  if (count_ == 0) return out;
-  out.reserve(count_);
-  ChunkCursor cursor(*this);
-  TimedValue p;
-  while (cursor.next(p)) out.push_back(p);
+  decode_all(*this, out);
   return out;
 }
 
@@ -134,16 +138,23 @@ Chunk Chunk::deserialize(const std::vector<std::uint8_t>& raw) {
   // Decode-validate the bitstream against the header before trusting it:
   // exactly `count` points, strictly increasing times, endpoints matching
   // min/max. Recomputes the summary on the way (it is not serialized).
+  // Batch-decode through a fixed stack block rather than decode_all: `count`
+  // is attacker-controlled here, and sizing a buffer from it before the
+  // stream proves itself would let a 24-byte frame demand a gigabyte.
   ChunkCursor cursor(c);
-  TimedValue p;
+  TimedValue block[512];
   TimePoint prev = INT64_MIN;
   std::uint32_t decoded = 0;
-  while (cursor.next(p)) {
-    if (p.time <= prev) return {};
-    prev = p.time;
-    if (decoded == 0 && p.time != c.min_time_) return {};
-    c.summary_.add(p.value);
-    ++decoded;
+  for (;;) {
+    const std::size_t n = cursor.scan_batch(block);
+    if (n == 0) break;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (block[i].time <= prev) return {};
+      prev = block[i].time;
+      if (decoded == 0 && block[i].time != c.min_time_) return {};
+      c.summary_.add(block[i].value);
+      ++decoded;
+    }
   }
   if (decoded != count || prev != c.max_time_) return {};
   c.id_ = next_chunk_id();

@@ -2,6 +2,7 @@
 // cursor.cpp (streaming decoder). Not part of the public store API.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 
@@ -20,32 +21,41 @@ inline std::int64_t unzigzag(std::uint64_t v) {
 }
 
 // Delta-of-delta prefix classes (Gorilla Table): value ranges are chosen for
-// microsecond timestamps sampled at second-to-minute cadence.
+// microsecond timestamps sampled at second-to-minute cadence. Prefix and
+// payload are fused into one accumulator write per class so the common cases
+// cost a single shift/or instead of two bit-loop passes; the emitted bit
+// sequence is identical to the original prefix-then-payload encoding.
 inline void write_dod(BitWriter& w, std::int64_t dod) {
   const std::uint64_t z = zigzag(dod);
   if (dod == 0) {
-    w.write_bit(false);                    // '0'
+    w.write(0, 1);  // '0'
   } else if (z < (1u << 14)) {
-    w.write(0b10, 2);
-    w.write(z, 14);
+    w.write((std::uint64_t{0b10} << 14) | z, 2 + 14);
   } else if (z < (1u << 24)) {
-    w.write(0b110, 3);
-    w.write(z, 24);
+    w.write((std::uint64_t{0b110} << 24) | z, 3 + 24);
   } else if (z < (1ull << 36)) {
-    w.write(0b1110, 4);
-    w.write(z, 36);
+    w.write((std::uint64_t{0b1110} << 36) | z, 4 + 36);
   } else {
     w.write(0b1111, 4);
     w.write(z, 64);
   }
 }
 
+/// Payload width per prefix class (index = number of leading '1' bits).
+inline constexpr int kDodPayloadBits[5] = {0, 14, 24, 36, 64};
+
+// Branch-reduced class dispatch: peek the 4 possible prefix bits at once and
+// count leading ones instead of testing them one read_bit at a time. peek()
+// zero-pads past end-of-stream, so a truncated prefix degrades to a smaller
+// class and the following skip/read trips the reader's eof — the same
+// observable outcome as the sequential-read version.
 inline std::int64_t read_dod(BitReader& r) {
-  if (!r.read_bit()) return 0;
-  if (!r.read_bit()) return unzigzag(r.read(14));
-  if (!r.read_bit()) return unzigzag(r.read(24));
-  if (!r.read_bit()) return unzigzag(r.read(36));
-  return unzigzag(r.read(64));
+  const auto prefix =
+      static_cast<std::uint8_t>(static_cast<unsigned>(r.peek(4)) << 4);
+  const int klass = std::countl_one(prefix);  // 0..4: low nibble is zero
+  r.skip(klass < 4 ? klass + 1 : 4);
+  if (klass == 0) return 0;
+  return unzigzag(r.read(kDodPayloadBits[klass]));
 }
 
 inline std::uint64_t double_bits(double d) {

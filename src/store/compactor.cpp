@@ -4,6 +4,8 @@
 #include <array>
 #include <map>
 
+#include "store/cursor.hpp"
+
 namespace hpcmon::store {
 using core::Status;
 
@@ -186,8 +188,7 @@ Status Compactor::age_tiers(core::TimePoint now) {
             corrupt_entries_skipped_.add();
             continue;
           }
-          auto pts = chunk.value().decompress();
-          points.insert(points.end(), pts.begin(), pts.end());
+          decode_all(chunk.value(), points);  // batch-append, no temp vector
           summary.merge(e->summary);
           min_t = any ? std::min(min_t, e->min_time) : e->min_time;
           max_t = any ? std::max(max_t, e->max_time) : e->max_time;

@@ -10,47 +10,83 @@ using core::TimedValue;
 ChunkCursor::ChunkCursor(const Chunk& chunk)
     : reader_(chunk.payload()), count_(chunk.count()) {}
 
-bool ChunkCursor::next(TimedValue& out) {
-  if (index_ >= count_) return false;
+std::size_t ChunkCursor::scan_batch(std::span<TimedValue> out) {
+  std::size_t produced = 0;
+  if (out.empty() || index_ >= count_) return 0;
   if (index_ == 0) {
     // Header point: full timestamp + full value bits.
     time_ = detail::unzigzag(reader_.read(64));
     value_bits_ = reader_.read(64);
-    out = {time_, detail::bits_double(value_bits_)};
+    out[0] = {time_, detail::bits_double(value_bits_)};
     ++index_;
-    return true;
+    if (++produced == out.size()) return produced;
   }
-  // Accumulate in unsigned space: a corrupt stream can carry deltas that
-  // overflow int64, which must wrap (and fail validation) rather than be UB.
-  prev_delta_ = static_cast<std::int64_t>(
-      static_cast<std::uint64_t>(prev_delta_) +
-      static_cast<std::uint64_t>(detail::read_dod(reader_)));
-  time_ = static_cast<std::int64_t>(static_cast<std::uint64_t>(time_) +
-                                    static_cast<std::uint64_t>(prev_delta_));
-  if (reader_.read_bit()) {
-    std::uint64_t x;
-    if (reader_.read_bit()) {
-      prev_leading_ = static_cast<int>(reader_.read(5));
-      const int meaningful = static_cast<int>(reader_.read(6)) + 1;
-      prev_trailing_ = 64 - prev_leading_ - meaningful;
-      if (prev_trailing_ < 0) {  // window wider than 64 bits: garbage stream
-        index_ = count_;
-        return false;
+
+  // Decoder state lives in locals for the duration of the block so the
+  // inner loop runs out of registers; spilled back on exit (the cursor is
+  // resumable across scan_batch/next calls).
+  std::int64_t time = time_;
+  std::int64_t prev_delta = prev_delta_;
+  std::uint64_t vbits = value_bits_;
+  int lead = prev_leading_;
+  int trail = prev_trailing_;
+  std::uint32_t idx = index_;
+
+  while (idx < count_ && produced < out.size()) {
+    // Accumulate in unsigned space: a corrupt stream can carry deltas that
+    // overflow int64, which must wrap (and fail validation) rather than be
+    // UB.
+    prev_delta = static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(prev_delta) +
+        static_cast<std::uint64_t>(detail::read_dod(reader_)));
+    time = static_cast<std::int64_t>(static_cast<std::uint64_t>(time) +
+                                     static_cast<std::uint64_t>(prev_delta));
+    // Value control: '0' same value, '10' reuse window, '11' new window.
+    // peek is zero-padded past end-of-stream, so a truncated control bit
+    // lands in the '0'/'10' arms and the skip/read below trips eof.
+    const auto ctl = static_cast<unsigned>(reader_.peek(2));
+    if ((ctl & 0b10u) == 0) {
+      reader_.skip(1);
+    } else if (ctl == 0b11u) {
+      reader_.skip(2);
+      const std::uint64_t win = reader_.read(11);  // 5b leading, 6b meaningful
+      lead = static_cast<int>(win >> 6);
+      const int meaningful = static_cast<int>(win & 63u) + 1;
+      trail = 64 - lead - meaningful;
+      if (trail < 0) {  // window wider than 64 bits: garbage stream
+        idx = count_;
+        break;
       }
-      x = reader_.read(meaningful) << prev_trailing_;
+      vbits ^= reader_.read(meaningful) << trail;
     } else {
-      const int meaningful = 64 - prev_leading_ - prev_trailing_;
-      x = reader_.read(meaningful) << prev_trailing_;
+      reader_.skip(2);
+      const int meaningful = 64 - lead - trail;
+      vbits ^= reader_.read(meaningful) << trail;
     }
-    value_bits_ ^= x;
+    if (reader_.eof()) {  // malformed input: stop at what decoded cleanly
+      idx = count_;
+      break;
+    }
+    out[produced++] = {time, detail::bits_double(vbits)};
+    ++idx;
   }
-  if (reader_.eof()) {  // malformed input: stop at what decoded cleanly
-    index_ = count_;
-    return false;
-  }
-  out = {time_, detail::bits_double(value_bits_)};
-  ++index_;
-  return true;
+
+  time_ = time;
+  prev_delta_ = prev_delta;
+  value_bits_ = vbits;
+  prev_leading_ = lead;
+  prev_trailing_ = trail;
+  index_ = idx;
+  return produced;
+}
+
+std::size_t decode_all(const Chunk& chunk, std::vector<TimedValue>& out) {
+  const std::size_t base = out.size();
+  out.resize(base + chunk.count());
+  ChunkCursor cursor(chunk);
+  const std::size_t n = cursor.scan_batch({out.data() + base, chunk.count()});
+  out.resize(base + n);
+  return n;
 }
 
 }  // namespace hpcmon::store

@@ -7,9 +7,19 @@
 // stop as soon as they pass range.end (early exit) and never allocate a
 // point vector at all — the dashboard/detector streaming path the paper's
 // Table I consumers ("multiple consumers ... at variety of locations") need.
+//
+// scan_batch() is the bulk fast path underneath decompress, the decode
+// cache, aggregation boundary walks, and tier downsampling: it decodes a
+// run of points into a caller-provided buffer with all decoder state held
+// in registers, only spilling back to the cursor at block boundaries. Use
+// next() when a scan may stop early; use scan_batch()/decode_all() when
+// most of the chunk is needed anyway.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "core/series_buffer.hpp"  // TimedValue
 #include "store/bitstream.hpp"
@@ -26,7 +36,13 @@ class ChunkCursor {
 
   /// Decode the next point into `out`; false at end of stream (or on a
   /// truncated bitstream, matching Chunk::decompress's stop-early contract).
-  bool next(core::TimedValue& out);
+  bool next(core::TimedValue& out) { return scan_batch({&out, 1}) == 1; }
+
+  /// Decode up to out.size() points into `out`; returns the number produced.
+  /// Returns less than out.size() only at end of stream or on a malformed
+  /// bitstream (same stop-early contract as next()). Resumable: alternating
+  /// scan_batch and next on one cursor yields the same point sequence.
+  std::size_t scan_batch(std::span<core::TimedValue> out);
 
   /// Points not yet decoded (upper bound; a malformed stream ends sooner).
   std::uint32_t remaining() const { return count_ - index_; }
@@ -41,5 +57,11 @@ class ChunkCursor {
   int prev_leading_ = 0;
   int prev_trailing_ = 0;
 };
+
+/// Append every point of `chunk` to `out` in one batch decode; returns the
+/// number appended (== chunk.count() unless the bitstream is malformed).
+/// `out` keeps its existing contents, so callers can fuse multi-chunk walks
+/// into one reused buffer.
+std::size_t decode_all(const Chunk& chunk, std::vector<core::TimedValue>& out);
 
 }  // namespace hpcmon::store

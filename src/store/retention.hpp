@@ -84,7 +84,7 @@ class TieredStore {
     return hot_.append(series, t, value);
   }
   void append(const core::Sample& s) { hot_.append(s); }
-  std::size_t append_batch(const std::vector<core::Sample>& samples) {
+  std::size_t append_batch(std::span<const core::Sample> samples) {
     return hot_.append_batch(samples);
   }
 

@@ -11,6 +11,7 @@
 #include <map>
 
 #include "core/crc32.hpp"
+#include "store/cursor.hpp"
 
 namespace hpcmon::store {
 namespace fs = std::filesystem;
@@ -937,6 +938,7 @@ TierStore::entries_for(core::SeriesId series,
 std::vector<core::TimedValue> TierStore::query_range(
     core::SeriesId series, const core::TimeRange& range) const {
   std::vector<core::TimedValue> out;
+  std::vector<core::TimedValue> scratch;  // reused batch-decode buffer
   for (const auto& [file, e] : entries_for(series, range)) {
     entry_loads_.add();
     auto chunk = file->load_chunk(*e);
@@ -944,7 +946,9 @@ std::vector<core::TimedValue> TierStore::query_range(
       load_failures_.add();
       continue;
     }
-    for (const auto& p : chunk.value().decompress()) {
+    scratch.clear();
+    decode_all(chunk.value(), scratch);
+    for (const auto& p : scratch) {
       if (p.time >= range.begin && p.time < range.end) out.push_back(p);
     }
   }
@@ -981,6 +985,7 @@ std::optional<double> TierStore::aggregate(core::SeriesId series,
                                            const core::TimeRange& range,
                                            Agg agg) const {
   ChunkSummary acc;
+  std::vector<core::TimedValue> scratch;  // reused batch-decode buffer
   for (const auto& [file, e] : entries_for(series, range)) {
     if (range.begin <= e->min_time && e->max_time < range.end) {
       // Fully covered: the raw-sample summary is EXACT regardless of tier.
@@ -994,7 +999,9 @@ std::optional<double> TierStore::aggregate(core::SeriesId series,
       continue;
     }
     ChunkSummary part;
-    for (const auto& p : chunk.value().decompress()) {
+    scratch.clear();
+    decode_all(chunk.value(), scratch);
+    for (const auto& p : scratch) {
       if (p.time >= range.begin && p.time < range.end) part.add(p);
     }
     acc.merge(part);
@@ -1008,6 +1015,7 @@ std::vector<core::TimedValue> TierStore::downsample(
   std::vector<core::TimedValue> out;
   if (bucket <= 0) return out;
   std::map<core::TimePoint, ChunkSummary> buckets;
+  std::vector<core::TimedValue> scratch;  // reused batch-decode buffer
   for (const auto& [file, e] : entries_for(series, range)) {
     const auto b0 = bucket_start(e->min_time, bucket);
     if (range.begin <= e->min_time && e->max_time < range.end &&
@@ -1024,7 +1032,9 @@ std::vector<core::TimedValue> TierStore::downsample(
       load_failures_.add();
       continue;
     }
-    for (const auto& p : chunk.value().decompress()) {
+    scratch.clear();
+    decode_all(chunk.value(), scratch);
+    for (const auto& p : scratch) {
       if (p.time >= range.begin && p.time < range.end) {
         buckets[bucket_start(p.time, bucket)].add(p);
       }

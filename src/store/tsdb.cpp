@@ -77,7 +77,10 @@ bool TimeSeriesStore::append(SeriesId id, TimePoint t, double value) {
 
 bool TimeSeriesStore::append_at(std::size_t i, TimePoint t, double value) {
   std::scoped_lock lock(stripe(i));
-  auto& s = series_[i];
+  return append_locked(series_[i], t, value);
+}
+
+bool TimeSeriesStore::append_locked(Series& s, TimePoint t, double value) {
   if (t <= s.last_time) return false;  // strict ordering per series
   s.head.push_back({t, value});
   s.last_time = t;
@@ -86,10 +89,76 @@ bool TimeSeriesStore::append_at(std::size_t i, TimePoint t, double value) {
 }
 
 std::size_t TimeSeriesStore::append_batch(
-    const std::vector<core::Sample>& samples) {
-  std::size_t accepted = 0;
+    std::span<const core::Sample> samples) {
+  if (samples.empty()) return 0;
+  std::size_t max_index = 0;
   for (const auto& s : samples) {
-    if (append(s.series, s.time, s.value)) ++accepted;
+    max_index =
+        std::max(max_index, static_cast<std::size_t>(core::raw(s.series)));
+  }
+  std::shared_lock map_lock(map_mu_);
+  if (max_index >= series_.size()) {
+    map_lock.unlock();
+    {
+      std::unique_lock grow(map_mu_);
+      if (max_index >= series_.size()) series_.resize(max_index + 1);
+    }
+    map_lock.lock();
+  }
+
+  // Stable counting sort of sample indices by lock stripe: each stripe mutex
+  // is then taken once per batch instead of once per sample. Within a stripe
+  // samples keep arrival order, and appends to different series commute, so
+  // accept/seal decisions — and sealed chunk bytes — match the per-sample
+  // path exactly.
+  std::array<std::size_t, kLockStripes + 1> offsets{};
+  for (const auto& s : samples) {
+    ++offsets[core::raw(s.series) % kLockStripes + 1];
+  }
+  for (std::size_t k = 1; k <= kLockStripes; ++k) offsets[k] += offsets[k - 1];
+  thread_local std::vector<std::uint32_t> order;
+  order.resize(samples.size());
+  auto fill = offsets;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    order[fill[core::raw(samples[i].series) % kLockStripes]++] =
+        static_cast<std::uint32_t>(i);
+  }
+
+  std::size_t accepted = 0;
+  for (std::size_t k = 0; k < kLockStripes; ++k) {
+    if (offsets[k] == offsets[k + 1]) continue;
+    std::scoped_lock lock(stripe_mu_[k]);
+    for (std::size_t j = offsets[k]; j < offsets[k + 1]; ++j) {
+      const auto& s = samples[order[j]];
+      if (append_locked(series_[core::raw(s.series)], s.time, s.value)) {
+        ++accepted;
+      }
+    }
+  }
+  return accepted;
+}
+
+std::size_t TimeSeriesStore::append_run(SeriesId id,
+                                        std::span<const core::Sample> run) {
+  if (run.empty()) return 0;
+  const auto i = static_cast<std::size_t>(core::raw(id));
+  std::shared_lock map_lock(map_mu_);
+  if (i >= series_.size()) {
+    map_lock.unlock();
+    {
+      std::unique_lock grow(map_mu_);
+      if (i >= series_.size()) series_.resize(i + 1);
+    }
+    map_lock.lock();
+  }
+  std::scoped_lock lock(stripe(i));
+  auto& s = series_[i];
+  // One head-extend for the whole run (head capacity survives sealing, so
+  // steady-state appends never allocate).
+  s.head.reserve(std::min(chunk_points_, s.head.size() + run.size()));
+  std::size_t accepted = 0;
+  for (const auto& smp : run) {
+    if (append_locked(s, smp.time, smp.value)) ++accepted;
   }
   return accepted;
 }
@@ -183,14 +252,24 @@ std::optional<double> TimeSeriesStore::aggregate(SeriesId id,
       summary_chunks_.add();
       continue;
     }
-    // Boundary chunk: stream with early exit instead of materializing.
+    // Boundary chunk: batch-decode through a stack block instead of
+    // materializing the chunk; early exit between blocks keeps the old
+    // stop-past-range.end behavior at block granularity.
     cursor_chunks_.add();
     span.set_stage(obs::Stage::kQueryCursor);
     ChunkCursor cursor(*c);
-    TimedValue p;
-    while (cursor.next(p)) {
-      if (p.time >= range.end) break;
-      if (p.time >= range.begin) acc.add(p);
+    TimedValue block[256];
+    bool past_end = false;
+    while (!past_end) {
+      const std::size_t n = cursor.scan_batch(block);
+      if (n == 0) break;
+      for (std::size_t k = 0; k < n; ++k) {
+        if (block[k].time >= range.end) {
+          past_end = true;
+          break;
+        }
+        if (block[k].time >= range.begin) acc.add(block[k]);
+      }
     }
   }
   for (const auto& p : view.head) acc.add(p);
@@ -232,10 +311,20 @@ std::vector<TimedValue> TimeSeriesStore::downsample(SeriesId id,
     cursor_chunks_.add();
     span.set_stage(obs::Stage::kQueryCursor);
     ChunkCursor cursor(*c);
-    TimedValue p;
-    while (cursor.next(p)) {
-      if (p.time >= range.end) break;
-      if (p.time >= range.begin) acc_for(bucket_start(p.time)).add(p);
+    TimedValue block[256];
+    bool past_end = false;
+    while (!past_end) {
+      const std::size_t n = cursor.scan_batch(block);
+      if (n == 0) break;
+      for (std::size_t k = 0; k < n; ++k) {
+        if (block[k].time >= range.end) {
+          past_end = true;
+          break;
+        }
+        if (block[k].time >= range.begin) {
+          acc_for(bucket_start(block[k].time)).add(block[k]);
+        }
+      }
     }
   }
   for (const auto& p : view.head) acc_for(bucket_start(p.time)).add(p);

@@ -26,6 +26,7 @@
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -79,8 +80,20 @@ class TimeSeriesStore {
   /// return duplicate points. Matching TSDB ingest semantics.
   bool append(core::SeriesId series, core::TimePoint t, double value);
   void append(const core::Sample& s) { append(s.series, s.time, s.value); }
-  /// Append a whole batch; returns the number accepted.
-  std::size_t append_batch(const std::vector<core::Sample>& samples);
+  /// Append a whole batch; returns the number accepted. Samples are grouped
+  /// by lock stripe (stable, so per-series arrival order — and therefore
+  /// every accept/reject/seal decision and sealed-chunk byte — is identical
+  /// to appending them one by one), then each stripe mutex is taken once per
+  /// batch instead of once per sample. Supersedes the old
+  /// `const std::vector<Sample>&` overload: vectors convert implicitly.
+  std::size_t append_batch(std::span<const core::Sample> samples);
+  /// Append a time-ordered run of samples for ONE series under a single
+  /// stripe-lock acquisition (the samples' own `series` fields are ignored).
+  /// Returns the number accepted; out-of-order points are skipped with the
+  /// same strict-ordering rule as append(), so the resulting head/sealed
+  /// state is byte-identical to N individual append() calls.
+  std::size_t append_run(core::SeriesId series,
+                         std::span<const core::Sample> run);
 
   /// All points of a series within [range.begin, range.end), time-ordered.
   /// The output is pre-reserved from chunk counts + head size.
@@ -176,6 +189,7 @@ class TimeSeriesStore {
     return stripe_mu_[series_index % kLockStripes];
   }
   bool append_at(std::size_t index, core::TimePoint t, double value);
+  bool append_locked(Series& s, core::TimePoint t, double value);
   void seal_locked(Series& s);
   /// Snapshot the chunks/head of `series` overlapping `range` (shared map
   /// lock + stripe lock, both released on return).
