@@ -1,0 +1,77 @@
+// Socket fault-injection interface.
+//
+// The relay tier must be provably robust against the network failing exactly
+// when the monitored system does (the paper's transport sections; no vendor
+// transport guarantees delivery). Proving "at-least-once, exactly-applied"
+// requires injecting connection resets, stalls, partial writes, short reads
+// and torn frames at every socket operation of both ends of the wire. Like
+// FsFaultInjector, the interface lives in core so serve and relay can consult
+// it without depending on the resilience tier (which implements it in
+// FaultPlan); production code passes nullptr and pays nothing.
+//
+// Contract: callers consult socket_fault(op) immediately BEFORE performing
+// the real syscall. Each consultation advances the injector's single
+// socket-op schedule, so a scripted "reset at op N" lands on a precise step
+// of a send/ack exchange — the resume battery sweeps N over every op of a
+// relay session. Faults map onto the syscall as follows:
+//
+//   kReset      connect/send/recv fails as if the peer reset (the caller
+//               additionally tears down the socket so the peer observes it)
+//   kStall      the operation is delayed a bounded interval, then proceeds
+//               (models latency spikes; deadlines must absorb it)
+//   kShortWrite send transmits only a prefix and reports the short count
+//               (benign fragmentation; framing must reassemble)
+//   kShortRead  recv returns fewer bytes than available (same, read side)
+//   kTornFrame  send transmits a prefix, then the connection dies — the
+//               peer is left holding a torn frame it must discard
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace hpcmon::core {
+
+/// The socket operation about to be performed.
+enum class SocketOp : std::uint8_t { kConnect, kSend, kRecv };
+
+/// What the injector wants to happen instead.
+enum class SocketFault : std::uint8_t {
+  kNone,        // perform the operation normally
+  kReset,       // fail as a peer reset would (ECONNRESET)
+  kStall,       // delay the operation, then perform it normally
+  kShortWrite,  // transmit a prefix only, report the short count (send)
+  kShortRead,   // deliver fewer bytes than available (recv)
+  kTornFrame,   // transmit a prefix, then kill the connection (send)
+};
+
+constexpr std::string_view to_string(SocketOp op) {
+  switch (op) {
+    case SocketOp::kConnect: return "connect";
+    case SocketOp::kSend: return "send";
+    case SocketOp::kRecv: return "recv";
+  }
+  return "?";
+}
+
+constexpr std::string_view to_string(SocketFault f) {
+  switch (f) {
+    case SocketFault::kNone: return "none";
+    case SocketFault::kReset: return "reset";
+    case SocketFault::kStall: return "stall";
+    case SocketFault::kShortWrite: return "short_write";
+    case SocketFault::kShortRead: return "short_read";
+    case SocketFault::kTornFrame: return "torn_frame";
+  }
+  return "?";
+}
+
+/// Consulted before every physical socket operation of fault-aware network
+/// code. Implementations must be thread-safe (the relay worker and the serve
+/// reactor/writer threads draw from one shared schedule).
+class SocketFaultInjector {
+ public:
+  virtual ~SocketFaultInjector() = default;
+  virtual SocketFault socket_fault(SocketOp op) = 0;
+};
+
+}  // namespace hpcmon::core

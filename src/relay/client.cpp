@@ -1,0 +1,527 @@
+#include "relay/client.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "serve/protocol.hpp"
+#include "serve/sockio.hpp"
+#include "transport/codec.hpp"
+
+namespace hpcmon::relay {
+
+namespace {
+
+/// Seqs reserved per durable lease write: a restart burns at most one lease
+/// block of the 64-bit space, so the state file is rewritten once per
+/// ~65k appends instead of once per append.
+constexpr std::uint64_t kSeqLeaseBlock = 1u << 16;
+
+constexpr std::uint8_t kStateVersion = 1;
+constexpr std::uint8_t kStateMagic[4] = {'H', 'R', 'L', 'Y'};
+
+}  // namespace
+
+std::int64_t RelayClient::now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+RelayClient::RelayClient(RelayConfig config)
+    : config_(std::move(config)),
+      breaker_(
+          resilience::BreakerConfig{
+              .failure_threshold = 1,
+              .cooldown = std::max(1, config_.backoff_ms) * core::kMillisecond,
+              .backoff_factor = 2.0,
+              .max_cooldown =
+                  std::max(config_.backoff_ms, config_.backoff_max_ms) *
+                  core::kMillisecond,
+              .jitter = 0.1,
+          },
+          0x5EEDB4EAull ^ config_.source_id) {
+  attach_to(config_.obs != nullptr ? *config_.obs : own_obs_);
+}
+
+RelayClient::~RelayClient() { stop(); }
+
+void RelayClient::attach_to(obs::ObsRegistry& registry) const {
+  registry.attach({"relay.submitted_batches", "batches",
+                   "append entries enqueued for forwarding"},
+                  &submitted_batches_);
+  registry.attach({"relay.submitted_samples", "samples",
+                   "samples enqueued for forwarding"},
+                  &submitted_samples_);
+  registry.attach({"relay.shed_batches", "batches",
+                   "unsent bulk/standard entries shed by the queue bound"},
+                  &shed_batches_);
+  registry.attach({"relay.sent_batches", "batches", "append frames sent"},
+                  &sent_batches_);
+  registry.attach({"relay.resent_batches", "batches",
+                   "append frames re-sent after a lost ack or reconnect"},
+                  &resent_batches_);
+  registry.attach({"relay.acked_batches", "batches",
+                   "entries acknowledged (durably applied upstream)"},
+                  &acked_batches_);
+  registry.attach({"relay.acked_samples", "samples",
+                   "samples acknowledged (durably applied upstream)"},
+                  &acked_samples_);
+  registry.attach({"relay.rejected_batches", "batches",
+                   "entries the server answered kError for (dropped)"},
+                  &rejected_batches_);
+  registry.attach({"relay.connects", "conns", "successful upstream connects"},
+                  &connects_);
+  registry.attach({"relay.connect_failures", "conns",
+                   "failed connect/hello attempts (breaker-counted)"},
+                  &connect_failures_);
+  registry.attach({"relay.disconnects", "conns",
+                   "connections torn down (error, timeout, or fault)"},
+                  &disconnects_);
+  registry.attach({"relay.ack_timeouts", "acks",
+                   "ack waits that hit the read deadline"},
+                  &ack_timeouts_);
+  registry.attach({"relay.state_write_errors", "writes",
+                   "state-file persists that failed (retried later)"},
+                  &state_write_errors_);
+  registry.attach({"relay.pending", "batches", "entries awaiting ack"},
+                  &pending_gauge_);
+  registry.attach({"relay.watermark", "seq",
+                   "highest seq contiguously applied upstream"},
+                  &watermark_gauge_);
+  registry.attach({"relay.ack_rtt_us", "us", "append send-to-ack latency"},
+                  &ack_rtt_us_);
+}
+
+bool RelayClient::start() {
+  if (running_) return true;
+  stop_ = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    load_state();
+  }
+  worker_ = std::thread([this] { worker(); });
+  running_ = true;
+  return true;
+}
+
+void RelayClient::stop() {
+  if (!running_) return;
+  stop_ = true;
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  running_ = false;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Persist the exact resume point: the lease is shrunk back to what was
+  // actually consumed, so a clean restart wastes no seq space.
+  persist_state_locked(next_seq_ > 0 ? next_seq_ - 1 : 0);
+}
+
+std::size_t RelayClient::submit(const core::SampleBatch& batch) {
+  if (batch.samples.empty() || !running_ || stop_) return 0;
+  // Partition by priority class, preserving order within each class.
+  std::array<core::SampleBatch, core::kPriorityClasses> by_class;
+  for (const auto& s : batch.samples) {
+    const auto cls = config_.priority_of ? config_.priority_of(s.series)
+                                         : core::Priority::kStandard;
+    auto& b = by_class[static_cast<std::size_t>(cls)];
+    b.samples.push_back(s);
+    b.sweep_time = batch.sweep_time;
+    b.origin = batch.origin;
+  }
+  const std::size_t chunk =
+      std::max<std::size_t>(1, config_.batch_samples);
+  std::size_t enqueued = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t c = 0; c < core::kPriorityClasses; ++c) {
+    const auto cls = static_cast<core::Priority>(c);
+    const auto& all = by_class[c].samples;
+    for (std::size_t off = 0; off < all.size(); off += chunk) {
+      Pending p;
+      p.priority = cls;
+      p.batch.sweep_time = by_class[c].sweep_time;
+      p.batch.origin = by_class[c].origin;
+      p.batch.samples.assign(all.begin() + off,
+                             all.begin() + std::min(off + chunk, all.size()));
+      if (queue_.size() >= config_.queue_cap &&
+          cls != core::Priority::kCritical) {
+        // Drop-oldest within the lowest sheddable class, never anything
+        // already holding a seq (the sent-unacked region must stay
+        // contiguous or the server watermark would stall on the gap).
+        auto victim = queue_.end();
+        for (auto cand = static_cast<int>(core::kPriorityClasses) - 1;
+             cand >= static_cast<int>(c) && victim == queue_.end(); --cand) {
+          victim = std::find_if(queue_.begin(), queue_.end(),
+                                [&](const Pending& e) {
+                                  return e.seq == 0 &&
+                                         e.priority ==
+                                             static_cast<core::Priority>(cand);
+                                });
+        }
+        shed_batches_.add();
+        if (victim == queue_.end()) continue;  // nothing lower: shed incoming
+        queue_.erase(victim);
+      }
+      submitted_batches_.add();
+      submitted_samples_.add(p.batch.samples.size());
+      queue_.push_back(std::move(p));
+      ++enqueued;
+    }
+  }
+  pending_gauge_.set(static_cast<double>(queue_.size()));
+  if (enqueued > 0) cv_.notify_one();
+  return enqueued;
+}
+
+bool RelayClient::drain_for(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.notify_all();
+  drain_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                     [&] { return queue_.empty() || stop_.load(); });
+  return queue_.empty();
+}
+
+std::uint64_t RelayClient::watermark() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return watermark_;
+}
+
+std::size_t RelayClient::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+RelayStats RelayClient::stats() const {
+  RelayStats s;
+  s.submitted_batches = submitted_batches_.value();
+  s.submitted_samples = submitted_samples_.value();
+  s.shed_batches = shed_batches_.value();
+  s.sent_batches = sent_batches_.value();
+  s.resent_batches = resent_batches_.value();
+  s.acked_batches = acked_batches_.value();
+  s.acked_samples = acked_samples_.value();
+  s.rejected_batches = rejected_batches_.value();
+  s.connects = connects_.value();
+  s.connect_failures = connect_failures_.value();
+  s.disconnects = disconnects_.value();
+  s.ack_timeouts = ack_timeouts_.value();
+  s.state_write_errors = state_write_errors_.value();
+  std::lock_guard<std::mutex> lock(mu_);
+  s.watermark = watermark_;
+  s.pending = queue_.size();
+  s.connected = connected_;
+  return s;
+}
+
+void RelayClient::worker() {
+  while (!stop_) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (queue_.empty()) {
+        drain_cv_.notify_all();
+        cv_.wait_for(lock, std::chrono::milliseconds(10),
+                     [&] { return stop_.load() || !queue_.empty(); });
+        if (stop_ || queue_.empty()) continue;
+      }
+    }
+    if (!ensure_connected()) {
+      // Breaker denial or failed attempt: bounded nap, so we neither spin
+      // nor oversleep the retry_at the breaker scheduled.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      continue;
+    }
+    if (!send_front()) disconnect();
+  }
+  disconnect();
+}
+
+bool RelayClient::ensure_connected() {
+  if (fd_ >= 0) return true;
+  if (!breaker_.allow(now_us())) return false;
+  const auto fail = [&] {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    breaker_.record_failure(now_us());
+    connect_failures_.add();
+    return false;
+  };
+  if (!serve::faulty_connect_allowed(config_.socket_faults)) return fail();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return fail();
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.upstream_port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return fail();
+  }
+  assembler_ = serve::WireAssembler();
+  // Hello: the server's watermark is authoritative. Everything at or below
+  // it is durably applied (drop it); and next_seq must jump past it so a
+  // lost state file can never re-use a consumed seq.
+  const std::uint32_t req_id = next_request_++;
+  if (!send_frame(serve::MsgType::kRelayHello,  req_id,
+                  serve::encode_relay_hello({config_.source_id}))) {
+    return fail();
+  }
+  auto reply = read_reply(config_.ack_timeout_ms);
+  if (!reply || reply->type != serve::MsgType::kOk) return fail();
+  serve::RelayAck ack;
+  if (!serve::decode_relay_ack(reply->body, ack)) return fail();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ack.watermark > watermark_) watermark_ = ack.watermark;
+    if (watermark_ >= next_seq_) {
+      next_seq_ = watermark_ + 1;
+      if (next_seq_ > lease_end_) {
+        persist_state_locked(next_seq_ + kSeqLeaseBlock);
+      }
+    }
+    drop_acked_locked(watermark_);
+    watermark_gauge_.set(static_cast<double>(watermark_));
+  }
+  breaker_.record_success(now_us());
+  connects_.add();
+  connected_ = true;
+  return true;
+}
+
+void RelayClient::disconnect() {
+  if (fd_ < 0) return;
+  ::close(fd_);
+  fd_ = -1;
+  if (connected_.exchange(false)) disconnects_.add();
+}
+
+bool RelayClient::send_frame(serve::MsgType type, std::uint32_t request_id,
+                             const std::vector<std::uint8_t>& body) {
+  std::vector<std::uint8_t> bytes;
+  serve::append_wire_frame(bytes, type, request_id, body);
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = serve::faulty_send(fd_, bytes.data() + off,
+                                         bytes.size() - off,
+                                         config_.socket_faults);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+std::optional<serve::WireFrame> RelayClient::read_reply(int timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    if (auto frame = assembler_.next()) {
+      // The relay connection never subscribes, but stay robust to pushes.
+      if (frame->type == serve::MsgType::kSnapshot ||
+          frame->type == serve::MsgType::kDelta) {
+        continue;
+      }
+      return frame;
+    }
+    if (assembler_.errored()) return std::nullopt;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - std::chrono::steady_clock::now())
+                          .count();
+    if (left <= 0) {
+      ack_timeouts_.add();
+      return std::nullopt;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, static_cast<int>(left));
+    if (pr == 0) {
+      ack_timeouts_.add();
+      return std::nullopt;
+    }
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return std::nullopt;
+    }
+    std::uint8_t buf[64 * 1024];
+    const ssize_t n =
+        serve::faulty_recv(fd_, buf, sizeof(buf), config_.socket_faults);
+    if (n > 0) {
+      if (!assembler_.feed(buf, static_cast<std::size_t>(n))) {
+        return std::nullopt;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return std::nullopt;
+  }
+}
+
+bool RelayClient::send_front() {
+  serve::RelayAppend msg;
+  bool was_sent = false;
+  std::size_t samples = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return true;
+    Pending& front = queue_.front();
+    if (front.seq == 0) {
+      front.seq = next_seq_++;
+      if (next_seq_ > lease_end_) {
+        persist_state_locked(next_seq_ + kSeqLeaseBlock);
+      }
+    }
+    if (front.payload.empty()) {
+      front.payload = transport::encode_samples(front.batch).payload;
+    }
+    msg.source_id = config_.source_id;
+    msg.seq = front.seq;
+    msg.priority = front.priority;
+    msg.payload = front.payload;
+    was_sent = front.sent_once;
+    front.sent_once = true;
+    samples = front.batch.samples.size();
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint32_t req_id = next_request_++;
+  if (!send_frame(serve::MsgType::kRelayAppend, req_id,
+                  serve::encode_relay_append(msg))) {
+    return false;
+  }
+  sent_batches_.add();
+  if (was_sent) resent_batches_.add();
+  while (true) {
+    auto reply = read_reply(config_.ack_timeout_ms);
+    if (!reply) return false;
+    if (reply->request_id != req_id) continue;  // stale: skip
+    if (reply->type == serve::MsgType::kError) {
+      // The server refused (no relay hook, or the payload failed to decode
+      // server-side). Drop the poison entry rather than loop on it; the
+      // harness asserts this stays zero.
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!queue_.empty() && queue_.front().seq == msg.seq) {
+        queue_.pop_front();
+        pending_gauge_.set(static_cast<double>(queue_.size()));
+      }
+      rejected_batches_.add();
+      if (queue_.empty()) drain_cv_.notify_all();
+      return true;
+    }
+    serve::RelayAck ack;
+    if (!serve::decode_relay_ack(reply->body, ack)) return false;
+    ack_rtt_us_.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ack.watermark > watermark_) watermark_ = ack.watermark;
+    drop_acked_locked(watermark_);
+    watermark_gauge_.set(static_cast<double>(watermark_));
+    (void)samples;
+    if (queue_.empty()) drain_cv_.notify_all();
+    return true;
+  }
+}
+
+void RelayClient::drop_acked_locked(std::uint64_t watermark) {
+  while (!queue_.empty() && queue_.front().seq != 0 &&
+         queue_.front().seq <= watermark) {
+    acked_batches_.add();
+    acked_samples_.add(queue_.front().batch.samples.size());
+    queue_.pop_front();
+  }
+  pending_gauge_.set(static_cast<double>(queue_.size()));
+}
+
+void RelayClient::load_state() {
+  next_seq_ = 1;
+  lease_end_ = 0;
+  if (config_.state_path.empty()) return;
+  std::FILE* f = std::fopen(config_.state_path.c_str(), "rb");
+  if (f == nullptr) return;
+  std::uint8_t buf[4 + 1 + 8 + 8 + 8];
+  const std::size_t n = std::fread(buf, 1, sizeof(buf), f);
+  std::fclose(f);
+  if (n != sizeof(buf) || std::memcmp(buf, kStateMagic, 4) != 0 ||
+      buf[4] != kStateVersion) {
+    return;  // torn or foreign state: the hello heal covers the gap
+  }
+  std::uint64_t source = 0;
+  std::uint64_t lease = 0;
+  std::uint64_t mark = 0;
+  std::memcpy(&source, buf + 5, 8);
+  std::memcpy(&lease, buf + 13, 8);
+  std::memcpy(&mark, buf + 21, 8);
+  if (source != config_.source_id) return;
+  // Seqs up to the lease may have been consumed before the crash; resume
+  // strictly after it.
+  next_seq_ = lease + 1;
+  lease_end_ = lease;
+  watermark_ = mark;
+}
+
+void RelayClient::persist_state_locked(std::uint64_t lease_end) {
+  if (config_.state_path.empty()) {
+    lease_end_ = lease_end;
+    return;
+  }
+  const auto fault = [&](core::FsOp op) {
+    return config_.fs_faults != nullptr ? config_.fs_faults->fs_fault(op)
+                                        : core::FsFault::kNone;
+  };
+  const auto failed = [&] {
+    state_write_errors_.add();
+  };
+  const std::string tmp = config_.state_path + ".tmp";
+  if (fault(core::FsOp::kOpen) != core::FsFault::kNone) return failed();
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC,
+                        0644);
+  if (fd < 0) return failed();
+  std::uint8_t buf[4 + 1 + 8 + 8 + 8];
+  std::memcpy(buf, kStateMagic, 4);
+  buf[4] = kStateVersion;
+  std::memcpy(buf + 5, &config_.source_id, 8);
+  std::memcpy(buf + 13, &lease_end, 8);
+  std::memcpy(buf + 21, &watermark_, 8);
+  const auto wf = fault(core::FsOp::kWrite);
+  if (wf != core::FsFault::kNone) {
+    if (wf == core::FsFault::kShortWrite) {
+      [[maybe_unused]] auto r = ::write(fd, buf, sizeof(buf) / 2);
+    }
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return failed();
+  }
+  if (::write(fd, buf, sizeof(buf)) != static_cast<ssize_t>(sizeof(buf))) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return failed();
+  }
+  if (fault(core::FsOp::kFsync) != core::FsFault::kNone || ::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return failed();
+  }
+  ::close(fd);
+  if (fault(core::FsOp::kRename) != core::FsFault::kNone ||
+      ::rename(tmp.c_str(), config_.state_path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return failed();
+  }
+  lease_end_ = lease_end;
+}
+
+}  // namespace hpcmon::relay

@@ -18,6 +18,14 @@ FaultSpec ChaosSchedule::composed() const {
     out.fs_rename_error_p =
         std::max(out.fs_rename_error_p, s.fs_rename_error_p);
     out.fs_crash_p = std::max(out.fs_crash_p, s.fs_crash_p);
+    out.sock_reset_p = std::max(out.sock_reset_p, s.sock_reset_p);
+    out.sock_stall_p = std::max(out.sock_stall_p, s.sock_stall_p);
+    out.sock_short_write_p =
+        std::max(out.sock_short_write_p, s.sock_short_write_p);
+    out.sock_short_read_p =
+        std::max(out.sock_short_read_p, s.sock_short_read_p);
+    out.sock_torn_frame_p =
+        std::max(out.sock_torn_frame_p, s.sock_torn_frame_p);
     out.sampler_error_at = std::max(out.sampler_error_at, s.sampler_error_at);
     out.sampler_hang_at = std::max(out.sampler_hang_at, s.sampler_hang_at);
     out.delivery_error_at =
@@ -29,6 +37,14 @@ FaultSpec ChaosSchedule::composed() const {
     out.fs_rename_error_at =
         std::max(out.fs_rename_error_at, s.fs_rename_error_at);
     out.fs_crash_at = std::max(out.fs_crash_at, s.fs_crash_at);
+    out.sock_reset_at = std::max(out.sock_reset_at, s.sock_reset_at);
+    out.sock_stall_at = std::max(out.sock_stall_at, s.sock_stall_at);
+    out.sock_short_write_at =
+        std::max(out.sock_short_write_at, s.sock_short_write_at);
+    out.sock_short_read_at =
+        std::max(out.sock_short_read_at, s.sock_short_read_at);
+    out.sock_torn_frame_at =
+        std::max(out.sock_torn_frame_at, s.sock_torn_frame_at);
     out.sampler_hang_sticky |= s.sampler_hang_sticky;
   }
   return out;
@@ -238,6 +254,46 @@ std::vector<ChaosScenario> standard_storm_scenarios() {
   }
 
   return out;
+}
+
+ChaosScenario network_storm_scenario() {
+  // The wire between a node stack and its aggregator fails in every
+  // injectable way at once, while an ingest storm keeps the relay queue
+  // under pressure. Phases overlap so resets land on connections already
+  // degraded by short reads/writes; a clean recovery window at the end lets
+  // the relay drain, which is when the acked-watermark and byte-exact
+  // invariants are checked.
+  ChaosScenario s;
+  s.name = "network_storm";
+  s.seed = 0xCA05008;
+  s.total = 30 * core::kMinute;
+  StormPhase flood;
+  flood.label = "bulk_flood";
+  flood.start = 1 * core::kMinute;
+  flood.duration = 18 * core::kMinute;
+  flood.bulk_batches_per_tick = 10;
+  s.phases.push_back(flood);
+  StormPhase frag;
+  frag.label = "fragmented_wire";  // benign fragmentation: reassembly only
+  frag.start = 2 * core::kMinute;
+  frag.duration = 16 * core::kMinute;
+  frag.spec.sock_short_write_p = 0.10;
+  frag.spec.sock_short_read_p = 0.10;
+  s.phases.push_back(frag);
+  StormPhase stall;
+  stall.label = "latency_spikes";
+  stall.start = 4 * core::kMinute;
+  stall.duration = 10 * core::kMinute;
+  stall.spec.sock_stall_p = 0.05;
+  s.phases.push_back(stall);
+  StormPhase tear;
+  tear.label = "resets_and_torn_frames";  // every connection is suspect
+  tear.start = 6 * core::kMinute;
+  tear.duration = 8 * core::kMinute;
+  tear.spec.sock_reset_p = 0.02;
+  tear.spec.sock_torn_frame_p = 0.02;
+  s.phases.push_back(tear);
+  return s;
 }
 
 }  // namespace hpcmon::resilience

@@ -95,4 +95,11 @@ class ChaosSchedule {
 /// the stack mid-compaction and restarts it into an ENOSPC burst).
 std::vector<ChaosScenario> standard_storm_scenarios();
 
+/// The two-stack relay battery: every socket fault class (resets, stalls,
+/// short writes/reads, torn frames) over a node→aggregator wire, concurrent
+/// with a bulk ingest flood. Run by stack/chaos_harness.hpp's
+/// run_network_storm, which asserts zero acknowledged critical-sample loss
+/// and a byte-exact critical series on the aggregator.
+ChaosScenario network_storm_scenario();
+
 }  // namespace hpcmon::resilience

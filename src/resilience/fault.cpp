@@ -79,6 +79,45 @@ std::uint64_t FaultPlan::fs_ops() const {
   return fs_ops_;
 }
 
+core::SocketFault FaultPlan::socket_fault(core::SocketOp op) {
+  std::scoped_lock lock(mu_);
+  ++sock_ops_;
+  const auto at = [&](std::uint64_t n) { return n != 0 && sock_ops_ == n; };
+  const auto p = [&](double prob) { return prob > 0.0 && rng_.bernoulli(prob); };
+  // At most one fault per op; scripted one-shots and the most disruptive
+  // classes win. Applicability: torn frames and short writes only mangle
+  // kSend; short reads only hit kRecv; resets and stalls hit everything.
+  if (at(spec_.sock_reset_at) || p(spec_.sock_reset_p)) {
+    ++injected_.sock_resets;
+    return core::SocketFault::kReset;
+  }
+  if (op == core::SocketOp::kSend &&
+      (at(spec_.sock_torn_frame_at) || p(spec_.sock_torn_frame_p))) {
+    ++injected_.sock_torn_frames;
+    return core::SocketFault::kTornFrame;
+  }
+  if (op == core::SocketOp::kSend &&
+      (at(spec_.sock_short_write_at) || p(spec_.sock_short_write_p))) {
+    ++injected_.sock_short_writes;
+    return core::SocketFault::kShortWrite;
+  }
+  if (op == core::SocketOp::kRecv &&
+      (at(spec_.sock_short_read_at) || p(spec_.sock_short_read_p))) {
+    ++injected_.sock_short_reads;
+    return core::SocketFault::kShortRead;
+  }
+  if (at(spec_.sock_stall_at) || p(spec_.sock_stall_p)) {
+    ++injected_.sock_stalls;
+    return core::SocketFault::kStall;
+  }
+  return core::SocketFault::kNone;
+}
+
+std::uint64_t FaultPlan::socket_ops() const {
+  std::scoped_lock lock(mu_);
+  return sock_ops_;
+}
+
 bool FaultPlan::delivery_error() {
   std::scoped_lock lock(mu_);
   return draw(spec_.delivery_error_p, delivery_ops_, spec_.delivery_error_at,

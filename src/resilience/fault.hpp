@@ -17,6 +17,12 @@
 //     monotone fs-op counter drives the scripted `fs_*_at` one-shots, so a
 //     crash-matrix test can kill a multi-file transaction at exactly the
 //     Nth filesystem operation and assert byte-exact recovery.
+//   * core::SocketFaultInjector — the same pattern for the network: the
+//     relay client and the serve server consult socket_fault(op) before
+//     every connect/send/recv. One shared monotone socket-op counter drives
+//     the scripted `sock_*_at` one-shots, so a resume test can reset the
+//     wire at exactly the Nth socket operation of a send/ack exchange and
+//     assert byte-exact recovery on the aggregator.
 //   * ReliableDelivery — faulty_deliver() wraps a delivery function with
 //     injected failures to drive retry/dead-letter paths.
 //
@@ -36,6 +42,7 @@
 #include "collect/sampler.hpp"
 #include "core/fsfault.hpp"
 #include "core/rng.hpp"
+#include "core/sockfault.hpp"
 
 namespace hpcmon::resilience {
 
@@ -53,6 +60,15 @@ struct FaultSpec {
   double fs_enospc_p = 0.0;
   double fs_rename_error_p = 0.0;
   double fs_crash_p = 0.0;
+  // Socket fault probabilities, consulted once per physical socket operation
+  // by fault-aware network code (relay client, serve server). Short writes
+  // and torn frames apply only to kSend ops; short reads only to kRecv;
+  // resets and stalls to all.
+  double sock_reset_p = 0.0;
+  double sock_stall_p = 0.0;
+  double sock_short_write_p = 0.0;
+  double sock_short_read_p = 0.0;
+  double sock_torn_frame_p = 0.0;
   // Scripted one-shots: fire at the Nth query of that category (1-based);
   // 0 disables. Fires in addition to any probabilistic faults. All fs_*_at
   // indices count the SAME fs-op stream, so "crash at fs op 7" is exact
@@ -65,6 +81,14 @@ struct FaultSpec {
   std::uint64_t fs_enospc_at = 0;
   std::uint64_t fs_rename_error_at = 0;
   std::uint64_t fs_crash_at = 0;
+  // All sock_*_at indices count the SAME socket-op stream (distinct from the
+  // fs-op stream), so "reset at socket op 7" is exact regardless of which
+  // fault classes are armed.
+  std::uint64_t sock_reset_at = 0;
+  std::uint64_t sock_stall_at = 0;
+  std::uint64_t sock_short_write_at = 0;
+  std::uint64_t sock_short_read_at = 0;
+  std::uint64_t sock_torn_frame_at = 0;
   /// Every sampler query after `sampler_hang_at` also hangs when set —
   /// models a permanently wedged probe rather than a one-off stall.
   bool sampler_hang_sticky = false;
@@ -80,9 +104,14 @@ struct InjectedFaults {
   std::uint64_t fs_enospc = 0;
   std::uint64_t fs_rename_errors = 0;
   std::uint64_t fs_crashes = 0;
+  std::uint64_t sock_resets = 0;
+  std::uint64_t sock_stalls = 0;
+  std::uint64_t sock_short_writes = 0;
+  std::uint64_t sock_short_reads = 0;
+  std::uint64_t sock_torn_frames = 0;
 };
 
-class FaultPlan : public core::FsFaultInjector {
+class FaultPlan : public core::FsFaultInjector, public core::SocketFaultInjector {
  public:
   explicit FaultPlan(std::uint64_t seed, FaultSpec spec = {});
 
@@ -106,6 +135,15 @@ class FaultPlan : public core::FsFaultInjector {
   /// test measure a pass's op count before sweeping fs_crash_at over it.
   std::uint64_t fs_ops() const;
 
+  /// Generic socket fault point (core::SocketFaultInjector). Advances the
+  /// shared socket-op counter; scripted one-shots take precedence over the
+  /// probabilistic draws, and at most one fault fires per operation.
+  core::SocketFault socket_fault(core::SocketOp op) override;
+
+  /// Total socket operations consulted so far — lets a resume test measure
+  /// a session's op count before sweeping sock_reset_at over it.
+  std::uint64_t socket_ops() const;
+
   /// Park the calling thread (a simulated hang) until release_hangs().
   void enter_hang();
   /// Wake every simulated hang and wait until the hung threads have left
@@ -126,6 +164,7 @@ class FaultPlan : public core::FsFaultInjector {
   std::uint64_t sampler_error_ops_ = 0;
   std::uint64_t sampler_hang_ops_ = 0;
   std::uint64_t fs_ops_ = 0;
+  std::uint64_t sock_ops_ = 0;
   std::uint64_t delivery_ops_ = 0;
   std::size_t hanging_ = 0;
   bool released_ = false;

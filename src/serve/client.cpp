@@ -124,7 +124,7 @@ core::Result<std::vector<std::uint8_t>> ServeClient::call(
   append_wire_frame(bytes, type, id, body);
   if (!send_all(bytes)) return R::error(error_);
   while (true) {
-    auto frame = read_frame(-1);
+    auto frame = read_frame(read_deadline_ms_);
     if (!frame) return R::error(error_);
     if (frame->type == MsgType::kSnapshot || frame->type == MsgType::kDelta) {
       if (auto push = as_push(std::move(*frame))) {

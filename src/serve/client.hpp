@@ -45,6 +45,15 @@ class ServeClient {
   bool connected() const { return fd_ >= 0; }
   const std::string& error() const { return error_; }
 
+  /// Deadline applied to every response wait inside call(). The default -1
+  /// blocks forever — which on a half-open socket (peer gone, no RST ever
+  /// delivered) means forever. Callers that must distinguish "slow" from
+  /// "gone" (the relay, ping-based liveness probes) set a bound; an expired
+  /// deadline fails the call with error() == "timeout" and leaves the
+  /// connection open, so a lightweight ping() can re-probe it.
+  void set_read_deadline_ms(int ms) { read_deadline_ms_ = ms; }
+  int read_deadline_ms() const { return read_deadline_ms_; }
+
   bool ping();
   core::Result<std::vector<core::TimedValue>> query_range(
       core::SeriesId series, const core::TimeRange& range);
@@ -89,6 +98,7 @@ class ServeClient {
   static std::optional<Push> as_push(WireFrame&& frame);
 
   int fd_ = -1;
+  int read_deadline_ms_ = -1;
   std::uint32_t next_request_ = 1;
   WireAssembler assembler_;
   std::deque<Push> pushes_;

@@ -124,6 +124,66 @@ bool decode_subscribe_req(const std::vector<std::uint8_t>& body,
   return r.str(out.pattern);
 }
 
+std::vector<std::uint8_t> encode_relay_hello(const RelayHello& h) {
+  std::vector<std::uint8_t> body;
+  ByteWriter w(body);
+  w.u64(h.source_id);
+  return body;
+}
+
+bool decode_relay_hello(const std::vector<std::uint8_t>& body,
+                        RelayHello& out) {
+  ByteReader r(body);
+  return r.u64(out.source_id);
+}
+
+std::vector<std::uint8_t> encode_relay_append(const RelayAppend& a) {
+  std::vector<std::uint8_t> body;
+  ByteWriter w(body);
+  w.u64(a.source_id);
+  w.u64(a.seq);
+  w.u8(static_cast<std::uint8_t>(a.priority));
+  w.u32(static_cast<std::uint32_t>(a.payload.size()));
+  body.insert(body.end(), a.payload.begin(), a.payload.end());
+  return body;
+}
+
+bool decode_relay_append(const std::vector<std::uint8_t>& body,
+                         RelayAppend& out) {
+  ByteReader r(body);
+  std::uint8_t pri = 0;
+  std::uint32_t len = 0;
+  if (!r.u64(out.source_id) || !r.u64(out.seq) || !r.u8(pri) || !r.u32(len)) {
+    return false;
+  }
+  if (pri >= core::kPriorityClasses) return false;
+  if (len != r.remaining()) return false;  // exactly the declared payload
+  out.priority = static_cast<core::Priority>(pri);
+  out.payload.assign(body.end() - len, body.end());
+  return true;
+}
+
+std::vector<std::uint8_t> encode_relay_ack(const RelayAck& a) {
+  std::vector<std::uint8_t> body;
+  ByteWriter w(body);
+  w.u64(a.watermark);
+  w.u8(a.applied ? 1 : 0);
+  w.u8(a.duplicate ? 1 : 0);
+  return body;
+}
+
+bool decode_relay_ack(const std::vector<std::uint8_t>& body, RelayAck& out) {
+  ByteReader r(body);
+  std::uint8_t applied = 0;
+  std::uint8_t duplicate = 0;
+  if (!r.u64(out.watermark) || !r.u8(applied) || !r.u8(duplicate)) {
+    return false;
+  }
+  out.applied = applied != 0;
+  out.duplicate = duplicate != 0;
+  return true;
+}
+
 std::vector<std::uint8_t> encode_u32(std::uint32_t v) {
   std::vector<std::uint8_t> body;
   ByteWriter w(body);

@@ -83,6 +83,47 @@ std::vector<std::uint8_t> encode_subscribe_req(const SubscribeReq& r);
 bool decode_subscribe_req(const std::vector<std::uint8_t>& body,
                           SubscribeReq& out);
 
+/// kRelayHello body: a relay client announces its durable source identity;
+/// the kOk reply carries a RelayAck whose watermark tells the client where
+/// to resume (every seq <= watermark is durably applied server-side).
+struct RelayHello {
+  std::uint64_t source_id = 0;
+};
+
+/// kRelayAppend body: one at-least-once append. `payload` is verbatim
+/// transport::encode_samples() bytes — the same codec the in-process router
+/// moves — and `priority` carries the batch's class across the hop so the
+/// aggregator's storm-mode shedding still sees it. `seq` is assigned
+/// contiguously per source; the server applies each (source_id, seq) at most
+/// once (dedupe window keyed to the acked watermark).
+struct RelayAppend {
+  std::uint64_t source_id = 0;
+  std::uint64_t seq = 0;
+  core::Priority priority = core::Priority::kStandard;
+  std::vector<std::uint8_t> payload;
+};
+
+/// kOk reply to both relay requests: the server's applied watermark (highest
+/// seq S such that every seq <= S has been applied). `applied` reports what
+/// happened to THIS append: freshly applied, or acked-without-apply because
+/// it was a duplicate or beyond the dedupe window (resend after the
+/// watermark catches up).
+struct RelayAck {
+  std::uint64_t watermark = 0;
+  bool applied = false;
+  bool duplicate = false;
+};
+
+std::vector<std::uint8_t> encode_relay_hello(const RelayHello& h);
+bool decode_relay_hello(const std::vector<std::uint8_t>& body, RelayHello& out);
+
+std::vector<std::uint8_t> encode_relay_append(const RelayAppend& a);
+bool decode_relay_append(const std::vector<std::uint8_t>& body,
+                         RelayAppend& out);
+
+std::vector<std::uint8_t> encode_relay_ack(const RelayAck& a);
+bool decode_relay_ack(const std::vector<std::uint8_t>& body, RelayAck& out);
+
 /// Bare u32 body (kScanNext/kScanClose cursor id, kUnsubscribe sub id).
 std::vector<std::uint8_t> encode_u32(std::uint32_t v);
 bool decode_u32(const std::vector<std::uint8_t>& body, std::uint32_t& out);

@@ -15,6 +15,7 @@
 
 #include "core/strings.hpp"
 #include "core/topic.hpp"
+#include "serve/sockio.hpp"
 #include "transport/codec.hpp"
 
 namespace hpcmon::serve {
@@ -23,6 +24,12 @@ namespace {
 
 /// StageTimer-style RAII span into a serve histogram (the serve tier has
 /// its own request/fanout stages rather than widening the pipeline enum).
+std::int64_t steady_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 class Span {
  public:
   explicit Span(obs::Histogram& hist)
@@ -89,6 +96,24 @@ void ServeServer::attach_to(obs::ObsRegistry& registry) const {
   registry.attach({"serve.reads_paused", "conns",
                    "times a connection's reads were paused (egress over cap)"},
                   &reads_paused_);
+  registry.attach({"serve.idle_closed", "conns",
+                   "connections reaped by the idle deadline"},
+                  &idle_closed_);
+  registry.attach({"serve.relay_applied_batches", "batches",
+                   "relay appends applied (novel (source, seq))"},
+                  &relay_applied_batches_);
+  registry.attach({"serve.relay_applied_samples", "samples",
+                   "samples applied through the relay tap"},
+                  &relay_applied_samples_);
+  registry.attach({"serve.relay_duplicates", "batches",
+                   "relay appends acked without re-apply (already applied)"},
+                  &relay_duplicates_);
+  registry.attach({"serve.relay_window_rejects", "batches",
+                   "relay appends beyond the dedupe window (resent later)"},
+                  &relay_window_rejects_);
+  registry.attach({"serve.relay_sources", "sources",
+                   "relay sources with dedupe state"},
+                  &relay_sources_gauge_);
   registry.attach({"serve.egress_depth_hwm", "frames",
                    "high-water mark of any connection's egress queue"},
                   &egress_depth_hwm_);
@@ -225,12 +250,28 @@ void ServeServer::reactor_loop() {
       if ((events[i].events & EPOLLIN) != 0) read_ready(conn);
     }
     sweep_closed();
+    if (config_.idle_timeout_ms > 0) reap_idle();
     // Resume paused connections whose writer drained the egress queue.
     for (auto& [fd, conn] : conns_) {
       if (conn->paused.load(std::memory_order_relaxed)) {
         update_pause_state(conn);
       }
     }
+  }
+}
+
+void ServeServer::reap_idle() {
+  const std::int64_t now = steady_ms();
+  std::vector<std::shared_ptr<Connection>> idle;
+  for (auto& [fd, conn] : conns_) {
+    if (now - conn->last_activity_ms.load(std::memory_order_relaxed) >
+        config_.idle_timeout_ms) {
+      idle.push_back(conn);
+    }
+  }
+  for (auto& conn : idle) {
+    idle_closed_.add();
+    close_conn(conn);
   }
 }
 
@@ -254,6 +295,7 @@ void ServeServer::accept_ready() {
     auto conn = std::make_shared<Connection>(fd, next_conn_id_++,
                                              config_.egress_cap, counters);
     conn->assembler = WireAssembler(config_.max_frame_bytes);
+    conn->last_activity_ms.store(steady_ms(), std::memory_order_relaxed);
     conns_[fd] = conn;
     epoll_event ev{};
     ev.events = EPOLLIN;
@@ -272,9 +314,11 @@ void ServeServer::accept_ready() {
 void ServeServer::read_ready(const std::shared_ptr<Connection>& conn) {
   std::uint8_t buf[64 * 1024];
   while (!conn->closed) {
-    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    const ssize_t n =
+        faulty_recv(conn->fd, buf, sizeof(buf), config_.socket_faults);
     if (n > 0) {
       bytes_in_.add(static_cast<std::uint64_t>(n));
+      conn->last_activity_ms.store(steady_ms(), std::memory_order_relaxed);
       if (!conn->assembler.feed(buf, static_cast<std::size_t>(n))) {
         bad_frames_.add();
         close_conn(conn);
@@ -478,6 +522,24 @@ void ServeServer::handle_frame(const std::shared_ptr<Connection>& conn,
       reply(conn, MsgType::kOk, id, {});
       return;
     }
+    case MsgType::kRelayHello: {
+      RelayHello hello;
+      if (!decode_relay_hello(frame.body, hello) || !hooks_.relay_apply) {
+        reply_error(conn, id, "bad relay hello");
+        return;
+      }
+      RelayAck ack;
+      {
+        std::lock_guard<std::mutex> lock(relay_mu_);
+        ack.watermark = relay_sources_[hello.source_id].watermark;
+        relay_sources_gauge_.set(static_cast<double>(relay_sources_.size()));
+      }
+      reply(conn, MsgType::kOk, id, encode_relay_ack(ack));
+      return;
+    }
+    case MsgType::kRelayAppend:
+      handle_relay_append(conn, frame);
+      return;
     case MsgType::kSubscribe:
       handle_subscribe(conn, frame);
       return;
@@ -555,6 +617,57 @@ void ServeServer::handle_frame(const std::shared_ptr<Connection>& conn,
                                             static_cast<unsigned>(frame.type)));
       return;
   }
+}
+
+void ServeServer::handle_relay_append(const std::shared_ptr<Connection>& conn,
+                                      const WireFrame& frame) {
+  RelayAppend req;
+  if (!decode_relay_append(frame.body, req) || !hooks_.relay_apply ||
+      req.seq == 0) {
+    reply_error(conn, frame.request_id, "bad relay append");
+    return;
+  }
+  RelayAck ack;
+  std::lock_guard<std::mutex> lock(relay_mu_);
+  RelaySource& src = relay_sources_[req.source_id];
+  if (req.seq <= src.watermark || src.applied_above.count(req.seq) != 0) {
+    // At-least-once resend of something already applied: ack, never
+    // re-apply — this is the "exactly-applied" half of the contract.
+    ack.duplicate = true;
+    relay_duplicates_.add();
+  } else if (req.seq >
+             src.watermark +
+                 std::max<std::size_t>(1, config_.relay_dedupe_window)) {
+    // Beyond the bounded window: acking it would either grow dedupe state
+    // without bound or (worse) force the watermark past seqs never seen.
+    // Ack at the current watermark without applying; the client holds the
+    // batch and resends once the watermark catches up. The window is
+    // floored at 1 — a zero window would refuse even the next in-order
+    // seq and livelock the client against its own resends.
+    relay_window_rejects_.add();
+  } else {
+    transport::Frame f;
+    f.type = transport::FrameType::kSamples;
+    f.priority = req.priority;
+    f.payload = std::move(req.payload);
+    auto decoded = transport::decode_samples(f);
+    if (!decoded.is_ok()) {
+      // A corrupt payload is a protocol violation, not an ack: the client
+      // must not advance its watermark past data the server never applied.
+      reply_error(conn, frame.request_id, "bad relay payload");
+      return;
+    }
+    const std::size_t applied =
+        hooks_.relay_apply(decoded.value(), req.priority);
+    src.applied_above.insert(req.seq);
+    while (src.applied_above.erase(src.watermark + 1) != 0) ++src.watermark;
+    ack.applied = true;
+    relay_applied_batches_.add();
+    relay_applied_samples_.add(applied);
+  }
+  ack.watermark = src.watermark;
+  relay_sources_gauge_.set(static_cast<double>(relay_sources_.size()));
+  reply(conn, MsgType::kOk, frame.request_id, encode_relay_ack(ack));
 }
 
 void ServeServer::handle_subscribe(const std::shared_ptr<Connection>& conn,
@@ -674,13 +787,15 @@ void ServeServer::writer_loop(std::size_t writer_index) {
       }
       while (conn->woff < conn->wbuf.size() && !conn->closed) {
         const ssize_t n =
-            ::send(conn->fd, conn->wbuf.data() + conn->woff,
-                   conn->wbuf.size() - conn->woff, MSG_NOSIGNAL);
+            faulty_send(conn->fd, conn->wbuf.data() + conn->woff,
+                        conn->wbuf.size() - conn->woff, config_.socket_faults);
         if (n > 0) {
           conn->woff += static_cast<std::size_t>(n);
           conn->tx_bytes.fetch_add(static_cast<std::uint64_t>(n),
                                    std::memory_order_relaxed);
           bytes_out_.add(static_cast<std::uint64_t>(n));
+          conn->last_activity_ms.store(steady_ms(),
+                                       std::memory_order_relaxed);
           continue;
         }
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -712,8 +827,14 @@ ServeStats ServeServer::stats() const {
   s.egress_evicted_standard = evicted_standard_.value();
   s.egress_coalesced_critical = coalesced_critical_.value();
   s.reads_paused = reads_paused_.value();
+  s.idle_closed = idle_closed_.value();
+  s.relay_applied_batches = relay_applied_batches_.value();
+  s.relay_applied_samples = relay_applied_samples_.value();
+  s.relay_duplicates = relay_duplicates_.value();
+  s.relay_window_rejects = relay_window_rejects_.value();
   s.connections = static_cast<std::size_t>(connections_.value());
   s.subscriptions = static_cast<std::size_t>(subscriptions_.value());
+  s.relay_sources = static_cast<std::size_t>(relay_sources_gauge_.value());
   return s;
 }
 

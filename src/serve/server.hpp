@@ -39,6 +39,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -48,6 +49,7 @@
 #include "core/priority.hpp"
 #include "core/registry.hpp"
 #include "core/sample.hpp"
+#include "core/sockfault.hpp"
 #include "core/time.hpp"
 #include "obs/registry.hpp"
 #include "serve/egress.hpp"
@@ -71,6 +73,17 @@ struct ServeConfig {
   /// When > 0, shrink each accepted socket's send buffer (tests use a tiny
   /// buffer to make a stalled reader stall the pipe within a few frames).
   int sndbuf_bytes = 0;
+  /// When > 0, close connections with no socket activity (bytes read or
+  /// written) for this many wall milliseconds. Off by default: a half-open
+  /// peer otherwise holds its EgressQueue and subscriptions forever.
+  int idle_timeout_ms = 0;
+  /// Relay dedupe bound: appends more than this many seqs beyond a source's
+  /// acked watermark are acked-without-apply (the client resends once the
+  /// watermark catches up), so per-source dedupe state stays bounded.
+  /// Floored at 1 — a zero window would refuse even the next in-order seq.
+  std::size_t relay_dedupe_window = 1024;
+  /// Fault injection consulted before every recv/send (tests only).
+  core::SocketFaultInjector* socket_faults = nullptr;
   /// Shared obs registry for the serve.* instruments; unset => private.
   obs::ObsRegistry* obs = nullptr;
 };
@@ -102,6 +115,13 @@ struct ServeHooks {
   /// when the host has no degradation machinery.
   std::function<bool(std::optional<core::DegradationMode>)> set_mode;
   std::function<bool()> wal_rotate;
+  /// Relay ingest apply (required for kRelayAppend; without it relay
+  /// requests answer kError). Called exactly once per novel (source_id,
+  /// seq) with the decoded batch and its priority class; must be durable
+  /// by the time it returns (the ack promises the client it may forget).
+  /// Returns the number of samples applied.
+  std::function<std::size_t(const core::SampleBatch&, core::Priority)>
+      relay_apply;
 };
 
 /// Bind the five query hooks to any store exposing the common read API
@@ -140,8 +160,14 @@ struct ServeStats {
   std::uint64_t egress_evicted_standard = 0;
   std::uint64_t egress_coalesced_critical = 0;
   std::uint64_t reads_paused = 0;
+  std::uint64_t idle_closed = 0;
+  std::uint64_t relay_applied_batches = 0;
+  std::uint64_t relay_applied_samples = 0;
+  std::uint64_t relay_duplicates = 0;
+  std::uint64_t relay_window_rejects = 0;
   std::size_t connections = 0;
   std::size_t subscriptions = 0;
+  std::size_t relay_sources = 0;
 };
 
 class ServeServer {
@@ -195,6 +221,9 @@ class ServeServer {
     std::atomic<bool> paused{false};
     std::unordered_map<std::uint32_t, ScanCursor> cursors;
     std::uint32_t next_cursor = 1;
+    /// Wall clock (steady, ms) of the last byte moved either way; the
+    /// reactor's idle sweep reaps connections past idle_timeout_ms.
+    std::atomic<std::int64_t> last_activity_ms{0};
     // Writer-thread state: partially-written bytes.
     std::vector<std::uint8_t> wbuf;
     std::size_t woff = 0;
@@ -223,8 +252,11 @@ class ServeServer {
   void notify_writer(std::uint32_t conn_id);
   void wake_reactor();
 
+  void reap_idle();
   void handle_frame(const std::shared_ptr<Connection>& conn,
                     const WireFrame& frame);
+  void handle_relay_append(const std::shared_ptr<Connection>& conn,
+                           const WireFrame& frame);
   void reply(const std::shared_ptr<Connection>& conn, MsgType type,
              std::uint32_t request_id, const std::vector<std::uint8_t>& body);
   void reply_error(const std::shared_ptr<Connection>& conn,
@@ -258,6 +290,16 @@ class ServeServer {
   };
   std::vector<std::unique_ptr<Writer>> writers_;
 
+  /// Per-source relay dedupe state: `watermark` is the highest seq S with
+  /// every seq <= S applied; `applied_above` holds applied seqs > watermark
+  /// (bounded by relay_dedupe_window) awaiting the gap to close.
+  struct RelaySource {
+    std::uint64_t watermark = 0;
+    std::set<std::uint64_t> applied_above;
+  };
+  mutable std::mutex relay_mu_;
+  std::unordered_map<std::uint64_t, RelaySource> relay_sources_;
+
   mutable std::mutex subs_mu_;
   std::vector<Subscription> subs_;
   std::uint32_t next_sub_id_ = 1;
@@ -281,6 +323,12 @@ class ServeServer {
   obs::Counter evicted_standard_;
   obs::Counter coalesced_critical_;
   obs::Counter reads_paused_;
+  obs::Counter idle_closed_;
+  obs::Counter relay_applied_batches_;
+  obs::Counter relay_applied_samples_;
+  obs::Counter relay_duplicates_;
+  obs::Counter relay_window_rejects_;
+  obs::Gauge relay_sources_gauge_;
   obs::Gauge egress_depth_hwm_;
   obs::Histogram request_us_;
   obs::Histogram delta_fanout_us_;

@@ -1,0 +1,92 @@
+#include "serve/sockio.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+namespace hpcmon::serve {
+
+namespace {
+
+void stall() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(kInjectedStallMs));
+}
+
+ssize_t inject_reset(int fd) {
+  // Kill the wire so the peer observes the failure too; SHUT_RDWR makes its
+  // pending reads return 0/ECONNRESET and its writes fail.
+  ::shutdown(fd, SHUT_RDWR);
+  errno = ECONNRESET;
+  return -1;
+}
+
+}  // namespace
+
+ssize_t faulty_send(int fd, const std::uint8_t* buf, std::size_t n,
+                    core::SocketFaultInjector* faults) {
+  if (faults != nullptr && n > 0) {
+    switch (faults->socket_fault(core::SocketOp::kSend)) {
+      case core::SocketFault::kNone:
+        break;
+      case core::SocketFault::kReset:
+        return inject_reset(fd);
+      case core::SocketFault::kStall:
+        stall();
+        break;
+      case core::SocketFault::kShortWrite:
+        // Benign fragmentation: transmit a prefix, report the short count.
+        n = n / 2 + 1;
+        break;
+      case core::SocketFault::kTornFrame: {
+        // Transmit a prefix, then die: the peer is left holding a torn
+        // frame its assembler must discard with the connection.
+        const std::size_t torn = n / 2 + 1;
+        (void)::send(fd, buf, torn, MSG_NOSIGNAL);
+        return inject_reset(fd);
+      }
+      case core::SocketFault::kShortRead:
+        break;  // recv-only fault; not drawn for kSend
+    }
+  }
+  return ::send(fd, buf, n, MSG_NOSIGNAL);
+}
+
+ssize_t faulty_recv(int fd, std::uint8_t* buf, std::size_t n,
+                    core::SocketFaultInjector* faults) {
+  if (faults != nullptr && n > 0) {
+    switch (faults->socket_fault(core::SocketOp::kRecv)) {
+      case core::SocketFault::kNone:
+        break;
+      case core::SocketFault::kReset:
+        return inject_reset(fd);
+      case core::SocketFault::kStall:
+        stall();
+        break;
+      case core::SocketFault::kShortRead:
+        // Deliver fewer bytes than the caller asked for; framing reassembles.
+        n = n > 7 ? 7 : n;
+        break;
+      case core::SocketFault::kShortWrite:
+      case core::SocketFault::kTornFrame:
+        break;  // send-only faults; not drawn for kRecv
+    }
+  }
+  return ::recv(fd, buf, n, 0);
+}
+
+bool faulty_connect_allowed(core::SocketFaultInjector* faults) {
+  if (faults == nullptr) return true;
+  switch (faults->socket_fault(core::SocketOp::kConnect)) {
+    case core::SocketFault::kReset:
+      return false;
+    case core::SocketFault::kStall:
+      stall();
+      return true;
+    default:
+      return true;
+  }
+}
+
+}  // namespace hpcmon::serve

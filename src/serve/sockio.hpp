@@ -1,0 +1,44 @@
+// Fault-aware socket I/O for the serve and relay tiers.
+//
+// Thin wrappers over send()/recv() that consult an optional
+// core::SocketFaultInjector immediately before the syscall — the network
+// analogue of the WAL consulting FsFaultInjector before every write. With a
+// null injector the wrappers compile down to the bare syscall; with one, a
+// test can script resets, stalls, partial writes, short reads and torn
+// frames at exact operations of a live exchange (see core/sockfault.hpp for
+// the fault-to-syscall mapping).
+//
+// Injected resets and torn frames additionally shutdown(2) the socket so the
+// PEER observes the failure too: a torn frame is only a torn frame if the
+// other end is left holding the prefix.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/sockfault.hpp"
+
+namespace hpcmon::serve {
+
+/// Milliseconds an injected kStall sleeps before the operation proceeds.
+/// Bounded and small: deadlines must absorb it, tests must not crawl.
+inline constexpr int kInjectedStallMs = 5;
+
+/// send(fd, buf, n, MSG_NOSIGNAL) with fault injection. Returns the byte
+/// count actually transmitted (possibly short), or -1 with errno set.
+ssize_t faulty_send(int fd, const std::uint8_t* buf, std::size_t n,
+                    core::SocketFaultInjector* faults);
+
+/// recv(fd, buf, n, 0) with fault injection. Returns the byte count read
+/// (possibly short), 0 on orderly shutdown, or -1 with errno set.
+ssize_t faulty_recv(int fd, std::uint8_t* buf, std::size_t n,
+                    core::SocketFaultInjector* faults);
+
+/// Consult the injector for a connect(2) about to happen. Returns false if
+/// the connect should fail as a reset would (the caller skips the syscall);
+/// an injected stall sleeps, then proceeds.
+bool faulty_connect_allowed(core::SocketFaultInjector* faults);
+
+}  // namespace hpcmon::serve

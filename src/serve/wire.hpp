@@ -47,6 +47,9 @@ enum class MsgType : std::uint8_t {
   kSetMode = 17,
   kWalRotate = 18,
   kListConns = 19,
+  // Relay tier (cross-stack forwarding, protocol.hpp / relay/client.hpp).
+  kRelayHello = 24,
+  kRelayAppend = 25,
   // Responses / pushes.
   kOk = 64,
   kError = 65,

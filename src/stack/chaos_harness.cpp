@@ -238,4 +238,214 @@ ChaosReport run_chaos(
   return report;
 }
 
+std::string NetworkStormReport::to_string() const {
+  return core::strformat(
+      "netstorm[%s] survived=%d hb=%llu node=%llu upstream=%llu exact=%d "
+      "acked=%llu resent=%llu rejected=%llu shed=%llu conns=%llu/%llu "
+      "dup=%llu winrej=%llu unacked=%llu faults=%llu all_classes=%d%s%s",
+      scenario.c_str(), survived ? 1 : 0,
+      static_cast<unsigned long long>(heartbeats_sent),
+      static_cast<unsigned long long>(node_heartbeats),
+      static_cast<unsigned long long>(upstream_heartbeats),
+      critical_byte_exact ? 1 : 0,
+      static_cast<unsigned long long>(acked_batches),
+      static_cast<unsigned long long>(resent_batches),
+      static_cast<unsigned long long>(rejected_batches),
+      static_cast<unsigned long long>(shed_batches),
+      static_cast<unsigned long long>(connects),
+      static_cast<unsigned long long>(disconnects),
+      static_cast<unsigned long long>(duplicates),
+      static_cast<unsigned long long>(window_rejects),
+      static_cast<unsigned long long>(relay_unacked),
+      static_cast<unsigned long long>(socket_faults),
+      all_fault_classes ? 1 : 0, failure.empty() ? "" : " FAIL: ",
+      failure.c_str());
+}
+
+NetworkStormReport run_network_storm(
+    const resilience::ChaosScenario& scenario,
+    const std::vector<std::pair<std::string, std::string>>& overrides) {
+  NetworkStormReport report;
+  report.scenario = scenario.name;
+
+  const std::string node_wal =
+      "/tmp/hpcmon_netstorm_" + scenario.name + "_node";
+  std::filesystem::remove_all(node_wal);
+
+  // ONE fault plan spans both stacks: the relay client's sends/recvs and the
+  // aggregator reactor's recvs/sends draw from the same monotone socket-op
+  // stream, so the storm hits both directions of the wire.
+  resilience::FaultPlan plan(scenario.seed);
+
+  // Aggregator: a plain synchronous stack whose only job is the serve tier's
+  // relay ingest. Its sim event queue is NEVER run — no local collection, so
+  // every stored sample arrived over the wire and the node's registry owns
+  // every series id it holds.
+  sim::Cluster agg_cluster(harness_cluster(scenario.seed + 1));
+  core::Config agg_config;
+  agg_config.set("serve_port", "0");
+  agg_config.set("probe_interval_s", "0");
+  agg_config.set("health_interval_s", "0");
+  agg_config.set("rules", "false");
+  agg_config.set("numeric_alerts", "false");
+  for (const auto& [k, v] : scenario.config_overrides) {
+    if (k.rfind("relay_dedupe", 0) == 0) agg_config.set(k, v);
+  }
+  MonitoringStack aggregator(agg_cluster, agg_config, &plan);
+
+  // Node: the chaos-harness base stack plus the relay tier pointed at the
+  // aggregator. Fast real-time backoff so reconnect storms resolve within
+  // the test's wall clock; scenarios/overrides may re-pin any knob.
+  sim::Cluster cluster(harness_cluster(scenario.seed));
+  core::Config config;
+  config.set("sample_interval_s", "30");
+  config.set("log_interval_s", "15");
+  config.set("probe_interval_s", "0");
+  config.set("health_interval_s", "120");
+  config.set("ingest_shards", "2");
+  config.set("ingest_queue_cap", "64");
+  config.set("ingest_policy", "drop_oldest");
+  config.set("wal_path", node_wal);
+  config.set("sampler_deadline_ms", "50");
+  config.set("breaker_threshold", "3");
+  config.set("relay_upstream", std::to_string(aggregator.serve()->port()));
+  config.set("relay_backoff_ms", "2");
+  config.set("relay_backoff_max_ms", "50");
+  config.set("relay_queue_cap", "512");
+  for (const auto& [k, v] : scenario.config_overrides) config.set(k, v);
+  for (const auto& [k, v] : overrides) config.set(k, v);
+  MonitoringStack node(cluster, config, &plan);
+  auto& registry = cluster.registry();
+
+  // The liveness proof, end to end across the wire: a critical heartbeat
+  // published through the node's full path (router -> WAL -> ingest AND
+  // router -> relay -> aggregator) every tick.
+  const auto harness_component = registry.register_component(
+      {"netstorm.harness", core::ComponentKind::kService,
+       cluster.topology().system()});
+  const auto hb_metric = registry.register_metric(
+      {"netstorm.heartbeat", "beats", "relay storm liveness heartbeat", true,
+       core::Priority::kCritical});
+  const auto hb_series = registry.series(hb_metric, harness_component);
+  std::vector<core::SeriesId> bulk_series;
+  for (std::size_t i = 0; i < kBulkSeries; ++i) {
+    const auto m = registry.register_metric(
+        {"netstorm.bulk_flood." + std::to_string(i), "points",
+         "synthetic bulk-class storm load", false, core::Priority::kBulk});
+    bulk_series.push_back(registry.series(m, harness_component));
+  }
+
+  resilience::ChaosSchedule schedule(scenario);
+  schedule.arm(cluster.events(), cluster.now(), plan);
+
+  const auto tick = 10 * core::kSecond;
+  cluster.events().schedule_every(
+      cluster.now() + tick, tick, [&](core::TimePoint t) {
+        core::SampleBatch hb;
+        hb.sweep_time = t;
+        hb.origin = harness_component;
+        hb.samples.push_back(
+            {hb_series, t, static_cast<double>(report.heartbeats_sent)});
+        auto frame = transport::encode_samples(hb);
+        frame.priority = core::Priority::kCritical;
+        node.router().publish(frame);
+        ++report.heartbeats_sent;
+
+        const auto flood = schedule.active_bulk_batches_per_tick();
+        for (std::uint32_t b = 0; b < flood; ++b) {
+          core::SampleBatch bulk;
+          bulk.sweep_time = t;
+          bulk.origin = harness_component;
+          for (std::size_t i = 0; i < bulk_series.size(); ++i) {
+            bulk.samples.push_back(
+                {bulk_series[i], t + static_cast<core::Duration>(b),
+                 static_cast<double>(b)});
+          }
+          auto bulk_frame = transport::encode_samples(bulk);
+          bulk_frame.priority = core::Priority::kBulk;
+          node.router().publish(bulk_frame);
+        }
+      });
+
+  // The sim runs in slices with a real-time relay drain between them: the
+  // relay worker (real threads, real sockets) makes progress WHILE each
+  // phase's fault spec is armed, so every fault class actually lands on
+  // live traffic instead of the whole storm flashing past in sim time.
+  const core::Duration slice = 30 * core::kSecond;
+  for (core::Duration at = 0; at < scenario.total; at += slice) {
+    cluster.run_for(std::min(slice, scenario.total - at));
+    node.relay()->drain_for(25);
+  }
+
+  plan.release_hangs();
+  const auto node_shutdown = node.shutdown(std::chrono::milliseconds(20000));
+  report.relay_unacked = node_shutdown.relay_unacked;
+  const auto relay_stats = node.relay()->stats();
+  const auto serve_stats = aggregator.serve()->stats();
+  aggregator.shutdown();
+  report.survived = true;
+
+  report.acked_batches = relay_stats.acked_batches;
+  report.resent_batches = relay_stats.resent_batches;
+  report.rejected_batches = relay_stats.rejected_batches;
+  report.shed_batches = relay_stats.shed_batches;
+  report.connects = relay_stats.connects;
+  report.disconnects = relay_stats.disconnects;
+  report.duplicates = serve_stats.relay_duplicates;
+  report.window_rejects = serve_stats.relay_window_rejects;
+
+  const auto injected = plan.injected();
+  report.socket_faults = injected.sock_resets + injected.sock_stalls +
+                         injected.sock_short_writes +
+                         injected.sock_short_reads +
+                         injected.sock_torn_frames;
+  report.all_fault_classes =
+      injected.sock_resets > 0 && injected.sock_stalls > 0 &&
+      injected.sock_short_writes > 0 && injected.sock_short_reads > 0 &&
+      injected.sock_torn_frames > 0;
+
+  // Byte-exactness of the critical series: the aggregator must hold exactly
+  // the heartbeat points the node stored — same count, same timestamps, same
+  // values. The aggregator's strictly-increasing-timestamp append is the
+  // second dedupe layer, so at-least-once resends cannot double a point.
+  const core::TimeRange hb_window{0, cluster.now() + core::kHour};
+  const auto node_points =
+      node.sharded_store()->query_range(hb_series, hb_window);
+  const auto upstream_points =
+      aggregator.tsdb().hot().query_range(hb_series, hb_window);
+  report.node_heartbeats = static_cast<std::uint64_t>(node_points.size());
+  report.upstream_heartbeats =
+      static_cast<std::uint64_t>(upstream_points.size());
+  report.critical_byte_exact =
+      node_points.size() == upstream_points.size() &&
+      std::equal(node_points.begin(), node_points.end(),
+                 upstream_points.begin(),
+                 [](const core::TimedValue& a, const core::TimedValue& b) {
+                   return a.time == b.time && a.value == b.value;
+                 });
+
+  if (report.node_heartbeats != report.heartbeats_sent) {
+    report.failure = core::strformat(
+        "node-side heartbeat gap: stored %llu of %llu",
+        static_cast<unsigned long long>(report.node_heartbeats),
+        static_cast<unsigned long long>(report.heartbeats_sent));
+  } else if (report.relay_unacked != 0) {
+    report.failure = "relay queue did not drain to acked within the deadline";
+  } else if (report.rejected_batches != 0) {
+    report.failure = "server refused relay payloads (poison-pill drops)";
+  } else if (!report.critical_byte_exact) {
+    report.failure = core::strformat(
+        "critical series not byte-exact upstream: %llu of %llu points",
+        static_cast<unsigned long long>(report.upstream_heartbeats),
+        static_cast<unsigned long long>(report.node_heartbeats));
+  } else if (report.socket_faults == 0) {
+    report.failure = "storm injected no socket faults (harness no-op)";
+  } else if (!report.all_fault_classes) {
+    report.failure = "a socket fault class never fired during the storm";
+  } else if (report.connects < 2) {
+    report.failure = "relay never reconnected (resets did not bite)";
+  }
+  return report;
+}
+
 }  // namespace hpcmon::stack

@@ -60,4 +60,48 @@ ChaosReport run_chaos(
     const resilience::ChaosScenario& scenario,
     const std::vector<std::pair<std::string, std::string>>& overrides = {});
 
+/// Verdict of the two-stack relay storm (run_network_storm): a node stack
+/// forwarding through hpcmon::relay to an aggregator stack's serve tier,
+/// with every socket fault class injected on BOTH sides of the wire.
+struct NetworkStormReport {
+  std::string scenario;
+  bool survived = false;
+  // Critical byte-exactness across the wire: every heartbeat the node
+  // stored must ALSO be on the aggregator, same timestamps, same values.
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t node_heartbeats = 0;      // stored node-side
+  std::uint64_t upstream_heartbeats = 0;  // stored aggregator-side
+  bool critical_byte_exact = false;
+  // Relay ledger (client side).
+  std::uint64_t acked_batches = 0;
+  std::uint64_t resent_batches = 0;
+  std::uint64_t rejected_batches = 0;  // poison-pill drops (must stay 0)
+  std::uint64_t shed_batches = 0;      // voluntary, never critical
+  std::uint64_t connects = 0;
+  std::uint64_t disconnects = 0;
+  std::uint64_t relay_unacked = 0;  // left unacked at shutdown (must be 0)
+  // Server-side dedupe ledger.
+  std::uint64_t duplicates = 0;       // acked-without-reapply resends
+  std::uint64_t window_rejects = 0;   // beyond-window refusals (resent)
+  // Fault pressure actually exercised (the storm must not be a no-op).
+  std::uint64_t socket_faults = 0;
+  bool all_fault_classes = false;  // reset+stall+short write/read+torn frame
+  /// First violated invariant (empty when all held).
+  std::string failure;
+
+  bool ok() const { return survived && failure.empty(); }
+  std::string to_string() const;
+};
+
+/// Run the node→aggregator relay storm end to end: two MonitoringStacks on
+/// one FaultPlan (one monotone socket-op stream spanning client and server
+/// I/O), the scenario's phases driving resets, stalls, fragmentation, and
+/// torn frames concurrently with a bulk ingest flood; then a recovery
+/// window, a drained shutdown, and the zero-acked-loss / byte-exact-critical
+/// verdict. `overrides` apply to the NODE stack's config after the
+/// scenario's own config_overrides.
+NetworkStormReport run_network_storm(
+    const resilience::ChaosScenario& scenario,
+    const std::vector<std::pair<std::string, std::string>>& overrides = {});
+
 }  // namespace hpcmon::stack

@@ -366,6 +366,10 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
         config.get_int("serve_writer_threads", 2));
     sc.egress_cap =
         static_cast<std::size_t>(config.get_int("serve_egress_cap", 256));
+    sc.idle_timeout_ms = config.get_int("serve_idle_timeout_ms", 0);
+    sc.relay_dedupe_window =
+        static_cast<std::size_t>(config.get_int("relay_dedupe_window", 1024));
+    sc.socket_faults = chaos_;
     sc.obs = &obs_;
     serve::ServeHooks hooks;
     // Queries answer from whichever numeric store is active — the exact
@@ -402,8 +406,59 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
       wal_->rotate();
       return true;
     };
+    // Aggregator ingest for relayed batches: the server dedupes by
+    // (source, seq) before calling this, so the hook applies each novel
+    // batch through the SAME pathway local samples take — WAL first, then
+    // the active numeric store, then the live-subscription fan-out.
+    // Detector/rule analysis stays node-side (it already ran there).
+    hooks.relay_apply = [this](const core::SampleBatch& batch,
+                               core::Priority priority) -> std::size_t {
+      if (wal_delivery_) {
+        auto frame = transport::encode_samples(batch);
+        frame.priority = priority;
+        wal_delivery_->deliver(frame);
+      }
+      std::size_t applied = 0;
+      if (ingest_) {
+        ingest_->submit(batch);
+        applied = batch.samples.size();
+      } else {
+        applied = tsdb_.append_batch(batch.samples);
+      }
+      if (serve_) serve_->publish_batch(batch);
+      return applied;
+    };
     serve_ = std::make_unique<serve::ServeServer>(sc, std::move(hooks));
     serve_->start();
+  }
+
+  // Relay tier: forward every numeric batch to an upstream aggregator with
+  // at-least-once, exactly-applied semantics — off unless relay_upstream
+  // names the aggregator's serve port.
+  if (const auto upstream = config.get_int("relay_upstream", 0);
+      upstream > 0) {
+    relay::RelayConfig rc;
+    rc.upstream_port = static_cast<std::uint16_t>(upstream);
+    rc.source_id =
+        static_cast<std::uint64_t>(config.get_int("relay_source", 1));
+    rc.batch_samples =
+        static_cast<std::size_t>(config.get_int("relay_batch_samples", 512));
+    rc.queue_cap =
+        static_cast<std::size_t>(config.get_int("relay_queue_cap", 1024));
+    rc.backoff_ms = config.get_int("relay_backoff_ms", 50);
+    rc.backoff_max_ms = config.get_int("relay_backoff_max_ms", 2000);
+    // Seq-lease durability rides in the WAL directory when one exists; a
+    // WAL-less node keeps volatile state (the hello heal still prevents
+    // seq reuse after a restart).
+    rc.state_path = wal_path.empty() ? "" : wal_path + "/relay.state";
+    rc.priority_of = [this](core::SeriesId id) {
+      return cluster_.registry().series_priority(id);
+    };
+    rc.socket_faults = chaos_;
+    rc.fs_faults = chaos_;
+    rc.obs = &obs_;
+    relay_ = std::make_unique<relay::RelayClient>(std::move(rc));
+    relay_->start();
   }
 
   // The monitor monitors itself: one unified export task re-ingests the
@@ -475,6 +530,10 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
                       // clients through bounded egress queues (never blocks
                       // on a slow client).
                       if (serve_) serve_->publish_batch(batch.value());
+                      // Upstream tap: hand the batch to the relay tier for
+                      // durable forwarding (never blocks; sheds bulk first
+                      // under pressure, critical never).
+                      if (relay_) relay_->submit(batch.value());
                     });
   router_.subscribe(transport::FrameType::kLogs,
                     [this](const transport::Frame& f) { on_log_frame(f); });
@@ -556,7 +615,16 @@ ShutdownReport MonitoringStack::shutdown(std::chrono::milliseconds deadline) {
   ShutdownReport report;
   if (shut_down_) return report;
   shut_down_ = true;
-  // Stop serving first: no client observes (or stalls) the drain below.
+  // Drain the relay first, while the upstream can still ack: anything left
+  // unacked at the deadline is REPORTED and survives in the durable queue
+  // semantics (fresh seqs after restart; the aggregator store's
+  // strictly-increasing timestamps reject re-applies).
+  if (relay_) {
+    relay_->drain_for(static_cast<int>(deadline.count()));
+    report.relay_unacked = relay_->pending();
+    relay_->stop();
+  }
+  // Stop serving next: no client observes (or stalls) the drain below.
   if (serve_) serve_->stop();
   // Drain before teardown: everything already submitted reaches the shards —
   // unless a wedged tier can't finish within the deadline, in which case the

@@ -68,6 +68,22 @@
 //                               every (conn id % pool)-th connection)
 //   serve_egress_cap    (256)   per-connection egress queue bound; the
 //                               storm-mode priority door engages above it
+//   serve_idle_timeout_ms (0)   >0 closes serve connections with no traffic
+//                               for this long (real ms); half-open peers
+//                               stop pinning reactor state forever
+//   relay_upstream      (0)     >0 forwards every numeric sample batch to
+//                               the aggregator stack serving on
+//                               127.0.0.1:<port> with at-least-once,
+//                               exactly-applied semantics (src/relay)
+//   relay_source        (1)     durable source identity for relay dedupe
+//   relay_batch_samples (512)   max samples per relay append frame
+//   relay_queue_cap     (1024)  pending relay entries; unsent bulk/standard
+//                               shed above it, critical never
+//   relay_backoff_ms    (50)    first reconnect backoff (doubles, jittered,
+//                               capped at relay_backoff_max_ms (2000))
+//   relay_dedupe_window (1024)  server-side dedupe window above the acked
+//                               watermark (appends beyond it are refused
+//                               un-applied and resent later)
 //   tier_dir            ("")    when set, sealed hot chunks age through
 //                               journaled on-disk resolution tiers in this
 //                               directory (raw -> 10s -> 5min -> 1h by
@@ -106,6 +122,7 @@
 #include "obs/exporter.hpp"
 #include "obs/registry.hpp"
 #include "obs/stage.hpp"
+#include "relay/client.hpp"
 #include "resilience/breaker.hpp"
 #include "resilience/degradation.hpp"
 #include "resilience/delivery.hpp"
@@ -134,6 +151,8 @@ struct ShutdownReport {
   bool drained = true;  // ingest in-flight reached zero within the deadline
   std::int64_t abandoned_batches = 0;  // sub-batches still queued at deadline
   std::size_t dead_letters = 0;        // frames stranded in the WAL DLQ
+  std::size_t relay_unacked = 0;       // relay entries still unacked at stop
+                                       // (durable locally; resent on restart)
   bool clean() const { return drained && abandoned_batches == 0; }
 };
 
@@ -243,6 +262,13 @@ class MonitoringStack {
   serve::ServeServer* serve() { return serve_.get(); }
   const serve::ServeServer* serve() const { return serve_.get(); }
 
+  // -- Relay tier ------------------------------------------------------------
+  /// Durable upstream forwarder; nullptr unless relay_upstream is configured.
+  /// Every numeric batch the router sees is also submitted here and shipped
+  /// to the aggregator with at-least-once, exactly-applied semantics.
+  relay::RelayClient* relay() { return relay_.get(); }
+  const relay::RelayClient* relay() const { return relay_.get(); }
+
   /// Novelty reports accumulated so far (empty unless novelty = true).
   const std::vector<analysis::NoveltyEvent>& novelty_reports() const {
     return novelty_reports_;
@@ -331,6 +357,9 @@ class MonitoringStack {
   // Declared after the stores/ingest tier: destroyed first, so the serve
   // threads stop answering before the data they serve is torn down.
   std::unique_ptr<serve::ServeServer> serve_;
+  // Declared after serve_: the forwarder stops before the (local) serving
+  // tier, and its worker thread is joined before any store teardown.
+  std::unique_ptr<relay::RelayClient> relay_;
   resilience::FaultPlan* chaos_ = nullptr;  // not owned; see chaos ctor
   // Registry-owned fill gauges the stack refreshes before each snapshot
   // (they summarize state the tiers do not hold as single instruments).

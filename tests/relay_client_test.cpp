@@ -1,0 +1,380 @@
+// Relay tier unit tests over a real loopback wire: forwarding with acks,
+// server-side (source, seq) dedupe and the bounded window, the hello heal
+// after state-file loss, priority-aware shedding, and seq-lease persistence.
+#include "relay/client.hpp"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <thread>
+
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "store/tsdb.hpp"
+#include "transport/codec.hpp"
+
+namespace hpcmon::relay {
+namespace {
+
+/// An aggregator stand-in: a ServeServer whose relay hook appends into a
+/// plain TimeSeriesStore and counts every apply (the exactly-once ledger).
+struct Upstream {
+  store::TimeSeriesStore store;
+  std::atomic<std::uint64_t> applies{0};
+  std::atomic<std::uint64_t> applied_samples{0};
+  std::unique_ptr<serve::ServeServer> server;
+
+  explicit Upstream(serve::ServeConfig config = {}) {
+    serve::ServeHooks hooks;
+    hooks.relay_apply = [this](const core::SampleBatch& b, core::Priority) {
+      ++applies;
+      const auto n = store.append_batch(b.samples);
+      applied_samples += n;
+      return n;
+    };
+    server = std::make_unique<serve::ServeServer>(config, std::move(hooks));
+    EXPECT_TRUE(server->start()) << server->error();
+  }
+};
+
+core::SampleBatch make_batch(core::SeriesId series, core::TimePoint t0,
+                             int n) {
+  core::SampleBatch batch;
+  batch.sweep_time = t0;
+  for (int i = 0; i < n; ++i) {
+    batch.samples.push_back(
+        {series, t0 + i * 10, static_cast<double>(t0 + i)});
+  }
+  return batch;
+}
+
+/// A raw wire peer for driving the server's dedupe state directly with
+/// hand-built (source, seq) appends — the client never sends these shapes.
+class RawPeer {
+ public:
+  bool connect(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) return false;
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+           0;
+  }
+  ~RawPeer() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  std::optional<serve::WireFrame> call(serve::MsgType type,
+                                       const std::vector<std::uint8_t>& body) {
+    std::vector<std::uint8_t> bytes;
+    serve::append_wire_frame(bytes, type, next_id_++, body);
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return std::nullopt;
+      off += static_cast<std::size_t>(n);
+    }
+    while (true) {
+      if (auto frame = assembler_.next()) return frame;
+      std::uint8_t buf[4096];
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) return std::nullopt;
+      if (!assembler_.feed(buf, static_cast<std::size_t>(n))) {
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<serve::RelayAck> append(std::uint64_t source,
+                                        std::uint64_t seq,
+                                        const core::SampleBatch& batch) {
+    serve::RelayAppend msg;
+    msg.source_id = source;
+    msg.seq = seq;
+    msg.payload = transport::encode_samples(batch).payload;
+    auto reply = call(serve::MsgType::kRelayAppend,
+                      serve::encode_relay_append(msg));
+    if (!reply || reply->type != serve::MsgType::kOk) return std::nullopt;
+    serve::RelayAck ack;
+    if (!serve::decode_relay_ack(reply->body, ack)) return std::nullopt;
+    return ack;
+  }
+
+ private:
+  int fd_ = -1;
+  std::uint32_t next_id_ = 1;
+  serve::WireAssembler assembler_;
+};
+
+TEST(RelayClientTest, ForwardsBatchesByteExactAndAdvancesWatermark) {
+  Upstream up;
+  RelayConfig rc;
+  rc.upstream_port = up.server->port();
+  rc.backoff_ms = 1;
+  RelayClient client(rc);
+  ASSERT_TRUE(client.start());
+
+  const core::SeriesId series{7};
+  core::SampleBatch sent;
+  for (int b = 0; b < 5; ++b) {
+    auto batch = make_batch(series, 1000 * b, 20);
+    sent.samples.insert(sent.samples.end(), batch.samples.begin(),
+                        batch.samples.end());
+    EXPECT_EQ(client.submit(batch), 1u);
+  }
+  ASSERT_TRUE(client.drain_for(5000));
+  client.stop();
+
+  const auto stored =
+      up.store.query_range(series, {0, 1000 * 5 + core::kHour});
+  ASSERT_EQ(stored.size(), sent.samples.size());
+  for (std::size_t i = 0; i < stored.size(); ++i) {
+    EXPECT_EQ(stored[i].time, sent.samples[i].time);
+    EXPECT_EQ(stored[i].value, sent.samples[i].value);
+  }
+  const auto stats = client.stats();
+  EXPECT_EQ(stats.acked_batches, 5u);
+  EXPECT_EQ(stats.acked_samples, sent.samples.size());
+  EXPECT_EQ(stats.watermark, 5u);
+  EXPECT_EQ(up.applies.load(), 5u);
+  EXPECT_EQ(up.server->stats().relay_applied_batches, 5u);
+}
+
+TEST(RelayClientTest, SplitsByPriorityClassAndChunkSize) {
+  Upstream up;
+  RelayConfig rc;
+  rc.upstream_port = up.server->port();
+  rc.batch_samples = 8;
+  rc.priority_of = [](core::SeriesId id) {
+    return core::raw(id) == 1 ? core::Priority::kCritical : core::Priority::kBulk;
+  };
+  RelayClient client(rc);
+  ASSERT_TRUE(client.start());
+
+  core::SampleBatch mixed;
+  for (int i = 0; i < 20; ++i) {
+    mixed.samples.push_back({core::SeriesId{1}, i * 10, 1.0});
+    mixed.samples.push_back({core::SeriesId{2}, i * 10, 2.0});
+  }
+  // 20 critical + 20 bulk at <= 8 samples per entry: 3 + 3 entries.
+  EXPECT_EQ(client.submit(mixed), 6u);
+  ASSERT_TRUE(client.drain_for(5000));
+  client.stop();
+  EXPECT_EQ(up.store.query_range(core::SeriesId{1}, {0, 1000}).size(), 20u);
+  EXPECT_EQ(up.store.query_range(core::SeriesId{2}, {0, 1000}).size(), 20u);
+  EXPECT_EQ(up.applies.load(), 6u);
+}
+
+TEST(RelayClientTest, ServerDedupesBySourceSeqWithinBoundedWindow) {
+  serve::ServeConfig sc;
+  sc.relay_dedupe_window = 3;
+  Upstream up(sc);
+  RawPeer peer;
+  ASSERT_TRUE(peer.connect(up.server->port()));
+
+  const auto batch = make_batch(core::SeriesId{9}, 0, 4);
+  // Novel seq applies and advances the watermark.
+  auto ack = peer.append(42, 1, batch);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_TRUE(ack->applied);
+  EXPECT_EQ(ack->watermark, 1u);
+  // The same seq again is acked WITHOUT a second apply.
+  ack = peer.append(42, 1, batch);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_FALSE(ack->applied);
+  EXPECT_TRUE(ack->duplicate);
+  EXPECT_EQ(up.applies.load(), 1u);
+  // Beyond the window (> watermark + 3): refused un-applied, watermark
+  // unchanged — the client must resend once the gap closes.
+  ack = peer.append(42, 5, batch);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_FALSE(ack->applied);
+  EXPECT_FALSE(ack->duplicate);
+  EXPECT_EQ(ack->watermark, 1u);
+  EXPECT_EQ(up.applies.load(), 1u);
+  // Out-of-order within the window: applied above the watermark, then the
+  // gap closes and the watermark sweeps forward contiguously.
+  ack = peer.append(42, 3, batch);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_TRUE(ack->applied);
+  EXPECT_EQ(ack->watermark, 1u);  // 2 still missing
+  ack = peer.append(42, 2, batch);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_TRUE(ack->applied);
+  EXPECT_EQ(ack->watermark, 3u);  // 2 applied, 3 already above
+  // seq 0 is invalid (seqs are 1-based): kError, nothing applied.
+  EXPECT_FALSE(peer.append(42, 0, batch).has_value());
+  // A second source has independent dedupe state.
+  ack = peer.append(43, 1, batch);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_TRUE(ack->applied);
+  EXPECT_EQ(ack->watermark, 1u);
+  const auto stats = up.server->stats();
+  EXPECT_EQ(stats.relay_duplicates, 1u);
+  EXPECT_EQ(stats.relay_window_rejects, 1u);
+  EXPECT_EQ(stats.relay_sources, 2u);
+}
+
+TEST(RelayClientTest, ZeroDedupeWindowIsFlooredAtOne) {
+  // A zero window must not refuse the next in-order seq — that would
+  // livelock every client against its own resends (the refusal-ack leaves
+  // the watermark where it was, so the client resends the same seq
+  // forever). The server floors the window at 1: strictly in-order
+  // traffic always makes progress.
+  serve::ServeConfig sc;
+  sc.relay_dedupe_window = 0;
+  Upstream up(sc);
+  RawPeer peer;
+  ASSERT_TRUE(peer.connect(up.server->port()));
+  const auto batch = make_batch(core::SeriesId{9}, 0, 4);
+  for (std::uint64_t seq = 1; seq <= 3; ++seq) {
+    auto ack = peer.append(42, seq, batch);
+    ASSERT_TRUE(ack.has_value());
+    EXPECT_TRUE(ack->applied);
+    EXPECT_EQ(ack->watermark, seq);
+  }
+  EXPECT_EQ(up.applies.load(), 3u);
+  // Anything past next-in-order is still refused: the floor is exactly 1.
+  auto ack = peer.append(42, 5, batch);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_FALSE(ack->applied);
+  EXPECT_EQ(ack->watermark, 3u);
+}
+
+TEST(RelayClientTest, CorruptPayloadIsRefusedNotAcked) {
+  Upstream up;
+  RawPeer peer;
+  ASSERT_TRUE(peer.connect(up.server->port()));
+  serve::RelayAppend msg;
+  msg.source_id = 7;
+  msg.seq = 1;
+  msg.payload = {0xde, 0xad, 0xbe, 0xef};  // not a samples frame
+  auto reply = peer.call(serve::MsgType::kRelayAppend,
+                         serve::encode_relay_append(msg));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, serve::MsgType::kError);
+  EXPECT_EQ(up.applies.load(), 0u);
+  // The refused seq was NOT recorded: a valid retry of the same seq applies.
+  auto ack = peer.append(7, 1, make_batch(core::SeriesId{1}, 0, 2));
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_TRUE(ack->applied);
+}
+
+TEST(RelayClientTest, HelloHealPreventsSeqReuseAfterStateLoss) {
+  Upstream up;
+  const std::string state = "/tmp/hpcmon_relay_heal.state";
+  std::filesystem::remove(state);
+
+  RelayConfig rc;
+  rc.upstream_port = up.server->port();
+  rc.source_id = 11;
+  rc.state_path = state;
+  {
+    RelayClient client(rc);
+    ASSERT_TRUE(client.start());
+    client.submit(make_batch(core::SeriesId{3}, 0, 10));
+    ASSERT_TRUE(client.drain_for(5000));
+    client.stop();
+    EXPECT_EQ(client.watermark(), 1u);
+  }
+  // The node loses its disk: the state file is gone, so a naive restart
+  // would reuse seq 1 and the server would ack-as-duplicate, silently
+  // discarding fresh data. The hello heal jumps next_seq past the server's
+  // watermark instead.
+  std::filesystem::remove(state);
+  {
+    RelayClient client(rc);
+    ASSERT_TRUE(client.start());
+    client.submit(make_batch(core::SeriesId{3}, 1000, 10));
+    ASSERT_TRUE(client.drain_for(5000));
+    client.stop();
+    EXPECT_EQ(client.stats().acked_batches, 1u);
+  }
+  EXPECT_EQ(up.applies.load(), 2u);
+  EXPECT_EQ(up.store.query_range(core::SeriesId{3}, {0, core::kHour}).size(),
+            20u);
+  EXPECT_EQ(up.server->stats().relay_duplicates, 0u);
+}
+
+TEST(RelayClientTest, StateFilePersistsSeqLeaseAcrossRestarts) {
+  Upstream up;
+  const std::string state = "/tmp/hpcmon_relay_lease.state";
+  std::filesystem::remove(state);
+  RelayConfig rc;
+  rc.upstream_port = up.server->port();
+  rc.source_id = 12;
+  rc.state_path = state;
+  {
+    RelayClient client(rc);
+    ASSERT_TRUE(client.start());
+    client.submit(make_batch(core::SeriesId{4}, 0, 5));
+    ASSERT_TRUE(client.drain_for(5000));
+    client.stop();
+  }
+  ASSERT_TRUE(std::filesystem::exists(state));
+  {
+    // State survives: the restarted client resumes past the lease and the
+    // loaded watermark, so fresh submits apply cleanly.
+    RelayClient client(rc);
+    ASSERT_TRUE(client.start());
+    EXPECT_EQ(client.watermark(), 1u);  // loaded from the state file
+    client.submit(make_batch(core::SeriesId{4}, 1000, 5));
+    ASSERT_TRUE(client.drain_for(5000));
+    client.stop();
+    EXPECT_EQ(client.stats().rejected_batches, 0u);
+  }
+  EXPECT_EQ(up.applies.load(), 2u);
+  std::filesystem::remove(state);
+}
+
+TEST(RelayClientTest, ShedsUnsentBulkUnderPressureNeverCritical) {
+  // No server behind this port: nothing drains, so the queue bound governs.
+  RelayConfig rc;
+  rc.upstream_port = 1;  // connect() refused instantly
+  rc.queue_cap = 4;
+  rc.backoff_ms = 200;  // keep the worker mostly parked in backoff
+  rc.backoff_max_ms = 400;
+  rc.priority_of = [](core::SeriesId id) {
+    return core::raw(id) == 1 ? core::Priority::kCritical : core::Priority::kBulk;
+  };
+  RelayClient client(rc);
+  ASSERT_TRUE(client.start());
+
+  core::SampleBatch bulk;
+  for (int i = 0; i < 10; ++i) {
+    bulk.samples.clear();
+    bulk.samples.push_back({core::SeriesId{2}, i * 10, 1.0});
+    client.submit(bulk);
+  }
+  // Bulk over the cap was shed (drop-oldest-unsent), never grown unbounded.
+  EXPECT_LE(client.pending(), rc.queue_cap + 1);
+  EXPECT_GT(client.stats().shed_batches, 0u);
+
+  core::SampleBatch critical;
+  for (int i = 0; i < 6; ++i) {
+    critical.samples.clear();
+    critical.samples.push_back({core::SeriesId{1}, i * 10, 2.0});
+    EXPECT_EQ(client.submit(critical), 1u);  // never shed, cap or not
+  }
+  // Every critical entry is still pending (bulk was evicted to make room,
+  // and critical overflows the cap rather than dropping).
+  const auto stats = client.stats();
+  EXPECT_GE(stats.pending, 6u);
+  client.stop();
+}
+
+}  // namespace
+}  // namespace hpcmon::relay

@@ -1,0 +1,112 @@
+// Satellite robustness tests for half-open connections: the server-side
+// idle deadline (off by default) reaps silent peers and counts them in
+// serve.idle_closed; the client-side read deadline turns a mute server from
+// a forever-hang into a bounded "timeout" error on an open connection.
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "store/tsdb.hpp"
+
+namespace hpcmon::serve {
+namespace {
+
+std::unique_ptr<ServeServer> make_server(store::TimeSeriesStore& store,
+                                         ServeConfig config) {
+  ServeHooks hooks;
+  bind_query_hooks(hooks, store);
+  auto server = std::make_unique<ServeServer>(config, std::move(hooks));
+  EXPECT_TRUE(server->start()) << server->error();
+  return server;
+}
+
+TEST(ServeIdleDeadlineTest, IdleConnectionsAreReapedAndCounted) {
+  store::TimeSeriesStore store;
+  ServeConfig config;
+  config.idle_timeout_ms = 80;
+  auto server = make_server(store, config);
+
+  ServeClient active;
+  ServeClient silent;
+  ASSERT_TRUE(active.connect(server->port()));
+  ASSERT_TRUE(silent.connect(server->port()));
+  ASSERT_TRUE(active.ping());
+  EXPECT_EQ(server->stats().connections, 2u);
+
+  // Keep one connection chatty past several idle windows; the silent one
+  // must be reaped, the active one must not.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(400);
+  while (std::chrono::steady_clock::now() < deadline) {
+    EXPECT_TRUE(active.ping());
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(server->stats().idle_closed, 1u);
+  EXPECT_EQ(server->stats().connections, 1u);
+  EXPECT_TRUE(active.ping());
+  // The reaped peer finds out the usual TCP way: its next call fails.
+  silent.set_read_deadline_ms(500);
+  EXPECT_FALSE(silent.ping());
+}
+
+TEST(ServeIdleDeadlineTest, IdleReapingIsOffByDefault) {
+  store::TimeSeriesStore store;
+  auto server = make_server(store, ServeConfig{});
+  ServeClient client;
+  ASSERT_TRUE(client.connect(server->port()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_EQ(server->stats().idle_closed, 0u);
+  EXPECT_TRUE(client.ping());
+}
+
+TEST(ServeIdleDeadlineTest, ClientReadDeadlineBoundsAMuteServer) {
+  // A listener that accepts and then never says a word — the half-open
+  // shape that used to park read_frame(-1) forever.
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  std::thread acceptor([listen_fd] {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    std::this_thread::sleep_for(std::chrono::milliseconds(600));
+    if (fd >= 0) ::close(fd);
+  });
+
+  ServeClient client;
+  ASSERT_TRUE(client.connect(ntohs(addr.sin_port)));
+  client.set_read_deadline_ms(50);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(client.ping());
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  EXPECT_GE(waited, 45);
+  EXPECT_LT(waited, 500) << "deadline did not bound the wait";
+  EXPECT_EQ(client.error(), "timeout");
+  // The connection is deliberately left open: a timeout means "slow or
+  // gone, unknown which" and the caller chooses whether to re-probe.
+  EXPECT_TRUE(client.connected());
+
+  acceptor.join();
+  ::close(listen_fd);
+}
+
+}  // namespace
+}  // namespace hpcmon::serve
