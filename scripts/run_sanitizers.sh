@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Drive the sanitizer presets end to end: configure, build, and test each
-# requested preset. The tsan preset runs the `threaded`-, `serve`-, and
-# `relay`-labeled tests (the chaos storm battery carries both `chaos` and
-# `threaded`, so every seeded storm scenario runs under ThreadSanitizer; the
-# serving tier's reactor/writer-pool/slow-client tests ride along; and the
-# `relay` label pulls in the two-stack relay battery — client/server dedupe,
-# the kill-point resume sweep, and the network_storm scenario — so the
-# relay worker thread vs reactor vs ingest interleavings are all
-# race-checked); asan and ubsan
+# requested preset. The tsan preset runs the `threaded`-, `serve`-,
+# `relay`-, and `rollup`-labeled tests (the chaos storm battery carries both
+# `chaos` and `threaded`, so every seeded storm scenario runs under
+# ThreadSanitizer; the serving tier's reactor/writer-pool/slow-client tests
+# ride along; the `relay` label pulls in the two-stack relay battery —
+# client/server dedupe, the kill-point resume sweep, and the network_storm
+# scenario — so the relay worker thread vs reactor vs ingest interleavings
+# are all race-checked; and the `rollup` label pulls in the rollup tree's
+# concurrent appender/ticker/reader property hammer against the
+# epoch-buffered drain and lazily-materialized snapshots); asan and ubsan
 # run the full suite — which includes the `codec`-labeled adversarial
 # sweep (store_codec_property_test): the word-at-a-time Gorilla decoder
 # against bit-flipped and truncated frames, where an out-of-bounds read or

@@ -1,0 +1,127 @@
+#include "core/topo_path.hpp"
+
+#include "core/strings.hpp"
+
+namespace hpcmon::core {
+
+namespace {
+
+/// Consume a non-negative decimal integer from the front of `s`; nullopt when
+/// the front is not a digit. Bounds the value so hostile input can't overflow.
+std::optional<int> eat_int(std::string_view& s) {
+  if (s.empty() || s.front() < '0' || s.front() > '9') return std::nullopt;
+  long v = 0;
+  std::size_t i = 0;
+  while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+    v = v * 10 + (s[i] - '0');
+    if (v > 1'000'000'000) return std::nullopt;
+    ++i;
+  }
+  s.remove_prefix(i);
+  return static_cast<int>(v);
+}
+
+bool eat(std::string_view& s, char c) {
+  if (s.empty() || s.front() != c) return false;
+  s.remove_prefix(1);
+  return true;
+}
+
+}  // namespace
+
+TopoPath::Level TopoPath::level() const {
+  if (node >= 0) return Level::kNode;
+  if (slot >= 0) return Level::kBlade;
+  if (chassis >= 0) return Level::kChassis;
+  if (cabinet >= 0) return Level::kCabinet;
+  return Level::kSystem;
+}
+
+bool TopoPath::valid() const {
+  if (row < 0) return false;
+  // Coordinates must form a prefix: no deeper coordinate without every
+  // shallower one.
+  if (node >= 0 && slot < 0) return false;
+  if (slot >= 0 && chassis < 0) return false;
+  if (chassis >= 0 && cabinet < 0) return false;
+  return true;
+}
+
+std::string TopoPath::format() const {
+  switch (level()) {
+    case Level::kSystem:
+      return "system";
+    case Level::kCabinet:
+      return strformat("c%d-%d", cabinet, row);
+    case Level::kChassis:
+      return strformat("c%d-%dc%d", cabinet, row, chassis);
+    case Level::kBlade:
+      return strformat("c%d-%dc%ds%d", cabinet, row, chassis, slot);
+    case Level::kNode:
+      return strformat("c%d-%dc%ds%dn%d", cabinet, row, chassis, slot, node);
+  }
+  return "system";
+}
+
+std::optional<TopoPath> TopoPath::parse(std::string_view cname) {
+  TopoPath p;
+  if (cname == "system") return p;
+  std::string_view s = cname;
+  if (!eat(s, 'c')) return std::nullopt;
+  auto cab = eat_int(s);
+  if (!cab || !eat(s, '-')) return std::nullopt;
+  auto row = eat_int(s);
+  if (!row) return std::nullopt;
+  p.cabinet = *cab;
+  p.row = *row;
+  if (s.empty()) return p;
+  if (!eat(s, 'c')) return std::nullopt;
+  auto ch = eat_int(s);
+  if (!ch) return std::nullopt;
+  p.chassis = *ch;
+  if (s.empty()) return p;
+  if (!eat(s, 's')) return std::nullopt;
+  auto slot = eat_int(s);
+  if (!slot) return std::nullopt;
+  p.slot = *slot;
+  if (s.empty()) return p;
+  if (!eat(s, 'n')) return std::nullopt;
+  auto node = eat_int(s);
+  if (!node || !s.empty()) return std::nullopt;
+  p.node = *node;
+  return p;
+}
+
+TopoPath TopoPath::of_node_index(int node_index, const Dims& dims) {
+  TopoPath p;
+  if (node_index < 0) return p;
+  const int blades_per_cabinet = dims.chassis_per_cabinet * dims.blades_per_chassis;
+  const int blade = node_index / dims.nodes_per_blade;
+  p.node = node_index % dims.nodes_per_blade;
+  p.cabinet = blade / blades_per_cabinet;
+  const int within_cab = blade % blades_per_cabinet;
+  p.chassis = within_cab / dims.blades_per_chassis;
+  p.slot = within_cab % dims.blades_per_chassis;
+  return p;
+}
+
+int TopoPath::node_index(const Dims& dims) const {
+  if (level() != Level::kNode) return -1;
+  if (chassis >= dims.chassis_per_cabinet || slot >= dims.blades_per_chassis ||
+      node >= dims.nodes_per_blade) {
+    return -1;
+  }
+  return blade_index(dims) * dims.nodes_per_blade + node;
+}
+
+int TopoPath::blade_index(const Dims& dims) const {
+  if (level() < Level::kBlade) return -1;
+  if (chassis >= dims.chassis_per_cabinet || slot >= dims.blades_per_chassis) {
+    return -1;
+  }
+  return (cabinet * dims.chassis_per_cabinet + chassis) *
+             dims.blades_per_chassis +
+         slot;
+}
+
+}  // namespace hpcmon::core

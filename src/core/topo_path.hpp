@@ -1,0 +1,71 @@
+// TopoPath: the machine-topology address of a component, in Cray cname form.
+//
+// The sim's topology names components "c<cab>-<row>", "c<cab>-<row>c<ch>",
+// "c<cab>-<row>c<ch>s<slot>", "c<cab>-<row>c<ch>s<slot>n<node>" (cabinet ->
+// chassis -> blade -> node), and several layers used to re-derive the same
+// strings and the same dense node-index arithmetic independently
+// (sim/topology.cpp registering components, viz/heatmap.cpp mapping grid
+// cells back to node indices). This is the one shared parser/formatter:
+// parse a cname into its level coordinates, format coordinates back into the
+// canonical cname, and convert between a node path and the registry's dense
+// node index given the machine dimensions.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace hpcmon::core {
+
+struct TopoPath {
+  /// Depth of the deepest coordinate present. kSystem is the empty path
+  /// (every coordinate -1), formatted as "system" — the registry's root.
+  enum class Level { kSystem = 0, kCabinet, kChassis, kBlade, kNode };
+
+  /// The machine dimensions needed for dense-index arithmetic; agrees field
+  /// for field with sim::MachineShape (which can't be included here — core
+  /// sits below sim).
+  struct Dims {
+    int chassis_per_cabinet = 1;
+    int blades_per_chassis = 1;
+    int nodes_per_blade = 1;
+  };
+
+  int cabinet = -1;
+  int row = 0;  // every hpcmon machine is single-row today; kept for parse fidelity
+  int chassis = -1;
+  int slot = -1;  // blade slot within the chassis
+  int node = -1;  // node within the blade
+
+  friend bool operator==(const TopoPath&, const TopoPath&) = default;
+
+  Level level() const;
+
+  /// A path is valid when its coordinates are a non-negative prefix of
+  /// (cabinet, chassis, slot, node) — a deeper coordinate never appears
+  /// without every shallower one.
+  bool valid() const;
+
+  /// Canonical cname for this level ("system", "c3-0", "c3-0c2", "c3-0c2s5",
+  /// "c3-0c2s5n1").
+  std::string format() const;
+
+  /// Parse a canonical cname (or "system") back into a path. Rejects
+  /// trailing garbage, missing coordinates, and out-of-order levels.
+  static std::optional<TopoPath> parse(std::string_view cname);
+
+  // -- Dense-index arithmetic (registration order: cabinet-major) ------------
+
+  /// Path of the i-th node in the registry's dense node block.
+  static TopoPath of_node_index(int node_index, const Dims& dims);
+
+  /// Dense node index of a node-level path; -1 for shallower levels or
+  /// coordinates outside `dims`.
+  int node_index(const Dims& dims) const;
+
+  /// Dense blade index (cabinet-major) for blade-or-deeper paths; -1
+  /// otherwise.
+  int blade_index(const Dims& dims) const;
+};
+
+}  // namespace hpcmon::core

@@ -247,7 +247,6 @@ void IngestPipeline::stop() {
 
 void IngestPipeline::worker(std::size_t shard) {
   auto& ch = *channels_[shard];
-  auto& store = store_.shard(shard);
   const auto idle = std::chrono::milliseconds(config_.idle_poll_ms);
   // Per-worker merge arena: reset on every drain, so the coalesce+append
   // hot loop reuses one warmed-up allocation instead of growing and freeing
@@ -288,7 +287,8 @@ void IngestPipeline::worker(std::size_t shard) {
       ++sub_batches;
     }
     const auto t0 = steady_clock::now();
-    const std::size_t accepted = store.append_batch(arena.run());
+    const std::size_t accepted =
+        store_.append_batch_on_shard(shard, arena.run());
     const auto append_us = elapsed_us(t0);
     metrics_.record_append(sub_batches, accepted, arena.size() - accepted,
                            append_us);

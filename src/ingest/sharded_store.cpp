@@ -13,10 +13,43 @@ ShardedTimeSeriesStore::ShardedTimeSeriesStore(std::size_t shards,
   }
 }
 
+void ShardedTimeSeriesStore::attach_rollup(rollup::RollupTree* tree) {
+  rollup_ = tree;
+  for (auto& shard : shards_) {
+    if (tree != nullptr) {
+      shard->set_series_gone_listener(
+          [tree](core::SeriesId id) { tree->forget_series(id); });
+    } else {
+      shard->set_series_gone_listener(nullptr);
+    }
+  }
+}
+
+std::size_t ShardedTimeSeriesStore::append_run(
+    core::SeriesId series, std::span<const core::Sample> run) {
+  const auto k = shard_of(series);
+  const auto accepted = shards_[k]->append_run(series, run);
+  if (rollup_ != nullptr && !run.empty()) {
+    // Only the max-time sample of a window can win the tree's pending-latest
+    // cell, so one observe per run suffices (runs carry the caller's series
+    // field, which append_run ignores — rebuild the sample with ours).
+    const core::Sample* best = &run.front();
+    for (const auto& s : run) {
+      if (s.time > best->time) best = &s;
+    }
+    rollup_->observe(k, core::Sample{series, best->time, best->value});
+  }
+  return accepted;
+}
+
 std::size_t ShardedTimeSeriesStore::append_batch(
     std::span<const core::Sample> samples) {
   if (samples.empty()) return 0;
-  if (shards_.size() == 1) return shards_[0]->append_batch(samples);
+  if (shards_.size() == 1) {
+    const auto accepted = shards_[0]->append_batch(samples);
+    if (rollup_ != nullptr) rollup_->observe(0, samples);
+    return accepted;
+  }
   // Stable counting sort by owning shard into a recycled scratch buffer;
   // each shard then takes one batched append (which stripe-groups
   // internally). Per-series order is preserved, so results are identical to
@@ -37,8 +70,9 @@ std::size_t ShardedTimeSeriesStore::append_batch(
   for (std::size_t k = 0; k < shards_.size(); ++k) {
     const std::size_t n = offsets[k + 1] - offsets[k];
     if (n == 0) continue;
-    accepted += shards_[k]->append_batch(
-        std::span<const core::Sample>(scratch.data() + offsets[k], n));
+    const std::span<const core::Sample> group(scratch.data() + offsets[k], n);
+    accepted += shards_[k]->append_batch(group);
+    if (rollup_ != nullptr) rollup_->observe(k, group);
   }
   return accepted;
 }

@@ -18,6 +18,7 @@
 
 #include "obs/registry.hpp"
 #include "obs/stage.hpp"
+#include "rollup/tree.hpp"
 #include "store/tsdb.hpp"
 
 namespace hpcmon::ingest {
@@ -43,7 +44,10 @@ class ShardedTimeSeriesStore {
 
   // -- TimeSeriesStore-compatible API (routed per series) --------------------
   bool append(core::SeriesId series, core::TimePoint t, double value) {
-    return shards_[shard_of(series)]->append(series, t, value);
+    const auto k = shard_of(series);
+    const bool ok = shards_[k]->append(series, t, value);
+    if (rollup_ != nullptr) rollup_->observe(k, core::Sample{series, t, value});
+    return ok;
   }
   void append(const core::Sample& s) { append(s.series, s.time, s.value); }
   /// Append a batch: samples are grouped by owning shard (stable counting
@@ -53,8 +57,16 @@ class ShardedTimeSeriesStore {
   /// One series' time-ordered run, encoded under a single stripe-lock
   /// acquisition of the owning shard.
   std::size_t append_run(core::SeriesId series,
-                         std::span<const core::Sample> run) {
-    return shards_[shard_of(series)]->append_run(series, run);
+                         std::span<const core::Sample> run);
+  /// Pre-routed batch append for the ingest workers: every sample already
+  /// belongs to shard `k` (the pipeline partitioned by shard_of), so this
+  /// skips re-routing and keeps the rollup observe on the worker's own
+  /// delta domain — the shard(k).append_batch fast path, rollup included.
+  std::size_t append_batch_on_shard(std::size_t k,
+                                    std::span<const core::Sample> samples) {
+    const auto accepted = shards_[k]->append_batch(samples);
+    if (rollup_ != nullptr) rollup_->observe(k, samples);
+    return accepted;
   }
 
   std::vector<core::TimedValue> query_range(core::SeriesId series,
@@ -105,6 +117,26 @@ class ShardedTimeSeriesStore {
   /// Merged read-path self-metrics across shards.
   store::QueryStats query_stats() const;
 
+  // -- Rollup tree (incremental topology aggregation) ------------------------
+  /// Feed every append into `tree` (per-shard delta domains, no cross-shard
+  /// lock) and wire each shard's series-gone listener to the tree so
+  /// retention retracts rollup membership. `tree->shard_count()` must be
+  /// >= shard_count(); nullptr detaches. Not synchronized with appends:
+  /// attach before concurrent ingest starts.
+  void attach_rollup(rollup::RollupTree* tree);
+  rollup::RollupTree* rollup() const { return rollup_; }
+
+  /// O(depth) fleet-wide read from the rollup tree's latest snapshot —
+  /// replaces the aggregate_many scatter-gather for topology-level
+  /// questions ("mean cpu_util of cabinet 3, now"). nullopt when no tree is
+  /// attached or the level is absent/empty.
+  std::optional<double> rollup_aggregate(core::ComponentId comp,
+                                         std::string_view metric,
+                                         store::Agg agg) const {
+    if (rollup_ == nullptr) return std::nullopt;
+    return rollup_->snapshot()->aggregate(comp, metric, agg);
+  }
+
   /// Attach every shard's read-path instruments under the shared store.*
   /// names; the registry merges them at snapshot time.
   void attach_to(obs::ObsRegistry& registry) const {
@@ -124,6 +156,7 @@ class ShardedTimeSeriesStore {
                    work) const;
   // TimeSeriesStore owns a mutex (immovable), so shards live behind pointers.
   std::vector<std::unique_ptr<store::TimeSeriesStore>> shards_;
+  rollup::RollupTree* rollup_ = nullptr;
 };
 
 }  // namespace hpcmon::ingest

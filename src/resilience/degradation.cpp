@@ -31,6 +31,19 @@ HealthSignals HealthSignalAssembler::assemble(const obs::ObsSnapshot& snap) {
   return hs;
 }
 
+HealthSignals HealthSignalAssembler::assemble(
+    const obs::ObsSnapshot& snap, const rollup::RollupSnapshot* fleet,
+    core::ComponentId system) {
+  HealthSignals hs = assemble(snap);
+  if (fleet == nullptr) return hs;
+  if (const auto* s = fleet->find(system, "node.cpu_util");
+      s != nullptr && !s->empty()) {
+    hs.fleet_utilization = rollup::MeanReducer::reduce(*s);
+    hs.fleet_nodes_live = s->count;
+  }
+  return hs;
+}
+
 DegradationController::DegradationController(DegradationConfig config)
     : config_(config) {
   config_.enter_ticks = std::max<std::uint32_t>(1, config_.enter_ticks);

@@ -46,9 +46,11 @@
 #include <cstdint>
 #include <functional>
 
+#include "core/ids.hpp"
 #include "core/priority.hpp"
 #include "core/time.hpp"
 #include "obs/registry.hpp"
+#include "rollup/tree.hpp"
 
 namespace hpcmon::resilience {
 
@@ -66,6 +68,12 @@ struct HealthSignals {
   std::uint64_t lost_samples = 0;
   /// Cumulative voluntarily shed samples (degradation-mode door sheds).
   std::uint64_t shed_samples = 0;
+
+  // -- Fleet context from the rollup tree (advisory; NOT a pressure input —
+  // the controller reacts to the stack's own health, these give the operator
+  // report and chaos assertions the "what is the machine doing" side).
+  double fleet_utilization = 0.0;       // system-level mean node.cpu_util
+  std::uint64_t fleet_nodes_live = 0;   // node.cpu_util series still rolled up
 };
 
 /// Builds a HealthSignals reading from an ObsSnapshot — the SAME snapshot
@@ -78,6 +86,14 @@ struct HealthSignals {
 class HealthSignalAssembler {
  public:
   HealthSignals assemble(const obs::ObsSnapshot& snap);
+
+  /// Same reading, plus fleet context looked up O(depth) from the rollup
+  /// tree's `system`-level node.cpu_util stat. `fleet` may be nullptr (tree
+  /// disabled): fleet fields stay zero and the reading is identical to the
+  /// two-free-argument overload.
+  HealthSignals assemble(const obs::ObsSnapshot& snap,
+                         const rollup::RollupSnapshot* fleet,
+                         core::ComponentId system);
 
  private:
   std::uint64_t last_wal_failures_ = 0;

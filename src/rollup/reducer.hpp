@@ -1,0 +1,137 @@
+// The rollup plane's accumulator and its pluggable reducer concept.
+//
+// Every level of the RollupTree keeps ONE canonical accumulator per metric —
+// running count/sum/min/max/last over the latest values of the member series
+// below it. A *reducer* is any type that turns that accumulator into a
+// scalar; the built-ins (sum, mean, min, max, last, count) cover the wire's
+// store::Agg enum, and callers add their own by satisfying the Reducer
+// concept (the Hierarchical-monitors stat-plugin idea as a C++20 concept —
+// e.g. a spread reducer `max - min` needs no tree changes, see
+// rollup_tree_test).
+//
+// Consistency contract (what the accumulator means): the rollup plane
+// answers "the fleet, now". Each member series contributes exactly its
+// latest hot-store value, so
+//   count = live member series below this level,
+//   sum   = sum of their latest values (mean = sum/count),
+//   min   = coldest member's latest value, max = hottest member's,
+//   last  = the most recently updated member's value.
+// Temporal windows stay with the query engine; the tree is the O(depth)
+// answer to the paper's Fig 1/Fig 3 "per-cabinet / whole-system right now"
+// reads.
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+#include "core/time.hpp"
+#include "store/summary.hpp"
+
+namespace hpcmon::rollup {
+
+struct RollupStat {
+  /// Sentinel for "no member has ever reported".
+  static constexpr core::TimePoint kNoTime =
+      std::numeric_limits<core::TimePoint>::min();
+
+  std::uint64_t count = 0;  // live member series contributing
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double last = 0.0;
+  core::TimePoint last_time = kNoTime;
+
+  bool empty() const { return count == 0; }
+
+  friend bool operator==(const RollupStat&, const RollupStat&) = default;
+
+  /// Leaf stat: one series whose latest value is (t, v).
+  static RollupStat of_value(core::TimePoint t, double v) {
+    RollupStat s;
+    s.count = 1;
+    s.sum = s.min = s.max = s.last = v;
+    s.last_time = t;
+    return s;
+  }
+
+  /// Fold a member subtree's stat into this one. Empty members are inert;
+  /// `last` takes the member's when strictly newer, so ties keep the
+  /// earlier-folded member — fold order (self, then children by ascending
+  /// ComponentId) is part of the contract and what the bitwise
+  /// scatter-gather equality tests reproduce.
+  void fold(const RollupStat& m) {
+    if (m.count == 0) return;
+    if (count == 0) {
+      min = m.min;
+      max = m.max;
+    } else {
+      min = std::min(min, m.min);
+      max = std::max(max, m.max);
+    }
+    count += m.count;
+    sum += m.sum;
+    if (m.last_time > last_time) {
+      last = m.last;
+      last_time = m.last_time;
+    }
+  }
+};
+
+/// A reducer turns the canonical accumulator into one scalar. Any pure
+/// function of the five running moments qualifies.
+template <typename R>
+concept Reducer = requires(const RollupStat& s) {
+  { R::reduce(s) } -> std::convertible_to<double>;
+};
+
+struct SumReducer {
+  static double reduce(const RollupStat& s) { return s.sum; }
+};
+struct MeanReducer {
+  static double reduce(const RollupStat& s) {
+    return s.sum / static_cast<double>(s.count);
+  }
+};
+struct MinReducer {
+  static double reduce(const RollupStat& s) { return s.min; }
+};
+struct MaxReducer {
+  static double reduce(const RollupStat& s) { return s.max; }
+};
+struct LastReducer {
+  static double reduce(const RollupStat& s) { return s.last; }
+};
+struct CountReducer {
+  static double reduce(const RollupStat& s) {
+    return static_cast<double>(s.count);
+  }
+};
+
+static_assert(Reducer<SumReducer> && Reducer<MeanReducer> &&
+              Reducer<MinReducer> && Reducer<MaxReducer> &&
+              Reducer<LastReducer> && Reducer<CountReducer>);
+
+/// Runtime dispatch for the store/wire Agg enum; nullopt on an empty level.
+inline std::optional<double> reduce(const RollupStat& s, store::Agg agg) {
+  if (s.count == 0) return std::nullopt;
+  switch (agg) {
+    case store::Agg::kSum:
+      return SumReducer::reduce(s);
+    case store::Agg::kMean:
+      return MeanReducer::reduce(s);
+    case store::Agg::kMin:
+      return MinReducer::reduce(s);
+    case store::Agg::kMax:
+      return MaxReducer::reduce(s);
+    case store::Agg::kCount:
+      return CountReducer::reduce(s);
+    case store::Agg::kLast:
+      return LastReducer::reduce(s);
+  }
+  return std::nullopt;
+}
+
+}  // namespace hpcmon::rollup

@@ -100,6 +100,13 @@ std::optional<WireFrame> ServeClient::read_frame(int timeout_ms) {
 }
 
 std::optional<Push> ServeClient::as_push(WireFrame&& frame) {
+  if (frame.type == MsgType::kRollupDelta) {
+    Push push;
+    push.type = frame.type;
+    push.sub_id = frame.request_id;
+    if (!decode_rollup_delta(frame.body, push.rollup)) return std::nullopt;
+    return push;
+  }
   if (frame.type != MsgType::kSnapshot && frame.type != MsgType::kDelta) {
     return std::nullopt;
   }
@@ -126,7 +133,8 @@ core::Result<std::vector<std::uint8_t>> ServeClient::call(
   while (true) {
     auto frame = read_frame(read_deadline_ms_);
     if (!frame) return R::error(error_);
-    if (frame->type == MsgType::kSnapshot || frame->type == MsgType::kDelta) {
+    if (frame->type == MsgType::kSnapshot || frame->type == MsgType::kDelta ||
+        frame->type == MsgType::kRollupDelta) {
       if (auto push = as_push(std::move(*frame))) {
         pushes_.push_back(std::move(*push));
       }
@@ -225,6 +233,34 @@ core::Result<ScanPage> ServeClient::scan_next(std::uint32_t cursor_id) {
 
 bool ServeClient::scan_close(std::uint32_t cursor_id) {
   return call(MsgType::kScanClose, encode_u32(cursor_id)).is_ok();
+}
+
+core::Result<RollupStatMsg> ServeClient::rollup_query(
+    const std::string& component, const std::string& metric) {
+  using R = core::Result<RollupStatMsg>;
+  auto body = call(MsgType::kRollupQuery,
+                   encode_rollup_req({component, metric}));
+  if (!body) return R::error(body.message());
+  RollupStatMsg msg;
+  if (!decode_rollup_stat(body.value(), msg)) return R::error("bad reply body");
+  return msg;
+}
+
+core::Result<RollupSubAck> ServeClient::rollup_sub(
+    const std::string& component, const std::string& metric) {
+  using R = core::Result<RollupSubAck>;
+  auto body =
+      call(MsgType::kRollupSub, encode_rollup_req({component, metric}));
+  if (!body) return R::error(body.message());
+  RollupSubAck ack;
+  if (!decode_rollup_sub_ack(body.value(), ack)) {
+    return R::error("bad reply body");
+  }
+  return ack;
+}
+
+bool ServeClient::rollup_unsub(std::uint32_t sub_id) {
+  return call(MsgType::kRollupUnsub, encode_u32(sub_id)).is_ok();
 }
 
 core::Result<SubscribeAck> ServeClient::subscribe(const std::string& pattern) {

@@ -23,12 +23,14 @@
 
 namespace hpcmon::serve {
 
-/// One server push: a snapshot or delta for subscription `sub_id`, already
-/// decoded back into the batch the server encoded.
+/// One server push for subscription `sub_id`, already decoded: a
+/// snapshot/delta sample batch, or a rollup-level stat (kRollupDelta, in
+/// which case `rollup` is set and `batch` is empty).
 struct Push {
-  MsgType type = MsgType::kDelta;  // kSnapshot or kDelta
+  MsgType type = MsgType::kDelta;  // kSnapshot, kDelta, or kRollupDelta
   std::uint32_t sub_id = 0;
   core::SampleBatch batch;
+  RollupDelta rollup;
 };
 
 class ServeClient {
@@ -74,6 +76,16 @@ class ServeClient {
 
   core::Result<SubscribeAck> subscribe(const std::string& pattern);
   bool unsubscribe(std::uint32_t sub_id);
+
+  /// One (component, metric) rollup level, answered O(1) from the server's
+  /// rollup snapshot — the fleet-at-a-glance read over the wire.
+  core::Result<RollupStatMsg> rollup_query(const std::string& component,
+                                           const std::string& metric);
+  /// Subscribe to a rollup level: the ack carries its current stat, then a
+  /// kRollupDelta push (poll_push) follows every tick the level changes.
+  core::Result<RollupSubAck> rollup_sub(const std::string& component,
+                                        const std::string& metric);
+  bool rollup_unsub(std::uint32_t sub_id);
 
   /// Block up to `timeout_ms` for the next pushed snapshot/delta (pushes
   /// queued during request waits are returned first, without blocking).

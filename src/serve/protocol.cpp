@@ -184,6 +184,90 @@ bool decode_relay_ack(const std::vector<std::uint8_t>& body, RelayAck& out) {
   return true;
 }
 
+namespace {
+void write_stat(ByteWriter& w, const rollup::RollupStat& s) {
+  w.u64(s.count);
+  w.f64(s.sum);
+  w.f64(s.min);
+  w.f64(s.max);
+  w.f64(s.last);
+  w.i64(s.last_time);
+}
+
+bool read_stat(ByteReader& r, rollup::RollupStat& s) {
+  return r.u64(s.count) && r.f64(s.sum) && r.f64(s.min) && r.f64(s.max) &&
+         r.f64(s.last) && r.i64(s.last_time);
+}
+}  // namespace
+
+std::vector<std::uint8_t> encode_rollup_req(const RollupReq& req) {
+  std::vector<std::uint8_t> body;
+  ByteWriter w(body);
+  w.str(req.component);
+  w.str(req.metric);
+  return body;
+}
+
+bool decode_rollup_req(const std::vector<std::uint8_t>& body, RollupReq& out) {
+  ByteReader r(body);
+  return r.str(out.component) && r.str(out.metric) && r.remaining() == 0;
+}
+
+std::vector<std::uint8_t> encode_rollup_stat(const RollupStatMsg& m) {
+  std::vector<std::uint8_t> body;
+  ByteWriter w(body);
+  w.u8(m.found ? 1 : 0);
+  if (m.found) write_stat(w, m.stat);
+  return body;
+}
+
+bool decode_rollup_stat(const std::vector<std::uint8_t>& body,
+                        RollupStatMsg& out) {
+  ByteReader r(body);
+  std::uint8_t found = 0;
+  if (!r.u8(found)) return false;
+  out.found = found != 0;
+  out.stat = rollup::RollupStat{};
+  if (out.found && !read_stat(r, out.stat)) return false;
+  return r.remaining() == 0;
+}
+
+std::vector<std::uint8_t> encode_rollup_sub_ack(const RollupSubAck& a) {
+  std::vector<std::uint8_t> body;
+  ByteWriter w(body);
+  w.u32(a.sub_id);
+  w.u8(a.current.found ? 1 : 0);
+  if (a.current.found) write_stat(w, a.current.stat);
+  return body;
+}
+
+bool decode_rollup_sub_ack(const std::vector<std::uint8_t>& body,
+                           RollupSubAck& out) {
+  ByteReader r(body);
+  std::uint8_t found = 0;
+  if (!r.u32(out.sub_id) || !r.u8(found)) return false;
+  out.current.found = found != 0;
+  out.current.stat = rollup::RollupStat{};
+  if (out.current.found && !read_stat(r, out.current.stat)) return false;
+  return r.remaining() == 0;
+}
+
+std::vector<std::uint8_t> encode_rollup_delta(const RollupDelta& d) {
+  std::vector<std::uint8_t> body;
+  ByteWriter w(body);
+  w.str(d.component);
+  w.str(d.metric);
+  write_stat(w, d.stat);
+  return body;
+}
+
+bool decode_rollup_delta(const std::vector<std::uint8_t>& body,
+                         RollupDelta& out) {
+  ByteReader r(body);
+  return r.str(out.component) && r.str(out.metric) && read_stat(r, out.stat) &&
+         r.remaining() == 0;
+}
+
 std::vector<std::uint8_t> encode_u32(std::uint32_t v) {
   std::vector<std::uint8_t> body;
   ByteWriter w(body);

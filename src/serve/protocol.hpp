@@ -28,6 +28,7 @@
 #include "core/sample.hpp"
 #include "core/series_buffer.hpp"
 #include "core/time.hpp"
+#include "rollup/reducer.hpp"
 #include "store/summary.hpp"
 
 namespace hpcmon::serve {
@@ -123,6 +124,51 @@ bool decode_relay_append(const std::vector<std::uint8_t>& body,
 
 std::vector<std::uint8_t> encode_relay_ack(const RelayAck& a);
 bool decode_relay_ack(const std::vector<std::uint8_t>& body, RelayAck& out);
+
+/// kRollupQuery / kRollupSub body: one (component, metric) rollup level,
+/// addressed by NAME — remote dashboards ask for "c3-0" / "node.cpu_util"
+/// without holding the server's id space.
+struct RollupReq {
+  std::string component;  // registry cname, e.g. "system", "c3-0"
+  std::string metric;     // e.g. "node.cpu_util"
+};
+
+/// One rollup level's canonical accumulator on the wire (kRollupQuery
+/// reply). `found` distinguishes "level absent/empty" from a zero stat.
+struct RollupStatMsg {
+  bool found = false;
+  rollup::RollupStat stat;  // meaningful only when found
+};
+
+/// kRollupSub reply: the subscription id plus the level's current stat, so
+/// the client starts from a consistent value before deltas flow.
+struct RollupSubAck {
+  std::uint32_t sub_id = 0;
+  RollupStatMsg current;
+};
+
+/// kRollupDelta push body (request id = owning sub id): self-describing so
+/// a logging client can tail several levels without a lookaside table.
+struct RollupDelta {
+  std::string component;
+  std::string metric;
+  rollup::RollupStat stat;
+};
+
+std::vector<std::uint8_t> encode_rollup_req(const RollupReq& r);
+bool decode_rollup_req(const std::vector<std::uint8_t>& body, RollupReq& out);
+
+std::vector<std::uint8_t> encode_rollup_stat(const RollupStatMsg& m);
+bool decode_rollup_stat(const std::vector<std::uint8_t>& body,
+                        RollupStatMsg& out);
+
+std::vector<std::uint8_t> encode_rollup_sub_ack(const RollupSubAck& a);
+bool decode_rollup_sub_ack(const std::vector<std::uint8_t>& body,
+                           RollupSubAck& out);
+
+std::vector<std::uint8_t> encode_rollup_delta(const RollupDelta& d);
+bool decode_rollup_delta(const std::vector<std::uint8_t>& body,
+                         RollupDelta& out);
 
 /// Bare u32 body (kScanNext/kScanClose cursor id, kUnsubscribe sub id).
 std::vector<std::uint8_t> encode_u32(std::uint32_t v);

@@ -114,6 +114,15 @@ void ServeServer::attach_to(obs::ObsRegistry& registry) const {
   registry.attach({"serve.relay_sources", "sources",
                    "relay sources with dedupe state"},
                   &relay_sources_gauge_);
+  registry.attach({"serve.rollup_queries", "reqs",
+                   "kRollupQuery requests answered from the rollup tree"},
+                  &rollup_queries_);
+  registry.attach({"serve.rollup_deltas", "frames",
+                   "kRollupDelta pushes enqueued to subscribers"},
+                  &rollup_deltas_);
+  registry.attach({"serve.rollup_subscriptions", "subs",
+                   "live rollup-level subscriptions"},
+                  &rollup_subs_gauge_);
   registry.attach({"serve.egress_depth_hwm", "frames",
                    "high-water mark of any connection's egress queue"},
                   &egress_depth_hwm_);
@@ -382,6 +391,14 @@ void ServeServer::close_conn(const std::shared_ptr<Connection>& conn) {
                                }),
                 subs_.end());
     subscriptions_.set(static_cast<double>(subs_.size()));
+    rollup_subs_.erase(std::remove_if(rollup_subs_.begin(),
+                                      rollup_subs_.end(),
+                                      [&](const RollupSub& s) {
+                                        return s.conn == conn;
+                                      }),
+                       rollup_subs_.end());
+    rollup_sub_count_.store(rollup_subs_.size(), std::memory_order_relaxed);
+    rollup_subs_gauge_.set(static_cast<double>(rollup_subs_.size()));
   }
   connections_.set(static_cast<double>(conns_.size()));
 }
@@ -559,6 +576,70 @@ void ServeServer::handle_frame(const std::shared_ptr<Connection>& conn,
         subscriptions_.set(static_cast<double>(subs_.size()));
       }
       conn->egress.forget_subscription(sub_id);
+      reply(conn, MsgType::kOk, id, {});
+      return;
+    }
+    case MsgType::kRollupQuery: {
+      RollupReq req;
+      if (!decode_rollup_req(frame.body, req) || !hooks_.rollup_query) {
+        reply_error(conn, id, "bad rollup query");
+        return;
+      }
+      rollup_queries_.add();
+      RollupStatMsg msg;
+      if (const auto s = hooks_.rollup_query(req.component, req.metric)) {
+        msg.found = true;
+        msg.stat = *s;
+      }
+      reply(conn, MsgType::kOk, id, encode_rollup_stat(msg));
+      return;
+    }
+    case MsgType::kRollupSub: {
+      RollupReq req;
+      if (!decode_rollup_req(frame.body, req) || !hooks_.rollup_query) {
+        reply_error(conn, id, "bad rollup subscribe");
+        return;
+      }
+      rollup_queries_.add();
+      RollupSubAck ack;
+      if (const auto s = hooks_.rollup_query(req.component, req.metric)) {
+        ack.current.found = true;
+        ack.current.stat = *s;
+      }
+      {
+        std::lock_guard<std::mutex> lock(subs_mu_);
+        RollupSub sub;
+        sub.id = next_sub_id_++;
+        sub.conn = conn;
+        sub.component = std::move(req.component);
+        sub.metric = std::move(req.metric);
+        ack.sub_id = sub.id;
+        rollup_subs_.push_back(std::move(sub));
+        rollup_sub_count_.store(rollup_subs_.size(),
+                                std::memory_order_relaxed);
+        rollup_subs_gauge_.set(static_cast<double>(rollup_subs_.size()));
+      }
+      reply(conn, MsgType::kOk, id, encode_rollup_sub_ack(ack));
+      return;
+    }
+    case MsgType::kRollupUnsub: {
+      std::uint32_t sub_id = 0;
+      if (!decode_u32(frame.body, sub_id)) {
+        reply_error(conn, id, "bad rollup unsubscribe");
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(subs_mu_);
+        rollup_subs_.erase(
+            std::remove_if(rollup_subs_.begin(), rollup_subs_.end(),
+                           [&](const RollupSub& s) {
+                             return s.id == sub_id && s.conn == conn;
+                           }),
+            rollup_subs_.end());
+        rollup_sub_count_.store(rollup_subs_.size(),
+                                std::memory_order_relaxed);
+        rollup_subs_gauge_.set(static_cast<double>(rollup_subs_.size()));
+      }
       reply(conn, MsgType::kOk, id, {});
       return;
     }
@@ -766,6 +847,31 @@ std::size_t ServeServer::publish_batch(const core::SampleBatch& batch) {
   return enqueued;
 }
 
+bool ServeServer::has_rollup_subs() const {
+  return rollup_sub_count_.load(std::memory_order_relaxed) > 0;
+}
+
+std::size_t ServeServer::publish_rollup(std::span<const RollupDelta> changed) {
+  if (changed.empty()) return 0;
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  if (rollup_subs_.empty()) return 0;
+  std::size_t enqueued = 0;
+  for (const auto& d : changed) {
+    for (auto& sub : rollup_subs_) {
+      if (sub.conn->closed) continue;
+      if (sub.component != d.component || sub.metric != d.metric) continue;
+      std::vector<std::uint8_t> bytes;
+      append_wire_frame(bytes, MsgType::kRollupDelta, sub.id,
+                        encode_rollup_delta(d));
+      sub.conn->egress.push_response(std::move(bytes));
+      notify_writer(sub.conn->id);
+      rollup_deltas_.add();
+      ++enqueued;
+    }
+  }
+  return enqueued;
+}
+
 void ServeServer::writer_loop(std::size_t writer_index) {
   auto& w = *writers_[writer_index];
   std::vector<std::shared_ptr<Connection>> conns;
@@ -832,8 +938,12 @@ ServeStats ServeServer::stats() const {
   s.relay_applied_samples = relay_applied_samples_.value();
   s.relay_duplicates = relay_duplicates_.value();
   s.relay_window_rejects = relay_window_rejects_.value();
+  s.rollup_queries = rollup_queries_.value();
+  s.rollup_deltas = rollup_deltas_.value();
   s.connections = static_cast<std::size_t>(connections_.value());
   s.subscriptions = static_cast<std::size_t>(subscriptions_.value());
+  s.rollup_subscriptions =
+      static_cast<std::size_t>(rollup_subs_gauge_.value());
   s.relay_sources = static_cast<std::size_t>(relay_sources_gauge_.value());
   return s;
 }

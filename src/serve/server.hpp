@@ -40,7 +40,9 @@
 #include <mutex>
 #include <optional>
 #include <set>
+#include <span>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -122,6 +124,13 @@ struct ServeHooks {
   /// Returns the number of samples applied.
   std::function<std::size_t(const core::SampleBatch&, core::Priority)>
       relay_apply;
+  /// Rollup level read by NAME (required for kRollupQuery / kRollupSub;
+  /// absent => kError). The host answers from its RollupTree's current
+  /// snapshot — O(1) lookups, never a store scatter-gather. nullopt when the
+  /// component or metric is unknown or the level is empty.
+  std::function<std::optional<rollup::RollupStat>(std::string_view,
+                                                  std::string_view)>
+      rollup_query;
 };
 
 /// Bind the five query hooks to any store exposing the common read API
@@ -165,8 +174,11 @@ struct ServeStats {
   std::uint64_t relay_applied_samples = 0;
   std::uint64_t relay_duplicates = 0;
   std::uint64_t relay_window_rejects = 0;
+  std::uint64_t rollup_queries = 0;
+  std::uint64_t rollup_deltas = 0;
   std::size_t connections = 0;
   std::size_t subscriptions = 0;
+  std::size_t rollup_subscriptions = 0;
   std::size_t relay_sources = 0;
 };
 
@@ -193,6 +205,15 @@ class ServeServer {
   /// from any thread. Returns the number of subscription deltas enqueued
   /// or coalesced.
   std::size_t publish_batch(const core::SampleBatch& batch);
+
+  /// Rollup tap: fan the tick's changed levels out to every kRollupSub
+  /// subscriber whose (component, metric) moved. Safe from any thread;
+  /// never blocks on a client. Returns kRollupDelta frames enqueued.
+  std::size_t publish_rollup(std::span<const RollupDelta> changed);
+
+  /// True when at least one kRollupSub subscription is live — lets the host
+  /// skip collecting changed-level lists on ticks nobody is watching.
+  bool has_rollup_subs() const;
 
   ServeStats stats() const;
 
@@ -240,6 +261,14 @@ class ServeServer {
     std::string pattern;
     /// Memoized match verdict per raw SeriesId (0 unknown, 1 yes, 2 no).
     std::vector<std::uint8_t> match_cache;
+  };
+
+  /// One live kRollupSub: exact (component, metric) level.
+  struct RollupSub {
+    std::uint32_t id = 0;
+    std::shared_ptr<Connection> conn;
+    std::string component;
+    std::string metric;
   };
 
   void reactor_loop();
@@ -302,6 +331,8 @@ class ServeServer {
 
   mutable std::mutex subs_mu_;
   std::vector<Subscription> subs_;
+  std::vector<RollupSub> rollup_subs_;  // guarded by subs_mu_
+  std::atomic<std::size_t> rollup_sub_count_{0};
   std::uint32_t next_sub_id_ = 1;
   /// Memoized priority class per raw SeriesId (255 unknown); guarded by
   /// subs_mu_ (publish_batch holds it while fanning out).
@@ -328,6 +359,9 @@ class ServeServer {
   obs::Counter relay_applied_samples_;
   obs::Counter relay_duplicates_;
   obs::Counter relay_window_rejects_;
+  obs::Counter rollup_queries_;
+  obs::Counter rollup_deltas_;
+  obs::Gauge rollup_subs_gauge_;
   obs::Gauge relay_sources_gauge_;
   obs::Gauge egress_depth_hwm_;
   obs::Histogram request_us_;

@@ -50,11 +50,16 @@ enum class MsgType : std::uint8_t {
   // Relay tier (cross-stack forwarding, protocol.hpp / relay/client.hpp).
   kRelayHello = 24,
   kRelayAppend = 25,
+  // Rollup tree (O(depth) topology aggregates; rollup/tree.hpp).
+  kRollupQuery = 26,
+  kRollupSub = 27,
+  kRollupUnsub = 28,
   // Responses / pushes.
   kOk = 64,
   kError = 65,
   kSnapshot = 66,
   kDelta = 67,
+  kRollupDelta = 68,
 };
 
 /// One parsed wire frame: type + request id + raw body bytes.

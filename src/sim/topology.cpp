@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "core/strings.hpp"
+#include "core/topo_path.hpp"
 
 namespace hpcmon::sim {
 
@@ -23,18 +24,26 @@ Topology::Topology(core::MetricRegistry& registry, const MachineShape& shape,
       {"facility.env", ComponentKind::kFacility, system_});
 
   // Structure first (cabinet -> chassis -> blade), then nodes in one dense
-  // block so node_index() can be O(1) arithmetic on the raw id.
+  // block so node_index() can be O(1) arithmetic on the raw id. All cnames
+  // and the node-index arithmetic come from core::TopoPath — the same helper
+  // viz and serve use to map names back to coordinates.
+  const core::TopoPath::Dims dims{shape.chassis_per_cabinet,
+                                  shape.blades_per_chassis,
+                                  shape.nodes_per_blade};
   for (int c = 0; c < shape.cabinets; ++c) {
+    core::TopoPath path;
+    path.cabinet = c;
     cabinets_.push_back(registry.register_component(
-        {strformat("c%d-0", c), ComponentKind::kCabinet, system_}));
+        {path.format(), ComponentKind::kCabinet, system_}));
     for (int ch = 0; ch < shape.chassis_per_cabinet; ++ch) {
+      path.chassis = ch;
+      path.slot = -1;
       chassis_.push_back(registry.register_component(
-          {strformat("c%d-0c%d", c, ch), ComponentKind::kChassis,
-           cabinets_.back()}));
+          {path.format(), ComponentKind::kChassis, cabinets_.back()}));
       for (int s = 0; s < shape.blades_per_chassis; ++s) {
+        path.slot = s;
         blades_.push_back(registry.register_component(
-            {strformat("c%d-0c%ds%d", c, ch, s), ComponentKind::kBlade,
-             chassis_.back()}));
+            {path.format(), ComponentKind::kBlade, chassis_.back()}));
       }
     }
   }
@@ -44,16 +53,10 @@ Topology::Topology(core::MetricRegistry& registry, const MachineShape& shape,
   gpu_of_node_.assign(total, -1);
   const int gpu_cutoff = static_cast<int>(shape.gpu_node_fraction * total);
   for (int i = 0; i < total; ++i) {
-    const int blade = i / shape.nodes_per_blade;
-    const int n = i % shape.nodes_per_blade;
-    const int cab = blade / (shape.chassis_per_cabinet * shape.blades_per_chassis);
-    const int within_cab =
-        blade % (shape.chassis_per_cabinet * shape.blades_per_chassis);
-    const int ch = within_cab / shape.blades_per_chassis;
-    const int s = within_cab % shape.blades_per_chassis;
+    const auto path = core::TopoPath::of_node_index(i, dims);
     const auto id = registry.register_component(
-        {strformat("c%d-0c%ds%dn%d", cab, ch, s, n), ComponentKind::kNode,
-         blades_.at(blade)});
+        {path.format(), ComponentKind::kNode,
+         blades_.at(path.blade_index(dims))});
     if (i == 0) first_node_raw_ = core::raw(id);
     nodes_.push_back(id);
   }

@@ -126,6 +126,39 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
     tsdb_.hot().set_stage_timer(&stages_);
   }
 
+  // Topology rollup tree (rollup_enable = 1): every sample folds into a
+  // per-shard pending cell on the append path, and the scheduled coalescing
+  // tick publishes an immutable snapshot that the heatmap, fleet health,
+  // and kRollupQuery read paths answer from in O(1). Built BEFORE tier
+  // recovery and WAL replay so restored history is rolled up too.
+  if (config.get_bool("rollup_enable", false)) {
+    rollup::RollupConfig rc;
+    rc.shards = sharded_ ? sharded_->shard_count() : 1;
+    rollup_ = std::make_unique<rollup::RollupTree>(cluster_.registry(), rc);
+    rollup_->attach_to(obs_);
+    if (sharded_) {
+      // The sharded store observes every accepted append into the tree and
+      // wires its series-gone listeners to forget_series.
+      sharded_->attach_rollup(rollup_.get());
+    } else {
+      // Synchronous path: sync_append() observes, and membership follows
+      // hot-tier eviction through the same listener the shards use.
+      tsdb_.hot().set_series_gone_listener(
+          [this](core::SeriesId id) { rollup_->forget_series(id); });
+    }
+    // Clamped to >= 1 s: a zero period would repeat at the same sim
+    // timestamp forever (EventQueue repeaters reschedule at now + period).
+    const Duration rollup_tick_interval =
+        std::max<std::int64_t>(1, config.get_int("rollup_tick_s", 5)) *
+        kSecond;
+    cluster_.events().schedule_every(
+        cluster_.now() + rollup_tick_interval, rollup_tick_interval,
+        [this, alive = alive_](core::TimePoint) {
+          if (!*alive) return;
+          rollup_tick();
+        });
+  }
+
   // Tiered retention: recover the durable tier ladder BEFORE the WAL
   // replays, so the watermark is known and samples already durable in a
   // tier are filtered out of the replay instead of re-ingested.
@@ -213,7 +246,7 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
           if (sharded_) {
             sharded_->append_batch(batch.samples);
           } else {
-            tsdb_.append_batch(batch.samples);
+            sync_append(batch.samples);
           }
         });
     // Replay ran exactly once, at construction: export its outcome through
@@ -351,8 +384,19 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
           if (wal_delivery_ && wal_delivery_->dead_letter_count() > 0) {
             wal_delivery_->redeliver();
           }
-          degradation_->evaluate(t,
-                                 health_assembler_.assemble(obs_snapshot()));
+          // With the rollup tree live, the assembler also reads the fleet
+          // line — system-level utilization and live-node count — straight
+          // from the current snapshot (advisory fields; the pressure model
+          // is unchanged).
+          if (rollup_) {
+            const auto fleet = rollup_->snapshot();
+            degradation_->evaluate(
+                t, health_assembler_.assemble(obs_snapshot(), fleet.get(),
+                                              cluster_.topology().system()));
+          } else {
+            degradation_->evaluate(
+                t, health_assembler_.assemble(obs_snapshot()));
+          }
         });
   }
 
@@ -406,6 +450,21 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
       wal_->rotate();
       return true;
     };
+    // Rollup levels by name: resolve the component through the registry and
+    // answer from the tree's current snapshot — never a store scatter-
+    // gather. Unbound (=> kError to the client) without the tree.
+    if (rollup_) {
+      hooks.rollup_query =
+          [this](std::string_view component,
+                 std::string_view metric) -> std::optional<rollup::RollupStat> {
+        const auto comp = cluster_.registry().find_component(component);
+        if (!comp) return std::nullopt;
+        const auto snap = rollup_->snapshot();
+        const auto* s = snap->find(*comp, metric);
+        if (s == nullptr) return std::nullopt;
+        return *s;
+      };
+    }
     // Aggregator ingest for relayed batches: the server dedupes by
     // (source, seq) before calling this, so the hook applies each novel
     // batch through the SAME pathway local samples take — WAL first, then
@@ -423,7 +482,7 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
         ingest_->submit(batch);
         applied = batch.samples.size();
       } else {
-        applied = tsdb_.append_batch(batch.samples);
+        applied = sync_append(batch.samples);
       }
       if (serve_) serve_->publish_batch(batch);
       return applied;
@@ -482,7 +541,7 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
           if (ingest_) {
             ingest_->submit(self);
           } else {
-            tsdb_.append_batch(self.samples);
+            sync_append(self.samples);
           }
           if (serve_) serve_->publish_batch(self);
         });
@@ -524,7 +583,7 @@ MonitoringStack::MonitoringStack(sim::Cluster& cluster,
                       if (ingest_) {
                         ingest_->submit(batch.value());
                       } else {
-                        tsdb_.append_batch(batch.value().samples);
+                        sync_append(batch.value().samples);
                       }
                       // Live-subscription tap: fan the batch out to serve
                       // clients through bounded egress queues (never blocks
@@ -637,6 +696,41 @@ ShutdownReport MonitoringStack::shutdown(std::chrono::milliseconds deadline) {
   if (wal_) wal_->sync();
   if (wal_delivery_) report.dead_letters = wal_delivery_->dead_letter_count();
   return report;
+}
+
+std::size_t MonitoringStack::sync_append(
+    const std::vector<core::Sample>& samples) {
+  const auto appended = tsdb_.append_batch(samples);
+  // Observing the whole batch (including any store-rejected out-of-order
+  // samples) is harmless: the tree keeps only each series' max-time value
+  // and the merge discards anything older than the applied last_time.
+  if (rollup_) {
+    rollup_->observe(0, std::span<const core::Sample>(samples));
+  }
+  return appended;
+}
+
+void MonitoringStack::rollup_tick() {
+  if (!rollup_) return;
+  // Collecting the changed-level list costs an allocation per tick; skip it
+  // unless a kRollupSub subscriber is actually watching.
+  if (serve_ && serve_->has_rollup_subs()) {
+    std::vector<rollup::RollupUpdate> changed;
+    rollup_->tick(&changed);
+    if (changed.empty()) return;
+    std::vector<serve::RollupDelta> deltas;
+    deltas.reserve(changed.size());
+    for (auto& u : changed) {
+      serve::RollupDelta d;
+      d.component = cluster_.registry().component(u.component).name;
+      d.metric = std::move(u.metric);
+      d.stat = u.stat;
+      deltas.push_back(std::move(d));
+    }
+    serve_->publish_rollup(deltas);
+  } else {
+    rollup_->tick();
+  }
 }
 
 void MonitoringStack::apply_degradation(core::DegradationMode mode) {
@@ -763,6 +857,13 @@ std::string MonitoringStack::status() const {
         " | mode=%s p=%.2f",
         std::string(core::to_string(degradation_->mode())).c_str(),
         degradation_->stats().last_pressure);
+  }
+  if (rollup_) {
+    const auto snap = rollup_->snapshot();
+    line += core::strformat(
+        " | rollup v=%llu levels=%zu",
+        static_cast<unsigned long long>(snap->version()),
+        snap->entry_count());
   }
   if (!supervised_.empty()) {
     std::size_t open = 0;

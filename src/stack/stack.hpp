@@ -104,6 +104,20 @@
 //                               e.g. "0:172800,86400,21600;10:604800,
 //                               259200,86400" (res_s 0 = raw); empty keeps
 //                               the standard raw/10s/5min/1h ladder
+//   rollup_enable       (0)     1 maintains the topology rollup tree
+//                               (src/rollup): every ingested sample updates
+//                               node->blade->chassis->cabinet->system
+//                               running stats incrementally, and fleet-wide
+//                               reads (machine heatmap, fleet health, the
+//                               kRollupQuery/kRollupSub wire surface) answer
+//                               from an immutable snapshot in O(1) instead
+//                               of scatter-gathering every per-node series
+//   rollup_tick_s       (5)     coalescing-merge cadence (simulated
+//                               timeline, clamped >= 1): each tick drains
+//                               the per-shard pending deltas, re-folds
+//                               dirty levels, publishes a fresh snapshot,
+//                               and fans changed levels out to kRollupSub
+//                               subscribers
 #pragma once
 
 #include <chrono>
@@ -132,6 +146,7 @@
 #include "response/actions.hpp"
 #include "response/alerts.hpp"
 #include "response/gate.hpp"
+#include "rollup/tree.hpp"
 #include "serve/server.hpp"
 #include "store/compactor.hpp"
 #include "store/jobstore.hpp"
@@ -255,6 +270,17 @@ class MonitoringStack {
   /// (the scheduled cadence calls this; tests/benches drive it directly).
   void run_compaction(core::TimePoint now);
 
+  // -- Rollup tier -----------------------------------------------------------
+  /// Topology rollup tree; nullptr unless rollup_enable = 1. Its snapshot()
+  /// is the fleet-at-a-glance read every fleet-wide path answers from.
+  rollup::RollupTree* rollup() { return rollup_.get(); }
+  const rollup::RollupTree* rollup() const { return rollup_.get(); }
+  /// One coalescing rollup merge: drain shard deltas, publish a fresh
+  /// snapshot, fan changed levels out to live kRollupSub subscribers (the
+  /// scheduled rollup_tick_s cadence calls this; tests/benches drive it
+  /// directly). No-op without the tree.
+  void rollup_tick();
+
   // -- Serving tier ----------------------------------------------------------
   /// Network front door (queries, scans, live subscriptions, admin);
   /// nullptr unless `serve_port` is configured. The bound port (ephemeral
@@ -309,6 +335,10 @@ class MonitoringStack {
   void on_log_frame(const transport::Frame& frame);
   void apply_degradation(core::DegradationMode mode);
   void refresh_live_gauges() const;
+  /// Synchronous numeric append (the non-ingest path): the hot tier takes
+  /// the batch, then the rollup tree (when enabled) observes it, exactly as
+  /// the sharded appenders do on the threaded path.
+  std::size_t sync_append(const std::vector<core::Sample>& samples);
 
   sim::Cluster& cluster_;
   // Declared before every tier: instruments attach into the registry at
@@ -333,6 +363,10 @@ class MonitoringStack {
   std::vector<analysis::NoveltyEvent> novelty_reports_;
   std::string archive_path_;
   std::uint64_t archive_saves_ = 0;
+  // Declared before the ingest tier: the shard appenders observe every
+  // sample into the tree, so the tree must outlive them (ingest_ joins its
+  // workers first, then sharded_ goes, then rollup_).
+  std::unique_ptr<rollup::RollupTree> rollup_;
   // Declaration order matters: ingest_ is destroyed (joining its workers)
   // before sharded_, which the workers append into.
   std::unique_ptr<ingest::ShardedTimeSeriesStore> sharded_;

@@ -365,24 +365,32 @@ std::size_t TimeSeriesStore::scan(
 std::size_t TimeSeriesStore::evict_before(
     TimePoint cutoff,
     const std::function<void(SeriesId, Chunk&&)>& sink) {
-  std::shared_lock map_lock(map_mu_);
   std::size_t evicted = 0;
   std::vector<std::uint64_t> dropped;  // cache invalidations, outside stripes
-  for (std::size_t i = 0; i < series_.size(); ++i) {
-    std::scoped_lock lock(stripe(i));
-    auto& s = series_[i];
-    auto it = s.sealed.begin();
-    while (it != s.sealed.end() && (*it)->max_time() < cutoff) {
-      dropped.push_back((*it)->id());
-      if (sink) {
-        Chunk copy(**it);  // queries may still hold the shared ref
-        sink(SeriesId{static_cast<std::uint32_t>(i)}, std::move(copy));
+  std::vector<SeriesId> gone;          // series left fully empty
+  {
+    std::shared_lock map_lock(map_mu_);
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+      std::scoped_lock lock(stripe(i));
+      auto& s = series_[i];
+      const bool had_data = !s.sealed.empty() || !s.head.empty();
+      auto it = s.sealed.begin();
+      while (it != s.sealed.end() && (*it)->max_time() < cutoff) {
+        dropped.push_back((*it)->id());
+        if (sink) {
+          Chunk copy(**it);  // queries may still hold the shared ref
+          sink(SeriesId{static_cast<std::uint32_t>(i)}, std::move(copy));
+        }
+        it = s.sealed.erase(it);
+        ++evicted;
       }
-      it = s.sealed.erase(it);
-      ++evicted;
+      if (had_data && gone_ && s.sealed.empty() && s.head.empty()) {
+        gone.push_back(SeriesId{static_cast<std::uint32_t>(i)});
+      }
     }
   }
   for (const auto id : dropped) cache_.erase(id);
+  for (const auto id : gone) gone_(id);
   return evicted;
 }
 
@@ -412,24 +420,31 @@ TimeSeriesStore::SealedChunkSet TimeSeriesStore::sealed_chunks_before(
 
 std::size_t TimeSeriesStore::evict_chunks(
     const std::vector<std::pair<core::SeriesId, std::uint64_t>>& ids) {
-  std::shared_lock map_lock(map_mu_);
   std::size_t evicted = 0;
   std::vector<std::uint64_t> dropped;
-  for (const auto& [sid, chunk_id] : ids) {
-    const auto i = core::raw(sid);
-    if (i >= series_.size()) continue;
-    std::scoped_lock lock(stripe(i));
-    auto& sealed = series_[i].sealed;
-    for (auto it = sealed.begin(); it != sealed.end(); ++it) {
-      if ((*it)->id() == chunk_id) {
-        dropped.push_back(chunk_id);
-        sealed.erase(it);
-        ++evicted;
-        break;
+  std::vector<SeriesId> gone;
+  {
+    std::shared_lock map_lock(map_mu_);
+    for (const auto& [sid, chunk_id] : ids) {
+      const auto i = core::raw(sid);
+      if (i >= series_.size()) continue;
+      std::scoped_lock lock(stripe(i));
+      auto& s = series_[i];
+      for (auto it = s.sealed.begin(); it != s.sealed.end(); ++it) {
+        if ((*it)->id() == chunk_id) {
+          dropped.push_back(chunk_id);
+          s.sealed.erase(it);
+          ++evicted;
+          if (gone_ && s.sealed.empty() && s.head.empty()) {
+            gone.push_back(sid);
+          }
+          break;
+        }
       }
     }
   }
   for (const auto id : dropped) cache_.erase(id);
+  for (const auto id : gone) gone_(id);
   return evicted;
 }
 

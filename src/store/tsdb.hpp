@@ -168,6 +168,15 @@ class TimeSeriesStore {
   /// `timer`; nullptr (the default) disables span recording.
   void set_stage_timer(obs::StageTimer* timer) { stages_ = timer; }
 
+  /// Called (outside all store locks) for every series whose LAST data just
+  /// left the store — evict_before / evict_chunks removed its final sealed
+  /// chunk while the head was empty. Downstream membership (the rollup tree)
+  /// keys off this so retention and node churn retract stale aggregates.
+  /// Not synchronized with eviction callers: set before concurrent use.
+  void set_series_gone_listener(std::function<void(core::SeriesId)> fn) {
+    gone_ = std::move(fn);
+  }
+
  private:
   struct Series {
     std::vector<std::shared_ptr<const Chunk>> sealed;
@@ -209,6 +218,7 @@ class TimeSeriesStore {
   mutable obs::Counter summary_chunks_;
   mutable obs::Counter cursor_chunks_;
   obs::StageTimer* stages_ = nullptr;
+  std::function<void(core::SeriesId)> gone_;
 };
 
 /// Apply an aggregate to a point vector; nullopt when empty.

@@ -1,0 +1,46 @@
+#include "viz/fleet.hpp"
+
+#include "core/strings.hpp"
+#include "core/topo_path.hpp"
+
+namespace hpcmon::viz {
+
+namespace {
+std::string stat_row(std::string_view label, const rollup::RollupStat* s) {
+  if (s == nullptr || s->empty()) {
+    return core::strformat("  %-10.*s (no data)\n",
+                           static_cast<int>(label.size()), label.data());
+  }
+  const double mean = s->sum / static_cast<double>(s->count);
+  return core::strformat(
+      "  %-10.*s n=%-6llu mean=%-10.4g min=%-10.4g max=%-10.4g last=%.4g\n",
+      static_cast<int>(label.size()), label.data(),
+      static_cast<unsigned long long>(s->count), mean, s->min, s->max,
+      s->last);
+}
+}  // namespace
+
+std::string fleet_glance(const sim::Topology& topo,
+                         const rollup::RollupSnapshot& snap,
+                         const std::vector<std::string_view>& metrics,
+                         const FleetGlanceOptions& options) {
+  std::string out;
+  if (!options.title.empty()) {
+    out += core::strformat("%s (rollup v%llu)\n", options.title.c_str(),
+                           static_cast<unsigned long long>(snap.version()));
+  }
+  for (const auto metric : metrics) {
+    out += core::strformat("metric %.*s\n", static_cast<int>(metric.size()),
+                           metric.data());
+    out += stat_row("system", snap.find(topo.system(), metric));
+    if (!options.per_cabinet) continue;
+    for (int cab = 0; cab < topo.num_cabinets(); ++cab) {
+      core::TopoPath path;
+      path.cabinet = cab;
+      out += stat_row(path.format(), snap.find(topo.cabinet(cab), metric));
+    }
+  }
+  return out;
+}
+
+}  // namespace hpcmon::viz

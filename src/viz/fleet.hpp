@@ -1,0 +1,32 @@
+// "The fleet at a glance": the paper's Fig 1/Fig 3 products (system-wide
+// utilization, per-cabinet power) as one text report, answered entirely from
+// a RollupSnapshot — O(cabinets) lookups on an immutable snapshot, zero
+// store queries. The old path fanned a 20k-series scatter-gather across the
+// store for every dashboard refresh; the rollup tree maintained these very
+// reductions at ingest, so the report is just a read-out.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rollup/tree.hpp"
+#include "sim/topology.hpp"
+
+namespace hpcmon::viz {
+
+struct FleetGlanceOptions {
+  std::string title = "fleet at a glance";
+  /// Also print one row per cabinet under each metric's system row.
+  bool per_cabinet = true;
+};
+
+/// One section per metric: the system-level stat row, then (optionally) a
+/// row per cabinet. Metrics absent from the snapshot render an "(no data)"
+/// row so a misspelled metric is visible instead of silently blank.
+std::string fleet_glance(const sim::Topology& topo,
+                         const rollup::RollupSnapshot& snap,
+                         const std::vector<std::string_view>& metrics,
+                         const FleetGlanceOptions& options = {});
+
+}  // namespace hpcmon::viz

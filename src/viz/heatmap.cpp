@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "core/strings.hpp"
+#include "core/topo_path.hpp"
 
 namespace hpcmon::viz {
 
@@ -56,6 +58,9 @@ std::string machine_heatmap(const sim::Topology& topo,
   std::string out;
   if (!opt.title.empty()) out += opt.title + "\n";
   const auto& shape = topo.shape();
+  const core::TopoPath::Dims dims{shape.chassis_per_cabinet,
+                                  shape.blades_per_chassis,
+                                  shape.nodes_per_blade};
   // One row per (cabinet, chassis); columns are slot-major with the blade's
   // nodes side by side, cabinets separated by a blank column.
   for (int ch = shape.chassis_per_cabinet - 1; ch >= 0; --ch) {
@@ -63,13 +68,13 @@ std::string machine_heatmap(const sim::Topology& topo,
     for (int cab = 0; cab < shape.cabinets; ++cab) {
       for (int s = 0; s < shape.blades_per_chassis; ++s) {
         for (int n = 0; n < shape.nodes_per_blade; ++n) {
-          const int node =
-              ((cab * shape.chassis_per_cabinet + ch) *
-                   shape.blades_per_chassis +
-               s) *
-                  shape.nodes_per_blade +
-              n;
-          out += glyph(values[node], opt.scale_min, opt.scale_max);
+          core::TopoPath cell;
+          cell.cabinet = cab;
+          cell.chassis = ch;
+          cell.slot = s;
+          cell.node = n;
+          out += glyph(values[cell.node_index(dims)], opt.scale_min,
+                       opt.scale_max);
         }
       }
       out += '|';
@@ -79,12 +84,30 @@ std::string machine_heatmap(const sim::Topology& topo,
   out += "     ";
   for (int cab = 0; cab < shape.cabinets; ++cab) {
     const int width = shape.blades_per_chassis * shape.nodes_per_blade;
-    auto label = core::strformat("c%d-0", cab);
+    core::TopoPath cpath;
+    cpath.cabinet = cab;
+    auto label = cpath.format();
     label.resize(static_cast<std::size_t>(width), ' ');
     out += ' ' + label;
   }
   out += '\n' + legend(opt);
   return out;
+}
+
+std::string machine_heatmap(const sim::Topology& topo,
+                            const rollup::RollupSnapshot& snap,
+                            std::string_view metric,
+                            const HeatmapOptions& options) {
+  return machine_heatmap(
+      topo,
+      [&](int node) {
+        const auto* s = snap.find(topo.node(node), metric);
+        if (s == nullptr || s->empty()) {
+          return std::numeric_limits<double>::quiet_NaN();
+        }
+        return s->last;
+      },
+      options);
 }
 
 std::string router_grid_heatmap(const sim::Topology& topo,

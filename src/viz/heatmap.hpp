@@ -13,8 +13,10 @@
 
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "rollup/tree.hpp"
 #include "sim/topology.hpp"
 
 namespace hpcmon::viz {
@@ -32,6 +34,15 @@ struct HeatmapOptions {
 /// once per node; NaN renders as '?' (no data).
 std::string machine_heatmap(const sim::Topology& topo,
                             const std::function<double(int)>& value,
+                            const HeatmapOptions& options);
+
+/// Same layout, fed from a rollup snapshot instead of store queries: each
+/// node cell renders the node level's `last` for `metric` (O(1) lookups on
+/// an immutable snapshot — zero store scatter-gather). Absent/retracted
+/// nodes render as '?'.
+std::string machine_heatmap(const sim::Topology& topo,
+                            const rollup::RollupSnapshot& snap,
+                            std::string_view metric,
                             const HeatmapOptions& options);
 
 /// Per-router value -> torus x/y grid per z-plane (dragonfly machines render

@@ -1,0 +1,143 @@
+// core::TopoPath: the one shared cname parser/formatter. These tests pin the
+// canonical format at every level, the parse rejections, and the dense-index
+// arithmetic that sim::Topology's registration order and viz::machine_heatmap
+// both rely on.
+#include "core/topo_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/topology.hpp"
+
+namespace hpcmon::core {
+namespace {
+
+TEST(TopoPath, FormatsEveryLevel) {
+  TopoPath p;
+  EXPECT_EQ(p.format(), "system");
+  EXPECT_EQ(p.level(), TopoPath::Level::kSystem);
+  p.cabinet = 3;
+  EXPECT_EQ(p.format(), "c3-0");
+  EXPECT_EQ(p.level(), TopoPath::Level::kCabinet);
+  p.chassis = 2;
+  EXPECT_EQ(p.format(), "c3-0c2");
+  EXPECT_EQ(p.level(), TopoPath::Level::kChassis);
+  p.slot = 5;
+  EXPECT_EQ(p.format(), "c3-0c2s5");
+  EXPECT_EQ(p.level(), TopoPath::Level::kBlade);
+  p.node = 1;
+  EXPECT_EQ(p.format(), "c3-0c2s5n1");
+  EXPECT_EQ(p.level(), TopoPath::Level::kNode);
+}
+
+TEST(TopoPath, ParseRoundTripsEveryLevel) {
+  for (const char* cname :
+       {"system", "c0-0", "c12-0", "c3-0c2", "c3-0c2s7", "c3-0c2s7n3"}) {
+    const auto p = TopoPath::parse(cname);
+    ASSERT_TRUE(p.has_value()) << cname;
+    EXPECT_TRUE(p->valid()) << cname;
+    EXPECT_EQ(p->format(), cname);
+  }
+  // Row is parsed faithfully even though today's machines are single-row.
+  const auto rowed = TopoPath::parse("c1-2c0s0n0");
+  ASSERT_TRUE(rowed.has_value());
+  EXPECT_EQ(rowed->row, 2);
+  EXPECT_EQ(rowed->format(), "c1-2c0s0n0");
+}
+
+TEST(TopoPath, ParseRejectsMalformedNames) {
+  for (const char* bad :
+       {"", "c", "c1", "c1-", "c-0", "1-0", "c1-0x", "c1-0c", "c1-0cs2",
+        "c1-0c2s", "c1-0c2n1", "c1-0c2s3n", "c1-0c2s3n1x", "c1-0c2s3n1n2",
+        "system ", "Systems", "c1-0 ", " c1-0", "c999999999999-0"}) {
+    EXPECT_FALSE(TopoPath::parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(TopoPath, ValidRequiresPrefixCoordinates) {
+  TopoPath p;
+  p.node = 2;  // node without blade/chassis/cabinet
+  EXPECT_FALSE(p.valid());
+  p.slot = 1;
+  EXPECT_FALSE(p.valid());
+  p.chassis = 0;
+  EXPECT_FALSE(p.valid());
+  p.cabinet = 0;
+  EXPECT_TRUE(p.valid());
+  p.row = -1;
+  EXPECT_FALSE(p.valid());
+}
+
+TEST(TopoPath, NodeIndexRoundTrip) {
+  const TopoPath::Dims dims{/*chassis_per_cabinet=*/3,
+                            /*blades_per_chassis=*/4,
+                            /*nodes_per_blade=*/2};
+  const int total = 2 * 3 * 4 * 2;  // two cabinets' worth
+  for (int i = 0; i < total; ++i) {
+    const auto p = TopoPath::of_node_index(i, dims);
+    EXPECT_EQ(p.level(), TopoPath::Level::kNode);
+    EXPECT_EQ(p.node_index(dims), i);
+    // Round-trip through the formatted cname too.
+    const auto parsed = TopoPath::parse(p.format());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->node_index(dims), i);
+  }
+  // Out-of-range coordinates and shallow paths refuse an index.
+  TopoPath shallow;
+  shallow.cabinet = 0;
+  EXPECT_EQ(shallow.node_index(dims), -1);
+  auto oob = TopoPath::of_node_index(0, dims);
+  oob.node = dims.nodes_per_blade;
+  EXPECT_EQ(oob.node_index(dims), -1);
+}
+
+TEST(TopoPath, BladeIndexMatchesRegistrationOrder) {
+  const TopoPath::Dims dims{2, 3, 4};
+  int expect = 0;
+  for (int cab = 0; cab < 2; ++cab) {
+    for (int ch = 0; ch < 2; ++ch) {
+      for (int s = 0; s < 3; ++s) {
+        TopoPath p;
+        p.cabinet = cab;
+        p.chassis = ch;
+        p.slot = s;
+        EXPECT_EQ(p.blade_index(dims), expect++) << p.format();
+      }
+    }
+  }
+  TopoPath chassis_only;
+  chassis_only.cabinet = 0;
+  chassis_only.chassis = 0;
+  EXPECT_EQ(chassis_only.blade_index(dims), -1);
+}
+
+// The registry names produced by sim::Topology ARE canonical TopoPath cnames:
+// parsing a node's registered name recovers its dense registry index.
+TEST(TopoPath, AgreesWithTopologyRegistration) {
+  MetricRegistry registry;
+  sim::MachineShape shape;
+  shape.cabinets = 2;
+  shape.chassis_per_cabinet = 2;
+  shape.blades_per_chassis = 3;
+  shape.nodes_per_blade = 2;
+  sim::Topology topo(registry, shape, sim::FabricKind::kDragonfly);
+  const TopoPath::Dims dims{shape.chassis_per_cabinet,
+                            shape.blades_per_chassis, shape.nodes_per_blade};
+  for (int i = 0; i < topo.num_nodes(); ++i) {
+    const auto& name = registry.component(topo.node(i)).name;
+    const auto p = TopoPath::parse(name);
+    ASSERT_TRUE(p.has_value()) << name;
+    EXPECT_EQ(p->node_index(dims), i) << name;
+    EXPECT_EQ(TopoPath::of_node_index(i, dims).format(), name);
+  }
+  for (int c = 0; c < topo.num_cabinets(); ++c) {
+    const auto& name = registry.component(topo.cabinet(c)).name;
+    const auto p = TopoPath::parse(name);
+    ASSERT_TRUE(p.has_value()) << name;
+    EXPECT_EQ(p->level(), TopoPath::Level::kCabinet);
+    EXPECT_EQ(p->cabinet, c);
+  }
+  EXPECT_EQ(registry.component(topo.system()).name, "system");
+}
+
+}  // namespace
+}  // namespace hpcmon::core
